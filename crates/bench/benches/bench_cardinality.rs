@@ -1,0 +1,41 @@
+//! Bench for Figures 14–15 (ItemType cardinality γ): the runtime figure's
+//! claim is that EarlyDisjuncts' cost grows much faster with γ than
+//! LateDisjuncts'. Compare the two at γ = 2 and γ = 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cxm_core::{ContextMatchConfig, ContextualMatcher, ViewInferenceStrategy};
+use cxm_datagen::{generate_retail, RetailConfig};
+
+fn bench_cardinality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_15_cardinality");
+    group.sample_size(10);
+    for gamma in [2usize, 8] {
+        let dataset = generate_retail(&RetailConfig {
+            source_items: 240,
+            target_rows: 60,
+            gamma,
+            ..RetailConfig::default()
+        });
+        for (policy, early) in [("early", true), ("late", false)] {
+            let config = ContextMatchConfig::default()
+                .with_inference(ViewInferenceStrategy::Naive)
+                .with_early_disjuncts(early);
+            group.bench_with_input(
+                BenchmarkId::new(policy, gamma),
+                &gamma,
+                |b, _| {
+                    b.iter(|| {
+                        ContextualMatcher::new(config)
+                            .run(&dataset.source, &dataset.target)
+                            .expect("well-formed dataset")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cardinality);
+criterion_main!(benches);

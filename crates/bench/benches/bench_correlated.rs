@@ -1,0 +1,36 @@
+//! Bench for Figures 12–13 (correlated distractor attributes): matching cost
+//! with three ρ-correlated extra categorical attributes, per inference
+//! strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cxm_core::{ContextMatchConfig, ContextualMatcher, ViewInferenceStrategy};
+use cxm_datagen::{generate_retail, RetailConfig};
+
+fn bench_correlated(c: &mut Criterion) {
+    let dataset = generate_retail(&RetailConfig {
+        source_items: 240,
+        target_rows: 60,
+        correlated_attrs: 3,
+        correlation: 0.5,
+        ..RetailConfig::default()
+    });
+    let mut group = c.benchmark_group("fig12_13_correlated");
+    group.sample_size(10);
+    for strategy in ViewInferenceStrategy::ALL {
+        let config = ContextMatchConfig::default()
+            .with_inference(strategy)
+            .with_early_disjuncts(true);
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                ContextualMatcher::new(config)
+                    .run(&dataset.source, &dataset.target)
+                    .expect("well-formed dataset")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_correlated);
+criterion_main!(benches);

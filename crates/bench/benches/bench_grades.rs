@@ -1,0 +1,41 @@
+//! Bench for Figures 19 and 21 (Grades / attribute normalization): one full
+//! `ClioQualTable` run — contextual matching, constraint mining/propagation,
+//! the join rules and mapping execution — on the Grades dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cxm_core::{ContextMatchConfig, ViewInferenceStrategy};
+use cxm_datagen::{generate_grades, GradesConfig};
+use cxm_mapping::clio_qual_table;
+
+fn bench_grades(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_21_grades");
+    group.sample_size(10);
+    for sigma in [5.0f64, 25.0] {
+        let dataset = generate_grades(&GradesConfig {
+            students: 80,
+            target_students: 80,
+            sigma,
+            ..GradesConfig::default()
+        });
+        let config = ContextMatchConfig::default()
+            .with_inference(ViewInferenceStrategy::SrcClass)
+            .with_early_disjuncts(false)
+            .with_omega(1.0)
+            .with_tau(0.3);
+        group.bench_with_input(
+            BenchmarkId::new("clio_qual_table", format!("sigma{sigma}")),
+            &sigma,
+            |b, _| {
+                b.iter(|| {
+                    clio_qual_table(&dataset.source, &dataset.target, config)
+                        .expect("well-formed dataset")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grades);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench for Figure 18 (sample size): matching cost as the source inventory
+//! table grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cxm_core::{ContextMatchConfig, ContextualMatcher, ViewInferenceStrategy};
+use cxm_datagen::{generate_retail, RetailConfig};
+
+fn bench_sample_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_sample_size");
+    group.sample_size(10);
+    for size in [100usize, 400, 1600] {
+        let dataset = generate_retail(&RetailConfig {
+            source_items: size,
+            target_rows: 60,
+            ..RetailConfig::default()
+        });
+        let config =
+            ContextMatchConfig::default().with_inference(ViewInferenceStrategy::TgtClass);
+        group.bench_with_input(BenchmarkId::new("tgtclass", size), &size, |b, _| {
+            b.iter(|| {
+                ContextualMatcher::new(config)
+                    .run(&dataset.source, &dataset.target)
+                    .expect("well-formed dataset")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_size);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench for Figures 16–17 (schema-size scaling): matching cost with padding
+//! attributes added to every table, per inference strategy — the runtime
+//! figure's claim is that TgtClassInfer scales worst with schema width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cxm_core::{ContextMatchConfig, ContextualMatcher, ViewInferenceStrategy};
+use cxm_datagen::{generate_retail, RetailConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_17_scaling");
+    group.sample_size(10);
+    for extra in [0usize, 16] {
+        let dataset = generate_retail(&RetailConfig {
+            source_items: 200,
+            target_rows: 50,
+            extra_attrs: extra,
+            ..RetailConfig::default()
+        });
+        for strategy in [ViewInferenceStrategy::SrcClass, ViewInferenceStrategy::TgtClass] {
+            let config = ContextMatchConfig::default().with_inference(strategy);
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), extra),
+                &extra,
+                |b, _| {
+                    b.iter(|| {
+                        ContextualMatcher::new(config)
+                            .run(&dataset.source, &dataset.target)
+                            .expect("well-formed dataset")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Bench for Figure 11 (strawman): QualTable vs MultiTable selection cost on
+//! the same NaiveInfer candidate space.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cxm_core::{strawman_config, ContextMatchConfig, ContextualMatcher, SelectionStrategy,
+    ViewInferenceStrategy};
+use cxm_datagen::{generate_retail, RetailConfig};
+
+fn bench_strawman(c: &mut Criterion) {
+    let dataset = generate_retail(&RetailConfig {
+        source_items: 240,
+        target_rows: 60,
+        ..RetailConfig::default()
+    });
+    let mut group = c.benchmark_group("fig11_strawman");
+    group.sample_size(10);
+
+    let qual = ContextMatchConfig::default()
+        .with_inference(ViewInferenceStrategy::Naive)
+        .with_selection(SelectionStrategy::QualTable)
+        .with_early_disjuncts(false);
+    group.bench_function("qual_table", |b| {
+        b.iter(|| {
+            ContextualMatcher::new(qual)
+                .run(&dataset.source, &dataset.target)
+                .expect("well-formed dataset")
+        })
+    });
+    group.bench_function("multi_table_strawman", |b| {
+        b.iter(|| {
+            ContextualMatcher::new(strawman_config())
+                .run(&dataset.source, &dataset.target)
+                .expect("well-formed dataset")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strawman);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench for Figures 20–22 (τ sensitivity): matching cost at a permissive and
+//! a strict pruning threshold — raising τ shrinks the prototype match list and
+//! therefore the re-scoring work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cxm_core::{ContextMatchConfig, ContextualMatcher, ViewInferenceStrategy};
+use cxm_datagen::{generate_retail, RetailConfig};
+
+fn bench_tau(c: &mut Criterion) {
+    let dataset = generate_retail(&RetailConfig {
+        source_items: 240,
+        target_rows: 60,
+        ..RetailConfig::default()
+    });
+    let mut group = c.benchmark_group("fig20_22_tau");
+    group.sample_size(10);
+    for tau in [0.1f64, 0.5, 0.9] {
+        let config = ContextMatchConfig::default()
+            .with_inference(ViewInferenceStrategy::SrcClass)
+            .with_tau(tau);
+        group.bench_with_input(BenchmarkId::new("tau", format!("{tau}")), &tau, |b, _| {
+            b.iter(|| {
+                ContextualMatcher::new(config)
+                    .run(&dataset.source, &dataset.target)
+                    .expect("well-formed dataset")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tau);
+criterion_main!(benches);

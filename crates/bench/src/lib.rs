@@ -1,0 +1,1 @@
+//! Criterion benchmark harness crate — see the `benches/` directory; one bench target per figure group of the paper.

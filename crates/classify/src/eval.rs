@@ -1,0 +1,95 @@
+//! Classifier evaluation on held-out data.
+//!
+//! `doTesting` in `ClusteredViewGen` presents the trained classifier with
+//! unseen testing data and measures its quality as micro-averaged precision /
+//! recall (combined with F-β). These helpers run that evaluation and return a
+//! [`ConfusionMatrix`] whose `micro_average()` carries everything the
+//! significance test and the disjunct-merging step need.
+
+use cxm_stats::ConfusionMatrix;
+
+use crate::classifier::Classifier;
+
+/// Evaluate a trained classifier on (document, expected-label) pairs.
+///
+/// Items the classifier cannot answer (untrained) are recorded with the
+/// pseudo-prediction `"<none>"`, which counts as an error for every real label.
+pub fn evaluate<'a, C, I>(classifier: &C, test: I) -> ConfusionMatrix
+where
+    C: Classifier,
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut matrix = ConfusionMatrix::new();
+    for (doc, expected) in test {
+        let predicted = classifier.classify(doc).unwrap_or_else(|| "<none>".to_string());
+        matrix.record(expected, predicted);
+    }
+    matrix
+}
+
+/// Train a fresh classifier on `train` pairs and evaluate it on `test` pairs.
+pub fn train_and_evaluate<'a, C, I, J>(classifier: &mut C, train: I, test: J) -> ConfusionMatrix
+where
+    C: Classifier,
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+    J: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    for (doc, label) in train {
+        classifier.teach(doc, label);
+    }
+    evaluate(classifier, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_bayes::NaiveBayesClassifier;
+    use crate::majority::MajorityClassifier;
+
+    #[test]
+    fn perfectly_separable_data_scores_one() {
+        let train = vec![
+            ("hardcover", "book"),
+            ("paperback", "book"),
+            ("audio cd", "music"),
+            ("elektra cd", "music"),
+        ];
+        let test = vec![("hardcover", "book"), ("audio cd", "music")];
+        let mut nb = NaiveBayesClassifier::with_qgrams(3);
+        let matrix = train_and_evaluate(&mut nb, train, test);
+        let micro = matrix.micro_average();
+        assert_eq!(micro.correct, 2);
+        assert_eq!(micro.total, 2);
+        assert!((micro.f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_classifier_gets_only_majority_right() {
+        let train = vec![("x", "a"), ("y", "a"), ("z", "b")];
+        let test = vec![("q", "a"), ("r", "a"), ("s", "b")];
+        let mut m = MajorityClassifier::new();
+        let matrix = train_and_evaluate(&mut m, train, test);
+        assert_eq!(matrix.correct(), 2);
+        assert_eq!(matrix.total(), 3);
+        // The error is (b classified as a).
+        let errors = matrix.pooled_errors();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].1, 1);
+    }
+
+    #[test]
+    fn untrained_classifier_records_none_predictions() {
+        let nb = NaiveBayesClassifier::with_qgrams(3);
+        let matrix = evaluate(&nb, vec![("doc", "label")]);
+        assert_eq!(matrix.correct(), 0);
+        assert_eq!(matrix.total(), 1);
+        assert!(matrix.labels().contains(&"<none>".to_string()));
+    }
+
+    #[test]
+    fn empty_test_set_produces_empty_matrix() {
+        let nb = NaiveBayesClassifier::with_qgrams(3);
+        let matrix = evaluate(&nb, Vec::<(&str, &str)>::new());
+        assert_eq!(matrix.total(), 0);
+    }
+}

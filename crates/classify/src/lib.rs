@@ -1,0 +1,43 @@
+//! # cxm-classify
+//!
+//! Classification substrate for contextual schema matching
+//! (*Putting Context into Schema Matching*, Bohannon et al., VLDB 2006).
+//!
+//! §3.2 of the paper builds its view-inference machinery on single-label
+//! classifiers:
+//!
+//! * `SrcClassInfer` trains a classifier on a source attribute's values — "if h
+//!   is a text attribute, a standard Naive Bayesian classifier is used, with
+//!   the values tokenized into 3-grams. If h is a numeric attribute, a
+//!   statistical classifier is used instead";
+//! * `TgtClassInfer` keeps one classifier per basic type domain, trained on the
+//!   values of every compatible *target* attribute, which tags source values
+//!   with the target column they most resemble;
+//! * the significance test compares either against `C_Naive`, the classifier
+//!   that always answers the most common label.
+//!
+//! This crate provides exactly those pieces:
+//!
+//! * [`tokenize`] — 3-gram (q-gram) and word tokenizers,
+//! * [`naive_bayes`] — a multinomial Naive Bayes text classifier over q-grams,
+//! * [`numeric`] — a per-class Gaussian classifier for numeric values,
+//! * [`majority`] — the naive majority-label classifier `C_Naive`,
+//! * [`classifier`] — the common [`Classifier`](classifier::Classifier) trait
+//!   and a [`ValueClassifier`](classifier::ValueClassifier) that dispatches
+//!   between the text and numeric classifiers based on the training data,
+//! * [`eval`] — train/test evaluation producing a
+//!   [`ConfusionMatrix`](cxm_stats::ConfusionMatrix).
+
+pub mod classifier;
+pub mod eval;
+pub mod majority;
+pub mod naive_bayes;
+pub mod numeric;
+pub mod tokenize;
+
+pub use classifier::{Classifier, ValueClassifier};
+pub use eval::{evaluate, train_and_evaluate};
+pub use majority::MajorityClassifier;
+pub use naive_bayes::NaiveBayesClassifier;
+pub use numeric::GaussianClassifier;
+pub use tokenize::{qgrams, words, TokenizerKind};

@@ -1,0 +1,126 @@
+//! The naive majority-class classifier `C_Naive`.
+//!
+//! §3.2.2: the significance test "compare[s] C_h to a naive classifier,
+//! C_Naive, which always chooses the most common value of l, denoted by v*, as
+//! the label, regardless of h." Besides serving as the null model, the majority
+//! classifier doubles as the "arbitrary but deterministic" fallback label source
+//! used by `TgtClassInfer` when a tag was never encountered during training.
+
+use std::collections::BTreeMap;
+
+use crate::classifier::Classifier;
+
+/// A classifier that ignores the document and always answers the most common
+/// training label (ties broken lexicographically for determinism).
+#[derive(Debug, Clone, Default)]
+pub struct MajorityClassifier {
+    counts: BTreeMap<String, usize>,
+    total: usize,
+}
+
+impl MajorityClassifier {
+    /// Create an untrained majority classifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Teach one label occurrence (the document is irrelevant).
+    pub fn teach_label(&mut self, label: &str) {
+        *self.counts.entry(label.to_string()).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// The most common label `v*`, if any training data has been seen.
+    pub fn majority_label(&self) -> Option<&str> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(l, _)| l.as_str())
+    }
+
+    /// The count of the most common label, `|v*|`.
+    pub fn majority_count(&self) -> usize {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// The number of labels taught in total (`n_train` for the null model).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Frequency of a specific label among training examples.
+    pub fn frequency(&self, label: &str) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts.get(label).copied().unwrap_or(0) as f64 / self.total as f64
+        }
+    }
+}
+
+impl Classifier for MajorityClassifier {
+    fn teach(&mut self, _document: &str, label: &str) {
+        self.teach_label(label);
+    }
+
+    fn classify(&self, _document: &str) -> Option<String> {
+        self.majority_label().map(str::to_string)
+    }
+
+    fn trained_examples(&self) -> usize {
+        self.total
+    }
+
+    fn labels(&self) -> Vec<String> {
+        self.counts.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_label_is_most_common() {
+        let mut m = MajorityClassifier::new();
+        for _ in 0..3 {
+            m.teach("whatever", "book");
+        }
+        for _ in 0..5 {
+            m.teach("anything", "cd");
+        }
+        assert_eq!(m.majority_label(), Some("cd"));
+        assert_eq!(m.majority_count(), 5);
+        assert_eq!(m.total(), 8);
+        assert_eq!(m.classify("ignored").as_deref(), Some("cd"));
+        assert!((m.frequency("cd") - 0.625).abs() < 1e-12);
+        assert!((m.frequency("book") - 0.375).abs() < 1e-12);
+        assert_eq!(m.frequency("dvd"), 0.0);
+    }
+
+    #[test]
+    fn untrained_answers_none() {
+        let m = MajorityClassifier::new();
+        assert_eq!(m.classify("x"), None);
+        assert_eq!(m.majority_label(), None);
+        assert_eq!(m.majority_count(), 0);
+        assert_eq!(m.frequency("x"), 0.0);
+    }
+
+    #[test]
+    fn ties_break_lexicographically() {
+        let mut m = MajorityClassifier::new();
+        m.teach_label("zeta");
+        m.teach_label("alpha");
+        assert_eq!(m.majority_label(), Some("alpha"));
+    }
+
+    #[test]
+    fn labels_sorted() {
+        let mut m = MajorityClassifier::new();
+        m.teach_label("b");
+        m.teach_label("a");
+        assert_eq!(m.labels(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(m.trained_examples(), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Multinomial Naive Bayes over token (3-gram) features.
+//!
+//! This is the "standard Naive Bayesian classifier … with the values tokenized
+//! into 3-grams" of §3.2.3, also used by `TgtClassInfer`'s per-domain target
+//! classifiers for string attributes. Laplace (add-one) smoothing keeps unseen
+//! tokens from zeroing out a class, and all probability work happens in log
+//! space.
+
+use std::collections::BTreeMap;
+
+use crate::classifier::Classifier;
+use crate::tokenize::TokenizerKind;
+
+/// Per-class token counts.
+#[derive(Debug, Clone, Default)]
+struct ClassStats {
+    /// Number of documents taught with this label (for the prior).
+    doc_count: usize,
+    /// Token → occurrence count.
+    token_counts: BTreeMap<String, usize>,
+    /// Total tokens taught for this label.
+    total_tokens: usize,
+}
+
+/// A multinomial Naive Bayes classifier.
+#[derive(Debug, Clone)]
+pub struct NaiveBayesClassifier {
+    tokenizer: TokenizerKind,
+    classes: BTreeMap<String, ClassStats>,
+    vocabulary: BTreeMap<String, usize>,
+    total_docs: usize,
+    /// Laplace smoothing constant (add-α).
+    alpha: f64,
+}
+
+impl NaiveBayesClassifier {
+    /// Create a classifier using character q-grams of width `q`.
+    pub fn with_qgrams(q: usize) -> Self {
+        NaiveBayesClassifier::with_tokenizer(TokenizerKind::QGrams(q))
+    }
+
+    /// Create a classifier using word tokens.
+    pub fn with_words() -> Self {
+        NaiveBayesClassifier::with_tokenizer(TokenizerKind::Words)
+    }
+
+    /// Create a classifier with an explicit tokenizer.
+    pub fn with_tokenizer(tokenizer: TokenizerKind) -> Self {
+        NaiveBayesClassifier {
+            tokenizer,
+            classes: BTreeMap::new(),
+            vocabulary: BTreeMap::new(),
+            total_docs: 0,
+            alpha: 1.0,
+        }
+    }
+
+    /// Override the Laplace smoothing constant (default 1.0).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha.max(1e-9);
+        self
+    }
+
+    /// Log-probability scores for every known label, sorted by descending
+    /// score. Returns an empty vector when untrained.
+    pub fn scores(&self, document: &str) -> Vec<(String, f64)> {
+        if self.total_docs == 0 {
+            return Vec::new();
+        }
+        let tokens = self.tokenizer.tokenize(document);
+        let vocab_size = self.vocabulary.len().max(1) as f64;
+        let mut out: Vec<(String, f64)> = self
+            .classes
+            .iter()
+            .map(|(label, stats)| {
+                // Prior.
+                let mut log_p =
+                    ((stats.doc_count as f64 + self.alpha) / (self.total_docs as f64 + self.alpha * self.classes.len() as f64)).ln();
+                // Likelihood of each token under this class.
+                let denom = stats.total_tokens as f64 + self.alpha * vocab_size;
+                for t in &tokens {
+                    let count = stats.token_counts.get(t).copied().unwrap_or(0) as f64;
+                    log_p += ((count + self.alpha) / denom).ln();
+                }
+                (label.clone(), log_p)
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+impl Classifier for NaiveBayesClassifier {
+    fn teach(&mut self, document: &str, label: &str) {
+        let tokens = self.tokenizer.tokenize(document);
+        let stats = self.classes.entry(label.to_string()).or_default();
+        stats.doc_count += 1;
+        stats.total_tokens += tokens.len();
+        for t in tokens {
+            *stats.token_counts.entry(t.clone()).or_insert(0) += 1;
+            *self.vocabulary.entry(t).or_insert(0) += 1;
+        }
+        self.total_docs += 1;
+    }
+
+    fn classify(&self, document: &str) -> Option<String> {
+        self.scores(document).into_iter().next().map(|(label, _)| label)
+    }
+
+    fn trained_examples(&self) -> usize {
+        self.total_docs
+    }
+
+    fn labels(&self) -> Vec<String> {
+        self.classes.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Train a small book-vs-CD classifier resembling the paper's inventory data.
+    fn trained() -> NaiveBayesClassifier {
+        let mut nb = NaiveBayesClassifier::with_qgrams(3);
+        for (doc, label) in [
+            ("hardcover", "book"),
+            ("paperback", "book"),
+            ("hardcover first edition", "book"),
+            ("paperback reprint", "book"),
+            ("audio cd", "music"),
+            ("elektra cd", "music"),
+            ("compact disc single", "music"),
+            ("audio cd import", "music"),
+        ] {
+            nb.teach(doc, label);
+        }
+        nb
+    }
+
+    #[test]
+    fn classifies_seen_patterns() {
+        let nb = trained();
+        assert_eq!(nb.classify("hardcover").as_deref(), Some("book"));
+        assert_eq!(nb.classify("audio cd").as_deref(), Some("music"));
+    }
+
+    #[test]
+    fn generalizes_to_unseen_but_similar_values() {
+        let nb = trained();
+        assert_eq!(nb.classify("paperback edition").as_deref(), Some("book"));
+        assert_eq!(nb.classify("remastered cd").as_deref(), Some("music"));
+    }
+
+    #[test]
+    fn untrained_classifier_returns_none() {
+        let nb = NaiveBayesClassifier::with_qgrams(3);
+        assert_eq!(nb.classify("x"), None);
+        assert!(nb.scores("x").is_empty());
+    }
+
+    #[test]
+    fn unseen_tokens_still_yield_a_known_label() {
+        let mut nb = NaiveBayesClassifier::with_words();
+        nb.teach("alpha", "a");
+        nb.teach("alpha", "a");
+        nb.teach("alpha", "a");
+        nb.teach("beta", "b");
+        // A document with no known tokens is still classified (smoothing keeps
+        // every class's likelihood finite) and the answer is a trained label.
+        let label = nb.classify("zzzz totally unseen").unwrap();
+        assert!(nb.labels().contains(&label));
+        // With balanced per-class token mass, the prior decides unseen input.
+        let mut nb = NaiveBayesClassifier::with_words();
+        nb.teach("alpha", "a");
+        nb.teach("gamma", "a");
+        nb.teach("beta", "b");
+        assert_eq!(nb.classify("zzzz").as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let nb = trained();
+        let scores = nb.scores("hardcover");
+        assert_eq!(scores.len(), 2);
+        assert!(scores[0].1 >= scores[1].1);
+        assert_eq!(scores[0].0, "book");
+    }
+
+    #[test]
+    fn labels_and_counts() {
+        let nb = trained();
+        assert_eq!(nb.labels(), vec!["book".to_string(), "music".to_string()]);
+        assert_eq!(nb.trained_examples(), 8);
+    }
+
+    #[test]
+    fn word_tokenizer_variant_works() {
+        let mut nb = NaiveBayesClassifier::with_words();
+        nb.teach("the quick brown fox", "animal");
+        nb.teach("stock market crash", "finance");
+        assert_eq!(nb.classify("brown fox jumps").as_deref(), Some("animal"));
+        assert_eq!(nb.classify("market prices").as_deref(), Some("finance"));
+    }
+
+    #[test]
+    fn alpha_smoothing_is_configurable() {
+        let mut nb = NaiveBayesClassifier::with_qgrams(3).with_alpha(0.1);
+        nb.teach("aaa", "x");
+        nb.teach("bbb", "y");
+        assert_eq!(nb.classify("aaa").as_deref(), Some("x"));
+        // Alpha never goes to zero (guard against log(0)).
+        let nb0 = NaiveBayesClassifier::with_qgrams(3).with_alpha(0.0);
+        assert!(nb0.alpha > 0.0);
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic() {
+        let mut nb = NaiveBayesClassifier::with_words();
+        nb.teach("same", "a");
+        nb.teach("same", "b");
+        // Both classes identical → the lexicographically first label wins.
+        assert_eq!(nb.classify("same").as_deref(), Some("a"));
+    }
+}

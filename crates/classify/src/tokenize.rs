@@ -1,0 +1,145 @@
+//! Tokenization of attribute values.
+//!
+//! The paper tokenizes text values into 3-grams ("the values tokenized into
+//! 3-grams", §3.2.3; the target classifiers "one might think of a Naive Bayes
+//! classifier on tokens or Q-grams", §3.2.2). Both a character q-gram tokenizer
+//! and a word tokenizer are provided; the q-gram tokenizer is the default used
+//! by the matching and view-inference code.
+
+/// Which tokenizer a classifier or matcher should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenizerKind {
+    /// Character q-grams of the given width (the paper uses 3).
+    QGrams(usize),
+    /// Whitespace/punctuation-delimited, lower-cased words.
+    Words,
+}
+
+impl Default for TokenizerKind {
+    fn default() -> Self {
+        TokenizerKind::QGrams(3)
+    }
+}
+
+impl TokenizerKind {
+    /// Tokenize `text` with this tokenizer.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        match self {
+            TokenizerKind::QGrams(q) => qgrams(text, *q),
+            TokenizerKind::Words => words(text),
+        }
+    }
+}
+
+/// Normalize text before tokenization: lower-case and collapse runs of
+/// non-alphanumeric characters into single spaces.
+fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_space = true;
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for c in ch.to_lowercase() {
+                out.push(c);
+            }
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Character q-grams of the normalized text, padded with `q - 1` boundary
+/// markers (`#`) on each side so that prefixes and suffixes are represented.
+/// Text shorter than `q` yields the padded-window grams it has, never nothing
+/// (unless the text normalizes to empty).
+pub fn qgrams(text: &str, q: usize) -> Vec<String> {
+    let q = q.max(1);
+    let norm = normalize(text);
+    if norm.is_empty() {
+        return Vec::new();
+    }
+    let pad = "#".repeat(q - 1);
+    let padded: Vec<char> = format!("{pad}{norm}{pad}").chars().collect();
+    if padded.len() < q {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// Lower-cased word tokens of the text (alphanumeric runs).
+pub fn words(text: &str) -> Vec<String> {
+    normalize(text).split(' ').filter(|w| !w.is_empty()).map(|w| w.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_lowercases_and_strips_punctuation() {
+        assert_eq!(normalize("Lance Armstrong's War!"), "lance armstrong s war");
+        assert_eq!(normalize("  x&y  "), "x y");
+        assert_eq!(normalize("***"), "");
+    }
+
+    #[test]
+    fn word_tokenizer() {
+        assert_eq!(words("Heart of Darkness"), vec!["heart", "of", "darkness"]);
+        assert_eq!(words("B0006L16N8"), vec!["b0006l16n8"]);
+        assert!(words("  --  ").is_empty());
+    }
+
+    #[test]
+    fn qgram_padding_and_windows() {
+        let grams = qgrams("cd", 3);
+        // "##cd##" → ##c, #cd, cd#, d##
+        assert_eq!(grams, vec!["##c", "#cd", "cd#", "d##"]);
+    }
+
+    #[test]
+    fn qgram_counts_scale_with_length() {
+        let short = qgrams("abc", 3);
+        let long = qgrams("abcdefgh", 3);
+        assert!(long.len() > short.len());
+        // n characters with q=3 and 2-char padding on both sides → n + 2 grams.
+        assert_eq!(long.len(), 8 + 2);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only_text() {
+        assert!(qgrams("", 3).is_empty());
+        assert!(qgrams("!!!", 3).is_empty());
+    }
+
+    #[test]
+    fn unigrams_are_characters() {
+        assert_eq!(qgrams("ab", 1), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn q_zero_is_clamped() {
+        assert_eq!(qgrams("ab", 0), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn tokenizer_kind_dispatch() {
+        assert_eq!(TokenizerKind::Words.tokenize("A b"), vec!["a", "b"]);
+        assert_eq!(TokenizerKind::QGrams(2).tokenize("ab"), vec!["#a", "ab", "b#"]);
+        assert_eq!(TokenizerKind::default(), TokenizerKind::QGrams(3));
+    }
+
+    #[test]
+    fn similar_strings_share_many_grams() {
+        let a: std::collections::HashSet<_> = qgrams("hardcover", 3).into_iter().collect();
+        let b: std::collections::HashSet<_> = qgrams("hardcovers", 3).into_iter().collect();
+        let c: std::collections::HashSet<_> = qgrams("audio cd", 3).into_iter().collect();
+        let ab = a.intersection(&b).count();
+        let ac = a.intersection(&c).count();
+        assert!(ab > ac, "near-duplicates should overlap more than unrelated strings");
+    }
+}

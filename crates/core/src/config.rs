@@ -1,0 +1,202 @@
+//! Configuration of the contextual matcher.
+//!
+//! The experiments of §5 sweep exactly these knobs: the match-pruning
+//! threshold τ, the improvement threshold ω, the `EarlyDisjuncts` /
+//! `LateDisjuncts` policy, the view-inference algorithm (`NaiveInfer`,
+//! `SrcClassInfer`, `TgtClassInfer`) and the selection algorithm (`MultiTable`,
+//! `QualTable`).
+
+use cxm_matching::MatchingConfig;
+use cxm_relational::CategoricalPolicy;
+use cxm_relational::SplitRatio;
+
+/// Which `InferCandidateViews` implementation to use (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViewInferenceStrategy {
+    /// `NaiveInfer`: every value of every categorical attribute yields a view.
+    Naive,
+    /// `SrcClassInfer`: keep families whose partitioning attribute is
+    /// significantly predicted by a classifier trained on source values.
+    SrcClass,
+    /// `TgtClassInfer`: like `SrcClass`, but the classifier first tags source
+    /// values with the most similar target column.
+    TgtClass,
+}
+
+impl ViewInferenceStrategy {
+    /// Short name used in reports and experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViewInferenceStrategy::Naive => "Naive",
+            ViewInferenceStrategy::SrcClass => "SrcClass",
+            ViewInferenceStrategy::TgtClass => "TgtClass",
+        }
+    }
+
+    /// All strategies, in the order the paper's figures list them.
+    pub const ALL: [ViewInferenceStrategy; 3] = [
+        ViewInferenceStrategy::SrcClass,
+        ViewInferenceStrategy::TgtClass,
+        ViewInferenceStrategy::Naive,
+    ];
+}
+
+/// Which `SelectContextualMatches` implementation to use (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionStrategy {
+    /// Best match per target attribute, regardless of source table.
+    MultiTable,
+    /// Best consistent source table (or view set) per target table, gated by ω.
+    QualTable,
+}
+
+impl SelectionStrategy {
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectionStrategy::MultiTable => "MultiTable",
+            SelectionStrategy::QualTable => "QualTable",
+        }
+    }
+}
+
+/// Full configuration of a `ContextMatch` run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContextMatchConfig {
+    /// Standard-matcher configuration, including the pruning threshold τ.
+    pub matching: MatchingConfig,
+    /// Improvement threshold ω: the percentage by which a candidate view's
+    /// total confidence (summed over the prototype matches to one target
+    /// table) must exceed the base table's total confidence for the view to be
+    /// selected by `QualTable`. The paper's default is 5.
+    pub omega: f64,
+    /// Disjunction policy: `true` = `EarlyDisjuncts`, `false` = `LateDisjuncts`.
+    pub early_disjuncts: bool,
+    /// View-inference strategy.
+    pub inference: ViewInferenceStrategy,
+    /// Match-selection strategy.
+    pub selection: SelectionStrategy,
+    /// Per-match noise floor for `QualTable`'s improvement computation: a
+    /// prototype match only contributes to a view's total improvement when the
+    /// view raises its confidence by at least this many percentage points.
+    /// This keeps the accumulation of tiny random fluctuations across many
+    /// matches from masquerading as a correlated improvement — the
+    /// significance concern §3 raises about the strawman.
+    pub min_match_improvement: f64,
+    /// Significance threshold `T` for `ClusteredViewGen` (default 0.95).
+    pub significance_threshold: f64,
+    /// Categorical-attribute detection policy (§2.1 defaults).
+    pub categorical: CategoricalPolicy,
+    /// Train/test split ratio used by `ClusteredViewGen`.
+    pub split_ratio: SplitRatio,
+    /// Seed for the random train/test partition (experiments average over
+    /// several seeds).
+    pub seed: u64,
+    /// Upper bound on the candidate views evaluated per source table — a guard
+    /// against the exponential blow-up of naive early-disjunct enumeration.
+    pub max_candidate_views: usize,
+}
+
+impl Default for ContextMatchConfig {
+    fn default() -> Self {
+        ContextMatchConfig {
+            matching: MatchingConfig::default(),
+            omega: 5.0,
+            early_disjuncts: true,
+            inference: ViewInferenceStrategy::TgtClass,
+            selection: SelectionStrategy::QualTable,
+            min_match_improvement: 5.0,
+            significance_threshold: 0.95,
+            categorical: CategoricalPolicy::default(),
+            split_ratio: SplitRatio::two_thirds(),
+            seed: 17,
+            max_candidate_views: 2048,
+        }
+    }
+}
+
+impl ContextMatchConfig {
+    /// The confidence threshold τ.
+    pub fn tau(&self) -> f64 {
+        self.matching.tau
+    }
+
+    /// Builder-style τ override.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        self.matching.tau = tau;
+        self
+    }
+
+    /// Builder-style ω override.
+    pub fn with_omega(mut self, omega: f64) -> Self {
+        self.omega = omega;
+        self
+    }
+
+    /// Builder-style inference-strategy override.
+    pub fn with_inference(mut self, inference: ViewInferenceStrategy) -> Self {
+        self.inference = inference;
+        self
+    }
+
+    /// Builder-style selection-strategy override.
+    pub fn with_selection(mut self, selection: SelectionStrategy) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Builder-style disjunct-policy override.
+    pub fn with_early_disjuncts(mut self, early: bool) -> Self {
+        self.early_disjuncts = early;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = ContextMatchConfig::default();
+        assert_eq!(c.tau(), 0.5);
+        assert_eq!(c.omega, 5.0);
+        assert_eq!(c.significance_threshold, 0.95);
+        assert!(c.early_disjuncts);
+        assert_eq!(c.inference, ViewInferenceStrategy::TgtClass);
+        assert_eq!(c.selection, SelectionStrategy::QualTable);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = ContextMatchConfig::default()
+            .with_tau(0.8)
+            .with_omega(15.0)
+            .with_inference(ViewInferenceStrategy::Naive)
+            .with_selection(SelectionStrategy::MultiTable)
+            .with_early_disjuncts(false)
+            .with_seed(99);
+        assert_eq!(c.tau(), 0.8);
+        assert_eq!(c.omega, 15.0);
+        assert_eq!(c.inference, ViewInferenceStrategy::Naive);
+        assert_eq!(c.selection, SelectionStrategy::MultiTable);
+        assert!(!c.early_disjuncts);
+        assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(ViewInferenceStrategy::Naive.name(), "Naive");
+        assert_eq!(ViewInferenceStrategy::SrcClass.name(), "SrcClass");
+        assert_eq!(ViewInferenceStrategy::TgtClass.name(), "TgtClass");
+        assert_eq!(SelectionStrategy::MultiTable.name(), "MultiTable");
+        assert_eq!(SelectionStrategy::QualTable.name(), "QualTable");
+        assert_eq!(ViewInferenceStrategy::ALL.len(), 3);
+    }
+}

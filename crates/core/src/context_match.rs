@@ -1,0 +1,331 @@
+//! The `ContextMatch` algorithm (Figure 5).
+//!
+//! ```text
+//! ContextMatch(ℛS, ℛT):
+//!   M ← ∅
+//!   for RS ∈ ℛS:
+//!     M  := StandardMatch(RS, ℛT, τ)
+//!     C  := InferCandidateViews(RS, M, EarlyDisjuncts)
+//!     for c ∈ C:
+//!       Vc := RS where c
+//!       for m ∈ M from RS:
+//!         m′ := m with RS replaced by Vc
+//!         RL := RL ∪ {(m′, ScoreMatch(m′))}
+//!   M := SelectContextualMatches(M, RL, ω, EarlyDisjuncts)
+//!   return M
+//! ```
+//!
+//! [`ContextualMatcher::run`] performs exactly this computation and returns not
+//! only the selected matches but also the intermediate artifacts (prototype
+//! matches, candidate views, scored candidates), which the experiments and the
+//! schema-mapping stage both need.
+
+use cxm_matching::{MatchList, StandardMatcher};
+use cxm_relational::{Database, Result, ViewDef, ViewFamily};
+
+use crate::candidate_views::{flatten_views, infer_candidate_views};
+use crate::config::ContextMatchConfig;
+use crate::score::score_candidates;
+use crate::select::select_contextual_matches;
+
+/// The result of a `ContextMatch` run.
+#[derive(Debug, Default)]
+pub struct ContextMatchResult {
+    /// The matches selected for presentation (`M` in the paper) — contextual
+    /// matches where a view qualified, standard matches as fallback.
+    pub selected: MatchList,
+    /// The accepted standard (prototype) matches across all source tables.
+    pub standard: MatchList,
+    /// Every scored contextual candidate (`RL`).
+    pub candidates: MatchList,
+    /// Every candidate view that was evaluated.
+    pub candidate_views: Vec<ViewDef>,
+    /// The view families proposed by `InferCandidateViews`.
+    pub families: Vec<ViewFamily>,
+}
+
+impl ContextMatchResult {
+    /// The selected matches that are contextual (originate from views) — the
+    /// edges the paper's evaluation considers.
+    pub fn contextual_selected(&self) -> Vec<&cxm_matching::Match> {
+        self.selected.iter().filter(|m| m.is_contextual()).collect()
+    }
+
+    /// Names of the views that back at least one selected contextual match.
+    pub fn selected_views(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .contextual_selected()
+            .iter()
+            .map(|m| m.source.table.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// The view definitions backing the selected contextual matches.
+    pub fn selected_view_defs(&self) -> Vec<&ViewDef> {
+        let names = self.selected_views();
+        self.candidate_views.iter().filter(|v| names.contains(&v.name)).collect()
+    }
+}
+
+/// The contextual schema matcher: configuration plus the underlying standard
+/// matching system.
+#[derive(Debug)]
+pub struct ContextualMatcher {
+    config: ContextMatchConfig,
+    standard: StandardMatcher,
+}
+
+impl ContextualMatcher {
+    /// Create a matcher from a configuration.
+    pub fn new(config: ContextMatchConfig) -> Self {
+        ContextualMatcher { standard: StandardMatcher::new(config.matching), config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ContextMatchConfig {
+        &self.config
+    }
+
+    /// Access to the underlying standard matcher (the schema-mapping stage
+    /// reuses it).
+    pub fn standard_matcher(&self) -> &StandardMatcher {
+        &self.standard
+    }
+
+    /// Run `ContextMatch(source, target)`.
+    pub fn run(&self, source: &Database, target: &Database) -> Result<ContextMatchResult> {
+        let mut result = ContextMatchResult::default();
+
+        for table in source.tables() {
+            // Line 4: prototype matches for this source table.
+            let outcome = self.standard.match_table(table, target);
+            let prototype = outcome.accepted.clone();
+
+            // Line 5: candidate views.
+            let families = infer_candidate_views(table, &prototype, target, &self.config);
+            let views = flatten_views(&families, &self.config);
+
+            // Lines 6–11: score each prototype match against each candidate view.
+            let candidates = score_candidates(
+                source,
+                target,
+                &self.standard,
+                &outcome,
+                table,
+                &views,
+                &prototype,
+            )?;
+
+            result.standard.extend(prototype);
+            result.candidates.extend(candidates);
+            result.candidate_views.extend(views);
+            result.families.extend(families);
+        }
+
+        // Line 12: select the matches to present.
+        result.selected =
+            select_contextual_matches(&result.standard, &result.candidates, &self.config);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SelectionStrategy, ViewInferenceStrategy};
+    use cxm_relational::{Attribute, Table, TableSchema, Tuple, Value};
+
+    /// Build a small but unambiguous inventory scenario: `type` splits books
+    /// from CDs, `descr` and `code` are strongly type-dependent.
+    fn source_db(n: usize) -> Database {
+        let schema = TableSchema::new(
+            "inv",
+            vec![
+                Attribute::int("id"),
+                Attribute::text("name"),
+                Attribute::int("type"),
+                Attribute::text("code"),
+                Attribute::text("descr"),
+            ],
+        );
+        let book_titles =
+            ["leaves of grass", "heart of darkness", "wasteland", "moby dick", "middlemarch"];
+        let cd_titles =
+            ["the white album", "hotel california", "kind of blue", "abbey road", "blue train"];
+        let book_descr = ["hardcover", "paperback", "hardcover first edition", "paperback reprint"];
+        let cd_descr = ["audio cd", "elektra records cd", "columbia cd", "remastered audio cd"];
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let is_book = i % 2 == 0;
+            let title = if is_book { book_titles[i % 5] } else { cd_titles[i % 5] };
+            let code = if is_book {
+                format!("0{:06}", 100000 + i * 37)
+            } else {
+                format!("B{:03}XYZ{:03}", i % 999, (i * 7) % 999)
+            };
+            rows.push(Tuple::new(vec![
+                Value::from(i),
+                Value::str(format!("{title} volume {i}")),
+                Value::from(if is_book { 1 } else { 2 }),
+                Value::str(code),
+                Value::str(if is_book { book_descr[i % 4] } else { cd_descr[i % 4] }),
+            ]));
+        }
+        Database::new("RS").with_table(Table::with_rows(schema, rows).unwrap())
+    }
+
+    fn target_db() -> Database {
+        let book = Table::with_rows(
+            TableSchema::new(
+                "book",
+                vec![
+                    Attribute::text("title"),
+                    Attribute::text("isbn"),
+                    Attribute::text("format"),
+                ],
+            ),
+            vec![
+                Tuple::new(vec![
+                    Value::str("the historian"),
+                    Value::str("0316011770"),
+                    Value::str("hardcover"),
+                ]),
+                Tuple::new(vec![
+                    Value::str("war and peace"),
+                    Value::str("1400079985"),
+                    Value::str("paperback"),
+                ]),
+                Tuple::new(vec![
+                    Value::str("to the lighthouse"),
+                    Value::str("0156907399"),
+                    Value::str("paperback"),
+                ]),
+            ],
+        )
+        .unwrap();
+        let music = Table::with_rows(
+            TableSchema::new(
+                "music",
+                vec![
+                    Attribute::text("title"),
+                    Attribute::text("asin"),
+                    Attribute::text("label"),
+                ],
+            ),
+            vec![
+                Tuple::new(vec![
+                    Value::str("x&y"),
+                    Value::str("B0006L16N8"),
+                    Value::str("capitol cd"),
+                ]),
+                Tuple::new(vec![
+                    Value::str("moonlight sonatas"),
+                    Value::str("B0009PLM4Y"),
+                    Value::str("sony records cd"),
+                ]),
+            ],
+        )
+        .unwrap();
+        Database::new("RT").with_table(book).with_table(music)
+    }
+
+    #[test]
+    fn end_to_end_finds_type_conditioned_matches() {
+        let source = source_db(160);
+        let target = target_db();
+        let config = ContextMatchConfig::default()
+            .with_inference(ViewInferenceStrategy::SrcClass)
+            .with_selection(SelectionStrategy::QualTable)
+            .with_early_disjuncts(false)
+            .with_tau(0.4);
+        let result = ContextualMatcher::new(config).run(&source, &target).unwrap();
+
+        assert!(!result.standard.is_empty(), "standard matching should find prototypes");
+        assert!(!result.candidate_views.is_empty(), "views on `type` should be proposed");
+        assert!(!result.selected.is_empty());
+
+        // The strongest selected contextual match into each target table (on
+        // the content-bearing `descr` attribute) must be conditioned on the
+        // correct type value. Weaker matches may carry noisy conditions on this
+        // deliberately small fixture, so only the argmax is checked strictly.
+        let best_for = |target_table: &str| {
+            result
+                .contextual_selected()
+                .into_iter()
+                .filter(|m| {
+                    m.target.table == target_table
+                        && m.source.attribute == "descr"
+                        && m.condition.attributes().contains("type")
+                })
+                .max_by(|a, b| {
+                    a.confidence.partial_cmp(&b.confidence).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .cloned()
+        };
+        if let Some(best_book) = best_for("book") {
+            let values = best_book.condition.restricted_values("type").unwrap_or_default();
+            assert!(
+                values.contains(&Value::Int(1)) && !values.contains(&Value::Int(2)),
+                "best book descr match should be conditioned on type=1: {best_book}"
+            );
+        }
+        if let Some(best_music) = best_for("music") {
+            let values = best_music.condition.restricted_values("type").unwrap_or_default();
+            assert!(
+                values.contains(&Value::Int(2)) && !values.contains(&Value::Int(1)),
+                "best music descr match should be conditioned on type=2: {best_music}"
+            );
+        }
+        assert!(
+            !result.contextual_selected().is_empty(),
+            "at least some selected matches should be contextual"
+        );
+        assert!(!result.selected_views().is_empty());
+        assert_eq!(result.selected_view_defs().len(), result.selected_views().len());
+    }
+
+    #[test]
+    fn all_inference_strategies_run_end_to_end() {
+        let source = source_db(120);
+        let target = target_db();
+        for strategy in ViewInferenceStrategy::ALL {
+            let config = ContextMatchConfig::default()
+                .with_inference(strategy)
+                .with_tau(0.4)
+                .with_early_disjuncts(true);
+            let result = ContextualMatcher::new(config).run(&source, &target).unwrap();
+            assert!(
+                !result.selected.is_empty(),
+                "{} selected no matches at all",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_source_database_is_handled() {
+        let result = ContextualMatcher::new(ContextMatchConfig::default())
+            .run(&Database::new("RS"), &target_db())
+            .unwrap();
+        assert!(result.selected.is_empty());
+        assert!(result.standard.is_empty());
+        assert!(result.candidates.is_empty());
+    }
+
+    #[test]
+    fn high_tau_prunes_prototypes_and_thus_candidates() {
+        let source = source_db(80);
+        let target = target_db();
+        let strict = ContextualMatcher::new(ContextMatchConfig::default().with_tau(0.99))
+            .run(&source, &target)
+            .unwrap();
+        let lenient = ContextualMatcher::new(ContextMatchConfig::default().with_tau(0.1))
+            .run(&source, &target)
+            .unwrap();
+        assert!(strict.standard.len() <= lenient.standard.len());
+        assert!(strict.candidates.len() <= lenient.candidates.len());
+    }
+}

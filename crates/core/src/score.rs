@@ -1,0 +1,212 @@
+//! `ScoreMatch` — re-scoring prototype matches against candidate views
+//! (Figure 5, lines 6–11).
+//!
+//! For every candidate view `Vc` and every prototype match `m` from the view's
+//! base table, the match `m′ = m with RS replaced by Vc` is scored by the
+//! standard matching machinery *restricted to the subset of sample data
+//! meeting `c`*, and the confidence is computed against the score distribution
+//! of the original (unrestricted) attribute so that it is comparable to the
+//! prototype's confidence.
+
+use cxm_matching::{ColumnData, MatchList, MatchingOutcome, StandardMatcher};
+use cxm_relational::{Database, Result, Table, ViewDef};
+
+/// Score the contextual versions of the prototype matches against each
+/// candidate view. Returns the contextual candidate list `RL` (every `(m′, s)`
+/// pair of the algorithm), in deterministic (view, match) order.
+pub fn score_candidates(
+    source: &Database,
+    target: &Database,
+    matcher: &StandardMatcher,
+    outcome: &MatchingOutcome,
+    source_table: &Table,
+    views: &[ViewDef],
+    prototype: &MatchList,
+) -> Result<MatchList> {
+    let mut candidates = MatchList::new();
+    let from_this_table: Vec<_> =
+        prototype.iter().filter(|m| m.base_table == source_table.name()).collect();
+    if from_this_table.is_empty() {
+        return Ok(candidates);
+    }
+    for view in views {
+        let view_instance = view.evaluate(source)?;
+        if view_instance.is_empty() {
+            // An empty view supports no matches; skip it entirely.
+            continue;
+        }
+        for m in &from_this_table {
+            // The view projects all base attributes (select-only), so the
+            // matched attribute is always present.
+            let restricted = ColumnData::from_table(&view_instance, &m.source.attribute)?;
+            let target_table = target.require_table(&m.target.table)?;
+            let target_col = ColumnData::from_table(target_table, &m.target.attribute)?;
+            let (score, confidence) =
+                matcher.rescore(outcome, &restricted, &m.source, &target_col);
+            candidates.push(m.with_context(
+                view.name.clone(),
+                view.condition.clone(),
+                score,
+                confidence,
+            ));
+        }
+    }
+    Ok(candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_matching::MatchingConfig;
+    use cxm_relational::{tuple, Attribute, Condition, TableSchema};
+
+    fn source_db() -> Database {
+        let inv = Table::with_rows(
+            TableSchema::new(
+                "inv",
+                vec![
+                    Attribute::int("id"),
+                    Attribute::text("name"),
+                    Attribute::int("type"),
+                    Attribute::text("descr"),
+                ],
+            ),
+            vec![
+                tuple![0, "leaves of grass", 1, "hardcover"],
+                tuple![1, "the white album", 2, "audio cd"],
+                tuple![2, "heart of darkness", 1, "paperback"],
+                tuple![3, "wasteland", 1, "paperback"],
+                tuple![4, "hotel california", 2, "elektra cd"],
+                tuple![5, "kind of blue", 2, "columbia cd"],
+            ],
+        )
+        .unwrap();
+        Database::new("RS").with_table(inv)
+    }
+
+    fn target_db() -> Database {
+        let book = Table::with_rows(
+            TableSchema::new("book", vec![Attribute::text("title"), Attribute::text("format")]),
+            vec![
+                tuple!["the historian", "hardcover"],
+                tuple!["war and peace", "paperback"],
+                tuple!["middlemarch", "paperback"],
+            ],
+        )
+        .unwrap();
+        let music = Table::with_rows(
+            TableSchema::new("music", vec![Attribute::text("title"), Attribute::text("label")]),
+            vec![tuple!["x&y", "capitol cd"], tuple!["abbey road", "apple cd"]],
+        )
+        .unwrap();
+        Database::new("RT").with_table(book).with_table(music)
+    }
+
+    #[test]
+    fn candidates_cover_every_view_times_prototype_match() {
+        let source = source_db();
+        let target = target_db();
+        let matcher = StandardMatcher::new(MatchingConfig::with_tau(0.3));
+        let table = source.table("inv").unwrap();
+        let outcome = matcher.match_table(table, &target);
+        let views = vec![
+            ViewDef::named_by_condition("inv", Condition::eq("type", 1)),
+            ViewDef::named_by_condition("inv", Condition::eq("type", 2)),
+        ];
+        let candidates = score_candidates(
+            &source,
+            &target,
+            &matcher,
+            &outcome,
+            table,
+            &views,
+            &outcome.accepted,
+        )
+        .unwrap();
+        assert_eq!(candidates.len(), 2 * outcome.accepted.len());
+        assert!(candidates.iter().all(|c| c.is_contextual()));
+        assert!(candidates.iter().all(|c| c.base_table == "inv"));
+    }
+
+    #[test]
+    fn the_right_context_scores_higher_than_the_wrong_one() {
+        let source = source_db();
+        let target = target_db();
+        let matcher = StandardMatcher::new(MatchingConfig::with_tau(0.3));
+        let table = source.table("inv").unwrap();
+        let outcome = matcher.match_table(table, &target);
+        let views = vec![
+            ViewDef::named_by_condition("inv", Condition::eq("type", 1)),
+            ViewDef::named_by_condition("inv", Condition::eq("type", 2)),
+        ];
+        let candidates = score_candidates(
+            &source,
+            &target,
+            &matcher,
+            &outcome,
+            table,
+            &views,
+            &outcome.accepted,
+        )
+        .unwrap();
+        // For descr → book.format, the type=1 (book) view should outscore type=2.
+        let conf_of = |view: &str| {
+            candidates
+                .iter()
+                .find(|c| {
+                    c.source.table == view
+                        && c.source.attribute == "descr"
+                        && c.target.table == "book"
+                        && c.target.attribute == "format"
+                })
+                .map(|c| c.confidence)
+        };
+        if let (Some(book_view), Some(cd_view)) = (conf_of("inv[type = 1]"), conf_of("inv[type = 2]")) {
+            assert!(
+                book_view > cd_view,
+                "book-context format match ({book_view}) should beat cd-context ({cd_view})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_views_and_foreign_prototypes_are_skipped() {
+        let source = source_db();
+        let target = target_db();
+        let matcher = StandardMatcher::with_defaults();
+        let table = source.table("inv").unwrap();
+        let outcome = matcher.match_table(table, &target);
+        // A view selecting nothing.
+        let views = vec![ViewDef::named_by_condition("inv", Condition::eq("type", 99))];
+        let candidates = score_candidates(
+            &source,
+            &target,
+            &matcher,
+            &outcome,
+            table,
+            &views,
+            &outcome.accepted,
+        )
+        .unwrap();
+        assert!(candidates.is_empty());
+
+        // Prototype matches from another table contribute nothing.
+        let foreign = vec![cxm_matching::Match::standard(
+            cxm_relational::AttrRef::new("other", "x"),
+            cxm_relational::AttrRef::new("book", "title"),
+            0.9,
+            0.9,
+        )];
+        let candidates = score_candidates(
+            &source,
+            &target,
+            &matcher,
+            &outcome,
+            table,
+            &[ViewDef::named_by_condition("inv", Condition::eq("type", 1))],
+            &foreign,
+        )
+        .unwrap();
+        assert!(candidates.is_empty());
+    }
+}

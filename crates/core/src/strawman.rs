@@ -1,0 +1,33 @@
+//! The strawman configuration (§3, "A Strawman Approach" / §3.4).
+//!
+//! "The strawman approach to contextual matching described previously can be
+//! obtained in this framework by using NaiveInfer for InferCandidateViews, and
+//! MultiTable for SelectContextualMatches." The strawman accepts any condition
+//! that improves an individual match, which is exactly the significance trap
+//! the paper warns about; Figure 11 compares it against `QualTable`.
+
+use crate::config::{ContextMatchConfig, SelectionStrategy, ViewInferenceStrategy};
+
+/// The strawman configuration: `NaiveInfer` + `MultiTable`, late disjuncts.
+pub fn strawman_config() -> ContextMatchConfig {
+    ContextMatchConfig::default()
+        .with_inference(ViewInferenceStrategy::Naive)
+        .with_selection(SelectionStrategy::MultiTable)
+        .with_early_disjuncts(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strawman_is_naive_plus_multitable() {
+        let c = strawman_config();
+        assert_eq!(c.inference, ViewInferenceStrategy::Naive);
+        assert_eq!(c.selection, SelectionStrategy::MultiTable);
+        assert!(!c.early_disjuncts);
+        // Everything else keeps the paper's defaults.
+        assert_eq!(c.omega, 5.0);
+        assert_eq!(c.tau(), 0.5);
+    }
+}

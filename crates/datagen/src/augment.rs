@@ -1,0 +1,189 @@
+//! Dataset augmentations used by individual experiments.
+//!
+//! * [`add_correlated_attributes`] — the correlated-attribute experiment
+//!   (Figures 12–13): add extra low-cardinality attributes drawing from the
+//!   same domain as `ItemType`, agreeing with it on a fraction ρ of the rows
+//!   ("for high correlations, these attributes are chameleons of ItemType …
+//!   but we still consider any matches involving them to be errors").
+//! * [`scale_schema`] — the schema-size experiment (Figures 16–17): add `n`
+//!   non-categorical attributes to every table (populated with data from an
+//!   unrelated real-estate domain) and `n/4` categorical attributes to tables
+//!   that already have a categorical attribute.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cxm_relational::{Attribute, Database, Table, Value};
+
+use crate::vocab;
+
+/// Add `count` extra categorical attributes correlated with `base_attr` at
+/// level `rho`, returning the extended table. Each added value equals the
+/// row's `base_attr` value with probability `rho` and is otherwise drawn
+/// uniformly from the attribute's observed domain.
+pub fn add_correlated_attributes(
+    table: &Table,
+    base_attr: &str,
+    count: usize,
+    rho: f64,
+    seed: u64,
+) -> Table {
+    let domain: Vec<Value> = table.distinct_values(base_attr).unwrap_or_default();
+    if domain.is_empty() {
+        return table.clone();
+    }
+    let base_idx = table
+        .schema()
+        .index_of(base_attr)
+        .expect("base attribute exists when its domain is non-empty");
+    let mut out = table.clone();
+    for k in 0..count {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(k as u64));
+        let rho = rho.clamp(0.0, 1.0);
+        out = out
+            .extend_with(Attribute::text(format!("ExtraCat{}", k + 1)), |_, row| {
+                if rng.gen_bool(rho) {
+                    row.at(base_idx).clone()
+                } else {
+                    domain[rng.gen_range(0..domain.len())].clone()
+                }
+            })
+            .expect("generated attribute names are unique");
+    }
+    out
+}
+
+/// Add `noncat` non-categorical padding attributes to every table of the
+/// database (values drawn from the real-estate vocabulary with a
+/// distinguishing suffix) and `cat` categorical padding attributes to tables
+/// that contain `cat_marker_attr` (values drawn from the same domain as that
+/// attribute, but assigned independently at random).
+pub fn scale_schema(
+    db: &mut Database,
+    noncat: usize,
+    cat: usize,
+    cat_marker_attr: &str,
+    seed: u64,
+) {
+    let table_names: Vec<String> = db.table_names().iter().map(|s| s.to_string()).collect();
+    for (t_idx, name) in table_names.iter().enumerate() {
+        let table = db.table(name).expect("iterating the db's own table names").clone();
+        let mut extended = table.clone();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t_idx as u64 * 977));
+
+        for k in 0..noncat {
+            let words = rng.gen_range(1..=3);
+            extended = extended
+                .extend_with(Attribute::text(format!("Pad{}", k + 1)), |i, _| {
+                    let mut local = StdRng::seed_from_u64(
+                        seed ^ (t_idx as u64) << 32 ^ (k as u64) << 16 ^ i as u64,
+                    );
+                    Value::Str(format!(
+                        "{} lot {}",
+                        vocab::phrase(&mut local, vocab::REAL_ESTATE_WORDS, words),
+                        local.gen_range(1..500)
+                    ))
+                })
+                .expect("padding attribute names are unique");
+        }
+
+        let has_marker =
+            !cat_marker_attr.is_empty() && table.schema().has_attribute(cat_marker_attr);
+        if has_marker && cat > 0 {
+            let domain = table.distinct_values(cat_marker_attr).unwrap_or_default();
+            if !domain.is_empty() {
+                for k in 0..cat {
+                    let mut local = StdRng::seed_from_u64(seed.wrapping_add(31 * (k as u64 + 1)));
+                    extended = extended
+                        .extend_with(Attribute::text(format!("PadCat{}", k + 1)), |_, _| {
+                            domain[local.gen_range(0..domain.len())].clone()
+                        })
+                        .expect("padding attribute names are unique");
+                }
+            }
+        }
+        db.replace_table(extended);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_relational::{tuple, TableSchema};
+
+    fn items(n: usize) -> Table {
+        let schema = TableSchema::new(
+            "items",
+            vec![Attribute::int("id"), Attribute::text("ItemType")],
+        );
+        let rows = (0..n)
+            .map(|i| tuple![i, if i % 2 == 0 { "Book1" } else { "CD1" }])
+            .collect();
+        Table::with_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn correlated_attributes_track_rho() {
+        let t = items(1000);
+        let base_idx = t.schema().index_of("ItemType").unwrap();
+        for &(rho, lo, hi) in
+            &[(0.0f64, 0.35, 0.65), (0.7, 0.80, 0.92), (1.0, 0.999, 1.001)]
+        {
+            let ext = add_correlated_attributes(&t, "ItemType", 1, rho, 99);
+            let extra_idx = ext.schema().index_of("ExtraCat1").unwrap();
+            let agree = ext
+                .rows()
+                .iter()
+                .filter(|r| r.at(base_idx) == r.at(extra_idx))
+                .count() as f64
+                / ext.len() as f64;
+            // Agreement = ρ + (1−ρ)/|domain|, with |domain| = 2.
+            assert!(
+                agree >= lo && agree <= hi,
+                "rho={rho}: observed agreement {agree} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_attribute_count_and_names() {
+        let ext = add_correlated_attributes(&items(50), "ItemType", 3, 0.5, 1);
+        assert_eq!(ext.schema().arity(), 2 + 3);
+        assert!(ext.schema().has_attribute("ExtraCat1"));
+        assert!(ext.schema().has_attribute("ExtraCat3"));
+        // Missing base attribute → unchanged clone.
+        let unchanged = add_correlated_attributes(&items(50), "nope", 3, 0.5, 1);
+        assert_eq!(unchanged.schema().arity(), 2);
+    }
+
+    #[test]
+    fn scale_schema_adds_padding_everywhere() {
+        let mut db = Database::new("d").with_table(items(100));
+        scale_schema(&mut db, 4, 1, "ItemType", 5);
+        let t = db.table("items").unwrap();
+        assert_eq!(t.schema().arity(), 2 + 4 + 1);
+        assert!(t.schema().has_attribute("Pad4"));
+        assert!(t.schema().has_attribute("PadCat1"));
+        // Padding values look like real-estate text.
+        let sample = t.value_at(0, "Pad1").unwrap().as_text();
+        assert!(sample.contains("lot"));
+        // Categorical padding draws from the ItemType domain.
+        let padcat = t.distinct_values("PadCat1").unwrap();
+        assert!(padcat.len() <= 2);
+    }
+
+    #[test]
+    fn scale_schema_without_marker_adds_only_noncat() {
+        let mut db = Database::new("d").with_table(items(30));
+        scale_schema(&mut db, 2, 5, "NoSuchAttr", 5);
+        let t = db.table("items").unwrap();
+        assert_eq!(t.schema().arity(), 2 + 2);
+    }
+
+    #[test]
+    fn augmentation_is_deterministic() {
+        let a = add_correlated_attributes(&items(100), "ItemType", 2, 0.4, 7);
+        let b = add_correlated_attributes(&items(100), "ItemType", 2, 0.4, 7);
+        assert_eq!(a, b);
+    }
+}

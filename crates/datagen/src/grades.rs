@@ -1,0 +1,210 @@
+//! The Grades dataset (§5, "Grades data"; Figures 19 and 21).
+//!
+//! The source schema `grades_narrow(name, examNum, grade)` holds one row per
+//! (student, exam); the target schema `grades_wide(name, grade1..gradeN)` holds
+//! one row per student. Mapping between them requires promoting the `examNum`
+//! values to attributes — the attribute-normalization scenario. Grades for
+//! exam *i* are normally distributed with mean `40 + 10·(i−1)` and a
+//! configurable standard deviation σ; source and target instances are drawn
+//! independently (different students, same distributions), exactly as the
+//! paper describes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cxm_relational::{Attribute, Database, Table, TableSchema, Tuple, Value};
+
+use crate::truth::GroundTruth;
+use crate::vocab;
+
+/// Configuration of a Grades dataset instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradesConfig {
+    /// Seed controlling every random draw.
+    pub seed: u64,
+    /// Number of students in the source (narrow) instance; the paper uses 200.
+    pub students: usize,
+    /// Number of students in the target (wide) instance.
+    pub target_students: usize,
+    /// Number of exams; the paper uses 5.
+    pub exams: usize,
+    /// Standard deviation σ of each exam's grade distribution.
+    pub sigma: f64,
+}
+
+impl Default for GradesConfig {
+    fn default() -> Self {
+        GradesConfig { seed: 23, students: 200, target_students: 200, exams: 5, sigma: 10.0 }
+    }
+}
+
+/// A generated Grades dataset.
+#[derive(Debug)]
+pub struct GradesDataset {
+    /// Source database holding the narrow `grades` table.
+    pub source: Database,
+    /// Target database holding the wide `projs` table.
+    pub target: Database,
+    /// Correct contextual matches (per-exam views → wide columns).
+    pub truth: GroundTruth,
+    /// The configuration used.
+    pub config: GradesConfig,
+}
+
+/// Mean grade of exam `i` (1-based): `40 + 10·(i−1)`.
+pub fn exam_mean(exam: usize) -> f64 {
+    40.0 + 10.0 * (exam as f64 - 1.0)
+}
+
+/// Draw a normal variate via Box–Muller (avoids an extra dependency).
+fn normal(rng: &mut StdRng, mean: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sigma * z
+}
+
+/// A grade sample, rounded to two decimals and clamped to [0, 120].
+fn grade_sample(rng: &mut StdRng, exam: usize, sigma: f64) -> f64 {
+    let g = normal(rng, exam_mean(exam), sigma).clamp(0.0, 120.0);
+    (g * 100.0).round() / 100.0
+}
+
+/// Generate a Grades dataset.
+pub fn generate_grades(config: &GradesConfig) -> GradesDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Source: narrow table.
+    let narrow_schema = TableSchema::new(
+        "grades",
+        vec![Attribute::text("name"), Attribute::int("examNum"), Attribute::float("grade")],
+    );
+    let mut narrow_rows = Vec::with_capacity(config.students * config.exams);
+    for s in 0..config.students {
+        let name = format!("{} {:03}", vocab::person_name(&mut rng), s);
+        for exam in 1..=config.exams {
+            narrow_rows.push(Tuple::new(vec![
+                Value::Str(name.clone()),
+                Value::from(exam),
+                Value::Float(grade_sample(&mut rng, exam, config.sigma)),
+            ]));
+        }
+    }
+    let source = Database::new("RS_grades")
+        .with_table(Table::with_rows(narrow_schema, narrow_rows).expect("rows match schema"));
+
+    // Target: wide table with independently drawn data.
+    let mut target_rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xBEEF));
+    let mut wide_attrs = vec![Attribute::text("name")];
+    for exam in 1..=config.exams {
+        wide_attrs.push(Attribute::float(format!("grade{exam}")));
+    }
+    let wide_schema = TableSchema::new("projs", wide_attrs);
+    let mut wide_rows = Vec::with_capacity(config.target_students);
+    for s in 0..config.target_students {
+        let mut values =
+            vec![Value::Str(format!("{} w{:03}", vocab::person_name(&mut target_rng), s))];
+        for exam in 1..=config.exams {
+            values.push(Value::Float(grade_sample(&mut target_rng, exam, config.sigma)));
+        }
+        wide_rows.push(Tuple::new(values));
+    }
+    let target = Database::new("RT_grades")
+        .with_table(Table::with_rows(wide_schema, wide_rows).expect("rows match schema"));
+
+    // Truth: for every exam i, the view `examNum = i` maps grade → grade_i and
+    // name → name.
+    let mut truth = GroundTruth::new();
+    for exam in 1..=config.exams {
+        truth.add("grades", "grade", "projs", &format!("grade{exam}"), "examNum", &exam.to_string());
+        truth.add("grades", "name", "projs", "name", "examNum", &exam.to_string());
+    }
+
+    GradesDataset { source, target, truth, config: *config }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_relational::{categorical_attributes, CategoricalPolicy};
+    use cxm_stats::Moments;
+
+    #[test]
+    fn default_dataset_shape() {
+        let ds = generate_grades(&GradesConfig::default());
+        let narrow = ds.source.table("grades").unwrap();
+        assert_eq!(narrow.len(), 200 * 5);
+        let wide = ds.target.table("projs").unwrap();
+        assert_eq!(wide.len(), 200);
+        assert_eq!(wide.schema().arity(), 6);
+        assert_eq!(ds.truth.len(), 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_grades(&GradesConfig::default());
+        let b = generate_grades(&GradesConfig::default());
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.target, b.target);
+    }
+
+    #[test]
+    fn per_exam_means_and_sigma_are_respected() {
+        let config = GradesConfig { sigma: 5.0, ..Default::default() };
+        let ds = generate_grades(&config);
+        let narrow = ds.source.table("grades").unwrap();
+        let exam_idx = narrow.schema().index_of("examNum").unwrap();
+        let grade_idx = narrow.schema().index_of("grade").unwrap();
+        for exam in 1..=5usize {
+            let grades: Vec<f64> = narrow
+                .rows()
+                .iter()
+                .filter(|r| r.at(exam_idx).as_i64() == Some(exam as i64))
+                .filter_map(|r| r.at(grade_idx).as_f64())
+                .collect();
+            let m = Moments::from_samples(grades.iter().copied());
+            assert!(
+                (m.mean() - exam_mean(exam)).abs() < 2.0,
+                "exam {exam}: mean {} far from {}",
+                m.mean(),
+                exam_mean(exam)
+            );
+            assert!((m.population_std_dev() - 5.0).abs() < 1.5);
+        }
+    }
+
+    #[test]
+    fn exam_num_is_categorical_and_grade_is_not() {
+        let ds = generate_grades(&GradesConfig::default());
+        let narrow = ds.source.table("grades").unwrap();
+        let cats = categorical_attributes(narrow, &CategoricalPolicy::default());
+        assert!(cats.contains(&"examNum".to_string()));
+        assert!(!cats.contains(&"grade".to_string()));
+        assert!(!cats.contains(&"name".to_string()));
+    }
+
+    #[test]
+    fn higher_sigma_means_more_overlap_between_exams() {
+        let overlap = |sigma: f64| {
+            let ds = generate_grades(&GradesConfig { sigma, seed: 3, ..Default::default() });
+            let narrow = ds.source.table("grades").unwrap();
+            let exam_idx = narrow.schema().index_of("examNum").unwrap();
+            let grade_idx = narrow.schema().index_of("grade").unwrap();
+            // Fraction of exam-1 grades above the exam-2 mean.
+            let exam1: Vec<f64> = narrow
+                .rows()
+                .iter()
+                .filter(|r| r.at(exam_idx).as_i64() == Some(1))
+                .filter_map(|r| r.at(grade_idx).as_f64())
+                .collect();
+            exam1.iter().filter(|&&g| g > exam_mean(2)).count() as f64 / exam1.len() as f64
+        };
+        assert!(overlap(30.0) > overlap(5.0));
+    }
+
+    #[test]
+    fn exam_mean_formula() {
+        assert_eq!(exam_mean(1), 40.0);
+        assert_eq!(exam_mean(5), 80.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # cxm-datagen
+//!
+//! Synthetic data and schema corpus for the experiments of *Putting Context
+//! into Schema Matching* (Bohannon et al., VLDB 2006, §5).
+//!
+//! The paper's evaluation uses (a) retail-inventory schemas from the UW schema
+//! matching corpus (a combined source item table by "Colin Bleckner" and
+//! book/music-splitting target schemas by "Ryan Eyers", "Aaron Day" and
+//! "Barrett Arney") populated with data scraped from commercial web sites plus
+//! the Illinois Semantic Integration Archive, and (b) an artificially
+//! generated Grades dataset. The scraped corpora are not redistributable, so
+//! this crate generates synthetic equivalents that preserve the properties the
+//! algorithms depend on:
+//!
+//! * book-ish and music-ish values are separable by q-gram / numeric features
+//!   (titles, ISBN vs ASIN codes, format vs label descriptions, price ranges);
+//! * the source combines both kinds in one table with a categorical
+//!   `ItemType` column (cardinality γ, paper default 4) plus a `StockStatus`
+//!   distractor;
+//! * the targets split books and music into separate tables with
+//!   differently-named attributes (one flavour per student schema);
+//! * knobs exist for every experimental axis: sample size, γ, ρ-correlated
+//!   extra categorical attributes (Figures 12–13), schema-size scaling
+//!   (Figures 16–17), and the Grades σ sweep (Figure 19).
+//!
+//! Every generator is deterministic given its seed.
+
+pub mod augment;
+pub mod grades;
+pub mod records;
+pub mod retail;
+pub mod truth;
+pub mod vocab;
+
+pub use augment::{add_correlated_attributes, scale_schema};
+pub use grades::{generate_grades, GradesConfig, GradesDataset};
+pub use records::{BookRecord, MusicRecord, RecordGenerator};
+pub use retail::{generate_retail, RetailConfig, RetailDataset, TargetFlavor};
+pub use truth::GroundTruth;

@@ -1,0 +1,177 @@
+//! Synthetic book and music records.
+//!
+//! These play the role of the data the paper scraped from commercial retail
+//! web sites: each record carries a title, a catalogue code (ISBN-like for
+//! books, ASIN-like for music), a price and a format/label description. Book
+//! and music values are drawn from disjoint vocabularies and distinct code
+//! formats so instance-based matchers and classifiers can tell them apart —
+//! the property the real data has and the experiments rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab;
+
+/// One synthetic book.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BookRecord {
+    /// Title, e.g. "the shadow of the kingdom".
+    pub title: String,
+    /// ISBN-10-like code (digits, leading 0/1).
+    pub isbn: String,
+    /// List price in dollars.
+    pub price: f64,
+    /// Binding / format description.
+    pub format: String,
+    /// Author name.
+    pub author: String,
+}
+
+/// One synthetic music album.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MusicRecord {
+    /// Album title, e.g. "electric midnight".
+    pub title: String,
+    /// ASIN-like code (`B00` + alphanumerics).
+    pub asin: String,
+    /// List price in dollars.
+    pub price: f64,
+    /// Sale price (≤ price).
+    pub sale: f64,
+    /// Label / packaging description.
+    pub label: String,
+    /// Artist name.
+    pub artist: String,
+}
+
+/// Deterministic generator of book and music records.
+#[derive(Debug)]
+pub struct RecordGenerator {
+    rng: StdRng,
+}
+
+impl RecordGenerator {
+    /// Create a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RecordGenerator { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Generate one book record.
+    pub fn book(&mut self) -> BookRecord {
+        let words = self.rng.gen_range(2..=4);
+        let title = if self.rng.gen_bool(0.5) {
+            format!("the {}", vocab::phrase(&mut self.rng, vocab::BOOK_TITLE_WORDS, words))
+        } else {
+            vocab::phrase(&mut self.rng, vocab::BOOK_TITLE_WORDS, words)
+        };
+        let isbn = format!(
+            "{}{:09}",
+            self.rng.gen_range(0..2),
+            self.rng.gen_range(0u64..1_000_000_000)
+        );
+        let price: f64 = 8.0 + self.rng.gen_range(0.0..28.0f64);
+        let format = vocab::pick(&mut self.rng, vocab::BOOK_FORMATS).to_string();
+        BookRecord {
+            title,
+            isbn,
+            price: (price * 100.0).round() / 100.0,
+            format,
+            author: vocab::person_name(&mut self.rng),
+        }
+    }
+
+    /// Generate one music record.
+    pub fn music(&mut self) -> MusicRecord {
+        let words = self.rng.gen_range(1..=3);
+        let title = vocab::phrase(&mut self.rng, vocab::MUSIC_TITLE_WORDS, words);
+        let mut asin = String::from("B00");
+        for _ in 0..7 {
+            let c = if self.rng.gen_bool(0.5) {
+                char::from(b'A' + self.rng.gen_range(0..26u8))
+            } else {
+                char::from(b'0' + self.rng.gen_range(0..10u8))
+            };
+            asin.push(c);
+        }
+        let price: f64 = 9.0 + self.rng.gen_range(0.0..12.0f64);
+        let price = (price * 100.0).round() / 100.0;
+        let discount = self.rng.gen_range(0.5..4.0f64);
+        let sale = ((price - discount).max(3.0) * 100.0).round() / 100.0;
+        MusicRecord {
+            title,
+            asin,
+            price,
+            sale,
+            label: vocab::pick(&mut self.rng, vocab::MUSIC_LABELS).to_string(),
+            artist: vocab::person_name(&mut self.rng),
+        }
+    }
+
+    /// Generate `n` books.
+    pub fn books(&mut self, n: usize) -> Vec<BookRecord> {
+        (0..n).map(|_| self.book()).collect()
+    }
+
+    /// Generate `n` music records.
+    pub fn musics(&mut self, n: usize) -> Vec<MusicRecord> {
+        (0..n).map(|_| self.music()).collect()
+    }
+
+    /// Access to the underlying RNG for callers that need additional draws with
+    /// the same stream (e.g. the correlated-attribute injector).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = RecordGenerator::new(42).books(5);
+        let b = RecordGenerator::new(42).books(5);
+        assert_eq!(a, b);
+        let c = RecordGenerator::new(43).books(5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn book_codes_and_music_codes_have_distinct_shapes() {
+        let mut g = RecordGenerator::new(1);
+        for b in g.books(20) {
+            assert_eq!(b.isbn.len(), 10);
+            assert!(b.isbn.chars().all(|c| c.is_ascii_digit()));
+            assert!(b.price >= 8.0 && b.price <= 36.0);
+        }
+        for m in g.musics(20) {
+            assert!(m.asin.starts_with("B00"));
+            assert_eq!(m.asin.len(), 10);
+            assert!(m.sale <= m.price);
+            assert!(m.price >= 9.0 && m.price <= 21.0);
+        }
+    }
+
+    #[test]
+    fn descriptions_come_from_their_domains() {
+        let mut g = RecordGenerator::new(7);
+        for b in g.books(10) {
+            assert!(vocab::BOOK_FORMATS.contains(&b.format.as_str()));
+        }
+        for m in g.musics(10) {
+            assert!(vocab::MUSIC_LABELS.contains(&m.label.as_str()));
+        }
+    }
+
+    #[test]
+    fn titles_are_nonempty_and_multiword_for_books() {
+        let mut g = RecordGenerator::new(9);
+        for b in g.books(10) {
+            assert!(b.title.split(' ').count() >= 2);
+        }
+        for m in g.musics(10) {
+            assert!(!m.title.is_empty());
+        }
+    }
+}

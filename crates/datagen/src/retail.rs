@@ -1,0 +1,396 @@
+//! The Retail / Inventory dataset (§5, "Inventory Data").
+//!
+//! The source schema follows the UW corpus's "Colin Bleckner" combined item
+//! file: a single `items` table holding both books and CDs with a low
+//! cardinality `ItemType` attribute (plus the paper's added `StockStatus`
+//! distractor). The target schema follows one of three "student" flavours
+//! (Ryan Eyers, Aaron Day, Barrett Arney), all of which split books and music
+//! into separate tables but name their attributes differently.
+//!
+//! γ controls the cardinality of `ItemType`: with γ = 4, book items are
+//! randomly labelled `Book1` / `Book2` and music items `CD1` / `CD2`, exactly
+//! as the paper describes ("we allow expansion of the cardinality of ItemType
+//! in order to make the contextual matching problem harder").
+
+use rand::Rng;
+
+use cxm_relational::{Attribute, Database, Table, TableSchema, Tuple, Value};
+
+use crate::augment::{add_correlated_attributes, scale_schema};
+use crate::records::RecordGenerator;
+use crate::truth::GroundTruth;
+use crate::vocab;
+
+/// Which target schema flavour to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetFlavor {
+    /// Tables `book(title, isbn, price, format)` and
+    /// `music(title, asin, price, sale, label)` — the paper's Figure 2 layout.
+    Ryan,
+    /// Tables `books(name, isbn13, cost, binding)` and
+    /// `cds(albumname, asin, cost, recordlabel)`.
+    Aaron,
+    /// Tables `book_item(booktitle, code, listprice, covertype)` and
+    /// `music_item(albumtitle, catalogno, listprice, recordco)`.
+    Barrett,
+}
+
+impl TargetFlavor {
+    /// Short name used in experiment tables (the paper labels series by the
+    /// target schema's author).
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetFlavor::Ryan => "Ryan",
+            TargetFlavor::Aaron => "Aaron",
+            TargetFlavor::Barrett => "Barrett",
+        }
+    }
+
+    /// All flavours in the order the paper lists them.
+    pub const ALL: [TargetFlavor; 3] =
+        [TargetFlavor::Ryan, TargetFlavor::Aaron, TargetFlavor::Barrett];
+
+    /// (book table, [title, code, price, format]) attribute names.
+    fn book_layout(self) -> (&'static str, [&'static str; 4]) {
+        match self {
+            TargetFlavor::Ryan => ("book", ["title", "isbn", "price", "format"]),
+            TargetFlavor::Aaron => ("books", ["name", "isbn13", "cost", "binding"]),
+            TargetFlavor::Barrett => ("book_item", ["booktitle", "code", "listprice", "covertype"]),
+        }
+    }
+
+    /// (music table, [title, code, price, label]) attribute names.
+    fn music_layout(self) -> (&'static str, [&'static str; 4]) {
+        match self {
+            TargetFlavor::Ryan => ("music", ["title", "asin", "price", "label"]),
+            TargetFlavor::Aaron => ("cds", ["albumname", "asin", "cost", "recordlabel"]),
+            TargetFlavor::Barrett => {
+                ("music_item", ["albumtitle", "catalogno", "listprice", "recordco"])
+            }
+        }
+    }
+}
+
+/// Configuration of a Retail dataset instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetailConfig {
+    /// Seed controlling every random draw.
+    pub seed: u64,
+    /// Number of rows in the source `items` table.
+    pub source_items: usize,
+    /// Number of rows per target table.
+    pub target_rows: usize,
+    /// Cardinality γ of `ItemType` (even; half book labels, half CD labels).
+    pub gamma: usize,
+    /// Target schema flavour.
+    pub flavor: TargetFlavor,
+    /// Number of extra low-cardinality attributes correlated with `ItemType`
+    /// (Figures 12–13 add 3).
+    pub correlated_attrs: usize,
+    /// Correlation ρ of those extra attributes with `ItemType`, in [0, 1].
+    pub correlation: f64,
+    /// Schema-size scaling: number of non-categorical padding attributes added
+    /// to every table (Figures 16–17); a quarter as many categorical padding
+    /// attributes are added to the source table.
+    pub extra_attrs: usize,
+}
+
+impl Default for RetailConfig {
+    fn default() -> Self {
+        RetailConfig {
+            seed: 11,
+            source_items: 800,
+            target_rows: 150,
+            gamma: 4,
+            flavor: TargetFlavor::Ryan,
+            correlated_attrs: 0,
+            correlation: 0.0,
+            extra_attrs: 0,
+        }
+    }
+}
+
+/// A generated Retail dataset: source instance, target instance and ground
+/// truth contextual matches.
+#[derive(Debug)]
+pub struct RetailDataset {
+    /// Source database (single `items` table, possibly augmented).
+    pub source: Database,
+    /// Target database (book + music tables of the chosen flavour).
+    pub target: Database,
+    /// The correct contextual matches.
+    pub truth: GroundTruth,
+    /// The configuration used.
+    pub config: RetailConfig,
+}
+
+/// The ItemType labels for the given γ: `Book1..Book_{γ/2}`, `CD1..CD_{γ/2}`.
+pub fn item_type_labels(gamma: usize) -> (Vec<String>, Vec<String>) {
+    let half = (gamma / 2).max(1);
+    let books = (1..=half).map(|i| format!("Book{i}")).collect();
+    let cds = (1..=half).map(|i| format!("CD{i}")).collect();
+    (books, cds)
+}
+
+/// Generate a Retail dataset.
+pub fn generate_retail(config: &RetailConfig) -> RetailDataset {
+    let (book_labels, cd_labels) = item_type_labels(config.gamma);
+
+    // --- Source: the combined items table. -------------------------------
+    let mut source_gen = RecordGenerator::new(config.seed);
+    let source_schema = TableSchema::new(
+        "items",
+        vec![
+            Attribute::int("ItemID"),
+            Attribute::text("ItemName"),
+            Attribute::text("ItemType"),
+            Attribute::text("StockStatus"),
+            Attribute::text("Code"),
+            Attribute::text("Description"),
+            Attribute::float("Price"),
+        ],
+    );
+    let mut rows = Vec::with_capacity(config.source_items);
+    for i in 0..config.source_items {
+        let is_book = i % 2 == 0;
+        // Source descriptions carry the format/label words (the signal the
+        // target format/label columns share) plus scraped-page noise such as
+        // edition years and printing numbers, so the column stays
+        // non-categorical the way real item descriptions are.
+        let (name, code, descr, price) = if is_book {
+            let b = source_gen.book();
+            let descr = {
+                let rng = source_gen.rng();
+                format!("{} edition {} printing {}", b.format, 1988 + rng.gen_range(0..35), rng.gen_range(1..9))
+            };
+            (b.title, b.isbn, descr, b.price)
+        } else {
+            let m = source_gen.music();
+            let descr = {
+                let rng = source_gen.rng();
+                format!("{} {} reissue {}", m.label, 1965 + rng.gen_range(0..55), rng.gen_range(1..9))
+            };
+            (m.title, m.asin, descr, m.price)
+        };
+        let type_label = {
+            let rng = source_gen.rng();
+            if is_book {
+                book_labels[rng.gen_range(0..book_labels.len())].clone()
+            } else {
+                cd_labels[rng.gen_range(0..cd_labels.len())].clone()
+            }
+        };
+        let stock = {
+            let rng = source_gen.rng();
+            vocab::STOCK_STATUS[rng.gen_range(0..vocab::STOCK_STATUS.len())].to_string()
+        };
+        rows.push(Tuple::new(vec![
+            Value::from(i),
+            Value::Str(name),
+            Value::Str(type_label),
+            Value::Str(stock),
+            Value::Str(code),
+            Value::Str(descr),
+            Value::Float(price),
+        ]));
+    }
+    let mut items = Table::with_rows(source_schema, rows).expect("generated arity matches schema");
+
+    // --- Target: the flavour's book and music tables. ---------------------
+    let mut target_gen = RecordGenerator::new(config.seed.wrapping_add(0x9E37));
+    let (book_table_name, book_attrs) = config.flavor.book_layout();
+    let (music_table_name, music_attrs) = config.flavor.music_layout();
+
+    let book_schema = TableSchema::new(
+        book_table_name,
+        vec![
+            Attribute::text(book_attrs[0]),
+            Attribute::text(book_attrs[1]),
+            Attribute::float(book_attrs[2]),
+            Attribute::text(book_attrs[3]),
+        ],
+    );
+    let mut book_rows = Vec::with_capacity(config.target_rows);
+    for _ in 0..config.target_rows {
+        let b = target_gen.book();
+        book_rows.push(Tuple::new(vec![
+            Value::Str(b.title),
+            Value::Str(b.isbn),
+            Value::Float(b.price),
+            Value::Str(b.format),
+        ]));
+    }
+
+    let mut music_attr_list = vec![
+        Attribute::text(music_attrs[0]),
+        Attribute::text(music_attrs[1]),
+        Attribute::float(music_attrs[2]),
+        Attribute::text(music_attrs[3]),
+    ];
+    // Ryan's music table carries the additional `sale` price column of Figure 1.
+    let has_sale = config.flavor == TargetFlavor::Ryan;
+    if has_sale {
+        music_attr_list.insert(3, Attribute::float("sale"));
+    }
+    let music_schema = TableSchema::new(music_table_name, music_attr_list);
+    let mut music_rows = Vec::with_capacity(config.target_rows);
+    for _ in 0..config.target_rows {
+        let m = target_gen.music();
+        let mut values = vec![
+            Value::Str(m.title),
+            Value::Str(m.asin),
+            Value::Float(m.price),
+        ];
+        if has_sale {
+            values.push(Value::Float(m.sale));
+        }
+        values.push(Value::Str(m.label));
+        music_rows.push(Tuple::new(values));
+    }
+
+    let mut target = Database::new(format!("RT_{}", config.flavor.name()))
+        .with_table(Table::with_rows(book_schema, book_rows).expect("book rows match schema"))
+        .with_table(Table::with_rows(music_schema, music_rows).expect("music rows match schema"));
+
+    // --- Ground truth. -----------------------------------------------------
+    let mut truth = GroundTruth::new();
+    let source_book_attrs = ["ItemName", "Code", "Price", "Description"];
+    for (src, tgt) in source_book_attrs.iter().zip(book_attrs.iter()) {
+        for label in &book_labels {
+            truth.add("items", src, book_table_name, tgt, "ItemType", label);
+        }
+    }
+    for (src, tgt) in source_book_attrs.iter().zip(music_attrs.iter()) {
+        for label in &cd_labels {
+            truth.add("items", src, music_table_name, tgt, "ItemType", label);
+        }
+    }
+
+    // --- Optional augmentations. -------------------------------------------
+    if config.correlated_attrs > 0 {
+        items = add_correlated_attributes(
+            &items,
+            "ItemType",
+            config.correlated_attrs,
+            config.correlation,
+            config.seed.wrapping_add(0xC0FE),
+        );
+    }
+    let mut source = Database::new("RS_ColinBleckner").with_table(items);
+    if config.extra_attrs > 0 {
+        scale_schema(
+            &mut source,
+            config.extra_attrs,
+            config.extra_attrs / 4,
+            "ItemType",
+            config.seed.wrapping_add(0x5CA1E),
+        );
+        scale_schema(&mut target, config.extra_attrs, 0, "", config.seed.wrapping_add(0x7A67));
+    }
+
+    RetailDataset { source, target, truth, config: *config }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_relational::{categorical_attributes, CategoricalPolicy};
+
+    #[test]
+    fn default_dataset_has_expected_shape() {
+        let ds = generate_retail(&RetailConfig::default());
+        let items = ds.source.table("items").unwrap();
+        assert_eq!(items.len(), 800);
+        assert_eq!(items.schema().arity(), 7);
+        let types = items.distinct_values("ItemType").unwrap();
+        assert_eq!(types.len(), 4);
+        assert_eq!(ds.target.len(), 2);
+        assert!(ds.target.table("book").is_some());
+        assert!(ds.target.table("music").is_some());
+        // Truth: 4 attrs × 2 labels × 2 tables = 16 triples.
+        assert_eq!(ds.truth.len(), 16);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_retail(&RetailConfig::default());
+        let b = generate_retail(&RetailConfig::default());
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.target, b.target);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn gamma_controls_item_type_cardinality() {
+        for gamma in [2usize, 6, 10] {
+            let ds = generate_retail(&RetailConfig { gamma, ..Default::default() });
+            let types =
+                ds.source.table("items").unwrap().distinct_values("ItemType").unwrap();
+            assert_eq!(types.len(), gamma, "γ={gamma}");
+            // Truth grows with γ: 4 attrs × γ/2 labels × 2 tables.
+            assert_eq!(ds.truth.len(), 4 * gamma);
+        }
+    }
+
+    #[test]
+    fn item_type_and_stock_status_are_categorical() {
+        let ds = generate_retail(&RetailConfig::default());
+        let items = ds.source.table("items").unwrap();
+        let cats = categorical_attributes(items, &CategoricalPolicy::default());
+        assert!(cats.iter().any(|c| c == "ItemType"));
+        assert!(cats.iter().any(|c| c == "StockStatus"));
+        assert!(!cats.iter().any(|c| c == "ItemName"));
+        assert!(!cats.iter().any(|c| c == "Code"));
+        assert!(!cats.iter().any(|c| c == "Description"));
+    }
+
+    #[test]
+    fn flavors_differ_in_attribute_names_but_not_truth_size() {
+        let ryan = generate_retail(&RetailConfig { flavor: TargetFlavor::Ryan, ..Default::default() });
+        let aaron =
+            generate_retail(&RetailConfig { flavor: TargetFlavor::Aaron, ..Default::default() });
+        let barrett =
+            generate_retail(&RetailConfig { flavor: TargetFlavor::Barrett, ..Default::default() });
+        assert!(aaron.target.table("books").is_some());
+        assert!(barrett.target.table("music_item").is_some());
+        assert_eq!(ryan.truth.len(), aaron.truth.len());
+        assert_eq!(ryan.truth.len(), barrett.truth.len());
+        // Ryan's music table has the extra sale column.
+        assert_eq!(ryan.target.table("music").unwrap().schema().arity(), 5);
+        assert_eq!(aaron.target.table("cds").unwrap().schema().arity(), 4);
+    }
+
+    #[test]
+    fn correlated_and_scaling_options_extend_the_schema() {
+        let ds = generate_retail(&RetailConfig {
+            correlated_attrs: 3,
+            correlation: 0.5,
+            extra_attrs: 8,
+            source_items: 300,
+            ..Default::default()
+        });
+        let items = ds.source.table("items").unwrap();
+        // 7 base + 3 correlated + 8 non-categorical + 2 categorical padding.
+        assert_eq!(items.schema().arity(), 7 + 3 + 8 + 2);
+        for t in ds.target.tables() {
+            assert!(t.schema().arity() >= 4 + 8);
+        }
+    }
+
+    #[test]
+    fn book_and_cd_labels_partition_items() {
+        let ds = generate_retail(&RetailConfig { source_items: 200, ..Default::default() });
+        let items = ds.source.table("items").unwrap();
+        let name_idx = items.schema().index_of("Description").unwrap();
+        let type_idx = items.schema().index_of("ItemType").unwrap();
+        for row in items.rows() {
+            let ty = row.at(type_idx).as_text();
+            let descr = row.at(name_idx).as_text();
+            if ty.starts_with("Book") {
+                assert!(!descr.contains("cd"), "book rows should not carry cd descriptions");
+            } else {
+                assert!(descr.contains("cd"), "cd rows should carry cd descriptions: {descr}");
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Ground-truth contextual matches and accuracy evaluation.
+//!
+//! §5 ("Evaluating Accuracy"): accuracy is the percentage of the correct
+//! matches found, precision the percentage of found matches that are correct,
+//! FMeasure their harmonic mean — and "only edges originating from views are
+//! considered; all others are ignored."
+//!
+//! Correct matches are stored at the granularity of
+//! `(source attribute → target attribute, condition attribute = value)`
+//! triples. A found match whose condition covers several values (an
+//! `EarlyDisjuncts` `IN` condition) expands into one triple per covered value,
+//! so early- and late-disjunct outputs are scored on the same scale.
+
+use std::collections::BTreeSet;
+
+use cxm_matching::Match;
+use cxm_stats::MatchSetQuality;
+
+/// The set of correct contextual-match triples for a generated dataset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundTruth {
+    triples: BTreeSet<String>,
+}
+
+impl GroundTruth {
+    /// Create an empty truth set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonical rendering of one triple.
+    fn render(
+        src_table: &str,
+        src_attr: &str,
+        tgt_table: &str,
+        tgt_attr: &str,
+        cond_attr: &str,
+        cond_value: &str,
+    ) -> String {
+        format!(
+            "{}.{}->{}.{}@{}={}",
+            src_table.to_ascii_lowercase(),
+            src_attr.to_ascii_lowercase(),
+            tgt_table.to_ascii_lowercase(),
+            tgt_attr.to_ascii_lowercase(),
+            cond_attr.to_ascii_lowercase(),
+            cond_value.to_ascii_lowercase()
+        )
+    }
+
+    /// Add one correct triple.
+    pub fn add(
+        &mut self,
+        src_table: &str,
+        src_attr: &str,
+        tgt_table: &str,
+        tgt_attr: &str,
+        cond_attr: &str,
+        cond_value: &str,
+    ) {
+        self.triples.insert(Self::render(
+            src_table, src_attr, tgt_table, tgt_attr, cond_attr, cond_value,
+        ));
+    }
+
+    /// Number of correct triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when the truth set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Expand a found match into canonical triples. Standard matches expand to
+    /// nothing (they are ignored by the evaluation); conditions over a single
+    /// attribute expand to one triple per covered value; anything more complex
+    /// expands to a single triple carrying the whole condition text (which can
+    /// only count as correct if the truth set contains that exact text).
+    pub fn expand_match(m: &Match) -> Vec<String> {
+        if m.is_standard() {
+            return Vec::new();
+        }
+        let attrs = m.condition.attributes();
+        if attrs.len() == 1 {
+            let attr = attrs.iter().next().expect("length checked");
+            if let Some(values) = m.condition.restricted_values(attr) {
+                return values
+                    .iter()
+                    .map(|v| {
+                        Self::render(
+                            &m.base_table,
+                            &m.source.attribute,
+                            &m.target.table,
+                            &m.target.attribute,
+                            attr,
+                            &v.as_text(),
+                        )
+                    })
+                    .collect();
+            }
+        }
+        vec![Self::render(
+            &m.base_table,
+            &m.source.attribute,
+            &m.target.table,
+            &m.target.attribute,
+            "<condition>",
+            &m.condition.to_sql(),
+        )]
+    }
+
+    /// Evaluate a set of found matches against this truth set.
+    pub fn evaluate(&self, matches: &[Match]) -> MatchSetQuality {
+        let found: Vec<String> = matches.iter().flat_map(Self::expand_match).collect();
+        let truth: Vec<String> = self.triples.iter().cloned().collect();
+        MatchSetQuality::compare(&found, &truth)
+    }
+
+    /// FMeasure (percentage) of the found matches — the headline number of most
+    /// figures.
+    pub fn f_measure_pct(&self, matches: &[Match]) -> f64 {
+        self.evaluate(matches).f_measure_pct()
+    }
+
+    /// Accuracy (percentage) of the found matches — Figures 19–21 report this.
+    pub fn accuracy_pct(&self, matches: &[Match]) -> f64 {
+        self.evaluate(matches).accuracy_pct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_relational::{AttrRef, Condition};
+
+    fn truth() -> GroundTruth {
+        let mut t = GroundTruth::new();
+        t.add("items", "itemname", "book", "title", "itemtype", "book1");
+        t.add("items", "itemname", "book", "title", "itemtype", "book2");
+        t.add("items", "itemname", "music", "title", "itemtype", "cd1");
+        t.add("items", "itemname", "music", "title", "itemtype", "cd2");
+        t
+    }
+
+    fn ctx(view: &str, cond: Condition, src: &str, tgt_table: &str, tgt: &str) -> Match {
+        Match::standard(AttrRef::new("items", src), AttrRef::new(tgt_table, tgt), 0.5, 0.5)
+            .with_context(view, cond, 0.8, 0.9)
+    }
+
+    #[test]
+    fn early_disjunct_match_covers_both_values() {
+        let t = truth();
+        let m = ctx(
+            "items[ItemType in (Book1, Book2)]",
+            Condition::is_in("ItemType", ["Book1", "Book2"]),
+            "ItemName",
+            "book",
+            "title",
+        );
+        let q = t.evaluate(&[m]);
+        assert_eq!(q.true_positives, 2);
+        assert_eq!(q.false_positives, 0);
+        assert_eq!(q.false_negatives, 2);
+        assert!((q.accuracy() - 0.5).abs() < 1e-12);
+        assert!((q.precision() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_value_counts_as_false_positive() {
+        let t = truth();
+        let m = ctx(
+            "items[ItemType = CD1]",
+            Condition::eq("ItemType", "CD1"),
+            "ItemName",
+            "book",
+            "title",
+        );
+        let q = t.evaluate(&[m]);
+        assert_eq!(q.true_positives, 0);
+        assert_eq!(q.false_positives, 1);
+    }
+
+    #[test]
+    fn standard_matches_are_ignored() {
+        let t = truth();
+        let standard = Match::standard(
+            AttrRef::new("items", "ItemName"),
+            AttrRef::new("book", "title"),
+            0.9,
+            0.9,
+        );
+        let q = t.evaluate(&[standard]);
+        assert_eq!(q.true_positives, 0);
+        assert_eq!(q.false_positives, 0);
+        assert_eq!(q.false_negatives, 4);
+        assert_eq!(t.f_measure_pct(&[]), 0.0);
+    }
+
+    #[test]
+    fn full_recovery_scores_100() {
+        let t = truth();
+        let matches = vec![
+            ctx(
+                "items[ItemType in (Book1, Book2)]",
+                Condition::is_in("ItemType", ["Book1", "Book2"]),
+                "ItemName",
+                "book",
+                "title",
+            ),
+            ctx(
+                "items[ItemType in (CD1, CD2)]",
+                Condition::is_in("ItemType", ["CD1", "CD2"]),
+                "ItemName",
+                "music",
+                "title",
+            ),
+        ];
+        assert!((t.f_measure_pct(&matches) - 100.0).abs() < 1e-9);
+        assert!((t.accuracy_pct(&matches) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conjunctive_conditions_expand_to_condition_text() {
+        let t = GroundTruth::new();
+        let m = ctx(
+            "items[x]",
+            Condition::eq("type", 1).and(Condition::eq("fiction", 0)),
+            "ItemName",
+            "book",
+            "title",
+        );
+        let triples = GroundTruth::expand_match(&m);
+        assert_eq!(triples.len(), 1);
+        assert!(triples[0].contains("<condition>"));
+        assert_eq!(t.evaluate(&[m]).false_positives, 1);
+    }
+
+    #[test]
+    fn truth_set_accounting() {
+        let t = truth();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert!(GroundTruth::new().is_empty());
+    }
+}

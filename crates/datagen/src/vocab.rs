@@ -1,0 +1,120 @@
+//! Word lists used by the synthetic record generators.
+//!
+//! The goal is not realism for humans but *separability for matchers*: book
+//! titles, music titles, person names, formats, labels and real-estate filler
+//! draw from distinct vocabularies with distinct character statistics, the way
+//! the corresponding real columns do.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Words common in book titles.
+pub const BOOK_TITLE_WORDS: &[&str] = &[
+    "history", "shadow", "garden", "night", "river", "daughter", "secret", "kingdom", "letters",
+    "journey", "winter", "empire", "silence", "memory", "stone", "road", "house", "light",
+    "island", "chronicle", "portrait", "testament", "meridian", "arcadia", "labyrinth",
+];
+
+/// Words common in album / song titles.
+pub const MUSIC_TITLE_WORDS: &[&str] = &[
+    "blue", "moon", "electric", "midnight", "love", "dancing", "fire", "dreams", "gold", "heart",
+    "rhythm", "echo", "neon", "velvet", "thunder", "paradise", "groove", "horizon", "static",
+    "sunset", "satellite", "mirror", "wild", "diamond", "avenue",
+];
+
+/// First names used for author / person name columns.
+pub const FIRST_NAMES: &[&str] = &[
+    "alice", "brian", "carmen", "derek", "elena", "frank", "grace", "henry", "irene", "jacob",
+    "karen", "liam", "maria", "nolan", "olivia", "peter", "quinn", "rosa", "samuel", "teresa",
+    "ulysses", "violet", "walter", "ximena", "yusuf", "zoe",
+];
+
+/// Last names used for author / person name columns.
+pub const LAST_NAMES: &[&str] = &[
+    "anderson", "baker", "castillo", "donovan", "edwards", "fischer", "garcia", "hughes",
+    "ivanov", "jackson", "kim", "lopez", "murphy", "nguyen", "ortiz", "patel", "quintero",
+    "rossi", "schmidt", "turner", "ueda", "vasquez", "weber", "xu", "young", "zhang",
+];
+
+/// Book binding formats (the `descr` / `format` domain for books).
+pub const BOOK_FORMATS: &[&str] = &[
+    "hardcover", "paperback", "trade paperback", "mass market paperback", "library binding",
+    "hardcover first edition", "paperback reprint",
+];
+
+/// Music packaging / label descriptions (the `descr` / `label` domain for CDs).
+pub const MUSIC_LABELS: &[&str] = &[
+    "audio cd", "elektra records cd", "columbia records cd", "capitol records cd", "sony music cd",
+    "blue note records cd", "verve audio cd", "atlantic records cd", "motown records cd",
+];
+
+/// Record-label names (for target `label` columns that store the label proper).
+pub const LABEL_NAMES: &[&str] = &[
+    "elektra", "columbia", "capitol", "sony", "blue note", "verve", "atlantic", "motown",
+    "geffen", "island", "interscope", "nonesuch",
+];
+
+/// Real-estate-flavoured filler used to populate the padding attributes of the
+/// schema-scaling experiments ("populated with random data from an unrelated
+/// real estate table").
+pub const REAL_ESTATE_WORDS: &[&str] = &[
+    "colonial", "ranch", "bungalow", "duplex", "hardwood", "granite", "acre", "garage",
+    "fireplace", "cul-de-sac", "renovated", "basement", "lakefront", "brick", "veranda",
+    "sunroom", "zoning", "escrow", "mortgage", "appraisal",
+];
+
+/// Stock-status values for the `StockStatus` distractor attribute.
+pub const STOCK_STATUS: &[&str] = &["Low", "Normal", "High"];
+
+/// Pick a uniformly random element of a slice.
+pub fn pick<'a>(rng: &mut StdRng, words: &'a [&'a str]) -> &'a str {
+    words[rng.gen_range(0..words.len())]
+}
+
+/// Compose a phrase of `n` random words from a vocabulary.
+pub fn phrase(rng: &mut StdRng, words: &[&str], n: usize) -> String {
+    (0..n).map(|_| pick(rng, words).to_string()).collect::<Vec<_>>().join(" ")
+}
+
+/// A random person name, "first last".
+pub fn person_name(rng: &mut StdRng) -> String {
+    format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vocabularies_are_nonempty_and_distinct() {
+        assert!(!BOOK_TITLE_WORDS.is_empty());
+        assert!(!MUSIC_TITLE_WORDS.is_empty());
+        let overlap = BOOK_TITLE_WORDS.iter().filter(|w| MUSIC_TITLE_WORDS.contains(w)).count();
+        assert_eq!(overlap, 0, "book and music vocabularies should not overlap");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(phrase(&mut a, BOOK_TITLE_WORDS, 3), phrase(&mut b, BOOK_TITLE_WORDS, 3));
+        assert_eq!(person_name(&mut a), person_name(&mut b));
+    }
+
+    #[test]
+    fn phrase_has_requested_word_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = phrase(&mut rng, MUSIC_TITLE_WORDS, 4);
+        assert_eq!(p.split(' ').count(), 4);
+    }
+
+    #[test]
+    fn person_names_have_two_parts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let n = person_name(&mut rng);
+            assert_eq!(n.split(' ').count(), 2);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Command-line entry point for regenerating the paper's evaluation figures.
+//!
+//! ```text
+//! experiments [FIGURE|all] [--full] [--csv DIR]
+//! ```
+//!
+//! * `FIGURE` — a figure number (8–22) or `all` (default `all`).
+//! * `--full` — use the full experiment scale (slower); the default quick
+//!   scale finishes in a few minutes.
+//! * `--csv DIR` — additionally write one CSV file per figure into `DIR`.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cxm_harness::{run_all, run_figure, FigureReport, RunScale};
+
+fn usage() -> &'static str {
+    "usage: experiments [FIGURE|all] [--full] [--csv DIR]\n       FIGURE ∈ {8..22}"
+}
+
+fn main() -> ExitCode {
+    let mut figure = String::from("all");
+    let mut scale = RunScale::quick();
+    let mut csv_dir: Option<PathBuf> = None;
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = RunScale::full(),
+            "--quick" => scale = RunScale::quick(),
+            "--csv" => match args.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv requires a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => figure = other.to_string(),
+        }
+    }
+
+    let reports: Vec<FigureReport> = if figure == "all" {
+        run_all(&scale)
+    } else {
+        match run_figure(&figure, &scale) {
+            Some(reports) => reports,
+            None => {
+                eprintln!("unknown figure {figure:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    for report in &reports {
+        println!("{report}");
+    }
+
+    if let Some(dir) = csv_dir {
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for report in &reports {
+            let file = dir.join(format!(
+                "{}.csv",
+                report.id.to_ascii_lowercase().replace(' ', "_")
+            ));
+            if let Err(e) = fs::write(&file, report.to_csv()) {
+                eprintln!("cannot write {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", file.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

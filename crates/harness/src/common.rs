@@ -1,0 +1,161 @@
+//! Shared experiment plumbing: run scales and the measurement helpers every
+//! figure module uses.
+
+use std::time::Instant;
+
+use cxm_core::{ContextMatchConfig, ContextualMatcher};
+use cxm_datagen::{generate_grades, generate_retail, GradesConfig, RetailConfig};
+use cxm_mapping::clio_qual_table;
+
+/// How big the generated datasets are and how many random repetitions each
+/// data point is averaged over. The paper averages over "between 8 and 200
+/// random partitions"; the quick scale keeps the whole suite runnable in a few
+/// minutes while the full scale approaches the paper's sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunScale {
+    /// Rows in the source inventory table.
+    pub source_items: usize,
+    /// Rows per target table.
+    pub target_rows: usize,
+    /// Students in the Grades dataset.
+    pub grades_students: usize,
+    /// Repetitions (different seeds) averaged per data point.
+    pub repetitions: usize,
+}
+
+impl RunScale {
+    /// A small scale for smoke runs and benches.
+    pub fn quick() -> Self {
+        RunScale { source_items: 240, target_rows: 60, grades_students: 60, repetitions: 2 }
+    }
+
+    /// The full scale used to produce EXPERIMENTS.md.
+    pub fn full() -> Self {
+        RunScale { source_items: 800, target_rows: 150, grades_students: 200, repetitions: 4 }
+    }
+
+    /// Seeds used for the repetitions.
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..self.repetitions as u64).map(|i| 101 + 37 * i).collect()
+    }
+
+    /// Apply this scale to a retail configuration.
+    pub fn apply_retail(&self, mut config: RetailConfig, seed: u64) -> RetailConfig {
+        config.source_items = self.source_items;
+        config.target_rows = self.target_rows;
+        config.seed = seed;
+        config
+    }
+
+    /// Apply this scale to a grades configuration.
+    pub fn apply_grades(&self, mut config: GradesConfig, seed: u64) -> GradesConfig {
+        config.students = self.grades_students;
+        config.target_students = self.grades_students;
+        config.seed = seed;
+        config
+    }
+}
+
+/// Average FMeasure (%) of contextual matching on a retail dataset, over the
+/// scale's repetitions.
+pub fn retail_fmeasure(
+    scale: &RunScale,
+    retail: RetailConfig,
+    cm: ContextMatchConfig,
+) -> f64 {
+    let mut total = 0.0;
+    let seeds = scale.seeds();
+    for &seed in &seeds {
+        let dataset = generate_retail(&scale.apply_retail(retail, seed));
+        let config = cm.with_seed(seed ^ 0xABCD);
+        let result = ContextualMatcher::new(config)
+            .run(&dataset.source, &dataset.target)
+            .expect("generated schemas are internally consistent");
+        total += dataset.truth.f_measure_pct(&result.selected);
+    }
+    total / seeds.len() as f64
+}
+
+/// Average wall-clock runtime (seconds) of contextual matching on a retail
+/// dataset, over the scale's repetitions.
+pub fn retail_runtime(
+    scale: &RunScale,
+    retail: RetailConfig,
+    cm: ContextMatchConfig,
+) -> f64 {
+    let mut total = 0.0;
+    let seeds = scale.seeds();
+    for &seed in &seeds {
+        let dataset = generate_retail(&scale.apply_retail(retail, seed));
+        let config = cm.with_seed(seed ^ 0xABCD);
+        let start = Instant::now();
+        let _ = ContextualMatcher::new(config)
+            .run(&dataset.source, &dataset.target)
+            .expect("generated schemas are internally consistent");
+        total += start.elapsed().as_secs_f64();
+    }
+    total / seeds.len() as f64
+}
+
+/// Average accuracy (%) of `ClioQualTable` on a grades dataset, over the
+/// scale's repetitions. This is the quantity Figures 19 and 21 report.
+pub fn grades_accuracy(
+    scale: &RunScale,
+    grades: GradesConfig,
+    cm: ContextMatchConfig,
+) -> f64 {
+    let mut total = 0.0;
+    let seeds = scale.seeds();
+    for &seed in &seeds {
+        let dataset = generate_grades(&scale.apply_grades(grades, seed));
+        let config = cm.with_seed(seed ^ 0xABCD);
+        let mapping = clio_qual_table(&dataset.source, &dataset.target, config)
+            .expect("generated schemas are internally consistent");
+        total += dataset.truth.accuracy_pct(&mapping.match_result.selected);
+    }
+    total / seeds.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_core::ViewInferenceStrategy;
+
+    #[test]
+    fn scales_and_seeds() {
+        let quick = RunScale::quick();
+        let full = RunScale::full();
+        assert!(full.source_items > quick.source_items);
+        assert_eq!(quick.seeds().len(), quick.repetitions);
+        assert_ne!(quick.seeds()[0], quick.seeds()[1]);
+        let rc = quick.apply_retail(RetailConfig::default(), 5);
+        assert_eq!(rc.source_items, quick.source_items);
+        assert_eq!(rc.seed, 5);
+        let gc = quick.apply_grades(GradesConfig::default(), 7);
+        assert_eq!(gc.students, quick.grades_students);
+    }
+
+    #[test]
+    fn retail_fmeasure_is_reasonable_on_easy_settings() {
+        // A sanity check at tiny scale: the SrcClass + QualTable pipeline on
+        // default retail data should recover a substantial part of the truth.
+        let scale = RunScale { source_items: 200, target_rows: 50, grades_students: 40, repetitions: 1 };
+        let f = retail_fmeasure(
+            &scale,
+            RetailConfig::default(),
+            ContextMatchConfig::default()
+                .with_inference(ViewInferenceStrategy::SrcClass)
+                .with_early_disjuncts(false)
+                .with_tau(0.4),
+        );
+        assert!(f > 15.0, "FMeasure unexpectedly low: {f}");
+        assert!(f <= 100.0);
+    }
+
+    #[test]
+    fn retail_runtime_is_positive() {
+        let scale = RunScale { source_items: 120, target_rows: 40, grades_students: 40, repetitions: 1 };
+        let t = retail_runtime(&scale, RetailConfig::default(), ContextMatchConfig::default());
+        assert!(t > 0.0);
+    }
+}

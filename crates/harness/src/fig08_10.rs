@@ -1,0 +1,74 @@
+//! Figures 8–10: setting the improvement threshold ω.
+//!
+//! For each target schema (Aaron, Barrett, Ryan) the FMeasure of contextual
+//! matching is plotted against ω under `EarlyDisjuncts` ("disjearly") and
+//! `LateDisjuncts` ("disjlate"). The paper's observation: both curves have a
+//! plateau of good ω values, but the plateau is wider for early disjuncts —
+//! late disjuncts is more sensitive to ω.
+
+use cxm_core::{ContextMatchConfig, SelectionStrategy, ViewInferenceStrategy};
+use cxm_datagen::{RetailConfig, TargetFlavor};
+
+use crate::common::{retail_fmeasure, RunScale};
+use crate::report::{FigureReport, Series};
+
+/// The ω values swept (the paper plots 5–30).
+pub const OMEGAS: [f64; 6] = [5.0, 10.0, 15.0, 20.0, 25.0, 30.0];
+
+/// Run the ω sweep for one target flavour.
+pub fn run_for_target(flavor: TargetFlavor, scale: &RunScale) -> FigureReport {
+    let figure_number = match flavor {
+        TargetFlavor::Aaron => 8,
+        TargetFlavor::Barrett => 9,
+        TargetFlavor::Ryan => 10,
+    };
+    let mut report = FigureReport::new(
+        format!("Figure {figure_number}"),
+        format!("Setting omega for {}", flavor.name()),
+        "View Improvement Threshold",
+        "FMeasure",
+    );
+    let retail = RetailConfig { flavor, ..RetailConfig::default() };
+    for (name, early) in [("disjearly", true), ("disjlate", false)] {
+        let mut points = Vec::new();
+        for &omega in &OMEGAS {
+            let cm = ContextMatchConfig::default()
+                .with_inference(ViewInferenceStrategy::SrcClass)
+                .with_selection(SelectionStrategy::QualTable)
+                .with_early_disjuncts(early)
+                .with_omega(omega);
+            points.push((omega, retail_fmeasure(scale, retail, cm)));
+        }
+        report.push_series(Series::new(name, points));
+    }
+    report
+}
+
+/// Run Figures 8, 9 and 10 (Aaron, Barrett, Ryan).
+pub fn run(scale: &RunScale) -> Vec<FigureReport> {
+    [TargetFlavor::Aaron, TargetFlavor::Barrett, TargetFlavor::Ryan]
+        .into_iter()
+        .map(|flavor| run_for_target(flavor, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omega_sweep_produces_both_series() {
+        let scale = RunScale { source_items: 160, target_rows: 40, grades_students: 30, repetitions: 1 };
+        let report = run_for_target(TargetFlavor::Ryan, &scale);
+        assert_eq!(report.id, "Figure 10");
+        assert_eq!(report.series.len(), 2);
+        for s in &report.series {
+            assert_eq!(s.points.len(), OMEGAS.len());
+            for (_, y) in &s.points {
+                assert!(*y >= 0.0 && *y <= 100.0);
+            }
+        }
+        // At a small ω the pipeline should find something on this easy data.
+        assert!(report.series_named("disjearly").unwrap().y_at(5.0).unwrap() > 0.0);
+    }
+}

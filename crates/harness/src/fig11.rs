@@ -1,0 +1,57 @@
+//! Figure 11: strawman performance — QualTable vs MultiTable.
+//!
+//! Both selection policies run with `NaiveInfer` (the strawman's view
+//! generator) on each target schema. The paper's observation: MultiTable is
+//! consistently and significantly worse than QualTable, which is why it is
+//! dropped from the rest of the study.
+
+use cxm_core::{ContextMatchConfig, SelectionStrategy, ViewInferenceStrategy};
+use cxm_datagen::{RetailConfig, TargetFlavor};
+
+use crate::common::{retail_fmeasure, RunScale};
+use crate::report::{FigureReport, Series};
+
+/// Run Figure 11. The x axis indexes the target schema (0 = Ryan, 1 = Aaron,
+/// 2 = Barrett), matching the paper's grouped-bar layout.
+pub fn run(scale: &RunScale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "Figure 11",
+        "Strawman Performance (NaiveInfer)",
+        "Target Schema (0=Ryan,1=Aaron,2=Barrett)",
+        "FMeasure",
+    );
+    let targets = [TargetFlavor::Ryan, TargetFlavor::Aaron, TargetFlavor::Barrett];
+    for (name, selection) in
+        [("QualTable", SelectionStrategy::QualTable), ("MultiTable", SelectionStrategy::MultiTable)]
+    {
+        let mut points = Vec::new();
+        for (i, flavor) in targets.iter().enumerate() {
+            let retail = RetailConfig { flavor: *flavor, ..RetailConfig::default() };
+            let cm = ContextMatchConfig::default()
+                .with_inference(ViewInferenceStrategy::Naive)
+                .with_selection(selection)
+                .with_early_disjuncts(false);
+            points.push((i as f64, retail_fmeasure(scale, retail, cm)));
+        }
+        report.push_series(Series::new(name, points));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qual_table_beats_multi_table_on_average() {
+        let scale = RunScale { source_items: 160, target_rows: 40, grades_students: 30, repetitions: 1 };
+        let report = run(&scale);
+        assert_eq!(report.series.len(), 2);
+        let qual = report.series_named("QualTable").unwrap().mean_y();
+        let multi = report.series_named("MultiTable").unwrap().mean_y();
+        assert!(
+            qual >= multi,
+            "QualTable ({qual:.1}) should not lose to MultiTable ({multi:.1})"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Figures 14–15: varying the cardinality γ of `ItemType`.
+//!
+//! * **Figure 14** — FMeasure of `LateDisjuncts` on target Ryan as γ grows
+//!   from 2 to 10, for SrcClass / TgtClass / Naive. The paper's observation:
+//!   `LateDisjuncts` degrades with γ (its reliance on ω for disjunct size is a
+//!   weakness), while `EarlyDisjuncts` stays flat.
+//! * **Figure 15** — runtime of `EarlyDisjuncts` relative to `LateDisjuncts`
+//!   (percent) as γ grows, per target schema: early-disjunct enumeration grows
+//!   exponentially in γ while late disjuncts grows only linearly.
+
+use cxm_core::{ContextMatchConfig, ViewInferenceStrategy};
+use cxm_datagen::{RetailConfig, TargetFlavor};
+
+use crate::common::{retail_fmeasure, retail_runtime, RunScale};
+use crate::report::{FigureReport, Series};
+
+/// The γ values swept.
+pub const GAMMAS: [usize; 5] = [2, 4, 6, 8, 10];
+
+/// Figure 14: FMeasure of LateDisjuncts vs γ (target Ryan).
+pub fn run_fmeasure(scale: &RunScale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "Figure 14",
+        "FMeasure of LateDisjuncts (target Ryan)",
+        "Cardinality of Type Field",
+        "FMeasure",
+    );
+    for strategy in [
+        ViewInferenceStrategy::SrcClass,
+        ViewInferenceStrategy::TgtClass,
+        ViewInferenceStrategy::Naive,
+    ] {
+        let mut points = Vec::new();
+        for &gamma in &GAMMAS {
+            let retail =
+                RetailConfig { gamma, flavor: TargetFlavor::Ryan, ..RetailConfig::default() };
+            let cm = ContextMatchConfig::default()
+                .with_inference(strategy)
+                .with_early_disjuncts(false);
+            points.push((gamma as f64, retail_fmeasure(scale, retail, cm)));
+        }
+        report.push_series(Series::new(strategy.name(), points));
+    }
+    report
+}
+
+/// Figure 15: runtime of EarlyDisjuncts relative to LateDisjuncts (%) vs γ.
+///
+/// The enumeration-heavy `NaiveInfer` strategy is used because it exposes the
+/// exponential growth of the early-disjunct candidate space most directly.
+pub fn run_runtime(scale: &RunScale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "Figure 15",
+        "Runtime of EarlyDisjuncts relative to LateDisjuncts",
+        "Cardinality of Type Field",
+        "Time vs. LateDisjuncts (%)",
+    );
+    for flavor in TargetFlavor::ALL {
+        let mut points = Vec::new();
+        for &gamma in &GAMMAS {
+            let retail = RetailConfig { gamma, flavor, ..RetailConfig::default() };
+            let base_cm =
+                ContextMatchConfig::default().with_inference(ViewInferenceStrategy::Naive);
+            let late = retail_runtime(scale, retail, base_cm.with_early_disjuncts(false));
+            let early = retail_runtime(scale, retail, base_cm.with_early_disjuncts(true));
+            let relative = if late > 0.0 { 100.0 * early / late } else { 0.0 };
+            points.push((gamma as f64, relative));
+        }
+        report.push_series(Series::new(flavor.name(), points));
+    }
+    report
+}
+
+/// Run Figures 14 and 15.
+pub fn run(scale: &RunScale) -> Vec<FigureReport> {
+    vec![run_fmeasure(scale), run_runtime(scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_ratio_grows_with_gamma() {
+        // Restrict to a micro scale and just two γ values to keep the test fast:
+        // the early/late runtime ratio should grow as γ grows.
+        let scale = RunScale { source_items: 160, target_rows: 40, grades_students: 30, repetitions: 1 };
+        let retail_small = RetailConfig { gamma: 2, ..RetailConfig::default() };
+        let retail_large = RetailConfig { gamma: 8, ..RetailConfig::default() };
+        let base = ContextMatchConfig::default().with_inference(ViewInferenceStrategy::Naive);
+        let ratio = |retail: RetailConfig| {
+            let late = retail_runtime(&scale, retail, base.with_early_disjuncts(false));
+            let early = retail_runtime(&scale, retail, base.with_early_disjuncts(true));
+            early / late.max(1e-9)
+        };
+        let small = ratio(retail_small);
+        let large = ratio(retail_large);
+        assert!(
+            large > small,
+            "early/late runtime ratio should grow with gamma: γ=2 → {small:.2}, γ=8 → {large:.2}"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Figures 16–17: varying the schema size.
+//!
+//! `n` non-categorical padding attributes (filled with unrelated real-estate
+//! data) are added to every table, plus `n/4` categorical padding attributes
+//! to the source table. Figure 16 plots FMeasure against `n` for γ ∈ {2, 4, 6}
+//! (target Ryan, TgtClassInfer); Figure 17 plots runtime against `n` for the
+//! three inference strategies — the paper's observation being that
+//! TgtClassInfer's runtime grows much faster with schema size than
+//! SrcClassInfer's.
+
+use cxm_core::{ContextMatchConfig, ViewInferenceStrategy};
+use cxm_datagen::{RetailConfig, TargetFlavor};
+
+use crate::common::{retail_fmeasure, retail_runtime, RunScale};
+use crate::report::{FigureReport, Series};
+
+/// Numbers of attributes added per table.
+pub const EXTRA_ATTRS: [usize; 4] = [0, 10, 20, 30];
+
+/// Figure 16: scaling accuracy (target Ryan, TgtClassInfer), γ ∈ {2, 4, 6}.
+pub fn run_accuracy(scale: &RunScale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "Figure 16",
+        "Scaling accuracy (target Ryan, TgtClassInfer)",
+        "# of attrs added per table",
+        "FMeasure",
+    );
+    for gamma in [2usize, 4, 6] {
+        let mut points = Vec::new();
+        for &extra in &EXTRA_ATTRS {
+            let retail = RetailConfig {
+                gamma,
+                extra_attrs: extra,
+                flavor: TargetFlavor::Ryan,
+                ..RetailConfig::default()
+            };
+            let cm = ContextMatchConfig::default()
+                .with_inference(ViewInferenceStrategy::TgtClass)
+                .with_early_disjuncts(true);
+            points.push((extra as f64, retail_fmeasure(scale, retail, cm)));
+        }
+        report.push_series(Series::new(format!("gamma = {gamma}"), points));
+    }
+    report
+}
+
+/// Figure 17: scaling time for SrcClass / TgtClass / Naive (γ = 4, target Ryan).
+pub fn run_time(scale: &RunScale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "Figure 17",
+        "Scaling time (target Ryan)",
+        "# of attrs added per table",
+        "Time (secs)",
+    );
+    for strategy in [
+        ViewInferenceStrategy::SrcClass,
+        ViewInferenceStrategy::TgtClass,
+        ViewInferenceStrategy::Naive,
+    ] {
+        let mut points = Vec::new();
+        for &extra in &EXTRA_ATTRS {
+            let retail = RetailConfig {
+                extra_attrs: extra,
+                flavor: TargetFlavor::Ryan,
+                ..RetailConfig::default()
+            };
+            let cm = ContextMatchConfig::default()
+                .with_inference(strategy)
+                .with_early_disjuncts(true);
+            points.push((extra as f64, retail_runtime(scale, retail, cm)));
+        }
+        report.push_series(Series::new(strategy.name(), points));
+    }
+    report
+}
+
+/// Run Figures 16 and 17.
+pub fn run(scale: &RunScale) -> Vec<FigureReport> {
+    vec![run_accuracy(scale), run_time(scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tgtclass_slows_down_more_than_srcclass_as_schemas_grow() {
+        let scale = RunScale { source_items: 140, target_rows: 40, grades_students: 30, repetitions: 1 };
+        let wide = RetailConfig { extra_attrs: 16, ..RetailConfig::default() };
+        let src = retail_runtime(
+            &scale,
+            wide,
+            ContextMatchConfig::default().with_inference(ViewInferenceStrategy::SrcClass),
+        );
+        let tgt = retail_runtime(
+            &scale,
+            wide,
+            ContextMatchConfig::default().with_inference(ViewInferenceStrategy::TgtClass),
+        );
+        assert!(
+            tgt > src,
+            "TgtClassInfer ({tgt:.3}s) should be slower than SrcClassInfer ({src:.3}s) on wide schemas"
+        );
+    }
+}

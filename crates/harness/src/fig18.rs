@@ -1,0 +1,89 @@
+//! Figure 18: varying the sample size.
+//!
+//! The size of the source inventory table is swept while `TgtClassInfer` (with
+//! early disjuncts) matches against each target flavour. The paper's
+//! observation: with few tuples the candidate views are often missed, and
+//! accuracy rises as the sample grows.
+
+use cxm_core::{ContextMatchConfig, ViewInferenceStrategy};
+use cxm_datagen::{generate_retail, RetailConfig, TargetFlavor};
+use cxm_core::ContextualMatcher;
+
+use crate::common::RunScale;
+use crate::report::{FigureReport, Series};
+
+/// The inventory-table sizes swept (the paper goes to 1600).
+pub const SIZES: [usize; 5] = [100, 200, 400, 800, 1600];
+
+/// Run Figure 18.
+pub fn run(scale: &RunScale) -> FigureReport {
+    let mut report = FigureReport::new(
+        "Figure 18",
+        "TgtClassInfer, varying size",
+        "Size of Inventory Table",
+        "FMeasure",
+    );
+    for flavor in TargetFlavor::ALL {
+        let mut points = Vec::new();
+        for &size in &SIZES {
+            let mut total = 0.0;
+            let seeds = scale.seeds();
+            for &seed in &seeds {
+                let retail = RetailConfig {
+                    flavor,
+                    source_items: size,
+                    target_rows: scale.target_rows,
+                    seed,
+                    ..RetailConfig::default()
+                };
+                let dataset = generate_retail(&retail);
+                let cm = ContextMatchConfig::default()
+                    .with_inference(ViewInferenceStrategy::TgtClass)
+                    .with_early_disjuncts(true)
+                    .with_seed(seed ^ 0xABCD);
+                let result = ContextualMatcher::new(cm)
+                    .run(&dataset.source, &dataset.target)
+                    .expect("generated schemas are internally consistent");
+                total += dataset.truth.f_measure_pct(&result.selected);
+            }
+            points.push((size as f64, total / seeds.len() as f64));
+        }
+        report.push_series(Series::new(flavor.name(), points));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_datagen::generate_retail;
+
+    #[test]
+    fn larger_samples_do_not_hurt_accuracy_much() {
+        // Single flavour, two sizes, one repetition — a smoke test of the sweep
+        // machinery rather than the full figure.
+        let seeds = [7u64];
+        let f_at = |size: usize| {
+            let mut total = 0.0;
+            for &seed in &seeds {
+                let dataset = generate_retail(&RetailConfig {
+                    source_items: size,
+                    target_rows: 40,
+                    seed,
+                    ..RetailConfig::default()
+                });
+                let cm = ContextMatchConfig::default()
+                    .with_inference(ViewInferenceStrategy::SrcClass)
+                    .with_seed(seed);
+                let result = ContextualMatcher::new(cm)
+                    .run(&dataset.source, &dataset.target)
+                    .unwrap();
+                total += dataset.truth.f_measure_pct(&result.selected);
+            }
+            total / seeds.len() as f64
+        };
+        let small = f_at(80);
+        let large = f_at(400);
+        assert!(large + 20.0 >= small, "accuracy collapsed with more data: {small} → {large}");
+    }
+}

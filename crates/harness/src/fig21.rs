@@ -1,0 +1,62 @@
+//! Figure 21: Grades sensitivity to τ.
+//!
+//! Unlike the Inventory data, the Grades matches are tenuous (numeric columns
+//! with overlapping ranges), so raising τ above ~0.65 prunes the prototype
+//! matches the contextual machinery needs and accuracy collapses. The figure
+//! plots accuracy against τ for several σ values.
+
+use cxm_core::{ContextMatchConfig, ViewInferenceStrategy};
+use cxm_datagen::GradesConfig;
+
+use crate::common::{grades_accuracy, RunScale};
+use crate::report::{FigureReport, Series};
+
+/// The τ values swept.
+pub const TAUS: [f64; 6] = [0.1, 0.3, 0.5, 0.65, 0.8, 0.95];
+
+/// The σ values for which a series is plotted (the paper shows 10, 20, 30, 35).
+pub const SIGMAS: [f64; 4] = [10.0, 20.0, 30.0, 35.0];
+
+/// Run Figure 21.
+pub fn run(scale: &RunScale) -> FigureReport {
+    let mut report =
+        FigureReport::new("Figure 21", "Grades sensitivity to tau", "Tau", "% Accuracy");
+    for &sigma in &SIGMAS {
+        let mut points = Vec::new();
+        for &tau in &TAUS {
+            let grades = GradesConfig { sigma, ..GradesConfig::default() };
+            let cm = ContextMatchConfig::default()
+                .with_inference(ViewInferenceStrategy::SrcClass)
+                .with_early_disjuncts(false)
+                .with_omega(1.0)
+                .with_tau(tau);
+            points.push((tau, grades_accuracy(scale, grades, cm)));
+        }
+        report.push_series(Series::new(format!("{sigma:.0}"), points));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn very_high_tau_hurts_grades_accuracy() {
+        let scale = RunScale { source_items: 100, target_rows: 40, grades_students: 60, repetitions: 1 };
+        let grades = GradesConfig { sigma: 10.0, ..GradesConfig::default() };
+        let cm = |tau: f64| {
+            ContextMatchConfig::default()
+                .with_inference(ViewInferenceStrategy::SrcClass)
+                .with_early_disjuncts(false)
+                .with_omega(1.0)
+                .with_tau(tau)
+        };
+        let moderate = grades_accuracy(&scale, grades, cm(0.3));
+        let extreme = grades_accuracy(&scale, grades, cm(0.98));
+        assert!(
+            moderate >= extreme,
+            "accuracy should not improve when tau prunes everything: {moderate} vs {extreme}"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! # cxm-harness
+//!
+//! The experiment harness that regenerates every evaluation figure of
+//! *Putting Context into Schema Matching* (Bohannon et al., VLDB 2006, §5).
+//!
+//! Each `figNN` module reproduces one figure (or a pair of figures sharing a
+//! sweep) and returns a [`report::FigureReport`] — the same series the paper
+//! plots, printed as aligned text and CSV. The absolute numbers differ from
+//! the paper (synthetic data, different matcher implementation, different
+//! hardware), but the comparisons the paper draws — which algorithm wins,
+//! how sensitive each policy is to ω/τ/γ/ρ/σ, where runtime blows up — are
+//! reproduced.
+//!
+//! | Figure | Module | What varies |
+//! |--------|--------|-------------|
+//! | 8–10   | [`fig08_10`] | improvement threshold ω, Early vs Late disjuncts, per target schema |
+//! | 11     | [`fig11`] | QualTable vs MultiTable (strawman), NaiveInfer |
+//! | 12–13  | [`fig12_13`] | correlation ρ of 3 extra categorical attributes |
+//! | 14–15  | [`fig14_15`] | ItemType cardinality γ (accuracy and runtime) |
+//! | 16–17  | [`fig16_17`] | schema size (attributes added per table) |
+//! | 18     | [`fig18`] | source sample size |
+//! | 19     | [`fig19`] | Grades σ with ClioQualTable |
+//! | 20, 22 | [`fig20_22`] | pruning threshold τ on Inventory (accuracy, runtime) |
+//! | 21     | [`fig21`] | pruning threshold τ on Grades |
+
+pub mod common;
+pub mod fig08_10;
+pub mod fig11;
+pub mod fig12_13;
+pub mod fig14_15;
+pub mod fig16_17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20_22;
+pub mod fig21;
+pub mod report;
+
+pub use common::{grades_accuracy, retail_fmeasure, retail_runtime, RunScale};
+pub use report::{FigureReport, Series};
+
+/// Run every figure at the given scale, returning the reports in figure order.
+pub fn run_all(scale: &RunScale) -> Vec<FigureReport> {
+    let mut reports = Vec::new();
+    reports.extend(fig08_10::run(scale));
+    reports.push(fig11::run(scale));
+    reports.extend(fig12_13::run(scale));
+    reports.extend(fig14_15::run(scale));
+    reports.extend(fig16_17::run(scale));
+    reports.push(fig18::run(scale));
+    reports.push(fig19::run(scale));
+    reports.extend(fig20_22::run(scale));
+    reports.push(fig21::run(scale));
+    reports
+}
+
+/// Run a single figure by its number ("8", "12", "22", …). Figures generated
+/// jointly (8–10, 12–13, 14–15, 16–17, 20+22) return the full group.
+pub fn run_figure(figure: &str, scale: &RunScale) -> Option<Vec<FigureReport>> {
+    match figure {
+        "8" | "9" | "10" => Some(fig08_10::run(scale)),
+        "11" => Some(vec![fig11::run(scale)]),
+        "12" | "13" => Some(fig12_13::run(scale)),
+        "14" | "15" => Some(fig14_15::run(scale)),
+        "16" | "17" => Some(fig16_17::run(scale)),
+        "18" => Some(vec![fig18::run(scale)]),
+        "19" => Some(vec![fig19::run(scale)]),
+        "20" | "22" => Some(fig20_22::run(scale)),
+        "21" => Some(vec![fig21::run(scale)]),
+        _ => None,
+    }
+}

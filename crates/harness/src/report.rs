@@ -1,0 +1,161 @@
+//! Figure reports: named series of (x, y) points, printable as text and CSV.
+
+use std::fmt;
+
+/// One plotted series (a line in the paper's figures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series label (e.g. "disjearly", "SrcClass", "Aaron").
+    pub name: String,
+    /// (x, y) points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.into(), points }
+    }
+
+    /// The y value at a given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| (px - x).abs() < 1e-9).map(|(_, y)| *y)
+    }
+
+    /// Mean of the y values (used by summary assertions in tests).
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|(_, y)| y).sum::<f64>() / self.points.len() as f64
+        }
+    }
+}
+
+/// A reproduced figure: metadata plus its series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureReport {
+    /// Figure identifier, e.g. "Figure 12".
+    pub id: String,
+    /// Title matching the paper's caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl FigureReport {
+    /// Create an empty report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureReport {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Look up a series by name.
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// All x values appearing in any series, sorted and deduplicated.
+    pub fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Render as CSV: header `x,<series...>`, one row per x value.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{},{}\n",
+            self.x_label.replace(',', ";"),
+            self.series.iter().map(|s| s.name.replace(',', ";")).collect::<Vec<_>>().join(",")
+        ));
+        for x in self.x_values() {
+            let mut row = vec![format!("{x}")];
+            for s in &self.series {
+                row.push(s.y_at(x).map(|y| format!("{y:.2}")).unwrap_or_default());
+            }
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for FigureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {}: {} ===", self.id, self.title)?;
+        writeln!(f, "    [{} vs {}]", self.y_label, self.x_label)?;
+        write!(f, "{:>10}", self.x_label.chars().take(10).collect::<String>())?;
+        for s in &self.series {
+            write!(f, "{:>14}", s.name.chars().take(14).collect::<String>())?;
+        }
+        writeln!(f)?;
+        for x in self.x_values() {
+            write!(f, "{x:>10.2}")?;
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => write!(f, "{y:>14.2}")?,
+                    None => write!(f, "{:>14}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureReport {
+        let mut r = FigureReport::new("Figure 99", "Test", "x", "FMeasure");
+        r.push_series(Series::new("a", vec![(1.0, 80.0), (2.0, 90.0)]));
+        r.push_series(Series::new("b", vec![(1.0, 70.0)]));
+        r
+    }
+
+    #[test]
+    fn series_lookups() {
+        let r = sample();
+        assert_eq!(r.series_named("a").unwrap().y_at(2.0), Some(90.0));
+        assert_eq!(r.series_named("b").unwrap().y_at(2.0), None);
+        assert!(r.series_named("c").is_none());
+        assert_eq!(r.x_values(), vec![1.0, 2.0]);
+        assert!((r.series_named("a").unwrap().mean_y() - 85.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_and_display_render() {
+        let r = sample();
+        let csv = r.to_csv();
+        assert!(csv.starts_with("x,a,b\n"));
+        assert!(csv.contains("1,80.00,70.00"));
+        assert!(csv.contains("2,90.00,"));
+        let text = r.to_string();
+        assert!(text.contains("Figure 99"));
+        assert!(text.contains("80.00"));
+        assert!(text.contains("-"));
+    }
+}

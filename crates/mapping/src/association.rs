@@ -1,0 +1,361 @@
+//! Semantic association of attributes: logical tables and join rules (§4.3).
+//!
+//! Clio groups attributes that should be mapped together into *logical tables*
+//! by (a) putting attributes of the same relation together and (b) outer
+//! joining relations along foreign keys. Contextual matches introduce views,
+//! and views need three further join rules:
+//!
+//! * **(join 1)** — two views over the *same attributes* of the same base
+//!   table with different single-value conditions on the same attribute,
+//!   each with a propagated key `Vi[X] → Vi` and a (contextual) foreign key,
+//!   are joined on the key `X` (different properties of the same object, e.g.
+//!   the per-assignment grade views of Example 4.3).
+//! * **(join 2)** — two views over *different attributes* of the same base
+//!   table with the *same* condition are joined on a shared key `X`.
+//! * **(join 3)** — a contextual foreign key `V1[Y, a = v] ⊆ R[X, b]` induces
+//!   an outer join from `V1` to `R` on `Y = X` (with `b = v`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cxm_relational::{ConstraintSet, ViewDef};
+
+/// Which rule produced a join edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinRule {
+    /// Clio's base rule: outer join along a foreign key.
+    ForeignKey,
+    /// The paper's (join 1): sibling views over the same attributes.
+    Join1,
+    /// The paper's (join 2): views over different attributes, same condition.
+    Join2,
+    /// The paper's (join 3): join induced by a contextual foreign key.
+    Join3,
+}
+
+/// An equi-join edge between two relations (base tables or views) of a logical
+/// table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Left relation name.
+    pub left: String,
+    /// Right relation name.
+    pub right: String,
+    /// Join attributes of the left relation.
+    pub left_attrs: Vec<String>,
+    /// Join attributes of the right relation (positionally paired).
+    pub right_attrs: Vec<String>,
+    /// The rule that justified the edge.
+    pub rule: JoinRule,
+}
+
+impl fmt::Display for JoinEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] ⋈ {}[{}] ({:?})",
+            self.left,
+            self.left_attrs.join(","),
+            self.right,
+            self.right_attrs.join(","),
+            self.rule
+        )
+    }
+}
+
+/// A logical table: a set of relations plus the join edges that connect them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogicalTable {
+    /// Member relations (views or base tables), in insertion order.
+    pub members: Vec<String>,
+    /// Join edges between members.
+    pub edges: Vec<JoinEdge>,
+}
+
+impl LogicalTable {
+    /// True when the logical table has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Edges incident to the given member.
+    pub fn edges_of(&self, member: &str) -> Vec<&JoinEdge> {
+        self.edges.iter().filter(|e| e.left == member || e.right == member).collect()
+    }
+
+    /// Order the members so that (after the first) every member is connected by
+    /// some edge to an earlier one; disconnected members come last. This is the
+    /// order the executor joins them in.
+    pub fn join_order(&self) -> Vec<String> {
+        let mut ordered: Vec<String> = Vec::new();
+        let mut remaining: Vec<String> = self.members.clone();
+        while !remaining.is_empty() {
+            let next_idx = if ordered.is_empty() {
+                0
+            } else {
+                remaining
+                    .iter()
+                    .position(|m| {
+                        self.edges.iter().any(|e| {
+                            (e.left == *m && ordered.contains(&e.right))
+                                || (e.right == *m && ordered.contains(&e.left))
+                        })
+                    })
+                    .unwrap_or(0)
+            };
+            ordered.push(remaining.remove(next_idx));
+        }
+        ordered
+    }
+}
+
+/// Build the logical table for one target table: the member relations are the
+/// sources of the value correspondences targeting it, and edges are added by
+/// Clio's foreign-key rule plus (join 1) / (join 2) / (join 3).
+pub fn associate(
+    relations: &[String],
+    views: &[ViewDef],
+    constraints: &ConstraintSet,
+) -> LogicalTable {
+    let members: Vec<String> = {
+        let mut seen = BTreeSet::new();
+        relations.iter().filter(|r| seen.insert((*r).clone())).cloned().collect()
+    };
+    let mut table = LogicalTable { members: members.clone(), edges: Vec::new() };
+    let view_of = |name: &str| views.iter().find(|v| v.name == name);
+
+    for (i, a) in members.iter().enumerate() {
+        for b in members.iter().skip(i + 1) {
+            // Clio rule: foreign key between the two relations (either direction).
+            for fk in &constraints.foreign_keys {
+                if (fk.child_table == *a && fk.parent_table == *b)
+                    || (fk.child_table == *b && fk.parent_table == *a)
+                {
+                    table.edges.push(JoinEdge {
+                        left: fk.child_table.clone(),
+                        right: fk.parent_table.clone(),
+                        left_attrs: fk.child_attrs.clone(),
+                        right_attrs: fk.parent_attrs.clone(),
+                        rule: JoinRule::ForeignKey,
+                    });
+                }
+            }
+
+            // (join 3): contextual FK from one member view to another member relation.
+            for cfk in &constraints.contextual_fks {
+                if (cfk.view == *a && cfk.parent_table == *b)
+                    || (cfk.view == *b && cfk.parent_table == *a)
+                {
+                    table.edges.push(JoinEdge {
+                        left: cfk.view.clone(),
+                        right: cfk.parent_table.clone(),
+                        left_attrs: cfk.view_attrs.clone(),
+                        right_attrs: cfk.parent_attrs.clone(),
+                        rule: JoinRule::Join3,
+                    });
+                }
+            }
+
+            // (join 1) / (join 2): both members are views over the same base table.
+            let (Some(va), Some(vb)) = (view_of(a), view_of(b)) else { continue };
+            if va.base_table != vb.base_table {
+                continue;
+            }
+            let Some(shared_key) = shared_view_key(va, vb, constraints) else { continue };
+            let has_cfk = |v: &ViewDef| {
+                !constraints.contextual_fks_from(&v.name).is_empty()
+                    || !constraints.foreign_keys_from(&v.name).is_empty()
+            };
+            if !(has_cfk(va) && has_cfk(vb)) {
+                continue;
+            }
+            let ca = va.condition.single_equality();
+            let cb = vb.condition.single_equality();
+            let same_projection = va.projection == vb.projection;
+            let rule = match (ca, cb) {
+                // (join 1): same attributes, different values of the same attribute.
+                (Some((aa, avv)), Some((ab, bvv)))
+                    if same_projection && aa.eq_ignore_ascii_case(ab) && avv != bvv =>
+                {
+                    Some(JoinRule::Join1)
+                }
+                // (join 2): different attribute sets, identical condition.
+                (Some((aa, avv)), Some((ab, bvv)))
+                    if !same_projection && aa.eq_ignore_ascii_case(ab) && avv == bvv =>
+                {
+                    Some(JoinRule::Join2)
+                }
+                _ => None,
+            };
+            if let Some(rule) = rule {
+                table.edges.push(JoinEdge {
+                    left: va.name.clone(),
+                    right: vb.name.clone(),
+                    left_attrs: shared_key.clone(),
+                    right_attrs: shared_key,
+                    rule,
+                });
+            }
+        }
+    }
+    table
+}
+
+/// A key shared by both views (propagated keys `Vi[X] → Vi` with the same `X`).
+fn shared_view_key(a: &ViewDef, b: &ViewDef, constraints: &ConstraintSet) -> Option<Vec<String>> {
+    for ka in constraints.keys_of(&a.name) {
+        for kb in constraints.keys_of(&b.name) {
+            if ka.attributes.len() == kb.attributes.len()
+                && ka
+                    .attributes
+                    .iter()
+                    .zip(&kb.attributes)
+                    .all(|(x, y)| x.eq_ignore_ascii_case(y))
+            {
+                return Some(ka.attributes.clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_relational::{Condition, ContextualForeignKey, ForeignKey, Key, Value};
+
+    fn grade_view(i: i64) -> ViewDef {
+        ViewDef::select_project(
+            format!("V{i}"),
+            "project",
+            Condition::eq("assignt", i),
+            vec!["name".into(), "grade".into()],
+        )
+    }
+
+    fn instructor_view(i: i64) -> ViewDef {
+        ViewDef::select_project(
+            format!("U{i}"),
+            "project",
+            Condition::eq("assignt", i),
+            vec!["name".into(), "instructor".into()],
+        )
+    }
+
+    fn grades_constraints(n: i64) -> ConstraintSet {
+        let mut cs = ConstraintSet::new();
+        for i in 0..n {
+            cs.add_key(Key::new(format!("V{i}"), vec!["name"]));
+            cs.add_contextual_fk(
+                ContextualForeignKey::new(
+                    format!("V{i}"),
+                    vec!["name"],
+                    "assignt",
+                    Value::Int(i),
+                    "project",
+                    vec!["name"],
+                    "assignt",
+                )
+                .unwrap(),
+            );
+        }
+        cs
+    }
+
+    #[test]
+    fn join1_connects_sibling_grade_views() {
+        // Example 4.3/4.4: the per-assignment views join pairwise on name.
+        let views: Vec<ViewDef> = (0..3).map(grade_view).collect();
+        let names: Vec<String> = views.iter().map(|v| v.name.clone()).collect();
+        let cs = grades_constraints(3);
+        let lt = associate(&names, &views, &cs);
+        assert_eq!(lt.members.len(), 3);
+        let join1_edges: Vec<_> = lt.edges.iter().filter(|e| e.rule == JoinRule::Join1).collect();
+        assert_eq!(join1_edges.len(), 3, "three pairs of views: {:?}", lt.edges);
+        assert!(join1_edges.iter().all(|e| e.left_attrs == vec!["name".to_string()]));
+        // Join order visits connected members consecutively.
+        assert_eq!(lt.join_order().len(), 3);
+    }
+
+    #[test]
+    fn join2_connects_views_on_different_attributes_same_condition() {
+        // Example 4.5: Vi and Ui join on name; Vi and Uj (i≠j) must not.
+        let views = vec![grade_view(0), instructor_view(0), instructor_view(1)];
+        let names: Vec<String> = views.iter().map(|v| v.name.clone()).collect();
+        let mut cs = grades_constraints(1);
+        cs.add_key(Key::new("U0", vec!["name"]));
+        cs.add_key(Key::new("U1", vec!["name"]));
+        for i in 0..2 {
+            cs.add_contextual_fk(
+                ContextualForeignKey::new(
+                    format!("U{i}"),
+                    vec!["name"],
+                    "assignt",
+                    Value::Int(i),
+                    "project",
+                    vec!["name"],
+                    "assignt",
+                )
+                .unwrap(),
+            );
+        }
+        let lt = associate(&names, &views, &cs);
+        let join2: Vec<_> = lt
+            .edges
+            .iter()
+            .filter(|e| e.rule == JoinRule::Join2)
+            .map(|e| (e.left.clone(), e.right.clone()))
+            .collect();
+        assert!(join2.contains(&("V0".to_string(), "U0".to_string())));
+        assert!(!join2.iter().any(|(l, r)| (l == "V0" && r == "U1") || (l == "U1" && r == "V0")));
+    }
+
+    #[test]
+    fn join3_uses_contextual_fk_to_base_table() {
+        let views = vec![grade_view(0)];
+        let names = vec!["V0".to_string(), "project".to_string()];
+        let cs = grades_constraints(1);
+        let lt = associate(&names, &views, &cs);
+        assert!(lt.edges.iter().any(|e| e.rule == JoinRule::Join3
+            && e.left == "V0"
+            && e.right == "project"));
+    }
+
+    #[test]
+    fn foreign_key_rule_connects_base_tables() {
+        let mut cs = ConstraintSet::new();
+        cs.add_key(Key::new("student", vec!["name"]));
+        cs.add_foreign_key(
+            ForeignKey::new("project", vec!["name"], "student", vec!["name"]).unwrap(),
+        );
+        let lt = associate(
+            &["project".to_string(), "student".to_string()],
+            &[],
+            &cs,
+        );
+        assert_eq!(lt.edges.len(), 1);
+        assert_eq!(lt.edges[0].rule, JoinRule::ForeignKey);
+        assert_eq!(lt.edges_of("student").len(), 1);
+    }
+
+    #[test]
+    fn views_without_propagated_keys_do_not_join() {
+        let views: Vec<ViewDef> = (0..2).map(grade_view).collect();
+        let names: Vec<String> = views.iter().map(|v| v.name.clone()).collect();
+        // No keys and no contextual FKs → no join-1 edges.
+        let lt = associate(&names, &views, &ConstraintSet::new());
+        assert!(lt.edges.is_empty());
+        assert_eq!(lt.members.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_relations_are_deduplicated() {
+        let lt = associate(
+            &["a".to_string(), "a".to_string(), "b".to_string()],
+            &[],
+            &ConstraintSet::new(),
+        );
+        assert_eq!(lt.members, vec!["a".to_string(), "b".to_string()]);
+        assert!(!lt.is_empty());
+    }
+}

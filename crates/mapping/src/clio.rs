@@ -1,0 +1,206 @@
+//! `ClioQualTable` — contextual matching plus the extended mapping generator.
+//!
+//! §5.7: "we implement ClioQualTable, which modifies QualTable to include the
+//! join rules discussed in Section 4.3. Keys are inferred based on sample
+//! data." This module wires the whole pipeline together:
+//!
+//! 1. run `ContextMatch` with `QualTable` selection,
+//! 2. treat the selected contextual matches as value correspondences from
+//!    inferred views,
+//! 3. mine keys / foreign keys on base tables, mine and propagate constraints
+//!    onto the inferred views,
+//! 4. build one logical table per target table with the association rules
+//!    (including join 1–3),
+//! 5. generate and execute the mapping queries, materializing a target
+//!    instance from the source sample.
+//!
+//! The Grades experiments (Figures 19 and 21) call this entry point.
+
+use std::collections::BTreeMap;
+
+use cxm_core::{ContextMatchConfig, ContextMatchResult, ContextualMatcher, SelectionStrategy};
+use cxm_relational::{ConstraintSet, Database, Result, ViewDef};
+
+use crate::association::associate;
+use crate::execute::execute_mapping;
+use crate::mining::{mine_constraints, mine_view_constraints, MiningConfig};
+use crate::propagation::propagate_constraints;
+use crate::query::{MappingQuery, ValueCorrespondence};
+
+/// Everything produced by a `ClioQualTable` run.
+#[derive(Debug)]
+pub struct ClioMapping {
+    /// The contextual match result (selected matches, candidates, views, …).
+    pub match_result: ContextMatchResult,
+    /// The view definitions backing the selected contextual matches.
+    pub views: Vec<ViewDef>,
+    /// Constraints: declared/mined on base tables plus mined/propagated on views.
+    pub constraints: ConstraintSet,
+    /// One mapping query per target table that received correspondences.
+    pub queries: Vec<MappingQuery>,
+    /// The materialized target instance produced by executing the queries on
+    /// the source sample.
+    pub target_instance: Database,
+}
+
+impl ClioMapping {
+    /// The mapping query for a particular target table, if one was generated.
+    pub fn query_for(&self, target_table: &str) -> Option<&MappingQuery> {
+        self.queries.iter().find(|q| q.target_table == target_table)
+    }
+}
+
+/// Run the full `ClioQualTable` pipeline.
+pub fn clio_qual_table(
+    source: &Database,
+    target: &Database,
+    config: ContextMatchConfig,
+) -> Result<ClioMapping> {
+    // ClioQualTable is QualTable by definition.
+    let config = config.with_selection(SelectionStrategy::QualTable);
+    let match_result = ContextualMatcher::new(config).run(source, target)?;
+    let views: Vec<ViewDef> =
+        match_result.selected_view_defs().into_iter().cloned().collect();
+
+    // Constraints: base tables first, then mined and propagated view constraints.
+    let mining = MiningConfig::default();
+    let mut constraints = mine_constraints(source, &mining);
+    let view_mined = mine_view_constraints(source, &views, &constraints, &mining);
+    constraints.extend(view_mined);
+    let propagated = propagate_constraints(source, &views, &constraints);
+    constraints.extend(propagated);
+
+    // One mapping query per target table with correspondences.
+    let mut queries = Vec::new();
+    let mut target_instance = Database::new(format!("{}#mapped", target.name()));
+    for target_table in target.tables() {
+        // Best correspondence per target attribute (QualTable can emit several
+        // views mapping onto the same target attribute under LateDisjuncts).
+        let mut best: BTreeMap<String, &cxm_matching::Match> = BTreeMap::new();
+        for m in match_result
+            .selected
+            .iter()
+            .filter(|m| m.target.table == target_table.name())
+        {
+            let key = m.target.attribute.to_ascii_lowercase();
+            match best.get(&key) {
+                Some(existing) if existing.confidence >= m.confidence => {}
+                _ => {
+                    best.insert(key, m);
+                }
+            }
+        }
+        if best.is_empty() {
+            continue;
+        }
+        let relations: Vec<String> = {
+            let mut names: Vec<String> = best.values().map(|m| m.source.table.clone()).collect();
+            names.sort();
+            names.dedup();
+            names
+        };
+        let correspondences: Vec<ValueCorrespondence> = best
+            .values()
+            .map(|m| ValueCorrespondence::new(m.source.clone(), m.target.clone()))
+            .collect();
+        let logical = associate(&relations, &views, &constraints);
+        let query = MappingQuery::new(target_table.name(), logical, correspondences);
+        let instance = execute_mapping(source, &views, &query, target_table.schema())?;
+        target_instance.replace_table(instance);
+        queries.push(query);
+    }
+
+    Ok(ClioMapping { match_result, views, constraints, queries, target_instance })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_core::ViewInferenceStrategy;
+    use cxm_relational::{Attribute, Table, TableSchema, Tuple, Value};
+
+    /// Grades-style databases: a narrow source (name, examNum, grade) and a
+    /// wide target (name, grade0..grade2) with *different* students but the
+    /// same per-exam grade distributions (mean 40 + 10·exam, small spread).
+    fn grades_pair(n_students: usize) -> (Database, Database) {
+        let narrow_schema = TableSchema::new(
+            "grades",
+            vec![Attribute::text("name"), Attribute::int("examNum"), Attribute::float("grade")],
+        );
+        let mut narrow_rows = Vec::new();
+        for s in 0..n_students {
+            for exam in 0..3i64 {
+                // Continuous grades (fractional part varies per student) so the
+                // grade column is non-categorical, as real score data would be.
+                let grade = 40.0 + 10.0 * exam as f64 + (s % 7) as f64 - 3.0 + s as f64 * 0.013;
+                narrow_rows.push(Tuple::new(vec![
+                    Value::str(format!("student{s:03}")),
+                    Value::from(exam),
+                    Value::Float(grade),
+                ]));
+            }
+        }
+        let source = Database::new("RS")
+            .with_table(Table::with_rows(narrow_schema, narrow_rows).unwrap());
+
+        let wide_schema = TableSchema::new(
+            "grades_wide",
+            vec![
+                Attribute::text("name"),
+                Attribute::float("grade0"),
+                Attribute::float("grade1"),
+                Attribute::float("grade2"),
+            ],
+        );
+        let mut wide_rows = Vec::new();
+        for s in 0..n_students {
+            let base = (s % 5) as f64 - 2.0;
+            wide_rows.push(Tuple::new(vec![
+                Value::str(format!("pupil{s:03}")),
+                Value::Float(40.0 + base),
+                Value::Float(50.0 + base),
+                Value::Float(60.0 + base),
+            ]));
+        }
+        let target = Database::new("RT")
+            .with_table(Table::with_rows(wide_schema, wide_rows).unwrap());
+        (source, target)
+    }
+
+    #[test]
+    fn clio_qual_table_performs_attribute_normalization() {
+        let (source, target) = grades_pair(40);
+        let config = ContextMatchConfig::default()
+            .with_inference(ViewInferenceStrategy::SrcClass)
+            .with_early_disjuncts(false)
+            .with_tau(0.3)
+            .with_omega(1.0);
+        let mapping = clio_qual_table(&source, &target, config).unwrap();
+
+        // Views on examNum should have been selected.
+        assert!(!mapping.views.is_empty(), "no views selected: {:?}", mapping.match_result.selected);
+        assert!(mapping.views.iter().all(|v| v.base_table == "grades"));
+
+        // A mapping query for the wide table exists and joins the views.
+        let query = mapping.query_for("grades_wide").expect("query for grades_wide");
+        assert!(!query.correspondences.is_empty());
+
+        // The materialized wide instance has one row per student of the source
+        // (when every exam view was found), each with the student's name.
+        let wide = mapping.target_instance.table("grades_wide").expect("materialized instance");
+        assert!(!wide.is_empty());
+        assert!(wide.len() <= 40);
+        let names = wide.column("name").unwrap();
+        assert!(names.iter().all(|v| v.as_text().starts_with("student")));
+    }
+
+    #[test]
+    fn clio_qual_table_on_empty_source_is_empty() {
+        let (_, target) = grades_pair(10);
+        let mapping =
+            clio_qual_table(&Database::new("RS"), &target, ContextMatchConfig::default()).unwrap();
+        assert!(mapping.queries.is_empty());
+        assert!(mapping.views.is_empty());
+        assert!(mapping.target_instance.is_empty());
+    }
+}

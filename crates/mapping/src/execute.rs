@@ -1,0 +1,356 @@
+//! Executing mapping queries over a source instance.
+//!
+//! The executor materializes the logical table (full outer joins along the
+//! association edges, in [`LogicalTable::join_order`]), then produces one
+//! target tuple per joined row by following the value correspondences and
+//! Skolemizing uncovered target attributes.
+
+use std::collections::BTreeMap;
+
+use cxm_relational::{Attribute, Database, DataType, Result, Table, TableSchema, Tuple, Value, ViewDef};
+
+use crate::association::LogicalTable;
+use crate::query::MappingQuery;
+use crate::skolem::SkolemGenerator;
+
+/// Materialize the relations participating in a logical table: base tables are
+/// taken from the source instance, views are evaluated against it.
+fn materialize_members(
+    source: &Database,
+    views: &[ViewDef],
+    logical: &LogicalTable,
+) -> Result<BTreeMap<String, Table>> {
+    let mut out = BTreeMap::new();
+    for member in &logical.members {
+        let instance = if let Some(view) = views.iter().find(|v| v.name == *member) {
+            view.evaluate(source)?
+        } else {
+            source.require_table(member)?.clone()
+        };
+        out.insert(member.clone(), instance);
+    }
+    Ok(out)
+}
+
+/// A joined intermediate relation whose attribute names are fully qualified
+/// (`relation.attribute`).
+fn qualify(table: &Table) -> Table {
+    let attrs: Vec<Attribute> = table
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| Attribute::new(format!("{}.{}", table.name(), a.name), a.data_type))
+        .collect();
+    let schema = TableSchema::new(table.name(), attrs);
+    Table::with_rows(schema, table.rows().to_vec()).expect("arity unchanged by qualification")
+}
+
+/// Full outer join of two qualified tables on positionally paired attributes.
+fn full_outer_join(
+    left: &Table,
+    right: &Table,
+    left_attrs: &[String],
+    right_attrs: &[String],
+) -> Table {
+    let mut attrs: Vec<Attribute> = left.schema().attributes().to_vec();
+    attrs.extend(right.schema().attributes().iter().cloned());
+    let schema = TableSchema::new(left.name(), attrs);
+    let mut joined = Table::new(schema);
+
+    let left_pos: Vec<Option<usize>> = left_attrs.iter().map(|a| left.schema().index_of(a)).collect();
+    let right_pos: Vec<Option<usize>> =
+        right_attrs.iter().map(|a| right.schema().index_of(a)).collect();
+    let key_of = |row: &Tuple, pos: &[Option<usize>]| -> Option<Vec<Value>> {
+        pos.iter()
+            .map(|p| p.map(|i| row.at(i).clone()))
+            .collect::<Option<Vec<Value>>>()
+    };
+
+    let mut right_matched = vec![false; right.len()];
+    for lrow in left.rows() {
+        let lkey = key_of(lrow, &left_pos);
+        let mut matched = false;
+        if let Some(lkey) = &lkey {
+            for (ri, rrow) in right.rows().iter().enumerate() {
+                if key_of(rrow, &right_pos).as_ref() == Some(lkey)
+                    && !lkey.iter().any(|v| v.is_null())
+                {
+                    joined
+                        .insert(lrow.concat(rrow))
+                        .expect("schema arity equals concatenated arity");
+                    right_matched[ri] = true;
+                    matched = true;
+                }
+            }
+        }
+        if !matched {
+            let padding = Tuple::new(vec![Value::Null; right.schema().arity()]);
+            joined.insert(lrow.concat(&padding)).expect("padded arity matches");
+        }
+    }
+    // Right tuples with no partner.
+    for (ri, rrow) in right.rows().iter().enumerate() {
+        if !right_matched[ri] {
+            let padding = Tuple::new(vec![Value::Null; left.schema().arity()]);
+            joined.insert(padding.concat(rrow)).expect("padded arity matches");
+        }
+    }
+    joined
+}
+
+/// Materialize the logical table as a single joined, fully qualified relation.
+pub fn materialize_logical_table(
+    source: &Database,
+    views: &[ViewDef],
+    logical: &LogicalTable,
+) -> Result<Table> {
+    let members = materialize_members(source, views, logical)?;
+    let order = logical.join_order();
+    let mut iter = order.iter();
+    let Some(first) = iter.next() else {
+        return Ok(Table::new(TableSchema::new("empty", vec![])));
+    };
+    let mut joined = qualify(&members[first]);
+    let mut included = vec![first.clone()];
+    for member in iter {
+        let right = qualify(&members[member]);
+        // Find an edge connecting this member to one already included.
+        let edge = logical.edges.iter().find(|e| {
+            (e.right == *member && included.contains(&e.left))
+                || (e.left == *member && included.contains(&e.right))
+        });
+        let (left_attrs, right_attrs) = match edge {
+            Some(e) if e.right == *member => (
+                e.left_attrs.iter().map(|a| format!("{}.{}", e.left, a)).collect::<Vec<_>>(),
+                e.right_attrs.iter().map(|a| format!("{}.{}", e.right, a)).collect::<Vec<_>>(),
+            ),
+            Some(e) => (
+                e.right_attrs.iter().map(|a| format!("{}.{}", e.right, a)).collect::<Vec<_>>(),
+                e.left_attrs.iter().map(|a| format!("{}.{}", e.left, a)).collect::<Vec<_>>(),
+            ),
+            // Disconnected member: cross join on an empty key would explode;
+            // instead join on nothing → every left row pads, every right row
+            // pads (a "union of padded rows" semantics keeps the data visible
+            // without fabricating associations).
+            None => (vec![], vec![]),
+        };
+        joined = full_outer_join(&joined, &right, &left_attrs, &right_attrs);
+        included.push(member.clone());
+    }
+    Ok(joined)
+}
+
+/// Execute a mapping query, producing an instance of the target table.
+///
+/// Each joined row of the logical table yields one target tuple (rows where
+/// every correspondence evaluates to NULL are dropped). Target attributes with
+/// no correspondence are Skolemized unless they are nullable-by-convention, in
+/// which case the caller can post-process; here every uncovered attribute gets
+/// a Skolem value to keep the instance total.
+pub fn execute_mapping(
+    source: &Database,
+    views: &[ViewDef],
+    query: &MappingQuery,
+    target_schema: &TableSchema,
+) -> Result<Table> {
+    let joined = materialize_logical_table(source, views, query.logical_table())?;
+    let skolem = SkolemGenerator::new();
+    let mut out = Table::new(target_schema.with_name(query.target_table.clone()));
+
+    for row in joined.rows() {
+        let mut mapped: Vec<Option<Value>> = Vec::with_capacity(target_schema.arity());
+        let mut any_non_null = false;
+        for attr in target_schema.attributes() {
+            let value = query.correspondence_for(&attr.name).and_then(|c| {
+                let qualified = format!("{}.{}", c.source.table, c.source.attribute);
+                joined.schema().index_of(&qualified).map(|i| row.at(i).clone())
+            });
+            if let Some(v) = &value {
+                if !v.is_null() {
+                    any_non_null = true;
+                }
+            }
+            mapped.push(value);
+        }
+        if !any_non_null {
+            continue;
+        }
+        // Skolemize uncovered / NULL-mapped attributes whose type is textual;
+        // numeric attributes default to NULL (a Skolem string would violate the
+        // declared type).
+        let determinants: Vec<Value> =
+            mapped.iter().flatten().filter(|v| !v.is_null()).cloned().collect();
+        let tuple: Tuple = target_schema
+            .attributes()
+            .iter()
+            .zip(mapped)
+            .map(|(attr, v)| match v {
+                Some(v) if !v.is_null() => v,
+                _ if query.correspondence_for(&attr.name).is_some() => Value::Null,
+                _ if attr.data_type == DataType::Text => {
+                    skolem.value(&query.target_table, &attr.name, &determinants)
+                }
+                _ => Value::Null,
+            })
+            .collect();
+        out.insert(tuple)?;
+    }
+    Ok(out)
+}
+
+impl MappingQuery {
+    /// The logical table backing this query (accessor kept here to avoid a
+    /// circular import in `query.rs`).
+    pub fn logical_table(&self) -> &LogicalTable {
+        &self.logical_table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::association::{associate, JoinRule};
+    use crate::query::ValueCorrespondence;
+    use cxm_relational::{tuple, AttrRef, Condition, ConstraintSet, ContextualForeignKey, Key};
+
+    /// Narrow grades table: (name, examNum, grade).
+    fn grades_db() -> Database {
+        let schema = TableSchema::new(
+            "grades",
+            vec![Attribute::text("name"), Attribute::int("examNum"), Attribute::float("grade")],
+        );
+        let mut rows = Vec::new();
+        for (si, name) in ["ann", "bob", "carol"].iter().enumerate() {
+            for exam in 0..3i64 {
+                rows.push(tuple![*name, exam, 40.0 + 10.0 * exam as f64 + si as f64]);
+            }
+        }
+        Database::new("RS").with_table(Table::with_rows(schema, rows).unwrap())
+    }
+
+    fn grade_views(n: i64) -> Vec<ViewDef> {
+        (0..n)
+            .map(|i| ViewDef::select_only(format!("V{i}"), "grades", Condition::eq("examNum", i)))
+            .collect()
+    }
+
+    fn grades_constraints(n: i64) -> ConstraintSet {
+        let mut cs = ConstraintSet::new();
+        for i in 0..n {
+            cs.add_key(Key::new(format!("V{i}"), vec!["name"]));
+            cs.add_contextual_fk(
+                ContextualForeignKey::new(
+                    format!("V{i}"),
+                    vec!["name"],
+                    "examNum",
+                    Value::Int(i),
+                    "grades",
+                    vec!["name"],
+                    "examNum",
+                )
+                .unwrap(),
+            );
+        }
+        cs
+    }
+
+    fn wide_schema(n: i64) -> TableSchema {
+        let mut attrs = vec![Attribute::text("name")];
+        for i in 0..n {
+            attrs.push(Attribute::float(format!("grade{i}")));
+        }
+        TableSchema::new("grades_wide", attrs)
+    }
+
+    #[test]
+    fn outer_join_pads_unmatched_rows() {
+        let left = Table::with_rows(
+            TableSchema::new("l", vec![Attribute::text("l.k"), Attribute::int("l.x")]),
+            vec![tuple!["a", 1], tuple!["b", 2]],
+        )
+        .unwrap();
+        let right = Table::with_rows(
+            TableSchema::new("r", vec![Attribute::text("r.k"), Attribute::int("r.y")]),
+            vec![tuple!["a", 10], tuple!["c", 30]],
+        )
+        .unwrap();
+        let joined = full_outer_join(&left, &right, &["l.k".into()], &["r.k".into()]);
+        assert_eq!(joined.len(), 3); // a-a, b-null, null-c
+        assert_eq!(joined.schema().arity(), 4);
+        let keys: Vec<String> = joined
+            .rows()
+            .iter()
+            .map(|r| format!("{}/{}", r.at(0).as_text(), r.at(2).as_text()))
+            .collect();
+        assert!(keys.contains(&"a/a".to_string()));
+        assert!(keys.contains(&"b/".to_string()));
+        assert!(keys.contains(&"/c".to_string()));
+    }
+
+    #[test]
+    fn attribute_normalization_reconstructs_the_wide_table() {
+        // This is the Grades scenario (Example 4.3): the narrow table's rows
+        // are promoted to columns by joining the per-exam views on name.
+        let source = grades_db();
+        let views = grade_views(3);
+        let names: Vec<String> = views.iter().map(|v| v.name.clone()).collect();
+        let constraints = grades_constraints(3);
+        let logical = associate(&names, &views, &constraints);
+        assert!(logical.edges.iter().any(|e| e.rule == JoinRule::Join1));
+
+        let mut correspondences =
+            vec![ValueCorrespondence::new(AttrRef::new("V0", "name"), AttrRef::new("grades_wide", "name"))];
+        for i in 0..3 {
+            correspondences.push(ValueCorrespondence::new(
+                AttrRef::new(format!("V{i}"), "grade"),
+                AttrRef::new("grades_wide", format!("grade{i}")),
+            ));
+        }
+        let query = MappingQuery::new("grades_wide", logical, correspondences);
+        let result = execute_mapping(&source, &views, &query, &wide_schema(3)).unwrap();
+
+        // Three students, one row each, with all three grades filled in.
+        assert_eq!(result.len(), 3);
+        let ann = result
+            .rows()
+            .iter()
+            .find(|r| r.at(0) == &Value::str("ann"))
+            .expect("ann present");
+        assert_eq!(ann.at(1), &Value::Float(40.0));
+        assert_eq!(ann.at(2), &Value::Float(50.0));
+        assert_eq!(ann.at(3), &Value::Float(60.0));
+    }
+
+    #[test]
+    fn uncovered_text_attributes_are_skolemized() {
+        let source = grades_db();
+        let views = grade_views(1);
+        let logical = associate(&["V0".to_string()], &views, &grades_constraints(1));
+        let query = MappingQuery::new(
+            "t",
+            logical,
+            vec![ValueCorrespondence::new(AttrRef::new("V0", "grade"), AttrRef::new("t", "score"))],
+        );
+        let target = TableSchema::new(
+            "t",
+            vec![Attribute::float("score"), Attribute::text("source_system")],
+        );
+        let result = execute_mapping(&source, &views, &query, &target).unwrap();
+        assert_eq!(result.len(), 3);
+        for row in result.rows() {
+            match row.at(1) {
+                Value::Str(s) => assert!(s.starts_with("Sk_t_source_system")),
+                other => panic!("expected Skolem string, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_logical_table_produces_empty_instance() {
+        let source = grades_db();
+        let query = MappingQuery::new("t", LogicalTable::default(), vec![]);
+        let target = TableSchema::new("t", vec![Attribute::text("x")]);
+        let result = execute_mapping(&source, &[], &query, &target).unwrap();
+        assert!(result.is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! Constraint mining from sample data.
+//!
+//! Clio assumes keys and foreign keys are "either declared in the definition of
+//! the schema, or discovered using constraint mining tools" (§4.1); the paper
+//! applies the same idea to views: "We employ constraint mining tools on sample
+//! data to discover keys and (contextual) foreign keys on views" (§4.2).
+//!
+//! The miner here is deliberately simple and sound-on-the-sample: a key is
+//! reported when the attribute (or the attribute plus the view's selection
+//! attribute) is duplicate-free in the sample, and a foreign key is reported
+//! when the inclusion dependency holds on the sample. Single-attribute and
+//! (attribute + selection attribute) composites are considered, which covers
+//! every constraint the paper's examples require.
+
+use cxm_relational::{
+    ConstraintSet, ContextualForeignKey, Database, ForeignKey, Key, Table, ViewDef,
+};
+
+/// Knobs for the constraint miner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiningConfig {
+    /// Minimum number of rows a table must have before a key claim is made
+    /// (tiny samples make everything look like a key).
+    pub min_rows_for_key: usize,
+    /// Maximum number of attributes considered in composite keys (the paper's
+    /// examples need at most 2).
+    pub max_key_width: usize,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig { min_rows_for_key: 2, max_key_width: 2 }
+    }
+}
+
+/// Mine keys and foreign keys over the base tables of a database instance.
+pub fn mine_constraints(db: &Database, config: &MiningConfig) -> ConstraintSet {
+    let mut out = ConstraintSet::new();
+
+    // Keys: single attributes first, then pairs (only when no single-attribute
+    // key exists for the table, to avoid flooding the set with implied keys).
+    for table in db.tables() {
+        if table.len() < config.min_rows_for_key {
+            continue;
+        }
+        let names: Vec<String> =
+            table.schema().attributes().iter().map(|a| a.name.clone()).collect();
+        let mut found_single = false;
+        for a in &names {
+            let key = Key::new(table.name(), vec![a.clone()]);
+            if key.holds_on(table).unwrap_or(false) {
+                out.add_key(key);
+                found_single = true;
+            }
+        }
+        if !found_single && config.max_key_width >= 2 {
+            'outer: for (i, a) in names.iter().enumerate() {
+                for b in names.iter().skip(i + 1) {
+                    let key = Key::new(table.name(), vec![a.clone(), b.clone()]);
+                    if key.holds_on(table).unwrap_or(false) {
+                        out.add_key(key);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    // Foreign keys: child attribute ⊆ parent key attribute, same attribute
+    // name or (child attr, parent single-column key) pairs that satisfy the
+    // inclusion on the sample.
+    let keys = out.keys.clone();
+    for child in db.tables() {
+        for parent_key in keys.iter().filter(|k| k.attributes.len() == 1) {
+            if parent_key.table == child.name() {
+                continue;
+            }
+            let Some(parent) = db.table(&parent_key.table) else { continue };
+            for attr in child.schema().attributes() {
+                let fk = ForeignKey::new(
+                    child.name(),
+                    vec![attr.name.clone()],
+                    parent.name(),
+                    parent_key.attributes.clone(),
+                );
+                let Ok(fk) = fk else { continue };
+                // Only report same-named or same-typed columns to avoid
+                // coincidental inclusions (e.g. tiny integer domains).
+                let parent_attr = parent
+                    .schema()
+                    .attribute(&parent_key.attributes[0])
+                    .map(|a| a.data_type);
+                let compatible = attr.name.eq_ignore_ascii_case(&parent_key.attributes[0])
+                    || parent_attr == Some(attr.data_type);
+                if compatible && fk.holds_on(child, parent).unwrap_or(false) {
+                    out.add_foreign_key(fk);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Mine keys and contextual foreign keys for a set of views over a source
+/// instance. For each view `V = select … from R where a = v`:
+///
+/// * every attribute set `X` that is duplicate-free *within the view sample*
+///   is reported as a key of `V` (single attributes and `X ∪ {a}` pairs);
+/// * when `[X, a]` is a key of the base table `R`, the contextual foreign key
+///   `V[X, a = v] ⊆ R[X, a]` is reported (it holds by construction, and is
+///   also checked against the sample).
+pub fn mine_view_constraints(
+    source: &Database,
+    views: &[ViewDef],
+    base_constraints: &ConstraintSet,
+    config: &MiningConfig,
+) -> ConstraintSet {
+    let mut out = ConstraintSet::new();
+    for view in views {
+        let Ok(instance) = view.evaluate(source) else { continue };
+        if instance.len() < config.min_rows_for_key {
+            continue;
+        }
+        mine_keys_of_view(&instance, view, &mut out);
+        mine_contextual_fk_of_view(source, view, &instance, base_constraints, &mut out);
+    }
+    out
+}
+
+fn mine_keys_of_view(instance: &Table, view: &ViewDef, out: &mut ConstraintSet) {
+    for attr in instance.schema().attributes() {
+        let key = Key::new(view.name.clone(), vec![attr.name.clone()]);
+        if key.holds_on(instance).unwrap_or(false) {
+            out.add_key(key);
+        }
+    }
+}
+
+fn mine_contextual_fk_of_view(
+    source: &Database,
+    view: &ViewDef,
+    instance: &Table,
+    base_constraints: &ConstraintSet,
+    out: &mut ConstraintSet,
+) {
+    let Some((cond_attr, cond_value)) = view.condition.single_equality() else { return };
+    let Some(base) = source.table(&view.base_table) else { return };
+    for attr in instance.schema().attributes() {
+        if attr.name.eq_ignore_ascii_case(cond_attr) {
+            continue;
+        }
+        // [attr, cond_attr] must be a key of the base table (declared, mined,
+        // or holding on the sample).
+        let composite = vec![attr.name.clone(), cond_attr.to_string()];
+        let declared = base_constraints.is_key(&view.base_table, &composite);
+        let sample_key = Key::new(view.base_table.clone(), composite.clone())
+            .holds_on(base)
+            .unwrap_or(false);
+        if !(declared || sample_key) {
+            continue;
+        }
+        if let Ok(cfk) = ContextualForeignKey::new(
+            view.name.clone(),
+            vec![attr.name.clone()],
+            cond_attr.to_string(),
+            cond_value.clone(),
+            view.base_table.clone(),
+            vec![attr.name.clone()],
+            cond_attr.to_string(),
+        ) {
+            if cfk.holds_on(instance, base).unwrap_or(false) {
+                out.add_contextual_fk(cfk);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_relational::{tuple, Attribute, Condition, TableSchema};
+
+    /// The §4.1 running example: student + project.
+    fn school_db() -> Database {
+        let student = Table::with_rows(
+            TableSchema::new(
+                "student",
+                vec![Attribute::text("name"), Attribute::text("email"), Attribute::text("address")],
+            ),
+            vec![
+                tuple!["ann", "ann@u.edu", "1 elm st"],
+                tuple!["bob", "bob@u.edu", "2 oak ave"],
+                tuple!["carol", "carol@u.edu", "3 pine rd"],
+            ],
+        )
+        .unwrap();
+        let project = Table::with_rows(
+            TableSchema::new(
+                "project",
+                vec![
+                    Attribute::text("name"),
+                    Attribute::int("assignt"),
+                    Attribute::text("grade"),
+                    Attribute::text("instructor"),
+                ],
+            ),
+            vec![
+                tuple!["ann", 0, "A", "smith"],
+                tuple!["ann", 1, "B", "smith"],
+                tuple!["bob", 0, "C", "jones"],
+                tuple!["bob", 1, "A", "jones"],
+                tuple!["carol", 0, "B", "smith"],
+            ],
+        )
+        .unwrap();
+        Database::new("RS").with_table(student).with_table(project)
+    }
+
+    #[test]
+    fn mines_single_and_composite_keys() {
+        let cs = mine_constraints(&school_db(), &MiningConfig::default());
+        // student.name (and email, address) are keys; project needs the
+        // composite [name, assignt].
+        assert!(cs.is_key("student", &["name".to_string()]));
+        assert!(cs
+            .keys_of("project")
+            .iter()
+            .any(|k| k.attributes.len() == 2));
+        assert!(!cs.is_key("project", &["name".to_string()]));
+    }
+
+    #[test]
+    fn mines_foreign_key_from_project_to_student() {
+        let cs = mine_constraints(&school_db(), &MiningConfig::default());
+        let fk_found = cs
+            .foreign_keys_from("project")
+            .iter()
+            .any(|fk| fk.parent_table == "student" && fk.child_attrs == vec!["name".to_string()]);
+        assert!(fk_found, "project.name ⊆ student.name should be mined: {cs}");
+    }
+
+    #[test]
+    fn mines_view_keys_and_contextual_fks() {
+        let db = school_db();
+        let base = mine_constraints(&db, &MiningConfig::default());
+        let views: Vec<ViewDef> = (0..2)
+            .map(|i| {
+                ViewDef::select_project(
+                    format!("V{i}"),
+                    "project",
+                    Condition::eq("assignt", i),
+                    vec!["name".into(), "grade".into()],
+                )
+            })
+            .collect();
+        let cs = mine_view_constraints(&db, &views, &base, &MiningConfig::default());
+        // Example 4.2: Vi[name] → Vi is a key of each view…
+        assert!(cs.is_key("V0", &["name".to_string()]));
+        assert!(cs.is_key("V1", &["name".to_string()]));
+        // …and Vi[name, assignt = i] ⊆ project[name, assignt] is a contextual FK.
+        let cfks = cs.contextual_fks_from("V0");
+        assert!(!cfks.is_empty());
+        assert_eq!(cfks[0].parent_table, "project");
+        assert_eq!(cfks[0].cond_attr, "assignt");
+    }
+
+    #[test]
+    fn tiny_samples_make_no_key_claims() {
+        let t = Table::with_rows(
+            TableSchema::new("t", vec![Attribute::int("x")]),
+            vec![tuple![1]],
+        )
+        .unwrap();
+        let db = Database::new("d").with_table(t);
+        let cs = mine_constraints(&db, &MiningConfig::default());
+        assert!(cs.keys_of("t").is_empty());
+    }
+
+    #[test]
+    fn views_with_non_simple_conditions_get_keys_but_no_cfk() {
+        let db = school_db();
+        let base = mine_constraints(&db, &MiningConfig::default());
+        let view = ViewDef::select_only(
+            "V",
+            "project",
+            Condition::is_in("assignt", [0, 1]),
+        );
+        let cs = mine_view_constraints(&db, &[view], &base, &MiningConfig::default());
+        assert!(cs.contextual_fks_from("V").is_empty());
+    }
+}

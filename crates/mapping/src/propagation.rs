@@ -1,0 +1,299 @@
+//! Constraint propagation from base tables to views (§4.2).
+//!
+//! Theorem 4.1 shows the general key / foreign-key propagation problem for SP
+//! views is undecidable, so the paper (and this module) relies on a set of
+//! *sound but incomplete* inference rules:
+//!
+//! * **Contextual propagation** — if `[X, a]` is a key of `R1` and `a = v` is
+//!   the selection condition of the view `V1`, then `X` is a key of `V1`.
+//! * **View-referencing** — if `X` is a key of `R1`, `X ⊆ att(V1)`, `a ∈ X`,
+//!   the view's condition is `a = v1 ∨ … ∨ a = vn` and the domain of `a` is
+//!   exactly `{v1, …, vn}`, then `R1[X] ⊆ V1[X]` (the base table references the
+//!   view).
+//! * **Contextual constraint** — if `[X, a]` is a key of `R1` and the view's
+//!   condition is `a = v`, then `V1[X, a = v] ⊆ R1[X, a]` is a contextual
+//!   foreign key of the view referencing its base table.
+//! * **FK-propagation** — if `R1[Y] ⊆ R2[X]` is a foreign key of the base table
+//!   and `Y ⊆ att(V1)`, then `V1[Y] ⊆ R2[X]` holds for any selection view `V1`
+//!   of `R1` (selection only removes tuples).
+
+use cxm_relational::{
+    ConstraintSet, ContextualForeignKey, Database, ForeignKey, Key, Table, ViewDef,
+};
+
+/// Apply the propagation rules to derive constraints on `views` from the
+/// declared/mined constraints `sigma` on the base tables. The `source`
+/// instance is used only to check the *view-referencing* rule's domain
+/// condition ("the domain of a is exactly {v1, …, vn}"), which is evaluated on
+/// the sample.
+pub fn propagate_constraints(
+    source: &Database,
+    views: &[ViewDef],
+    sigma: &ConstraintSet,
+) -> ConstraintSet {
+    let mut out = ConstraintSet::new();
+    for view in views {
+        let Some(base) = source.table(&view.base_table) else { continue };
+        let Ok(view_schema) = view.schema(base.schema()) else { continue };
+        let view_attrs: Vec<String> =
+            view_schema.attributes().iter().map(|a| a.name.clone()).collect();
+
+        contextual_propagation(view, &view_attrs, sigma, &mut out);
+        contextual_constraint(view, &view_attrs, sigma, &mut out);
+        view_referencing(view, base, &view_attrs, sigma, &mut out);
+        fk_propagation(view, &view_attrs, sigma, &mut out);
+    }
+    out
+}
+
+/// Contextual propagation: `R1[X, a] → R1` and condition `a = v`  ⟹  `V1[X] → V1`.
+fn contextual_propagation(
+    view: &ViewDef,
+    view_attrs: &[String],
+    sigma: &ConstraintSet,
+    out: &mut ConstraintSet,
+) {
+    let Some((a, _)) = view.condition.single_equality() else { return };
+    for key in sigma.keys_of(&view.base_table) {
+        if !key.attributes.iter().any(|k| k.eq_ignore_ascii_case(a)) {
+            continue;
+        }
+        let x: Vec<String> = key
+            .attributes
+            .iter()
+            .filter(|k| !k.eq_ignore_ascii_case(a))
+            .cloned()
+            .collect();
+        if x.is_empty() {
+            continue;
+        }
+        // X must survive the projection.
+        if x.iter().all(|k| view_attrs.iter().any(|v| v.eq_ignore_ascii_case(k))) {
+            out.add_key(Key::new(view.name.clone(), x));
+        }
+    }
+}
+
+/// Contextual constraint: `R1[X, a] → R1` and condition `a = v`  ⟹
+/// `V1[X, a = v] ⊆ R1[X, a]`.
+fn contextual_constraint(
+    view: &ViewDef,
+    view_attrs: &[String],
+    sigma: &ConstraintSet,
+    out: &mut ConstraintSet,
+) {
+    let Some((a, v)) = view.condition.single_equality() else { return };
+    for key in sigma.keys_of(&view.base_table) {
+        if !key.attributes.iter().any(|k| k.eq_ignore_ascii_case(a)) {
+            continue;
+        }
+        let x: Vec<String> = key
+            .attributes
+            .iter()
+            .filter(|k| !k.eq_ignore_ascii_case(a))
+            .cloned()
+            .collect();
+        if x.is_empty()
+            || !x.iter().all(|k| view_attrs.iter().any(|va| va.eq_ignore_ascii_case(k)))
+        {
+            continue;
+        }
+        if let Ok(cfk) = ContextualForeignKey::new(
+            view.name.clone(),
+            x.clone(),
+            a.to_string(),
+            v.clone(),
+            view.base_table.clone(),
+            x,
+            a.to_string(),
+        ) {
+            out.add_contextual_fk(cfk);
+        }
+    }
+}
+
+/// View-referencing: key `X` of `R1` with `a ∈ X ⊆ att(V1)`, condition
+/// `a ∈ {v1…vn}` covering the whole sample domain of `a`  ⟹  `R1[X] ⊆ V1[X]`.
+fn view_referencing(
+    view: &ViewDef,
+    base: &Table,
+    view_attrs: &[String],
+    sigma: &ConstraintSet,
+    out: &mut ConstraintSet,
+) {
+    for key in sigma.keys_of(&view.base_table) {
+        let x = &key.attributes;
+        let all_in_view =
+            x.iter().all(|k| view_attrs.iter().any(|va| va.eq_ignore_ascii_case(k)));
+        if !all_in_view {
+            continue;
+        }
+        let Some(a) = x.iter().find(|k| {
+            view.condition.restricted_values(k).is_some()
+        }) else {
+            continue;
+        };
+        let Some(restricted) = view.condition.restricted_values(a) else { continue };
+        let Ok(domain) = base.distinct_values(a) else { continue };
+        let covers_domain = domain.iter().all(|v| restricted.contains(v));
+        if covers_domain {
+            if let Ok(fk) =
+                ForeignKey::new(view.base_table.clone(), x.clone(), view.name.clone(), x.clone())
+            {
+                out.add_foreign_key(fk);
+            }
+        }
+    }
+}
+
+/// FK-propagation: `R1[Y] ⊆ R2[X]` and `Y ⊆ att(V1)`  ⟹  `V1[Y] ⊆ R2[X]`.
+fn fk_propagation(
+    view: &ViewDef,
+    view_attrs: &[String],
+    sigma: &ConstraintSet,
+    out: &mut ConstraintSet,
+) {
+    for fk in sigma.foreign_keys_from(&view.base_table) {
+        let y_in_view = fk
+            .child_attrs
+            .iter()
+            .all(|y| view_attrs.iter().any(|va| va.eq_ignore_ascii_case(y)));
+        if !y_in_view {
+            continue;
+        }
+        if let Ok(propagated) = ForeignKey::new(
+            view.name.clone(),
+            fk.child_attrs.clone(),
+            fk.parent_table.clone(),
+            fk.parent_attrs.clone(),
+        ) {
+            out.add_foreign_key(propagated);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_relational::{tuple, Attribute, Condition, TableSchema, Value};
+
+    /// The §4.1 / §4.2 running example.
+    fn school_db() -> Database {
+        let student = Table::with_rows(
+            TableSchema::new("student", vec![Attribute::text("name"), Attribute::text("email")]),
+            vec![tuple!["ann", "ann@u.edu"], tuple!["bob", "bob@u.edu"]],
+        )
+        .unwrap();
+        let project = Table::with_rows(
+            TableSchema::new(
+                "project",
+                vec![
+                    Attribute::text("name"),
+                    Attribute::int("assignt"),
+                    Attribute::text("grade"),
+                    Attribute::text("instructor"),
+                ],
+            ),
+            vec![
+                tuple!["ann", 0, "A", "smith"],
+                tuple!["ann", 1, "B", "smith"],
+                tuple!["bob", 0, "C", "jones"],
+                tuple!["bob", 1, "A", "jones"],
+            ],
+        )
+        .unwrap();
+        Database::new("RS").with_table(student).with_table(project)
+    }
+
+    fn sigma() -> ConstraintSet {
+        let mut cs = ConstraintSet::new();
+        cs.add_key(Key::new("project", vec!["name", "assignt"]));
+        cs.add_key(Key::new("student", vec!["name"]));
+        cs.add_foreign_key(
+            ForeignKey::new("project", vec!["name"], "student", vec!["name"]).unwrap(),
+        );
+        cs
+    }
+
+    fn grade_view(i: i64) -> ViewDef {
+        ViewDef::select_project(
+            format!("V{i}"),
+            "project",
+            Condition::eq("assignt", i),
+            vec!["name".into(), "grade".into()],
+        )
+    }
+
+    #[test]
+    fn contextual_propagation_derives_view_keys() {
+        // Example 4.2: Vi[name] → Vi via contextual propagation.
+        let views = vec![grade_view(0), grade_view(1)];
+        let derived = propagate_constraints(&school_db(), &views, &sigma());
+        assert!(derived.is_key("V0", &["name".to_string()]));
+        assert!(derived.is_key("V1", &["name".to_string()]));
+    }
+
+    #[test]
+    fn contextual_constraint_derives_contextual_fks() {
+        let views = vec![grade_view(0)];
+        let derived = propagate_constraints(&school_db(), &views, &sigma());
+        let cfks = derived.contextual_fks_from("V0");
+        assert_eq!(cfks.len(), 1);
+        assert_eq!(cfks[0].parent_table, "project");
+        assert_eq!(cfks[0].cond_attr, "assignt");
+        assert_eq!(cfks[0].cond_value, Value::Int(0));
+        assert_eq!(cfks[0].view_attrs, vec!["name".to_string()]);
+    }
+
+    #[test]
+    fn fk_propagation_lifts_base_fks_to_views() {
+        // Example 4.2: Vi[name] ⊆ student[name] via FK-propagation.
+        let views = vec![grade_view(0)];
+        let derived = propagate_constraints(&school_db(), &views, &sigma());
+        let fks = derived.foreign_keys_from("V0");
+        assert!(fks
+            .iter()
+            .any(|fk| fk.parent_table == "student" && fk.child_attrs == vec!["name".to_string()]));
+    }
+
+    #[test]
+    fn view_referencing_requires_full_domain_coverage() {
+        // A view covering both assignt values (the full sample domain) lets the
+        // base table reference the view; a single-value view does not.
+        let full = ViewDef::select_only("Vall", "project", Condition::is_in("assignt", [0, 1]));
+        let partial = ViewDef::select_only("V0only", "project", Condition::eq("assignt", 0));
+        let derived = propagate_constraints(&school_db(), &[full, partial], &sigma());
+        let to_vall = derived
+            .foreign_keys
+            .iter()
+            .any(|fk| fk.child_table == "project" && fk.parent_table == "Vall");
+        let to_v0 = derived
+            .foreign_keys
+            .iter()
+            .any(|fk| fk.child_table == "project" && fk.parent_table == "V0only");
+        assert!(to_vall, "full-domain view should be referenced by the base table");
+        assert!(!to_v0, "partial view must not be referenced by the base table");
+    }
+
+    #[test]
+    fn projection_gates_propagation() {
+        // A view that projects away `name` cannot inherit the key or the FK.
+        let view = ViewDef::select_project(
+            "Vg",
+            "project",
+            Condition::eq("assignt", 0),
+            vec!["grade".into()],
+        );
+        let derived = propagate_constraints(&school_db(), &[view], &sigma());
+        assert!(derived.keys_of("Vg").is_empty());
+        assert!(derived.foreign_keys_from("Vg").is_empty());
+        assert!(derived.contextual_fks_from("Vg").is_empty());
+    }
+
+    #[test]
+    fn unknown_base_tables_are_skipped() {
+        let view = ViewDef::select_only("V", "nosuch", Condition::eq("a", 1));
+        let derived = propagate_constraints(&school_db(), &[view], &sigma());
+        assert!(derived.is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Mapping queries: value correspondences + logical tables → target tuples.
+//!
+//! Following §4.1, a mapping `map()` is a collection of per-target-table
+//! queries `map(RS,RT)()`. Each query is backed by one logical table (a set of
+//! joined relations) and a set of value correspondences (the matches `L`,
+//! interpreted as inter-schema inclusion dependencies). Attributes of the
+//! target with no correspondence are filled by Skolem values; source
+//! attributes with no correspondence are dropped.
+
+use std::fmt;
+
+use cxm_relational::AttrRef;
+
+use crate::association::LogicalTable;
+
+/// A value correspondence: one (source attribute → target attribute) edge of
+/// the accepted match list `L`. The source side may name a view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueCorrespondence {
+    /// Source attribute (view- or base-table-qualified).
+    pub source: AttrRef,
+    /// Target attribute.
+    pub target: AttrRef,
+}
+
+impl ValueCorrespondence {
+    /// Create a correspondence.
+    pub fn new(source: AttrRef, target: AttrRef) -> Self {
+        ValueCorrespondence { source, target }
+    }
+}
+
+impl fmt::Display for ValueCorrespondence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {}", self.source, self.target)
+    }
+}
+
+/// The mapping query for one target table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MappingQuery {
+    /// The target table this query populates.
+    pub target_table: String,
+    /// The logical table providing the source tuples.
+    pub logical_table: LogicalTable,
+    /// The correspondences into this target table.
+    pub correspondences: Vec<ValueCorrespondence>,
+}
+
+impl MappingQuery {
+    /// Create a query.
+    pub fn new(
+        target_table: impl Into<String>,
+        logical_table: LogicalTable,
+        correspondences: Vec<ValueCorrespondence>,
+    ) -> Self {
+        MappingQuery { target_table: target_table.into(), logical_table, correspondences }
+    }
+
+    /// The correspondence feeding a particular target attribute, if any.
+    pub fn correspondence_for(&self, target_attr: &str) -> Option<&ValueCorrespondence> {
+        self.correspondences.iter().find(|c| c.target.attribute.eq_ignore_ascii_case(target_attr))
+    }
+
+    /// Names of target attributes covered by some correspondence.
+    pub fn covered_target_attributes(&self) -> Vec<&str> {
+        self.correspondences.iter().map(|c| c.target.attribute.as_str()).collect()
+    }
+}
+
+impl fmt::Display for MappingQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "map → {} from {:?}", self.target_table, self.logical_table.members)?;
+        for c in &self.correspondences {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correspondence_lookup_is_case_insensitive() {
+        let q = MappingQuery::new(
+            "projs",
+            LogicalTable::default(),
+            vec![
+                ValueCorrespondence::new(AttrRef::new("V0", "name"), AttrRef::new("projs", "name")),
+                ValueCorrespondence::new(AttrRef::new("V0", "grade"), AttrRef::new("projs", "grade0")),
+            ],
+        );
+        assert!(q.correspondence_for("Grade0").is_some());
+        assert!(q.correspondence_for("grade7").is_none());
+        assert_eq!(q.covered_target_attributes(), vec!["name", "grade0"]);
+    }
+
+    #[test]
+    fn display_renders_edges() {
+        let c = ValueCorrespondence::new(AttrRef::new("V0", "grade"), AttrRef::new("projs", "grade0"));
+        assert_eq!(c.to_string(), "V0.grade → projs.grade0");
+        let q = MappingQuery::new("projs", LogicalTable::default(), vec![c]);
+        assert!(q.to_string().contains("map → projs"));
+    }
+}

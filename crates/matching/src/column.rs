@@ -1,0 +1,146 @@
+//! Column data handed to matchers.
+
+use cxm_relational::{AttrRef, DataType, Table, Value};
+
+/// One attribute's worth of sample data: its qualified name, declared type and
+/// the bag of non-NULL values drawn from the sample instance.
+///
+/// This is the only thing a [`crate::Matcher`] ever sees, which keeps the
+/// matchers reusable for base tables *and* inferred views: a view-restricted
+/// column is just another `ColumnData` with fewer values.
+#[derive(Debug, Clone)]
+pub struct ColumnData {
+    /// Qualified attribute reference (`table.attribute`).
+    pub attr: AttrRef,
+    /// Declared data type of the attribute.
+    pub data_type: DataType,
+    /// Non-NULL sample values.
+    pub values: Vec<Value>,
+}
+
+impl ColumnData {
+    /// Extract a column from a table instance.
+    pub fn from_table(table: &Table, attribute: &str) -> cxm_relational::Result<ColumnData> {
+        let data_type =
+            table.schema().type_of(attribute).unwrap_or(DataType::Unknown);
+        Ok(ColumnData {
+            attr: AttrRef::new(table.name(), attribute),
+            data_type,
+            values: table.column_non_null(attribute)?,
+        })
+    }
+
+    /// All columns of a table instance, in schema order.
+    pub fn all_from_table(table: &Table) -> Vec<ColumnData> {
+        table
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| {
+                ColumnData::from_table(table, &a.name)
+                    .expect("attribute comes from the table's own schema")
+            })
+            .collect()
+    }
+
+    /// Number of sample values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no sample values are available.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The values rendered as text (what the textual matchers consume).
+    pub fn texts(&self) -> Vec<String> {
+        self.values.iter().map(|v| v.as_text()).collect()
+    }
+
+    /// The numeric interpretations of the values (non-numeric values skipped).
+    pub fn numbers(&self) -> Vec<f64> {
+        self.values.iter().filter_map(|v| v.as_f64()).collect()
+    }
+
+    /// True when the column is numeric either by declared type or because a
+    /// clear majority (> 80 %) of its values parse as numbers.
+    pub fn looks_numeric(&self) -> bool {
+        if self.data_type.is_numeric() {
+            return true;
+        }
+        if self.values.is_empty() {
+            return false;
+        }
+        self.numbers().len() as f64 >= 0.8 * self.values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_relational::{tuple, Attribute, Table, TableSchema};
+
+    fn table() -> Table {
+        Table::with_rows(
+            TableSchema::new(
+                "inv",
+                vec![Attribute::int("id"), Attribute::text("name"), Attribute::text("code")],
+            ),
+            vec![
+                tuple![0, "leaves of grass", "0195128"],
+                tuple![1, "the white album", "B002UAX"],
+                tuple![2, "heart of darkness", "0486611"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_table_extracts_values_and_type() {
+        let t = table();
+        let col = ColumnData::from_table(&t, "name").unwrap();
+        assert_eq!(col.attr, AttrRef::new("inv", "name"));
+        assert_eq!(col.data_type, DataType::Text);
+        assert_eq!(col.len(), 3);
+        assert!(!col.is_empty());
+        assert!(ColumnData::from_table(&t, "missing").is_err());
+    }
+
+    #[test]
+    fn all_from_table_is_in_schema_order() {
+        let cols = ColumnData::all_from_table(&table());
+        let names: Vec<&str> = cols.iter().map(|c| c.attr.attribute.as_str()).collect();
+        assert_eq!(names, vec!["id", "name", "code"]);
+    }
+
+    #[test]
+    fn texts_and_numbers() {
+        let t = table();
+        let id = ColumnData::from_table(&t, "id").unwrap();
+        assert_eq!(id.numbers(), vec![0.0, 1.0, 2.0]);
+        assert!(id.looks_numeric());
+        let name = ColumnData::from_table(&t, "name").unwrap();
+        assert_eq!(name.texts()[0], "leaves of grass");
+        assert!(!name.looks_numeric());
+    }
+
+    #[test]
+    fn mostly_numeric_text_column_looks_numeric() {
+        let t = Table::with_rows(
+            TableSchema::new("t", vec![Attribute::text("mixed")]),
+            vec![tuple!["10"], tuple!["20"], tuple!["30"], tuple!["40"], tuple!["oops"]],
+        )
+        .unwrap();
+        let col = ColumnData::from_table(&t, "mixed").unwrap();
+        assert!(col.looks_numeric());
+    }
+
+    #[test]
+    fn empty_column_is_not_numeric() {
+        let t = Table::new(TableSchema::new("t", vec![Attribute::text("x")]));
+        let col = ColumnData::from_table(&t, "x").unwrap();
+        assert!(col.is_empty());
+        assert!(!col.looks_numeric());
+    }
+}

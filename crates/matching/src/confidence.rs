@@ -1,0 +1,104 @@
+//! Converting raw matcher scores into confidences.
+//!
+//! §2.3: "for a single matcher m and source attribute a, the distribution of
+//! scores to all target attributes are treated as samples of a normal
+//! distribution, allowing the raw scores given by m for a to be converted into
+//! confidence scores using standard statistical techniques."
+//!
+//! [`ScoreDistribution`] captures that per-(source attribute, matcher)
+//! distribution; the confidence of a particular raw score is Φ of its z-score.
+//! The same distribution is *reused* when `ScoreMatch` re-scores a
+//! view-restricted sample — the strawman discussion of §3 explicitly estimates
+//! the new confidence "using the new score s′ and the distribution of scores
+//! seen for RS.s across the sample".
+
+use cxm_stats::{normal_cdf, z_score, Moments};
+
+/// The empirical distribution (mean, standard deviation) of one matcher's raw
+/// scores for one source attribute against all target attributes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreDistribution {
+    /// Mean raw score.
+    pub mean: f64,
+    /// Population standard deviation of the raw scores.
+    pub std_dev: f64,
+    /// Number of (target-attribute) samples the distribution was fitted on.
+    pub n: usize,
+}
+
+impl ScoreDistribution {
+    /// Fit the distribution to a set of raw scores.
+    pub fn from_scores(scores: &[f64]) -> ScoreDistribution {
+        let m = Moments::from_samples(scores.iter().copied());
+        ScoreDistribution { mean: m.mean(), std_dev: m.population_std_dev(), n: scores.len() }
+    }
+
+    /// Confidence of a raw score under this distribution: Φ((score − μ)/σ).
+    ///
+    /// With a single sample or zero variance the distribution is degenerate;
+    /// scores above the mean get full confidence, scores at the mean get 0.5
+    /// and scores below get none — the same tie-breaking [`z_score`] applies
+    /// generally.
+    pub fn confidence(&self, score: f64) -> f64 {
+        if self.n <= 1 {
+            // A single target attribute gives no distribution to compare
+            // against; fall back to the raw score so that something sensible
+            // is still reported.
+            return score.clamp(0.0, 1.0);
+        }
+        normal_cdf(z_score(score, self.mean, self.std_dev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_matches_moments() {
+        let d = ScoreDistribution::from_scores(&[0.2, 0.4, 0.6, 0.8]);
+        assert!((d.mean - 0.5).abs() < 1e-12);
+        assert!(d.std_dev > 0.2 && d.std_dev < 0.24);
+        assert_eq!(d.n, 4);
+    }
+
+    #[test]
+    fn confidence_orders_scores() {
+        let d = ScoreDistribution::from_scores(&[0.1, 0.2, 0.3, 0.4, 0.5]);
+        let low = d.confidence(0.1);
+        let mid = d.confidence(0.3);
+        let high = d.confidence(0.9);
+        assert!(low < mid && mid < high);
+        assert!((mid - 0.5).abs() < 1e-9);
+        assert!(high > 0.95);
+    }
+
+    #[test]
+    fn outlier_score_is_high_confidence() {
+        // One target attribute clearly stands out from the rest.
+        let d = ScoreDistribution::from_scores(&[0.05, 0.1, 0.08, 0.07, 0.9]);
+        assert!(d.confidence(0.9) > 0.9);
+        assert!(d.confidence(0.08) < 0.6);
+    }
+
+    #[test]
+    fn degenerate_distributions() {
+        // Single sample: confidence falls back to the raw score.
+        let single = ScoreDistribution::from_scores(&[0.7]);
+        assert!((single.confidence(0.7) - 0.7).abs() < 1e-12);
+        assert_eq!(single.confidence(1.5), 1.0);
+
+        // Zero variance with several samples: above mean → 1, at mean → 0.5.
+        let flat = ScoreDistribution::from_scores(&[0.3, 0.3, 0.3]);
+        assert!(flat.confidence(0.5) > 0.999);
+        assert!((flat.confidence(0.3) - 0.5).abs() < 1e-9);
+        assert!(flat.confidence(0.1) < 0.001);
+    }
+
+    #[test]
+    fn empty_scores_do_not_panic() {
+        let d = ScoreDistribution::from_scores(&[]);
+        assert_eq!(d.n, 0);
+        assert_eq!(d.confidence(0.4), 0.4);
+    }
+}

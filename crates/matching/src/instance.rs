@@ -1,0 +1,228 @@
+//! Instance-based matchers over textual value profiles.
+//!
+//! Two matchers live here:
+//!
+//! * [`QGramMatcher`] — builds a 3-gram frequency profile of each column's
+//!   values and scores the cosine similarity of the two profiles. This is the
+//!   workhorse matcher: it recognizes that book titles look like book titles
+//!   and catalogue codes look like catalogue codes, regardless of exact value
+//!   overlap.
+//! * [`ValueOverlapMatcher`] — Jaccard similarity of the *distinct value sets*,
+//!   which captures columns that literally share values (e.g. `format` on both
+//!   sides holding "hardcover"/"paperback").
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::column::ColumnData;
+use crate::matcher::Matcher;
+use cxm_classify::qgrams;
+
+/// Cosine-similarity matcher over q-gram frequency profiles.
+#[derive(Debug, Clone)]
+pub struct QGramMatcher {
+    q: usize,
+}
+
+impl QGramMatcher {
+    /// Create a matcher using 3-grams (the paper's tokenization).
+    pub fn new() -> Self {
+        QGramMatcher { q: 3 }
+    }
+
+    /// Create a matcher using q-grams of the given width.
+    pub fn with_q(q: usize) -> Self {
+        QGramMatcher { q: q.max(1) }
+    }
+
+    /// Build the normalized q-gram frequency profile of a column.
+    pub fn profile(&self, column: &ColumnData) -> BTreeMap<String, f64> {
+        let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+        for text in column.texts() {
+            for g in qgrams(&text, self.q) {
+                *counts.entry(g).or_insert(0.0) += 1.0;
+            }
+        }
+        let norm: f64 = counts.values().map(|c| c * c).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for v in counts.values_mut() {
+                *v /= norm;
+            }
+        }
+        counts
+    }
+
+    /// Cosine similarity of two normalized profiles.
+    fn cosine(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        // Iterate over the smaller profile for the dot product.
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        small
+            .iter()
+            .filter_map(|(g, &w)| large.get(g).map(|&w2| w * w2))
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+}
+
+impl Default for QGramMatcher {
+    fn default() -> Self {
+        QGramMatcher::new()
+    }
+}
+
+impl Matcher for QGramMatcher {
+    fn name(&self) -> &'static str {
+        "qgram"
+    }
+
+    fn score(&self, source: &ColumnData, target: &ColumnData) -> f64 {
+        Self::cosine(&self.profile(source), &self.profile(target))
+    }
+
+    fn applicable(&self, source: &ColumnData, target: &ColumnData) -> bool {
+        // Purely numeric columns are better served by the numeric matcher;
+        // comparing digit 3-grams of unrelated numbers produces noise.
+        !(source.looks_numeric() && target.looks_numeric())
+            && !source.is_empty()
+            && !target.is_empty()
+    }
+}
+
+/// Jaccard similarity of distinct (case-normalized) value sets.
+#[derive(Debug, Clone, Default)]
+pub struct ValueOverlapMatcher;
+
+impl ValueOverlapMatcher {
+    /// Create a value-overlap matcher.
+    pub fn new() -> Self {
+        ValueOverlapMatcher
+    }
+
+    fn value_set(column: &ColumnData) -> BTreeSet<String> {
+        column.texts().into_iter().map(|t| t.trim().to_ascii_lowercase()).collect()
+    }
+}
+
+impl Matcher for ValueOverlapMatcher {
+    fn name(&self) -> &'static str {
+        "overlap"
+    }
+
+    fn score(&self, source: &ColumnData, target: &ColumnData) -> f64 {
+        let a = Self::value_set(source);
+        let b = Self::value_set(target);
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let inter = a.intersection(&b).count() as f64;
+        let union = a.union(&b).count() as f64;
+        inter / union
+    }
+
+    fn applicable(&self, source: &ColumnData, target: &ColumnData) -> bool {
+        !source.is_empty() && !target.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_relational::{AttrRef, DataType, Value};
+
+    fn col(name: &str, values: Vec<&str>) -> ColumnData {
+        ColumnData {
+            attr: AttrRef::new("t", name),
+            data_type: DataType::Text,
+            values: values.into_iter().map(Value::str).collect(),
+        }
+    }
+
+    fn num_col(name: &str, values: Vec<f64>) -> ColumnData {
+        ColumnData {
+            attr: AttrRef::new("t", name),
+            data_type: DataType::Float,
+            values: values.into_iter().map(Value::Float).collect(),
+        }
+    }
+
+    #[test]
+    fn qgram_identical_columns_score_one() {
+        let m = QGramMatcher::new();
+        let a = col("x", vec!["hardcover", "paperback"]);
+        let b = col("y", vec!["hardcover", "paperback"]);
+        assert!((m.score(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qgram_similar_beats_dissimilar() {
+        let m = QGramMatcher::new();
+        let titles_a = col("name", vec!["leaves of grass", "heart of darkness", "wasteland"]);
+        let titles_b = col("title", vec!["the historian", "lance armstrong's war", "middlemarch"]);
+        let codes = col("isbn", vec!["0316011770", "0486400611", "0393995001"]);
+        let t_vs_t = m.score(&titles_a, &titles_b);
+        let t_vs_c = m.score(&titles_a, &codes);
+        assert!(t_vs_t > t_vs_c, "titles-vs-titles {t_vs_t} should beat titles-vs-codes {t_vs_c}");
+    }
+
+    #[test]
+    fn qgram_empty_columns_score_zero() {
+        let m = QGramMatcher::new();
+        let a = col("x", vec![]);
+        let b = col("y", vec!["something"]);
+        assert_eq!(m.score(&a, &b), 0.0);
+        assert!(!m.applicable(&a, &b));
+    }
+
+    #[test]
+    fn qgram_not_applicable_to_numeric_pairs() {
+        let m = QGramMatcher::new();
+        let a = num_col("price", vec![9.99, 12.5]);
+        let b = num_col("sale", vec![7.99, 10.0]);
+        assert!(!m.applicable(&a, &b));
+        // Mixed numeric/text pair is still applicable.
+        let t = col("format", vec!["hardcover"]);
+        assert!(m.applicable(&a, &t));
+    }
+
+    #[test]
+    fn qgram_profile_is_normalized() {
+        let m = QGramMatcher::new();
+        let p = m.profile(&col("x", vec!["abc", "abd"]));
+        let norm: f64 = p.values().map(|v| v * v).sum();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_counts_shared_distinct_values() {
+        let m = ValueOverlapMatcher::new();
+        let a = col("format", vec!["hardcover", "paperback", "paperback"]);
+        let b = col("format", vec!["Hardcover", "audio cd"]);
+        // distinct a = {hardcover, paperback}, b = {hardcover, audio cd}
+        // intersection 1, union 3.
+        assert!((m.score(&a, &b) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_disjoint_is_zero_identical_is_one() {
+        let m = ValueOverlapMatcher::new();
+        let a = col("x", vec!["a", "b"]);
+        let b = col("y", vec!["c", "d"]);
+        assert_eq!(m.score(&a, &b), 0.0);
+        assert_eq!(m.score(&a, &a), 1.0);
+        let empty = col("z", vec![]);
+        assert_eq!(m.score(&a, &empty), 0.0);
+        assert!(!m.applicable(&a, &empty));
+    }
+
+    #[test]
+    fn custom_q_width() {
+        let m = QGramMatcher::with_q(2);
+        let a = col("x", vec!["ab"]);
+        assert!(m.profile(&a).contains_key("ab"));
+        // Width is clamped to at least 1.
+        let m0 = QGramMatcher::with_q(0);
+        assert!(!m0.profile(&a).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Match triples and match lists.
+//!
+//! §2.1: "A match is a triple (RS.s, RT.t, c), where … c is a Boolean
+//! condition. … A match is referred to as a standard match if c is a constant
+//! expression 'true' and RS and RT are base tables; otherwise it is a context
+//! match."
+
+use std::fmt;
+
+use cxm_relational::{AttrRef, Condition};
+
+/// A (possibly contextual) match between a source attribute and a target
+/// attribute, with its raw combined score and confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// Source attribute `RS.s`. For contextual matches the table component
+    /// names the inferred view; [`Match::base_table`] keeps the underlying base
+    /// table.
+    pub source: AttrRef,
+    /// The base table of the source attribute (equals `source.table` for
+    /// standard matches).
+    pub base_table: String,
+    /// Target attribute `RT.t`.
+    pub target: AttrRef,
+    /// The context condition `c` (`Condition::True` for standard matches).
+    pub condition: Condition,
+    /// Raw combined matcher score (average of applicable matchers' raw scores).
+    pub score: f64,
+    /// Confidence in `[0, 1]` after per-attribute normalization and combination.
+    pub confidence: f64,
+}
+
+impl Match {
+    /// Create a standard (unconditioned) match.
+    pub fn standard(source: AttrRef, target: AttrRef, score: f64, confidence: f64) -> Match {
+        let base_table = source.table.clone();
+        Match { source, base_table, target, condition: Condition::True, score, confidence }
+    }
+
+    /// Derive a contextual version of this match: the source table is replaced
+    /// by the named view and the condition recorded; score/confidence are the
+    /// re-evaluated values supplied by the caller.
+    pub fn with_context(
+        &self,
+        view_name: impl Into<String>,
+        condition: Condition,
+        score: f64,
+        confidence: f64,
+    ) -> Match {
+        Match {
+            source: AttrRef::new(view_name, self.source.attribute.clone()),
+            base_table: self.base_table.clone(),
+            target: self.target.clone(),
+            condition,
+            score,
+            confidence,
+        }
+    }
+
+    /// True when this is a standard match (condition is the constant `true`).
+    pub fn is_standard(&self) -> bool {
+        self.condition.is_true()
+    }
+
+    /// True when this is a context match.
+    pub fn is_contextual(&self) -> bool {
+        !self.is_standard()
+    }
+
+    /// A canonical, order-independent string form used by the evaluation
+    /// harness to compare found match sets against ground truth.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}.{} -> {} [{}]",
+            self.base_table,
+            self.source.attribute,
+            self.target,
+            self.condition.to_sql()
+        )
+    }
+}
+
+impl fmt::Display for Match {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({} -> {}, {}) score={:.3} conf={:.3}",
+            self.source, self.target, self.condition, self.score, self.confidence
+        )
+    }
+}
+
+/// A list of accepted matches — `L` in the paper.
+pub type MatchList = Vec<Match>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_match_roundtrip() {
+        let m = Match::standard(AttrRef::new("inv", "name"), AttrRef::new("book", "title"), 0.8, 0.9);
+        assert!(m.is_standard());
+        assert!(!m.is_contextual());
+        assert_eq!(m.base_table, "inv");
+        assert_eq!(m.canonical(), "inv.name -> book.title [true]");
+        assert!(m.to_string().contains("inv.name"));
+    }
+
+    #[test]
+    fn contextual_derivation_keeps_base_table() {
+        let m = Match::standard(AttrRef::new("inv", "name"), AttrRef::new("book", "title"), 0.8, 0.9);
+        let c = m.with_context("inv[type = 1]", Condition::eq("type", 1), 0.85, 0.97);
+        assert!(c.is_contextual());
+        assert_eq!(c.base_table, "inv");
+        assert_eq!(c.source.table, "inv[type = 1]");
+        assert_eq!(c.source.attribute, "name");
+        assert_eq!(c.target, m.target);
+        assert_eq!(c.canonical(), "inv.name -> book.title [type = 1]");
+        assert!(c.confidence > m.confidence);
+    }
+}

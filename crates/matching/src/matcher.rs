@@ -1,0 +1,54 @@
+//! The matcher interface.
+
+use crate::column::ColumnData;
+
+/// A single matching algorithm ("matcher" in the paper's terminology, §2.3)
+/// that scores the similarity of a source column against a target column.
+///
+/// Raw scores are in `[0, 1]` by convention but are *not* comparable across
+/// matchers — that is exactly why the standard matcher normalizes them into
+/// confidences per source attribute before combining.
+pub trait Matcher: Send + Sync {
+    /// A short, stable name for reports and weight configuration.
+    fn name(&self) -> &'static str;
+
+    /// Raw similarity of the two columns in `[0, 1]`.
+    fn score(&self, source: &ColumnData, target: &ColumnData) -> f64;
+
+    /// Whether this matcher can produce a meaningful score for the pair.
+    /// Inapplicable matchers are skipped rather than contributing zeros, so a
+    /// numeric matcher does not drag down text-only pairs and vice versa.
+    fn applicable(&self, source: &ColumnData, target: &ColumnData) -> bool {
+        let _ = (source, target);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_relational::{AttrRef, DataType};
+
+    struct ConstMatcher(f64);
+
+    impl Matcher for ConstMatcher {
+        fn name(&self) -> &'static str {
+            "const"
+        }
+        fn score(&self, _source: &ColumnData, _target: &ColumnData) -> f64 {
+            self.0
+        }
+    }
+
+    fn col(name: &str) -> ColumnData {
+        ColumnData { attr: AttrRef::new("t", name), data_type: DataType::Text, values: vec![] }
+    }
+
+    #[test]
+    fn trait_object_dispatch() {
+        let m: Box<dyn Matcher> = Box::new(ConstMatcher(0.7));
+        assert_eq!(m.name(), "const");
+        assert_eq!(m.score(&col("a"), &col("b")), 0.7);
+        assert!(m.applicable(&col("a"), &col("b")));
+    }
+}

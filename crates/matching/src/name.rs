@@ -1,0 +1,159 @@
+//! Attribute-name similarity matcher.
+//!
+//! Schema-level evidence: attribute names like `title` / `name`, `isbn` /
+//! `code` carry signal even before any instance data is examined. The score is
+//! the maximum of a normalized-edit-distance similarity and a token-overlap
+//! (Jaccard over camelCase / snake_case word splits) similarity.
+
+use crate::column::ColumnData;
+use crate::matcher::Matcher;
+
+/// Matcher scoring attribute-name similarity.
+#[derive(Debug, Clone, Default)]
+pub struct NameMatcher;
+
+impl NameMatcher {
+    /// Create a name matcher.
+    pub fn new() -> Self {
+        NameMatcher
+    }
+}
+
+/// Normalized Levenshtein similarity: `1 − dist / max_len` (1.0 for two empty
+/// strings).
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let max_len = a.len().max(b.len());
+    if max_len == 0 {
+        return 1.0;
+    }
+    let dist = levenshtein(&a, &b);
+    1.0 - dist as f64 / max_len as f64
+}
+
+fn levenshtein(a: &[char], b: &[char]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Split an identifier into lower-cased word tokens on case changes, digits
+/// boundaries, underscores and other punctuation (`ItemType` → `item`, `type`).
+pub fn identifier_tokens(name: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let chars: Vec<char> = name.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c.is_alphanumeric() {
+            let boundary = c.is_uppercase()
+                && i > 0
+                && (chars[i - 1].is_lowercase() || chars[i - 1].is_numeric());
+            if boundary && !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Jaccard similarity of the identifier token sets.
+pub fn token_similarity(a: &str, b: &str) -> f64 {
+    use std::collections::BTreeSet;
+    let ta: BTreeSet<String> = identifier_tokens(a).into_iter().collect();
+    let tb: BTreeSet<String> = identifier_tokens(b).into_iter().collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let inter = ta.intersection(&tb).count() as f64;
+    let union = ta.union(&tb).count() as f64;
+    inter / union
+}
+
+impl Matcher for NameMatcher {
+    fn name(&self) -> &'static str {
+        "name"
+    }
+
+    fn score(&self, source: &ColumnData, target: &ColumnData) -> f64 {
+        let a = source.attr.attribute.to_ascii_lowercase();
+        let b = target.attr.attribute.to_ascii_lowercase();
+        levenshtein_similarity(&a, &b).max(token_similarity(&a, &b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_relational::{AttrRef, DataType};
+
+    fn col(name: &str) -> ColumnData {
+        ColumnData { attr: AttrRef::new("t", name), data_type: DataType::Text, values: vec![] }
+    }
+
+    #[test]
+    fn identical_names_score_one() {
+        let m = NameMatcher::new();
+        assert_eq!(m.score(&col("price"), &col("price")), 1.0);
+        assert_eq!(m.score(&col("Price"), &col("price")), 1.0);
+    }
+
+    #[test]
+    fn similar_names_score_high_unrelated_low() {
+        let m = NameMatcher::new();
+        let similar = m.score(&col("ItemPrice"), &col("price"));
+        let unrelated = m.score(&col("isbn"), &col("label"));
+        assert!(similar > 0.4, "similar={similar}");
+        assert!(unrelated < 0.4, "unrelated={unrelated}");
+        assert!(similar > unrelated);
+    }
+
+    #[test]
+    fn levenshtein_known_distances() {
+        assert_eq!(levenshtein(&['a', 'b', 'c'], &['a', 'b', 'c']), 0);
+        assert_eq!(levenshtein(&['k', 'i', 't', 't', 'e', 'n'], &['s', 'i', 't', 't', 'i', 'n', 'g']), 3);
+        assert_eq!(levenshtein(&[], &['a', 'b']), 2);
+        assert!((levenshtein_similarity("", "") - 1.0).abs() < 1e-12);
+        assert!((levenshtein_similarity("abc", "abd") - (2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identifier_token_splitting() {
+        assert_eq!(identifier_tokens("ItemType"), vec!["item", "type"]);
+        assert_eq!(identifier_tokens("item_type"), vec!["item", "type"]);
+        assert_eq!(identifier_tokens("StockStatus2"), vec!["stock", "status2"]);
+        assert_eq!(identifier_tokens(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn token_similarity_matches_shared_words() {
+        assert_eq!(token_similarity("item_type", "ItemType"), 1.0);
+        assert!((token_similarity("item_type", "type") - 0.5).abs() < 1e-12);
+        assert_eq!(token_similarity("isbn", "asin"), 0.0);
+        assert_eq!(token_similarity("", ""), 1.0);
+        assert_eq!(token_similarity("x", ""), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Attributes and qualified attribute references.
+
+use std::fmt;
+
+use crate::types::DataType;
+
+/// A named, typed attribute of a table or view.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Attribute name as it appears in the schema (case preserved).
+    pub name: String,
+    /// The attribute's basic data type.
+    pub data_type: DataType,
+}
+
+impl Attribute {
+    /// Create a new attribute.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Attribute { name: name.into(), data_type }
+    }
+
+    /// Convenience constructor for a text attribute.
+    pub fn text(name: impl Into<String>) -> Self {
+        Attribute::new(name, DataType::Text)
+    }
+
+    /// Convenience constructor for an integer attribute.
+    pub fn int(name: impl Into<String>) -> Self {
+        Attribute::new(name, DataType::Int)
+    }
+
+    /// Convenience constructor for a float attribute.
+    pub fn float(name: impl Into<String>) -> Self {
+        Attribute::new(name, DataType::Float)
+    }
+
+    /// Convenience constructor for a boolean attribute.
+    pub fn bool(name: impl Into<String>) -> Self {
+        Attribute::new(name, DataType::Bool)
+    }
+
+    /// Case-insensitive name comparison; schema corpora are inconsistent about
+    /// attribute-name casing, so lookups treat names case-insensitively.
+    pub fn name_eq(&self, other: &str) -> bool {
+        self.name.eq_ignore_ascii_case(other)
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type)
+    }
+}
+
+/// A fully qualified attribute reference `Table.attribute` (e.g. `RS.inv.type`).
+///
+/// Matches in the paper are triples `(RS.s, RT.t, c)`; `AttrRef` is the
+/// representation of `RS.s` and `RT.t`. The `table` component may name a base
+/// table or an inferred view.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrRef {
+    /// Name of the table or view the attribute belongs to.
+    pub table: String,
+    /// Attribute name within that table.
+    pub attribute: String,
+}
+
+impl AttrRef {
+    /// Create a qualified reference.
+    pub fn new(table: impl Into<String>, attribute: impl Into<String>) -> Self {
+        AttrRef { table: table.into(), attribute: attribute.into() }
+    }
+
+    /// Parse a dotted reference of the form `table.attribute`. The attribute is
+    /// everything after the *last* dot, so schema-qualified table names such as
+    /// `RS.inv.type` yield table `RS.inv` and attribute `type`.
+    pub fn parse(s: &str) -> Option<AttrRef> {
+        let idx = s.rfind('.')?;
+        let (table, attr) = s.split_at(idx);
+        let attr = &attr[1..];
+        if table.is_empty() || attr.is_empty() {
+            return None;
+        }
+        Some(AttrRef::new(table, attr))
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.attribute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_types() {
+        assert_eq!(Attribute::text("title").data_type, DataType::Text);
+        assert_eq!(Attribute::int("id").data_type, DataType::Int);
+        assert_eq!(Attribute::float("price").data_type, DataType::Float);
+        assert_eq!(Attribute::bool("instock").data_type, DataType::Bool);
+    }
+
+    #[test]
+    fn name_eq_is_case_insensitive() {
+        let a = Attribute::text("ItemType");
+        assert!(a.name_eq("itemtype"));
+        assert!(a.name_eq("ITEMTYPE"));
+        assert!(!a.name_eq("itemtypes"));
+    }
+
+    #[test]
+    fn display_shows_name_and_type() {
+        assert_eq!(Attribute::float("price").to_string(), "price float");
+    }
+
+    #[test]
+    fn attr_ref_display_and_parse_round_trip() {
+        let r = AttrRef::new("inv", "type");
+        assert_eq!(r.to_string(), "inv.type");
+        assert_eq!(AttrRef::parse("inv.type"), Some(r));
+    }
+
+    #[test]
+    fn attr_ref_parse_uses_last_dot() {
+        let r = AttrRef::parse("RS.inv.type").unwrap();
+        assert_eq!(r.table, "RS.inv");
+        assert_eq!(r.attribute, "type");
+    }
+
+    #[test]
+    fn attr_ref_parse_rejects_malformed() {
+        assert_eq!(AttrRef::parse("noattr"), None);
+        assert_eq!(AttrRef::parse(".x"), None);
+        assert_eq!(AttrRef::parse("x."), None);
+    }
+
+    #[test]
+    fn attr_ref_ordering_is_stable() {
+        let mut v = vec![AttrRef::new("b", "z"), AttrRef::new("a", "y"), AttrRef::new("a", "x")];
+        v.sort();
+        assert_eq!(v[0], AttrRef::new("a", "x"));
+        assert_eq!(v[2], AttrRef::new("b", "z"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Categorical-attribute detection.
+//!
+//! §2.1 of the paper: *"we consider an attribute a to be categorical if more
+//! than 10% of the values of a are associated with more than 1% of the tuples
+//! in our sample. In the case of small samples, at least two values must be
+//! associated with at least two tuples."*
+//!
+//! Candidate contexts are only ever built over categorical attributes
+//! (`Cat(R)`), so this detection step gates the whole view-inference search.
+
+use crate::error::Result;
+use crate::table::Table;
+
+/// Tunable thresholds for categorical detection. The defaults are the paper's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoricalPolicy {
+    /// Fraction of *distinct values* that must be "popular" (default 0.10).
+    pub value_fraction: f64,
+    /// Fraction of *tuples* a value must be associated with to count as popular
+    /// (default 0.01).
+    pub tuple_fraction: f64,
+    /// Sample size below which the small-sample rule applies (at least
+    /// `small_sample_values` values associated with at least
+    /// `small_sample_tuples` tuples each).
+    pub small_sample_size: usize,
+    /// Minimum number of repeated values required in a small sample (default 2).
+    pub small_sample_values: usize,
+    /// Minimum tuples per repeated value in a small sample (default 2).
+    pub small_sample_tuples: usize,
+    /// Upper bound on the number of distinct values for an attribute to be
+    /// considered categorical at all. The paper never partitions on attributes
+    /// with hundreds of values (its γ sweep stops at 10); without some bound a
+    /// key-like attribute with one duplicate would produce an absurd family.
+    pub max_distinct: usize,
+}
+
+impl Default for CategoricalPolicy {
+    fn default() -> Self {
+        CategoricalPolicy {
+            value_fraction: 0.10,
+            tuple_fraction: 0.01,
+            small_sample_size: 200,
+            small_sample_values: 2,
+            small_sample_tuples: 2,
+            max_distinct: 50,
+        }
+    }
+}
+
+/// Decide whether `attribute` of the sample instance `table` is categorical
+/// under `policy`.
+///
+/// NULLs are ignored — a column that is mostly NULL with two repeated markers
+/// still counts, matching how the paper's scraped samples behave.
+pub fn is_categorical(table: &Table, attribute: &str, policy: &CategoricalPolicy) -> Result<bool> {
+    let counts = table.value_counts(attribute)?;
+    let counts: Vec<usize> =
+        counts.iter().filter(|(v, _)| !v.is_null()).map(|(_, &c)| c).collect();
+    let n_tuples: usize = counts.iter().sum();
+    let n_values = counts.len();
+    if n_values == 0 || n_tuples == 0 {
+        return Ok(false);
+    }
+    if n_values > policy.max_distinct {
+        return Ok(false);
+    }
+    // An attribute with a single distinct value cannot partition the table.
+    if n_values < 2 {
+        return Ok(false);
+    }
+
+    if n_tuples < policy.small_sample_size {
+        // Small-sample rule: at least `small_sample_values` values associated
+        // with at least `small_sample_tuples` tuples each.
+        let popular =
+            counts.iter().filter(|&&c| c >= policy.small_sample_tuples).count();
+        return Ok(popular >= policy.small_sample_values);
+    }
+
+    // Main rule: > value_fraction of the distinct values must each be
+    // associated with > tuple_fraction of the tuples.
+    let tuple_threshold = policy.tuple_fraction * n_tuples as f64;
+    let popular = counts.iter().filter(|&&c| c as f64 > tuple_threshold).count();
+    Ok(popular as f64 > policy.value_fraction * n_values as f64)
+}
+
+/// The categorical attributes of a sample instance, `Cat(R)` in the paper,
+/// in schema order.
+pub fn categorical_attributes(table: &Table, policy: &CategoricalPolicy) -> Vec<String> {
+    table
+        .schema()
+        .attributes()
+        .iter()
+        .filter(|a| is_categorical(table, &a.name, policy).unwrap_or(false))
+        .map(|a| a.name.clone())
+        .collect()
+}
+
+/// The non-categorical attributes of a sample instance, `NonCat(R)`: everything
+/// that is not categorical. These are the `h` attributes whose values
+/// `ClusteredViewGen` treats as documents to classify.
+pub fn non_categorical_attributes(table: &Table, policy: &CategoricalPolicy) -> Vec<String> {
+    let cats = categorical_attributes(table, policy);
+    table
+        .schema()
+        .attributes()
+        .iter()
+        .filter(|a| !cats.iter().any(|c| a.name_eq(c)))
+        .map(|a| a.name.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use crate::schema::TableSchema;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+
+    /// Build a one-column table named `t` with column `x` holding the values.
+    fn column_table(values: Vec<Value>) -> Table {
+        let schema = TableSchema::new("t", vec![Attribute::text("x")]);
+        Table::with_rows(schema, values.into_iter().map(|v| Tuple::new(vec![v])).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn small_sample_requires_two_repeated_values() {
+        // Two values, each appearing twice → categorical under the small-sample rule.
+        let t = column_table(vec![
+            Value::str("book"),
+            Value::str("book"),
+            Value::str("cd"),
+            Value::str("cd"),
+        ]);
+        assert!(is_categorical(&t, "x", &CategoricalPolicy::default()).unwrap());
+
+        // All-distinct values → not categorical.
+        let t = column_table((0..10).map(|i| Value::str(format!("v{i}"))).collect());
+        assert!(!is_categorical(&t, "x", &CategoricalPolicy::default()).unwrap());
+
+        // Only one value repeated → not categorical (needs at least two).
+        let t = column_table(vec![
+            Value::str("book"),
+            Value::str("book"),
+            Value::str("cd"),
+            Value::str("dvd"),
+        ]);
+        assert!(!is_categorical(&t, "x", &CategoricalPolicy::default()).unwrap());
+    }
+
+    #[test]
+    fn single_valued_attribute_is_not_categorical() {
+        let t = column_table(vec![Value::str("book"); 500]);
+        assert!(!is_categorical(&t, "x", &CategoricalPolicy::default()).unwrap());
+    }
+
+    #[test]
+    fn large_sample_categorical_detection() {
+        // 1000 tuples over 4 values → clearly categorical.
+        let mut vals = Vec::new();
+        for i in 0..1000 {
+            vals.push(Value::str(format!("type{}", i % 4)));
+        }
+        let t = column_table(vals);
+        assert!(is_categorical(&t, "x", &CategoricalPolicy::default()).unwrap());
+    }
+
+    #[test]
+    fn large_sample_key_like_attribute_is_not_categorical() {
+        // 1000 distinct values → key-like, not categorical (fails max_distinct
+        // and the popularity rule).
+        let t = column_table((0..1000).map(|i| Value::str(format!("id{i}"))).collect());
+        assert!(!is_categorical(&t, "x", &CategoricalPolicy::default()).unwrap());
+    }
+
+    #[test]
+    fn nulls_are_ignored() {
+        let mut vals = vec![Value::Null; 20];
+        vals.extend(vec![Value::str("a"); 3]);
+        vals.extend(vec![Value::str("b"); 3]);
+        let t = column_table(vals);
+        assert!(is_categorical(&t, "x", &CategoricalPolicy::default()).unwrap());
+    }
+
+    #[test]
+    fn empty_column_is_not_categorical() {
+        let t = column_table(vec![]);
+        assert!(!is_categorical(&t, "x", &CategoricalPolicy::default()).unwrap());
+        let nulls = column_table(vec![Value::Null; 5]);
+        assert!(!is_categorical(&nulls, "x", &CategoricalPolicy::default()).unwrap());
+    }
+
+    #[test]
+    fn cat_and_noncat_partition_the_schema() {
+        let schema = TableSchema::new(
+            "inv",
+            vec![Attribute::int("id"), Attribute::text("name"), Attribute::int("type")],
+        );
+        let mut rows = Vec::new();
+        for i in 0..300i64 {
+            rows.push(Tuple::new(vec![
+                Value::Int(i),
+                Value::str(format!("title number {i}")),
+                Value::Int(i % 3),
+            ]));
+        }
+        let t = Table::with_rows(schema, rows).unwrap();
+        let policy = CategoricalPolicy::default();
+        let cats = categorical_attributes(&t, &policy);
+        let noncats = non_categorical_attributes(&t, &policy);
+        assert_eq!(cats, vec!["type".to_string()]);
+        assert_eq!(noncats, vec!["id".to_string(), "name".to_string()]);
+        assert_eq!(cats.len() + noncats.len(), t.schema().arity());
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let t = column_table(vec![Value::str("a")]);
+        assert!(is_categorical(&t, "missing", &CategoricalPolicy::default()).is_err());
+    }
+
+    #[test]
+    fn policy_thresholds_are_respected() {
+        // With a stricter max_distinct, a 4-valued attribute stops qualifying.
+        let mut vals = Vec::new();
+        for i in 0..1000 {
+            vals.push(Value::str(format!("type{}", i % 4)));
+        }
+        let t = column_table(vals);
+        let strict = CategoricalPolicy { max_distinct: 3, ..CategoricalPolicy::default() };
+        assert!(!is_categorical(&t, "x", &strict).unwrap());
+    }
+}

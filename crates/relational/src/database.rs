@@ -1,0 +1,185 @@
+//! Database instances: a named collection of table instances.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// An instance of a [`Schema`]: one [`Table`] instance per table name.
+///
+/// This is what the matching algorithms receive as "sample data associated with
+/// the schema". Iteration order is deterministic (sorted by table name).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    name: String,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Create an empty database instance with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database { name: name.into(), tables: BTreeMap::new() }
+    }
+
+    /// The instance's name (usually the schema name, e.g. `"RS"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register a table instance; rejects duplicate names.
+    pub fn add_table(&mut self, table: Table) -> Result<()> {
+        if self.tables.contains_key(table.name()) {
+            return Err(Error::DuplicateTable(table.name().to_string()));
+        }
+        self.tables.insert(table.name().to_string(), table);
+        Ok(())
+    }
+
+    /// Builder-style variant of [`Database::add_table`]; panics on duplicates.
+    pub fn with_table(mut self, table: Table) -> Self {
+        self.add_table(table).expect("duplicate table in database builder");
+        self
+    }
+
+    /// Replace a table instance (or insert it if missing). Used by the data
+    /// generators when rewriting a table with extra attributes.
+    pub fn replace_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Remove a table instance by name, returning it if present.
+    pub fn remove_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Look up a table instance by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Look up a table instance by name, or return an error.
+    pub fn require_table(&self, name: &str) -> Result<&Table> {
+        self.table(name).ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// Iterate over table instances in deterministic (name) order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Names of all tables in deterministic order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the database holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total number of tuples across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.len()).sum()
+    }
+
+    /// Derive the [`Schema`] (table schemas only, no data) of this instance.
+    pub fn schema(&self) -> Schema {
+        let mut schema = Schema::new(self.name.clone());
+        for table in self.tables.values() {
+            schema
+                .add_table(table.schema().clone())
+                .expect("database table names are unique by construction");
+        }
+        schema
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "database {} ({} tables, {} rows)", self.name, self.len(), self.total_rows())?;
+        for t in self.tables.values() {
+            writeln!(f, "  {} [{} rows]", t.schema(), t.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use crate::schema::TableSchema;
+    use crate::tuple;
+
+    fn book_table() -> Table {
+        Table::with_rows(
+            TableSchema::new("book", vec![Attribute::int("id"), Attribute::text("title")]),
+            vec![tuple![50, "the historian"], tuple![51, "lance armstrong's war"]],
+        )
+        .unwrap()
+    }
+
+    fn music_table() -> Table {
+        Table::with_rows(
+            TableSchema::new("music", vec![Attribute::int("id"), Attribute::text("title")]),
+            vec![tuple![80, "x&y"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn add_and_lookup_tables() {
+        let db = Database::new("RT").with_table(book_table()).with_table(music_table());
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.total_rows(), 3);
+        assert!(db.table("book").is_some());
+        assert!(db.require_table("video").is_err());
+        assert_eq!(db.table_names(), vec!["book", "music"]);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = Database::new("RT");
+        db.add_table(book_table()).unwrap();
+        assert!(matches!(db.add_table(book_table()), Err(Error::DuplicateTable(_))));
+    }
+
+    #[test]
+    fn replace_and_remove() {
+        let mut db = Database::new("RT").with_table(book_table());
+        let extended = db
+            .table("book")
+            .unwrap()
+            .extend_with(Attribute::float("price"), |_, _| 9.99.into())
+            .unwrap();
+        db.replace_table(extended);
+        assert_eq!(db.table("book").unwrap().schema().arity(), 3);
+        assert!(db.remove_table("book").is_some());
+        assert!(db.remove_table("book").is_none());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn schema_derivation() {
+        let db = Database::new("RT").with_table(book_table()).with_table(music_table());
+        let schema = db.schema();
+        assert_eq!(schema.name(), "RT");
+        assert_eq!(schema.len(), 2);
+        assert_eq!(schema.table("book").unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn display_reports_counts() {
+        let db = Database::new("RT").with_table(book_table());
+        let s = db.to_string();
+        assert!(s.contains("database RT"));
+        assert!(s.contains("2 rows") || s.contains("1 tables"));
+    }
+}

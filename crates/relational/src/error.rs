@@ -1,0 +1,85 @@
+//! Error type shared across the relational substrate.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the relational substrate.
+///
+/// These are *user-facing* errors (unknown attribute names, arity mismatches, …).
+/// Internal invariant violations panic instead, since they indicate programmer error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A referenced table does not exist in the schema or database.
+    UnknownTable(String),
+    /// A referenced attribute does not exist in the given table.
+    UnknownAttribute { table: String, attribute: String },
+    /// A tuple was inserted whose arity does not match the table schema.
+    ArityMismatch { table: String, expected: usize, actual: usize },
+    /// A value of an unexpected type was supplied for an attribute.
+    TypeMismatch { attribute: String, expected: String, actual: String },
+    /// A view definition is invalid (e.g. projects an attribute not in the base table).
+    InvalidView(String),
+    /// A constraint definition is invalid (e.g. foreign key referencing a non-key).
+    InvalidConstraint(String),
+    /// A duplicate table name was registered in a schema or database.
+    DuplicateTable(String),
+    /// Generic parse failure when converting text to a [`crate::Value`].
+    Parse(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            Error::UnknownAttribute { table, attribute } => {
+                write!(f, "unknown attribute {table}.{attribute}")
+            }
+            Error::ArityMismatch { table, expected, actual } => write!(
+                f,
+                "arity mismatch inserting into {table}: expected {expected} values, got {actual}"
+            ),
+            Error::TypeMismatch { attribute, expected, actual } => write!(
+                f,
+                "type mismatch for attribute {attribute}: expected {expected}, got {actual}"
+            ),
+            Error::InvalidView(msg) => write!(f, "invalid view definition: {msg}"),
+            Error::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
+            Error::DuplicateTable(t) => write!(f, "duplicate table name: {t}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_table() {
+        let e = Error::UnknownTable("inv".into());
+        assert_eq!(e.to_string(), "unknown table: inv");
+    }
+
+    #[test]
+    fn display_unknown_attribute() {
+        let e = Error::UnknownAttribute { table: "inv".into(), attribute: "foo".into() };
+        assert_eq!(e.to_string(), "unknown attribute inv.foo");
+    }
+
+    #[test]
+    fn display_arity_mismatch() {
+        let e = Error::ArityMismatch { table: "inv".into(), expected: 3, actual: 2 };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(e.to_string().contains("got 2"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::DuplicateTable("x".into()), Error::DuplicateTable("x".into()));
+        assert_ne!(Error::DuplicateTable("x".into()), Error::DuplicateTable("y".into()));
+    }
+}

@@ -1,0 +1,290 @@
+//! Table schemas and whole-schema catalogs.
+//!
+//! Following the paper's notation, a *schema* (ℛ_S, ℛ_T) is a collection of
+//! tables and views; a table `R` has a set of attributes `att(R)`, each with a
+//! type. [`TableSchema`] describes one table, [`Schema`] is the collection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::attribute::Attribute;
+use crate::error::{Error, Result};
+use crate::types::DataType;
+
+/// The schema (name + ordered attribute list) of a single table or view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    name: String,
+    attributes: Vec<Attribute>,
+}
+
+impl TableSchema {
+    /// Create a table schema from a name and attribute list.
+    pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Self {
+        TableSchema { name: name.into(), attributes }
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the table (used when deriving view schemas from base tables).
+    pub fn with_name(&self, name: impl Into<String>) -> TableSchema {
+        TableSchema { name: name.into(), attributes: self.attributes.clone() }
+    }
+
+    /// The ordered attribute list, `att(R)` in the paper.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attribute names in positional order.
+    pub fn attribute_names(&self) -> Vec<&str> {
+        self.attributes.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// Position of the named attribute (case-insensitive), if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name_eq(name))
+    }
+
+    /// Position of the named attribute, or an error naming the table.
+    pub fn require_index(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| Error::UnknownAttribute {
+            table: self.name.clone(),
+            attribute: name.to_string(),
+        })
+    }
+
+    /// The attribute with the given name, if present.
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        self.index_of(name).map(|i| &self.attributes[i])
+    }
+
+    /// The type of the named attribute, `type(a)` in the paper.
+    pub fn type_of(&self, name: &str) -> Option<DataType> {
+        self.attribute(name).map(|a| a.data_type)
+    }
+
+    /// True when the schema contains the named attribute.
+    pub fn has_attribute(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// Add an attribute, returning an error on a duplicate name.
+    pub fn add_attribute(&mut self, attribute: Attribute) -> Result<()> {
+        if self.has_attribute(&attribute.name) {
+            return Err(Error::InvalidView(format!(
+                "duplicate attribute {} in table {}",
+                attribute.name, self.name
+            )));
+        }
+        self.attributes.push(attribute);
+        Ok(())
+    }
+
+    /// Derive the schema of a projection of this table onto `names`
+    /// (in the order given), failing on unknown attributes.
+    pub fn project(&self, names: &[&str]) -> Result<TableSchema> {
+        let mut attrs = Vec::with_capacity(names.len());
+        for n in names {
+            let idx = self.require_index(n)?;
+            attrs.push(self.attributes[idx].clone());
+        }
+        Ok(TableSchema::new(self.name.clone(), attrs))
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A collection of table schemas — the paper's ℛ_S or ℛ_T.
+///
+/// Table order is deterministic (sorted by name) so that every algorithm that
+/// iterates "for each table in the schema" behaves identically across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    name: String,
+    tables: BTreeMap<String, TableSchema>,
+}
+
+impl Schema {
+    /// Create an empty schema with the given name (e.g. `"RS"` / `"RT"`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Schema { name: name.into(), tables: BTreeMap::new() }
+    }
+
+    /// The schema's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register a table schema; rejects duplicate names.
+    pub fn add_table(&mut self, table: TableSchema) -> Result<()> {
+        if self.tables.contains_key(table.name()) {
+            return Err(Error::DuplicateTable(table.name().to_string()));
+        }
+        self.tables.insert(table.name().to_string(), table);
+        Ok(())
+    }
+
+    /// Builder-style variant of [`Schema::add_table`]; panics on duplicates.
+    pub fn with_table(mut self, table: TableSchema) -> Self {
+        self.add_table(table).expect("duplicate table in schema builder");
+        self
+    }
+
+    /// Look up a table schema by name.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(name)
+    }
+
+    /// Look up a table schema by name, or return an error.
+    pub fn require_table(&self, name: &str) -> Result<&TableSchema> {
+        self.table(name).ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// Iterate over the table schemas in deterministic (name) order.
+    pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.values()
+    }
+
+    /// Names of all tables, in deterministic order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of tables in the schema.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the schema contains no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total number of attributes across all tables — a useful size measure for
+    /// the schema-scaling experiments (Figures 16–17).
+    pub fn total_attributes(&self) -> usize {
+        self.tables.values().map(|t| t.arity()).sum()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schema {} {{", self.name)?;
+        for t in self.tables.values() {
+            writeln!(f, "  {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv_schema() -> TableSchema {
+        TableSchema::new(
+            "inv",
+            vec![
+                Attribute::int("id"),
+                Attribute::text("name"),
+                Attribute::int("type"),
+                Attribute::bool("instock"),
+                Attribute::text("code"),
+                Attribute::text("descr"),
+            ],
+        )
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let s = inv_schema();
+        assert_eq!(s.index_of("Name"), Some(1));
+        assert_eq!(s.index_of("TYPE"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn require_index_reports_table_name() {
+        let s = inv_schema();
+        match s.require_index("zzz") {
+            Err(Error::UnknownAttribute { table, attribute }) => {
+                assert_eq!(table, "inv");
+                assert_eq!(attribute, "zzz");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_of_and_has_attribute() {
+        let s = inv_schema();
+        assert_eq!(s.type_of("price"), None);
+        assert_eq!(s.type_of("id"), Some(DataType::Int));
+        assert!(s.has_attribute("descr"));
+    }
+
+    #[test]
+    fn add_attribute_rejects_duplicates() {
+        let mut s = inv_schema();
+        assert!(s.add_attribute(Attribute::float("price")).is_ok());
+        assert!(s.add_attribute(Attribute::text("price")).is_err());
+        assert_eq!(s.arity(), 7);
+    }
+
+    #[test]
+    fn project_preserves_requested_order() {
+        let s = inv_schema();
+        let p = s.project(&["code", "id"]).unwrap();
+        assert_eq!(p.attribute_names(), vec!["code", "id"]);
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn schema_registration_and_lookup() {
+        let mut schema = Schema::new("RS");
+        schema.add_table(inv_schema()).unwrap();
+        assert!(schema.add_table(inv_schema()).is_err());
+        assert_eq!(schema.len(), 1);
+        assert!(schema.table("inv").is_some());
+        assert!(schema.require_table("other").is_err());
+        assert_eq!(schema.total_attributes(), 6);
+    }
+
+    #[test]
+    fn schema_iteration_is_sorted_by_name() {
+        let schema = Schema::new("RT")
+            .with_table(TableSchema::new("music", vec![Attribute::text("title")]))
+            .with_table(TableSchema::new("book", vec![Attribute::text("title")]));
+        assert_eq!(schema.table_names(), vec!["book", "music"]);
+    }
+
+    #[test]
+    fn display_formats_tables() {
+        let s = TableSchema::new("b", vec![Attribute::text("t")]);
+        assert_eq!(s.to_string(), "b(t string)");
+        let schema = Schema::new("RT").with_table(s);
+        let shown = schema.to_string();
+        assert!(shown.contains("schema RT"));
+        assert!(shown.contains("b(t string)"));
+    }
+}

@@ -1,0 +1,310 @@
+//! In-memory table instances (bags of tuples).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::attribute::Attribute;
+use crate::error::{Error, Result};
+use crate::schema::TableSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// An instance of a table: its schema plus a bag (ordered multiset) of tuples.
+///
+/// This is the "sample input" the paper's algorithms see. The bag of values of
+/// one attribute, `v(R.a)` in the paper ("select a from R"), is exposed by
+/// [`Table::column`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Tuple>,
+}
+
+impl Table {
+    /// Create an empty instance of the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// Create an instance and bulk-load rows, validating arity.
+    pub fn with_rows(schema: TableSchema, rows: Vec<Tuple>) -> Result<Self> {
+        let mut t = Table::new(schema);
+        for row in rows {
+            t.insert(row)?;
+        }
+        Ok(t)
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The table's name (delegates to the schema).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of tuples in the instance.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the instance holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The tuples, in insertion order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Iterate over tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Insert one tuple, validating its arity against the schema.
+    pub fn insert(&mut self, row: Tuple) -> Result<()> {
+        if row.arity() != self.schema.arity() {
+            return Err(Error::ArityMismatch {
+                table: self.schema.name().to_string(),
+                expected: self.schema.arity(),
+                actual: row.arity(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Insert many tuples.
+    pub fn insert_all<I: IntoIterator<Item = Tuple>>(&mut self, rows: I) -> Result<()> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// The value of attribute `name` in row `row_idx`.
+    pub fn value_at(&self, row_idx: usize, name: &str) -> Result<&Value> {
+        let col = self.schema.require_index(name)?;
+        Ok(self.rows[row_idx].at(col))
+    }
+
+    /// The bag of values of one attribute — `v(R.a)` in the paper.
+    pub fn column(&self, name: &str) -> Result<Vec<Value>> {
+        let col = self.schema.require_index(name)?;
+        Ok(self.rows.iter().map(|r| r.at(col).clone()).collect())
+    }
+
+    /// Like [`Table::column`] but skipping NULLs, which instance matchers and
+    /// classifiers generally ignore.
+    pub fn column_non_null(&self, name: &str) -> Result<Vec<Value>> {
+        let col = self.schema.require_index(name)?;
+        Ok(self
+            .rows
+            .iter()
+            .map(|r| r.at(col))
+            .filter(|v| !v.is_null())
+            .cloned()
+            .collect())
+    }
+
+    /// Distinct values of an attribute with their multiplicities, in value order.
+    pub fn value_counts(&self, name: &str) -> Result<BTreeMap<Value, usize>> {
+        let col = self.schema.require_index(name)?;
+        let mut counts = BTreeMap::new();
+        for row in &self.rows {
+            *counts.entry(row.at(col).clone()).or_insert(0) += 1;
+        }
+        Ok(counts)
+    }
+
+    /// Distinct non-NULL values of an attribute, in value order.
+    pub fn distinct_values(&self, name: &str) -> Result<Vec<Value>> {
+        Ok(self
+            .value_counts(name)?
+            .into_keys()
+            .filter(|v| !v.is_null())
+            .collect())
+    }
+
+    /// Select the subset of rows satisfying `predicate`, preserving order.
+    /// The result keeps this table's schema (optionally renamed by the caller).
+    pub fn filter_rows<F>(&self, predicate: F) -> Table
+    where
+        F: Fn(&Tuple) -> bool,
+    {
+        Table {
+            schema: self.schema.clone(),
+            rows: self.rows.iter().filter(|r| predicate(r)).cloned().collect(),
+        }
+    }
+
+    /// Project the instance onto the named attributes (in the given order).
+    pub fn project(&self, names: &[&str]) -> Result<Table> {
+        let schema = self.schema.project(names)?;
+        let positions: Vec<usize> =
+            names.iter().map(|n| self.schema.require_index(n)).collect::<Result<_>>()?;
+        let rows = self.rows.iter().map(|r| r.project(&positions)).collect();
+        Ok(Table { schema, rows })
+    }
+
+    /// Return a copy of this instance under a different table name.
+    pub fn renamed(&self, name: impl Into<String>) -> Table {
+        Table { schema: self.schema.with_name(name), rows: self.rows.clone() }
+    }
+
+    /// Return a copy restricted to the first `n` rows (used by the sample-size
+    /// experiments, Figure 18).
+    pub fn head(&self, n: usize) -> Table {
+        Table { schema: self.schema.clone(), rows: self.rows.iter().take(n).cloned().collect() }
+    }
+
+    /// Add a new attribute filled by `fill(row_index, tuple)`, returning the new
+    /// instance. Used by the data generators when injecting correlated or
+    /// padding attributes (Figures 12–13, 16–17).
+    pub fn extend_with<F>(&self, attribute: Attribute, mut fill: F) -> Result<Table>
+    where
+        F: FnMut(usize, &Tuple) -> Value,
+    {
+        let mut schema = self.schema.clone();
+        schema.add_attribute(attribute)?;
+        let rows = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut nr = r.clone();
+                nr.push(fill(i, r));
+                nr
+            })
+            .collect();
+        Ok(Table { schema, rows })
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} rows]", self.schema, self.rows.len())?;
+        for row in self.rows.iter().take(10) {
+            writeln!(f, "  {row}")?;
+        }
+        if self.rows.len() > 10 {
+            writeln!(f, "  … {} more", self.rows.len() - 10)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn price_table() -> Table {
+        let schema = TableSchema::new(
+            "price",
+            vec![Attribute::int("id"), Attribute::text("prcode"), Attribute::float("price")],
+        );
+        Table::with_rows(
+            schema,
+            vec![
+                tuple![0, "reg", 14.95],
+                tuple![1, "reg", 27.99],
+                tuple![1, "sale", 24.99],
+                tuple![2, "reg", 8.95],
+                tuple![2, "sale", 8.45],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_validates_arity() {
+        let schema = TableSchema::new("t", vec![Attribute::int("a"), Attribute::int("b")]);
+        let mut t = Table::new(schema);
+        assert!(t.insert(tuple![1, 2]).is_ok());
+        assert!(matches!(t.insert(tuple![1]), Err(Error::ArityMismatch { .. })));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn column_extracts_value_bag() {
+        let t = price_table();
+        let prices = t.column("price").unwrap();
+        assert_eq!(prices.len(), 5);
+        assert_eq!(prices[0], Value::Float(14.95));
+        assert!(t.column("missing").is_err());
+    }
+
+    #[test]
+    fn column_non_null_skips_nulls() {
+        let schema = TableSchema::new("t", vec![Attribute::text("x")]);
+        let t = Table::with_rows(schema, vec![tuple!["a"], Tuple::new(vec![Value::Null])]).unwrap();
+        assert_eq!(t.column_non_null("x").unwrap(), vec![Value::str("a")]);
+        assert_eq!(t.column("x").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn value_counts_and_distinct() {
+        let t = price_table();
+        let counts = t.value_counts("prcode").unwrap();
+        assert_eq!(counts.get(&Value::str("reg")), Some(&3));
+        assert_eq!(counts.get(&Value::str("sale")), Some(&2));
+        assert_eq!(t.distinct_values("prcode").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn filter_rows_preserves_schema() {
+        let t = price_table();
+        let idx = t.schema().index_of("prcode").unwrap();
+        let sale = t.filter_rows(|r| r.at(idx) == &Value::str("sale"));
+        assert_eq!(sale.len(), 2);
+        assert_eq!(sale.schema(), t.schema());
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let t = price_table();
+        let p = t.project(&["price", "id"]).unwrap();
+        assert_eq!(p.schema().attribute_names(), vec!["price", "id"]);
+        assert_eq!(p.rows()[0].at(1), &Value::Int(0));
+    }
+
+    #[test]
+    fn head_limits_rows() {
+        let t = price_table();
+        assert_eq!(t.head(2).len(), 2);
+        assert_eq!(t.head(100).len(), 5);
+    }
+
+    #[test]
+    fn renamed_changes_only_the_name() {
+        let t = price_table().renamed("V_sale");
+        assert_eq!(t.name(), "V_sale");
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn extend_with_adds_attribute() {
+        let t = price_table();
+        let ext = t
+            .extend_with(Attribute::text("flag"), |i, _| {
+                if i % 2 == 0 { Value::str("even") } else { Value::str("odd") }
+            })
+            .unwrap();
+        assert_eq!(ext.schema().arity(), 4);
+        assert_eq!(ext.value_at(0, "flag").unwrap(), &Value::str("even"));
+        assert_eq!(ext.value_at(1, "flag").unwrap(), &Value::str("odd"));
+        // Duplicate attribute rejected.
+        assert!(t.extend_with(Attribute::text("price"), |_, _| Value::Null).is_err());
+    }
+
+    #[test]
+    fn value_at_reads_named_cell() {
+        let t = price_table();
+        assert_eq!(t.value_at(2, "prcode").unwrap(), &Value::str("sale"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Tuples (rows) of relational instances.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A single row: a positional vector of [`Value`]s.
+///
+/// Tuples are positional; name-based access goes through
+/// [`crate::TableSchema::index_of`] so the mapping from name to position is
+/// resolved once per table, not once per row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Create a tuple from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Number of fields in the tuple.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the tuple has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at position `idx`, if present.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// The value at position `idx`; panics on out-of-range access (programmer error).
+    pub fn at(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Mutable access to the value at position `idx`.
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut Value> {
+        self.values.get_mut(idx)
+    }
+
+    /// Iterate over the tuple's values in positional order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.values.iter()
+    }
+
+    /// Consume the tuple and return its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Borrow the underlying value slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Project the tuple onto the given positions, in the given order.
+    ///
+    /// Positions beyond the tuple's arity project to NULL rather than panicking,
+    /// because outer joins in the mapping executor legitimately pad tuples.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple::new(
+            positions
+                .iter()
+                .map(|&i| self.values.get(i).cloned().unwrap_or(Value::Null))
+                .collect(),
+        )
+    }
+
+    /// Append another tuple's values, producing the concatenation (used when
+    /// joining tuples in the mapping executor).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(values)
+    }
+
+    /// Push a single value onto the end of the tuple.
+    pub fn push(&mut self, value: Value) {
+        self.values.push(value);
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Build a tuple from a heterogeneous list of values, converting each element
+/// with `Into<Value>`:
+///
+/// ```
+/// use cxm_relational::{tuple, Value};
+/// let t = tuple![0, "leaves of grass", 1, true];
+/// assert_eq!(t.arity(), 4);
+/// assert_eq!(t.at(1), &Value::str("leaves of grass"));
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_access() {
+        let t = tuple![1, "x", 2.5];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), Some(&Value::Int(1)));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.at(1), &Value::str("x"));
+    }
+
+    #[test]
+    fn project_keeps_order_and_pads_with_null() {
+        let t = tuple![10, 20, 30];
+        let p = t.project(&[2, 0, 7]);
+        assert_eq!(p.values(), &[Value::Int(30), Value::Int(10), Value::Null]);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = tuple![1, 2];
+        let b = tuple!["x"];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.at(2), &Value::str("x"));
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        let t = tuple![1, "cd"];
+        assert_eq!(t.to_string(), "(1, 'cd')");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: Tuple = vec![Value::Int(1), Value::Int(2)].into_iter().collect();
+        assert_eq!(t.arity(), 2);
+    }
+
+    #[test]
+    fn push_and_mutate() {
+        let mut t = tuple![1];
+        t.push(Value::str("y"));
+        assert_eq!(t.arity(), 2);
+        *t.get_mut(0).unwrap() = Value::Int(9);
+        assert_eq!(t.at(0), &Value::Int(9));
+    }
+}

@@ -1,0 +1,144 @@
+//! Attribute data types.
+//!
+//! The paper draws attribute types from `(string, int, real, …)` and the
+//! `TgtClassInfer` algorithm keeps one target-column classifier per *basic type
+//! domain* `D` ("int", "string", "text", …). [`DataType`] is that domain.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The basic type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// Integer-valued attribute.
+    Int,
+    /// Real-valued attribute.
+    Float,
+    /// Free text / string attribute.
+    Text,
+    /// Boolean attribute.
+    Bool,
+    /// Date attribute (stored as text; present because the paper's `inv` table
+    /// carries an `arrival date` column).
+    Date,
+    /// Unknown / untyped attribute.
+    Unknown,
+}
+
+impl DataType {
+    /// All concrete data types (excludes [`DataType::Unknown`]).
+    ///
+    /// `createTargetClassifier` in the paper iterates over every basic domain;
+    /// this is the iteration order used by our `TgtClassInfer`.
+    pub const ALL: [DataType; 5] =
+        [DataType::Int, DataType::Float, DataType::Text, DataType::Bool, DataType::Date];
+
+    /// True when the type carries numbers (int or float).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// True when the type is textual (text or date-as-text).
+    pub fn is_textual(self) -> bool {
+        matches!(self, DataType::Text | DataType::Date)
+    }
+
+    /// Type compatibility as used by `createTargetClassifier`: a classifier for
+    /// domain `D` is trained on every target attribute whose type is
+    /// *compatible* with `D`.
+    ///
+    /// Numeric types are mutually compatible (an `int` price sample can inform a
+    /// `float` classifier); textual types likewise. `Unknown` is compatible with
+    /// everything so untyped sample data is never silently dropped.
+    pub fn compatible_with(self, other: DataType) -> bool {
+        if self == other {
+            return true;
+        }
+        if self == DataType::Unknown || other == DataType::Unknown {
+            return true;
+        }
+        (self.is_numeric() && other.is_numeric()) || (self.is_textual() && other.is_textual())
+    }
+
+    /// Lower-case SQL-ish name of the type, matching the paper's figures
+    /// (`string`, `integer`, `float`, `boolean`, `date`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "integer",
+            DataType::Float => "float",
+            DataType::Text => "string",
+            DataType::Bool => "boolean",
+            DataType::Date => "date",
+            DataType::Unknown => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl FromStr for DataType {
+    type Err = crate::error::Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "int" | "integer" | "bigint" | "smallint" => Ok(DataType::Int),
+            "float" | "real" | "double" | "decimal" | "numeric" => Ok(DataType::Float),
+            "string" | "text" | "varchar" | "char" => Ok(DataType::Text),
+            "bool" | "boolean" => Ok(DataType::Bool),
+            "date" | "datetime" | "timestamp" => Ok(DataType::Date),
+            other => Err(crate::error::Error::Parse(format!("unknown data type {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_and_textual_partitions() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Text.is_numeric());
+        assert!(DataType::Text.is_textual());
+        assert!(DataType::Date.is_textual());
+        assert!(!DataType::Bool.is_textual());
+    }
+
+    #[test]
+    fn compatibility_rules() {
+        assert!(DataType::Int.compatible_with(DataType::Float));
+        assert!(DataType::Text.compatible_with(DataType::Date));
+        assert!(!DataType::Int.compatible_with(DataType::Text));
+        assert!(DataType::Unknown.compatible_with(DataType::Bool));
+        assert!(DataType::Bool.compatible_with(DataType::Bool));
+        assert!(!DataType::Bool.compatible_with(DataType::Int));
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!("integer".parse::<DataType>().unwrap(), DataType::Int);
+        assert_eq!("VARCHAR".parse::<DataType>().unwrap(), DataType::Text);
+        assert_eq!("real".parse::<DataType>().unwrap(), DataType::Float);
+        assert_eq!("boolean".parse::<DataType>().unwrap(), DataType::Bool);
+        assert_eq!("timestamp".parse::<DataType>().unwrap(), DataType::Date);
+        assert!("blob".parse::<DataType>().is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_figure_names() {
+        assert_eq!(DataType::Int.to_string(), "integer");
+        assert_eq!(DataType::Text.to_string(), "string");
+        assert_eq!(DataType::Float.to_string(), "float");
+    }
+
+    #[test]
+    fn all_excludes_unknown() {
+        assert_eq!(DataType::ALL.len(), 5);
+        assert!(!DataType::ALL.contains(&DataType::Unknown));
+    }
+}

@@ -1,0 +1,184 @@
+//! The binomial distribution used as the null model in `ClusteredViewGen`.
+//!
+//! §3.2.2: under the null hypothesis that a categorical attribute `l` is
+//! unrelated to the classified attribute `h`, the number of correct
+//! classifications made by the naive classifier (always predicting the most
+//! common label `v*`) over `n_test` trials is binomial with
+//! `p = |v*| / n_train`. Its mean is `n_test · p` and its standard deviation is
+//! `sqrt(n_test · p · (1 − p))`.
+
+use crate::normal::normal_cdf;
+
+/// A binomial distribution with `n` trials and success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    /// Number of trials.
+    pub n: u64,
+    /// Per-trial success probability (clamped to [0, 1]).
+    pub p: f64,
+}
+
+impl Binomial {
+    /// Create a binomial distribution; `p` is clamped into [0, 1].
+    pub fn new(n: u64, p: f64) -> Self {
+        Binomial { n, p: p.clamp(0.0, 1.0) }
+    }
+
+    /// Expected number of successes, `n · p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n · p · (1 − p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Standard deviation `sqrt(n · p · (1 − p))`.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Probability mass `P(X = k)`, computed in log space so large `n` does not
+    /// overflow.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        let n = self.n as f64;
+        let kf = k as f64;
+        let log_pmf = ln_choose(self.n, k) + kf * self.p.ln() + (n - kf) * (1.0 - self.p).ln();
+        log_pmf.exp()
+    }
+
+    /// Cumulative probability `P(X ≤ k)` by direct summation (the inputs in
+    /// this system have `n` in the hundreds at most).
+    pub fn cdf(&self, k: u64) -> f64 {
+        let k = k.min(self.n);
+        (0..=k).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+    }
+
+    /// Normal approximation of `P(X ≤ x)` with continuity correction — this is
+    /// the approximation the paper's significance test uses (`Φ((c − μ)/σ)`).
+    pub fn normal_approx_cdf(&self, x: f64) -> f64 {
+        let sigma = self.std_dev();
+        if sigma == 0.0 {
+            return if x >= self.mean() { 1.0 } else { 0.0 };
+        }
+        normal_cdf((x + 0.5 - self.mean()) / sigma)
+    }
+}
+
+/// Natural log of the binomial coefficient `C(n, k)` via `ln Γ`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln(n!)` via Stirling's series for large `n`, exact summation for small `n`.
+fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n < 32 {
+        return (2..=n).map(|i| (i as f64).ln()).sum();
+    }
+    let x = n as f64 + 1.0;
+    // Stirling's approximation to ln Γ(x).
+    (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x.powi(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn moments_match_formulas() {
+        let b = Binomial::new(100, 0.3);
+        assert!(close(b.mean(), 30.0, 1e-12));
+        assert!(close(b.variance(), 21.0, 1e-12));
+        assert!(close(b.std_dev(), 21.0f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(20, 0.37);
+        let total: f64 = (0..=20).map(|k| b.pmf(k)).sum();
+        assert!(close(total, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn pmf_known_values() {
+        // Binomial(4, 0.5): P(X=2) = 6/16.
+        let b = Binomial::new(4, 0.5);
+        assert!(close(b.pmf(2), 0.375, 1e-12));
+        assert!(close(b.pmf(0), 0.0625, 1e-12));
+        assert_eq!(b.pmf(5), 0.0);
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let zero = Binomial::new(10, 0.0);
+        assert_eq!(zero.pmf(0), 1.0);
+        assert_eq!(zero.pmf(1), 0.0);
+        assert_eq!(zero.cdf(10), 1.0);
+        let one = Binomial::new(10, 1.0);
+        assert_eq!(one.pmf(10), 1.0);
+        assert_eq!(one.pmf(3), 0.0);
+        // Clamping of out-of-range p.
+        assert_eq!(Binomial::new(5, 1.7).p, 1.0);
+        assert_eq!(Binomial::new(5, -0.2).p, 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let b = Binomial::new(30, 0.42);
+        let mut prev = 0.0;
+        for k in 0..=30 {
+            let c = b.cdf(k);
+            assert!(c >= prev - 1e-12);
+            assert!(c <= 1.0 + 1e-12);
+            prev = c;
+        }
+        assert!(close(b.cdf(30), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn normal_approximation_tracks_exact_cdf() {
+        let b = Binomial::new(200, 0.4);
+        for &k in &[60u64, 70, 80, 90, 100] {
+            let exact = b.cdf(k);
+            let approx = b.normal_approx_cdf(k as f64);
+            assert!(close(exact, approx, 0.02), "k={k}: exact={exact} approx={approx}");
+        }
+    }
+
+    #[test]
+    fn normal_approx_degenerate_sigma() {
+        let b = Binomial::new(50, 1.0);
+        assert_eq!(b.normal_approx_cdf(50.0), 1.0);
+        assert_eq!(b.normal_approx_cdf(49.0), 0.0);
+    }
+
+    #[test]
+    fn ln_factorial_consistency() {
+        // Stirling branch vs exact branch should agree where they meet.
+        let exact: f64 = (2..=40u64).map(|i| (i as f64).ln()).sum();
+        assert!(close(ln_factorial(40), exact, 1e-6));
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Confusion matrices and micro-averaged precision / recall.
+//!
+//! `ClusteredViewGen` (§3.2.2) assesses a classifier "in a standard way as the
+//! combined, micro-averaged, precision and recall … according to the standard
+//! F-β function with β = 1". [`ConfusionMatrix`] accumulates per-label
+//! true-positive / false-positive / false-negative counts from (expected,
+//! predicted) label pairs, and [`MicroAverage`] exposes the pooled scores.
+
+use std::collections::BTreeMap;
+
+use crate::fmeasure::f_beta;
+
+/// Multi-class confusion counts keyed by label string.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConfusionMatrix {
+    /// counts[(expected, predicted)] = number of test items.
+    counts: BTreeMap<(String, String), usize>,
+}
+
+/// Pooled (micro-averaged) precision / recall over all labels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroAverage {
+    /// Micro-averaged precision: ΣTP / (ΣTP + ΣFP).
+    pub precision: f64,
+    /// Micro-averaged recall: ΣTP / (ΣTP + ΣFN).
+    pub recall: f64,
+    /// Plain accuracy: correct / total.
+    pub accuracy: f64,
+    /// Number of correctly classified items (the `c` of the significance test).
+    pub correct: usize,
+    /// Total number of classified items.
+    pub total: usize,
+}
+
+impl MicroAverage {
+    /// Micro-averaged F-β of the pooled precision and recall.
+    pub fn f_beta(&self, beta: f64) -> f64 {
+        f_beta(self.precision, self.recall, beta)
+    }
+
+    /// Micro-averaged F1.
+    pub fn f1(&self) -> f64 {
+        self.f_beta(1.0)
+    }
+}
+
+impl ConfusionMatrix {
+    /// Create an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one classification outcome.
+    pub fn record(&mut self, expected: impl Into<String>, predicted: impl Into<String>) {
+        *self.counts.entry((expected.into(), predicted.into())).or_insert(0) += 1;
+    }
+
+    /// Record a batch of (expected, predicted) pairs.
+    pub fn record_all<I, A, B>(&mut self, pairs: I)
+    where
+        I: IntoIterator<Item = (A, B)>,
+        A: Into<String>,
+        B: Into<String>,
+    {
+        for (e, p) in pairs {
+            self.record(e, p);
+        }
+    }
+
+    /// Total number of recorded outcomes.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Number of correct outcomes (expected == predicted).
+    pub fn correct(&self) -> usize {
+        self.counts.iter().filter(|((e, p), _)| e == p).map(|(_, &c)| c).sum()
+    }
+
+    /// All labels seen on either side, sorted.
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = self
+            .counts
+            .keys()
+            .flat_map(|(e, p)| [e.clone(), p.clone()])
+            .collect();
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+
+    /// True positives for one label.
+    pub fn true_positives(&self, label: &str) -> usize {
+        self.counts.get(&(label.to_string(), label.to_string())).copied().unwrap_or(0)
+    }
+
+    /// False positives for one label (predicted = label, expected ≠ label).
+    pub fn false_positives(&self, label: &str) -> usize {
+        self.counts
+            .iter()
+            .filter(|((e, p), _)| p == label && e != label)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// False negatives for one label (expected = label, predicted ≠ label).
+    pub fn false_negatives(&self, label: &str) -> usize {
+        self.counts
+            .iter()
+            .filter(|((e, p), _)| e == label && p != label)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Per-label precision (1.0 when the label was never predicted).
+    pub fn precision(&self, label: &str) -> f64 {
+        let tp = self.true_positives(label) as f64;
+        let fp = self.false_positives(label) as f64;
+        if tp + fp == 0.0 {
+            1.0
+        } else {
+            tp / (tp + fp)
+        }
+    }
+
+    /// Per-label recall (1.0 when the label never appears as expected).
+    pub fn recall(&self, label: &str) -> f64 {
+        let tp = self.true_positives(label) as f64;
+        let fn_ = self.false_negatives(label) as f64;
+        if tp + fn_ == 0.0 {
+            1.0
+        } else {
+            tp / (tp + fn_)
+        }
+    }
+
+    /// Micro-averaged (pooled) precision / recall / accuracy.
+    ///
+    /// In single-label multi-class classification the pooled FP count equals
+    /// the pooled FN count, so micro precision = micro recall = accuracy; all
+    /// three are still exposed separately because the disjunct-merging code and
+    /// the reports read them under their own names.
+    pub fn micro_average(&self) -> MicroAverage {
+        let total = self.total();
+        let correct = self.correct();
+        let labels = self.labels();
+        let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+        for l in &labels {
+            tp += self.true_positives(l);
+            fp += self.false_positives(l);
+            fn_ += self.false_negatives(l);
+        }
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let accuracy = if total == 0 { 0.0 } else { correct as f64 / total as f64 };
+        MicroAverage { precision, recall, accuracy, correct, total }
+    }
+
+    /// Error pairs `(expected, predicted)` with expected ≠ predicted and their
+    /// counts, sorted by descending count. False positives and false negatives
+    /// are *not* distinguished — `(v, v')` is pooled with `(v', v)` — exactly as
+    /// the early-disjunct merging step of §3.3 requires.
+    pub fn pooled_errors(&self) -> Vec<((String, String), usize)> {
+        let mut pooled: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for ((e, p), &c) in &self.counts {
+            if e == p {
+                continue;
+            }
+            let key = if e <= p { (e.clone(), p.clone()) } else { (p.clone(), e.clone()) };
+            *pooled.entry(key).or_insert(0) += c;
+        }
+        let mut out: Vec<_> = pooled.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// How many times `label` occurs as the expected label.
+    pub fn expected_count(&self, label: &str) -> usize {
+        self.counts.iter().filter(|((e, _), _)| e == label).map(|(_, &c)| c).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    fn sample_matrix() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new();
+        // 3 correct book, 1 book misread as cd, 2 correct cd, 1 cd misread as book.
+        m.record_all(vec![
+            ("book", "book"),
+            ("book", "book"),
+            ("book", "book"),
+            ("book", "cd"),
+            ("cd", "cd"),
+            ("cd", "cd"),
+            ("cd", "book"),
+        ]);
+        m
+    }
+
+    #[test]
+    fn counts_and_labels() {
+        let m = sample_matrix();
+        assert_eq!(m.total(), 7);
+        assert_eq!(m.correct(), 5);
+        assert_eq!(m.labels(), vec!["book".to_string(), "cd".to_string()]);
+        assert_eq!(m.expected_count("book"), 4);
+        assert_eq!(m.expected_count("cd"), 3);
+    }
+
+    #[test]
+    fn per_label_counts() {
+        let m = sample_matrix();
+        assert_eq!(m.true_positives("book"), 3);
+        assert_eq!(m.false_positives("book"), 1);
+        assert_eq!(m.false_negatives("book"), 1);
+        assert_eq!(m.true_positives("cd"), 2);
+        assert_eq!(m.false_positives("cd"), 1);
+        assert_eq!(m.false_negatives("cd"), 1);
+    }
+
+    #[test]
+    fn per_label_precision_recall() {
+        let m = sample_matrix();
+        assert!(close(m.precision("book"), 0.75));
+        assert!(close(m.recall("book"), 0.75));
+        assert!(close(m.precision("cd"), 2.0 / 3.0));
+        assert!(close(m.recall("cd"), 2.0 / 3.0));
+        // Unseen label: conventions.
+        assert!(close(m.precision("dvd"), 1.0));
+        assert!(close(m.recall("dvd"), 1.0));
+    }
+
+    #[test]
+    fn micro_average_equals_accuracy_for_single_label() {
+        let m = sample_matrix();
+        let micro = m.micro_average();
+        assert!(close(micro.accuracy, 5.0 / 7.0));
+        assert!(close(micro.precision, 5.0 / 7.0));
+        assert!(close(micro.recall, 5.0 / 7.0));
+        assert!(close(micro.f1(), 5.0 / 7.0));
+        assert_eq!(micro.correct, 5);
+        assert_eq!(micro.total, 7);
+    }
+
+    #[test]
+    fn empty_matrix_micro_average() {
+        let m = ConfusionMatrix::new();
+        let micro = m.micro_average();
+        assert_eq!(micro.total, 0);
+        assert_eq!(micro.accuracy, 0.0);
+        assert_eq!(micro.precision, 0.0);
+    }
+
+    #[test]
+    fn pooled_errors_merge_directions() {
+        let mut m = ConfusionMatrix::new();
+        m.record("a", "b");
+        m.record("b", "a");
+        m.record("a", "c");
+        m.record("a", "a");
+        let errs = m.pooled_errors();
+        assert_eq!(errs.len(), 2);
+        // (a,b) pooled count 2 comes first.
+        assert_eq!(errs[0], (("a".to_string(), "b".to_string()), 2));
+        assert_eq!(errs[1], (("a".to_string(), "c".to_string()), 1));
+    }
+
+    #[test]
+    fn perfect_classifier_has_no_errors() {
+        let mut m = ConfusionMatrix::new();
+        m.record_all(vec![("x", "x"), ("y", "y")]);
+        assert!(m.pooled_errors().is_empty());
+        assert!(close(m.micro_average().f1(), 1.0));
+    }
+}

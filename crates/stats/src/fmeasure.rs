@@ -1,0 +1,182 @@
+//! F-measures and match-set quality.
+//!
+//! Two related quantities appear in the paper:
+//!
+//! * the classifier-quality F-β (§3.2.2), computed from micro-averaged
+//!   precision and recall — [`f_beta`];
+//! * the *evaluation* metric of §5: "Accuracy is … the percentage of the
+//!   correct matches found, and precision as the percentage of matches found
+//!   that are correct. FMeasure … is equal to 2·acc·prec/(acc+prec)" —
+//!   [`MatchSetQuality`] computes all three from a found-set and a truth-set.
+
+use std::collections::BTreeSet;
+
+/// The Fβ combination of precision `p` and recall `r`:
+/// `(1 + β²)·p·r / (β²·p + r)`; 0 when both inputs are 0.
+pub fn f_beta(precision: f64, recall: f64, beta: f64) -> f64 {
+    let b2 = beta * beta;
+    let denom = b2 * precision + recall;
+    if denom <= 0.0 {
+        0.0
+    } else {
+        (1.0 + b2) * precision * recall / denom
+    }
+}
+
+/// The harmonic-mean F-measure used throughout §5 (β = 1); arguments are in
+/// [0, 1] or percentages — the function is scale-preserving either way.
+pub fn f_measure(accuracy: f64, precision: f64) -> f64 {
+    if accuracy + precision <= 0.0 {
+        0.0
+    } else {
+        2.0 * accuracy * precision / (accuracy + precision)
+    }
+}
+
+/// Quality of a set of found items against a reference (ground-truth) set.
+///
+/// The item type only needs to be orderable so the sets can be compared; the
+/// evaluation harness instantiates it with canonical string renderings of
+/// contextual matches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchSetQuality {
+    /// Number of found items that are correct (true positives).
+    pub true_positives: usize,
+    /// Number of found items that are not in the truth set.
+    pub false_positives: usize,
+    /// Number of truth items that were not found.
+    pub false_negatives: usize,
+}
+
+impl MatchSetQuality {
+    /// Compare a found set against a truth set.
+    pub fn compare<T: Ord + Clone>(found: &[T], truth: &[T]) -> MatchSetQuality {
+        let found: BTreeSet<T> = found.iter().cloned().collect();
+        let truth: BTreeSet<T> = truth.iter().cloned().collect();
+        let tp = found.intersection(&truth).count();
+        MatchSetQuality {
+            true_positives: tp,
+            false_positives: found.len() - tp,
+            false_negatives: truth.len() - tp,
+        }
+    }
+
+    /// Accuracy (the paper's term; recall in IR terms): fraction of the truth
+    /// set that was found. 1.0 for an empty truth set.
+    pub fn accuracy(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Precision: fraction of found items that are correct. 1.0 when nothing
+    /// was found *and* nothing should have been found, 0.0 when items were
+    /// missed but nothing was found.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            if self.false_negatives == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// The paper's FMeasure = 2·acc·prec/(acc+prec), as a fraction in [0, 1].
+    pub fn f_measure(&self) -> f64 {
+        f_measure(self.accuracy(), self.precision())
+    }
+
+    /// FMeasure expressed as a percentage (how the figures report it).
+    pub fn f_measure_pct(&self) -> f64 {
+        100.0 * self.f_measure()
+    }
+
+    /// Accuracy expressed as a percentage (Figures 19–21 report "% Accuracy").
+    pub fn accuracy_pct(&self) -> f64 {
+        100.0 * self.accuracy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn f_beta_known_values() {
+        assert!(close(f_beta(1.0, 1.0, 1.0), 1.0));
+        assert!(close(f_beta(0.5, 0.5, 1.0), 0.5));
+        assert!(close(f_beta(1.0, 0.0, 1.0), 0.0));
+        assert!(close(f_beta(0.0, 0.0, 1.0), 0.0));
+        // β = 2 weights recall higher.
+        let f2 = f_beta(0.5, 1.0, 2.0);
+        let f1 = f_beta(0.5, 1.0, 1.0);
+        assert!(f2 > f1);
+    }
+
+    #[test]
+    fn f_measure_is_harmonic_mean() {
+        assert!(close(f_measure(1.0, 1.0), 1.0));
+        assert!(close(f_measure(0.8, 0.4), 2.0 * 0.8 * 0.4 / 1.2));
+        assert!(close(f_measure(0.0, 0.9), 0.0));
+        // Percentage scale works identically.
+        assert!(close(f_measure(80.0, 40.0), 2.0 * 80.0 * 40.0 / 120.0));
+    }
+
+    #[test]
+    fn compare_counts_overlap() {
+        let found = vec!["a", "b", "c"];
+        let truth = vec!["b", "c", "d", "e"];
+        let q = MatchSetQuality::compare(&found, &truth);
+        assert_eq!(q.true_positives, 2);
+        assert_eq!(q.false_positives, 1);
+        assert_eq!(q.false_negatives, 2);
+        assert!(close(q.accuracy(), 0.5));
+        assert!(close(q.precision(), 2.0 / 3.0));
+        assert!(close(q.f_measure(), f_measure(0.5, 2.0 / 3.0)));
+        assert!(close(q.f_measure_pct(), 100.0 * q.f_measure()));
+    }
+
+    #[test]
+    fn perfect_and_empty_cases() {
+        let q = MatchSetQuality::compare(&["x", "y"], &["x", "y"]);
+        assert!(close(q.f_measure(), 1.0));
+        assert!(close(q.accuracy_pct(), 100.0));
+
+        // Nothing found, nothing expected → vacuously perfect.
+        let q = MatchSetQuality::compare::<&str>(&[], &[]);
+        assert!(close(q.accuracy(), 1.0));
+        assert!(close(q.precision(), 1.0));
+        assert!(close(q.f_measure(), 1.0));
+
+        // Nothing found, something expected → zero.
+        let q = MatchSetQuality::compare(&[], &["x"]);
+        assert!(close(q.accuracy(), 0.0));
+        assert!(close(q.precision(), 0.0));
+        assert!(close(q.f_measure(), 0.0));
+
+        // Something found, nothing expected → precision zero, accuracy vacuous.
+        let q = MatchSetQuality::compare(&["x"], &[]);
+        assert!(close(q.accuracy(), 1.0));
+        assert!(close(q.precision(), 0.0));
+        assert!(close(q.f_measure(), 0.0));
+    }
+
+    #[test]
+    fn duplicates_in_inputs_are_set_collapsed() {
+        let q = MatchSetQuality::compare(&["a", "a", "b"], &["a", "b", "b"]);
+        assert_eq!(q.true_positives, 2);
+        assert_eq!(q.false_positives, 0);
+        assert_eq!(q.false_negatives, 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # cxm-stats
+//!
+//! Statistical primitives used throughout the contextual schema matching system
+//! (*Putting Context into Schema Matching*, Bohannon et al., VLDB 2006):
+//!
+//! * running moments (mean / variance / standard deviation) — [`moments`],
+//! * the normal distribution (PDF, CDF Φ, quantiles) — [`normal`]; §2.3 of the
+//!   paper converts raw matcher scores into confidences by treating the score
+//!   distribution as samples of a normal,
+//! * the binomial null model used by `ClusteredViewGen`'s significance test —
+//!   [`binomial`] and [`significance`],
+//! * micro-averaged precision / recall / F-β for classifier quality — [`confusion`],
+//! * accuracy / precision / F-measure over match sets for the experimental
+//!   evaluation (§5: `FMeasure = 2·acc·prec/(acc+prec)`) — [`fmeasure`].
+//!
+//! The crate is dependency-free and completely deterministic.
+
+pub mod binomial;
+pub mod confusion;
+pub mod fmeasure;
+pub mod moments;
+pub mod normal;
+pub mod significance;
+
+pub use binomial::Binomial;
+pub use confusion::{ConfusionMatrix, MicroAverage};
+pub use fmeasure::{f_beta, f_measure, MatchSetQuality};
+pub use moments::{mean, population_std_dev, sample_std_dev, Moments};
+pub use normal::{normal_cdf, normal_pdf, normal_quantile, z_score};
+pub use significance::{significance_of_classifier, SignificanceTest};

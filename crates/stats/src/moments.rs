@@ -1,0 +1,177 @@
+//! Running moments: mean, variance, standard deviation.
+//!
+//! The matcher-score normalization of §2.3 ("the distribution of scores to all
+//! target attributes are treated as samples of a normal distribution") needs
+//! the empirical mean and standard deviation of small score samples. The
+//! accumulator uses Welford's algorithm for numerical stability.
+
+/// Online accumulator of count, mean and variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Moments {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build an accumulator from an iterator of samples.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut m = Moments::new();
+        for x in samples {
+            m.push(x);
+        }
+        m
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`; 0 for fewer than 1 sample).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divides by `n - 1`; 0 for fewer than 2 samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Merge two accumulators (parallel Welford combination).
+    pub fn merge(&self, other: &Moments) -> Moments {
+        if self.n == 0 {
+            return *other;
+        }
+        if other.n == 0 {
+            return *self;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        Moments { n, mean, m2 }
+    }
+}
+
+/// Mean of a slice (0 when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    Moments::from_samples(xs.iter().copied()).mean()
+}
+
+/// Population standard deviation of a slice.
+pub fn population_std_dev(xs: &[f64]) -> f64 {
+    Moments::from_samples(xs.iter().copied()).population_std_dev()
+}
+
+/// Sample standard deviation of a slice.
+pub fn sample_std_dev(xs: &[f64]) -> f64 {
+    Moments::from_samples(xs.iter().copied()).sample_std_dev()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let m = Moments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.population_variance(), 0.0);
+        assert_eq!(m.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn known_small_sample() {
+        let m = Moments::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(m.count(), 8);
+        assert!(close(m.mean(), 5.0));
+        assert!(close(m.population_variance(), 4.0));
+        assert!(close(m.population_std_dev(), 2.0));
+        assert!(close(m.sample_variance(), 32.0 / 7.0));
+    }
+
+    #[test]
+    fn single_sample_has_zero_variance() {
+        let m = Moments::from_samples([3.5]);
+        assert!(close(m.mean(), 3.5));
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let a = Moments::from_samples([1.0, 2.0, 3.0]);
+        let b = Moments::from_samples([10.0, 20.0]);
+        let merged = a.merge(&b);
+        let direct = Moments::from_samples([1.0, 2.0, 3.0, 10.0, 20.0]);
+        assert_eq!(merged.count(), direct.count());
+        assert!(close(merged.mean(), direct.mean()));
+        assert!(close(merged.population_variance(), direct.population_variance()));
+        // Merging with empty is identity.
+        assert!(close(a.merge(&Moments::new()).mean(), a.mean()));
+        assert!(close(Moments::new().merge(&b).mean(), b.mean()));
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert!(close(mean(&[1.0, 3.0]), 2.0));
+        assert!(close(population_std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]), 2.0));
+        assert!(sample_std_dev(&[]) == 0.0);
+    }
+
+    #[test]
+    fn welford_is_stable_for_shifted_data() {
+        // Large offset should not destroy the variance estimate.
+        let offset = 1.0e9;
+        let m = Moments::from_samples([offset + 1.0, offset + 2.0, offset + 3.0]);
+        assert!(close(m.population_variance(), 2.0 / 3.0));
+    }
+}

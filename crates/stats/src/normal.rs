@@ -1,0 +1,139 @@
+//! The standard normal distribution: PDF, CDF Φ, and quantiles.
+//!
+//! Two places in the paper rely on the normal distribution:
+//!
+//! * §2.3 — per-matcher raw scores are converted into confidences by modelling
+//!   the distribution of a source attribute's scores against all target
+//!   attributes as a normal and reading off tail probabilities;
+//! * §3.2.2 — `ClusteredViewGen` accepts a view family when
+//!   `Φ((c − μ)/σ) > T`, where `c` is the classifier's number of correct
+//!   classifications and `(μ, σ)` come from the binomial null model.
+
+/// Probability density of the standard normal at `x`.
+pub fn normal_pdf(x: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Cumulative distribution function Φ(x) of the standard normal.
+///
+/// Implemented via the complementary error function with the Abramowitz &
+/// Stegun 7.1.26 polynomial approximation; absolute error is below 1.5e-7,
+/// far tighter than anything the matching heuristics need.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Quantile (inverse CDF) of the standard normal, via bisection on
+/// [`normal_cdf`]. `p` is clamped to (1e-12, 1 − 1e-12).
+pub fn normal_quantile(p: f64) -> f64 {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    let (mut lo, mut hi) = (-10.0, 10.0);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Standardize `x` against a distribution with the given mean and standard
+/// deviation. With `sigma == 0`, returns 0 when `x == mu`, and ±∞-like large
+/// values otherwise (so that a degenerate score distribution still orders
+/// candidates sensibly rather than dividing by zero).
+pub fn z_score(x: f64, mu: f64, sigma: f64) -> f64 {
+    if sigma > 0.0 {
+        (x - mu) / sigma
+    } else if (x - mu).abs() < f64::EPSILON {
+        0.0
+    } else if x > mu {
+        1.0e6
+    } else {
+        -1.0e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn pdf_known_values() {
+        assert!(close(normal_pdf(0.0), 0.3989422804, 1e-9));
+        assert!(close(normal_pdf(1.0), 0.2419707245, 1e-9));
+        assert!(close(normal_pdf(-1.0), normal_pdf(1.0), 1e-12));
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!(close(normal_cdf(0.0), 0.5, 1e-7));
+        assert!(close(normal_cdf(1.0), 0.8413447, 1e-6));
+        assert!(close(normal_cdf(-1.0), 0.1586553, 1e-6));
+        assert!(close(normal_cdf(1.6448536), 0.95, 1e-5));
+        assert!(close(normal_cdf(2.0), 0.9772499, 1e-6));
+        assert!(normal_cdf(8.0) > 0.9999999);
+        assert!(normal_cdf(-8.0) < 1e-7);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        let mut x = -5.0;
+        while x <= 5.0 {
+            let c = normal_cdf(x);
+            assert!(c >= prev - 1e-12, "CDF decreased at x={x}");
+            prev = c;
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99] {
+            let x = normal_quantile(p);
+            assert!(close(normal_cdf(x), p, 1e-6), "p={p}");
+        }
+        assert!(close(normal_quantile(0.95), 1.6449, 1e-3));
+        assert!(close(normal_quantile(0.5), 0.0, 1e-6));
+    }
+
+    #[test]
+    fn quantile_handles_extreme_probabilities() {
+        assert!(normal_quantile(0.0) < -6.0);
+        assert!(normal_quantile(1.0) > 6.0);
+    }
+
+    #[test]
+    fn z_score_standardizes() {
+        assert!(close(z_score(7.0, 5.0, 2.0), 1.0, 1e-12));
+        assert!(close(z_score(3.0, 5.0, 2.0), -1.0, 1e-12));
+        // Degenerate sigma.
+        assert_eq!(z_score(5.0, 5.0, 0.0), 0.0);
+        assert!(z_score(6.0, 5.0, 0.0) > 1.0e5);
+        assert!(z_score(4.0, 5.0, 0.0) < -1.0e5);
+    }
+}

@@ -1,0 +1,169 @@
+//! The significance test of `ClusteredViewGen` (§3.2.2).
+//!
+//! The null hypothesis is that the classified attribute `h` and the
+//! categorical attribute `l` are uncorrelated and labels are assigned randomly
+//! in proportion to their training frequencies. Under that hypothesis, the
+//! naive classifier `C_Naive` — always answering the most common training label
+//! `v*` — scores a binomially distributed number of correct classifications
+//! with `p = |v*| / n_train`, mean `μ = n_test·p` and `σ = sqrt(n_test·p·(1−p))`.
+//!
+//! The trained classifier's correct count `c` is then standardized and the
+//! family of views is accepted iff `Φ((c − μ)/σ) > T` (typically 95 %).
+
+use crate::binomial::Binomial;
+use crate::normal::{normal_cdf, z_score};
+
+/// Outcome of the significance comparison between a trained classifier and the
+/// naive (majority-label) null model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignificanceTest {
+    /// Number of correct classifications `c` achieved on the testing data.
+    pub correct: usize,
+    /// Size of the testing set `n_test`.
+    pub n_test: usize,
+    /// Null-model success probability `p = |v*| / n_train`.
+    pub null_p: f64,
+    /// Null-model mean `μ = n_test · p`.
+    pub mu: f64,
+    /// Null-model standard deviation `σ = sqrt(n_test·p·(1−p))`.
+    pub sigma: f64,
+    /// The standardized score `(c − μ)/σ`.
+    pub z: f64,
+    /// `Φ(z)` — the probability that the alternative hypothesis ("l can be
+    /// predicted by h") is preferred; compared against the threshold `T`.
+    pub confidence: f64,
+}
+
+impl SignificanceTest {
+    /// True when the classifier beats the null model at the given confidence
+    /// threshold `T` (e.g. 0.95).
+    pub fn is_significant(&self, threshold: f64) -> bool {
+        self.confidence > threshold
+    }
+
+    /// The likelihood of the null hypothesis, `1 − Φ(z)` — the quantity the
+    /// paper says should be small.
+    pub fn null_likelihood(&self) -> f64 {
+        1.0 - self.confidence
+    }
+}
+
+/// Run the significance test.
+///
+/// * `correct` — number of test items the trained classifier got right (`c`);
+/// * `n_test` — number of test items;
+/// * `majority_count` — number of *training* items labelled with the most
+///   common label `v*`;
+/// * `n_train` — number of training items.
+///
+/// Degenerate inputs (empty training or testing sets) report zero confidence:
+/// no evidence is never significant evidence.
+pub fn significance_of_classifier(
+    correct: usize,
+    n_test: usize,
+    majority_count: usize,
+    n_train: usize,
+) -> SignificanceTest {
+    if n_test == 0 || n_train == 0 {
+        return SignificanceTest {
+            correct,
+            n_test,
+            null_p: 0.0,
+            mu: 0.0,
+            sigma: 0.0,
+            z: 0.0,
+            confidence: 0.0,
+        };
+    }
+    let p = (majority_count as f64 / n_train as f64).clamp(0.0, 1.0);
+    let null = Binomial::new(n_test as u64, p);
+    let mu = null.mean();
+    let sigma = null.std_dev();
+    let z = z_score(correct as f64, mu, sigma);
+    let confidence = if sigma == 0.0 {
+        // The null model is deterministic (p = 0 or p = 1). Beating it strictly
+        // is significant; merely equalling it is not.
+        if (correct as f64) > mu {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        normal_cdf(z)
+    };
+    SignificanceTest { correct, n_test, null_p: p, mu, sigma, z, confidence }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_classifier_is_significant() {
+        // 95 of 100 correct vs a 50/50 null → overwhelmingly significant.
+        let t = significance_of_classifier(95, 100, 100, 200);
+        assert!(t.confidence > 0.999);
+        assert!(t.is_significant(0.95));
+        assert!(t.null_likelihood() < 0.001);
+        assert!((t.mu - 50.0).abs() < 1e-9);
+        assert!((t.sigma - 5.0).abs() < 1e-9);
+        assert!((t.z - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chance_level_classifier_is_not_significant() {
+        // 50 of 100 correct vs a 50/50 null → Φ(0) = 0.5, not significant.
+        let t = significance_of_classifier(50, 100, 100, 200);
+        assert!((t.confidence - 0.5).abs() < 1e-6);
+        assert!(!t.is_significant(0.95));
+    }
+
+    #[test]
+    fn below_chance_classifier_is_not_significant() {
+        let t = significance_of_classifier(30, 100, 100, 200);
+        assert!(t.confidence < 0.5);
+        assert!(!t.is_significant(0.5));
+    }
+
+    #[test]
+    fn skewed_majority_raises_the_bar() {
+        // Null model already answers correctly 90% of the time; a classifier at
+        // 92/100 is barely above it and should not clear a 95% threshold.
+        let t = significance_of_classifier(92, 100, 180, 200);
+        assert!(!t.is_significant(0.95));
+        // But 99/100 should.
+        let t = significance_of_classifier(99, 100, 180, 200);
+        assert!(t.is_significant(0.95));
+    }
+
+    #[test]
+    fn degenerate_inputs_have_zero_confidence() {
+        assert_eq!(significance_of_classifier(0, 0, 0, 10).confidence, 0.0);
+        assert_eq!(significance_of_classifier(5, 10, 0, 0).confidence, 0.0);
+    }
+
+    #[test]
+    fn deterministic_null_model() {
+        // All training labels identical (p = 1): matching it exactly is not
+        // significant, and beating it is impossible, so confidence is 0 unless
+        // correct > n_test (which cannot happen).
+        let t = significance_of_classifier(10, 10, 50, 50);
+        assert_eq!(t.sigma, 0.0);
+        assert_eq!(t.confidence, 0.0);
+
+        // p = 0 null (majority label absent from training — artificial, but the
+        // maths should hold): any correct answer is significant.
+        let t = significance_of_classifier(1, 10, 0, 50);
+        assert_eq!(t.confidence, 1.0);
+    }
+
+    #[test]
+    fn monotone_in_correct_count() {
+        let mut prev = 0.0;
+        for c in (0..=100).step_by(10) {
+            let t = significance_of_classifier(c, 100, 60, 200);
+            assert!(t.confidence >= prev - 1e-12);
+            prev = t.confidence;
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Integration-test package — the cross-crate tests live in `tests/tests/`.
+//!
+//! This library target exists only so Cargo has a compilation unit to attach
+//! the integration tests to; it intentionally exposes nothing.

@@ -1,0 +1,125 @@
+//! End-to-end integration test: the Retail scenario across every crate.
+//!
+//! Generates the synthetic inventory dataset, runs contextual matching with
+//! each view-inference strategy and both disjunct policies, and checks the
+//! headline claims of the paper hold qualitatively on our reproduction:
+//! contextual matching recovers type-conditioned matches, the classifier
+//! strategies filter distractor views, and QualTable beats the strawman.
+
+use cxm_core::{
+    strawman_config, ContextMatchConfig, ContextualMatcher, SelectionStrategy,
+    ViewInferenceStrategy,
+};
+use cxm_datagen::{generate_retail, RetailConfig, TargetFlavor};
+
+fn quick_retail(flavor: TargetFlavor, seed: u64) -> RetailConfig {
+    RetailConfig { flavor, seed, source_items: 300, target_rows: 70, ..RetailConfig::default() }
+}
+
+#[test]
+fn contextual_matching_recovers_item_type_contexts() {
+    let dataset = generate_retail(&quick_retail(TargetFlavor::Ryan, 5));
+    let config = ContextMatchConfig::default()
+        .with_inference(ViewInferenceStrategy::SrcClass)
+        .with_early_disjuncts(true);
+    let result =
+        ContextualMatcher::new(config).run(&dataset.source, &dataset.target).unwrap();
+
+    // Contextual matches are produced and all of them condition on ItemType or
+    // another categorical attribute of the source.
+    let contextual = result.contextual_selected();
+    assert!(!contextual.is_empty(), "no contextual matches selected");
+    let quality = dataset.truth.evaluate(&result.selected);
+    assert!(
+        quality.f_measure_pct() > 25.0,
+        "FMeasure too low on the easy Ryan target: {:.1}",
+        quality.f_measure_pct()
+    );
+
+    // The title matches to the book table must be conditioned on Book values,
+    // never CD values.
+    for m in &contextual {
+        if m.target.table == "book" && m.source.attribute == "ItemName" {
+            if let Some(values) = m.condition.restricted_values("ItemType") {
+                for v in values {
+                    assert!(
+                        v.as_text().starts_with("Book"),
+                        "book-table match conditioned on a CD value: {m}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_strategy_and_policy_combination_runs() {
+    let dataset = generate_retail(&quick_retail(TargetFlavor::Aaron, 9));
+    for strategy in ViewInferenceStrategy::ALL {
+        for early in [true, false] {
+            let config = ContextMatchConfig::default()
+                .with_inference(strategy)
+                .with_early_disjuncts(early);
+            let result = ContextualMatcher::new(config)
+                .run(&dataset.source, &dataset.target)
+                .unwrap();
+            assert!(
+                !result.standard.is_empty(),
+                "{} / early={early}: standard matching found nothing",
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn qual_table_outperforms_strawman_multitable() {
+    let dataset = generate_retail(&quick_retail(TargetFlavor::Ryan, 13));
+    let qual = ContextMatchConfig::default()
+        .with_inference(ViewInferenceStrategy::Naive)
+        .with_selection(SelectionStrategy::QualTable)
+        .with_early_disjuncts(false);
+    let qual_result =
+        ContextualMatcher::new(qual).run(&dataset.source, &dataset.target).unwrap();
+    let straw_result = ContextualMatcher::new(strawman_config())
+        .run(&dataset.source, &dataset.target)
+        .unwrap();
+    let qual_f = dataset.truth.f_measure_pct(&qual_result.selected);
+    let straw_f = dataset.truth.f_measure_pct(&straw_result.selected);
+    assert!(
+        qual_f >= straw_f,
+        "QualTable ({qual_f:.1}) should not lose to the strawman ({straw_f:.1})"
+    );
+}
+
+#[test]
+fn classifier_strategies_reject_stock_status_views() {
+    // StockStatus is uncorrelated with the book/music split; the classifier
+    // driven strategies should not select matches conditioned on it.
+    let dataset = generate_retail(&quick_retail(TargetFlavor::Ryan, 21));
+    let config = ContextMatchConfig::default()
+        .with_inference(ViewInferenceStrategy::SrcClass)
+        .with_early_disjuncts(false);
+    let result =
+        ContextualMatcher::new(config).run(&dataset.source, &dataset.target).unwrap();
+    for m in result.contextual_selected() {
+        let attrs = m.condition.attributes();
+        assert!(
+            !attrs.contains("StockStatus"),
+            "selected a match conditioned on the uncorrelated StockStatus: {m}"
+        );
+    }
+}
+
+#[test]
+fn truth_evaluation_is_consistent_with_selected_views() {
+    let dataset = generate_retail(&quick_retail(TargetFlavor::Barrett, 31));
+    let config = ContextMatchConfig::default().with_inference(ViewInferenceStrategy::SrcClass);
+    let result =
+        ContextualMatcher::new(config).run(&dataset.source, &dataset.target).unwrap();
+    let q = dataset.truth.evaluate(&result.selected);
+    // Structural invariants of the evaluation: TP + FN = |truth|.
+    assert_eq!(q.true_positives + q.false_negatives, dataset.truth.len());
+    assert!(q.accuracy() >= 0.0 && q.accuracy() <= 1.0);
+    assert!(q.precision() >= 0.0 && q.precision() <= 1.0);
+}

@@ -1,0 +1,131 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use cxm_relational::{
+    split_rows, Attribute, Condition, SplitRatio, Table, TableSchema, Tuple, Value, ViewDef,
+    ViewFamily,
+};
+use cxm_stats::{f_measure, normal_cdf, Binomial, MatchSetQuality, Moments};
+
+/// Build a single-column table of integers.
+fn int_table(values: &[i64]) -> Table {
+    let schema = TableSchema::new("t", vec![Attribute::int("x")]);
+    Table::with_rows(schema, values.iter().map(|&v| Tuple::new(vec![Value::Int(v)])).collect())
+        .expect("arity matches")
+}
+
+proptest! {
+    /// A view family built from the distinct values of an attribute always
+    /// partitions the table: member views are disjoint and cover every row.
+    #[test]
+    fn view_families_partition_tables(values in prop::collection::vec(0i64..6, 1..120)) {
+        let table = int_table(&values);
+        let family = ViewFamily::partition_by_values(&table, "x").unwrap();
+        prop_assert!(family.is_mutually_exclusive());
+        let db = cxm_relational::Database::new("d").with_table(table.clone());
+        let parts = family.evaluate(&db).unwrap();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, table.len());
+    }
+
+    /// Selection views never return rows that violate their condition, and the
+    /// selectivity equals the returned fraction.
+    #[test]
+    fn selection_views_are_sound(values in prop::collection::vec(0i64..10, 1..100), pivot in 0i64..10) {
+        let table = int_table(&values);
+        let db = cxm_relational::Database::new("d").with_table(table.clone());
+        let view = ViewDef::named_by_condition("t", Condition::eq("x", pivot));
+        let out = view.evaluate(&db).unwrap();
+        for row in out.rows() {
+            prop_assert_eq!(row.at(0), &Value::Int(pivot));
+        }
+        let expected = values.iter().filter(|&&v| v == pivot).count();
+        prop_assert_eq!(out.len(), expected);
+        let sel = view.selectivity(&table);
+        prop_assert!((sel - expected as f64 / values.len() as f64).abs() < 1e-12);
+    }
+
+    /// Train/test splitting is a partition: sizes add up and every row lands in
+    /// exactly one side, for any ratio and seed.
+    #[test]
+    fn split_rows_is_a_partition(
+        values in prop::collection::vec(0i64..1000, 2..200),
+        ratio in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let table = int_table(&values);
+        let (train, test) = split_rows(&table, SplitRatio(ratio), seed);
+        prop_assert_eq!(train.len() + test.len(), table.len());
+        prop_assert!(!train.is_empty());
+        prop_assert!(!test.is_empty());
+        let mut combined: Vec<i64> = train
+            .column("x").unwrap().iter().chain(test.column("x").unwrap().iter())
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        combined.sort_unstable();
+        let mut original = values.clone();
+        original.sort_unstable();
+        prop_assert_eq!(combined, original);
+    }
+
+    /// Conditions: `and`/`or` composition never mentions attributes that the
+    /// operands do not mention, and evaluation is consistent with the boolean
+    /// semantics of the composition.
+    #[test]
+    fn condition_composition_is_consistent(a in 0i64..4, b in 0i64..4, x in 0i64..4) {
+        let schema = TableSchema::new("t", vec![Attribute::int("x")]);
+        let row = Tuple::new(vec![Value::Int(x)]);
+        let ca = Condition::eq("x", a);
+        let cb = Condition::eq("x", b);
+        let and = ca.clone().and(cb.clone());
+        let or = ca.clone().or(cb.clone());
+        prop_assert_eq!(and.eval(&schema, &row), ca.eval(&schema, &row) && cb.eval(&schema, &row));
+        prop_assert_eq!(or.eval(&schema, &row), ca.eval(&schema, &row) || cb.eval(&schema, &row));
+        prop_assert!(and.attributes().len() <= 1 + 1);
+        prop_assert!(or.complexity() <= 1);
+    }
+
+    /// The normal CDF is monotone and bounded; binomial mean/variance formulas
+    /// hold for arbitrary parameters.
+    #[test]
+    fn stats_invariants(x in -6.0f64..6.0, dx in 0.0f64..3.0, n in 1u64..400, p in 0.0f64..1.0) {
+        let c1 = normal_cdf(x);
+        let c2 = normal_cdf(x + dx);
+        prop_assert!((0.0..=1.0).contains(&c1));
+        prop_assert!(c2 + 1e-12 >= c1);
+        let b = Binomial::new(n, p);
+        prop_assert!((b.mean() - n as f64 * p).abs() < 1e-9);
+        prop_assert!(b.variance() >= -1e-12);
+        prop_assert!(b.std_dev() <= n as f64 / 2.0 + 1.0);
+    }
+
+    /// Welford moments match the direct two-pass computation.
+    #[test]
+    fn moments_match_two_pass(values in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let m = Moments::from_samples(values.iter().copied());
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        prop_assert!((m.mean() - mean).abs() < 1e-6);
+        prop_assert!((m.population_variance() - var).abs() < 1e-6);
+    }
+
+    /// Match-set quality: accuracy and precision stay in [0, 1], FMeasure is
+    /// bounded by both, and comparing a set against itself is perfect.
+    #[test]
+    fn match_set_quality_bounds(
+        found in prop::collection::btree_set(0u32..50, 0..30),
+        truth in prop::collection::btree_set(0u32..50, 0..30),
+    ) {
+        let found: Vec<u32> = found.into_iter().collect();
+        let truth: Vec<u32> = truth.into_iter().collect();
+        let q = MatchSetQuality::compare(&found, &truth);
+        prop_assert!((0.0..=1.0).contains(&q.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&q.precision()));
+        let f = q.f_measure();
+        prop_assert!(f <= q.accuracy() + 1e-12 || f <= q.precision() + 1e-12);
+        let self_q = MatchSetQuality::compare(&truth, &truth);
+        prop_assert!((self_q.f_measure() - 1.0).abs() < 1e-12);
+        prop_assert!((f_measure(q.accuracy(), q.precision()) - f).abs() < 1e-12);
+    }
+}
