@@ -21,17 +21,13 @@ fn bench_cardinality(c: &mut Criterion) {
             let config = ContextMatchConfig::default()
                 .with_inference(ViewInferenceStrategy::Naive)
                 .with_early_disjuncts(early);
-            group.bench_with_input(
-                BenchmarkId::new(policy, gamma),
-                &gamma,
-                |b, _| {
-                    b.iter(|| {
-                        ContextualMatcher::new(config)
-                            .run(&dataset.source, &dataset.target)
-                            .expect("well-formed dataset")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(policy, gamma), &gamma, |b, _| {
+                b.iter(|| {
+                    ContextualMatcher::new(config)
+                        .run(&dataset.source, &dataset.target)
+                        .expect("well-formed dataset")
+                })
+            });
         }
     }
     group.finish();

@@ -18,9 +18,8 @@ fn bench_correlated(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_13_correlated");
     group.sample_size(10);
     for strategy in ViewInferenceStrategy::ALL {
-        let config = ContextMatchConfig::default()
-            .with_inference(strategy)
-            .with_early_disjuncts(true);
+        let config =
+            ContextMatchConfig::default().with_inference(strategy).with_early_disjuncts(true);
         group.bench_function(strategy.name(), |b| {
             b.iter(|| {
                 ContextualMatcher::new(config)

@@ -15,8 +15,7 @@ fn bench_sample_size(c: &mut Criterion) {
             target_rows: 60,
             ..RetailConfig::default()
         });
-        let config =
-            ContextMatchConfig::default().with_inference(ViewInferenceStrategy::TgtClass);
+        let config = ContextMatchConfig::default().with_inference(ViewInferenceStrategy::TgtClass);
         group.bench_with_input(BenchmarkId::new("tgtclass", size), &size, |b, _| {
             b.iter(|| {
                 ContextualMatcher::new(config)

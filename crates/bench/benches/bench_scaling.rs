@@ -1,11 +1,20 @@
 //! Bench for Figures 16–17 (schema-size scaling): matching cost with padding
 //! attributes added to every table, per inference strategy — the runtime
 //! figure's claim is that TgtClassInfer scales worst with schema width.
+//!
+//! Also hosts the `zero_copy_scoring` group comparing the selection-vector
+//! `ScoreMatch` hot path against the legacy materializing baseline retained in
+//! `cxm_core::score_candidates_materializing`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use cxm_core::{ContextMatchConfig, ContextualMatcher, ViewInferenceStrategy};
+use cxm_core::{
+    candidate_views::{flatten_views, infer_candidate_views},
+    score_candidates, score_candidates_materializing, ContextMatchConfig, ContextualMatcher,
+    ViewInferenceStrategy,
+};
 use cxm_datagen::{generate_retail, RetailConfig};
+use cxm_matching::StandardMatcher;
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig16_17_scaling");
@@ -19,21 +28,72 @@ fn bench_scaling(c: &mut Criterion) {
         });
         for strategy in [ViewInferenceStrategy::SrcClass, ViewInferenceStrategy::TgtClass] {
             let config = ContextMatchConfig::default().with_inference(strategy);
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), extra),
-                &extra,
-                |b, _| {
-                    b.iter(|| {
-                        ContextualMatcher::new(config)
-                            .run(&dataset.source, &dataset.target)
-                            .expect("well-formed dataset")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), extra), &extra, |b, _| {
+                b.iter(|| {
+                    ContextualMatcher::new(config)
+                        .run(&dataset.source, &dataset.target)
+                        .expect("well-formed dataset")
+                })
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling);
+/// Zero-copy selection scoring vs the materializing baseline, on the
+/// `ScoreMatch` unit of work (one source table, all candidate views, all
+/// prototype matches).
+fn bench_zero_copy_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zero_copy_scoring");
+    group.sample_size(10);
+    for items in [200usize, 400] {
+        let dataset = generate_retail(&RetailConfig {
+            source_items: items,
+            target_rows: 50,
+            ..RetailConfig::default()
+        });
+        let config = ContextMatchConfig::default()
+            .with_inference(ViewInferenceStrategy::SrcClass)
+            .with_tau(0.4);
+        let matcher = StandardMatcher::new(config.matching);
+        // Fixed scoring inputs: the benchmark isolates ScoreMatch itself.
+        let table = dataset.source.tables().next().expect("retail source has a table");
+        let outcome = matcher.match_table(table, &dataset.target);
+        let prototype = outcome.accepted.clone();
+        let families = infer_candidate_views(table, &prototype, &dataset.target, &config);
+        let views = flatten_views(&families, &config);
+
+        group.bench_with_input(BenchmarkId::new("selection", items), &items, |b, _| {
+            b.iter(|| {
+                score_candidates(
+                    &dataset.source,
+                    &dataset.target,
+                    &matcher,
+                    &outcome,
+                    table,
+                    &views,
+                    &prototype,
+                )
+                .expect("scoring succeeds")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("materializing", items), &items, |b, _| {
+            b.iter(|| {
+                score_candidates_materializing(
+                    &dataset.source,
+                    &dataset.target,
+                    &matcher,
+                    &outcome,
+                    table,
+                    &views,
+                    &prototype,
+                )
+                .expect("scoring succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_zero_copy_scoring);
 criterion_main!(benches);

@@ -3,8 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use cxm_core::{strawman_config, ContextMatchConfig, ContextualMatcher, SelectionStrategy,
-    ViewInferenceStrategy};
+use cxm_core::{
+    strawman_config, ContextMatchConfig, ContextualMatcher, SelectionStrategy,
+    ViewInferenceStrategy,
+};
 use cxm_datagen::{generate_retail, RetailConfig};
 
 fn bench_strawman(c: &mut Criterion) {

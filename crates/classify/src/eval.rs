@@ -43,8 +43,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::naive_bayes::NaiveBayesClassifier;
     use crate::majority::MajorityClassifier;
+    use crate::naive_bayes::NaiveBayesClassifier;
 
     #[test]
     fn perfectly_separable_data_scores_one() {

@@ -74,8 +74,9 @@ impl NaiveBayesClassifier {
             .iter()
             .map(|(label, stats)| {
                 // Prior.
-                let mut log_p =
-                    ((stats.doc_count as f64 + self.alpha) / (self.total_docs as f64 + self.alpha * self.classes.len() as f64)).ln();
+                let mut log_p = ((stats.doc_count as f64 + self.alpha)
+                    / (self.total_docs as f64 + self.alpha * self.classes.len() as f64))
+                    .ln();
                 // Likelihood of each token under this class.
                 let denom = stats.total_tokens as f64 + self.alpha * vocab_size;
                 for t in &tokens {
@@ -85,7 +86,9 @@ impl NaiveBayesClassifier {
                 (label.clone(), log_p)
             })
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0)));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+        });
         out
     }
 }

@@ -52,7 +52,8 @@ impl GaussianClassifier {
                 let mean = m.mean();
                 let var = m.population_variance().max(MIN_VARIANCE);
                 let prior = (m.count() as f64 / self.total as f64).ln();
-                let ll = -0.5 * ((value - mean).powi(2) / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
+                let ll = -0.5
+                    * ((value - mean).powi(2) / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
                 (label.clone(), prior + ll)
             })
             .collect();

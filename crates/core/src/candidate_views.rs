@@ -38,10 +38,7 @@ pub fn infer_candidate_views(
             .collect(),
         ViewInferenceStrategy::TgtClass => {
             let labeler = TgtLabeler::from_target(target);
-            clustered_view_gen(table, &labeler, config)
-                .into_iter()
-                .map(|sf| sf.family)
-                .collect()
+            clustered_view_gen(table, &labeler, config).into_iter().map(|sf| sf.family).collect()
         }
     }
 }
@@ -68,16 +65,12 @@ pub fn flatten_views(families: &[ViewFamily], config: &ContextMatchConfig) -> Ve
 mod tests {
     use super::*;
     use cxm_matching::Match;
-    use cxm_relational::{Attribute, AttrRef, TableSchema, Tuple, Value};
+    use cxm_relational::{AttrRef, Attribute, TableSchema, Tuple, Value};
 
     fn inventory(n: usize) -> Table {
         let schema = TableSchema::new(
             "inv",
-            vec![
-                Attribute::int("id"),
-                Attribute::text("descr"),
-                Attribute::int("type"),
-            ],
+            vec![Attribute::int("id"), Attribute::text("descr"), Attribute::int("type")],
         );
         let rows = (0..n)
             .map(|i| {
@@ -102,7 +95,10 @@ mod tests {
     fn target_db() -> Database {
         let book = Table::with_rows(
             TableSchema::new("book", vec![Attribute::text("format")]),
-            vec![Tuple::new(vec![Value::str("paperback")]), Tuple::new(vec![Value::str("hardcover")])],
+            vec![
+                Tuple::new(vec![Value::str("paperback")]),
+                Tuple::new(vec![Value::str("hardcover")]),
+            ],
         )
         .unwrap();
         let music = Table::with_rows(
@@ -114,7 +110,12 @@ mod tests {
     }
 
     fn prototype() -> MatchList {
-        vec![Match::standard(AttrRef::new("inv", "descr"), AttrRef::new("book", "format"), 0.6, 0.8)]
+        vec![Match::standard(
+            AttrRef::new("inv", "descr"),
+            AttrRef::new("book", "format"),
+            0.6,
+            0.8,
+        )]
     }
 
     #[test]
@@ -138,9 +139,8 @@ mod tests {
         let target = target_db();
         let matches = prototype();
         for strategy in ViewInferenceStrategy::ALL {
-            let cfg = ContextMatchConfig::default()
-                .with_inference(strategy)
-                .with_early_disjuncts(false);
+            let cfg =
+                ContextMatchConfig::default().with_inference(strategy).with_early_disjuncts(false);
             let fams = infer_candidate_views(&table, &matches, &target, &cfg);
             assert!(
                 !fams.is_empty(),
@@ -176,7 +176,10 @@ mod tests {
         assert!(naive_attrs.contains("stock"));
         assert!(naive_attrs.contains("type"));
         assert!(src_attrs.contains("type"));
-        assert!(!src_attrs.contains("stock"), "classifier filter should reject the noise attribute");
+        assert!(
+            !src_attrs.contains("stock"),
+            "classifier filter should reject the noise attribute"
+        );
     }
 
     #[test]

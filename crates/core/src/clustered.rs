@@ -17,7 +17,8 @@
 use std::collections::BTreeMap;
 
 use cxm_relational::{
-    categorical_attributes, non_categorical_attributes, split_rows, Table, Value, ViewFamily,
+    categorical_attributes, non_categorical_attributes, split_selection, Table, TableSlice, Value,
+    ViewFamily,
 };
 use cxm_stats::{significance_of_classifier, ConfusionMatrix};
 
@@ -83,10 +84,7 @@ impl LabelGroups {
     /// labels are unknown or already in the same group.
     fn merge(&mut self, label_a: &str, label_b: &str) -> bool {
         let gid_of = |label: &str, this: &LabelGroups| -> Option<usize> {
-            this.groups
-                .keys()
-                .copied()
-                .find(|gid| this.group_label(*gid) == label)
+            this.groups.keys().copied().find(|gid| this.group_label(*gid) == label)
         };
         let (Some(ga), Some(gb)) = (gid_of(label_a, self), gid_of(label_b, self)) else {
             return false;
@@ -115,18 +113,18 @@ impl LabelGroups {
 }
 
 /// Collect the `(h value, group label)` pairs of a partition, skipping tuples
-/// whose `h` or `l` is NULL.
+/// whose `h` or `l` is NULL. The partition is a zero-copy [`TableSlice`], so
+/// training-data extraction clones no tuples.
 fn labelled_pairs(
-    table: &Table,
+    partition: &TableSlice<'_>,
     h: &str,
     l: &str,
     groups: &LabelGroups,
 ) -> Vec<(String, String)> {
-    let h_idx = table.schema().index_of(h).expect("h comes from the schema");
-    let l_idx = table.schema().index_of(l).expect("l comes from the schema");
-    table
+    let h_idx = partition.schema().index_of(h).expect("h comes from the schema");
+    let l_idx = partition.schema().index_of(l).expect("l comes from the schema");
+    partition
         .rows()
-        .iter()
         .filter_map(|row| {
             let hv = row.at(h_idx);
             let lv = row.at(l_idx);
@@ -151,7 +149,11 @@ pub fn clustered_view_gen(
     if cats.is_empty() || noncats.is_empty() || table.len() < 4 {
         return out;
     }
-    let (train_table, test_table) = split_rows(table, config.split_ratio, config.seed);
+    // The train/test partition is carried as selection vectors over the base
+    // table; both sides are read through zero-copy slices below.
+    let (train_sel, test_sel) = split_selection(table, config.split_ratio, config.seed);
+    let train_slice = TableSlice::new(table, &train_sel);
+    let test_slice = TableSlice::new(table, &test_sel);
 
     for l in &cats {
         let values = table.distinct_values(l).unwrap_or_default();
@@ -159,19 +161,15 @@ pub fn clustered_view_gen(
             continue;
         }
         for h in &noncats {
-            let numeric = table
-                .schema()
-                .type_of(h)
-                .map(|t| t.is_numeric())
-                .unwrap_or(false);
+            let numeric = table.schema().type_of(h).map(|t| t.is_numeric()).unwrap_or(false);
             let mut groups = LabelGroups::initial(&values);
 
             // Early-disjunct loop: evaluate, emit if significant, merge the
             // worst-confused pair, repeat. Without EarlyDisjuncts only the
             // first (unmerged) iteration runs.
             loop {
-                let train = labelled_pairs(&train_table, h, l, &groups);
-                let test = labelled_pairs(&test_table, h, l, &groups);
+                let train = labelled_pairs(&train_slice, h, l, &groups);
+                let test = labelled_pairs(&test_slice, h, l, &groups);
                 if train.is_empty() || test.is_empty() {
                     break;
                 }
@@ -262,8 +260,10 @@ mod tests {
         );
         let book_descr = ["hardcover", "paperback", "hardcover first edition", "paperback reprint"];
         let cd_descr = ["audio cd", "elektra records cd", "columbia cd", "remastered audio cd"];
-        let book_titles = ["leaves of grass", "heart of darkness", "wasteland", "moby dick", "middlemarch"];
-        let cd_titles = ["the white album", "hotel california", "kind of blue", "abbey road", "blue train"];
+        let book_titles =
+            ["leaves of grass", "heart of darkness", "wasteland", "moby dick", "middlemarch"];
+        let cd_titles =
+            ["the white album", "hotel california", "kind of blue", "abbey road", "blue train"];
         let mut rows = Vec::new();
         for i in 0..n {
             let is_book = i % 2 == 0;

@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use cxm_relational::{Database, Result, ViewDef};
+use cxm_relational::{Database, Result, SelectionCache, ViewDef};
 
 use crate::config::ContextMatchConfig;
 use crate::context_match::{ContextMatchResult, ContextualMatcher};
@@ -38,24 +38,28 @@ pub fn conjunctive_context_match(
 
     // Views selected in the most recent stage, keyed by their derived table
     // name, along with the base table and condition they represent.
-    let mut frontier: BTreeMap<String, ViewDef> = result
-        .selected_view_defs()
-        .into_iter()
-        .map(|v| (v.name.clone(), v.clone()))
-        .collect();
+    let mut frontier: BTreeMap<String, ViewDef> =
+        result.selected_view_defs().into_iter().map(|v| (v.name.clone(), v.clone())).collect();
 
+    // Atom selections recur across stages (stage i+1 conjoins new atoms onto
+    // stage-i conditions over the same base tables), so one cache serves the
+    // whole conjunctive search.
+    let mut cache = SelectionCache::new();
     for stage in 2..=stages {
         if frontier.is_empty() {
             break;
         }
         // Materialize the frontier views as a derived source database. View
         // names contain brackets; they are valid table names for our in-memory
-        // engine, so no renaming is needed.
+        // engine, so no renaming is needed. The selection is computed first
+        // (through the shared cache) so undersized views are discarded before
+        // a single tuple is cloned.
         let mut derived = Database::new(format!("{}#stage{}", source.name(), stage));
         for view in frontier.values() {
-            let instance = view.evaluate(source)?;
-            if instance.len() >= 4 {
-                derived.replace_table(instance);
+            let base = source.require_table(&view.base_table)?;
+            let selection = view.select_cached(base, &mut cache)?;
+            if selection.len() >= 4 {
+                derived.replace_table(view.materialize_selection(base, &selection)?);
             }
         }
         if derived.is_empty() {
@@ -186,11 +190,8 @@ mod tests {
         // Stage 2 may or may not fire depending on what stage 1 selects, but if
         // any conjunctive match was produced it must involve two attributes and
         // keep the original base table name.
-        let conjunctive: Vec<_> = result
-            .selected
-            .iter()
-            .filter(|m| m.condition.complexity() >= 2)
-            .collect();
+        let conjunctive: Vec<_> =
+            result.selected.iter().filter(|m| m.condition.complexity() >= 2).collect();
         for m in &conjunctive {
             assert_eq!(m.base_table, "inv");
             let attrs = m.condition.attributes();

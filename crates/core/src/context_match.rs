@@ -53,11 +53,8 @@ impl ContextMatchResult {
 
     /// Names of the views that back at least one selected contextual match.
     pub fn selected_views(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .contextual_selected()
-            .iter()
-            .map(|m| m.source.table.clone())
-            .collect();
+        let mut names: Vec<String> =
+            self.contextual_selected().iter().map(|m| m.source.table.clone()).collect();
         names.sort();
         names.dedup();
         names
@@ -181,11 +178,7 @@ mod tests {
         let book = Table::with_rows(
             TableSchema::new(
                 "book",
-                vec![
-                    Attribute::text("title"),
-                    Attribute::text("isbn"),
-                    Attribute::text("format"),
-                ],
+                vec![Attribute::text("title"), Attribute::text("isbn"), Attribute::text("format")],
             ),
             vec![
                 Tuple::new(vec![
@@ -209,11 +202,7 @@ mod tests {
         let music = Table::with_rows(
             TableSchema::new(
                 "music",
-                vec![
-                    Attribute::text("title"),
-                    Attribute::text("asin"),
-                    Attribute::text("label"),
-                ],
+                vec![Attribute::text("title"), Attribute::text("asin"), Attribute::text("label")],
             ),
             vec![
                 Tuple::new(vec![
@@ -297,11 +286,7 @@ mod tests {
                 .with_tau(0.4)
                 .with_early_disjuncts(true);
             let result = ContextualMatcher::new(config).run(&source, &target).unwrap();
-            assert!(
-                !result.selected.is_empty(),
-                "{} selected no matches at all",
-                strategy.name()
-            );
+            assert!(!result.selected.is_empty(), "{} selected no matches at all", strategy.name());
         }
     }
 

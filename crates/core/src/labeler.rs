@@ -20,7 +20,7 @@
 use std::collections::BTreeMap;
 
 use cxm_classify::{Classifier, MajorityClassifier, ValueClassifier};
-use cxm_relational::{Database, DataType};
+use cxm_relational::{DataType, Database};
 
 /// A fitted prediction function from attribute values (as text) to categorical
 /// labels, plus bookkeeping about the training label distribution that the

@@ -28,8 +28,11 @@ pub fn naive_infer(table: &Table, config: &ContextMatchConfig) -> Vec<ViewFamily
             continue;
         }
         // The simple-context family: one view per value.
-        let simple =
-            ViewFamily::from_value_groups(table.name(), l.clone(), values.iter().map(|v| vec![v.clone()]).collect());
+        let simple = ViewFamily::from_value_groups(
+            table.name(),
+            l.clone(),
+            values.iter().map(|v| vec![v.clone()]).collect(),
+        );
         total_views += simple.len();
         families.push(simple);
         if total_views >= config.max_candidate_views {
@@ -37,7 +40,9 @@ pub fn naive_infer(table: &Table, config: &ContextMatchConfig) -> Vec<ViewFamily
         }
 
         if config.early_disjuncts {
-            for subset in value_subsets(&values, config.max_candidate_views.saturating_sub(total_views)) {
+            for subset in
+                value_subsets(&values, config.max_candidate_views.saturating_sub(total_views))
+            {
                 let complement: Vec<Value> =
                     values.iter().filter(|v| !subset.contains(v)).cloned().collect();
                 let mut groups = vec![subset];
@@ -76,7 +81,8 @@ fn value_subsets(values: &[Value], cap: usize) -> Vec<Vec<Value>> {
         if count < 2 || count >= n {
             continue;
         }
-        let subset: Vec<Value> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| values[i].clone()).collect();
+        let subset: Vec<Value> =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| values[i].clone()).collect();
         out.push(subset);
         if out.len() >= cap {
             break;
@@ -154,16 +160,18 @@ mod tests {
         cfg.max_candidate_views = 20;
         let fams = naive_infer(&table, &cfg);
         let total: usize = fams.iter().map(|f| f.len()).sum();
-        assert!(total <= 20 + 10, "cap should approximately bound the total view count, got {total}");
+        assert!(
+            total <= 20 + 10,
+            "cap should approximately bound the total view count, got {total}"
+        );
     }
 
     #[test]
     fn non_categorical_table_yields_nothing() {
         // All-distinct `type` values → not categorical → no views.
         let schema = TableSchema::new("t", vec![Attribute::int("id"), Attribute::int("type")]);
-        let rows = (0..300usize)
-            .map(|i| Tuple::new(vec![Value::from(i), Value::from(i)]))
-            .collect();
+        let rows =
+            (0..300usize).map(|i| Tuple::new(vec![Value::from(i), Value::from(i)])).collect();
         let table = Table::with_rows(schema, rows).unwrap();
         assert!(naive_infer(&table, &ContextMatchConfig::default()).is_empty());
     }

@@ -7,9 +7,28 @@
 //! meeting `c`*, and the confidence is computed against the score distribution
 //! of the original (unrestricted) attribute so that it is comparable to the
 //! prototype's confidence.
+//!
+//! ## Execution strategy
+//!
+//! This is the hottest loop of the system — O(views × matches) rescorings per
+//! source table — so it runs on the zero-copy execution layer:
+//!
+//! 1. each view is evaluated to a [`RowSelection`] through a shared
+//!    [`SelectionCache`] (condition atoms recurring across a view family are
+//!    scanned once per base table);
+//! 2. per-match *target* columns are extracted once, outside the view loop;
+//! 3. the view × match scoring grid is computed in parallel with `rayon`,
+//!    one task per view, each building borrowed [`ColumnData`] values from
+//!    [`TableSlice`]s — zero `Tuple` clones anywhere on this path;
+//! 4. results are collected per view and appended in view order, so the
+//!    output is byte-identical to the sequential evaluation (determinism is
+//!    asserted by the integration tests).
 
-use cxm_matching::{ColumnData, MatchList, MatchingOutcome, StandardMatcher};
-use cxm_relational::{Database, Result, Table, ViewDef};
+use std::sync::Arc;
+
+use cxm_matching::{ColumnData, Match, MatchList, MatchingOutcome, StandardMatcher};
+use cxm_relational::{Database, Result, RowSelection, SelectionCache, Table, TableSlice, ViewDef};
+use rayon::prelude::*;
 
 /// Score the contextual versions of the prototype matches against each
 /// candidate view. Returns the contextual candidate list `RL` (every `(m′, s)`
@@ -24,7 +43,121 @@ pub fn score_candidates(
     prototype: &MatchList,
 ) -> Result<MatchList> {
     let mut candidates = MatchList::new();
-    let from_this_table: Vec<_> =
+    let from_this_table: Vec<&Match> =
+        prototype.iter().filter(|m| m.base_table == source_table.name()).collect();
+    if from_this_table.is_empty() || views.is_empty() {
+        return Ok(candidates);
+    }
+
+    // Resolve every view to (base table, selection) serially so the atom
+    // cache is shared across the whole family; empty views support no
+    // matches and are skipped entirely. Matched source attributes are
+    // validated (against the view's *output* schema) for the surviving
+    // views, so the parallel loop below cannot fail — mirroring exactly when
+    // the materializing path reports an `Err` instead of scoring.
+    let mut cache = SelectionCache::new();
+    let mut work: Vec<(&ViewDef, &Table, Arc<RowSelection>)> = Vec::with_capacity(views.len());
+    for view in views {
+        let base = source.require_table(&view.base_table)?;
+        let selection = view.select_cached(base, &mut cache)?;
+        if selection.is_empty() {
+            continue;
+        }
+        match &view.projection {
+            // Select-only views (the common case) expose the base schema
+            // as-is: validate against it directly, no schema clone.
+            None => {
+                for m in &from_this_table {
+                    base.schema().require_index(&m.source.attribute)?;
+                }
+            }
+            // Select-project views need the derived output schema so a
+            // projected-away attribute errors exactly like the
+            // materializing path.
+            Some(_) => {
+                let view_schema = view.schema(base.schema())?;
+                for m in &from_this_table {
+                    view_schema.require_index(&m.source.attribute)?;
+                }
+            }
+        }
+        work.push((view, base, selection));
+    }
+    if work.is_empty() {
+        return Ok(candidates);
+    }
+
+    // Target columns depend only on the match, not on the view: extract each
+    // one exactly once, outside the view loop (the legacy path re-extracts
+    // them per view × match).
+    let target_cols: Vec<ColumnData> = from_this_table
+        .iter()
+        .map(|m| {
+            let target_table = target.require_table(&m.target.table)?;
+            ColumnData::from_table(target_table, &m.target.attribute)
+        })
+        .collect::<Result<_>>()?;
+
+    // Lines 6–11, parallel over views. Each task only reads shared borrowed
+    // state; per-view results are collected independently and appended in
+    // view order below, which keeps the output deterministic regardless of
+    // scheduling.
+    let per_view: Vec<Vec<Match>> = work
+        .par_iter()
+        .map(|(view, base, selection)| {
+            let slice = TableSlice::new(base, selection);
+            // Prototype matches frequently share a source attribute (one match
+            // per target attribute); build each view-restricted column — and
+            // thereby its memoized matcher profiles — once per attribute.
+            let mut restricted_cols: std::collections::BTreeMap<&str, ColumnData> =
+                std::collections::BTreeMap::new();
+            from_this_table
+                .iter()
+                .zip(&target_cols)
+                .map(|(m, target_col)| {
+                    // The view projects all base attributes (select-only), so
+                    // the matched attribute is always present.
+                    let restricted =
+                        restricted_cols.entry(m.source.attribute.as_str()).or_insert_with(|| {
+                            let column = slice
+                                .column(&m.source.attribute)
+                                .expect("prototype matches come from the view's base table");
+                            ColumnData::from_slice(&column, view.name.clone())
+                        });
+                    let (score, confidence) =
+                        matcher.rescore(outcome, restricted, &m.source, target_col);
+                    m.with_context(view.name.clone(), view.condition.clone(), score, confidence)
+                })
+                .collect()
+        })
+        .collect();
+
+    for view_matches in per_view {
+        candidates.extend(view_matches);
+    }
+    Ok(candidates)
+}
+
+/// The legacy, materializing implementation of [`score_candidates`]: evaluates
+/// every view into an owned [`Table`] (O(views × rows) tuple clones) before
+/// scoring.
+///
+/// Kept as the reference implementation: the equivalence test in
+/// `tests/tests/selection_equivalence.rs` asserts both paths produce identical
+/// candidate lists, and `bench_scaling` measures the speedup of the zero-copy
+/// path against this baseline. Not intended for production use.
+#[doc(hidden)]
+pub fn score_candidates_materializing(
+    source: &Database,
+    target: &Database,
+    matcher: &StandardMatcher,
+    outcome: &MatchingOutcome,
+    source_table: &Table,
+    views: &[ViewDef],
+    prototype: &MatchList,
+) -> Result<MatchList> {
+    let mut candidates = MatchList::new();
+    let from_this_table: Vec<&Match> =
         prototype.iter().filter(|m| m.base_table == source_table.name()).collect();
     if from_this_table.is_empty() {
         return Ok(candidates);
@@ -32,17 +165,13 @@ pub fn score_candidates(
     for view in views {
         let view_instance = view.evaluate(source)?;
         if view_instance.is_empty() {
-            // An empty view supports no matches; skip it entirely.
             continue;
         }
         for m in &from_this_table {
-            // The view projects all base attributes (select-only), so the
-            // matched attribute is always present.
             let restricted = ColumnData::from_table(&view_instance, &m.source.attribute)?;
             let target_table = target.require_table(&m.target.table)?;
             let target_col = ColumnData::from_table(target_table, &m.target.attribute)?;
-            let (score, confidence) =
-                matcher.rescore(outcome, &restricted, &m.source, &target_col);
+            let (score, confidence) = matcher.rescore(outcome, &restricted, &m.source, &target_col);
             candidates.push(m.with_context(
                 view.name.clone(),
                 view.condition.clone(),
@@ -161,7 +290,9 @@ mod tests {
                 })
                 .map(|c| c.confidence)
         };
-        if let (Some(book_view), Some(cd_view)) = (conf_of("inv[type = 1]"), conf_of("inv[type = 2]")) {
+        if let (Some(book_view), Some(cd_view)) =
+            (conf_of("inv[type = 1]"), conf_of("inv[type = 2]"))
+        {
             assert!(
                 book_view > cd_view,
                 "book-context format match ({book_view}) should beat cd-context ({cd_view})"
@@ -208,5 +339,128 @@ mod tests {
         )
         .unwrap();
         assert!(candidates.is_empty());
+    }
+
+    #[test]
+    fn foreign_base_table_views_error_instead_of_panicking() {
+        // A view over another table of the source database: matches on `inv`
+        // reference attributes that `price` does not have. Both paths must
+        // return Err, not panic (regression test for the parallel path).
+        let mut source = source_db();
+        source.replace_table(
+            Table::with_rows(
+                TableSchema::new("price", vec![Attribute::int("pid"), Attribute::float("amt")]),
+                vec![tuple![0, 9.99], tuple![1, 4.99]],
+            )
+            .unwrap(),
+        );
+        let target = target_db();
+        let matcher = StandardMatcher::new(MatchingConfig::with_tau(0.2));
+        let table = source.table("inv").unwrap();
+        let outcome = matcher.match_table(table, &target);
+        let views = vec![ViewDef::named_by_condition("price", Condition::eq("pid", 0))];
+        let fast = score_candidates(
+            &source,
+            &target,
+            &matcher,
+            &outcome,
+            table,
+            &views,
+            &outcome.accepted,
+        );
+        let reference = score_candidates_materializing(
+            &source,
+            &target,
+            &matcher,
+            &outcome,
+            table,
+            &views,
+            &outcome.accepted,
+        );
+        assert!(fast.is_err(), "zero-copy path must surface the error");
+        assert!(reference.is_err(), "materializing path errors on the same input");
+
+        // A foreign view whose selection is EMPTY is skipped before any
+        // attribute validation — both paths return Ok(empty), not Err.
+        let empty_views = vec![ViewDef::named_by_condition("price", Condition::eq("pid", 99))];
+        let fast = score_candidates(
+            &source,
+            &target,
+            &matcher,
+            &outcome,
+            table,
+            &empty_views,
+            &outcome.accepted,
+        );
+        let reference = score_candidates_materializing(
+            &source,
+            &target,
+            &matcher,
+            &outcome,
+            table,
+            &empty_views,
+            &outcome.accepted,
+        );
+        assert!(matches!(&fast, Ok(c) if c.is_empty()), "{fast:?}");
+        assert!(matches!(&reference, Ok(c) if c.is_empty()), "{reference:?}");
+    }
+
+    #[test]
+    fn zero_copy_path_equals_materializing_path() {
+        let source = source_db();
+        let target = target_db();
+        let matcher = StandardMatcher::new(MatchingConfig::with_tau(0.2));
+        let table = source.table("inv").unwrap();
+        let outcome = matcher.match_table(table, &target);
+        let views = vec![
+            ViewDef::named_by_condition("inv", Condition::eq("type", 1)),
+            ViewDef::named_by_condition("inv", Condition::eq("type", 2)),
+            ViewDef::named_by_condition("inv", Condition::is_in("type", [1, 2])),
+            ViewDef::named_by_condition("inv", Condition::eq("type", 99)),
+        ];
+        let fast = score_candidates(
+            &source,
+            &target,
+            &matcher,
+            &outcome,
+            table,
+            &views,
+            &outcome.accepted,
+        )
+        .unwrap();
+        let reference = score_candidates_materializing(
+            &source,
+            &target,
+            &matcher,
+            &outcome,
+            table,
+            &views,
+            &outcome.accepted,
+        )
+        .unwrap();
+        assert_eq!(fast.len(), reference.len());
+        for (a, b) in fast.iter().zip(reference.iter()) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn parallel_scoring_is_deterministic() {
+        let source = source_db();
+        let target = target_db();
+        let matcher = StandardMatcher::new(MatchingConfig::with_tau(0.2));
+        let table = source.table("inv").unwrap();
+        let outcome = matcher.match_table(table, &target);
+        let views: Vec<ViewDef> =
+            (1..=2).map(|v| ViewDef::named_by_condition("inv", Condition::eq("type", v))).collect();
+        let run = || {
+            score_candidates(&source, &target, &matcher, &outcome, table, &views, &outcome.accepted)
+                .unwrap()
+        };
+        let first = run();
+        for _ in 0..4 {
+            let again = run();
+            assert_eq!(format!("{first:?}"), format!("{again:?}"));
+        }
     }
 }

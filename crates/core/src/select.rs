@@ -57,13 +57,14 @@ fn multi_table(standard: &MatchList, candidates: &MatchList) -> MatchList {
 }
 
 /// `QualTable`: coherent per-target-table selection gated by ω.
-fn qual_table(standard: &MatchList, candidates: &MatchList, config: &ContextMatchConfig) -> MatchList {
+fn qual_table(
+    standard: &MatchList,
+    candidates: &MatchList,
+    config: &ContextMatchConfig,
+) -> MatchList {
     let mut selected = MatchList::new();
-    let target_tables: BTreeSet<String> = standard
-        .iter()
-        .chain(candidates.iter())
-        .map(|m| m.target.table.clone())
-        .collect();
+    let target_tables: BTreeSet<String> =
+        standard.iter().chain(candidates.iter()).map(|m| m.target.table.clone()).collect();
 
     // Base confidence of each prototype match, for computing per-match deltas.
     let base_confidence: BTreeMap<(String, String, String, String), f64> = standard
@@ -90,7 +91,9 @@ fn qual_table(standard: &MatchList, candidates: &MatchList, config: &ContextMatc
         }
         let Some(best_source) = base_conf_totals
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| b.0.cmp(a.0)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| b.0.cmp(a.0))
+            })
             .map(|(s, _)| s.clone())
         else {
             continue;
@@ -227,7 +230,8 @@ mod tests {
             .with_selection(SelectionStrategy::QualTable)
             .with_omega(5.0)
             .with_early_disjuncts(true);
-        let selected = select_contextual_matches(&standard_fixture(), &candidate_fixture(), &config);
+        let selected =
+            select_contextual_matches(&standard_fixture(), &candidate_fixture(), &config);
         // Book matches come from the type=1 view, music matches from type=2.
         assert!(selected
             .iter()
@@ -246,7 +250,8 @@ mod tests {
         let config = ContextMatchConfig::default()
             .with_selection(SelectionStrategy::QualTable)
             .with_omega(1000.0);
-        let selected = select_contextual_matches(&standard_fixture(), &candidate_fixture(), &config);
+        let selected =
+            select_contextual_matches(&standard_fixture(), &candidate_fixture(), &config);
         assert!(!selected.is_empty());
         assert!(selected.iter().all(|m| m.is_standard()));
         // Fallback keeps only the best source table (inv), not price.
@@ -300,14 +305,13 @@ mod tests {
     #[test]
     fn multi_table_takes_best_per_target_attribute() {
         let config = ContextMatchConfig::default().with_selection(SelectionStrategy::MultiTable);
-        let selected = select_contextual_matches(&standard_fixture(), &candidate_fixture(), &config);
+        let selected =
+            select_contextual_matches(&standard_fixture(), &candidate_fixture(), &config);
         // One match per distinct target attribute (book.title, book.format,
         // music.title, music.label).
         assert_eq!(selected.len(), 4);
-        let book_title = selected
-            .iter()
-            .find(|m| m.target == AttrRef::new("book", "title"))
-            .unwrap();
+        let book_title =
+            selected.iter().find(|m| m.target == AttrRef::new("book", "title")).unwrap();
         assert_eq!(book_title.source.table, "inv[type = 1]");
         assert!((book_title.confidence - 0.95).abs() < 1e-12);
     }

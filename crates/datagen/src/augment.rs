@@ -112,13 +112,9 @@ mod tests {
     use cxm_relational::{tuple, TableSchema};
 
     fn items(n: usize) -> Table {
-        let schema = TableSchema::new(
-            "items",
-            vec![Attribute::int("id"), Attribute::text("ItemType")],
-        );
-        let rows = (0..n)
-            .map(|i| tuple![i, if i % 2 == 0 { "Book1" } else { "CD1" }])
-            .collect();
+        let schema =
+            TableSchema::new("items", vec![Attribute::int("id"), Attribute::text("ItemType")]);
+        let rows = (0..n).map(|i| tuple![i, if i % 2 == 0 { "Book1" } else { "CD1" }]).collect();
         Table::with_rows(schema, rows).unwrap()
     }
 
@@ -126,16 +122,11 @@ mod tests {
     fn correlated_attributes_track_rho() {
         let t = items(1000);
         let base_idx = t.schema().index_of("ItemType").unwrap();
-        for &(rho, lo, hi) in
-            &[(0.0f64, 0.35, 0.65), (0.7, 0.80, 0.92), (1.0, 0.999, 1.001)]
-        {
+        for &(rho, lo, hi) in &[(0.0f64, 0.35, 0.65), (0.7, 0.80, 0.92), (1.0, 0.999, 1.001)] {
             let ext = add_correlated_attributes(&t, "ItemType", 1, rho, 99);
             let extra_idx = ext.schema().index_of("ExtraCat1").unwrap();
-            let agree = ext
-                .rows()
-                .iter()
-                .filter(|r| r.at(base_idx) == r.at(extra_idx))
-                .count() as f64
+            let agree = ext.rows().iter().filter(|r| r.at(base_idx) == r.at(extra_idx)).count()
+                as f64
                 / ext.len() as f64;
             // Agreement = ρ + (1−ρ)/|domain|, with |domain| = 2.
             assert!(

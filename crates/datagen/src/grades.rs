@@ -116,7 +116,14 @@ pub fn generate_grades(config: &GradesConfig) -> GradesDataset {
     // name → name.
     let mut truth = GroundTruth::new();
     for exam in 1..=config.exams {
-        truth.add("grades", "grade", "projs", &format!("grade{exam}"), "examNum", &exam.to_string());
+        truth.add(
+            "grades",
+            "grade",
+            "projs",
+            &format!("grade{exam}"),
+            "examNum",
+            &exam.to_string(),
+        );
         truth.add("grades", "name", "projs", "name", "examNum", &exam.to_string());
     }
 

@@ -64,11 +64,8 @@ impl RecordGenerator {
         } else {
             vocab::phrase(&mut self.rng, vocab::BOOK_TITLE_WORDS, words)
         };
-        let isbn = format!(
-            "{}{:09}",
-            self.rng.gen_range(0..2),
-            self.rng.gen_range(0u64..1_000_000_000)
-        );
+        let isbn =
+            format!("{}{:09}", self.rng.gen_range(0..2), self.rng.gen_range(0u64..1_000_000_000));
         let price: f64 = 8.0 + self.rng.gen_range(0.0..28.0f64);
         let format = vocab::pick(&mut self.rng, vocab::BOOK_FORMATS).to_string();
         BookRecord {

@@ -161,14 +161,24 @@ pub fn generate_retail(config: &RetailConfig) -> RetailDataset {
             let b = source_gen.book();
             let descr = {
                 let rng = source_gen.rng();
-                format!("{} edition {} printing {}", b.format, 1988 + rng.gen_range(0..35), rng.gen_range(1..9))
+                format!(
+                    "{} edition {} printing {}",
+                    b.format,
+                    1988 + rng.gen_range(0..35),
+                    rng.gen_range(1..9)
+                )
             };
             (b.title, b.isbn, descr, b.price)
         } else {
             let m = source_gen.music();
             let descr = {
                 let rng = source_gen.rng();
-                format!("{} {} reissue {}", m.label, 1965 + rng.gen_range(0..55), rng.gen_range(1..9))
+                format!(
+                    "{} {} reissue {}",
+                    m.label,
+                    1965 + rng.gen_range(0..55),
+                    rng.gen_range(1..9)
+                )
             };
             (m.title, m.asin, descr, m.price)
         };
@@ -236,11 +246,7 @@ pub fn generate_retail(config: &RetailConfig) -> RetailDataset {
     let mut music_rows = Vec::with_capacity(config.target_rows);
     for _ in 0..config.target_rows {
         let m = target_gen.music();
-        let mut values = vec![
-            Value::Str(m.title),
-            Value::Str(m.asin),
-            Value::Float(m.price),
-        ];
+        let mut values = vec![Value::Str(m.title), Value::Str(m.asin), Value::Float(m.price)];
         if has_sale {
             values.push(Value::Float(m.sale));
         }
@@ -324,8 +330,7 @@ mod tests {
     fn gamma_controls_item_type_cardinality() {
         for gamma in [2usize, 6, 10] {
             let ds = generate_retail(&RetailConfig { gamma, ..Default::default() });
-            let types =
-                ds.source.table("items").unwrap().distinct_values("ItemType").unwrap();
+            let types = ds.source.table("items").unwrap().distinct_values("ItemType").unwrap();
             assert_eq!(types.len(), gamma, "γ={gamma}");
             // Truth grows with γ: 4 attrs × γ/2 labels × 2 tables.
             assert_eq!(ds.truth.len(), 4 * gamma);
@@ -346,7 +351,8 @@ mod tests {
 
     #[test]
     fn flavors_differ_in_attribute_names_but_not_truth_size() {
-        let ryan = generate_retail(&RetailConfig { flavor: TargetFlavor::Ryan, ..Default::default() });
+        let ryan =
+            generate_retail(&RetailConfig { flavor: TargetFlavor::Ryan, ..Default::default() });
         let aaron =
             generate_retail(&RetailConfig { flavor: TargetFlavor::Aaron, ..Default::default() });
         let barrett =

@@ -58,9 +58,8 @@ impl GroundTruth {
         cond_attr: &str,
         cond_value: &str,
     ) {
-        self.triples.insert(Self::render(
-            src_table, src_attr, tgt_table, tgt_attr, cond_attr, cond_value,
-        ));
+        self.triples
+            .insert(Self::render(src_table, src_attr, tgt_table, tgt_attr, cond_attr, cond_value));
     }
 
     /// Number of correct triples.

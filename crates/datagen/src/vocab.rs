@@ -10,16 +10,60 @@ use rand::Rng;
 
 /// Words common in book titles.
 pub const BOOK_TITLE_WORDS: &[&str] = &[
-    "history", "shadow", "garden", "night", "river", "daughter", "secret", "kingdom", "letters",
-    "journey", "winter", "empire", "silence", "memory", "stone", "road", "house", "light",
-    "island", "chronicle", "portrait", "testament", "meridian", "arcadia", "labyrinth",
+    "history",
+    "shadow",
+    "garden",
+    "night",
+    "river",
+    "daughter",
+    "secret",
+    "kingdom",
+    "letters",
+    "journey",
+    "winter",
+    "empire",
+    "silence",
+    "memory",
+    "stone",
+    "road",
+    "house",
+    "light",
+    "island",
+    "chronicle",
+    "portrait",
+    "testament",
+    "meridian",
+    "arcadia",
+    "labyrinth",
 ];
 
 /// Words common in album / song titles.
 pub const MUSIC_TITLE_WORDS: &[&str] = &[
-    "blue", "moon", "electric", "midnight", "love", "dancing", "fire", "dreams", "gold", "heart",
-    "rhythm", "echo", "neon", "velvet", "thunder", "paradise", "groove", "horizon", "static",
-    "sunset", "satellite", "mirror", "wild", "diamond", "avenue",
+    "blue",
+    "moon",
+    "electric",
+    "midnight",
+    "love",
+    "dancing",
+    "fire",
+    "dreams",
+    "gold",
+    "heart",
+    "rhythm",
+    "echo",
+    "neon",
+    "velvet",
+    "thunder",
+    "paradise",
+    "groove",
+    "horizon",
+    "static",
+    "sunset",
+    "satellite",
+    "mirror",
+    "wild",
+    "diamond",
+    "avenue",
 ];
 
 /// First names used for author / person name columns.
@@ -31,36 +75,75 @@ pub const FIRST_NAMES: &[&str] = &[
 
 /// Last names used for author / person name columns.
 pub const LAST_NAMES: &[&str] = &[
-    "anderson", "baker", "castillo", "donovan", "edwards", "fischer", "garcia", "hughes",
-    "ivanov", "jackson", "kim", "lopez", "murphy", "nguyen", "ortiz", "patel", "quintero",
-    "rossi", "schmidt", "turner", "ueda", "vasquez", "weber", "xu", "young", "zhang",
+    "anderson", "baker", "castillo", "donovan", "edwards", "fischer", "garcia", "hughes", "ivanov",
+    "jackson", "kim", "lopez", "murphy", "nguyen", "ortiz", "patel", "quintero", "rossi",
+    "schmidt", "turner", "ueda", "vasquez", "weber", "xu", "young", "zhang",
 ];
 
 /// Book binding formats (the `descr` / `format` domain for books).
 pub const BOOK_FORMATS: &[&str] = &[
-    "hardcover", "paperback", "trade paperback", "mass market paperback", "library binding",
-    "hardcover first edition", "paperback reprint",
+    "hardcover",
+    "paperback",
+    "trade paperback",
+    "mass market paperback",
+    "library binding",
+    "hardcover first edition",
+    "paperback reprint",
 ];
 
 /// Music packaging / label descriptions (the `descr` / `label` domain for CDs).
 pub const MUSIC_LABELS: &[&str] = &[
-    "audio cd", "elektra records cd", "columbia records cd", "capitol records cd", "sony music cd",
-    "blue note records cd", "verve audio cd", "atlantic records cd", "motown records cd",
+    "audio cd",
+    "elektra records cd",
+    "columbia records cd",
+    "capitol records cd",
+    "sony music cd",
+    "blue note records cd",
+    "verve audio cd",
+    "atlantic records cd",
+    "motown records cd",
 ];
 
 /// Record-label names (for target `label` columns that store the label proper).
 pub const LABEL_NAMES: &[&str] = &[
-    "elektra", "columbia", "capitol", "sony", "blue note", "verve", "atlantic", "motown",
-    "geffen", "island", "interscope", "nonesuch",
+    "elektra",
+    "columbia",
+    "capitol",
+    "sony",
+    "blue note",
+    "verve",
+    "atlantic",
+    "motown",
+    "geffen",
+    "island",
+    "interscope",
+    "nonesuch",
 ];
 
 /// Real-estate-flavoured filler used to populate the padding attributes of the
 /// schema-scaling experiments ("populated with random data from an unrelated
 /// real estate table").
 pub const REAL_ESTATE_WORDS: &[&str] = &[
-    "colonial", "ranch", "bungalow", "duplex", "hardwood", "granite", "acre", "garage",
-    "fireplace", "cul-de-sac", "renovated", "basement", "lakefront", "brick", "veranda",
-    "sunroom", "zoning", "escrow", "mortgage", "appraisal",
+    "colonial",
+    "ranch",
+    "bungalow",
+    "duplex",
+    "hardwood",
+    "granite",
+    "acre",
+    "garage",
+    "fireplace",
+    "cul-de-sac",
+    "renovated",
+    "basement",
+    "lakefront",
+    "brick",
+    "veranda",
+    "sunroom",
+    "zoning",
+    "escrow",
+    "mortgage",
+    "appraisal",
 ];
 
 /// Stock-status values for the `StockStatus` distractor attribute.

@@ -1,0 +1,20 @@
+//! Facade crate for the contextual schema matching workspace.
+//!
+//! Re-exports every layer under one roof so the `examples/` directory and
+//! downstream users can depend on a single crate:
+//!
+//! * [`relational`] — in-memory relational substrate, selection conditions,
+//!   views, and the zero-copy execution layer (`RowSelection`, `TableSlice`,
+//!   `SelectionCache`).
+//! * [`matching`] — the standard (black-box) instance matcher ensemble.
+//! * [`core`] — the `ContextMatch` algorithm and its design space.
+//! * [`mapping`] — the §4 schema-mapping extensions (Clio-style queries).
+//! * [`datagen`] — deterministic synthetic datasets for the paper's figures.
+
+pub use cxm_classify as classify;
+pub use cxm_core as core;
+pub use cxm_datagen as datagen;
+pub use cxm_mapping as mapping;
+pub use cxm_matching as matching;
+pub use cxm_relational as relational;
+pub use cxm_stats as stats;

@@ -67,10 +67,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         for report in &reports {
-            let file = dir.join(format!(
-                "{}.csv",
-                report.id.to_ascii_lowercase().replace(' ', "_")
-            ));
+            let file =
+                dir.join(format!("{}.csv", report.id.to_ascii_lowercase().replace(' ', "_")));
             if let Err(e) = fs::write(&file, report.to_csv()) {
                 eprintln!("cannot write {}: {e}", file.display());
                 return ExitCode::FAILURE;

@@ -58,11 +58,7 @@ impl RunScale {
 
 /// Average FMeasure (%) of contextual matching on a retail dataset, over the
 /// scale's repetitions.
-pub fn retail_fmeasure(
-    scale: &RunScale,
-    retail: RetailConfig,
-    cm: ContextMatchConfig,
-) -> f64 {
+pub fn retail_fmeasure(scale: &RunScale, retail: RetailConfig, cm: ContextMatchConfig) -> f64 {
     let mut total = 0.0;
     let seeds = scale.seeds();
     for &seed in &seeds {
@@ -78,11 +74,7 @@ pub fn retail_fmeasure(
 
 /// Average wall-clock runtime (seconds) of contextual matching on a retail
 /// dataset, over the scale's repetitions.
-pub fn retail_runtime(
-    scale: &RunScale,
-    retail: RetailConfig,
-    cm: ContextMatchConfig,
-) -> f64 {
+pub fn retail_runtime(scale: &RunScale, retail: RetailConfig, cm: ContextMatchConfig) -> f64 {
     let mut total = 0.0;
     let seeds = scale.seeds();
     for &seed in &seeds {
@@ -99,11 +91,7 @@ pub fn retail_runtime(
 
 /// Average accuracy (%) of `ClioQualTable` on a grades dataset, over the
 /// scale's repetitions. This is the quantity Figures 19 and 21 report.
-pub fn grades_accuracy(
-    scale: &RunScale,
-    grades: GradesConfig,
-    cm: ContextMatchConfig,
-) -> f64 {
+pub fn grades_accuracy(scale: &RunScale, grades: GradesConfig, cm: ContextMatchConfig) -> f64 {
     let mut total = 0.0;
     let seeds = scale.seeds();
     for &seed in &seeds {
@@ -139,7 +127,8 @@ mod tests {
     fn retail_fmeasure_is_reasonable_on_easy_settings() {
         // A sanity check at tiny scale: the SrcClass + QualTable pipeline on
         // default retail data should recover a substantial part of the truth.
-        let scale = RunScale { source_items: 200, target_rows: 50, grades_students: 40, repetitions: 1 };
+        let scale =
+            RunScale { source_items: 200, target_rows: 50, grades_students: 40, repetitions: 1 };
         let f = retail_fmeasure(
             &scale,
             RetailConfig::default(),
@@ -154,7 +143,8 @@ mod tests {
 
     #[test]
     fn retail_runtime_is_positive() {
-        let scale = RunScale { source_items: 120, target_rows: 40, grades_students: 40, repetitions: 1 };
+        let scale =
+            RunScale { source_items: 120, target_rows: 40, grades_students: 40, repetitions: 1 };
         let t = retail_runtime(&scale, RetailConfig::default(), ContextMatchConfig::default());
         assert!(t > 0.0);
     }

@@ -58,7 +58,8 @@ mod tests {
 
     #[test]
     fn omega_sweep_produces_both_series() {
-        let scale = RunScale { source_items: 160, target_rows: 40, grades_students: 30, repetitions: 1 };
+        let scale =
+            RunScale { source_items: 160, target_rows: 40, grades_students: 30, repetitions: 1 };
         let report = run_for_target(TargetFlavor::Ryan, &scale);
         assert_eq!(report.id, "Figure 10");
         assert_eq!(report.series.len(), 2);

@@ -38,9 +38,8 @@ pub fn run_for_policy(early: bool, scale: &RunScale) -> FigureReport {
                 correlation: rho / 100.0,
                 ..RetailConfig::default()
             };
-            let cm = ContextMatchConfig::default()
-                .with_inference(strategy)
-                .with_early_disjuncts(early);
+            let cm =
+                ContextMatchConfig::default().with_inference(strategy).with_early_disjuncts(early);
             points.push((rho, retail_fmeasure(scale, retail, cm)));
         }
         report.push_series(Series::new(strategy.name(), points));
@@ -59,7 +58,8 @@ mod tests {
 
     #[test]
     fn correlated_attribute_sweep_has_three_strategies() {
-        let scale = RunScale { source_items: 140, target_rows: 40, grades_students: 30, repetitions: 1 };
+        let scale =
+            RunScale { source_items: 140, target_rows: 40, grades_students: 30, repetitions: 1 };
         let report = run_for_policy(true, &scale);
         assert_eq!(report.series.len(), 3);
         assert!(report.series_named("SrcClass").is_some());

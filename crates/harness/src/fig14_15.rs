@@ -34,9 +34,8 @@ pub fn run_fmeasure(scale: &RunScale) -> FigureReport {
         for &gamma in &GAMMAS {
             let retail =
                 RetailConfig { gamma, flavor: TargetFlavor::Ryan, ..RetailConfig::default() };
-            let cm = ContextMatchConfig::default()
-                .with_inference(strategy)
-                .with_early_disjuncts(false);
+            let cm =
+                ContextMatchConfig::default().with_inference(strategy).with_early_disjuncts(false);
             points.push((gamma as f64, retail_fmeasure(scale, retail, cm)));
         }
         report.push_series(Series::new(strategy.name(), points));
@@ -84,7 +83,8 @@ mod tests {
     fn runtime_ratio_grows_with_gamma() {
         // Restrict to a micro scale and just two γ values to keep the test fast:
         // the early/late runtime ratio should grow as γ grows.
-        let scale = RunScale { source_items: 160, target_rows: 40, grades_students: 30, repetitions: 1 };
+        let scale =
+            RunScale { source_items: 160, target_rows: 40, grades_students: 30, repetitions: 1 };
         let retail_small = RetailConfig { gamma: 2, ..RetailConfig::default() };
         let retail_large = RetailConfig { gamma: 8, ..RetailConfig::default() };
         let base = ContextMatchConfig::default().with_inference(ViewInferenceStrategy::Naive);

@@ -5,9 +5,9 @@
 //! observation: with few tuples the candidate views are often missed, and
 //! accuracy rises as the sample grows.
 
+use cxm_core::ContextualMatcher;
 use cxm_core::{ContextMatchConfig, ViewInferenceStrategy};
 use cxm_datagen::{generate_retail, RetailConfig, TargetFlavor};
-use cxm_core::ContextualMatcher;
 
 use crate::common::RunScale;
 use crate::report::{FigureReport, Series};
@@ -75,9 +75,8 @@ mod tests {
                 let cm = ContextMatchConfig::default()
                     .with_inference(ViewInferenceStrategy::SrcClass)
                     .with_seed(seed);
-                let result = ContextualMatcher::new(cm)
-                    .run(&dataset.source, &dataset.target)
-                    .unwrap();
+                let result =
+                    ContextualMatcher::new(cm).run(&dataset.source, &dataset.target).unwrap();
                 total += dataset.truth.f_measure_pct(&result.selected);
             }
             total / seeds.len() as f64

@@ -43,7 +43,8 @@ mod tests {
 
     #[test]
     fn very_high_tau_hurts_grades_accuracy() {
-        let scale = RunScale { source_items: 100, target_rows: 40, grades_students: 60, repetitions: 1 };
+        let scale =
+            RunScale { source_items: 100, target_rows: 40, grades_students: 60, repetitions: 1 };
         let grades = GradesConfig { sigma: 10.0, ..GradesConfig::default() };
         let cm = |tau: f64| {
             ContextMatchConfig::default()

@@ -76,7 +76,8 @@ impl FigureReport {
 
     /// All x values appearing in any series, sorted and deduplicated.
     pub fn x_values(&self) -> Vec<f64> {
-        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+        let mut xs: Vec<f64> =
+            self.series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         xs

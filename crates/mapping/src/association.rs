@@ -206,11 +206,7 @@ fn shared_view_key(a: &ViewDef, b: &ViewDef, constraints: &ConstraintSet) -> Opt
     for ka in constraints.keys_of(&a.name) {
         for kb in constraints.keys_of(&b.name) {
             if ka.attributes.len() == kb.attributes.len()
-                && ka
-                    .attributes
-                    .iter()
-                    .zip(&kb.attributes)
-                    .all(|(x, y)| x.eq_ignore_ascii_case(y))
+                && ka.attributes.iter().zip(&kb.attributes).all(|(x, y)| x.eq_ignore_ascii_case(y))
             {
                 return Some(ka.attributes.clone());
             }
@@ -316,9 +312,10 @@ mod tests {
         let names = vec!["V0".to_string(), "project".to_string()];
         let cs = grades_constraints(1);
         let lt = associate(&names, &views, &cs);
-        assert!(lt.edges.iter().any(|e| e.rule == JoinRule::Join3
-            && e.left == "V0"
-            && e.right == "project"));
+        assert!(lt
+            .edges
+            .iter()
+            .any(|e| e.rule == JoinRule::Join3 && e.left == "V0" && e.right == "project"));
     }
 
     #[test]
@@ -328,11 +325,7 @@ mod tests {
         cs.add_foreign_key(
             ForeignKey::new("project", vec!["name"], "student", vec!["name"]).unwrap(),
         );
-        let lt = associate(
-            &["project".to_string(), "student".to_string()],
-            &[],
-            &cs,
-        );
+        let lt = associate(&["project".to_string(), "student".to_string()], &[], &cs);
         assert_eq!(lt.edges.len(), 1);
         assert_eq!(lt.edges[0].rule, JoinRule::ForeignKey);
         assert_eq!(lt.edges_of("student").len(), 1);

@@ -59,8 +59,7 @@ pub fn clio_qual_table(
     // ClioQualTable is QualTable by definition.
     let config = config.with_selection(SelectionStrategy::QualTable);
     let match_result = ContextualMatcher::new(config).run(source, target)?;
-    let views: Vec<ViewDef> =
-        match_result.selected_view_defs().into_iter().cloned().collect();
+    let views: Vec<ViewDef> = match_result.selected_view_defs().into_iter().cloned().collect();
 
     // Constraints: base tables first, then mined and propagated view constraints.
     let mining = MiningConfig::default();
@@ -77,11 +76,7 @@ pub fn clio_qual_table(
         // Best correspondence per target attribute (QualTable can emit several
         // views mapping onto the same target attribute under LateDisjuncts).
         let mut best: BTreeMap<String, &cxm_matching::Match> = BTreeMap::new();
-        for m in match_result
-            .selected
-            .iter()
-            .filter(|m| m.target.table == target_table.name())
-        {
+        for m in match_result.selected.iter().filter(|m| m.target.table == target_table.name()) {
             let key = m.target.attribute.to_ascii_lowercase();
             match best.get(&key) {
                 Some(existing) if existing.confidence >= m.confidence => {}
@@ -140,8 +135,8 @@ mod tests {
                 ]));
             }
         }
-        let source = Database::new("RS")
-            .with_table(Table::with_rows(narrow_schema, narrow_rows).unwrap());
+        let source =
+            Database::new("RS").with_table(Table::with_rows(narrow_schema, narrow_rows).unwrap());
 
         let wide_schema = TableSchema::new(
             "grades_wide",
@@ -162,8 +157,8 @@ mod tests {
                 Value::Float(60.0 + base),
             ]));
         }
-        let target = Database::new("RT")
-            .with_table(Table::with_rows(wide_schema, wide_rows).unwrap());
+        let target =
+            Database::new("RT").with_table(Table::with_rows(wide_schema, wide_rows).unwrap());
         (source, target)
     }
 
@@ -178,7 +173,11 @@ mod tests {
         let mapping = clio_qual_table(&source, &target, config).unwrap();
 
         // Views on examNum should have been selected.
-        assert!(!mapping.views.is_empty(), "no views selected: {:?}", mapping.match_result.selected);
+        assert!(
+            !mapping.views.is_empty(),
+            "no views selected: {:?}",
+            mapping.match_result.selected
+        );
         assert!(mapping.views.iter().all(|v| v.base_table == "grades"));
 
         // A mapping query for the wide table exists and joins the views.

@@ -7,7 +7,9 @@
 
 use std::collections::BTreeMap;
 
-use cxm_relational::{Attribute, Database, DataType, Result, Table, TableSchema, Tuple, Value, ViewDef};
+use cxm_relational::{
+    Attribute, DataType, Database, Result, Table, TableSchema, Tuple, Value, ViewDef,
+};
 
 use crate::association::LogicalTable;
 use crate::query::MappingQuery;
@@ -57,13 +59,12 @@ fn full_outer_join(
     let schema = TableSchema::new(left.name(), attrs);
     let mut joined = Table::new(schema);
 
-    let left_pos: Vec<Option<usize>> = left_attrs.iter().map(|a| left.schema().index_of(a)).collect();
+    let left_pos: Vec<Option<usize>> =
+        left_attrs.iter().map(|a| left.schema().index_of(a)).collect();
     let right_pos: Vec<Option<usize>> =
         right_attrs.iter().map(|a| right.schema().index_of(a)).collect();
     let key_of = |row: &Tuple, pos: &[Option<usize>]| -> Option<Vec<Value>> {
-        pos.iter()
-            .map(|p| p.map(|i| row.at(i).clone()))
-            .collect::<Option<Vec<Value>>>()
+        pos.iter().map(|p| p.map(|i| row.at(i).clone())).collect::<Option<Vec<Value>>>()
     };
 
     let mut right_matched = vec![false; right.len()];
@@ -298,8 +299,10 @@ mod tests {
         let logical = associate(&names, &views, &constraints);
         assert!(logical.edges.iter().any(|e| e.rule == JoinRule::Join1));
 
-        let mut correspondences =
-            vec![ValueCorrespondence::new(AttrRef::new("V0", "name"), AttrRef::new("grades_wide", "name"))];
+        let mut correspondences = vec![ValueCorrespondence::new(
+            AttrRef::new("V0", "name"),
+            AttrRef::new("grades_wide", "name"),
+        )];
         for i in 0..3 {
             correspondences.push(ValueCorrespondence::new(
                 AttrRef::new(format!("V{i}"), "grade"),
@@ -311,11 +314,8 @@ mod tests {
 
         // Three students, one row each, with all three grades filled in.
         assert_eq!(result.len(), 3);
-        let ann = result
-            .rows()
-            .iter()
-            .find(|r| r.at(0) == &Value::str("ann"))
-            .expect("ann present");
+        let ann =
+            result.rows().iter().find(|r| r.at(0) == &Value::str("ann")).expect("ann present");
         assert_eq!(ann.at(1), &Value::Float(40.0));
         assert_eq!(ann.at(2), &Value::Float(50.0));
         assert_eq!(ann.at(3), &Value::Float(60.0));

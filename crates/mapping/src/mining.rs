@@ -13,7 +13,7 @@
 //! every constraint the paper's examples require.
 
 use cxm_relational::{
-    ConstraintSet, ContextualForeignKey, Database, ForeignKey, Key, Table, ViewDef,
+    ConstraintSet, ContextualForeignKey, Database, ForeignKey, Key, SelectionCache, Table, ViewDef,
 };
 
 /// Knobs for the constraint miner.
@@ -86,10 +86,8 @@ pub fn mine_constraints(db: &Database, config: &MiningConfig) -> ConstraintSet {
                 let Ok(fk) = fk else { continue };
                 // Only report same-named or same-typed columns to avoid
                 // coincidental inclusions (e.g. tiny integer domains).
-                let parent_attr = parent
-                    .schema()
-                    .attribute(&parent_key.attributes[0])
-                    .map(|a| a.data_type);
+                let parent_attr =
+                    parent.schema().attribute(&parent_key.attributes[0]).map(|a| a.data_type);
                 let compatible = attr.name.eq_ignore_ascii_case(&parent_key.attributes[0])
                     || parent_attr == Some(attr.data_type);
                 if compatible && fk.holds_on(child, parent).unwrap_or(false) {
@@ -116,11 +114,19 @@ pub fn mine_view_constraints(
     config: &MiningConfig,
 ) -> ConstraintSet {
     let mut out = ConstraintSet::new();
+    // Views in a family share condition atoms; resolve their selections
+    // through one cache, and size-gate on the selection so undersized views
+    // never materialize at all.
+    let mut cache = SelectionCache::new();
     for view in views {
-        let Ok(instance) = view.evaluate(source) else { continue };
-        if instance.len() < config.min_rows_for_key {
+        let Ok(base) = source.require_table(&view.base_table) else { continue };
+        let Ok(selection) = view.select_cached(base, &mut cache) else { continue };
+        if selection.len() < config.min_rows_for_key {
             continue;
         }
+        // Key / inclusion checks need the projected instance; this is the one
+        // materialization per surviving view (was: one per view regardless).
+        let Ok(instance) = view.materialize_selection(base, &selection) else { continue };
         mine_keys_of_view(&instance, view, &mut out);
         mine_contextual_fk_of_view(source, view, &instance, base_constraints, &mut out);
     }
@@ -153,9 +159,8 @@ fn mine_contextual_fk_of_view(
         // or holding on the sample).
         let composite = vec![attr.name.clone(), cond_attr.to_string()];
         let declared = base_constraints.is_key(&view.base_table, &composite);
-        let sample_key = Key::new(view.base_table.clone(), composite.clone())
-            .holds_on(base)
-            .unwrap_or(false);
+        let sample_key =
+            Key::new(view.base_table.clone(), composite.clone()).holds_on(base).unwrap_or(false);
         if !(declared || sample_key) {
             continue;
         }
@@ -222,10 +227,7 @@ mod tests {
         // student.name (and email, address) are keys; project needs the
         // composite [name, assignt].
         assert!(cs.is_key("student", &["name".to_string()]));
-        assert!(cs
-            .keys_of("project")
-            .iter()
-            .any(|k| k.attributes.len() == 2));
+        assert!(cs.keys_of("project").iter().any(|k| k.attributes.len() == 2));
         assert!(!cs.is_key("project", &["name".to_string()]));
     }
 
@@ -266,11 +268,8 @@ mod tests {
 
     #[test]
     fn tiny_samples_make_no_key_claims() {
-        let t = Table::with_rows(
-            TableSchema::new("t", vec![Attribute::int("x")]),
-            vec![tuple![1]],
-        )
-        .unwrap();
+        let t = Table::with_rows(TableSchema::new("t", vec![Attribute::int("x")]), vec![tuple![1]])
+            .unwrap();
         let db = Database::new("d").with_table(t);
         let cs = mine_constraints(&db, &MiningConfig::default());
         assert!(cs.keys_of("t").is_empty());
@@ -280,11 +279,7 @@ mod tests {
     fn views_with_non_simple_conditions_get_keys_but_no_cfk() {
         let db = school_db();
         let base = mine_constraints(&db, &MiningConfig::default());
-        let view = ViewDef::select_only(
-            "V",
-            "project",
-            Condition::is_in("assignt", [0, 1]),
-        );
+        let view = ViewDef::select_only("V", "project", Condition::is_in("assignt", [0, 1]));
         let cs = mine_view_constraints(&db, &[view], &base, &MiningConfig::default());
         assert!(cs.contextual_fks_from("V").is_empty());
     }

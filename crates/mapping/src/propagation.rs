@@ -58,12 +58,8 @@ fn contextual_propagation(
         if !key.attributes.iter().any(|k| k.eq_ignore_ascii_case(a)) {
             continue;
         }
-        let x: Vec<String> = key
-            .attributes
-            .iter()
-            .filter(|k| !k.eq_ignore_ascii_case(a))
-            .cloned()
-            .collect();
+        let x: Vec<String> =
+            key.attributes.iter().filter(|k| !k.eq_ignore_ascii_case(a)).cloned().collect();
         if x.is_empty() {
             continue;
         }
@@ -87,14 +83,9 @@ fn contextual_constraint(
         if !key.attributes.iter().any(|k| k.eq_ignore_ascii_case(a)) {
             continue;
         }
-        let x: Vec<String> = key
-            .attributes
-            .iter()
-            .filter(|k| !k.eq_ignore_ascii_case(a))
-            .cloned()
-            .collect();
-        if x.is_empty()
-            || !x.iter().all(|k| view_attrs.iter().any(|va| va.eq_ignore_ascii_case(k)))
+        let x: Vec<String> =
+            key.attributes.iter().filter(|k| !k.eq_ignore_ascii_case(a)).cloned().collect();
+        if x.is_empty() || !x.iter().all(|k| view_attrs.iter().any(|va| va.eq_ignore_ascii_case(k)))
         {
             continue;
         }
@@ -123,14 +114,11 @@ fn view_referencing(
 ) {
     for key in sigma.keys_of(&view.base_table) {
         let x = &key.attributes;
-        let all_in_view =
-            x.iter().all(|k| view_attrs.iter().any(|va| va.eq_ignore_ascii_case(k)));
+        let all_in_view = x.iter().all(|k| view_attrs.iter().any(|va| va.eq_ignore_ascii_case(k)));
         if !all_in_view {
             continue;
         }
-        let Some(a) = x.iter().find(|k| {
-            view.condition.restricted_values(k).is_some()
-        }) else {
+        let Some(a) = x.iter().find(|k| view.condition.restricted_values(k).is_some()) else {
             continue;
         };
         let Some(restricted) = view.condition.restricted_values(a) else { continue };
@@ -154,10 +142,8 @@ fn fk_propagation(
     out: &mut ConstraintSet,
 ) {
     for fk in sigma.foreign_keys_from(&view.base_table) {
-        let y_in_view = fk
-            .child_attrs
-            .iter()
-            .all(|y| view_attrs.iter().any(|va| va.eq_ignore_ascii_case(y)));
+        let y_in_view =
+            fk.child_attrs.iter().all(|y| view_attrs.iter().any(|va| va.eq_ignore_ascii_case(y)));
         if !y_in_view {
             continue;
         }

@@ -89,7 +89,10 @@ mod tests {
             LogicalTable::default(),
             vec![
                 ValueCorrespondence::new(AttrRef::new("V0", "name"), AttrRef::new("projs", "name")),
-                ValueCorrespondence::new(AttrRef::new("V0", "grade"), AttrRef::new("projs", "grade0")),
+                ValueCorrespondence::new(
+                    AttrRef::new("V0", "grade"),
+                    AttrRef::new("projs", "grade0"),
+                ),
             ],
         );
         assert!(q.correspondence_for("Grade0").is_some());
@@ -99,7 +102,8 @@ mod tests {
 
     #[test]
     fn display_renders_edges() {
-        let c = ValueCorrespondence::new(AttrRef::new("V0", "grade"), AttrRef::new("projs", "grade0"));
+        let c =
+            ValueCorrespondence::new(AttrRef::new("V0", "grade"), AttrRef::new("projs", "grade0"));
         assert_eq!(c.to_string(), "V0.grade → projs.grade0");
         let q = MappingQuery::new("projs", LogicalTable::default(), vec![c]);
         assert!(q.to_string().contains("map → projs"));

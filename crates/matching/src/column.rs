@@ -1,6 +1,9 @@
 //! Column data handed to matchers.
 
-use cxm_relational::{AttrRef, DataType, Table, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, OnceLock};
+
+use cxm_relational::{AttrRef, ColumnSlice, DataType, Table, Value};
 
 /// One attribute's worth of sample data: its qualified name, declared type and
 /// the bag of non-NULL values drawn from the sample instance.
@@ -8,30 +11,91 @@ use cxm_relational::{AttrRef, DataType, Table, Value};
 /// This is the only thing a [`crate::Matcher`] ever sees, which keeps the
 /// matchers reusable for base tables *and* inferred views: a view-restricted
 /// column is just another `ColumnData` with fewer values.
+///
+/// Storage is either **borrowed** (references into the base [`Table`]'s
+/// tuples — the zero-copy path used when scoring candidate views) or
+/// **owned** (for hand-built columns, e.g. in tests). Matchers are agnostic:
+/// they consume values through [`ColumnData::iter`], [`ColumnData::texts`]
+/// and [`ColumnData::numbers`].
+///
+/// Derived artifacts the matchers need repeatedly — the 3-gram frequency
+/// profile, the normalized distinct-value set, the numeric summary — are
+/// memoized lazily and thread-safely inside the column. `ScoreMatch` rescoring
+/// hits the *same* target column once per candidate view, and `StandardMatch`
+/// hits the same source column once per target attribute; memoization turns
+/// those repeated O(values) profile builds into one build per column.
 #[derive(Debug, Clone)]
-pub struct ColumnData {
+pub struct ColumnData<'a> {
     /// Qualified attribute reference (`table.attribute`).
     pub attr: AttrRef,
     /// Declared data type of the attribute.
     pub data_type: DataType,
-    /// Non-NULL sample values.
-    pub values: Vec<Value>,
+    /// Non-NULL sample values (owned or borrowed from a base table).
+    values: ColumnValues<'a>,
+    /// Lazily memoized derived artifacts (cheap to clone: `Arc`s inside).
+    caches: ColumnCaches,
 }
 
-impl ColumnData {
-    /// Extract a column from a table instance.
-    pub fn from_table(table: &Table, attribute: &str) -> cxm_relational::Result<ColumnData> {
-        let data_type =
-            table.schema().type_of(attribute).unwrap_or(DataType::Unknown);
+/// Thread-safe, lazily filled caches of matcher-facing derived data.
+#[derive(Debug, Clone, Default)]
+struct ColumnCaches {
+    /// Normalized 3-gram frequency profile (the `QGramMatcher` default).
+    qgram3: OnceLock<Arc<BTreeMap<String, f64>>>,
+    /// Trimmed, lowercased distinct value set (`ValueOverlapMatcher`).
+    value_set: OnceLock<Arc<BTreeSet<String>>>,
+    /// `(mean, population std dev, min, max)` over the numeric values
+    /// (`NumericMatcher`); `None` when the column has no numeric values.
+    numeric_summary: OnceLock<Option<(f64, f64, f64, f64)>>,
+}
+
+#[derive(Debug, Clone)]
+enum ColumnValues<'a> {
+    Owned(Vec<Value>),
+    Borrowed(Vec<&'a Value>),
+}
+
+impl<'a> ColumnData<'a> {
+    /// Build a column from owned values (no NULL filtering is applied; the
+    /// caller provides exactly the bag the matchers should see).
+    pub fn owned(attr: AttrRef, data_type: DataType, values: Vec<Value>) -> ColumnData<'static> {
+        ColumnData {
+            attr,
+            data_type,
+            values: ColumnValues::Owned(values),
+            caches: ColumnCaches::default(),
+        }
+    }
+
+    /// Extract a column from a table instance, borrowing the values in place
+    /// (NULLs skipped). No value is cloned.
+    pub fn from_table(table: &'a Table, attribute: &str) -> cxm_relational::Result<ColumnData<'a>> {
+        let col = table.schema().require_index(attribute)?;
+        let data_type = table.schema().type_of(attribute).unwrap_or(DataType::Unknown);
+        let values: Vec<&Value> =
+            table.rows().iter().map(|r| r.at(col)).filter(|v| !v.is_null()).collect();
         Ok(ColumnData {
             attr: AttrRef::new(table.name(), attribute),
             data_type,
-            values: table.column_non_null(attribute)?,
+            values: ColumnValues::Borrowed(values),
+            caches: ColumnCaches::default(),
         })
     }
 
+    /// Build a column from a zero-copy [`ColumnSlice`] (a view-restricted
+    /// column), borrowing the selected non-NULL values in place. `table_name`
+    /// is the name the column should report (conventionally the view's name,
+    /// so that rescoring matches the legacy materializing path byte for byte).
+    pub fn from_slice(slice: &ColumnSlice<'a>, table_name: impl Into<String>) -> ColumnData<'a> {
+        ColumnData {
+            attr: AttrRef::new(table_name, slice.name()),
+            data_type: slice.data_type(),
+            values: ColumnValues::Borrowed(slice.non_null_values().collect()),
+            caches: ColumnCaches::default(),
+        }
+    }
+
     /// All columns of a table instance, in schema order.
-    pub fn all_from_table(table: &Table) -> Vec<ColumnData> {
+    pub fn all_from_table(table: &'a Table) -> Vec<ColumnData<'a>> {
         table
             .schema()
             .attributes()
@@ -45,22 +109,73 @@ impl ColumnData {
 
     /// Number of sample values.
     pub fn len(&self) -> usize {
-        self.values.len()
+        match &self.values {
+            ColumnValues::Owned(v) => v.len(),
+            ColumnValues::Borrowed(v) => v.len(),
+        }
     }
 
     /// True when no sample values are available.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len() == 0
+    }
+
+    /// Iterate over the sample values.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> + '_ {
+        // Two arms with distinct iterator types; box-free via either-style enum.
+        ColumnIter {
+            owned: match &self.values {
+                ColumnValues::Owned(v) => Some(v.iter()),
+                ColumnValues::Borrowed(_) => None,
+            },
+            borrowed: match &self.values {
+                ColumnValues::Owned(_) => None,
+                ColumnValues::Borrowed(v) => Some(v.iter()),
+            },
+        }
     }
 
     /// The values rendered as text (what the textual matchers consume).
     pub fn texts(&self) -> Vec<String> {
-        self.values.iter().map(|v| v.as_text()).collect()
+        self.iter().map(|v| v.as_text()).collect()
     }
 
     /// The numeric interpretations of the values (non-numeric values skipped).
     pub fn numbers(&self) -> Vec<f64> {
-        self.values.iter().filter_map(|v| v.as_f64()).collect()
+        self.iter().filter_map(|v| v.as_f64()).collect()
+    }
+
+    /// The column's normalized 3-gram frequency profile, built on first use
+    /// and memoized for the column's lifetime.
+    pub fn qgram3_profile(&self) -> Arc<BTreeMap<String, f64>> {
+        Arc::clone(
+            self.caches
+                .qgram3
+                .get_or_init(|| Arc::new(build_qgram_profile(self.iter().map(|v| v.as_text()), 3))),
+        )
+    }
+
+    /// The trimmed, ASCII-lowercased distinct value set, built on first use
+    /// and memoized for the column's lifetime.
+    pub fn value_set(&self) -> Arc<BTreeSet<String>> {
+        Arc::clone(self.caches.value_set.get_or_init(|| {
+            Arc::new(self.iter().map(|v| v.as_text().trim().to_ascii_lowercase()).collect())
+        }))
+    }
+
+    /// `(mean, population std dev, min, max)` of the numeric values, memoized;
+    /// `None` when no value parses as a number.
+    pub fn numeric_summary(&self) -> Option<(f64, f64, f64, f64)> {
+        *self.caches.numeric_summary.get_or_init(|| {
+            let numbers = self.numbers();
+            if numbers.is_empty() {
+                return None;
+            }
+            let m = cxm_stats::Moments::from_samples(numbers.iter().copied());
+            let min = numbers.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = numbers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            Some((m.mean(), m.population_std_dev(), min, max))
+        })
     }
 
     /// True when the column is numeric either by declared type or because a
@@ -69,17 +184,65 @@ impl ColumnData {
         if self.data_type.is_numeric() {
             return true;
         }
-        if self.values.is_empty() {
+        if self.is_empty() {
             return false;
         }
-        self.numbers().len() as f64 >= 0.8 * self.values.len() as f64
+        self.numbers().len() as f64 >= 0.8 * self.len() as f64
+    }
+}
+
+/// Build an L2-normalized q-gram frequency profile over a bag of texts. The
+/// single implementation behind both the memoized 3-gram profile and
+/// `QGramMatcher`'s non-default widths.
+pub fn build_qgram_profile(texts: impl Iterator<Item = String>, q: usize) -> BTreeMap<String, f64> {
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    for text in texts {
+        for g in cxm_classify::qgrams(&text, q) {
+            *counts.entry(g).or_insert(0.0) += 1.0;
+        }
+    }
+    let norm: f64 = counts.values().map(|c| c * c).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for v in counts.values_mut() {
+            *v /= norm;
+        }
+    }
+    counts
+}
+
+/// Iterator over a column's values regardless of storage flavour.
+struct ColumnIter<'s, 'a> {
+    owned: Option<std::slice::Iter<'s, Value>>,
+    borrowed: Option<std::slice::Iter<'s, &'a Value>>,
+}
+
+impl<'s, 'a: 's> Iterator for ColumnIter<'s, 'a> {
+    type Item = &'s Value;
+
+    fn next(&mut self) -> Option<&'s Value> {
+        if let Some(it) = &mut self.owned {
+            return it.next();
+        }
+        self.borrowed.as_mut().and_then(|it| it.next().map(|v| &**v))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if let Some(it) = &self.owned {
+            it.size_hint()
+        } else if let Some(it) = &self.borrowed {
+            it.size_hint()
+        } else {
+            (0, Some(0))
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxm_relational::{tuple, Attribute, Table, TableSchema};
+    use cxm_relational::{
+        tuple, Attribute, Condition, RowSelection, Table, TableSchema, TableSlice,
+    };
 
     fn table() -> Table {
         Table::with_rows(
@@ -108,8 +271,46 @@ mod tests {
     }
 
     #[test]
+    fn from_table_borrows_not_clones() {
+        let t = table();
+        let col = ColumnData::from_table(&t, "name").unwrap();
+        let first = col.iter().next().unwrap();
+        assert!(std::ptr::eq(first, t.rows()[0].at(1)), "values must alias the base table");
+    }
+
+    #[test]
+    fn from_slice_restricts_and_renames() {
+        let t = table();
+        let sel = RowSelection::of_condition(&t, &Condition::is_in("id", [0i64, 2]));
+        let slice = TableSlice::new(&t, &sel);
+        let col = ColumnData::from_slice(&slice.column("code").unwrap(), "inv[id in (0, 2)]");
+        assert_eq!(col.attr, AttrRef::new("inv[id in (0, 2)]", "code"));
+        assert_eq!(col.len(), 2);
+        assert_eq!(col.texts(), vec!["0195128", "0486611"]);
+        let first = col.iter().next().unwrap();
+        assert!(std::ptr::eq(first, t.rows()[0].at(2)), "sliced values must alias the base table");
+    }
+
+    #[test]
+    fn from_slice_skips_nulls_like_from_table() {
+        let schema = TableSchema::new("t", vec![Attribute::text("x")]);
+        let t = Table::with_rows(
+            schema,
+            vec![tuple!["a"], cxm_relational::Tuple::new(vec![cxm_relational::Value::Null])],
+        )
+        .unwrap();
+        let sel = RowSelection::full(t.len());
+        let slice = TableSlice::new(&t, &sel);
+        let col = ColumnData::from_slice(&slice.column("x").unwrap(), "t");
+        assert_eq!(col.len(), 1);
+        let direct = ColumnData::from_table(&t, "x").unwrap();
+        assert_eq!(col.texts(), direct.texts());
+    }
+
+    #[test]
     fn all_from_table_is_in_schema_order() {
-        let cols = ColumnData::all_from_table(&table());
+        let t = table();
+        let cols = ColumnData::all_from_table(&t);
         let names: Vec<&str> = cols.iter().map(|c| c.attr.attribute.as_str()).collect();
         assert_eq!(names, vec!["id", "name", "code"]);
     }
@@ -142,5 +343,16 @@ mod tests {
         let col = ColumnData::from_table(&t, "x").unwrap();
         assert!(col.is_empty());
         assert!(!col.looks_numeric());
+    }
+
+    #[test]
+    fn owned_columns_behave_like_borrowed_ones() {
+        let col = ColumnData::owned(
+            AttrRef::new("t", "x"),
+            DataType::Text,
+            vec![cxm_relational::Value::str("a"), cxm_relational::Value::str("b")],
+        );
+        assert_eq!(col.len(), 2);
+        assert_eq!(col.texts(), vec!["a", "b"]);
     }
 }

@@ -134,12 +134,12 @@ mod tests {
     use super::*;
     use cxm_relational::{AttrRef, DataType, Value};
 
-    fn text_col(name: &str, values: Vec<&str>) -> ColumnData {
-        ColumnData {
-            attr: AttrRef::new("t", name),
-            data_type: DataType::Text,
-            values: values.into_iter().map(Value::str).collect(),
-        }
+    fn text_col(name: &str, values: Vec<&str>) -> ColumnData<'static> {
+        ColumnData::owned(
+            AttrRef::new("t", name),
+            DataType::Text,
+            values.into_iter().map(Value::str).collect(),
+        )
     }
 
     #[test]
@@ -170,7 +170,7 @@ mod tests {
         // Weighted mean of 1.0 (w=0.75) and 0.0 (w=1.0) = 0.75/1.75.
         assert!((e.combine(&conf) - 0.75 / 1.75).abs() < 1e-12);
         // All inapplicable → 0.
-        assert_eq!(e.combine(&vec![None; 4]), 0.0);
+        assert_eq!(e.combine(&[None; 4]), 0.0);
     }
 
     #[test]

@@ -11,11 +11,10 @@
 //!   which captures columns that literally share values (e.g. `format` on both
 //!   sides holding "hardcover"/"paperback").
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use crate::column::ColumnData;
 use crate::matcher::Matcher;
-use cxm_classify::qgrams;
 
 /// Cosine-similarity matcher over q-gram frequency profiles.
 #[derive(Debug, Clone)]
@@ -34,21 +33,14 @@ impl QGramMatcher {
         QGramMatcher { q: q.max(1) }
     }
 
-    /// Build the normalized q-gram frequency profile of a column.
-    pub fn profile(&self, column: &ColumnData) -> BTreeMap<String, f64> {
-        let mut counts: BTreeMap<String, f64> = BTreeMap::new();
-        for text in column.texts() {
-            for g in qgrams(&text, self.q) {
-                *counts.entry(g).or_insert(0.0) += 1.0;
-            }
+    /// Build the normalized q-gram frequency profile of a column. For the
+    /// default width (3) this is served from the column's memoized profile, so
+    /// repeated scoring of the same column costs one build total.
+    pub fn profile(&self, column: &ColumnData) -> std::sync::Arc<BTreeMap<String, f64>> {
+        if self.q == 3 {
+            return column.qgram3_profile();
         }
-        let norm: f64 = counts.values().map(|c| c * c).sum::<f64>().sqrt();
-        if norm > 0.0 {
-            for v in counts.values_mut() {
-                *v /= norm;
-            }
-        }
-        counts
+        std::sync::Arc::new(crate::column::build_qgram_profile(column.texts().into_iter(), self.q))
     }
 
     /// Cosine similarity of two normalized profiles.
@@ -84,7 +76,7 @@ impl Matcher for QGramMatcher {
     fn applicable(&self, source: &ColumnData, target: &ColumnData) -> bool {
         // Purely numeric columns are better served by the numeric matcher;
         // comparing digit 3-grams of unrelated numbers produces noise.
-        !(source.looks_numeric() && target.looks_numeric())
+        (!source.looks_numeric() || !target.looks_numeric())
             && !source.is_empty()
             && !target.is_empty()
     }
@@ -99,10 +91,6 @@ impl ValueOverlapMatcher {
     pub fn new() -> Self {
         ValueOverlapMatcher
     }
-
-    fn value_set(column: &ColumnData) -> BTreeSet<String> {
-        column.texts().into_iter().map(|t| t.trim().to_ascii_lowercase()).collect()
-    }
 }
 
 impl Matcher for ValueOverlapMatcher {
@@ -111,8 +99,8 @@ impl Matcher for ValueOverlapMatcher {
     }
 
     fn score(&self, source: &ColumnData, target: &ColumnData) -> f64 {
-        let a = Self::value_set(source);
-        let b = Self::value_set(target);
+        let a = source.value_set();
+        let b = target.value_set();
         if a.is_empty() || b.is_empty() {
             return 0.0;
         }
@@ -131,20 +119,20 @@ mod tests {
     use super::*;
     use cxm_relational::{AttrRef, DataType, Value};
 
-    fn col(name: &str, values: Vec<&str>) -> ColumnData {
-        ColumnData {
-            attr: AttrRef::new("t", name),
-            data_type: DataType::Text,
-            values: values.into_iter().map(Value::str).collect(),
-        }
+    fn col(name: &str, values: Vec<&str>) -> ColumnData<'static> {
+        ColumnData::owned(
+            AttrRef::new("t", name),
+            DataType::Text,
+            values.into_iter().map(Value::str).collect(),
+        )
     }
 
-    fn num_col(name: &str, values: Vec<f64>) -> ColumnData {
-        ColumnData {
-            attr: AttrRef::new("t", name),
-            data_type: DataType::Float,
-            values: values.into_iter().map(Value::Float).collect(),
-        }
+    fn num_col(name: &str, values: Vec<f64>) -> ColumnData<'static> {
+        ColumnData::owned(
+            AttrRef::new("t", name),
+            DataType::Float,
+            values.into_iter().map(Value::Float).collect(),
+        )
     }
 
     #[test]

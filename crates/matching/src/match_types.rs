@@ -99,7 +99,8 @@ mod tests {
 
     #[test]
     fn standard_match_roundtrip() {
-        let m = Match::standard(AttrRef::new("inv", "name"), AttrRef::new("book", "title"), 0.8, 0.9);
+        let m =
+            Match::standard(AttrRef::new("inv", "name"), AttrRef::new("book", "title"), 0.8, 0.9);
         assert!(m.is_standard());
         assert!(!m.is_contextual());
         assert_eq!(m.base_table, "inv");
@@ -109,7 +110,8 @@ mod tests {
 
     #[test]
     fn contextual_derivation_keeps_base_table() {
-        let m = Match::standard(AttrRef::new("inv", "name"), AttrRef::new("book", "title"), 0.8, 0.9);
+        let m =
+            Match::standard(AttrRef::new("inv", "name"), AttrRef::new("book", "title"), 0.8, 0.9);
         let c = m.with_context("inv[type = 1]", Condition::eq("type", 1), 0.85, 0.97);
         assert!(c.is_contextual());
         assert_eq!(c.base_table, "inv");

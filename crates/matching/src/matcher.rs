@@ -40,8 +40,8 @@ mod tests {
         }
     }
 
-    fn col(name: &str) -> ColumnData {
-        ColumnData { attr: AttrRef::new("t", name), data_type: DataType::Text, values: vec![] }
+    fn col(name: &str) -> ColumnData<'static> {
+        ColumnData::owned(AttrRef::new("t", name), DataType::Text, vec![])
     }
 
     #[test]

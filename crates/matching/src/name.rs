@@ -110,8 +110,8 @@ mod tests {
     use super::*;
     use cxm_relational::{AttrRef, DataType};
 
-    fn col(name: &str) -> ColumnData {
-        ColumnData { attr: AttrRef::new("t", name), data_type: DataType::Text, values: vec![] }
+    fn col(name: &str) -> ColumnData<'static> {
+        ColumnData::owned(AttrRef::new("t", name), DataType::Text, vec![])
     }
 
     #[test]
@@ -134,7 +134,10 @@ mod tests {
     #[test]
     fn levenshtein_known_distances() {
         assert_eq!(levenshtein(&['a', 'b', 'c'], &['a', 'b', 'c']), 0);
-        assert_eq!(levenshtein(&['k', 'i', 't', 't', 'e', 'n'], &['s', 'i', 't', 't', 'i', 'n', 'g']), 3);
+        assert_eq!(
+            levenshtein(&['k', 'i', 't', 't', 'e', 'n'], &['s', 'i', 't', 't', 'i', 'n', 'g']),
+            3
+        );
         assert_eq!(levenshtein(&[], &['a', 'b']), 2);
         assert!((levenshtein_similarity("", "") - 1.0).abs() < 1e-12);
         assert!((levenshtein_similarity("abc", "abd") - (2.0 / 3.0)).abs() < 1e-12);

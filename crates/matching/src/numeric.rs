@@ -7,8 +7,6 @@
 //! classifier" evidence the paper relies on for numeric attributes, and enough
 //! to tell 10–100 prices apart from 0–5 grades.
 
-use cxm_stats::Moments;
-
 use crate::column::ColumnData;
 use crate::matcher::Matcher;
 
@@ -20,16 +18,6 @@ impl NumericMatcher {
     /// Create a numeric matcher.
     pub fn new() -> Self {
         NumericMatcher
-    }
-
-    fn summary(values: &[f64]) -> Option<(f64, f64, f64, f64)> {
-        if values.is_empty() {
-            return None;
-        }
-        let m = Moments::from_samples(values.iter().copied());
-        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        Some((m.mean(), m.population_std_dev(), min, max))
     }
 
     /// Overlap of two closed intervals as a fraction of their union length.
@@ -66,8 +54,8 @@ impl Matcher for NumericMatcher {
     }
 
     fn score(&self, source: &ColumnData, target: &ColumnData) -> f64 {
-        let s = Self::summary(&source.numbers());
-        let t = Self::summary(&target.numbers());
+        let s = source.numeric_summary();
+        let t = target.numeric_summary();
         match (s, t) {
             (Some((s_mean, s_std, s_min, s_max)), Some((t_mean, t_std, t_min, t_max))) => {
                 let overlap = Self::range_overlap(s_min, s_max, t_min, t_max);
@@ -89,12 +77,12 @@ mod tests {
     use super::*;
     use cxm_relational::{AttrRef, DataType, Value};
 
-    fn col(name: &str, values: Vec<f64>) -> ColumnData {
-        ColumnData {
-            attr: AttrRef::new("t", name),
-            data_type: DataType::Float,
-            values: values.into_iter().map(Value::Float).collect(),
-        }
+    fn col(name: &str, values: Vec<f64>) -> ColumnData<'static> {
+        ColumnData::owned(
+            AttrRef::new("t", name),
+            DataType::Float,
+            values.into_iter().map(Value::Float).collect(),
+        )
     }
 
     #[test]
@@ -131,11 +119,8 @@ mod tests {
         let a = col("x", vec![]);
         let b = col("y", vec![1.0]);
         assert_eq!(m.score(&a, &b), 0.0);
-        let text = ColumnData {
-            attr: AttrRef::new("t", "name"),
-            data_type: DataType::Text,
-            values: vec![Value::str("abc")],
-        };
+        let text =
+            ColumnData::owned(AttrRef::new("t", "name"), DataType::Text, vec![Value::str("abc")]);
         assert_eq!(m.score(&text, &b), 0.0);
         assert!(!m.applicable(&text, &b));
         assert!(m.applicable(&b, &b));

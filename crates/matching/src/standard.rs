@@ -61,7 +61,11 @@ pub struct MatchingOutcome {
 impl MatchingOutcome {
     /// The distribution of a matcher's scores for one source attribute, if the
     /// attribute was part of this matching run.
-    pub fn distribution(&self, source: &AttrRef, matcher: &'static str) -> Option<&ScoreDistribution> {
+    pub fn distribution(
+        &self,
+        source: &AttrRef,
+        matcher: &'static str,
+    ) -> Option<&ScoreDistribution> {
         self.distributions.get(&(source.clone(), matcher))
     }
 
@@ -155,9 +159,7 @@ impl StandardMatcher {
                 dists.push(ScoreDistribution::from_scores(&scores));
             }
             for (m_idx, dist) in dists.iter().enumerate() {
-                outcome
-                    .distributions
-                    .insert((s.attr.clone(), self.ensemble.names()[m_idx]), *dist);
+                outcome.distributions.insert((s.attr.clone(), self.ensemble.names()[m_idx]), *dist);
             }
 
             // Convert to confidences and combine.
@@ -336,8 +338,7 @@ mod tests {
     fn confidence_of_reports_scored_pairs() {
         let matcher = StandardMatcher::with_defaults();
         let outcome = matcher.match_databases(&source_db(), &target_db());
-        let c = outcome
-            .confidence_of(&AttrRef::new("inv", "name"), &AttrRef::new("book", "title"));
+        let c = outcome.confidence_of(&AttrRef::new("inv", "name"), &AttrRef::new("book", "title"));
         assert!(c.is_some());
         assert!(outcome
             .confidence_of(&AttrRef::new("inv", "nope"), &AttrRef::new("book", "title"))
@@ -381,14 +382,10 @@ mod tests {
         let source = source_db();
         let target = target_db();
         let outcome = matcher.match_databases(&source, &target);
-        let empty = ColumnData {
-            attr: AttrRef::new("v", "descr"),
-            data_type: cxm_relational::DataType::Text,
-            values: vec![],
-        };
+        let empty =
+            ColumnData::owned(AttrRef::new("v", "descr"), cxm_relational::DataType::Text, vec![]);
         let target_col = ColumnData::from_table(target.table("book").unwrap(), "format").unwrap();
-        let (s, c) =
-            matcher.rescore(&outcome, &empty, &AttrRef::new("inv", "descr"), &target_col);
+        let (s, c) = matcher.rescore(&outcome, &empty, &AttrRef::new("inv", "descr"), &target_col);
         assert_eq!((s, c), (0.0, 0.0));
     }
 

@@ -139,7 +139,7 @@ mod tests {
 
     #[test]
     fn attr_ref_ordering_is_stable() {
-        let mut v = vec![AttrRef::new("b", "z"), AttrRef::new("a", "y"), AttrRef::new("a", "x")];
+        let mut v = [AttrRef::new("b", "z"), AttrRef::new("a", "y"), AttrRef::new("a", "x")];
         v.sort();
         assert_eq!(v[0], AttrRef::new("a", "x"));
         assert_eq!(v[2], AttrRef::new("b", "z"));

@@ -54,8 +54,7 @@ impl Default for CategoricalPolicy {
 /// still counts, matching how the paper's scraped samples behave.
 pub fn is_categorical(table: &Table, attribute: &str, policy: &CategoricalPolicy) -> Result<bool> {
     let counts = table.value_counts(attribute)?;
-    let counts: Vec<usize> =
-        counts.iter().filter(|(v, _)| !v.is_null()).map(|(_, &c)| c).collect();
+    let counts: Vec<usize> = counts.iter().filter(|(v, _)| !v.is_null()).map(|(_, &c)| c).collect();
     let n_tuples: usize = counts.iter().sum();
     let n_values = counts.len();
     if n_values == 0 || n_tuples == 0 {
@@ -72,8 +71,7 @@ pub fn is_categorical(table: &Table, attribute: &str, policy: &CategoricalPolicy
     if n_tuples < policy.small_sample_size {
         // Small-sample rule: at least `small_sample_values` values associated
         // with at least `small_sample_tuples` tuples each.
-        let popular =
-            counts.iter().filter(|&&c| c >= policy.small_sample_tuples).count();
+        let popular = counts.iter().filter(|&&c| c >= policy.small_sample_tuples).count();
         return Ok(popular >= policy.small_sample_values);
     }
 
@@ -121,8 +119,7 @@ mod tests {
     /// Build a one-column table named `t` with column `x` holding the values.
     fn column_table(values: Vec<Value>) -> Table {
         let schema = TableSchema::new("t", vec![Attribute::text("x")]);
-        Table::with_rows(schema, values.into_iter().map(|v| Tuple::new(vec![v])).collect())
-            .unwrap()
+        Table::with_rows(schema, values.into_iter().map(|v| Tuple::new(vec![v])).collect()).unwrap()
     }
 
     #[test]

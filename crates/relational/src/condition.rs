@@ -155,14 +155,12 @@ impl Condition {
     pub fn eval(&self, schema: &TableSchema, tuple: &Tuple) -> bool {
         match self {
             Condition::True => true,
-            Condition::Eq(attr, value) => schema
-                .index_of(attr)
-                .map(|i| tuple.at(i) == value)
-                .unwrap_or(false),
-            Condition::In(attr, values) => schema
-                .index_of(attr)
-                .map(|i| values.contains(tuple.at(i)))
-                .unwrap_or(false),
+            Condition::Eq(attr, value) => {
+                schema.index_of(attr).map(|i| tuple.at(i) == value).unwrap_or(false)
+            }
+            Condition::In(attr, values) => {
+                schema.index_of(attr).map(|i| values.contains(tuple.at(i))).unwrap_or(false)
+            }
             Condition::And(cs) => cs.iter().all(|c| c.eval(schema, tuple)),
             Condition::Or(cs) => cs.iter().any(|c| c.eval(schema, tuple)),
         }

@@ -300,9 +300,9 @@ impl ConstraintSet {
 
     /// True when `attrs` is (a superset containing) a declared key of `table`.
     pub fn is_key(&self, table: &str, attrs: &[String]) -> bool {
-        self.keys_of(table).iter().any(|k| {
-            k.attributes.iter().all(|ka| attrs.iter().any(|a| a.eq_ignore_ascii_case(ka)))
-        })
+        self.keys_of(table)
+            .iter()
+            .any(|k| k.attributes.iter().all(|ka| attrs.iter().any(|a| a.eq_ignore_ascii_case(ka))))
     }
 
     /// Total number of constraints of all kinds.
@@ -505,16 +505,8 @@ mod tests {
         cs.add_key(Key::new("t", vec!["x"]));
         cs.add_foreign_key(ForeignKey::new("a", vec!["x"], "b", vec!["y"]).unwrap());
         cs.add_contextual_fk(
-            ContextualForeignKey::new(
-                "v",
-                vec!["n"],
-                "a",
-                Value::Int(1),
-                "p",
-                vec!["n"],
-                "a",
-            )
-            .unwrap(),
+            ContextualForeignKey::new("v", vec!["n"], "a", Value::Int(1), "p", vec!["n"], "a")
+                .unwrap(),
         );
         let s = cs.to_string();
         assert!(s.contains("key: t[x] -> t"));

@@ -21,6 +21,29 @@
 //! Everything is deterministic and fully in memory; no external storage engine is
 //! involved, mirroring the paper's remark that "views are not created in the DBMS
 //! storing R_S or R_T during the search process".
+//!
+//! ## The zero-copy view execution layer
+//!
+//! `ContextMatch` evaluates every candidate view against the sample data once
+//! per scoring pass, so view evaluation is the hottest path in the system.
+//! The [`selection`] module provides the execution layer that keeps this path
+//! free of tuple copies:
+//!
+//! * [`RowSelection`] — a sorted selection vector of base-table row indices;
+//!   built in one scan per condition (or assembled from cached atoms), and
+//!   composable with linear-merge `intersect`/`union`.
+//! * [`TableSlice`] / [`ColumnSlice`] — borrowed views of a [`Table`]
+//!   restricted by a `RowSelection`; rows and values come out as references
+//!   into the base table in base-row order, never cloned.
+//! * [`SelectionCache`] — memoizes selection vectors per
+//!   `(base table, condition atom)` so conjunctive and disjunctive conditions
+//!   are evaluated by merging cached vectors instead of rescanning rows.
+//!
+//! [`ViewDef::select`] is the entry point: it returns the view's
+//! `RowSelection`, and [`ViewDef::evaluate`] is now a thin wrapper that
+//! materializes that selection for the few callers (the schema-mapping
+//! executor) that genuinely need an owned instance. Invariants are documented
+//! on the [`selection`] module.
 
 pub mod attribute;
 pub mod categorical;
@@ -30,6 +53,7 @@ pub mod database;
 pub mod error;
 pub mod sample;
 pub mod schema;
+pub mod selection;
 pub mod table;
 pub mod tuple;
 pub mod types;
@@ -45,8 +69,9 @@ pub use condition::Condition;
 pub use constraint::{ConstraintSet, ContextualForeignKey, ForeignKey, Key};
 pub use database::Database;
 pub use error::{Error, Result};
-pub use sample::{split_rows, SplitRatio};
+pub use sample::{split_rows, split_selection, SplitRatio};
 pub use schema::{Schema, TableSchema};
+pub use selection::{ColumnSlice, RowSelection, SelectionCache, TableSlice};
 pub use table::Table;
 pub use tuple::Tuple;
 pub use types::DataType;

@@ -6,6 +6,7 @@
 //! provides the splitting primitive. Randomness comes from a caller-supplied
 //! seed so every experiment run is reproducible.
 
+use crate::selection::RowSelection;
 use crate::table::Table;
 
 /// Ratio of rows assigned to the training partition.
@@ -78,27 +79,35 @@ fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
 /// when the table is non-empty and at most `len - 1` so that testing is never
 /// empty for tables with ≥ 2 rows).
 pub fn split_rows(table: &Table, ratio: SplitRatio, seed: u64) -> (Table, Table) {
+    let (train, test) = split_selection(table, ratio, seed);
+    (
+        crate::selection::TableSlice::new(table, &train).materialize(table.name()),
+        crate::selection::TableSlice::new(table, &test).materialize(table.name()),
+    )
+}
+
+/// Zero-copy variant of [`split_rows`]: the same deterministic partition, but
+/// returned as a pair of (training, testing) [`RowSelection`]s over the input
+/// table instead of materialized clones. Both selections list rows in base
+/// order, so slicing them yields exactly the instances `split_rows` builds.
+pub fn split_selection(
+    table: &Table,
+    ratio: SplitRatio,
+    seed: u64,
+) -> (RowSelection, RowSelection) {
     let n = table.len();
     if n == 0 {
-        return (table.clone(), table.clone());
+        return (RowSelection::empty(), RowSelection::empty());
     }
     if n == 1 {
-        return (table.clone(), table.filter_rows(|_| false));
+        return (RowSelection::full(1), RowSelection::empty());
     }
     let idx = shuffled_indices(n, seed);
     let mut n_train = ((n as f64) * ratio.0).round() as usize;
     n_train = n_train.clamp(1, n - 1);
 
-    let train_set: std::collections::HashSet<usize> = idx[..n_train].iter().copied().collect();
-    let mut train = table.filter_rows(|_| false);
-    let mut test = table.filter_rows(|_| false);
-    for (i, row) in table.rows().iter().enumerate() {
-        if train_set.contains(&i) {
-            train.insert(row.clone()).expect("row arity matches its own schema");
-        } else {
-            test.insert(row.clone()).expect("row arity matches its own schema");
-        }
-    }
+    let train = RowSelection::from_unsorted(idx[..n_train].to_vec());
+    let test = train.complement(n);
     (train, test)
 }
 
@@ -114,6 +123,29 @@ mod tests {
         let schema = TableSchema::new("t", vec![Attribute::int("id")]);
         Table::with_rows(schema, (0..n).map(|i| Tuple::new(vec![Value::from(i)])).collect())
             .unwrap()
+    }
+
+    #[test]
+    fn split_selection_matches_split_rows() {
+        let t = numbered_table(57);
+        for seed in [0u64, 1, 42, 9999] {
+            let (train_t, test_t) = split_rows(&t, SplitRatio::two_thirds(), seed);
+            let (train_s, test_s) = split_selection(&t, SplitRatio::two_thirds(), seed);
+            assert_eq!(train_t.len(), train_s.len());
+            assert_eq!(test_t.len(), test_s.len());
+            let from_sel: Vec<i64> = crate::selection::TableSlice::new(&t, &train_s)
+                .rows()
+                .map(|r| r.at(0).as_i64().unwrap())
+                .collect();
+            let from_tab: Vec<i64> =
+                train_t.rows().iter().map(|r| r.at(0).as_i64().unwrap()).collect();
+            assert_eq!(from_sel, from_tab, "seed {seed}");
+        }
+        // Degenerate sizes.
+        let (tr, te) = split_selection(&numbered_table(0), SplitRatio::half(), 1);
+        assert!(tr.is_empty() && te.is_empty());
+        let (tr, te) = split_selection(&numbered_table(1), SplitRatio::half(), 1);
+        assert_eq!((tr.len(), te.len()), (1, 0));
     }
 
     #[test]

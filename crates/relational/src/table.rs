@@ -35,6 +35,13 @@ impl Table {
         Ok(t)
     }
 
+    /// Crate-internal: assemble a table from a schema and rows already known
+    /// to agree on arity (used by the zero-copy slice materializer).
+    pub(crate) fn from_parts(schema: TableSchema, rows: Vec<Tuple>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.arity() == schema.arity()));
+        Table { schema, rows }
+    }
+
     /// The table's schema.
     pub fn schema(&self) -> &TableSchema {
         &self.schema
@@ -102,13 +109,7 @@ impl Table {
     /// classifiers generally ignore.
     pub fn column_non_null(&self, name: &str) -> Result<Vec<Value>> {
         let col = self.schema.require_index(name)?;
-        Ok(self
-            .rows
-            .iter()
-            .map(|r| r.at(col))
-            .filter(|v| !v.is_null())
-            .cloned()
-            .collect())
+        Ok(self.rows.iter().map(|r| r.at(col)).filter(|v| !v.is_null()).cloned().collect())
     }
 
     /// Distinct values of an attribute with their multiplicities, in value order.
@@ -123,11 +124,7 @@ impl Table {
 
     /// Distinct non-NULL values of an attribute, in value order.
     pub fn distinct_values(&self, name: &str) -> Result<Vec<Value>> {
-        Ok(self
-            .value_counts(name)?
-            .into_keys()
-            .filter(|v| !v.is_null())
-            .collect())
+        Ok(self.value_counts(name)?.into_keys().filter(|v| !v.is_null()).collect())
     }
 
     /// Select the subset of rows satisfying `predicate`, preserving order.
@@ -292,7 +289,11 @@ mod tests {
         let t = price_table();
         let ext = t
             .extend_with(Attribute::text("flag"), |i, _| {
-                if i % 2 == 0 { Value::str("even") } else { Value::str("odd") }
+                if i % 2 == 0 {
+                    Value::str("even")
+                } else {
+                    Value::str("odd")
+                }
             })
             .unwrap();
         assert_eq!(ext.schema().arity(), 4);

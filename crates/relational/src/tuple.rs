@@ -66,10 +66,7 @@ impl Tuple {
     /// because outer joins in the mapping executor legitimately pad tuples.
     pub fn project(&self, positions: &[usize]) -> Tuple {
         Tuple::new(
-            positions
-                .iter()
-                .map(|&i| self.values.get(i).cloned().unwrap_or(Value::Null))
-                .collect(),
+            positions.iter().map(|&i| self.values.get(i).cloned().unwrap_or(Value::Null)).collect(),
         )
     }
 

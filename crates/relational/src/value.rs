@@ -63,7 +63,13 @@ impl Value {
             Value::Int(i) => i.to_string(),
             Value::Float(x) => format_float(*x),
             Value::Str(s) => s.clone(),
-            Value::Bool(b) => if *b { "true".into() } else { "false".into() },
+            Value::Bool(b) => {
+                if *b {
+                    "true".into()
+                } else {
+                    "false".into()
+                }
+            }
         }
     }
 
@@ -163,9 +169,7 @@ impl PartialEq for Value {
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => Value::float_bits(*a) == Value::float_bits(*b),
             // Mixed int/float equality: 2 == 2.0, useful when generated data mixes the two.
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *b == *a as f64
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *b == *a as f64,
             _ => false,
         }
     }
@@ -185,11 +189,9 @@ impl Ord for Value {
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
-            (Value::Float(a), Value::Float(b)) => {
-                a.partial_cmp(b).unwrap_or_else(|| {
-                    Value::float_bits(*a).cmp(&Value::float_bits(*b))
-                })
-            }
+            (Value::Float(a), Value::Float(b)) => a
+                .partial_cmp(b)
+                .unwrap_or_else(|| Value::float_bits(*a).cmp(&Value::float_bits(*b))),
             (Value::Int(a), Value::Float(b)) => {
                 (*a as f64).partial_cmp(b).unwrap_or(Ordering::Less)
             }

@@ -8,11 +8,13 @@
 //! that views are not created in the DBMS during the search.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::condition::Condition;
 use crate::database::Database;
 use crate::error::{Error, Result};
 use crate::schema::TableSchema;
+use crate::selection::{RowSelection, SelectionCache, TableSlice};
 use crate::table::Table;
 
 /// Definition of a single-table selection (optionally projection) view.
@@ -106,19 +108,50 @@ impl ViewDef {
         Ok(())
     }
 
-    /// Evaluate the view against a base table *instance*, producing a new
-    /// instance named after the view.
-    pub fn evaluate_on(&self, base: &Table) -> Result<Table> {
+    /// Evaluate the view's *selection* against a base table instance without
+    /// materializing anything: the returned [`RowSelection`] identifies the
+    /// selected rows, and a [`TableSlice`] over it is the zero-copy view
+    /// instance. This is the fast path every scoring loop should use.
+    pub fn select(&self, base: &Table) -> Result<RowSelection> {
         self.validate(base.schema())?;
-        let selected = base.filter_rows(|t| self.condition.eval(base.schema(), t));
-        let projected = match &self.projection {
-            None => selected,
+        Ok(RowSelection::of_condition(base, &self.condition))
+    }
+
+    /// Like [`ViewDef::select`], but served through a shared [`SelectionCache`]
+    /// so condition atoms recurring across the views of a family (or across
+    /// conjunctive stages) are scanned at most once per base table.
+    pub fn select_cached(
+        &self,
+        base: &Table,
+        cache: &mut SelectionCache,
+    ) -> Result<Arc<RowSelection>> {
+        self.validate(base.schema())?;
+        Ok(cache.select(base, &self.condition))
+    }
+
+    /// Materialize a previously computed selection of this view into an owned
+    /// instance named after the view, applying the projection if any.
+    pub fn materialize_selection(&self, base: &Table, selection: &RowSelection) -> Result<Table> {
+        let selected = TableSlice::new(base, selection).materialize(self.name.clone());
+        match &self.projection {
+            None => Ok(selected),
             Some(names) => {
                 let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-                selected.project(&refs)?
+                Ok(selected.project(&refs)?.renamed(self.name.clone()))
             }
-        };
-        Ok(projected.renamed(self.name.clone()))
+        }
+    }
+
+    /// Evaluate the view against a base table *instance*, producing a new
+    /// owned instance named after the view.
+    ///
+    /// This is a thin materializing wrapper over [`ViewDef::select`], kept for
+    /// the callers that genuinely need an owned [`Table`] (chiefly the
+    /// schema-mapping execution stage); scoring paths should stay on
+    /// selections and slices.
+    pub fn evaluate_on(&self, base: &Table) -> Result<Table> {
+        let selection = self.select(base)?;
+        self.materialize_selection(base, &selection)
     }
 
     /// Evaluate the view against a whole database instance, resolving the base
@@ -129,17 +162,13 @@ impl ViewDef {
     }
 
     /// The fraction of base-table rows this view selects (its selectivity),
-    /// used to normalize scores for view size.
+    /// used to normalize scores for view size. Computed from the selection
+    /// vector — a single scan, no materialization.
     pub fn selectivity(&self, base: &Table) -> f64 {
-        if base.is_empty() {
-            return 0.0;
+        match self.select(base) {
+            Ok(selection) => selection.selectivity(base.len()),
+            Err(_) => 0.0,
         }
-        let kept = base
-            .rows()
-            .iter()
-            .filter(|t| self.condition.eval(base.schema(), t))
-            .count();
-        kept as f64 / base.len() as f64
     }
 
     /// Render the view as the SQL the paper uses in its figures.
@@ -254,6 +283,52 @@ mod tests {
         let db = inv_db();
         let v = ViewDef::select_only("V", "nope", Condition::True);
         assert!(matches!(v.evaluate(&db), Err(Error::UnknownTable(_))));
+    }
+
+    #[test]
+    fn select_agrees_with_evaluate() {
+        let db = inv_db();
+        let base = db.table("inv").unwrap();
+        let v = ViewDef::select_only("V1", "inv", Condition::eq("type", 1));
+        let sel = v.select(base).unwrap();
+        assert_eq!(sel.indices(), &[0, 2, 3]);
+        // Materializing the selection equals the legacy evaluate path.
+        assert_eq!(v.materialize_selection(base, &sel).unwrap(), v.evaluate(&db).unwrap());
+        // Projection views materialize through the same path.
+        let p = ViewDef::select_project(
+            "V2",
+            "inv",
+            Condition::eq("type", 2),
+            vec!["id".into(), "name".into()],
+        );
+        let psel = p.select(base).unwrap();
+        assert_eq!(p.materialize_selection(base, &psel).unwrap(), p.evaluate(&db).unwrap());
+        // Invalid conditions are rejected before any scan.
+        let bad = ViewDef::select_only("V", "inv", Condition::eq("color", "red"));
+        assert!(bad.select(base).is_err());
+    }
+
+    #[test]
+    fn select_cached_shares_atom_scans_across_family_members() {
+        let db = inv_db();
+        let base = db.table("inv").unwrap();
+        let mut cache = crate::selection::SelectionCache::new();
+        let family: Vec<ViewDef> = [1, 2]
+            .iter()
+            .map(|&v| ViewDef::named_by_condition("inv", Condition::eq("type", v)))
+            .collect();
+        for v in &family {
+            let direct = v.select(base).unwrap();
+            let cached = v.select_cached(base, &mut cache).unwrap();
+            assert_eq!(direct, *cached);
+        }
+        assert_eq!(cache.misses(), 2);
+        // Re-selecting the same views is now scan-free.
+        for v in &family {
+            v.select_cached(base, &mut cache).unwrap();
+        }
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 2);
     }
 
     #[test]

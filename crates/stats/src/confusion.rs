@@ -79,11 +79,8 @@ impl ConfusionMatrix {
 
     /// All labels seen on either side, sorted.
     pub fn labels(&self) -> Vec<String> {
-        let mut labels: Vec<String> = self
-            .counts
-            .keys()
-            .flat_map(|(e, p)| [e.clone(), p.clone()])
-            .collect();
+        let mut labels: Vec<String> =
+            self.counts.keys().flat_map(|(e, p)| [e.clone(), p.clone()]).collect();
         labels.sort();
         labels.dedup();
         labels
@@ -96,20 +93,12 @@ impl ConfusionMatrix {
 
     /// False positives for one label (predicted = label, expected ≠ label).
     pub fn false_positives(&self, label: &str) -> usize {
-        self.counts
-            .iter()
-            .filter(|((e, p), _)| p == label && e != label)
-            .map(|(_, &c)| c)
-            .sum()
+        self.counts.iter().filter(|((e, p), _)| p == label && e != label).map(|(_, &c)| c).sum()
     }
 
     /// False negatives for one label (expected = label, predicted ≠ label).
     pub fn false_negatives(&self, label: &str) -> usize {
-        self.counts
-            .iter()
-            .filter(|((e, p), _)| e == label && p != label)
-            .map(|(_, &c)| c)
-            .sum()
+        self.counts.iter().filter(|((e, p), _)| e == label && p != label).map(|(_, &c)| c).sum()
     }
 
     /// Per-label precision (1.0 when the label was never predicted).

@@ -16,7 +16,8 @@ use cxm_datagen::{generate_grades, GradesConfig};
 use cxm_mapping::clio_qual_table;
 
 fn main() {
-    let grades = GradesConfig { students: 120, target_students: 120, sigma: 8.0, ..GradesConfig::default() };
+    let grades =
+        GradesConfig { students: 120, target_students: 120, sigma: 8.0, ..GradesConfig::default() };
     let dataset = generate_grades(&grades);
     println!(
         "Narrow source: {} rows; wide target schema: {}.",

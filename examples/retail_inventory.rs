@@ -32,9 +32,8 @@ fn main() {
     println!("Ground truth contains {} contextual match triples.\n", dataset.truth.len());
 
     for strategy in ViewInferenceStrategy::ALL {
-        let config = ContextMatchConfig::default()
-            .with_inference(strategy)
-            .with_early_disjuncts(true);
+        let config =
+            ContextMatchConfig::default().with_inference(strategy).with_early_disjuncts(true);
         let result = ContextualMatcher::new(config)
             .run(&dataset.source, &dataset.target)
             .expect("generated schemas are well formed");

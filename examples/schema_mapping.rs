@@ -15,9 +15,7 @@ use cxm_mapping::{
     associate, execute_mapping, mine_constraints, mine_view_constraints, propagate_constraints,
     MappingQuery, MiningConfig, ValueCorrespondence,
 };
-use cxm_relational::{
-    tuple, Attribute, AttrRef, Condition, Database, Table, TableSchema, ViewDef,
-};
+use cxm_relational::{tuple, AttrRef, Attribute, Condition, Database, Table, TableSchema, ViewDef};
 
 fn school_db() -> Database {
     let student = Table::with_rows(
@@ -102,10 +100,8 @@ fn main() {
             Attribute::text("grade2"),
         ],
     );
-    let mut correspondences = vec![ValueCorrespondence::new(
-        AttrRef::new("V0", "name"),
-        AttrRef::new("projs", "name"),
-    )];
+    let mut correspondences =
+        vec![ValueCorrespondence::new(AttrRef::new("V0", "name"), AttrRef::new("projs", "name"))];
     for i in 0..3 {
         correspondences.push(ValueCorrespondence::new(
             AttrRef::new(format!("V{i}"), "grade"),

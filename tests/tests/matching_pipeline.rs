@@ -3,8 +3,8 @@
 //! working together on generated data.
 
 use cxm_classify::{Classifier, NaiveBayesClassifier};
-use cxm_core::{ContextMatchConfig, ViewInferenceStrategy};
 use cxm_core::candidate_views::infer_candidate_views;
+use cxm_core::{ContextMatchConfig, ViewInferenceStrategy};
 use cxm_datagen::{generate_retail, RetailConfig};
 use cxm_matching::{ColumnData, MatchingConfig, StandardMatcher};
 use cxm_relational::{categorical_attributes, CategoricalPolicy};

@@ -1,0 +1,265 @@
+//! Offline stand-in for the subset of the `criterion` API used by the bench
+//! crate: `Criterion`, `benchmark_group` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing model: each benchmark closure is warmed up once, then run for
+//! `sample_size` samples; the mean and best wall-clock time per iteration are
+//! printed to stdout. Passing `--test` (as `cargo bench -- --test` does for CI
+//! smoke runs) executes every benchmark exactly once without timing. A
+//! positional argument acts as a substring filter on benchmark names, matching
+//! real criterion's CLI behaviour closely enough for scripts.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: a function name plus an
+/// optional parameter rendered as text.
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("strategy", 16)` renders as `strategy/16`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id carrying only a parameter (grouped under the group name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, parameter: None }
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    /// Mean per-iteration time of the last `iter` call, if timing ran.
+    last_mean: Option<Duration>,
+    last_best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run the closure under measurement (or exactly once in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            let _ = std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up.
+        let _ = std::hint::black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let _ = std::hint::black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            if elapsed < best {
+                best = elapsed;
+            }
+        }
+        self.last_mean = Some(total / self.samples as u32);
+        self.last_best = Some(best);
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (minimum 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.filter_matches(&full) {
+            return;
+        }
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            samples: self.sample_size,
+            last_mean: None,
+            last_best: None,
+        };
+        f(&mut b);
+        match (b.last_mean, b.last_best) {
+            (Some(mean), Some(best)) => {
+                println!("{full}: mean {mean:?}, best {best:?} ({} samples)", self.sample_size);
+            }
+            _ => println!("{full}: ok (test mode)"),
+        }
+    }
+
+    /// Benchmark a closure under a plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into().render();
+        self.run(id, f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.render(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo-bench forwards that we accept and ignore.
+                "--bench" | "--verbose" | "--quiet" | "-n" | "--noplot" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: 10 }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(name, f);
+        self
+    }
+
+    fn filter_matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Prevent the optimizer from discarding a value (re-export of `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `fn main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion { test_mode: false, filter: None };
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true, filter: None };
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_with_input(BenchmarkId::new("f", 1), &7usize, |b, &x| b.iter(|| ran += x));
+        }
+        assert_eq!(ran, 7);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { test_mode: true, filter: Some("nope".into()) };
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("f", |b| b.iter(|| ran = true));
+        }
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("s", 16).render(), "s/16");
+        assert_eq!(BenchmarkId::from_parameter(3).render(), "3");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+}

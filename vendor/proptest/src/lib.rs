@@ -1,0 +1,265 @@
+//! Offline stand-in for the subset of the `proptest` API used by the
+//! integration tests: the `proptest!` macro, `prop_assert!` /
+//! `prop_assert_eq!`, numeric range strategies, `any::<T>()`, and
+//! `prop::collection::{vec, btree_set}`.
+//!
+//! Semantics: every `proptest!` test runs a fixed number of deterministic
+//! cases (256) sampled from the strategies with a per-case reseeded
+//! SplitMix64 generator. There is no shrinking; a failing case panics with
+//! the ordinary assertion message, which is enough for CI. Determinism means
+//! failures are always reproducible by re-running the test.
+
+use std::ops::Range;
+
+/// Deterministic generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Gen { state: seed ^ 0x9E3779B97F4A7C15 }
+    }
+
+    /// Re-seed for a new test case (mixes the case index into the stream).
+    pub fn reseed(&mut self, case: u64) {
+        self.state = (case.wrapping_add(1)).wrapping_mul(0xA24BAED4963EE407) ^ 0x9E3779B97F4A7C15;
+    }
+
+    /// Next 64 uniform bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, bound)`; `bound` must be non-zero.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// A source of values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let offset = (gen.next_u64() as u128) % width;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, gen: &mut Gen) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + gen.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, gen: &mut Gen) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (gen.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(gen: &mut Gen) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(gen: &mut Gen) -> $t {
+                gen.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(gen: &mut Gen) -> bool {
+        gen.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(gen: &mut Gen) -> f64 {
+        gen.next_f64() * 2e6 - 1e6
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, gen: &mut Gen) -> T {
+        T::arbitrary(gen)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for a type.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+/// Collection strategies (`prop::collection` in real proptest).
+pub mod collection {
+    use super::{Gen, Strategy};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + gen.next_index(span);
+            (0..len).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; the size range bounds the number of
+    /// *attempts*, so duplicates may yield smaller sets (as in real proptest).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, gen: &mut Gen) -> BTreeSet<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + gen.next_index(span);
+            (0..len).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+
+    /// `prop::collection::btree_set(element, len_range)`.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+/// Mirror of real proptest's `prop` facade module.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Run the enclosed body for each generated case (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut gen = $crate::Gen::new(0xC0FFEE);
+                for case in 0u64..256 {
+                    gen.reseed(case);
+                    $( let $arg = $crate::Strategy::generate(&$strategy, &mut gen); )+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Assertion macro (plain `assert!` semantics under this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion macro (plain `assert_eq!` semantics under this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i64..9, f in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(values in prop::collection::vec(0i64..5, 2..10)) {
+            prop_assert!(values.len() >= 2 && values.len() < 10);
+            prop_assert!(values.iter().all(|v| (0..5).contains(v)));
+        }
+
+        #[test]
+        fn btree_sets_are_bounded(s in prop::collection::btree_set(0u32..50, 0..30)) {
+            prop_assert!(s.len() < 30);
+        }
+
+        #[test]
+        fn any_u64_works(seed in any::<u64>()) {
+            // Deterministic across runs: the same case index gives the same seed.
+            prop_assert_eq!(seed, seed);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut g1 = super::Gen::new(1);
+        let mut g2 = super::Gen::new(1);
+        g1.reseed(5);
+        g2.reseed(5);
+        assert_eq!(g1.next_u64(), g2.next_u64());
+    }
+}

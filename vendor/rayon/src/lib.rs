@@ -1,0 +1,156 @@
+//! Offline stand-in for the subset of the `rayon` API used by this workspace:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` (and `with_min_len`, a
+//! no-op hint). Implemented with `std::thread::scope`, splitting the input
+//! into one contiguous chunk per available core.
+//!
+//! Ordering guarantee (the property `cxm-core`'s deterministic parallel
+//! scoring relies on): `collect` always returns results in the input's
+//! original order, regardless of which thread computed which chunk — chunks
+//! are joined in order and flattened.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Map `f` over `items` in parallel, preserving input order in the output.
+fn par_map_slice<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n.max(1));
+    if n <= 1 || workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(workers);
+    let chunk_results: Vec<Vec<R>> = thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel map worker panicked")).collect()
+    });
+    chunk_results.into_iter().flatten().collect()
+}
+
+/// Parallel iterator over a borrowed slice.
+pub struct SliceParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> SliceParIter<'a, T> {
+    /// Chain a mapping stage.
+    pub fn map<R, F>(self, f: F) -> MapParIter<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        MapParIter { items: self.items, f }
+    }
+
+    /// Minimum per-thread chunk size hint — accepted and ignored (the shim
+    /// always uses one chunk per core).
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct MapParIter<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F> MapParIter<'a, T, F>
+where
+    T: Sync,
+{
+    /// Execute the parallel map and collect into any `FromIterator` target,
+    /// preserving input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        par_map_slice(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Entry points mirroring `rayon::iter`.
+pub mod iter {
+    use super::SliceParIter;
+
+    /// Borrowed-collection parallel iteration (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type yielded by the iterator.
+        type Item: Sync + 'a;
+
+        /// Create a parallel iterator over `&self`.
+        fn par_iter(&'a self) -> SliceParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> SliceParIter<'a, T> {
+            SliceParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> SliceParIter<'a, T> {
+            SliceParIter { items: self.as_slice() }
+        }
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn closures_can_borrow_environment() {
+        let offset = 10usize;
+        let items = vec![1usize, 2, 3];
+        let out: Vec<usize> = items.par_iter().map(|&x| x + offset).collect();
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn results_can_reference_input_lifetimes() {
+        let words = vec!["alpha".to_string(), "beta".to_string()];
+        let refs: Vec<&str> = words.par_iter().map(|w| w.as_str()).collect();
+        assert_eq!(refs, vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn with_min_len_is_accepted() {
+        let items: Vec<i64> = (0..64).collect();
+        let out: Vec<i64> = items.par_iter().with_min_len(8).map(|&x| -x).collect();
+        assert_eq!(out[63], -63);
+    }
+}
