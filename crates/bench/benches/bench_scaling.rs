@@ -4,7 +4,10 @@
 //!
 //! Also hosts the `zero_copy_scoring` group comparing the selection-vector
 //! `ScoreMatch` hot path against the legacy materializing baseline retained in
-//! `cxm_core::score_candidates_materializing`.
+//! `cxm_core::score_candidates_materializing`, and the `sharded_standard_match`
+//! group comparing the sharded `StandardMatch` pipeline (hoisted target batch,
+//! work-stealing source-table shards) against the serial per-table loop as the
+//! number of source tables grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -13,7 +16,7 @@ use cxm_core::{
     score_candidates, score_candidates_materializing, ContextMatchConfig, ContextualMatcher,
     ViewInferenceStrategy,
 };
-use cxm_datagen::{generate_retail, RetailConfig};
+use cxm_datagen::{generate_multi_table_retail, generate_retail, RetailConfig};
 use cxm_matching::StandardMatcher;
 
 fn bench_scaling(c: &mut Criterion) {
@@ -95,5 +98,23 @@ fn bench_zero_copy_scoring(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling, bench_zero_copy_scoring);
+/// Serial vs sharded `StandardMatch` over a growing number of source tables.
+fn bench_sharded_standard_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_standard_match");
+    group.sample_size(10);
+    let base = RetailConfig { source_items: 150, target_rows: 50, ..RetailConfig::default() };
+    for tables in [2usize, 4, 8] {
+        let (source, target) = generate_multi_table_retail(&base, tables);
+        let matcher = StandardMatcher::new(ContextMatchConfig::default().matching);
+        group.bench_with_input(BenchmarkId::new("serial", tables), &tables, |b, _| {
+            b.iter(|| matcher.match_databases_serial(&source, &target))
+        });
+        group.bench_with_input(BenchmarkId::new("sharded", tables), &tables, |b, _| {
+            b.iter(|| matcher.match_databases(&source, &target))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_zero_copy_scoring, bench_sharded_standard_match);
 criterion_main!(benches);

@@ -33,6 +33,7 @@ pub mod eval;
 pub mod majority;
 pub mod naive_bayes;
 pub mod numeric;
+pub mod telemetry;
 pub mod tokenize;
 
 pub use classifier::{Classifier, ValueClassifier};

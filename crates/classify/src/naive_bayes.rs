@@ -68,6 +68,7 @@ impl NaiveBayesClassifier {
             return Vec::new();
         }
         let tokens = self.tokenizer.tokenize(document);
+        crate::telemetry::record_work(self.classes.len() * tokens.len().max(1));
         let vocab_size = self.vocabulary.len().max(1) as f64;
         let mut out: Vec<(String, f64)> = self
             .classes
@@ -96,6 +97,7 @@ impl NaiveBayesClassifier {
 impl Classifier for NaiveBayesClassifier {
     fn teach(&mut self, document: &str, label: &str) {
         let tokens = self.tokenizer.tokenize(document);
+        crate::telemetry::record_work(tokens.len().max(1));
         let stats = self.classes.entry(label.to_string()).or_default();
         stats.doc_count += 1;
         stats.total_tokens += tokens.len();

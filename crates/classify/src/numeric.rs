@@ -30,6 +30,7 @@ impl GaussianClassifier {
 
     /// Teach one numeric example.
     pub fn teach_value(&mut self, value: f64, label: &str) {
+        crate::telemetry::record_work(1);
         self.classes.entry(label.to_string()).or_default().push(value);
         self.total += 1;
     }
@@ -45,6 +46,7 @@ impl GaussianClassifier {
         if self.total == 0 {
             return Vec::new();
         }
+        crate::telemetry::record_work(self.classes.len());
         let mut out: Vec<(String, f64)> = self
             .classes
             .iter()

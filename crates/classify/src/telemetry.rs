@@ -1,0 +1,26 @@
+//! Process-wide instrumentation counting classifier work.
+//!
+//! One *work unit* is one (class, token) or (class, value) likelihood
+//! evaluation — the inner-loop step both the Naive Bayes and the Gaussian
+//! classifier spend their scoring time in, plus one unit per token taught.
+//! The counter is a deterministic proxy for classifier runtime: for a fixed
+//! input it always reads the same, unlike wall-clock time. The experiment
+//! harness uses it to assert runtime *trends* (e.g. Figure 17's claim that
+//! `TgtClassInfer`'s cost grows with target-schema width much faster than
+//! `SrcClassInfer`'s) without flaking under CI load.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static WORK_UNITS: AtomicUsize = AtomicUsize::new(0);
+
+/// Total classifier work units recorded by this process so far. Monotone;
+/// callers measure spans by differencing two reads.
+pub fn work_units() -> usize {
+    WORK_UNITS.load(Ordering::Relaxed)
+}
+
+/// Record `units` of classifier work (scoring inner-loop steps or tokens
+/// taught).
+pub fn record_work(units: usize) {
+    WORK_UNITS.fetch_add(units, Ordering::Relaxed);
+}

@@ -19,13 +19,28 @@
 //! only the selected matches but also the intermediate artifacts (prototype
 //! matches, candidate views, scored candidates), which the experiments and the
 //! schema-mapping stage both need.
+//!
+//! ## Sharded execution
+//!
+//! The outer `for RS ∈ ℛS` loop is embarrassingly parallel: prototype
+//! matching, view inference and candidate scoring for one source table never
+//! read another table's intermediate state, and view inference is seeded per
+//! call from the configuration, not from a shared RNG. [`ContextualMatcher::run`]
+//! therefore extracts the target column batch once for the whole run and
+//! shards the loop across cores (one task per source table, work-stealing
+//! scheduler), merging the per-table artifacts in source-table order so the
+//! output is byte-identical to the serial loop (retained as
+//! [`ContextualMatcher::run_serial`] for equivalence tests and benches).
+//! `SelectContextualMatches` then runs once over the merged artifacts, exactly
+//! as in the serial algorithm.
 
-use cxm_matching::{MatchList, StandardMatcher};
-use cxm_relational::{Database, Result, ViewDef, ViewFamily};
+use cxm_matching::{ColumnData, MatchList, StandardMatcher};
+use cxm_relational::{Database, Result, Table, ViewDef, ViewFamily};
+use rayon::prelude::*;
 
 use crate::candidate_views::{flatten_views, infer_candidate_views};
 use crate::config::ContextMatchConfig;
-use crate::score::score_candidates;
+use crate::score::score_candidates_with_targets;
 use crate::select::select_contextual_matches;
 
 /// The result of a `ContextMatch` run.
@@ -92,41 +107,96 @@ impl ContextualMatcher {
         &self.standard
     }
 
-    /// Run `ContextMatch(source, target)`.
+    /// Run `ContextMatch(source, target)`, sharded across source tables: the
+    /// target column batch is extracted (and profiled) once, each source
+    /// table's lines 4–11 run as an independent parallel task, and the
+    /// per-table artifacts are merged in source-table order before the final
+    /// selection — byte-identical to [`ContextualMatcher::run_serial`].
     pub fn run(&self, source: &Database, target: &Database) -> Result<ContextMatchResult> {
+        let target_cols = ColumnData::all_from_database(target);
+        let tables: Vec<&Table> = source.tables().collect();
+        let shards: Vec<Result<TableShard>> = tables
+            .par_iter()
+            .with_min_len(1)
+            .map(|table| self.run_table(table, source, target, &target_cols))
+            .collect();
+        self.assemble(shards)
+    }
+
+    /// The serial per-table loop [`ContextualMatcher::run`] replaced
+    /// (re-extracting the target columns every iteration). Kept as the
+    /// reference implementation for equivalence tests and benches.
+    #[doc(hidden)]
+    pub fn run_serial(&self, source: &Database, target: &Database) -> Result<ContextMatchResult> {
+        let shards: Vec<Result<TableShard>> = source
+            .tables()
+            .map(|table| {
+                let target_cols = ColumnData::all_from_database(target);
+                self.run_table(table, source, target, &target_cols)
+            })
+            .collect();
+        self.assemble(shards)
+    }
+
+    /// Merge per-table shards in source-table order and run line 12
+    /// (`SelectContextualMatches`) over the combined artifacts — shared by
+    /// the sharded and serial paths so they cannot drift apart.
+    fn assemble(&self, shards: Vec<Result<TableShard>>) -> Result<ContextMatchResult> {
         let mut result = ContextMatchResult::default();
-
-        for table in source.tables() {
-            // Line 4: prototype matches for this source table.
-            let outcome = self.standard.match_table(table, target);
-            let prototype = outcome.accepted.clone();
-
-            // Line 5: candidate views.
-            let families = infer_candidate_views(table, &prototype, target, &self.config);
-            let views = flatten_views(&families, &self.config);
-
-            // Lines 6–11: score each prototype match against each candidate view.
-            let candidates = score_candidates(
-                source,
-                target,
-                &self.standard,
-                &outcome,
-                table,
-                &views,
-                &prototype,
-            )?;
-
-            result.standard.extend(prototype);
-            result.candidates.extend(candidates);
-            result.candidate_views.extend(views);
-            result.families.extend(families);
+        for shard in shards {
+            let shard = shard?;
+            result.standard.extend(shard.prototype);
+            result.candidates.extend(shard.candidates);
+            result.candidate_views.extend(shard.views);
+            result.families.extend(shard.families);
         }
-
-        // Line 12: select the matches to present.
         result.selected =
             select_contextual_matches(&result.standard, &result.candidates, &self.config);
         Ok(result)
     }
+
+    /// Lines 4–11 of Figure 5 for one source table — the unit of work a shard
+    /// executes. Reads only shared immutable state, so shards are free to run
+    /// on any thread in any order. Both prototype matching *and* candidate
+    /// re-scoring draw target columns from the hoisted `target_cols` batch,
+    /// so each target column is profiled exactly once per run.
+    fn run_table<'a>(
+        &self,
+        table: &Table,
+        source: &Database,
+        target: &'a Database,
+        target_cols: &[ColumnData<'a>],
+    ) -> Result<TableShard> {
+        // Line 4: prototype matches for this source table.
+        let outcome = self.standard.match_table_with_targets(table, target_cols);
+        let prototype = outcome.accepted.clone();
+
+        // Line 5: candidate views.
+        let families = infer_candidate_views(table, &prototype, target, &self.config);
+        let views = flatten_views(&families, &self.config);
+
+        // Lines 6–11: score each prototype match against each candidate view.
+        let candidates = score_candidates_with_targets(
+            source,
+            target,
+            target_cols,
+            &self.standard,
+            &outcome,
+            table,
+            &views,
+            &prototype,
+        )?;
+
+        Ok(TableShard { prototype, candidates, views, families })
+    }
+}
+
+/// The artifacts one source table contributes to a `ContextMatch` run.
+struct TableShard {
+    prototype: MatchList,
+    candidates: MatchList,
+    views: Vec<ViewDef>,
+    families: Vec<ViewFamily>,
 }
 
 #[cfg(test)]

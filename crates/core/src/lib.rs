@@ -50,6 +50,6 @@ pub use conjunctive::conjunctive_context_match;
 pub use context_match::{ContextMatchResult, ContextualMatcher};
 pub use labeler::{LabelPredictor, SrcLabeler, TgtLabeler};
 pub use naive_infer::naive_infer;
-pub use score::{score_candidates, score_candidates_materializing};
+pub use score::{score_candidates, score_candidates_materializing, score_candidates_with_targets};
 pub use select::select_contextual_matches;
 pub use strawman::strawman_config;

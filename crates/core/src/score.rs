@@ -33,9 +33,42 @@ use rayon::prelude::*;
 /// Score the contextual versions of the prototype matches against each
 /// candidate view. Returns the contextual candidate list `RL` (every `(m′, s)`
 /// pair of the algorithm), in deterministic (view, match) order.
+///
+/// Extracts its own target columns; callers holding a hoisted
+/// [`ColumnData::all_from_database`] batch (the sharded `ContextMatch` path)
+/// should use [`score_candidates_with_targets`] so target profiles are reused
+/// across source tables.
 pub fn score_candidates(
     source: &Database,
     target: &Database,
+    matcher: &StandardMatcher,
+    outcome: &MatchingOutcome,
+    source_table: &Table,
+    views: &[ViewDef],
+    prototype: &MatchList,
+) -> Result<MatchList> {
+    score_candidates_with_targets(
+        source,
+        target,
+        &[],
+        matcher,
+        outcome,
+        source_table,
+        views,
+        prototype,
+    )
+}
+
+/// [`score_candidates`] against a pre-extracted target column batch: each
+/// match's target column is looked up in `target_batch` (falling back to
+/// fresh extraction when absent, e.g. for an empty batch), so the memoized
+/// target profiles built during standard matching are reused instead of
+/// rebuilt once per source table.
+#[allow(clippy::too_many_arguments)]
+pub fn score_candidates_with_targets<'a>(
+    source: &Database,
+    target: &'a Database,
+    target_batch: &[ColumnData<'a>],
     matcher: &StandardMatcher,
     outcome: &MatchingOutcome,
     source_table: &Table,
@@ -87,12 +120,19 @@ pub fn score_candidates(
         return Ok(candidates);
     }
 
-    // Target columns depend only on the match, not on the view: extract each
-    // one exactly once, outside the view loop (the legacy path re-extracts
-    // them per view × match).
-    let target_cols: Vec<ColumnData> = from_this_table
+    // Target columns depend only on the match, not on the view: take each one
+    // from the hoisted batch when available — a clone shares the memoized
+    // profiles, so a column profiled during standard matching is never
+    // re-profiled here — and extract it once otherwise (the legacy path
+    // re-extracts per view × match).
+    let by_attr: std::collections::HashMap<&cxm_relational::AttrRef, &ColumnData<'a>> =
+        target_batch.iter().map(|c| (&c.attr, c)).collect();
+    let target_cols: Vec<ColumnData<'a>> = from_this_table
         .iter()
         .map(|m| {
+            if let Some(col) = by_attr.get(&m.target) {
+                return Ok((*col).clone());
+            }
             let target_table = target.require_table(&m.target.table)?;
             ColumnData::from_table(target_table, &m.target.attribute)
         })

@@ -35,5 +35,7 @@ pub mod vocab;
 pub use augment::{add_correlated_attributes, scale_schema};
 pub use grades::{generate_grades, GradesConfig, GradesDataset};
 pub use records::{BookRecord, MusicRecord, RecordGenerator};
-pub use retail::{generate_retail, RetailConfig, RetailDataset, TargetFlavor};
+pub use retail::{
+    generate_multi_table_retail, generate_retail, RetailConfig, RetailDataset, TargetFlavor,
+};
 pub use truth::GroundTruth;

@@ -297,10 +297,47 @@ pub fn generate_retail(config: &RetailConfig) -> RetailDataset {
     RetailDataset { source, target, truth, config: *config }
 }
 
+/// A multi-table retail scenario: `tables` independently generated inventory
+/// tables (consecutive seeds starting at `base.seed`, renamed `items_<i>`)
+/// in one source database, against the first dataset's target schema. This is
+/// the workload whose per-table `StandardMatch` loop the sharded matching
+/// pipeline parallelizes; the scaling bench and the sharding equivalence
+/// tests both draw it from here.
+pub fn generate_multi_table_retail(base: &RetailConfig, tables: usize) -> (Database, Database) {
+    let mut source = Database::new("RS-multi");
+    let mut target = Database::new("RT");
+    for i in 0..tables {
+        let config = RetailConfig { seed: base.seed.wrapping_add(i as u64), ..*base };
+        let dataset = generate_retail(&config);
+        let items = dataset.source.table("items").expect("retail source has an items table");
+        source.replace_table(items.renamed(format!("items_{i}")));
+        if i == 0 {
+            target = dataset.target;
+        }
+    }
+    (source, target)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cxm_relational::{categorical_attributes, CategoricalPolicy};
+
+    #[test]
+    fn multi_table_retail_builds_renamed_independent_tables() {
+        let base = RetailConfig { source_items: 40, target_rows: 20, ..RetailConfig::default() };
+        let (source, target) = generate_multi_table_retail(&base, 3);
+        assert_eq!(source.len(), 3);
+        for i in 0..3 {
+            let t = source.table(&format!("items_{i}")).expect("renamed table present");
+            assert_eq!(t.len(), 40);
+        }
+        // Distinct seeds → distinct instances.
+        let a = format!("{:?}", source.table("items_0").unwrap().rows()[0]);
+        let b = format!("{:?}", source.table("items_1").unwrap().rows()[0]);
+        assert_ne!(a, b);
+        assert!(!target.is_empty());
+    }
 
     #[test]
     fn default_dataset_has_expected_shape() {

@@ -89,6 +89,33 @@ pub fn retail_runtime(scale: &RunScale, retail: RetailConfig, cm: ContextMatchCo
     total / seeds.len() as f64
 }
 
+/// Classifier work units (`cxm_classify::telemetry`) a configuration spends on
+/// a retail dataset, over the scale's repetitions. This is the deterministic
+/// proxy the scaling tests use instead of wall-clock time for Figure 17's
+/// claim: `TgtClassInfer`'s cost is dominated by training a target-wide
+/// classifier and tagging every source value against it, which candidate
+/// counts do not see but this counter does.
+///
+/// The counter is process-global, so concurrent classifier use by *other*
+/// threads of the same process inflates the reading; callers must measure
+/// from a process with no concurrent classifier work (the harness keeps its
+/// one caller in an isolated integration-test binary, `tests/work_proxy.rs`).
+pub fn retail_classifier_work(
+    scale: &RunScale,
+    retail: RetailConfig,
+    cm: ContextMatchConfig,
+) -> usize {
+    let before = cxm_classify::telemetry::work_units();
+    for &seed in &scale.seeds() {
+        let dataset = generate_retail(&scale.apply_retail(retail, seed));
+        let config = cm.with_seed(seed ^ 0xABCD);
+        let _ = ContextualMatcher::new(config)
+            .run(&dataset.source, &dataset.target)
+            .expect("generated schemas are internally consistent");
+    }
+    cxm_classify::telemetry::work_units() - before
+}
+
 /// Average accuracy (%) of `ClioQualTable` on a grades dataset, over the
 /// scale's repetitions. This is the quantity Figures 19 and 21 report.
 pub fn grades_accuracy(scale: &RunScale, grades: GradesConfig, cm: ContextMatchConfig) -> f64 {

@@ -78,29 +78,7 @@ pub fn run(scale: &RunScale) -> Vec<FigureReport> {
     vec![run_accuracy(scale), run_time(scale)]
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    #[ignore = "wall-clock comparison; flaky under CI load and sensitive to the vendored RNG data stream (see ROADMAP open items)"]
-    fn tgtclass_slows_down_more_than_srcclass_as_schemas_grow() {
-        let scale =
-            RunScale { source_items: 140, target_rows: 40, grades_students: 30, repetitions: 1 };
-        let wide = RetailConfig { extra_attrs: 16, ..RetailConfig::default() };
-        let src = retail_runtime(
-            &scale,
-            wide,
-            ContextMatchConfig::default().with_inference(ViewInferenceStrategy::SrcClass),
-        );
-        let tgt = retail_runtime(
-            &scale,
-            wide,
-            ContextMatchConfig::default().with_inference(ViewInferenceStrategy::TgtClass),
-        );
-        assert!(
-            tgt > src,
-            "TgtClassInfer ({tgt:.3}s) should be slower than SrcClassInfer ({src:.3}s) on wide schemas"
-        );
-    }
-}
+// Figure 17's runtime-trend test lives in `tests/work_proxy.rs` (an isolated
+// integration-test binary): it measures the process-global classifier
+// work-unit counter, which must not race with sibling unit tests driving
+// classifiers on other threads of this test binary.

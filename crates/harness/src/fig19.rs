@@ -44,11 +44,16 @@ pub fn run(scale: &RunScale) -> FigureReport {
 mod tests {
     use super::*;
 
+    /// Figure 19's trend, recalibrated against the vendored RNG's value
+    /// stream: with tightly clustered per-exam grade distributions (σ = 5)
+    /// the pipeline matches most exams correctly, and once the distributions
+    /// overlap heavily (σ = 35) accuracy collapses well below the low-σ
+    /// level. Calibrated at 100 students × 2 seeds, where the contrast is
+    /// 95 % vs 0 % — wide margins on both assertions.
     #[test]
-    #[ignore = "figure-trend assertion calibrated against the upstream rand value stream; needs recalibration for the vendored RNG (see ROADMAP open items)"]
     fn low_sigma_grades_are_matched_well() {
         let scale =
-            RunScale { source_items: 100, target_rows: 40, grades_students: 60, repetitions: 1 };
+            RunScale { source_items: 100, target_rows: 40, grades_students: 100, repetitions: 2 };
         let cm = ContextMatchConfig::default()
             .with_inference(ViewInferenceStrategy::SrcClass)
             .with_early_disjuncts(false)
@@ -58,7 +63,10 @@ mod tests {
             grades_accuracy(&scale, GradesConfig { sigma: 5.0, ..GradesConfig::default() }, cm);
         let high =
             grades_accuracy(&scale, GradesConfig { sigma: 35.0, ..GradesConfig::default() }, cm);
-        assert!(low > 30.0, "low-sigma accuracy unexpectedly poor: {low}");
-        assert!(low + 1e-9 >= high, "accuracy should not improve as sigma grows: {low} vs {high}");
+        assert!(low > 50.0, "low-sigma accuracy unexpectedly poor: {low}");
+        assert!(
+            low >= high + 20.0,
+            "overlapping grade distributions should cost accuracy: {low} vs {high}"
+        );
     }
 }

@@ -71,23 +71,32 @@ pub fn run(scale: &RunScale) -> Vec<FigureReport> {
 mod tests {
     use super::*;
 
+    /// Figure 20's trend, recalibrated against the vendored RNG's value
+    /// stream and averaged over three dataset seeds so a single unlucky
+    /// partition cannot flip it: raising τ from 0.3 to the paper's default
+    /// 0.5 costs only a modest amount of inventory accuracy (calibrated
+    /// means: 75 % vs ~63 %, swing ≈ 12 points against a 25-point budget).
     #[test]
-    #[ignore = "figure-trend assertion calibrated against the upstream rand value stream; needs recalibration for the vendored RNG (see ROADMAP open items)"]
     fn moderate_tau_keeps_accuracy_and_reduces_candidates() {
         let scale =
-            RunScale { source_items: 160, target_rows: 40, grades_students: 30, repetitions: 1 };
-        let dataset = generate_retail(&scale.apply_retail(RetailConfig::default(), 3));
-        let accuracy_at = |tau: f64| {
-            let cm = ContextMatchConfig::default()
-                .with_inference(ViewInferenceStrategy::SrcClass)
-                .with_tau(tau);
-            let result = ContextualMatcher::new(cm).run(&dataset.source, &dataset.target).unwrap();
-            dataset.truth.accuracy_pct(&result.selected)
+            RunScale { source_items: 240, target_rows: 40, grades_students: 30, repetitions: 1 };
+        let seeds = [3u64, 5, 7];
+        let mean_accuracy_at = |tau: f64| {
+            let mut total = 0.0;
+            for &seed in &seeds {
+                let dataset = generate_retail(&scale.apply_retail(RetailConfig::default(), seed));
+                let cm = ContextMatchConfig::default()
+                    .with_inference(ViewInferenceStrategy::SrcClass)
+                    .with_tau(tau);
+                let result =
+                    ContextualMatcher::new(cm).run(&dataset.source, &dataset.target).unwrap();
+                total += dataset.truth.accuracy_pct(&result.selected);
+            }
+            total / seeds.len() as f64
         };
-        let low = accuracy_at(0.3);
-        let mid = accuracy_at(0.5);
-        // Raising tau from 0.3 to the paper's default 0.5 should not change
-        // accuracy dramatically on the inventory data.
-        assert!((low - mid).abs() <= 40.0, "accuracy swung wildly: {low} vs {mid}");
+        let low = mean_accuracy_at(0.3);
+        let mid = mean_accuracy_at(0.5);
+        assert!(low >= mid, "accuracy should not improve as tau prunes prototypes: {low} vs {mid}");
+        assert!((low - mid).abs() <= 25.0, "accuracy swung wildly: {low} vs {mid}");
     }
 }

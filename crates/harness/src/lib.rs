@@ -35,7 +35,9 @@ pub mod fig20_22;
 pub mod fig21;
 pub mod report;
 
-pub use common::{grades_accuracy, retail_fmeasure, retail_runtime, RunScale};
+pub use common::{
+    grades_accuracy, retail_classifier_work, retail_fmeasure, retail_runtime, RunScale,
+};
 pub use report::{FigureReport, Series};
 
 /// Run every figure at the given scale, returning the reports in figure order.

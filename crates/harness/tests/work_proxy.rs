@@ -1,0 +1,44 @@
+//! Figure 17's runtime trend, measured on the classifier work-unit counter
+//! (`cxm_classify::telemetry`) instead of wall-clock time.
+//!
+//! This file intentionally holds a single test: the counter is
+//! process-global, so the measurement must not share its test binary with
+//! other tests that drive classifiers on concurrent threads (the harness
+//! unit tests all do). As its own integration-test binary it runs in its own
+//! process, making the readings deterministic.
+
+use cxm_core::{ContextMatchConfig, ViewInferenceStrategy};
+use cxm_datagen::RetailConfig;
+use cxm_harness::{retail_classifier_work, RunScale};
+
+/// TgtClassInfer trains a target-wide classifier and tags every source value
+/// against it, so its classifier workload dwarfs SrcClassInfer's and grows as
+/// padding attributes widen the schema — the mechanism behind Figure 17's
+/// wall-clock curves, asserted with generous calibrated margins.
+#[test]
+fn tgtclass_does_more_classifier_work_than_srcclass_as_schemas_grow() {
+    let scale =
+        RunScale { source_items: 140, target_rows: 40, grades_students: 30, repetitions: 1 };
+    let narrow = RetailConfig::default();
+    let wide = RetailConfig { extra_attrs: 16, ..RetailConfig::default() };
+    let work = |retail, strategy| {
+        retail_classifier_work(
+            &scale,
+            retail,
+            ContextMatchConfig::default().with_inference(strategy),
+        )
+    };
+    let src_wide = work(wide, ViewInferenceStrategy::SrcClass);
+    let tgt_wide = work(wide, ViewInferenceStrategy::TgtClass);
+    assert!(
+        tgt_wide > 2 * src_wide,
+        "TgtClassInfer ({tgt_wide} units) should spend far more classifier work than \
+         SrcClassInfer ({src_wide} units) on wide schemas"
+    );
+    let tgt_narrow = work(narrow, ViewInferenceStrategy::TgtClass);
+    assert!(
+        tgt_wide > tgt_narrow,
+        "widening the schema should grow TgtClassInfer's classifier workload \
+         ({tgt_narrow} -> {tgt_wide} units)"
+    );
+}

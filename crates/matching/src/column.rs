@@ -3,7 +3,26 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, OnceLock};
 
-use cxm_relational::{AttrRef, ColumnSlice, DataType, Table, Value};
+use cxm_relational::{AttrRef, ColumnSlice, DataType, Database, Table, Value};
+
+/// Process-wide instrumentation counting the expensive, memoized profile
+/// builds. The sharded `StandardMatch` pipeline promises that a column shared
+/// across shards is profiled exactly once per run; the integration tests hold
+/// it to that with these counters.
+pub mod telemetry {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static QGRAM_PROFILE_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+    /// Total q-gram profiles built by this process so far.
+    pub fn qgram_profile_builds() -> usize {
+        QGRAM_PROFILE_BUILDS.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_qgram_profile_build() {
+        QGRAM_PROFILE_BUILDS.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// One attribute's worth of sample data: its qualified name, declared type and
 /// the bag of non-NULL values drawn from the sample instance.
@@ -107,6 +126,14 @@ impl<'a> ColumnData<'a> {
             .collect()
     }
 
+    /// All columns of every table of a database, in (table, schema) order —
+    /// the target-side batch `StandardMatch` scores against. Building the
+    /// batch once per run (instead of once per source table) is what lets the
+    /// memoized profiles below amortize across sharded matching.
+    pub fn all_from_database(db: &Database) -> Vec<ColumnData<'_>> {
+        db.tables().flat_map(ColumnData::all_from_table).collect()
+    }
+
     /// Number of sample values.
     pub fn len(&self) -> usize {
         match &self.values {
@@ -148,11 +175,10 @@ impl<'a> ColumnData<'a> {
     /// The column's normalized 3-gram frequency profile, built on first use
     /// and memoized for the column's lifetime.
     pub fn qgram3_profile(&self) -> Arc<BTreeMap<String, f64>> {
-        Arc::clone(
-            self.caches
-                .qgram3
-                .get_or_init(|| Arc::new(build_qgram_profile(self.iter().map(|v| v.as_text()), 3))),
-        )
+        Arc::clone(self.caches.qgram3.get_or_init(|| {
+            telemetry::record_qgram_profile_build();
+            Arc::new(build_qgram_profile(self.iter().map(|v| v.as_text()), 3))
+        }))
     }
 
     /// The trimmed, ASCII-lowercased distinct value set, built on first use

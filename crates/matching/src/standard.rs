@@ -11,10 +11,23 @@
 //!   a match when the source sample is restricted to a candidate view, reusing
 //!   the per-(source attribute, matcher) score distributions captured during
 //!   standard matching so that the new confidence is comparable to the old one.
+//!
+//! ## Sharded execution
+//!
+//! The per-source-table `StandardMatch` runs are independent of one another
+//! (the per-attribute score distributions are keyed by the qualified source
+//! attribute), so [`StandardMatcher::match_databases`] shards them across
+//! cores: the target column batch is extracted and profiled **once** for the
+//! whole run ([`ColumnData::all_from_database`]), every shard scores against
+//! the same shared batch, and the per-table [`MatchingOutcome`]s are merged in
+//! source-table order so the output is byte-identical to the serial loop
+//! (retained as [`StandardMatcher::match_databases_serial`] for equivalence
+//! tests and benches).
 
 use std::collections::HashMap;
 
 use cxm_relational::{AttrRef, Database, Table};
+use rayon::prelude::*;
 
 use crate::column::ColumnData;
 use crate::combine::MatcherEnsemble;
@@ -82,11 +95,26 @@ impl MatchingOutcome {
             .map(|m| m.confidence)
     }
 
-    /// Merge another outcome into this one (used to combine per-table runs).
+    /// Merge another outcome into this one (used to combine per-table shards).
+    ///
+    /// Score-distribution keys are `(qualified source attribute, matcher)`, so
+    /// outcomes from distinct source tables are disjoint by construction.
+    /// Merging two runs over the *same* table would silently overwrite the
+    /// calibration data `rescore` depends on — that is a caller bug, caught
+    /// here in debug builds.
     pub fn merge(&mut self, other: MatchingOutcome) {
         self.accepted.extend(other.accepted);
         self.all_pairs.extend(other.all_pairs);
-        self.distributions.extend(other.distributions);
+        for (key, dist) in other.distributions {
+            debug_assert!(
+                !self.distributions.contains_key(&key),
+                "MatchingOutcome::merge: duplicate score-distribution key \
+                 ({}, {:?}) — merged shards must cover disjoint source tables",
+                key.0,
+                key.1,
+            );
+            self.distributions.insert(key, dist);
+        }
     }
 }
 
@@ -122,14 +150,50 @@ impl StandardMatcher {
     /// attribute against every target attribute of every target table,
     /// normalize per source attribute, and accept pairs at confidence ≥ τ.
     pub fn match_table(&self, source: &Table, target: &Database) -> MatchingOutcome {
-        let source_cols = ColumnData::all_from_table(source);
-        let target_cols: Vec<ColumnData> =
-            target.tables().flat_map(ColumnData::all_from_table).collect();
-        self.match_columns(&source_cols, &target_cols)
+        let target_cols = ColumnData::all_from_database(target);
+        self.match_table_with_targets(source, &target_cols)
     }
 
-    /// `StandardMatch` over every table of the source database.
+    /// [`StandardMatcher::match_table`] against a pre-extracted target column
+    /// batch. Callers matching several source tables against the same target
+    /// schema build the batch once with [`ColumnData::all_from_database`] so
+    /// the target columns' memoized matcher profiles are computed exactly once
+    /// for the whole run instead of once per source table.
+    pub fn match_table_with_targets(
+        &self,
+        source: &Table,
+        target_cols: &[ColumnData],
+    ) -> MatchingOutcome {
+        let source_cols = ColumnData::all_from_table(source);
+        self.match_columns(&source_cols, target_cols)
+    }
+
+    /// `StandardMatch` over every table of the source database, sharded across
+    /// cores: one task per source table, all scoring against one shared target
+    /// column batch, merged in source-table order (byte-identical to
+    /// [`StandardMatcher::match_databases_serial`]).
     pub fn match_databases(&self, source: &Database, target: &Database) -> MatchingOutcome {
+        let target_cols = ColumnData::all_from_database(target);
+        let tables: Vec<&Table> = source.tables().collect();
+        let shards: Vec<MatchingOutcome> = tables
+            .par_iter()
+            .with_min_len(1)
+            .map(|table| self.match_table_with_targets(table, &target_cols))
+            .collect();
+        let mut outcome = MatchingOutcome::default();
+        for shard in shards {
+            outcome.merge(shard);
+        }
+        outcome
+    }
+
+    /// The serial per-table loop [`StandardMatcher::match_databases`] replaced:
+    /// one `match_table` call per source table, re-extracting (and thereby
+    /// re-profiling) the entire target column batch every iteration. Kept as
+    /// the reference implementation for equivalence tests and the
+    /// `sharded_standard_match` bench.
+    #[doc(hidden)]
+    pub fn match_databases_serial(&self, source: &Database, target: &Database) -> MatchingOutcome {
         let mut outcome = MatchingOutcome::default();
         for table in source.tables() {
             outcome.merge(self.match_table(table, target));
@@ -387,6 +451,54 @@ mod tests {
         let target_col = ColumnData::from_table(target.table("book").unwrap(), "format").unwrap();
         let (s, c) = matcher.rescore(&outcome, &empty, &AttrRef::new("inv", "descr"), &target_col);
         assert_eq!((s, c), (0.0, 0.0));
+    }
+
+    /// A second source table so the sharded path has more than one shard.
+    fn multi_source_db() -> Database {
+        let media = Table::with_rows(
+            TableSchema::new(
+                "media",
+                vec![Attribute::text("title"), Attribute::text("sku"), Attribute::text("kind")],
+            ),
+            vec![
+                tuple!["blood on the tracks", "B000002KD7", "columbia cd"],
+                tuple!["infinite jest", "0316921", "paperback"],
+                tuple!["blue", "B000002KF2", "reprise cd"],
+                tuple!["beloved", "1400033", "hardcover"],
+            ],
+        )
+        .unwrap();
+        source_db().with_table(media)
+    }
+
+    #[test]
+    fn sharded_match_databases_equals_serial() {
+        let matcher = StandardMatcher::with_defaults();
+        let source = multi_source_db();
+        let target = target_db();
+        let sharded = matcher.match_databases(&source, &target);
+        let serial = matcher.match_databases_serial(&source, &target);
+        assert_eq!(sharded.accepted, serial.accepted);
+        assert_eq!(sharded.all_pairs, serial.all_pairs);
+        assert_eq!(sharded.distributions.len(), serial.distributions.len());
+        for (key, dist) in &serial.distributions {
+            assert_eq!(sharded.distributions.get(key), Some(dist), "distribution for {key:?}");
+        }
+        // Shards from both tables contributed.
+        assert!(sharded.all_pairs.iter().any(|m| m.base_table == "inv"));
+        assert!(sharded.all_pairs.iter().any(|m| m.base_table == "media"));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "duplicate score-distribution key")]
+    fn merging_overlapping_outcomes_panics_in_debug() {
+        let matcher = StandardMatcher::with_defaults();
+        let source = source_db();
+        let target = target_db();
+        let mut first = matcher.match_databases(&source, &target);
+        let second = matcher.match_databases(&source, &target);
+        first.merge(second);
     }
 
     #[test]

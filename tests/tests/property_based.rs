@@ -129,3 +129,45 @@ proptest! {
         prop_assert!((f_measure(q.accuracy(), q.precision()) - f).abs() < 1e-12);
     }
 }
+
+mod par_shim {
+    use proptest::prelude::*;
+    use rayon::prelude::*;
+
+    proptest! {
+        /// The work-stealing parallel map preserves input order for any input
+        /// length and any `with_min_len` chunk hint — including hints of 0,
+        /// hints larger than the input (serial fallback), and hints that
+        /// leave a short trailing task.
+        #[test]
+        fn par_map_preserves_order_for_any_chunking(
+            values in prop::collection::vec(any::<u32>(), 0..400),
+            min_len in 0usize..96,
+        ) {
+            let out: Vec<u64> =
+                values.par_iter().with_min_len(min_len).map(|&v| v as u64 + 1).collect();
+            let expected: Vec<u64> = values.iter().map(|&v| v as u64 + 1).collect();
+            prop_assert_eq!(out, expected);
+        }
+
+        /// Task boundaries honor the `with_min_len` contract for any input
+        /// size, worker count and hint: tasks tile the input contiguously and
+        /// every task except the trailing remainder spans at least the hint.
+        #[test]
+        fn task_schedule_respects_min_len(
+            n in 0usize..5000,
+            workers in 1usize..64,
+            min_len in 0usize..256,
+        ) {
+            let len = rayon::scheduler::task_len(n, workers, min_len);
+            prop_assert!(len >= min_len.max(1));
+            let starts = rayon::scheduler::task_starts(n, workers, min_len);
+            let mut covered = 0usize;
+            for &s in &starts {
+                prop_assert_eq!(s, covered);
+                covered = (s + len).min(n);
+            }
+            prop_assert_eq!(covered, n);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Equivalence and determinism of the sharded `StandardMatch` pipeline: the
+//! work-stealing, hoisted-target-batch paths must produce byte-identical
+//! output to the serial per-table loops they replaced, on realistic
+//! multi-table scenarios.
+
+use cxm_core::{ContextMatchConfig, ContextualMatcher, ViewInferenceStrategy};
+use cxm_datagen::{generate_multi_table_retail, generate_retail, RetailConfig};
+use cxm_matching::{MatchingConfig, StandardMatcher};
+use cxm_relational::Database;
+
+/// The shared multi-table retail scenario at integration-test scale.
+fn multi_table_retail(tables: usize, items_per_table: usize) -> (Database, Database) {
+    let base =
+        RetailConfig { source_items: items_per_table, target_rows: 40, ..RetailConfig::default() };
+    generate_multi_table_retail(&base, tables)
+}
+
+#[test]
+fn sharded_standard_match_equals_serial_on_multitable_retail() {
+    let (source, target) = multi_table_retail(4, 120);
+    let matcher = StandardMatcher::new(MatchingConfig::with_tau(0.4));
+    let sharded = matcher.match_databases(&source, &target);
+    let serial = matcher.match_databases_serial(&source, &target);
+    assert_eq!(sharded.accepted, serial.accepted);
+    assert_eq!(sharded.all_pairs, serial.all_pairs);
+    // Every shard contributed, in source-table order.
+    for i in 0..4 {
+        assert!(
+            sharded.all_pairs.iter().any(|m| m.base_table == format!("items_{i}")),
+            "no pairs from shard {i}"
+        );
+    }
+    let order: Vec<&str> = sharded.all_pairs.iter().map(|m| m.base_table.as_str()).collect();
+    let mut sorted = order.clone();
+    sorted.sort();
+    assert_eq!(order, sorted, "merge must preserve source-table order");
+}
+
+#[test]
+fn sharded_context_match_equals_serial_on_multitable_retail() {
+    let (source, target) = multi_table_retail(3, 100);
+    let config =
+        ContextMatchConfig::default().with_inference(ViewInferenceStrategy::SrcClass).with_tau(0.4);
+    let matcher = ContextualMatcher::new(config);
+    let sharded = matcher.run(&source, &target).unwrap();
+    let serial = matcher.run_serial(&source, &target).unwrap();
+    assert_eq!(sharded.standard, serial.standard);
+    assert_eq!(sharded.candidates, serial.candidates);
+    assert_eq!(sharded.selected, serial.selected);
+    assert_eq!(sharded.candidate_views.len(), serial.candidate_views.len());
+    for (a, b) in sharded.candidate_views.iter().zip(&serial.candidate_views) {
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+    assert_eq!(sharded.families.len(), serial.families.len());
+}
+
+#[test]
+fn sharded_context_match_is_deterministic_across_runs() {
+    let (source, target) = multi_table_retail(3, 80);
+    let config =
+        ContextMatchConfig::default().with_inference(ViewInferenceStrategy::SrcClass).with_tau(0.4);
+    let matcher = ContextualMatcher::new(config);
+    let first = matcher.run(&source, &target).unwrap();
+    for _ in 0..3 {
+        let again = matcher.run(&source, &target).unwrap();
+        assert_eq!(first.standard, again.standard);
+        assert_eq!(first.candidates, again.candidates);
+        assert_eq!(first.selected, again.selected);
+    }
+}
+
+#[test]
+fn single_table_source_still_works_through_the_sharded_path() {
+    let dataset = generate_retail(&RetailConfig {
+        source_items: 120,
+        target_rows: 40,
+        ..RetailConfig::default()
+    });
+    let matcher = ContextualMatcher::new(ContextMatchConfig::default().with_tau(0.4));
+    let sharded = matcher.run(&dataset.source, &dataset.target).unwrap();
+    let serial = matcher.run_serial(&dataset.source, &dataset.target).unwrap();
+    assert_eq!(sharded.selected, serial.selected);
+    assert!(!sharded.standard.is_empty());
+}
