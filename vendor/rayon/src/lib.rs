@@ -1,42 +1,152 @@
 //! Offline stand-in for the subset of the `rayon` API used by this workspace:
-//! `slice.par_iter().map(f).collect::<Vec<_>>()` (and `with_min_len`, a
-//! no-op hint). Implemented with `std::thread::scope`, splitting the input
-//! into one contiguous chunk per available core.
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` plus `with_min_len`.
+//! Implemented with `std::thread::scope` and a **work-stealing scheduler**:
+//! the input is divided into tasks of a bounded size and workers claim tasks
+//! from a shared atomic index, so a thread that drew cheap items keeps
+//! claiming work while a thread stuck on an expensive item does not stall the
+//! rest of the input (the chunk-per-core strategy this replaces degraded to
+//! the slowest chunk on skewed workloads).
 //!
 //! Ordering guarantee (the property `cxm-core`'s deterministic parallel
-//! scoring relies on): `collect` always returns results in the input's
-//! original order, regardless of which thread computed which chunk — chunks
-//! are joined in order and flattened.
+//! scoring and `cxm-matching`'s sharded `StandardMatch` rely on): `collect`
+//! always returns results in the input's original order, regardless of which
+//! thread computed which task — each task remembers its input offset and the
+//! task results are reassembled by offset before flattening.
+//!
+//! `with_min_len(m)` is honored the way rayon documents it: no task (except
+//! the trailing remainder of the input) processes fewer than `m` items.
+//! Panics from worker closures are propagated to the caller with their
+//! original payload.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
+/// Scheduling parameters of the work-stealing map, exposed so the shim's
+/// contract (task granularity, `with_min_len` behaviour) is directly testable.
+pub mod scheduler {
+    /// How many tasks each worker would ideally claim over a run. More tasks
+    /// per worker means finer-grained stealing (better balance on skewed
+    /// workloads) at the cost of more atomic claims; 4 keeps claim overhead
+    /// negligible while letting a worker that finishes early take up to
+    /// three-quarters of another worker's notional share.
+    pub const TASKS_PER_WORKER: usize = 4;
+
+    /// The task size used for an input of `n` items on `workers` threads with
+    /// the given `with_min_len` hint. Guarantees:
+    ///
+    /// * at least `min_len.max(1)` — every task except the trailing remainder
+    ///   of the input meets the caller's minimum;
+    /// * at most `ceil(n / workers)` when that exceeds the minimum — no
+    ///   worker is forced idle by tasks that are larger than necessary.
+    pub fn task_len(n: usize, workers: usize, min_len: usize) -> usize {
+        let floor = min_len.max(1);
+        let ideal = n.div_ceil(workers.max(1) * TASKS_PER_WORKER).max(1);
+        ideal.max(floor)
+    }
+
+    /// The task boundaries (start offsets) a run over `n` items claims, in
+    /// claim order. Purely derived from [`task_len`]; used by tests to check
+    /// coverage and the `with_min_len` contract without racing real threads.
+    pub fn task_starts(n: usize, workers: usize, min_len: usize) -> Vec<usize> {
+        let len = task_len(n, workers, min_len);
+        (0..n).step_by(len).collect()
+    }
+}
+
+/// Process-wide count of live shim workers, used to bound nested parallelism:
+/// a parallel map that starts while another is running (e.g. per-view scoring
+/// inside a per-table matching shard) only spawns workers for cores the outer
+/// map is not already occupying, instead of multiplying thread counts
+/// quadratically. The accounting is advisory (racy loads are fine — the bound
+/// is approximate), but it is always released, even when a worker panics.
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII registration of `n` live workers against [`ACTIVE_WORKERS`].
+struct WorkerPermits(usize);
+
+impl WorkerPermits {
+    fn acquire(n: usize) -> Self {
+        ACTIVE_WORKERS.fetch_add(n, Ordering::Relaxed);
+        WorkerPermits(n)
+    }
+}
+
+impl Drop for WorkerPermits {
+    fn drop(&mut self) {
+        ACTIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+    }
+}
+
 /// Map `f` over `items` in parallel, preserving input order in the output.
-fn par_map_slice<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+///
+/// Workers claim `task_len`-sized tasks from a shared atomic cursor until the
+/// input is exhausted; each worker accumulates `(offset, results)` batches
+/// which are sorted by offset and flattened after all workers join.
+fn par_map_slice<'a, T, R, F>(items: &'a [T], f: &F, min_len: usize) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&'a T) -> R + Sync,
 {
     let n = items.len();
-    let workers = thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n.max(1));
-    if n <= 1 || workers <= 1 {
+    let cores = thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    let in_use = ACTIVE_WORKERS.load(Ordering::Relaxed);
+    let workers = cores.saturating_sub(in_use).max(1).min(n.max(1));
+    let task_len = scheduler::task_len(n, workers, min_len);
+    if n <= 1 || workers <= 1 || task_len >= n {
         return items.iter().map(f).collect();
     }
-    let chunk_len = n.div_ceil(workers);
-    let chunk_results: Vec<Vec<R>> = thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk_len)
-            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+    // Never spawn more workers than there are tasks to claim.
+    let workers = workers.min(n.div_ceil(task_len));
+    let _permits = WorkerPermits::acquire(workers);
+
+    let cursor = AtomicUsize::new(0);
+    let mut batches: Vec<(usize, Vec<R>)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(task_len, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + task_len).min(n);
+                        local.push((start, items[start..end].iter().map(f).collect()));
+                    }
+                    local
+                })
+            })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("parallel map worker panicked")).collect()
+        let mut all = Vec::new();
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => all.extend(local),
+                // Keep joining the remaining workers before resuming the
+                // unwind, so no thread outlives the scope borrow.
+                Err(payload) => panic = Some(payload),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        all
     });
-    chunk_results.into_iter().flatten().collect()
+
+    batches.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut batch) in batches {
+        out.append(&mut batch);
+    }
+    out
 }
 
 /// Parallel iterator over a borrowed slice.
 pub struct SliceParIter<'a, T> {
     items: &'a [T],
+    min_len: usize,
 }
 
 impl<'a, T: Sync> SliceParIter<'a, T> {
@@ -46,13 +156,14 @@ impl<'a, T: Sync> SliceParIter<'a, T> {
         R: Send,
         F: Fn(&'a T) -> R + Sync,
     {
-        MapParIter { items: self.items, f }
+        MapParIter { items: self.items, f, min_len: self.min_len }
     }
 
-    /// Minimum per-thread chunk size hint — accepted and ignored (the shim
-    /// always uses one chunk per core).
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
+    /// Minimum number of items a stealable task may process (rayon's
+    /// `with_min_len`): guards against over-splitting inputs whose per-item
+    /// cost is small relative to the claim overhead.
+    pub fn with_min_len(self, min: usize) -> Self {
+        SliceParIter { min_len: min, ..self }
     }
 }
 
@@ -60,12 +171,19 @@ impl<'a, T: Sync> SliceParIter<'a, T> {
 pub struct MapParIter<'a, T, F> {
     items: &'a [T],
     f: F,
+    min_len: usize,
 }
 
 impl<'a, T, F> MapParIter<'a, T, F>
 where
     T: Sync,
 {
+    /// Minimum task size, as on [`SliceParIter::with_min_len`] (rayon allows
+    /// the hint on either side of `map`).
+    pub fn with_min_len(self, min: usize) -> Self {
+        MapParIter { min_len: min, ..self }
+    }
+
     /// Execute the parallel map and collect into any `FromIterator` target,
     /// preserving input order.
     pub fn collect<R, C>(self) -> C
@@ -74,7 +192,7 @@ where
         F: Fn(&'a T) -> R + Sync,
         C: FromIterator<R>,
     {
-        par_map_slice(self.items, &self.f).into_iter().collect()
+        par_map_slice(self.items, &self.f, self.min_len).into_iter().collect()
     }
 }
 
@@ -94,14 +212,14 @@ pub mod iter {
     impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
         type Item = T;
         fn par_iter(&'a self) -> SliceParIter<'a, T> {
-            SliceParIter { items: self }
+            SliceParIter { items: self, min_len: 1 }
         }
     }
 
     impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
         type Item = T;
         fn par_iter(&'a self) -> SliceParIter<'a, T> {
-            SliceParIter { items: self.as_slice() }
+            SliceParIter { items: self.as_slice(), min_len: 1 }
         }
     }
 }
@@ -114,6 +232,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::scheduler;
 
     #[test]
     fn preserves_input_order() {
@@ -148,9 +267,138 @@ mod tests {
     }
 
     #[test]
-    fn with_min_len_is_accepted() {
+    fn with_min_len_is_accepted_on_both_sides_of_map() {
         let items: Vec<i64> = (0..64).collect();
         let out: Vec<i64> = items.par_iter().with_min_len(8).map(|&x| -x).collect();
         assert_eq!(out[63], -63);
+        let out: Vec<i64> = items.par_iter().map(|&x| -x).with_min_len(8).collect();
+        assert_eq!(out[63], -63);
+    }
+
+    #[test]
+    fn order_preserved_under_skewed_per_item_cost() {
+        // The first items are orders of magnitude more expensive than the
+        // rest: under work stealing the cheap tail is computed by other
+        // threads long before the expensive head finishes, so this exercises
+        // exactly the out-of-completion-order reassembly path.
+        let items: Vec<u64> = (0..512).collect();
+        let slow_work = |&x: &u64| -> u64 {
+            let spins = if x < 4 { 200_000 } else { 10 };
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            x * 3
+        };
+        let out: Vec<u64> = items.par_iter().with_min_len(1).map(slow_work).collect();
+        assert_eq!(out, (0..512).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn task_len_honors_min_len() {
+        for n in [1usize, 7, 64, 1000, 4096] {
+            for workers in [1usize, 2, 8, 64] {
+                for min_len in [1usize, 5, 32, 100, 5000] {
+                    let len = scheduler::task_len(n, workers, min_len);
+                    assert!(len >= min_len.max(1), "task_len({n},{workers},{min_len}) = {len}");
+                    // Every claimed task except the trailing remainder spans
+                    // exactly `len` items, so none is below the minimum.
+                    let starts = scheduler::task_starts(n, workers, min_len);
+                    for pair in starts.windows(2) {
+                        assert_eq!(pair[1] - pair[0], len);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn task_starts_cover_the_input_exactly_once() {
+        for n in [0usize, 1, 2, 63, 64, 65, 1000] {
+            let starts = scheduler::task_starts(n, 8, 4);
+            let len = scheduler::task_len(n, 8, 4);
+            let mut covered = 0usize;
+            for &s in &starts {
+                assert_eq!(s, covered, "tasks must tile the input contiguously");
+                covered = (s + len).min(n);
+            }
+            assert_eq!(covered, n, "tasks must cover all {n} items");
+        }
+    }
+
+    #[test]
+    fn min_len_zero_behaves_like_one() {
+        let items: Vec<u32> = (0..100).collect();
+        let out: Vec<u32> = items.par_iter().with_min_len(0).map(|&x| x + 1).collect();
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+        assert_eq!(scheduler::task_len(100, 4, 0), scheduler::task_len(100, 4, 1));
+    }
+
+    #[test]
+    fn huge_min_len_degrades_to_serial_without_losing_results() {
+        let items: Vec<u32> = (0..100).collect();
+        let out: Vec<u32> = items.par_iter().with_min_len(10_000).map(|&x| x + 1).collect();
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallel_maps_are_correct() {
+        // A par map inside a par map (the sharded-matching shape: per-view
+        // scoring inside a per-table shard). The worker-permit accounting
+        // bounds total live threads; output must stay order-correct at every
+        // level.
+        let outer: Vec<u64> = (0..16).collect();
+        let result: Vec<Vec<u64>> = outer
+            .par_iter()
+            .with_min_len(1)
+            .map(|&o| {
+                let inner: Vec<u64> = (0..64).collect();
+                inner.par_iter().with_min_len(1).map(|&i| o * 1000 + i).collect()
+            })
+            .collect();
+        for (o, row) in result.iter().enumerate() {
+            let expected: Vec<u64> = (0..64).map(|i| o as u64 * 1000 + i).collect();
+            assert_eq!(row, &expected);
+        }
+    }
+
+    #[test]
+    fn maps_recover_after_a_panicking_map() {
+        // The worker-permit guard must release its registration when a map
+        // unwinds (the Drop impl runs during the panic), or every later map
+        // in the process would silently degrade to serial. Asserted
+        // behaviourally — repeated panicking maps followed by a full-size
+        // correct map — because the global counter itself cannot be read
+        // race-free while sibling tests run their own maps.
+        let items: Vec<u32> = (0..256).collect();
+        for _ in 0..4 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _: Vec<u32> = items
+                    .par_iter()
+                    .with_min_len(1)
+                    .map(|&x| if x == 40 { panic!("boom") } else { x })
+                    .collect();
+            }));
+            assert!(caught.is_err(), "the worker panic must propagate");
+        }
+        let ok: Vec<u32> = items.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(ok, (1..=256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate worker panic")]
+    fn worker_panics_propagate_to_the_caller() {
+        let items: Vec<u32> = (0..256).collect();
+        let _: Vec<u32> = items
+            .par_iter()
+            .with_min_len(1)
+            .map(|&x| {
+                if x == 97 {
+                    panic!("deliberate worker panic");
+                }
+                x
+            })
+            .collect();
     }
 }
