@@ -4,10 +4,12 @@
 //!
 //! Also hosts the `zero_copy_scoring` group comparing the selection-vector
 //! `ScoreMatch` hot path against the legacy materializing baseline retained in
-//! `cxm_core::score_candidates_materializing`, and the `sharded_standard_match`
+//! `cxm_core::score_candidates_materializing`, the `sharded_standard_match`
 //! group comparing the sharded `StandardMatch` pipeline (hoisted target batch,
 //! work-stealing source-table shards) against the serial per-table loop as the
-//! number of source tables grows.
+//! number of source tables grows, and the `service_warm_vs_cold` group
+//! measuring the match service's warm-artifact reuse (cold register+match vs
+//! warm repeat vs partial rebuild after a single-table replace).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -18,6 +20,7 @@ use cxm_core::{
 };
 use cxm_datagen::{generate_multi_table_retail, generate_retail, RetailConfig};
 use cxm_matching::StandardMatcher;
+use cxm_service::MatchService;
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig16_17_scaling");
@@ -116,5 +119,65 @@ fn bench_sharded_standard_match(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling, bench_zero_copy_scoring, bench_sharded_standard_match);
+/// The match service's reuse trajectory: a cold register+match (what a
+/// one-shot deployment pays every time), a warm repeat against an unchanged
+/// catalog (zero base-column re-profiling), and a repeat after replacing one
+/// target table (fingerprint-keyed partial rebuild).
+fn bench_service_warm_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_warm_vs_cold");
+    group.sample_size(10);
+    // A target-heavy shape: the warm path's win is skipping target-side
+    // re-profiling and selection re-scans, so give the target enough rows
+    // for that to dominate, and use classifier-free Naive inference (the
+    // classifiers rerun per request on any path and would mask the effect).
+    let dataset = generate_retail(&RetailConfig {
+        source_items: 100,
+        target_rows: 600,
+        ..RetailConfig::default()
+    });
+    let config =
+        ContextMatchConfig::default().with_inference(ViewInferenceStrategy::Naive).with_tau(0.4);
+
+    group.bench_function("cold_register_and_match", |b| {
+        b.iter(|| {
+            let service = MatchService::new(config);
+            service.register_target(&dataset.target);
+            service.submit(&dataset.source).expect("well-formed dataset")
+        })
+    });
+
+    let warm = MatchService::new(config);
+    warm.register_target(&dataset.target);
+    warm.submit(&dataset.source).expect("well-formed dataset");
+    group.bench_function("warm_repeat", |b| {
+        b.iter(|| warm.submit(&dataset.source).expect("well-formed dataset"))
+    });
+
+    // Alternate one target table between two variants so every iteration
+    // really changes its fingerprint (a same-fingerprint replace is a no-op
+    // rebuild) while the other table stays warm.
+    let partial = MatchService::new(config);
+    partial.register_target(&dataset.target);
+    partial.submit(&dataset.source).expect("well-formed dataset");
+    let original = dataset.target.tables().next().expect("retail target has tables").clone();
+    let variant = original.head(original.len() - 1);
+    let mut flip = false;
+    group.bench_function("replace_one_table_then_match", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let table = if flip { variant.clone() } else { original.clone() };
+            partial.replace_table(table).expect("table is registered");
+            partial.submit(&dataset.source).expect("well-formed dataset")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling,
+    bench_zero_copy_scoring,
+    bench_sharded_standard_match,
+    bench_service_warm_vs_cold
+);
 criterion_main!(benches);

@@ -22,8 +22,8 @@
 //! * [`naive_bayes`] — a multinomial Naive Bayes text classifier over q-grams,
 //! * [`numeric`] — a per-class Gaussian classifier for numeric values,
 //! * [`majority`] — the naive majority-label classifier `C_Naive`,
-//! * [`classifier`] — the common [`Classifier`](classifier::Classifier) trait
-//!   and a [`ValueClassifier`](classifier::ValueClassifier) that dispatches
+//! * [`classifier`] — the common [`classifier::Classifier`] trait
+//!   and a [`classifier::ValueClassifier`] that dispatches
 //!   between the text and numeric classifiers based on the training data,
 //! * [`eval`] — train/test evaluation producing a
 //!   [`ConfusionMatrix`](cxm_stats::ConfusionMatrix).

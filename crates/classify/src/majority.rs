@@ -1,6 +1,6 @@
 //! The naive majority-class classifier `C_Naive`.
 //!
-//! §3.2.2: the significance test "compare[s] C_h to a naive classifier,
+//! §3.2.2: the significance test "compare\[s\] C_h to a naive classifier,
 //! C_Naive, which always chooses the most common value of l, denoted by v*, as
 //! the label, regardless of h." Besides serving as the null model, the majority
 //! classifier doubles as the "arbitrary but deterministic" fallback label source

@@ -34,14 +34,44 @@
 //! `SelectContextualMatches` then runs once over the merged artifacts, exactly
 //! as in the serial algorithm.
 
+use std::collections::BTreeMap;
+
 use cxm_matching::{ColumnData, MatchList, StandardMatcher};
 use cxm_relational::{Database, Result, Table, ViewDef, ViewFamily};
 use rayon::prelude::*;
 
 use crate::candidate_views::{flatten_views, infer_candidate_views};
 use crate::config::ContextMatchConfig;
-use crate::score::score_candidates_with_targets;
+use crate::score::{score_candidates_prepared, SharedSelections};
 use crate::select::select_contextual_matches;
+
+/// A target side prepared ahead of a run — the catalog-aware entry point a
+/// long-lived match service uses to hand `ContextMatch` warm artifacts
+/// instead of letting it rebuild them per run.
+///
+/// * `database` — the target instance the run matches into.
+/// * `columns` — the hoisted target column batch, in
+///   [`ColumnData::all_from_database`] order over `database`. Its memoized
+///   profiles persist wherever the batch lives, so a warm batch makes the run
+///   skip all target-side re-profiling.
+/// * `shared_selections` — optional cross-run selection cache plus the
+///   source-table fingerprints that guard it; validation happens inside the
+///   cache's critical sections (see [`SharedSelections`]).
+#[derive(Clone, Copy)]
+pub struct PreparedTargets<'a> {
+    /// The target database instance.
+    pub database: &'a Database,
+    /// Hoisted target column batch over `database`.
+    pub columns: &'a [ColumnData<'a>],
+    /// Optional shared (cross-run) selection cache with its fingerprints.
+    pub shared_selections: Option<SharedSelections<'a>>,
+}
+
+/// Pre-extracted source columns, keyed by source table name with each
+/// table's columns in schema order (the [`ColumnData::all_from_table`]
+/// layout). A service that sees the same source database repeatedly caches
+/// these so repeated submissions skip source-side re-profiling too.
+pub type PreparedSourceColumns<'a> = BTreeMap<String, Vec<ColumnData<'a>>>;
 
 /// The result of a `ContextMatch` run.
 #[derive(Debug, Default)]
@@ -114,11 +144,41 @@ impl ContextualMatcher {
     /// selection — byte-identical to [`ContextualMatcher::run_serial`].
     pub fn run(&self, source: &Database, target: &Database) -> Result<ContextMatchResult> {
         let target_cols = ColumnData::all_from_database(target);
+        self.run_prepared(
+            source,
+            None,
+            PreparedTargets { database: target, columns: &target_cols, shared_selections: None },
+        )
+    }
+
+    /// Run `ContextMatch(source, targets.database)` against a *prepared*
+    /// target side (and, optionally, pre-extracted source columns) — the
+    /// catalog-aware entry point. Identical to [`ContextualMatcher::run`] in
+    /// every observable way; the only difference is which artifacts are
+    /// reused instead of rebuilt:
+    ///
+    /// * `targets.columns` replaces the per-run target batch extraction, so a
+    ///   batch kept warm across runs is never re-profiled;
+    /// * `source_columns` (when provided, per table name) replaces
+    ///   per-run source column extraction for those tables;
+    /// * `targets.shared_selections` (when provided) carries candidate-view
+    ///   selection vectors across runs.
+    pub fn run_prepared<'a>(
+        &self,
+        source: &Database,
+        source_columns: Option<&PreparedSourceColumns<'a>>,
+        targets: PreparedTargets<'a>,
+    ) -> Result<ContextMatchResult> {
         let tables: Vec<&Table> = source.tables().collect();
         let shards: Vec<Result<TableShard>> = tables
             .par_iter()
             .with_min_len(1)
-            .map(|table| self.run_table(table, source, target, &target_cols))
+            .map(|table| {
+                let prepared_cols = source_columns
+                    .and_then(|by_table| by_table.get(table.name()))
+                    .map(|cols| cols.as_slice());
+                self.run_table(table, source, prepared_cols, targets)
+            })
             .collect();
         self.assemble(shards)
     }
@@ -132,7 +192,16 @@ impl ContextualMatcher {
             .tables()
             .map(|table| {
                 let target_cols = ColumnData::all_from_database(target);
-                self.run_table(table, source, target, &target_cols)
+                self.run_table(
+                    table,
+                    source,
+                    None,
+                    PreparedTargets {
+                        database: target,
+                        columns: &target_cols,
+                        shared_selections: None,
+                    },
+                )
             })
             .collect();
         self.assemble(shards)
@@ -164,27 +233,33 @@ impl ContextualMatcher {
         &self,
         table: &Table,
         source: &Database,
-        target: &'a Database,
-        target_cols: &[ColumnData<'a>],
+        source_cols: Option<&[ColumnData<'a>]>,
+        targets: PreparedTargets<'a>,
     ) -> Result<TableShard> {
-        // Line 4: prototype matches for this source table.
-        let outcome = self.standard.match_table_with_targets(table, target_cols);
+        // Line 4: prototype matches for this source table. Pre-extracted
+        // source columns (a warm service artifact) carry the same values as
+        // a fresh extraction, so both branches score identically.
+        let outcome = match source_cols {
+            Some(cols) => self.standard.match_columns(cols, targets.columns),
+            None => self.standard.match_table_with_targets(table, targets.columns),
+        };
         let prototype = outcome.accepted.clone();
 
         // Line 5: candidate views.
-        let families = infer_candidate_views(table, &prototype, target, &self.config);
+        let families = infer_candidate_views(table, &prototype, targets.database, &self.config);
         let views = flatten_views(&families, &self.config);
 
         // Lines 6–11: score each prototype match against each candidate view.
-        let candidates = score_candidates_with_targets(
+        let candidates = score_candidates_prepared(
             source,
-            target,
-            target_cols,
+            targets.database,
+            targets.columns,
             &self.standard,
             &outcome,
             table,
             &views,
             &prototype,
+            targets.shared_selections,
         )?;
 
         Ok(TableShard { prototype, candidates, views, families })

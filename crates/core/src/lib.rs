@@ -12,8 +12,8 @@
 //!   every prototype match against every candidate view, and select a coherent
 //!   subset to present to the user.
 //! * Candidate-view inference ([`candidate_views`]):
-//!   * [`naive_infer`] — `NaiveInfer`, one view per value of every categorical
-//!     attribute (plus value subsets under early disjuncts);
+//!   * [`mod@naive_infer`] — `NaiveInfer`, one view per value of every
+//!     categorical attribute (plus value subsets under early disjuncts);
 //!   * [`clustered`] — `ClusteredViewGen` (Figure 6), which accepts a view
 //!     family only when a classifier predicts the partitioning attribute
 //!     significantly better than the majority-label null model;
@@ -47,9 +47,14 @@ pub use candidate_views::infer_candidate_views;
 pub use clustered::{clustered_view_gen, FamilyQuality, ScoredFamily};
 pub use config::{ContextMatchConfig, SelectionStrategy, ViewInferenceStrategy};
 pub use conjunctive::conjunctive_context_match;
-pub use context_match::{ContextMatchResult, ContextualMatcher};
+pub use context_match::{
+    ContextMatchResult, ContextualMatcher, PreparedSourceColumns, PreparedTargets,
+};
 pub use labeler::{LabelPredictor, SrcLabeler, TgtLabeler};
 pub use naive_infer::naive_infer;
-pub use score::{score_candidates, score_candidates_materializing, score_candidates_with_targets};
+pub use score::{
+    score_candidates, score_candidates_materializing, score_candidates_prepared,
+    score_candidates_with_targets, SharedSelections,
+};
 pub use select::select_contextual_matches;
 pub use strawman::strawman_config;

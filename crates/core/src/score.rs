@@ -24,7 +24,7 @@
 //!    output is byte-identical to the sequential evaluation (determinism is
 //!    asserted by the integration tests).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use cxm_matching::{ColumnData, Match, MatchList, MatchingOutcome, StandardMatcher};
 use cxm_relational::{Database, Result, RowSelection, SelectionCache, Table, TableSlice, ViewDef};
@@ -75,6 +75,55 @@ pub fn score_candidates_with_targets<'a>(
     views: &[ViewDef],
     prototype: &MatchList,
 ) -> Result<MatchList> {
+    score_candidates_prepared(
+        source,
+        target,
+        target_batch,
+        matcher,
+        outcome,
+        source_table,
+        views,
+        prototype,
+        None,
+    )
+}
+
+/// A cross-run selection cache together with the per-table content
+/// fingerprints guarding it.
+///
+/// The fingerprints **must cover every table of the source database** the
+/// views select from. They are validated
+/// ([`SelectionCache::validate_fingerprint`]) under the *same lock
+/// acquisition* that serves this call's selections — validating in a
+/// separate critical section would let two concurrent runs whose
+/// same-named, equally sized source tables differ in content interleave
+/// validation and use, serving one run the other's row indices.
+#[derive(Clone, Copy)]
+pub struct SharedSelections<'a> {
+    /// The cache shared across runs (and threads).
+    pub cache: &'a Mutex<SelectionCache>,
+    /// Content fingerprint per source table name ([`Table::fingerprint`]).
+    pub source_fingerprints: &'a std::collections::BTreeMap<String, u64>,
+}
+
+/// [`score_candidates_with_targets`] with an optional *shared* selection
+/// cache: when `shared_selections` is provided, view conditions are resolved
+/// through it (under its lock, after fingerprint validation — see
+/// [`SharedSelections`]) instead of a run-local cache, so selection vectors
+/// survive across calls — and, for a long-lived match service, across
+/// requests. Results are byte-identical to the local-cache path either way.
+#[allow(clippy::too_many_arguments)]
+pub fn score_candidates_prepared<'a>(
+    source: &Database,
+    target: &'a Database,
+    target_batch: &[ColumnData<'a>],
+    matcher: &StandardMatcher,
+    outcome: &MatchingOutcome,
+    source_table: &Table,
+    views: &[ViewDef],
+    prototype: &MatchList,
+    shared_selections: Option<SharedSelections<'_>>,
+) -> Result<MatchList> {
     let mut candidates = MatchList::new();
     let from_this_table: Vec<&Match> =
         prototype.iter().filter(|m| m.base_table == source_table.name()).collect();
@@ -88,11 +137,26 @@ pub fn score_candidates_with_targets<'a>(
     // validated (against the view's *output* schema) for the surviving
     // views, so the parallel loop below cannot fail — mirroring exactly when
     // the materializing path reports an `Err` instead of scoring.
-    let mut cache = SelectionCache::new();
+    //
+    // With a shared cache the lock spans only this resolve loop (atom scans
+    // and merges), never the scoring grid below. Fingerprint validation
+    // happens inside the same critical section as the selects it guards.
+    let mut local_cache = SelectionCache::new();
+    let mut shared_guard = shared_selections.map(|shared| {
+        let mut guard = shared.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (table, fingerprint) in shared.source_fingerprints {
+            guard.validate_fingerprint(table, *fingerprint);
+        }
+        guard
+    });
+    let cache: &mut SelectionCache = match shared_guard.as_deref_mut() {
+        Some(shared) => shared,
+        None => &mut local_cache,
+    };
     let mut work: Vec<(&ViewDef, &Table, Arc<RowSelection>)> = Vec::with_capacity(views.len());
     for view in views {
         let base = source.require_table(&view.base_table)?;
-        let selection = view.select_cached(base, &mut cache)?;
+        let selection = view.select_cached(base, cache)?;
         if selection.is_empty() {
             continue;
         }
@@ -116,6 +180,8 @@ pub fn score_candidates_with_targets<'a>(
         }
         work.push((view, base, selection));
     }
+    // Release the shared cache before the (parallel, expensive) scoring grid.
+    drop(shared_guard);
     if work.is_empty() {
         return Ok(candidates);
     }

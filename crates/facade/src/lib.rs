@@ -4,10 +4,14 @@
 //! downstream users can depend on a single crate:
 //!
 //! * [`relational`] — in-memory relational substrate, selection conditions,
-//!   views, and the zero-copy execution layer (`RowSelection`, `TableSlice`,
+//!   views, table content fingerprints, and the zero-copy execution layer
+//!   (`RowSelection` — sparse or bitmap-backed — `TableSlice`,
 //!   `SelectionCache`).
 //! * [`matching`] — the standard (black-box) instance matcher ensemble.
 //! * [`core`] — the `ContextMatch` algorithm and its design space.
+//! * [`service`] — the long-lived match service: a fingerprinted,
+//!   snapshot-swapped target catalog with warm-artifact reuse
+//!   (`MatchService`, `TargetCatalog`).
 //! * [`mapping`] — the §4 schema-mapping extensions (Clio-style queries).
 //! * [`datagen`] — deterministic synthetic datasets for the paper's figures.
 
@@ -17,4 +21,5 @@ pub use cxm_datagen as datagen;
 pub use cxm_mapping as mapping;
 pub use cxm_matching as matching;
 pub use cxm_relational as relational;
+pub use cxm_service as service;
 pub use cxm_stats as stats;

@@ -31,11 +31,13 @@ pub mod telemetry {
 /// matchers reusable for base tables *and* inferred views: a view-restricted
 /// column is just another `ColumnData` with fewer values.
 ///
-/// Storage is either **borrowed** (references into the base [`Table`]'s
-/// tuples — the zero-copy path used when scoring candidate views) or
-/// **owned** (for hand-built columns, e.g. in tests). Matchers are agnostic:
-/// they consume values through [`ColumnData::iter`], [`ColumnData::texts`]
-/// and [`ColumnData::numbers`].
+/// Storage is **borrowed** (references into the base [`Table`]'s tuples — the
+/// zero-copy path used when scoring candidate views), **owned** (for
+/// hand-built columns, e.g. in tests), or **shared** (`Arc`-backed owned
+/// values — the `'static` flavour a long-lived service keeps in its target
+/// catalog, where cloning a column must not copy its values). Matchers are
+/// agnostic: they consume values through [`ColumnData::iter`],
+/// [`ColumnData::texts`] and [`ColumnData::numbers`].
 ///
 /// Derived artifacts the matchers need repeatedly — the 3-gram frequency
 /// profile, the normalized distinct-value set, the numeric summary — are
@@ -70,6 +72,9 @@ struct ColumnCaches {
 #[derive(Debug, Clone)]
 enum ColumnValues<'a> {
     Owned(Vec<Value>),
+    /// Owned values behind an `Arc`: clones share storage, so a catalog
+    /// snapshot can hand the same column to many concurrent requests.
+    Shared(Arc<Vec<Value>>),
     Borrowed(Vec<&'a Value>),
 }
 
@@ -83,6 +88,46 @@ impl<'a> ColumnData<'a> {
             values: ColumnValues::Owned(values),
             caches: ColumnCaches::default(),
         }
+    }
+
+    /// Extract a column from a table instance into `'static`, `Arc`-shared
+    /// storage (NULLs skipped, values cloned **once**). Clones of the result
+    /// share both the values and the memoized profile `Arc`s, which is what
+    /// lets a long-lived catalog snapshot outlive the [`Database`] it was
+    /// registered from while staying cheap to hand out per request.
+    ///
+    /// Matcher-observable behaviour is identical to
+    /// [`ColumnData::from_table`] on the same instance: same attribute
+    /// reference, same declared type, same value bag in the same order.
+    pub fn shared_from_table(
+        table: &Table,
+        attribute: &str,
+    ) -> cxm_relational::Result<ColumnData<'static>> {
+        let col = table.schema().require_index(attribute)?;
+        let data_type = table.schema().type_of(attribute).unwrap_or(DataType::Unknown);
+        let values: Vec<Value> =
+            table.rows().iter().map(|r| r.at(col)).filter(|v| !v.is_null()).cloned().collect();
+        Ok(ColumnData {
+            attr: AttrRef::new(table.name(), attribute),
+            data_type,
+            values: ColumnValues::Shared(Arc::new(values)),
+            caches: ColumnCaches::default(),
+        })
+    }
+
+    /// All columns of every table of a database in (table, schema) order —
+    /// the same batch as [`ColumnData::all_from_database`], but in `'static`,
+    /// `Arc`-shared storage for long-lived holders (see
+    /// [`ColumnData::shared_from_table`]).
+    pub fn shared_from_database(db: &Database) -> Vec<ColumnData<'static>> {
+        db.tables()
+            .flat_map(|table| {
+                table.schema().attributes().iter().map(|a| {
+                    ColumnData::shared_from_table(table, &a.name)
+                        .expect("attribute comes from the table's own schema")
+                })
+            })
+            .collect()
     }
 
     /// Extract a column from a table instance, borrowing the values in place
@@ -138,6 +183,7 @@ impl<'a> ColumnData<'a> {
     pub fn len(&self) -> usize {
         match &self.values {
             ColumnValues::Owned(v) => v.len(),
+            ColumnValues::Shared(v) => v.len(),
             ColumnValues::Borrowed(v) => v.len(),
         }
     }
@@ -149,14 +195,16 @@ impl<'a> ColumnData<'a> {
 
     /// Iterate over the sample values.
     pub fn iter(&self) -> impl Iterator<Item = &Value> + '_ {
-        // Two arms with distinct iterator types; box-free via either-style enum.
+        // Arms with distinct iterator types; box-free via either-style enum
+        // (owned and shared storage both walk a `&[Value]`).
         ColumnIter {
             owned: match &self.values {
                 ColumnValues::Owned(v) => Some(v.iter()),
+                ColumnValues::Shared(v) => Some(v.iter()),
                 ColumnValues::Borrowed(_) => None,
             },
             borrowed: match &self.values {
-                ColumnValues::Owned(_) => None,
+                ColumnValues::Owned(_) | ColumnValues::Shared(_) => None,
                 ColumnValues::Borrowed(v) => Some(v.iter()),
             },
         }
@@ -369,6 +417,54 @@ mod tests {
         let col = ColumnData::from_table(&t, "x").unwrap();
         assert!(col.is_empty());
         assert!(!col.looks_numeric());
+    }
+
+    #[test]
+    fn shared_columns_match_borrowed_extraction() {
+        let t = table();
+        let shared = ColumnData::shared_from_table(&t, "name").unwrap();
+        let borrowed = ColumnData::from_table(&t, "name").unwrap();
+        assert_eq!(shared.attr, borrowed.attr);
+        assert_eq!(shared.data_type, borrowed.data_type);
+        assert_eq!(shared.texts(), borrowed.texts());
+        assert_eq!(*shared.qgram3_profile(), *borrowed.qgram3_profile());
+        assert!(ColumnData::shared_from_table(&t, "missing").is_err());
+        // The batch mirrors all_from_database order.
+        let db = cxm_relational::Database::new("RT").with_table(t.clone());
+        let shared_batch = ColumnData::shared_from_database(&db);
+        let borrowed_batch = ColumnData::all_from_database(&db);
+        assert_eq!(shared_batch.len(), borrowed_batch.len());
+        for (s, b) in shared_batch.iter().zip(&borrowed_batch) {
+            assert_eq!(s.attr, b.attr);
+            assert_eq!(s.texts(), b.texts());
+        }
+    }
+
+    #[test]
+    fn shared_column_clones_share_values_and_profiles() {
+        let t = table();
+        let col = ColumnData::shared_from_table(&t, "name").unwrap();
+        let profile = col.qgram3_profile();
+        let copy = col.clone();
+        // Values alias the same allocation across clones.
+        let a = col.iter().next().unwrap() as *const Value;
+        let b = copy.iter().next().unwrap() as *const Value;
+        assert_eq!(a, b, "clones must share the Arc'd value storage");
+        // The memoized profile survives the clone (no rebuild).
+        assert!(Arc::ptr_eq(&profile, &copy.qgram3_profile()));
+    }
+
+    #[test]
+    fn shared_from_table_skips_nulls() {
+        let schema = TableSchema::new("t", vec![Attribute::text("x")]);
+        let t = Table::with_rows(
+            schema,
+            vec![tuple!["a"], cxm_relational::Tuple::new(vec![cxm_relational::Value::Null])],
+        )
+        .unwrap();
+        let col = ColumnData::shared_from_table(&t, "x").unwrap();
+        assert_eq!(col.len(), 1);
+        assert_eq!(col.texts(), ColumnData::from_table(&t, "x").unwrap().texts());
     }
 
     #[test]

@@ -174,11 +174,24 @@ impl StandardMatcher {
     /// [`StandardMatcher::match_databases_serial`]).
     pub fn match_databases(&self, source: &Database, target: &Database) -> MatchingOutcome {
         let target_cols = ColumnData::all_from_database(target);
+        self.match_databases_with_targets(source, &target_cols)
+    }
+
+    /// [`StandardMatcher::match_databases`] against a pre-extracted target
+    /// column batch. Long-lived callers (the match service's warm catalog)
+    /// hoist the batch once across *many* runs instead of once per run; the
+    /// batch must cover the target schema in
+    /// [`ColumnData::all_from_database`] order.
+    pub fn match_databases_with_targets(
+        &self,
+        source: &Database,
+        target_cols: &[ColumnData],
+    ) -> MatchingOutcome {
         let tables: Vec<&Table> = source.tables().collect();
         let shards: Vec<MatchingOutcome> = tables
             .par_iter()
             .with_min_len(1)
-            .map(|table| self.match_table_with_targets(table, &target_cols))
+            .map(|table| self.match_table_with_targets(table, target_cols))
             .collect();
         let mut outcome = MatchingOutcome::default();
         for shard in shards {

@@ -89,6 +89,28 @@ impl Database {
         self.tables.values().map(|t| t.len()).sum()
     }
 
+    /// A deterministic content fingerprint of the whole instance: the
+    /// combination of every table's [`Table::fingerprint`] in name order.
+    ///
+    /// Deliberately independent of the database's *name*: two instances with
+    /// identical table sets are the same content for artifact-caching
+    /// purposes even if one is called `"RS"` and the other `"staging"`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv64::with_seed(
+            crate::fingerprint::TABLE_FINGERPRINT_SEED ^ 0x6261_7463_6864_6221,
+        );
+        h.write_u64(self.tables.len() as u64);
+        for table in self.tables.values() {
+            h.write_u64(table.fingerprint());
+        }
+        h.finish()
+    }
+
+    /// Per-table content fingerprints, keyed by table name.
+    pub fn table_fingerprints(&self) -> std::collections::BTreeMap<String, u64> {
+        self.tables.iter().map(|(name, t)| (name.clone(), t.fingerprint())).collect()
+    }
+
     /// Derive the [`Schema`] (table schemas only, no data) of this instance.
     pub fn schema(&self) -> Schema {
         let mut schema = Schema::new(self.name.clone());

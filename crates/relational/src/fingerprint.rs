@@ -1,0 +1,236 @@
+//! Deterministic content fingerprints for tables and databases.
+//!
+//! A long-lived match service keeps warm, expensive-to-build artifacts
+//! (memoized column profiles, cached selection vectors) keyed by the *content*
+//! of the table they were derived from. The key is a seeded FNV-1a hash over
+//! the table's schema **and** its values, so:
+//!
+//! * two instances with identical schema and identical tuples (in order) have
+//!   the same fingerprint, regardless of how they were constructed;
+//! * any change — a renamed attribute, a retyped column, an inserted, deleted
+//!   or edited tuple — changes the fingerprint with overwhelming probability,
+//!   which is what invalidates that table's cached artifacts.
+//!
+//! The hash is **not cryptographic**: FNV-1a is chosen for speed and
+//! determinism across platforms and runs (no random per-process seed). A
+//! 64-bit accidental collision is negligible for cache invalidation; callers
+//! needing adversarial robustness must layer their own verification.
+//!
+//! Floats are canonicalized before hashing (`-0.0` folds into `0.0`, every NaN
+//! into one bit pattern), so values that compare equal under [`Value`]'s total
+//! order fingerprint equally.
+
+use crate::table::Table;
+use crate::value::Value;
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The domain seed [`Table::fingerprint`] uses; a fixed, arbitrary constant so
+/// fingerprints are stable across processes and releases of this workspace.
+pub const TABLE_FINGERPRINT_SEED: u64 = 0x7cf3_41da_10c5_8a1e;
+
+/// A seeded FNV-1a 64-bit hasher over byte streams, with length-prefixed
+/// writes so adjacent fields cannot alias (`("ab", "c")` ≠ `("a", "bc")`).
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// A hasher seeded with the standard FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET_BASIS }
+    }
+
+    /// A hasher whose stream is domain-separated by `seed`: different seeds
+    /// produce unrelated hashes of the same input.
+    pub fn with_seed(seed: u64) -> Self {
+        let mut h = Fnv64::new();
+        h.write_u64(seed);
+        h
+    }
+
+    /// Feed raw bytes (no length prefix; use the typed writers for fields).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feed one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Feed a 64-bit integer (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feed a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current hash state.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Feed one [`Value`] into the hasher, tagged by variant so values of
+/// different types never alias (`Int(1)` ≠ `Str("1")` ≠ `Bool(true)`).
+pub fn hash_value(h: &mut Fnv64, value: &Value) {
+    match value {
+        Value::Null => h.write_u8(0),
+        Value::Int(i) => {
+            h.write_u8(1);
+            h.write_u64(*i as u64);
+        }
+        Value::Float(x) => {
+            h.write_u8(2);
+            // Canonicalize so values equal under Value's ordering hash equally.
+            let bits = if x.is_nan() {
+                f64::NAN.to_bits()
+            } else if *x == 0.0 {
+                0.0f64.to_bits()
+            } else {
+                x.to_bits()
+            };
+            h.write_u64(bits);
+        }
+        Value::Str(s) => {
+            h.write_u8(3);
+            h.write_str(s);
+        }
+        Value::Bool(b) => {
+            h.write_u8(4);
+            h.write_u8(u8::from(*b));
+        }
+    }
+}
+
+/// Fingerprint of a table instance: seeded FNV-1a over the table name, the
+/// attribute list (names and declared types), and every tuple's values in
+/// row order. See the module docs for guarantees.
+pub(crate) fn table_fingerprint(table: &Table, seed: u64) -> u64 {
+    let mut h = Fnv64::with_seed(seed);
+    let schema = table.schema();
+    h.write_str(schema.name());
+    h.write_u64(schema.arity() as u64);
+    for attr in schema.attributes() {
+        h.write_str(&attr.name);
+        h.write_u8(type_tag(attr.data_type));
+    }
+    h.write_u64(table.len() as u64);
+    for row in table.rows() {
+        for value in row.values() {
+            hash_value(&mut h, value);
+        }
+    }
+    h.finish()
+}
+
+fn type_tag(t: crate::types::DataType) -> u8 {
+    match t {
+        crate::types::DataType::Int => 1,
+        crate::types::DataType::Float => 2,
+        crate::types::DataType::Text => 3,
+        crate::types::DataType::Bool => 4,
+        crate::types::DataType::Date => 5,
+        crate::types::DataType::Unknown => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use crate::schema::TableSchema;
+    use crate::tuple;
+
+    fn table(name: &str, descr: &str) -> Table {
+        Table::with_rows(
+            TableSchema::new(name, vec![Attribute::int("id"), Attribute::text("descr")]),
+            vec![tuple![0, "hardcover"], tuple![1, descr]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_content_identical_fingerprint() {
+        assert_eq!(table("inv", "audio cd").fingerprint(), table("inv", "audio cd").fingerprint());
+    }
+
+    #[test]
+    fn any_change_changes_the_fingerprint() {
+        let base = table("inv", "audio cd").fingerprint();
+        assert_ne!(base, table("inv", "audio cds").fingerprint(), "value edit");
+        assert_ne!(base, table("inv2", "audio cd").fingerprint(), "table rename");
+        let mut extra = table("inv", "audio cd");
+        extra.insert(tuple![2, "vinyl"]).unwrap();
+        assert_ne!(base, extra.fingerprint(), "inserted row");
+        // Same rows in a different order is a different instance (bag order is
+        // observable through sampling).
+        let swapped = Table::with_rows(
+            TableSchema::new("inv", vec![Attribute::int("id"), Attribute::text("descr")]),
+            vec![tuple![1, "audio cd"], tuple![0, "hardcover"]],
+        )
+        .unwrap();
+        assert_ne!(base, swapped.fingerprint(), "row order");
+    }
+
+    #[test]
+    fn schema_type_changes_change_the_fingerprint() {
+        let as_text =
+            Table::with_rows(TableSchema::new("t", vec![Attribute::text("x")]), vec![tuple!["1"]])
+                .unwrap();
+        let as_int =
+            Table::with_rows(TableSchema::new("t", vec![Attribute::int("x")]), vec![tuple![1]])
+                .unwrap();
+        assert_ne!(as_text.fingerprint(), as_int.fingerprint());
+    }
+
+    #[test]
+    fn value_variants_do_not_alias() {
+        let mut a = Fnv64::new();
+        hash_value(&mut a, &Value::Int(1));
+        let mut b = Fnv64::new();
+        hash_value(&mut b, &Value::Str("1".into()));
+        let mut c = Fnv64::new();
+        hash_value(&mut c, &Value::Bool(true));
+        assert_ne!(a.finish(), b.finish());
+        assert_ne!(a.finish(), c.finish());
+        assert_ne!(b.finish(), c.finish());
+    }
+
+    #[test]
+    fn float_canonicalization() {
+        let mut a = Fnv64::new();
+        hash_value(&mut a, &Value::Float(0.0));
+        let mut b = Fnv64::new();
+        hash_value(&mut b, &Value::Float(-0.0));
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        hash_value(&mut c, &Value::Float(f64::NAN));
+        let mut d = Fnv64::new();
+        hash_value(&mut d, &Value::Float(-f64::NAN));
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn seeds_separate_domains() {
+        let t = table("inv", "audio cd");
+        assert_ne!(t.fingerprint_seeded(1), t.fingerprint_seeded(2));
+        assert_eq!(t.fingerprint(), t.fingerprint_seeded(TABLE_FINGERPRINT_SEED));
+    }
+}

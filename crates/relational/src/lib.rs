@@ -29,9 +29,10 @@
 //! The [`selection`] module provides the execution layer that keeps this path
 //! free of tuple copies:
 //!
-//! * [`RowSelection`] — a sorted selection vector of base-table row indices;
-//!   built in one scan per condition (or assembled from cached atoms), and
-//!   composable with linear-merge `intersect`/`union`.
+//! * [`RowSelection`] — a selection of base-table row indices, stored as a
+//!   sorted vector (sparse) or a popcount-backed bitmap (dense, above ~50 %
+//!   selectivity); built in one scan per condition (or assembled from cached
+//!   atoms), and composable with `intersect`/`union` merges.
 //! * [`TableSlice`] / [`ColumnSlice`] — borrowed views of a [`Table`]
 //!   restricted by a `RowSelection`; rows and values come out as references
 //!   into the base table in base-row order, never cloned.
@@ -51,6 +52,7 @@ pub mod condition;
 pub mod constraint;
 pub mod database;
 pub mod error;
+pub mod fingerprint;
 pub mod sample;
 pub mod schema;
 pub mod selection;
@@ -69,6 +71,7 @@ pub use condition::Condition;
 pub use constraint::{ConstraintSet, ContextualForeignKey, ForeignKey, Key};
 pub use database::Database;
 pub use error::{Error, Result};
+pub use fingerprint::{Fnv64, TABLE_FINGERPRINT_SEED};
 pub use sample::{split_rows, split_selection, SplitRatio};
 pub use schema::{Schema, TableSchema};
 pub use selection::{ColumnSlice, RowSelection, SelectionCache, TableSlice};

@@ -6,33 +6,50 @@
 //! [`Table`] costs O(views × rows) tuple clones on the hottest path of the
 //! system. This module replaces that with *selection vectors*:
 //!
-//! * [`RowSelection`] — a sorted vector of row indices into a base table,
-//!   the result of evaluating a selection condition once;
+//! * [`RowSelection`] — a set of row indices into a base table, the result of
+//!   evaluating a selection condition once;
 //! * [`TableSlice`] / [`ColumnSlice`] — borrowed views over a base [`Table`]
 //!   restricted by a `RowSelection`; no tuple or value is ever cloned;
 //! * [`SelectionCache`] — a cache keyed by `(base table, condition atom)`
 //!   that evaluates conjunctive/disjunctive [`Condition`]s by intersecting /
 //!   uniting cached atom selections instead of rescanning rows.
 //!
+//! ## Representation
+//!
+//! A `RowSelection` is stored either as a **sorted index vector** (sparse
+//! selections — ideal below ~50 % selectivity, where merges touch only the
+//! selected rows) or as a **bitmap** with one bit per base row (dense
+//! selections — `intersect`/`union` become word-wise `AND`/`OR` with
+//! popcounts). Constructors that know the base table's size pick the
+//! representation automatically at the ~50 % selectivity threshold; set
+//! operations re-normalize their results. The two representations are
+//! behavior-identical: every observable API (iteration order, equality,
+//! membership, set algebra) is representation-independent.
+//!
 //! ## Invariants
 //!
-//! 1. A `RowSelection` is **sorted ascending and duplicate-free**; every index
-//!    is `< base.len()` for the table it was built from. All constructors and
-//!    set operations preserve this, which is what makes intersection/union
-//!    linear merges and keeps sliced iteration in base-table row order.
+//! 1. A `RowSelection` enumerates its indices **sorted ascending and
+//!    duplicate-free**; every index is `< base.len()` for the table it was
+//!    built from. All constructors and set operations preserve this, which is
+//!    what makes intersection/union linear merges (or word-wise bit ops) and
+//!    keeps sliced iteration in base-table row order.
 //! 2. A `TableSlice` yields rows in base-table order, so materializing a
 //!    slice produces byte-identical results to the legacy
 //!    `Table::filter_rows` path.
 //! 3. `SelectionCache` entries are keyed by *table name* + atom, with the
 //!    base row count recorded per table: a same-named table with a different
-//!    row count invalidates that table's bucket. Callers must still not
-//!    mutate a table in place (same name, same length, different rows) while
-//!    a cache built over it is live — the substrate's tables are immutable
-//!    during matching, so this holds by construction.
+//!    row count invalidates that table's bucket. Callers reusing one cache
+//!    across different table *instances* of the same name and length (e.g. a
+//!    long-lived match service) must call
+//!    [`SelectionCache::validate_fingerprint`] with the table's content
+//!    fingerprint before selecting, which drops the bucket exactly when the
+//!    content changed. Within one matching run the substrate's tables are
+//!    immutable, so the name + row-count guard holds by construction.
 //! 4. Selection semantics mirror [`Condition::eval`] exactly: unknown
 //!    attributes select nothing, `True` selects everything, `And`/`Or`
 //!    intersect/unite member selections.
 
+use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -43,36 +60,77 @@ use crate::tuple::Tuple;
 use crate::types::DataType;
 use crate::value::Value;
 
-/// A sorted, duplicate-free vector of row indices selecting a subset of a
-/// base table's rows (a *selection vector*).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// Minimum base-table size for the bitmap representation to be considered:
+/// below this, the sparse vector is always at least as compact and merges are
+/// trivially cheap.
+const DENSE_MIN_UNIVERSE: usize = 64;
+
+/// A sorted, duplicate-free set of row indices selecting a subset of a base
+/// table's rows (a *selection vector*). Stored sparse (sorted `Vec<usize>`)
+/// or dense (bitmap) — see the module docs; the representations are
+/// behavior-identical.
+#[derive(Debug, Clone)]
 pub struct RowSelection {
-    indices: Vec<usize>,
+    repr: Repr,
 }
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Sorted ascending, duplicate-free indices.
+    Sparse(Vec<usize>),
+    /// One bit per base row, for selections above the density threshold.
+    Dense(Bitmap),
+}
+
+impl Default for RowSelection {
+    fn default() -> Self {
+        RowSelection { repr: Repr::Sparse(Vec::new()) }
+    }
+}
+
+/// Equality is content equality, independent of representation.
+impl PartialEq for RowSelection {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for RowSelection {}
 
 impl RowSelection {
     /// The empty selection.
     pub fn empty() -> Self {
-        RowSelection { indices: Vec::new() }
+        RowSelection::default()
     }
 
     /// The selection covering every row of a table with `n` rows.
     pub fn full(n: usize) -> Self {
-        RowSelection { indices: (0..n).collect() }
+        if n >= DENSE_MIN_UNIVERSE {
+            // Build the all-ones bitmap directly — no intermediate index
+            // vector for what is always a maximally dense selection.
+            let mut words = vec![u64::MAX; n.div_ceil(64)];
+            if !n.is_multiple_of(64) {
+                *words.last_mut().expect("n > 0") = (1u64 << (n % 64)) - 1;
+            }
+            RowSelection { repr: Repr::Dense(Bitmap { words, universe: n, count: n }) }
+        } else {
+            RowSelection { repr: Repr::Sparse((0..n).collect()) }
+        }
     }
 
     /// Build from indices that are already sorted ascending and unique.
-    /// Enforced in debug builds; release builds trust the caller.
+    /// Enforced in debug builds; release builds trust the caller. Stays
+    /// sparse — without the base table's size the density is unknowable.
     pub fn from_sorted(indices: Vec<usize>) -> Self {
         debug_assert!(indices.windows(2).all(|w| w[0] < w[1]), "indices must be sorted/unique");
-        RowSelection { indices }
+        RowSelection { repr: Repr::Sparse(indices) }
     }
 
     /// Build from arbitrary indices: sorts and deduplicates.
     pub fn from_unsorted(mut indices: Vec<usize>) -> Self {
         indices.sort_unstable();
         indices.dedup();
-        RowSelection { indices }
+        RowSelection { repr: Repr::Sparse(indices) }
     }
 
     /// Select the rows of `table` satisfying `predicate` (single scan).
@@ -80,14 +138,13 @@ impl RowSelection {
     where
         F: FnMut(&Tuple) -> bool,
     {
-        RowSelection {
-            indices: table
-                .rows()
-                .iter()
-                .enumerate()
-                .filter_map(|(i, row)| predicate(row).then_some(i))
-                .collect(),
-        }
+        let indices = table
+            .rows()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, row)| predicate(row).then_some(i))
+            .collect();
+        RowSelection::from_parts(indices, Some(table.len()))
     }
 
     /// Evaluate `condition` over `table` in a single scan, resolving attribute
@@ -96,96 +153,223 @@ impl RowSelection {
         match compile(condition, table.schema()) {
             Compiled::True => RowSelection::full(table.len()),
             Compiled::False => RowSelection::empty(),
-            compiled => RowSelection {
-                indices: table
+            compiled => {
+                let indices = table
                     .rows()
                     .iter()
                     .enumerate()
                     .filter_map(|(i, row)| compiled.matches(row).then_some(i))
-                    .collect(),
-            },
+                    .collect();
+                RowSelection::from_parts(indices, Some(table.len()))
+            }
+        }
+    }
+
+    /// Normalize a sorted index vector into the representation the density
+    /// rule picks: dense when the base size is known, large enough, and the
+    /// selection covers at least half of it.
+    fn from_parts(indices: Vec<usize>, universe: Option<usize>) -> Self {
+        match universe {
+            Some(u) if u >= DENSE_MIN_UNIVERSE && indices.len() * 2 >= u => {
+                RowSelection { repr: Repr::Dense(Bitmap::from_sorted(&indices, u)) }
+            }
+            _ => RowSelection { repr: Repr::Sparse(indices) },
+        }
+    }
+
+    /// Re-apply the density rule to a bitmap result (set operations can leave
+    /// a bitmap far below the threshold, where the sparse form is cheaper).
+    fn normalized(bitmap: Bitmap) -> Self {
+        if bitmap.universe >= DENSE_MIN_UNIVERSE && bitmap.count * 2 >= bitmap.universe {
+            RowSelection { repr: Repr::Dense(bitmap) }
+        } else {
+            RowSelection { repr: Repr::Sparse(bitmap.to_sorted()) }
         }
     }
 
     /// Number of selected rows.
     pub fn len(&self) -> usize {
-        self.indices.len()
+        match &self.repr {
+            Repr::Sparse(v) => v.len(),
+            Repr::Dense(b) => b.count,
+        }
     }
 
     /// True when no rows are selected.
     pub fn is_empty(&self) -> bool {
-        self.indices.is_empty()
+        self.len() == 0
     }
 
-    /// The selected row indices, sorted ascending.
-    pub fn indices(&self) -> &[usize] {
-        &self.indices
+    /// True when the selection is held in the dense (bitmap) representation.
+    /// Representation is an implementation detail — exposed for tests and
+    /// diagnostics only; behavior never depends on it.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+
+    /// The selected row indices, sorted ascending. Borrowed straight from a
+    /// sparse selection; materialized on the fly from a dense one.
+    pub fn indices(&self) -> Cow<'_, [usize]> {
+        match &self.repr {
+            Repr::Sparse(v) => Cow::Borrowed(v.as_slice()),
+            Repr::Dense(b) => Cow::Owned(b.to_sorted()),
+        }
     }
 
     /// Iterate over the selected row indices in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.indices.iter().copied()
+        let (sparse, dense) = match &self.repr {
+            Repr::Sparse(v) => (Some(v.iter().copied()), None),
+            Repr::Dense(b) => (None, Some(b.iter())),
+        };
+        sparse.into_iter().flatten().chain(dense.into_iter().flatten())
     }
 
-    /// Membership test (binary search over the sorted vector).
+    /// The `k`-th selected row index in ascending order, if `k < len`.
+    pub fn nth_index(&self, k: usize) -> Option<usize> {
+        match &self.repr {
+            Repr::Sparse(v) => v.get(k).copied(),
+            Repr::Dense(b) => b.iter().nth(k),
+        }
+    }
+
+    /// The largest selected row index.
+    pub fn max_index(&self) -> Option<usize> {
+        match &self.repr {
+            Repr::Sparse(v) => v.last().copied(),
+            Repr::Dense(b) => b.max_bit(),
+        }
+    }
+
+    /// Membership test (binary search over the sorted vector, or a bit probe).
     pub fn contains(&self, row: usize) -> bool {
-        self.indices.binary_search(&row).is_ok()
+        match &self.repr {
+            Repr::Sparse(v) => v.binary_search(&row).is_ok(),
+            Repr::Dense(b) => b.contains(row),
+        }
     }
 
-    /// Set intersection (linear merge of the two sorted vectors).
+    /// Set intersection. Dense × dense is a word-wise `AND` with popcounts;
+    /// sparse × sparse a linear merge; mixed pairs probe the bitmap per
+    /// sparse index.
     pub fn intersect(&self, other: &RowSelection) -> RowSelection {
-        let mut out = Vec::with_capacity(self.len().min(other.len()));
-        let (mut i, mut j) = (0, 0);
-        while i < self.indices.len() && j < other.indices.len() {
-            match self.indices[i].cmp(&other.indices[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(self.indices[i]);
-                    i += 1;
-                    j += 1;
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => {
+                let universe = a.universe.min(b.universe);
+                let n_words = a.words.len().min(b.words.len());
+                let mut words = Vec::with_capacity(n_words);
+                let mut count = 0usize;
+                for k in 0..n_words {
+                    let w = a.words[k] & b.words[k];
+                    count += w.count_ones() as usize;
+                    words.push(w);
                 }
+                RowSelection::normalized(Bitmap { words, universe, count })
+            }
+            (Repr::Sparse(a), Repr::Sparse(b)) => {
+                let mut out = Vec::with_capacity(a.len().min(b.len()));
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                RowSelection { repr: Repr::Sparse(out) }
+            }
+            (Repr::Sparse(v), Repr::Dense(b)) | (Repr::Dense(b), Repr::Sparse(v)) => {
+                let out: Vec<usize> = v.iter().copied().filter(|&i| b.contains(i)).collect();
+                RowSelection { repr: Repr::Sparse(out) }
             }
         }
-        RowSelection { indices: out }
     }
 
-    /// Set union (linear merge of the two sorted vectors).
+    /// Set union. Dense × dense is a word-wise `OR` with popcounts; sparse ×
+    /// sparse a linear merge; mixed pairs set the sparse indices into a copy
+    /// of the bitmap.
     pub fn union(&self, other: &RowSelection) -> RowSelection {
-        let mut out = Vec::with_capacity(self.len() + other.len());
-        let (mut i, mut j) = (0, 0);
-        while i < self.indices.len() && j < other.indices.len() {
-            match self.indices[i].cmp(&other.indices[j]) {
-                std::cmp::Ordering::Less => {
-                    out.push(self.indices[i]);
-                    i += 1;
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => {
+                let universe = a.universe.max(b.universe);
+                let n_words = a.words.len().max(b.words.len());
+                let mut words = Vec::with_capacity(n_words);
+                let mut count = 0usize;
+                for k in 0..n_words {
+                    let w =
+                        a.words.get(k).copied().unwrap_or(0) | b.words.get(k).copied().unwrap_or(0);
+                    count += w.count_ones() as usize;
+                    words.push(w);
                 }
-                std::cmp::Ordering::Greater => {
-                    out.push(other.indices[j]);
-                    j += 1;
+                RowSelection::normalized(Bitmap { words, universe, count })
+            }
+            (Repr::Sparse(a), Repr::Sparse(b)) => {
+                let mut out = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            out.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            out.push(b[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
                 }
-                std::cmp::Ordering::Equal => {
-                    out.push(self.indices[i]);
-                    i += 1;
-                    j += 1;
+                out.extend_from_slice(&a[i..]);
+                out.extend_from_slice(&b[j..]);
+                RowSelection { repr: Repr::Sparse(out) }
+            }
+            (Repr::Sparse(v), Repr::Dense(b)) | (Repr::Dense(b), Repr::Sparse(v)) => {
+                let mut out = b.clone();
+                for &i in v {
+                    out.insert(i);
                 }
+                RowSelection::normalized(out)
             }
         }
-        out.extend_from_slice(&self.indices[i..]);
-        out.extend_from_slice(&other.indices[j..]);
-        RowSelection { indices: out }
     }
 
     /// The complement with respect to a base of `n` rows.
     pub fn complement(&self, n: usize) -> RowSelection {
-        let mut out = Vec::with_capacity(n - self.len().min(n));
-        let mut next = 0;
-        for &idx in &self.indices {
-            out.extend(next..idx.min(n));
-            next = idx + 1;
+        match &self.repr {
+            Repr::Sparse(v) => {
+                let mut out = Vec::with_capacity(n - self.len().min(n));
+                let mut next = 0;
+                for &idx in v {
+                    out.extend(next..idx.min(n));
+                    next = idx + 1;
+                }
+                out.extend(next..n);
+                RowSelection::from_parts(out, Some(n))
+            }
+            Repr::Dense(b) => {
+                let mut words = vec![0u64; n.div_ceil(64)];
+                let mut count = 0usize;
+                for (k, w) in words.iter_mut().enumerate() {
+                    let mut inv = !b.words.get(k).copied().unwrap_or(0);
+                    // Mask off bits at or beyond n in the trailing word.
+                    let base = k * 64;
+                    if base + 64 > n {
+                        inv &= (1u64 << (n - base)) - 1;
+                    }
+                    count += inv.count_ones() as usize;
+                    *w = inv;
+                }
+                RowSelection::normalized(Bitmap { words, universe: n, count })
+            }
         }
-        out.extend(next..n);
-        RowSelection { indices: out }
     }
 
     /// Fraction of the base's rows selected (`len / base_rows`; 0 for an
@@ -195,6 +379,95 @@ impl RowSelection {
             0.0
         } else {
             self.len() as f64 / base_rows as f64
+        }
+    }
+}
+
+/// The dense representation: one bit per base row, with the popcount and the
+/// base size (`universe`) carried alongside. No bit at index `>= universe` is
+/// ever set.
+#[derive(Debug, Clone)]
+struct Bitmap {
+    words: Vec<u64>,
+    universe: usize,
+    count: usize,
+}
+
+impl Bitmap {
+    fn from_sorted(indices: &[usize], universe: usize) -> Bitmap {
+        let mut words = vec![0u64; universe.div_ceil(64)];
+        for &i in indices {
+            debug_assert!(i < universe, "selection index {i} out of universe {universe}");
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+        Bitmap { words, universe, count: indices.len() }
+    }
+
+    fn contains(&self, i: usize) -> bool {
+        i < self.universe && (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i`, growing the universe when needed (mixed-representation
+    /// unions can introduce indices past this bitmap's base size).
+    fn insert(&mut self, i: usize) {
+        if i >= self.universe {
+            self.universe = i + 1;
+            if self.words.len() < self.universe.div_ceil(64) {
+                self.words.resize(self.universe.div_ceil(64), 0);
+            }
+        }
+        let mask = 1u64 << (i % 64);
+        if self.words[i / 64] & mask == 0 {
+            self.words[i / 64] |= mask;
+            self.count += 1;
+        }
+    }
+
+    fn to_sorted(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count);
+        out.extend(self.iter());
+        out
+    }
+
+    fn iter(&self) -> BitmapIter<'_> {
+        BitmapIter { words: &self.words, word_idx: 0, base: 0, current: 0 }
+    }
+
+    fn max_bit(&self) -> Option<usize> {
+        for (k, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(k * 64 + 63 - w.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
+/// Ascending iterator over a bitmap's set bits (one `trailing_zeros` per
+/// yielded index).
+struct BitmapIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    base: usize,
+    current: u64,
+}
+
+impl Iterator for BitmapIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.base + tz);
+            }
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+            self.base = self.word_idx * 64;
+            self.word_idx += 1;
         }
     }
 }
@@ -281,7 +554,7 @@ impl<'a> TableSlice<'a> {
     /// Borrow `base` restricted by `selection`. The selection must have been
     /// built over `base` (or a table of at least the same length).
     pub fn new(base: &'a Table, selection: &'a RowSelection) -> Self {
-        debug_assert!(selection.indices.last().is_none_or(|&i| i < base.len()));
+        debug_assert!(selection.max_index().is_none_or(|i| i < base.len()));
         TableSlice { base, selection }
     }
 
@@ -318,7 +591,8 @@ impl<'a> TableSlice<'a> {
     /// The value of attribute `name` in the `k`-th *selected* row.
     pub fn value_at(&self, k: usize, name: &str) -> crate::error::Result<&'a Value> {
         let col = self.base.schema().require_index(name)?;
-        Ok(self.base.rows()[self.selection.indices()[k]].at(col))
+        let row = self.selection.nth_index(k).expect("slice row index within selection");
+        Ok(self.base.rows()[row].at(col))
     }
 
     /// Borrow one column of the slice.
@@ -392,26 +666,62 @@ impl<'a> ColumnSlice<'a> {
 /// same atoms recur many times per `ContextMatch` run. The cache scans the
 /// base table once per distinct `(table, atom)` pair and serves every other
 /// evaluation by merging cached selection vectors.
-#[derive(Debug, Default)]
+///
+/// Cloning a cache is cheap: the selection vectors themselves are shared
+/// behind `Arc`s, so a long-lived service can carry a warm cache across
+/// catalog snapshots and invalidate single tables via
+/// [`SelectionCache::invalidate_table`] /
+/// [`SelectionCache::validate_fingerprint`].
+#[derive(Debug, Default, Clone)]
 pub struct SelectionCache {
     tables: HashMap<String, TableAtoms>,
+    /// Bucket creation order, for capacity eviction.
+    order: std::collections::VecDeque<String>,
+    /// Maximum number of table buckets retained (`None` = unbounded). A
+    /// long-lived holder serving many distinct table sets bounds the cache
+    /// so memory does not grow with the number of schemas ever seen.
+    capacity: Option<usize>,
     hits: usize,
     misses: usize,
 }
 
 /// Per-table cache bucket. The base row count guards against two tables of
 /// the same name (e.g. a rebuilt or differently sized instance) sharing
-/// entries: a row-count mismatch discards the stale bucket.
-#[derive(Debug, Default)]
+/// entries: a row-count mismatch discards the stale bucket. The optional
+/// content fingerprint extends that guard across *instances* of equal size —
+/// see [`SelectionCache::validate_fingerprint`].
+#[derive(Debug, Default, Clone)]
 struct TableAtoms {
-    base_rows: usize,
+    /// Row count of the instance the cached atoms were scanned from. `None`
+    /// right after a fingerprint (re)validation: the next [`SelectionCache::atom`]
+    /// call records the instance's count without treating it as a mismatch.
+    base_rows: Option<usize>,
+    fingerprint: Option<u64>,
     by_atom: HashMap<Condition, Arc<RowSelection>>,
 }
 
 impl SelectionCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         SelectionCache::default()
+    }
+
+    /// An empty cache retaining at most `capacity` table buckets (oldest
+    /// bucket evicted first; the bucket being inserted is never the victim).
+    pub fn with_table_capacity(capacity: usize) -> Self {
+        SelectionCache { capacity: Some(capacity.max(1)), ..SelectionCache::default() }
+    }
+
+    /// Change the table-bucket capacity (`None` = unbounded). Shrinking
+    /// evicts oldest buckets immediately.
+    pub fn set_table_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity.map(|c| c.max(1));
+        self.evict_over_capacity(None);
+    }
+
+    /// The current table-bucket capacity.
+    pub fn table_capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Number of atom scans avoided so far.
@@ -424,26 +734,104 @@ impl SelectionCache {
         self.misses
     }
 
+    /// Total cached atom selections across all table buckets.
+    pub fn cached_atoms(&self) -> usize {
+        self.tables.values().map(|b| b.by_atom.len()).sum()
+    }
+
+    /// Names of the tables with a cache bucket, sorted.
+    pub fn cached_tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Reconcile the bucket of `table` with the content fingerprint of the
+    /// instance about to be selected against ([`Table::fingerprint`]).
+    /// Returns `true` when the bucket was already valid for that content;
+    /// otherwise drops the stale selections, records the new fingerprint and
+    /// returns `false`.
+    ///
+    /// This is the invalidation hook for callers that reuse one cache across
+    /// table instances — e.g. a match service serving many requests whose
+    /// source tables share names. The name + row-count guard cannot tell two
+    /// equally sized instances apart; the fingerprint can.
+    pub fn validate_fingerprint(&mut self, table: &str, fingerprint: u64) -> bool {
+        let bucket = self.bucket(table);
+        if bucket.fingerprint == Some(fingerprint) {
+            return true;
+        }
+        bucket.by_atom.clear();
+        bucket.base_rows = None;
+        bucket.fingerprint = Some(fingerprint);
+        false
+    }
+
+    /// Drop the cached selections of one table (e.g. when a catalog replaces
+    /// that table). Returns whether a bucket existed.
+    pub fn invalidate_table(&mut self, table: &str) -> bool {
+        if self.tables.remove(table).is_some() {
+            self.order.retain(|name| name != table);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The bucket of `table`, created (and capacity-evicting the oldest
+    /// other bucket) when absent.
+    fn bucket(&mut self, table: &str) -> &mut TableAtoms {
+        if !self.tables.contains_key(table) {
+            self.tables.insert(table.to_string(), TableAtoms::default());
+            self.order.push_back(table.to_string());
+            self.evict_over_capacity(Some(table));
+        }
+        self.tables.get_mut(table).expect("bucket just ensured")
+    }
+
+    /// Evict oldest buckets until within capacity, never evicting `keep`.
+    fn evict_over_capacity(&mut self, keep: Option<&str>) {
+        let Some(capacity) = self.capacity else { return };
+        while self.tables.len() > capacity {
+            let Some(pos) = self.order.iter().position(|name| Some(name.as_str()) != keep) else {
+                return;
+            };
+            let evicted = self.order.remove(pos).expect("position is in range");
+            self.tables.remove(&evicted);
+        }
+    }
+
     /// The selection of a single atom (`Eq` / `In` / `True`) over `table`,
     /// cached per `(table, atom)`. Lookup hits are allocation-free.
     fn atom(&mut self, table: &Table, atom: &Condition) -> Arc<RowSelection> {
-        let bucket = match self.tables.get_mut(table.name()) {
-            Some(bucket) => bucket,
-            None => self.tables.entry(table.name().to_string()).or_default(),
+        let cached = {
+            let bucket = self.bucket(table.name());
+            match bucket.base_rows {
+                // Same-named table with a different instance underneath:
+                // every cached selection is invalid for it, and any recorded
+                // fingerprint belonged to the old instance.
+                Some(rows) if rows != table.len() => {
+                    bucket.by_atom.clear();
+                    bucket.base_rows = Some(table.len());
+                    bucket.fingerprint = None;
+                }
+                Some(_) => {}
+                // Freshly (re)validated bucket: adopt this instance's rows.
+                None => bucket.base_rows = Some(table.len()),
+            }
+            bucket.by_atom.get(atom).cloned()
         };
-        if bucket.base_rows != table.len() {
-            // Same-named table with a different instance underneath: every
-            // cached selection is invalid for it.
-            bucket.by_atom.clear();
-            bucket.base_rows = table.len();
-        }
-        if let Some(cached) = bucket.by_atom.get(atom) {
+        if let Some(cached) = cached {
             self.hits += 1;
-            return Arc::clone(cached);
+            return cached;
         }
         self.misses += 1;
         let selection = Arc::new(RowSelection::of_condition(table, atom));
-        bucket.by_atom.insert(atom.clone(), Arc::clone(&selection));
+        self.tables
+            .get_mut(table.name())
+            .expect("bucket ensured above")
+            .by_atom
+            .insert(atom.clone(), Arc::clone(&selection));
         selection
     }
 
@@ -511,6 +899,14 @@ mod tests {
         .unwrap()
     }
 
+    /// A wide table whose `type` column splits rows ~evenly, so conditions on
+    /// it produce dense selections.
+    fn wide_table(n: usize) -> Table {
+        let schema = TableSchema::new("wide", vec![Attribute::int("id"), Attribute::int("type")]);
+        let rows = (0..n).map(|i| tuple![i as i64, (i % 2) as i64]).collect();
+        Table::with_rows(schema, rows).unwrap()
+    }
+
     #[test]
     fn of_condition_matches_eval_semantics() {
         let t = inv_table();
@@ -530,7 +926,7 @@ mod tests {
                 .enumerate()
                 .filter_map(|(i, row)| cond.eval(t.schema(), row).then_some(i))
                 .collect();
-            assert_eq!(sel.indices(), expected.as_slice(), "condition {cond}");
+            assert_eq!(&*sel.indices(), expected.as_slice(), "condition {cond}");
         }
     }
 
@@ -538,12 +934,12 @@ mod tests {
     fn set_operations_merge_sorted_vectors() {
         let a = RowSelection::from_sorted(vec![0, 2, 3, 5]);
         let b = RowSelection::from_sorted(vec![1, 2, 5]);
-        assert_eq!(a.intersect(&b).indices(), &[2, 5]);
-        assert_eq!(a.union(&b).indices(), &[0, 1, 2, 3, 5]);
-        assert_eq!(a.complement(6).indices(), &[1, 4]);
+        assert_eq!(&*a.intersect(&b).indices(), &[2, 5]);
+        assert_eq!(&*a.union(&b).indices(), &[0, 1, 2, 3, 5]);
+        assert_eq!(&*a.complement(6).indices(), &[1, 4]);
         assert!(a.contains(3));
         assert!(!a.contains(4));
-        assert_eq!(RowSelection::from_unsorted(vec![3, 1, 3, 0]).indices(), &[0, 1, 3]);
+        assert_eq!(&*RowSelection::from_unsorted(vec![3, 1, 3, 0]).indices(), &[0, 1, 3]);
     }
 
     #[test]
@@ -551,6 +947,98 @@ mod tests {
         let sel = RowSelection::from_sorted(vec![0, 1]);
         assert!((sel.selectivity(4) - 0.5).abs() < 1e-12);
         assert_eq!(RowSelection::empty().selectivity(0), 0.0);
+    }
+
+    #[test]
+    fn density_threshold_picks_the_representation() {
+        let t = wide_table(200);
+        // 50 % selectivity on a 200-row base: dense.
+        let half = RowSelection::of_condition(&t, &Condition::eq("type", 0));
+        assert!(half.is_dense());
+        assert_eq!(half.len(), 100);
+        // A tiny subset stays sparse.
+        let one = RowSelection::of_condition(&t, &Condition::eq("id", 7));
+        assert!(!one.is_dense());
+        // Small bases always stay sparse, even at 100 % selectivity.
+        assert!(!RowSelection::full(8).is_dense());
+        assert!(RowSelection::full(64).is_dense());
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        let t = wide_table(100);
+        let dense = RowSelection::of_condition(&t, &Condition::eq("type", 0));
+        assert!(dense.is_dense());
+        let sparse = RowSelection::from_sorted(dense.iter().collect());
+        assert!(!sparse.is_dense());
+        assert_eq!(dense, sparse);
+        assert_eq!(sparse, dense);
+        assert_ne!(dense, RowSelection::full(100));
+    }
+
+    #[test]
+    fn dense_iteration_membership_and_indexing() {
+        let t = wide_table(130);
+        let sel = RowSelection::of_condition(&t, &Condition::eq("type", 1));
+        assert!(sel.is_dense());
+        let expected: Vec<usize> = (0..130).filter(|i| i % 2 == 1).collect();
+        assert_eq!(sel.iter().collect::<Vec<_>>(), expected);
+        assert_eq!(&*sel.indices(), expected.as_slice());
+        assert_eq!(sel.max_index(), Some(129));
+        assert_eq!(sel.nth_index(0), Some(1));
+        assert_eq!(sel.nth_index(64), Some(129));
+        assert_eq!(sel.nth_index(65), None);
+        assert!(sel.contains(1));
+        assert!(!sel.contains(0));
+        assert!(!sel.contains(1000));
+    }
+
+    #[test]
+    fn dense_set_operations_match_sparse_semantics() {
+        let t = wide_table(150);
+        let evens = RowSelection::of_condition(&t, &Condition::eq("type", 0));
+        let odds = RowSelection::of_condition(&t, &Condition::eq("type", 1));
+        assert!(evens.is_dense() && odds.is_dense());
+        // Disjoint dense selections: empty intersection (renormalized to
+        // sparse), full union.
+        let inter = evens.intersect(&odds);
+        assert!(inter.is_empty());
+        assert!(!inter.is_dense(), "empty result must renormalize to sparse");
+        let uni = evens.union(&odds);
+        assert_eq!(uni, RowSelection::full(150));
+        // Complement flips between them.
+        assert_eq!(evens.complement(150), odds);
+        assert_eq!(odds.complement(150), evens);
+
+        // Mixed representation: sparse ∩ dense probes the bitmap; sparse ∪
+        // dense stays content-correct.
+        let sparse = RowSelection::from_sorted(vec![0, 1, 2, 149]);
+        assert_eq!(&*sparse.intersect(&evens).indices(), &[0, 2]);
+        assert_eq!(&*evens.intersect(&sparse).indices(), &[0, 2]);
+        let merged = sparse.union(&odds);
+        assert_eq!(merged.len(), odds.len() + 2);
+        assert!(merged.contains(0) && merged.contains(2) && merged.contains(149));
+    }
+
+    #[test]
+    fn mixed_union_grows_past_the_bitmap_universe() {
+        let t = wide_table(100);
+        let dense = RowSelection::of_condition(&t, &Condition::eq("type", 0));
+        let sparse = RowSelection::from_sorted(vec![250]);
+        let grown = dense.union(&sparse);
+        assert_eq!(grown.len(), dense.len() + 1);
+        assert!(grown.contains(250));
+        assert_eq!(grown.max_index(), Some(250));
+    }
+
+    #[test]
+    fn dense_complement_of_a_shorter_universe() {
+        let t = wide_table(128);
+        let evens = RowSelection::of_condition(&t, &Condition::eq("type", 0));
+        // Complement with respect to a smaller base: only odds below 60.
+        let c = evens.complement(60);
+        let expected: Vec<usize> = (0..60).filter(|i| i % 2 == 1).collect();
+        assert_eq!(c.iter().collect::<Vec<_>>(), expected);
     }
 
     #[test]
@@ -566,6 +1054,19 @@ mod tests {
         let first = slice.rows().next().unwrap();
         assert!(std::ptr::eq(first, &t.rows()[0]));
         assert_eq!(slice.value_at(1, "descr").unwrap(), &Value::str("paperback"));
+    }
+
+    #[test]
+    fn dense_slices_behave_like_sparse_ones() {
+        let t = wide_table(96);
+        let sel = RowSelection::of_condition(&t, &Condition::eq("type", 0));
+        assert!(sel.is_dense());
+        let slice = TableSlice::new(&t, &sel);
+        assert_eq!(slice.len(), 48);
+        assert_eq!(slice.value_at(3, "id").unwrap(), &Value::Int(6));
+        let mat = slice.materialize("V");
+        let legacy = t.filter_rows(|r| r.at(1) == &Value::Int(0)).renamed("V");
+        assert_eq!(mat, legacy);
     }
 
     #[test]
@@ -610,8 +1111,8 @@ mod tests {
             cache.select(&t, &Condition::eq("type", 1).and(Condition::eq("descr", "paperback")));
         assert_eq!(cache.misses(), 2, "only the new descr atom is scanned");
         assert_eq!(cache.hits(), 2);
-        assert_eq!(a.indices(), &[0, 2, 3]);
-        assert_eq!(b.indices(), &[2, 3]);
+        assert_eq!(&*a.indices(), &[0, 2, 3]);
+        assert_eq!(&*b.indices(), &[2, 3]);
         // Disjunctions merge cached atoms too.
         let c = cache.select(&t, &Condition::eq("type", 1).or(Condition::eq("type", 2)));
         assert_eq!(c.len(), 5);
@@ -637,5 +1138,97 @@ mod tests {
                 "condition {cond}"
             );
         }
+    }
+
+    #[test]
+    fn fingerprint_validation_guards_equal_sized_instances() {
+        let t1 = inv_table();
+        // Same name, same row count, different content — the case the plain
+        // row-count guard cannot see.
+        let mut t2 = inv_table();
+        let rows: Vec<Tuple> = t2.rows().iter().map(|r| r.project(&[0, 1, 2])).rev().collect();
+        t2 = Table::with_rows(t2.schema().clone(), rows).unwrap();
+        assert_eq!(t1.len(), t2.len());
+        assert_ne!(t1.fingerprint(), t2.fingerprint());
+
+        let mut cache = SelectionCache::new();
+        assert!(!cache.validate_fingerprint("inv", t1.fingerprint()), "first sight misses");
+        let a = cache.select(&t1, &Condition::eq("type", 1));
+        assert_eq!(&*a.indices(), &[0, 2, 3]);
+        // Revalidating the same content keeps the bucket.
+        assert!(cache.validate_fingerprint("inv", t1.fingerprint()));
+        assert_eq!(cache.cached_atoms(), 1);
+        // A different instance drops it; the stale selection is not served.
+        assert!(!cache.validate_fingerprint("inv", t2.fingerprint()));
+        assert_eq!(cache.cached_atoms(), 0);
+        let b = cache.select(&t2, &Condition::eq("type", 1));
+        assert_eq!(b.len(), 3);
+        assert_ne!(&*a.indices(), &*b.indices(), "reversed rows select different indices");
+    }
+
+    #[test]
+    fn invalidate_table_drops_one_bucket() {
+        let t = inv_table();
+        let other = wide_table(80);
+        let mut cache = SelectionCache::new();
+        cache.select(&t, &Condition::eq("type", 1));
+        cache.select(&other, &Condition::eq("type", 0));
+        assert_eq!(cache.cached_tables(), vec!["inv".to_string(), "wide".to_string()]);
+        assert!(cache.invalidate_table("inv"));
+        assert!(!cache.invalidate_table("inv"));
+        assert_eq!(cache.cached_tables(), vec!["wide".to_string()]);
+        // The surviving bucket still serves hits.
+        let before = cache.hits();
+        cache.select(&other, &Condition::eq("type", 0));
+        assert_eq!(cache.hits(), before + 1);
+    }
+
+    #[test]
+    fn table_capacity_evicts_oldest_buckets() {
+        let mut cache = SelectionCache::with_table_capacity(2);
+        assert_eq!(cache.table_capacity(), Some(2));
+        let tables: Vec<Table> = (0..3)
+            .map(|i| {
+                Table::with_rows(
+                    TableSchema::new(format!("t{i}"), vec![Attribute::int("x")]),
+                    vec![tuple![i as i64]],
+                )
+                .unwrap()
+            })
+            .collect();
+        cache.select(&tables[0], &Condition::eq("x", 0));
+        cache.select(&tables[1], &Condition::eq("x", 1));
+        assert_eq!(cache.cached_tables(), vec!["t0".to_string(), "t1".to_string()]);
+        // A third bucket evicts the oldest (t0), keeping the newcomer.
+        cache.select(&tables[2], &Condition::eq("x", 2));
+        assert_eq!(cache.cached_tables(), vec!["t1".to_string(), "t2".to_string()]);
+        // Re-selecting the survivor is still a hit.
+        let before = cache.hits();
+        cache.select(&tables[1], &Condition::eq("x", 1));
+        assert_eq!(cache.hits(), before + 1);
+        // validate_fingerprint-created buckets obey the bound too.
+        cache.validate_fingerprint("t9", 42);
+        assert_eq!(cache.cached_tables().len(), 2);
+        assert!(cache.cached_tables().contains(&"t9".to_string()));
+        // Shrinking evicts immediately; capacity never goes below 1.
+        cache.set_table_capacity(Some(0));
+        assert_eq!(cache.table_capacity(), Some(1));
+        assert_eq!(cache.cached_tables().len(), 1);
+        cache.set_table_capacity(None);
+        assert_eq!(cache.table_capacity(), None);
+    }
+
+    #[test]
+    fn cloned_caches_share_selection_arcs() {
+        let t = inv_table();
+        let mut cache = SelectionCache::new();
+        let a = cache.select(&t, &Condition::eq("type", 1));
+        let mut copy = cache.clone();
+        let b = copy.select(&t, &Condition::eq("type", 1));
+        assert!(Arc::ptr_eq(&a, &b), "clone must share cached selections, not copy them");
+        // Invalidation in the clone does not affect the original.
+        copy.invalidate_table("inv");
+        let c = cache.select(&t, &Condition::eq("type", 1));
+        assert!(Arc::ptr_eq(&a, &c));
     }
 }

@@ -148,6 +148,26 @@ impl Table {
         Ok(Table { schema, rows })
     }
 
+    /// A deterministic content fingerprint of this instance: a seeded
+    /// FNV-1a hash over the table name, the attribute list (names and
+    /// declared types) and every tuple's values in row order.
+    ///
+    /// Equal instances always fingerprint equally; any schema or data change
+    /// changes the fingerprint with overwhelming probability. Long-lived
+    /// services key warm artifacts (memoized column profiles, cached
+    /// selection vectors) by this value to invalidate exactly the tables
+    /// whose content changed. See [`crate::fingerprint`] for guarantees and
+    /// non-goals (the hash is not cryptographic).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint_seeded(crate::fingerprint::TABLE_FINGERPRINT_SEED)
+    }
+
+    /// [`Table::fingerprint`] under a caller-chosen domain seed, for callers
+    /// that maintain several independent fingerprint keyspaces.
+    pub fn fingerprint_seeded(&self, seed: u64) -> u64 {
+        crate::fingerprint::table_fingerprint(self, seed)
+    }
+
     /// Return a copy of this instance under a different table name.
     pub fn renamed(&self, name: impl Into<String>) -> Table {
         Table { schema: self.schema.with_name(name), rows: self.rows.clone() }

@@ -1,0 +1,425 @@
+//! The fingerprinted target catalog: immutable snapshots, swapped atomically.
+//!
+//! A snapshot owns everything a request needs from the target side — the
+//! database instance, the hoisted column batch (with `Arc`-shared values and
+//! memoized matcher profiles), the per-table content fingerprints, and a
+//! shared selection cache. Updates never mutate a snapshot: they build a new
+//! one (reusing every table whose fingerprint is unchanged) and swap it in
+//! behind an `Arc`, so concurrent in-flight requests keep the consistent view
+//! they started with.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+use cxm_matching::ColumnData;
+use cxm_relational::{Database, Error, Result, SelectionCache, Table};
+
+/// An immutable view of the registered target tables plus the warm artifacts
+/// derived from them. Obtained from [`TargetCatalog::snapshot`]; requests
+/// hold the `Arc` for their whole run.
+#[derive(Debug)]
+pub struct CatalogSnapshot {
+    version: u64,
+    database: Database,
+    fingerprints: BTreeMap<String, u64>,
+    /// Hoisted target column batch in [`ColumnData::all_from_database`]
+    /// order ((table name, schema position)), `Arc`-shared storage. The
+    /// memoized profiles live in these instances: they warm up lazily on
+    /// first use and persist for the snapshot's lifetime — and into the next
+    /// snapshot for every table whose fingerprint did not change.
+    columns: Vec<ColumnData<'static>>,
+    /// Each table's sub-range of `columns`.
+    table_ranges: BTreeMap<String, Range<usize>>,
+    /// Shared selection cache, pre-warmed by carrying the previous
+    /// snapshot's cache forward (minus invalidated tables). Requests
+    /// fingerprint-validate their source tables against it before selecting.
+    selections: Mutex<SelectionCache>,
+}
+
+/// What a catalog update did, table by table — the observable half of
+/// fingerprint-keyed invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogUpdate {
+    /// The version of the snapshot the update produced.
+    pub version: u64,
+    /// Number of tables in the new snapshot.
+    pub tables: usize,
+    /// Tables whose fingerprint was unchanged: their column batches (and
+    /// memoized profiles) were reused from the previous snapshot.
+    pub reused: usize,
+    /// Tables that are new or whose fingerprint changed: their columns were
+    /// rebuilt and their cached selections invalidated.
+    pub rebuilt: usize,
+    /// Tables present in the previous snapshot but not in this one.
+    pub dropped: usize,
+}
+
+impl CatalogSnapshot {
+    /// Build a snapshot of `database`, reusing the warm artifacts of `prev`
+    /// for every table whose content fingerprint is unchanged.
+    fn build(
+        version: u64,
+        database: Database,
+        prev: Option<&CatalogSnapshot>,
+    ) -> (Self, CatalogUpdate) {
+        let fingerprints = database.table_fingerprints();
+        let mut columns = Vec::new();
+        let mut table_ranges = BTreeMap::new();
+        let mut reused = 0usize;
+        let mut rebuilt = 0usize;
+        for table in database.tables() {
+            let start = columns.len();
+            let fingerprint = fingerprints[table.name()];
+            match prev.and_then(|p| p.columns_if_unchanged(table.name(), fingerprint)) {
+                Some(warm) => {
+                    // A clone of a warm column shares both its Arc'd values
+                    // and its memoized profiles — zero rebuilds downstream.
+                    columns.extend(warm.iter().cloned());
+                    reused += 1;
+                }
+                None => {
+                    for attr in table.schema().attributes() {
+                        columns.push(
+                            ColumnData::shared_from_table(table, &attr.name)
+                                .expect("attribute comes from the table's own schema"),
+                        );
+                    }
+                    rebuilt += 1;
+                }
+            }
+            table_ranges.insert(table.name().to_string(), start..columns.len());
+        }
+
+        // Carry the previous selection cache forward (cheap: Arc-shared
+        // selection vectors), dropping exactly the buckets of target tables
+        // that changed or disappeared. Source-table buckets — the cache's
+        // main traffic — survive catalog updates untouched.
+        let mut selections = prev
+            .map(|p| p.selections.lock().unwrap_or_else(PoisonError::into_inner).clone())
+            .unwrap_or_default();
+        let mut dropped = 0usize;
+        if let Some(p) = prev {
+            for (name, old_fp) in &p.fingerprints {
+                match fingerprints.get(name) {
+                    Some(new_fp) if new_fp == old_fp => {}
+                    Some(_) => {
+                        selections.invalidate_table(name);
+                    }
+                    None => {
+                        selections.invalidate_table(name);
+                        dropped += 1;
+                    }
+                }
+            }
+        }
+
+        let update =
+            CatalogUpdate { version, tables: table_ranges.len(), reused, rebuilt, dropped };
+        let snapshot = CatalogSnapshot {
+            version,
+            database,
+            fingerprints,
+            columns,
+            table_ranges,
+            selections: Mutex::new(selections),
+        };
+        (snapshot, update)
+    }
+
+    fn columns_if_unchanged(
+        &self,
+        table: &str,
+        fingerprint: u64,
+    ) -> Option<&[ColumnData<'static>]> {
+        if self.fingerprints.get(table) != Some(&fingerprint) {
+            return None;
+        }
+        self.table_ranges.get(table).map(|r| &self.columns[r.clone()])
+    }
+
+    /// The snapshot's version (monotonically increasing per catalog update).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The registered target database instance.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// The hoisted target column batch, in [`ColumnData::all_from_database`]
+    /// order over [`CatalogSnapshot::database`].
+    pub fn columns(&self) -> &[ColumnData<'static>] {
+        &self.columns
+    }
+
+    /// One table's slice of the hoisted batch.
+    pub fn table_columns(&self, table: &str) -> Option<&[ColumnData<'static>]> {
+        self.table_ranges.get(table).map(|r| &self.columns[r.clone()])
+    }
+
+    /// Per-table content fingerprints.
+    pub fn fingerprints(&self) -> &BTreeMap<String, u64> {
+        &self.fingerprints
+    }
+
+    /// The content fingerprint of one registered table.
+    pub fn fingerprint_of(&self, table: &str) -> Option<u64> {
+        self.fingerprints.get(table).copied()
+    }
+
+    /// The shared selection cache (fingerprint-validated by requests).
+    pub fn selections(&self) -> &Mutex<SelectionCache> {
+        &self.selections
+    }
+
+    /// True when no target tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.table_ranges.is_empty()
+    }
+}
+
+/// The snapshot-swapped catalog of target tables a [`crate::MatchService`]
+/// matches into.
+///
+/// Reads ([`TargetCatalog::snapshot`]) are a brief `RwLock` read + `Arc`
+/// clone. Writers serialize on an update lock, build the next snapshot
+/// *outside* the read path, and swap it in atomically — readers are never
+/// blocked behind a rebuild, and requests started before a swap finish
+/// against the snapshot they began with.
+#[derive(Debug)]
+pub struct TargetCatalog {
+    current: RwLock<Arc<CatalogSnapshot>>,
+    update_lock: Mutex<()>,
+}
+
+impl TargetCatalog {
+    /// An empty catalog (snapshot version 0, no tables) with an unbounded
+    /// shared selection cache.
+    pub fn new() -> Self {
+        TargetCatalog::with_selection_capacity(None)
+    }
+
+    /// An empty catalog whose shared selection cache retains at most
+    /// `capacity` table buckets (`None` = unbounded; oldest evicted first).
+    /// The bound carries forward into every future snapshot, since each
+    /// snapshot's cache is cloned from its predecessor.
+    pub fn with_selection_capacity(capacity: Option<usize>) -> Self {
+        let (snapshot, _) = CatalogSnapshot::build(0, Database::new("target-catalog"), None);
+        snapshot
+            .selections
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .set_table_capacity(capacity);
+        TargetCatalog { current: RwLock::new(Arc::new(snapshot)), update_lock: Mutex::new(()) }
+    }
+
+    /// The current snapshot. The returned `Arc` stays valid (and immutable)
+    /// across later catalog updates.
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// The current snapshot version.
+    pub fn version(&self) -> u64 {
+        self.snapshot().version()
+    }
+
+    /// Register a full target database, replacing the current table set. The
+    /// instance is copied into the catalog once; tables whose fingerprint
+    /// matches a currently registered table keep their warm artifacts.
+    pub fn register_database(&self, database: &Database) -> CatalogUpdate {
+        self.update(|_| Ok(database.clone())).expect("register_database cannot fail")
+    }
+
+    /// Register one table, inserting it or replacing a same-named table.
+    pub fn register_table(&self, table: Table) -> CatalogUpdate {
+        self.update(|prev| {
+            let mut db = prev.database.clone();
+            db.replace_table(table);
+            Ok(db)
+        })
+        .expect("register_table cannot fail")
+    }
+
+    /// Replace a registered table's instance. Errors when no table of that
+    /// name is registered (use [`TargetCatalog::register_table`] to insert).
+    pub fn replace_table(&self, table: Table) -> Result<CatalogUpdate> {
+        self.update(|prev| {
+            if prev.database.table(table.name()).is_none() {
+                return Err(Error::UnknownTable(table.name().to_string()));
+            }
+            let mut db = prev.database.clone();
+            db.replace_table(table);
+            Ok(db)
+        })
+    }
+
+    /// Drop a registered table. Returns `None` when no such table exists (no
+    /// new snapshot is produced).
+    pub fn drop_table(&self, name: &str) -> Option<CatalogUpdate> {
+        self.update(|prev| {
+            let mut db = prev.database.clone();
+            if db.remove_table(name).is_none() {
+                return Err(Error::UnknownTable(name.to_string()));
+            }
+            Ok(db)
+        })
+        .ok()
+    }
+
+    /// Serialize writers, derive the next database from the current
+    /// snapshot, build the new snapshot (reusing unchanged tables), and swap.
+    ///
+    /// The derived `Database` is an owned copy, so an update currently costs
+    /// O(total target rows) in tuple clones even when only one table
+    /// changed; the *expensive* artifacts (column batches, memoized
+    /// profiles, selections) are reused per fingerprint. Sharing unchanged
+    /// row storage across snapshots needs `Arc`-backed `Table` rows — a
+    /// ROADMAP follow-up.
+    fn update<F>(&self, next_database: F) -> Result<CatalogUpdate>
+    where
+        F: FnOnce(&CatalogSnapshot) -> Result<Database>,
+    {
+        let _writers = self.update_lock.lock().unwrap_or_else(PoisonError::into_inner);
+        let prev = self.snapshot();
+        let database = next_database(&prev)?;
+        let (snapshot, update) = CatalogSnapshot::build(prev.version() + 1, database, Some(&prev));
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
+        Ok(update)
+    }
+}
+
+impl Default for TargetCatalog {
+    fn default() -> Self {
+        TargetCatalog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_relational::{tuple, Attribute, TableSchema};
+
+    fn table(name: &str, rows: &[(&str, &str)]) -> Table {
+        Table::with_rows(
+            TableSchema::new(name, vec![Attribute::text("title"), Attribute::text("format")]),
+            rows.iter().map(|(a, b)| tuple![*a, *b]).collect(),
+        )
+        .unwrap()
+    }
+
+    fn target() -> Database {
+        Database::new("RT")
+            .with_table(table(
+                "book",
+                &[("war and peace", "paperback"), ("middlemarch", "hardcover")],
+            ))
+            .with_table(table("music", &[("kind of blue", "columbia cd")]))
+    }
+
+    #[test]
+    fn register_builds_columns_in_batch_order() {
+        let catalog = TargetCatalog::new();
+        assert!(catalog.snapshot().is_empty());
+        let update = catalog.register_database(&target());
+        assert_eq!(
+            update,
+            CatalogUpdate { version: 1, tables: 2, reused: 0, rebuilt: 2, dropped: 0 }
+        );
+        let snap = catalog.snapshot();
+        let names: Vec<String> = snap.columns().iter().map(|c| c.attr.to_string()).collect();
+        assert_eq!(names, vec!["book.title", "book.format", "music.title", "music.format"]);
+        assert_eq!(snap.table_columns("music").unwrap().len(), 2);
+        assert!(snap.table_columns("video").is_none());
+        assert_eq!(
+            snap.fingerprint_of("book"),
+            Some(target().table("book").unwrap().fingerprint())
+        );
+    }
+
+    #[test]
+    fn unchanged_tables_are_reused_with_warm_profiles() {
+        let catalog = TargetCatalog::new();
+        catalog.register_database(&target());
+        let first = catalog.snapshot();
+        // Warm one column's profile in the live snapshot.
+        let warm_profile = first.columns()[0].qgram3_profile();
+
+        // Re-registering identical content reuses every table.
+        let update = catalog.register_database(&target());
+        assert_eq!(
+            update,
+            CatalogUpdate { version: 2, tables: 2, reused: 2, rebuilt: 0, dropped: 0 }
+        );
+        let second = catalog.snapshot();
+        assert!(
+            Arc::ptr_eq(&warm_profile, &second.columns()[0].qgram3_profile()),
+            "reused table must carry its memoized profile across snapshots"
+        );
+
+        // Replacing one table rebuilds only that table.
+        let update =
+            catalog.replace_table(table("music", &[("blue train", "blue note cd")])).unwrap();
+        assert_eq!(
+            update,
+            CatalogUpdate { version: 3, tables: 2, reused: 1, rebuilt: 1, dropped: 0 }
+        );
+        let third = catalog.snapshot();
+        assert!(Arc::ptr_eq(&warm_profile, &third.columns()[0].qgram3_profile()));
+        assert_ne!(third.fingerprint_of("music"), first.fingerprint_of("music"));
+        assert_eq!(third.fingerprint_of("book"), first.fingerprint_of("book"));
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_updates() {
+        let catalog = TargetCatalog::new();
+        catalog.register_database(&target());
+        let before = catalog.snapshot();
+        catalog.drop_table("music").unwrap();
+        // The held snapshot still sees both tables; the new one does not.
+        assert_eq!(before.database().len(), 2);
+        let after = catalog.snapshot();
+        assert_eq!(after.database().len(), 1);
+        assert!(after.fingerprint_of("music").is_none());
+        assert_eq!(after.version(), before.version() + 1);
+    }
+
+    #[test]
+    fn replace_and_drop_of_unknown_tables_fail_cleanly() {
+        let catalog = TargetCatalog::new();
+        catalog.register_database(&target());
+        let v = catalog.version();
+        assert!(catalog.replace_table(table("video", &[])).is_err());
+        assert!(catalog.drop_table("video").is_none());
+        assert_eq!(catalog.version(), v, "failed updates must not produce snapshots");
+        // register_table inserts where replace_table refuses.
+        let update = catalog.register_table(table("video", &[("alien", "dvd")]));
+        assert_eq!(update.tables, 3);
+        assert_eq!(update.rebuilt, 1);
+    }
+
+    #[test]
+    fn changed_tables_lose_their_cached_selections() {
+        use cxm_relational::Condition;
+        let catalog = TargetCatalog::new();
+        catalog.register_database(&target());
+        let snap = catalog.snapshot();
+        // Seed a selection for both a target table and an unrelated source
+        // table in the shared cache.
+        {
+            let mut cache = snap.selections().lock().unwrap();
+            let book = snap.database().table("book").unwrap();
+            cache.select(book, &Condition::eq("format", "paperback"));
+            let src = table("src", &[("x", "y")]);
+            cache.select(&src, &Condition::eq("format", "y"));
+            assert_eq!(cache.cached_atoms(), 2);
+        }
+        catalog.replace_table(table("book", &[("new book", "paperback")])).unwrap();
+        let next = catalog.snapshot();
+        let cache = next.selections().lock().unwrap();
+        // The changed table's bucket is gone; the source bucket survived.
+        assert_eq!(cache.cached_tables(), vec!["src".to_string()]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # cxm-service
+//!
+//! A **long-lived match service** over the `ContextMatch` pipeline.
+//!
+//! The paper frames contextual schema matching as a one-shot algorithm, but
+//! the enterprise setting it targets is a *service*: many source schemas
+//! matched repeatedly against a slowly-changing, shared target. One-shot
+//! [`cxm_core::ContextualMatcher::run`] rebuilds every target-side artifact
+//! per call; this crate keeps them warm across calls and invalidates them by
+//! *content fingerprint* when — and only when — a table actually changes.
+//!
+//! Two layers:
+//!
+//! * [`TargetCatalog`] — an immutable, snapshot-swapped registry of target
+//!   tables. Each registered table carries its
+//!   [`cxm_relational::Table::fingerprint`]; a snapshot hoists the target
+//!   column batch once (with `Arc`-shared values and memoized matcher
+//!   profiles) and carries a shared [`cxm_relational::SelectionCache`]
+//!   forward, pre-warmed from the previous snapshot. Updates
+//!   (`register`/`replace`/`drop`) build a *new* snapshot behind an `Arc`
+//!   swap, rebuilding only the tables whose fingerprint changed — in-flight
+//!   requests keep a consistent view of the snapshot they started with.
+//! * [`MatchService`] — request execution. [`MatchService::submit`] runs the
+//!   contextual matcher for one source database against the current
+//!   snapshot over the existing work-stealing pool (parallel source-table
+//!   shards, parallel view scoring); [`MatchService::submit_batch`] runs a
+//!   sequence of sources. Every response carries [`RequestTelemetry`]:
+//!   q-gram profile builds, selection-cache hits/misses, classifier work
+//!   units, and which warm artifacts were reused.
+//!
+//! The warm path is **byte-identical** to a cold one-shot
+//! `ContextualMatcher::run` against the same instances — warm artifacts hold
+//! the same values, so every score, confidence and selected match comes out
+//! the same; only the redundant work disappears. The integration tests pin
+//! this equivalence and the zero-target-rebuild guarantee.
+
+mod catalog;
+mod service;
+
+pub use catalog::{CatalogSnapshot, CatalogUpdate, TargetCatalog};
+pub use service::{MatchResponse, MatchService, RequestTelemetry, ServiceConfig};

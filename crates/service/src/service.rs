@@ -1,0 +1,502 @@
+//! Request execution over the warm catalog.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use cxm_core::{
+    ContextMatchConfig, ContextMatchResult, ContextualMatcher, PreparedSourceColumns,
+    PreparedTargets, SharedSelections,
+};
+use cxm_matching::column::telemetry as profile_telemetry;
+use cxm_matching::ColumnData;
+use cxm_relational::{Database, Fnv64, Result, Table};
+
+use crate::catalog::{CatalogUpdate, TargetCatalog};
+
+/// Configuration of a [`MatchService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// The `ContextMatch` configuration every request runs with.
+    pub context: ContextMatchConfig,
+    /// How many distinct source databases (by content fingerprint) to keep
+    /// warm source-column batches for; `0` disables source-side reuse.
+    /// Eviction is oldest-first.
+    pub source_cache_capacity: usize,
+    /// How many table buckets the shared selection cache retains (oldest
+    /// evicted first); `0` means unbounded. Bounds the cache's memory under
+    /// many distinct source schemas.
+    pub selection_cache_tables: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            context: ContextMatchConfig::default(),
+            source_cache_capacity: 16,
+            selection_cache_tables: 64,
+        }
+    }
+}
+
+/// Per-request telemetry, measured from the process-wide instrumentation
+/// counters (`cxm_matching::column::telemetry`, `cxm_classify::telemetry`)
+/// and the snapshot's shared selection cache.
+///
+/// The counters are process-global, so the deltas attribute work to a request
+/// accurately only while requests do not overlap — which is how
+/// [`MatchService::submit_batch`] runs them (each request is internally
+/// parallel over the work-stealing pool; the batch itself is sequential).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestTelemetry {
+    /// Version of the catalog snapshot the request ran against.
+    pub catalog_version: u64,
+    /// Q-gram profiles built during the request. On a warm catalog this
+    /// counts **no** target-side builds; with a source-cache hit and no
+    /// candidate views it is exactly zero.
+    pub qgram_profile_builds: usize,
+    /// Selection-cache hits during the request (atom scans avoided).
+    pub selection_cache_hits: usize,
+    /// Selection-cache misses during the request (atom scans performed).
+    pub selection_cache_misses: usize,
+    /// Classifier scoring/training work units spent on view inference.
+    pub classifier_work_units: usize,
+    /// Whether the source database's column batch was served from the warm
+    /// source cache.
+    pub source_cache_hit: bool,
+}
+
+impl fmt::Display for RequestTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "catalog v{}, {} profile builds, selections {} hit / {} miss, \
+             {} classifier work units, source cache {}",
+            self.catalog_version,
+            self.qgram_profile_builds,
+            self.selection_cache_hits,
+            self.selection_cache_misses,
+            self.classifier_work_units,
+            if self.source_cache_hit { "hit" } else { "miss" },
+        )
+    }
+}
+
+/// The outcome of one [`MatchService::submit`] request.
+#[derive(Debug)]
+pub struct MatchResponse {
+    /// The contextual matching result — byte-identical to what a cold
+    /// [`ContextualMatcher::run`] returns for the same source and target
+    /// instances.
+    pub result: ContextMatchResult,
+    /// What the request cost and which warm artifacts it reused.
+    pub telemetry: RequestTelemetry,
+}
+
+/// A long-lived contextual schema matching service: a [`TargetCatalog`] of
+/// fingerprinted target tables plus warm-artifact reuse on both sides of the
+/// match.
+///
+/// ```
+/// use cxm_relational::{tuple, Attribute, Database, Table, TableSchema};
+/// use cxm_service::MatchService;
+///
+/// let target = Database::new("RT").with_table(
+///     Table::with_rows(
+///         TableSchema::new("book", vec![Attribute::text("title")]),
+///         vec![tuple!["war and peace"], tuple!["middlemarch"]],
+///     )
+///     .unwrap(),
+/// );
+/// let service = MatchService::with_defaults();
+/// service.register_target(&target);
+///
+/// let source = Database::new("RS").with_table(
+///     Table::with_rows(
+///         TableSchema::new("inv", vec![Attribute::text("name")]),
+///         vec![tuple!["anna karenina"], tuple!["bleak house"]],
+///     )
+///     .unwrap(),
+/// );
+/// let response = service.submit(&source).unwrap();
+/// assert_eq!(response.telemetry.catalog_version, 1);
+/// ```
+#[derive(Debug)]
+pub struct MatchService {
+    matcher: ContextualMatcher,
+    catalog: TargetCatalog,
+    sources: Mutex<SourceCache>,
+}
+
+impl MatchService {
+    /// A service running the given `ContextMatch` configuration with default
+    /// service settings.
+    pub fn new(context: ContextMatchConfig) -> Self {
+        MatchService::with_config(ServiceConfig { context, ..ServiceConfig::default() })
+    }
+
+    /// A service with default configuration.
+    pub fn with_defaults() -> Self {
+        MatchService::with_config(ServiceConfig::default())
+    }
+
+    /// A service with explicit configuration.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        let selection_capacity =
+            (config.selection_cache_tables > 0).then_some(config.selection_cache_tables);
+        MatchService {
+            matcher: ContextualMatcher::new(config.context),
+            catalog: TargetCatalog::with_selection_capacity(selection_capacity),
+            sources: Mutex::new(SourceCache::new(config.source_cache_capacity)),
+        }
+    }
+
+    /// The catalog behind this service, for direct snapshot inspection.
+    pub fn catalog(&self) -> &TargetCatalog {
+        &self.catalog
+    }
+
+    /// The `ContextMatch` configuration requests run with.
+    pub fn config(&self) -> &ContextMatchConfig {
+        self.matcher.config()
+    }
+
+    /// Register (or wholly replace) the target database. See
+    /// [`TargetCatalog::register_database`].
+    pub fn register_target(&self, target: &Database) -> CatalogUpdate {
+        self.catalog.register_database(target)
+    }
+
+    /// Insert or replace one target table. See
+    /// [`TargetCatalog::register_table`].
+    pub fn register_table(&self, table: Table) -> CatalogUpdate {
+        self.catalog.register_table(table)
+    }
+
+    /// Replace a registered target table. See
+    /// [`TargetCatalog::replace_table`].
+    pub fn replace_table(&self, table: Table) -> Result<CatalogUpdate> {
+        self.catalog.replace_table(table)
+    }
+
+    /// Drop a registered target table. See [`TargetCatalog::drop_table`].
+    pub fn drop_table(&self, name: &str) -> Option<CatalogUpdate> {
+        self.catalog.drop_table(name)
+    }
+
+    /// Match one source database against the current catalog snapshot.
+    ///
+    /// Admission cost is one scan of the source data (content fingerprints
+    /// for the source cache and the shared selection cache); the run itself
+    /// executes `ContextMatch` over the work-stealing pool with the
+    /// snapshot's warm target batch — zero target-side re-profiling once the
+    /// batch has been used before — and is byte-identical to a cold
+    /// [`ContextualMatcher::run`] against the same instances.
+    pub fn submit(&self, source: &Database) -> Result<MatchResponse> {
+        let snapshot = self.catalog.snapshot();
+        self.submit_against(source, &snapshot)
+    }
+
+    /// Match several source databases sequentially against **one** catalog
+    /// snapshot (a consistent view across the whole batch, even if the
+    /// catalog is updated mid-batch). Requests run one after another — each
+    /// is internally parallel over the work-stealing pool, and keeping them
+    /// disjoint is what makes the per-request telemetry deltas attributable.
+    pub fn submit_batch<'s, I>(&self, sources: I) -> Result<Vec<MatchResponse>>
+    where
+        I: IntoIterator<Item = &'s Database>,
+    {
+        let snapshot = self.catalog.snapshot();
+        sources.into_iter().map(|source| self.submit_against(source, &snapshot)).collect()
+    }
+
+    fn submit_against(
+        &self,
+        source: &Database,
+        snapshot: &crate::CatalogSnapshot,
+    ) -> Result<MatchResponse> {
+        // One scan of the source data: per-table fingerprints drive both the
+        // source-column cache key and the shared selection cache validation
+        // (the latter performed by the run itself, inside the cache's
+        // critical sections — see `SharedSelections`).
+        let table_fingerprints = source.table_fingerprints();
+        let source_key = combined_fingerprint(&table_fingerprints);
+        let (source_columns, source_cache_hit) = self.source_columns(source, source_key);
+
+        let (hits_before, misses_before) = {
+            let cache = snapshot.selections().lock().unwrap_or_else(PoisonError::into_inner);
+            (cache.hits(), cache.misses())
+        };
+        let builds_before = profile_telemetry::qgram_profile_builds();
+        let work_before = cxm_classify::telemetry::work_units();
+
+        let result = self.matcher.run_prepared(
+            source,
+            Some(&source_columns),
+            PreparedTargets {
+                database: snapshot.database(),
+                columns: snapshot.columns(),
+                shared_selections: Some(SharedSelections {
+                    cache: snapshot.selections(),
+                    source_fingerprints: &table_fingerprints,
+                }),
+            },
+        )?;
+
+        let (hits_after, misses_after) = {
+            let cache = snapshot.selections().lock().unwrap_or_else(PoisonError::into_inner);
+            (cache.hits(), cache.misses())
+        };
+        let telemetry = RequestTelemetry {
+            catalog_version: snapshot.version(),
+            qgram_profile_builds: profile_telemetry::qgram_profile_builds() - builds_before,
+            selection_cache_hits: hits_after - hits_before,
+            selection_cache_misses: misses_after - misses_before,
+            classifier_work_units: cxm_classify::telemetry::work_units() - work_before,
+            source_cache_hit,
+        };
+        Ok(MatchResponse { result, telemetry })
+    }
+
+    /// The source database's prepared column batch, served from the warm
+    /// cache when its content fingerprint is known.
+    fn source_columns(
+        &self,
+        source: &Database,
+        key: u64,
+    ) -> (Arc<PreparedSourceColumns<'static>>, bool) {
+        if let Some(columns) = self.sources.lock().unwrap_or_else(PoisonError::into_inner).get(key)
+        {
+            return (columns, true);
+        }
+        // Build outside the lock: extraction clones every source value, and
+        // holding the lock for that would serialize admission of concurrent
+        // requests. A racing builder is benign — batches are content-equal —
+        // but the first inserted Arc stays canonical.
+        let columns = Arc::new(build_source_columns(source));
+        let mut cache = self.sources.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(existing) = cache.get(key) {
+            return (existing, true);
+        }
+        cache.insert(key, Arc::clone(&columns));
+        (columns, false)
+    }
+}
+
+/// Pre-extract every table's columns in [`ColumnData::all_from_table`]
+/// layout, in `Arc`-shared storage so cache hits share values and profiles.
+fn build_source_columns(source: &Database) -> PreparedSourceColumns<'static> {
+    source
+        .tables()
+        .map(|table| {
+            let columns = table
+                .schema()
+                .attributes()
+                .iter()
+                .map(|a| {
+                    ColumnData::shared_from_table(table, &a.name)
+                        .expect("attribute comes from the table's own schema")
+                })
+                .collect();
+            (table.name().to_string(), columns)
+        })
+        .collect()
+}
+
+/// Combine per-table fingerprints into one database-level cache key.
+fn combined_fingerprint(tables: &std::collections::BTreeMap<String, u64>) -> u64 {
+    let mut h = Fnv64::with_seed(0x6373_6d5f_7372_6373);
+    h.write_u64(tables.len() as u64);
+    for (name, fingerprint) in tables {
+        h.write_str(name);
+        h.write_u64(*fingerprint);
+    }
+    h.finish()
+}
+
+/// Oldest-first bounded cache of prepared source-column batches.
+#[derive(Debug)]
+struct SourceCache {
+    capacity: usize,
+    entries: HashMap<u64, Arc<PreparedSourceColumns<'static>>>,
+    order: VecDeque<u64>,
+}
+
+impl SourceCache {
+    fn new(capacity: usize) -> Self {
+        SourceCache { capacity, entries: HashMap::new(), order: VecDeque::new() }
+    }
+
+    fn get(&self, key: u64) -> Option<Arc<PreparedSourceColumns<'static>>> {
+        self.entries.get(&key).cloned()
+    }
+
+    fn insert(&mut self, key: u64, columns: Arc<PreparedSourceColumns<'static>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(evicted) => {
+                    self.entries.remove(&evicted);
+                }
+                None => break,
+            }
+        }
+        if self.entries.insert(key, columns).is_none() {
+            self.order.push_back(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_datagen::{generate_retail, RetailConfig};
+    use cxm_relational::{tuple, Attribute, TableSchema};
+
+    fn retail() -> (Database, Database) {
+        let ds = generate_retail(&RetailConfig {
+            source_items: 60,
+            target_rows: 24,
+            ..RetailConfig::default()
+        });
+        (ds.source, ds.target)
+    }
+
+    #[test]
+    fn warm_submit_equals_cold_run() {
+        let (source, target) = retail();
+        let config = ContextMatchConfig::default().with_tau(0.4);
+        let service = MatchService::new(config);
+        service.register_target(&target);
+
+        let cold = ContextualMatcher::new(config).run(&source, &target).unwrap();
+        let first = service.submit(&source).unwrap();
+        let second = service.submit(&source).unwrap();
+        for response in [&first, &second] {
+            assert_eq!(response.result.selected, cold.selected);
+            assert_eq!(response.result.standard, cold.standard);
+            assert_eq!(response.result.candidates, cold.candidates);
+        }
+        assert!(!first.telemetry.source_cache_hit);
+        assert!(second.telemetry.source_cache_hit);
+        assert_eq!(first.telemetry.catalog_version, 1);
+    }
+
+    #[test]
+    fn same_shaped_different_content_sources_never_share_selections() {
+        // Two sources with the same table names, same row counts and the
+        // same condition atoms, but different rows — the case the selection
+        // cache's row-count guard cannot distinguish. The fingerprint
+        // validation (performed inside the cache's critical sections) must
+        // keep each request's results identical to its own cold run, even
+        // when the sources alternate against one warm cache.
+        let config = ContextMatchConfig::default().with_tau(0.4);
+        let mk = |seed| {
+            generate_retail(&RetailConfig {
+                seed,
+                source_items: 60,
+                target_rows: 24,
+                ..RetailConfig::default()
+            })
+        };
+        let (a, b) = (mk(1), mk(2));
+        assert_eq!(a.source.table_names(), b.source.table_names());
+        for (ta, tb) in a.source.tables().zip(b.source.tables()) {
+            assert_eq!(ta.len(), tb.len(), "fixtures must be same-shaped");
+            assert_ne!(ta.fingerprint(), tb.fingerprint(), "fixtures must differ in content");
+        }
+
+        let cold_a = ContextualMatcher::new(config).run(&a.source, &a.target).unwrap();
+        let cold_b = ContextualMatcher::new(config).run(&b.source, &a.target).unwrap();
+        let service = MatchService::new(config);
+        service.register_target(&a.target);
+        for round in 0..2 {
+            let ra = service.submit(&a.source).unwrap();
+            let rb = service.submit(&b.source).unwrap();
+            assert_eq!(ra.result.selected, cold_a.selected, "round {round} source a");
+            assert_eq!(ra.result.candidates, cold_a.candidates, "round {round} source a");
+            assert_eq!(rb.result.selected, cold_b.selected, "round {round} source b");
+            assert_eq!(rb.result.candidates, cold_b.candidates, "round {round} source b");
+        }
+    }
+
+    #[test]
+    fn submit_batch_shares_one_snapshot() {
+        let (source, target) = retail();
+        let service = MatchService::new(ContextMatchConfig::default().with_tau(0.4));
+        service.register_target(&target);
+        let responses = service.submit_batch([&source, &source]).unwrap();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].result.selected, responses[1].result.selected);
+        assert_eq!(responses[0].telemetry.catalog_version, 1);
+        assert_eq!(responses[1].telemetry.catalog_version, 1);
+        assert!(responses[1].telemetry.source_cache_hit);
+    }
+
+    #[test]
+    fn empty_catalog_yields_empty_results() {
+        let (source, _) = retail();
+        let service = MatchService::with_defaults();
+        let response = service.submit(&source).unwrap();
+        assert!(response.result.selected.is_empty());
+        assert!(response.result.standard.is_empty());
+        assert_eq!(response.telemetry.catalog_version, 0);
+    }
+
+    #[test]
+    fn source_cache_is_bounded_and_evicts_oldest() {
+        let service = MatchService::with_config(ServiceConfig {
+            source_cache_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        let db = |name: &str, seed: i64| {
+            Database::new("RS").with_table(
+                Table::with_rows(
+                    TableSchema::new(name, vec![Attribute::int("x")]),
+                    vec![tuple![seed], tuple![seed + 1]],
+                )
+                .unwrap(),
+            )
+        };
+        let a = db("a", 0);
+        let b = db("b", 10);
+        let c = db("c", 20);
+        assert!(!service.submit(&a).unwrap().telemetry.source_cache_hit);
+        assert!(!service.submit(&b).unwrap().telemetry.source_cache_hit);
+        assert!(service.submit(&a).unwrap().telemetry.source_cache_hit);
+        // Third distinct source evicts the oldest entry (a).
+        assert!(!service.submit(&c).unwrap().telemetry.source_cache_hit);
+        assert!(!service.submit(&a).unwrap().telemetry.source_cache_hit);
+    }
+
+    #[test]
+    fn zero_capacity_disables_source_caching() {
+        let (source, target) = retail();
+        let service = MatchService::with_config(ServiceConfig {
+            context: ContextMatchConfig::default().with_tau(0.4),
+            source_cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        service.register_target(&target);
+        service.submit(&source).unwrap();
+        let again = service.submit(&source).unwrap();
+        assert!(!again.telemetry.source_cache_hit);
+    }
+
+    #[test]
+    fn telemetry_display_is_humane() {
+        let t = RequestTelemetry {
+            catalog_version: 3,
+            qgram_profile_builds: 0,
+            selection_cache_hits: 5,
+            selection_cache_misses: 1,
+            classifier_work_units: 42,
+            source_cache_hit: true,
+        };
+        let s = t.to_string();
+        assert!(s.contains("catalog v3"));
+        assert!(s.contains("source cache hit"));
+    }
+}

@@ -69,6 +69,67 @@ proptest! {
         prop_assert_eq!(combined, original);
     }
 
+    /// The bitmap-backed (dense) `RowSelection` representation is
+    /// behavior-identical to the sorted-vector one: over random selections,
+    /// every set operation agrees with reference set semantics, and a sparse
+    /// twin built from the same indices is equal and operates identically.
+    /// Binary values over a large base push conditions past the ~50 %
+    /// density threshold, so both representations (and the mixed-pair ops)
+    /// are exercised.
+    #[test]
+    fn dense_and_sparse_selections_agree(
+        values in prop::collection::vec(0i64..2, 1..300),
+        pivot in 0i64..2,
+        stride in 1usize..7,
+    ) {
+        use std::collections::BTreeSet;
+        use cxm_relational::RowSelection;
+
+        let table = int_table(&values);
+        let n = values.len();
+        let a = RowSelection::of_condition(&table, &Condition::eq("x", pivot));
+        let b = RowSelection::of_condition(&table, &Condition::eq("x", 1 - pivot));
+        let sa: BTreeSet<usize> = a.iter().collect();
+        let sb: BTreeSet<usize> = b.iter().collect();
+
+        // Set algebra agrees with reference semantics.
+        let inter: Vec<usize> = sa.intersection(&sb).copied().collect();
+        let uni: Vec<usize> = sa.union(&sb).copied().collect();
+        let comp: Vec<usize> = (0..n).filter(|i| !sa.contains(i)).collect();
+        prop_assert_eq!(a.intersect(&b).iter().collect::<Vec<_>>(), inter);
+        prop_assert_eq!(a.union(&b).iter().collect::<Vec<_>>(), uni.clone());
+        prop_assert_eq!(a.complement(n).iter().collect::<Vec<_>>(), comp);
+        prop_assert_eq!(a.union(&b).len(), n, "binary column: union covers the base");
+
+        // A sparse twin of the same content is equal and ops identically,
+        // regardless of which representation `a` picked.
+        let twin = RowSelection::from_sorted(a.iter().collect());
+        prop_assert!(!twin.is_dense());
+        prop_assert_eq!(&twin, &a);
+        prop_assert_eq!(twin.intersect(&b), a.intersect(&b));
+        prop_assert_eq!(twin.union(&b), a.union(&b));
+        prop_assert_eq!(twin.complement(n), a.complement(n));
+
+        // Mixed-representation pairs (strided sparse subset vs `a`).
+        let strided = RowSelection::from_sorted((0..n).step_by(stride).collect());
+        let ss: BTreeSet<usize> = strided.iter().collect();
+        let mixed_inter: Vec<usize> = ss.intersection(&sa).copied().collect();
+        let mixed_uni: Vec<usize> = ss.union(&sa).copied().collect();
+        prop_assert_eq!(strided.intersect(&a).iter().collect::<Vec<_>>(), mixed_inter.clone());
+        prop_assert_eq!(a.intersect(&strided).iter().collect::<Vec<_>>(), mixed_inter);
+        prop_assert_eq!(strided.union(&a).iter().collect::<Vec<_>>(), mixed_uni.clone());
+        prop_assert_eq!(a.union(&strided).iter().collect::<Vec<_>>(), mixed_uni);
+
+        // Membership, indexing and length agree with the index list.
+        let listed: Vec<usize> = a.indices().to_vec();
+        prop_assert_eq!(listed.len(), a.len());
+        for (k, &i) in listed.iter().enumerate() {
+            prop_assert!(a.contains(i));
+            prop_assert_eq!(a.nth_index(k), Some(i));
+        }
+        prop_assert_eq!(a.max_index(), listed.last().copied());
+    }
+
     /// Conditions: `and`/`or` composition never mentions attributes that the
     /// operands do not mention, and evaluation is consistent with the boolean
     /// semantics of the composition.

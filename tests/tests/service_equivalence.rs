@@ -1,0 +1,184 @@
+//! The match service's warm path must be *byte-identical* to a cold one-shot
+//! `ContextualMatcher::run`, and its warm-artifact reuse must be exactly as
+//! advertised: zero q-gram profile rebuilds on a warm second request, and
+//! only the replaced table's artifacts rebuilt after a single-table catalog
+//! `replace`.
+//!
+//! This file intentionally holds a **single test**: it differences the
+//! process-wide `cxm_matching::column::telemetry` counter, so it must not
+//! share its test binary with other tests that drive the matchers
+//! concurrently (same isolation rule as `profile_once.rs`).
+
+use cxm_core::{ContextMatchConfig, ContextualMatcher, ViewInferenceStrategy};
+use cxm_datagen::{generate_retail, RetailConfig};
+use cxm_matching::column::telemetry;
+use cxm_relational::{tuple, Attribute, Database, Table, TableSchema};
+use cxm_service::{MatchService, RequestTelemetry};
+
+#[test]
+fn service_lifecycle_reuses_and_invalidates_warm_artifacts() {
+    retail_byte_identical_equivalence();
+    exact_profile_accounting();
+}
+
+/// The realistic scenario: candidate views, contextual matches, multiple
+/// requests. Pins result equality against the one-shot matcher and the
+/// selection-cache warm-up across requests.
+fn retail_byte_identical_equivalence() {
+    let dataset = generate_retail(&RetailConfig {
+        source_items: 120,
+        target_rows: 40,
+        ..RetailConfig::default()
+    });
+    let config =
+        ContextMatchConfig::default().with_inference(ViewInferenceStrategy::SrcClass).with_tau(0.4);
+
+    let before = telemetry::qgram_profile_builds();
+    let cold = ContextualMatcher::new(config).run(&dataset.source, &dataset.target).unwrap();
+    let cold_builds = telemetry::qgram_profile_builds() - before;
+
+    let service = MatchService::new(config);
+    service.register_target(&dataset.target);
+    let first = service.submit(&dataset.source).unwrap();
+    let second = service.submit(&dataset.source).unwrap();
+    let third = service.submit(&dataset.source).unwrap();
+
+    // Byte-identical results on every request, warm or cold.
+    for (label, response) in [("first", &first), ("second", &second), ("third", &third)] {
+        assert_eq!(response.result.selected, cold.selected, "{label} selected");
+        assert_eq!(response.result.standard, cold.standard, "{label} standard");
+        assert_eq!(response.result.candidates, cold.candidates, "{label} candidates");
+        assert_eq!(
+            response.result.candidate_views.len(),
+            cold.candidate_views.len(),
+            "{label} views"
+        );
+        for (a, b) in response.result.candidate_views.iter().zip(&cold.candidate_views) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "{label} view def");
+        }
+    }
+
+    // A cold submit costs what a cold run costs; warm submits cost strictly
+    // less (no source or target base-column profiling) and are steady-state.
+    assert_eq!(first.telemetry.qgram_profile_builds, cold_builds);
+    assert!(
+        second.telemetry.qgram_profile_builds < first.telemetry.qgram_profile_builds,
+        "warm submit must skip base-column profiling: {} vs {}",
+        second.telemetry.qgram_profile_builds,
+        first.telemetry.qgram_profile_builds,
+    );
+    assert_eq!(second.telemetry, third.telemetry, "warm requests are steady-state");
+    assert!(second.telemetry.source_cache_hit);
+
+    // The shared selection cache warms across requests: the first request
+    // scans every condition atom, later identical requests scan none.
+    assert!(first.telemetry.selection_cache_misses > 0);
+    assert_eq!(second.telemetry.selection_cache_misses, 0);
+    assert!(second.telemetry.selection_cache_hits > 0);
+}
+
+/// A hand-built all-text scenario with no categorical source attributes —
+/// so no candidate views, and therefore no per-request view-restricted
+/// columns. Every q-gram profile build is a base-column build, which makes
+/// the accounting exact:
+///
+/// * warm second request: **zero** builds;
+/// * after replacing one 2-column target table: exactly 2 builds, then zero
+///   again.
+fn exact_profile_accounting() {
+    fn text_table(name: &str, attrs: [&str; 2], rows: Vec<[&str; 2]>) -> Table {
+        Table::with_rows(
+            TableSchema::new(name, attrs.iter().map(|a| Attribute::text(*a)).collect::<Vec<_>>()),
+            rows.into_iter().map(|[a, b]| tuple![a, b]).collect(),
+        )
+        .unwrap()
+    }
+    // All values distinct → no categorical attributes → no candidate views.
+    let source = Database::new("RS").with_table(text_table(
+        "inv",
+        ["name", "descr"],
+        vec![
+            ["leaves of grass", "first edition hardcover"],
+            ["kind of blue", "columbia records pressing"],
+            ["moby dick", "illustrated paperback"],
+            ["abbey road", "apple records lp"],
+        ],
+    ));
+    let target = Database::new("RT")
+        .with_table(text_table(
+            "book",
+            ["title", "binding"],
+            vec![["war and peace", "clothbound"], ["middlemarch", "trade paperback"]],
+        ))
+        .with_table(text_table(
+            "music",
+            ["title", "press"],
+            vec![["blue train", "blue note mono"], ["hotel california", "asylum stereo"]],
+        ));
+    let source_cols = 2; // 1 table × 2 text columns
+    let target_cols = 4; // 2 tables × 2 text columns
+
+    let config = ContextMatchConfig::default();
+    let before = telemetry::qgram_profile_builds();
+    let cold = ContextualMatcher::new(config).run(&source, &target).unwrap();
+    let cold_builds = telemetry::qgram_profile_builds() - before;
+    assert!(cold.candidate_views.is_empty(), "scenario must infer no views");
+    assert_eq!(cold_builds, source_cols + target_cols, "every build is a base-column build");
+
+    let service = MatchService::new(config);
+    service.register_target(&target);
+    let first = service.submit(&source).unwrap();
+    let second = service.submit(&source).unwrap();
+    assert_eq!(first.result.selected, cold.selected);
+    assert_eq!(first.telemetry.qgram_profile_builds, source_cols + target_cols);
+    assert_eq!(
+        second.telemetry,
+        RequestTelemetry {
+            catalog_version: 1,
+            qgram_profile_builds: 0,
+            selection_cache_hits: 0,
+            selection_cache_misses: 0,
+            classifier_work_units: second.telemetry.classifier_work_units,
+            source_cache_hit: true,
+        },
+        "a warm request against an unchanged catalog rebuilds nothing"
+    );
+
+    // Replace ONE target table (same name, different content): only its
+    // columns are re-profiled, and results match a fresh cold run.
+    let music2 = text_table(
+        "music",
+        ["title", "press"],
+        vec![["a love supreme", "impulse stereo"], ["harvest", "reprise pressing"]],
+    );
+    let mut target2 = target.clone();
+    target2.replace_table(music2.clone());
+    let update = service.replace_table(music2).unwrap();
+    assert_eq!((update.reused, update.rebuilt, update.dropped), (1, 1, 0));
+
+    let after = service.submit(&source).unwrap();
+    assert_eq!(
+        after.telemetry.qgram_profile_builds, 2,
+        "only the replaced table's 2 columns may be re-profiled"
+    );
+    assert_eq!(after.telemetry.catalog_version, 2);
+    let cold2 = ContextualMatcher::new(config).run(&source, &target2).unwrap();
+    assert_eq!(after.result.selected, cold2.selected);
+    assert_eq!(after.result.standard, cold2.standard);
+    assert_eq!(after.result.candidates, cold2.candidates);
+
+    // Steady state again after the partial rebuild.
+    let settled = service.submit(&source).unwrap();
+    assert_eq!(settled.telemetry.qgram_profile_builds, 0);
+
+    // Dropping the other table invalidates without rebuilding anything.
+    let update = service.drop_table("book").unwrap();
+    assert_eq!((update.reused, update.rebuilt, update.dropped), (1, 0, 1));
+    let shrunk = service.submit(&source).unwrap();
+    assert_eq!(shrunk.telemetry.qgram_profile_builds, 0, "surviving table stays warm");
+    let mut target3 = target2.clone();
+    target3.remove_table("book");
+    let cold3 = ContextualMatcher::new(config).run(&source, &target3).unwrap();
+    assert_eq!(shrunk.result.selected, cold3.selected);
+    assert_eq!(shrunk.result.standard, cold3.standard);
+}
