@@ -4,12 +4,23 @@
 //!
 //! Also hosts the `zero_copy_scoring` group comparing the selection-vector
 //! `ScoreMatch` hot path against the legacy materializing baseline retained in
-//! `cxm_core::score_candidates_materializing`, the `sharded_standard_match`
-//! group comparing the sharded `StandardMatch` pipeline (hoisted target batch,
-//! work-stealing source-table shards) against the serial per-table loop as the
-//! number of source tables grows, and the `service_warm_vs_cold` group
-//! measuring the match service's warm-artifact reuse (cold register+match vs
-//! warm repeat vs partial rebuild after a single-table replace).
+//! `cxm_core::score_candidates_materializing`, the `interned_kernels` group
+//! comparing the interned flat-profile scoring kernels against the legacy
+//! `BTreeMap`/`BTreeSet` kernels on the same `ScoreMatch` unit of work, the
+//! `sharded_standard_match` group comparing the sharded `StandardMatch`
+//! pipeline (hoisted target batch, work-stealing source-table shards) against
+//! the serial per-table loop as the number of source tables grows, and the
+//! `service_warm_vs_cold` group measuring the match service's warm-artifact
+//! reuse (cold register+match vs warm repeat — with and without the
+//! cross-request restricted-profile cache — vs partial rebuild after a
+//! single-table replace).
+//!
+//! The final `pr4_report` "benchmark" re-measures the PR 4 comparisons with
+//! plain wall clocks and writes a machine-readable summary to
+//! `BENCH_PR4.json` at the repository root (it runs in `--test` smoke mode
+//! too, so CI can archive the file as an artifact).
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -20,7 +31,7 @@ use cxm_core::{
 };
 use cxm_datagen::{generate_multi_table_retail, generate_retail, RetailConfig};
 use cxm_matching::StandardMatcher;
-use cxm_service::MatchService;
+use cxm_service::{MatchService, ServiceConfig};
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig16_17_scaling");
@@ -101,6 +112,136 @@ fn bench_zero_copy_scoring(c: &mut Criterion) {
     group.finish();
 }
 
+/// One `ScoreMatch` unit of work (all candidate views × all prototype
+/// matches of the retail source table) under a given kernel generation:
+/// returns the fixed inputs so the bench loop isolates restricted-column
+/// profiling plus pair scoring.
+struct KernelBenchInput {
+    dataset: cxm_datagen::RetailDataset,
+    matcher: StandardMatcher,
+    outcome: cxm_matching::MatchingOutcome,
+    prototype: cxm_matching::MatchList,
+    views: Vec<cxm_relational::ViewDef>,
+    /// Pre-resolved non-empty row selections, one per entry of `views`.
+    resolved: Vec<cxm_relational::RowSelection>,
+    /// Each prototype match's target column, warm (profiles memoized), in
+    /// `prototype` order.
+    target_cols: Vec<cxm_matching::ColumnData<'static>>,
+}
+
+fn kernel_bench_input(items: usize, legacy: bool) -> KernelBenchInput {
+    let dataset = generate_retail(&RetailConfig {
+        source_items: items,
+        target_rows: 50,
+        ..RetailConfig::default()
+    });
+    let config =
+        ContextMatchConfig::default().with_inference(ViewInferenceStrategy::SrcClass).with_tau(0.4);
+    let matcher = if legacy {
+        StandardMatcher::with_legacy_kernels(config.matching)
+    } else {
+        StandardMatcher::new(config.matching)
+    };
+    let table = dataset.source.tables().next().expect("retail source has a table");
+    let outcome = matcher.match_table(table, &dataset.target);
+    let prototype = outcome.accepted.clone();
+    let families = infer_candidate_views(table, &prototype, &dataset.target, &config);
+    let all_views = flatten_views(&families, &config);
+    let mut views = Vec::new();
+    let mut resolved = Vec::new();
+    for view in all_views {
+        let base = dataset.source.require_table(&view.base_table).expect("base exists");
+        let selection = view.select(base).expect("view evaluates");
+        if !selection.is_empty() {
+            resolved.push(selection);
+            views.push(view);
+        }
+    }
+    let target_cols = prototype
+        .iter()
+        .map(|m| {
+            let target_table =
+                dataset.target.require_table(&m.target.table).expect("target exists");
+            let col =
+                cxm_matching::ColumnData::shared_from_table(target_table, &m.target.attribute)
+                    .expect("attribute exists");
+            // Warm the target profile outside the measured loop (a real warm
+            // service serves targets from the catalog batch).
+            let _ = col.qgram3_ids();
+            if legacy {
+                let _ = col.qgram3_profile();
+            }
+            col
+        })
+        .collect();
+    KernelBenchInput { dataset, matcher, outcome, prototype, views, resolved, target_cols }
+}
+
+/// The **scoring kernel** alone: per iteration, every candidate view's
+/// restricted columns are rebuilt (and so re-profiled) from pre-resolved
+/// selections and every prototype match is rescored against its warm target
+/// column — profile builds + similarity inner loops, none of the
+/// selection-scan / match-assembly machinery around them.
+fn run_rescore_kernel(input: &KernelBenchInput) -> f64 {
+    let table = input.dataset.source.tables().next().expect("retail source has a table");
+    let mut acc = 0.0;
+    for (view, selection) in input.views.iter().zip(&input.resolved) {
+        let slice = cxm_relational::TableSlice::new(table, selection);
+        let mut restricted: std::collections::BTreeMap<&str, cxm_matching::ColumnData> =
+            std::collections::BTreeMap::new();
+        for (m, target_col) in input.prototype.iter().zip(&input.target_cols) {
+            let column = restricted.entry(m.source.attribute.as_str()).or_insert_with(|| {
+                let column = slice.column(&m.source.attribute).expect("attribute exists");
+                cxm_matching::ColumnData::from_slice(&column, view.name.clone())
+            });
+            let (score, confidence) =
+                input.matcher.rescore(&input.outcome, column, &m.source, target_col);
+            acc += score + confidence;
+        }
+    }
+    acc
+}
+
+fn run_kernel_input(input: &KernelBenchInput) -> cxm_matching::MatchList {
+    let table = input.dataset.source.tables().next().expect("retail source has a table");
+    score_candidates(
+        &input.dataset.source,
+        &input.dataset.target,
+        &input.matcher,
+        &input.outcome,
+        table,
+        &input.views,
+        &input.prototype,
+    )
+    .expect("scoring succeeds")
+}
+
+/// Interned flat-profile kernels vs the legacy `BTreeMap`/`BTreeSet`
+/// kernels on the `ScoreMatch` scoring unit: every iteration rebuilds the
+/// view-restricted columns (and so re-profiles them) and scores the full
+/// view × match grid — exactly the work the kernel rewrite targets.
+fn bench_interned_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interned_kernels");
+    group.sample_size(10);
+    for items in [200usize, 400] {
+        for legacy in [true, false] {
+            let input = kernel_bench_input(items, legacy);
+            let label = if legacy { "legacy" } else { "interned" };
+            group.bench_with_input(
+                BenchmarkId::new(format!("kernel_{label}"), items),
+                &items,
+                |b, _| b.iter(|| run_rescore_kernel(&input)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("score_candidates_{label}"), items),
+                &items,
+                |b, _| b.iter(|| run_kernel_input(&input)),
+            );
+        }
+    }
+    group.finish();
+}
+
 /// Serial vs sharded `StandardMatch` over a growing number of source tables.
 fn bench_sharded_standard_match(c: &mut Criterion) {
     let mut group = c.benchmark_group("sharded_standard_match");
@@ -153,6 +294,21 @@ fn bench_service_warm_vs_cold(c: &mut Criterion) {
         b.iter(|| warm.submit(&dataset.source).expect("well-formed dataset"))
     });
 
+    // The same warm repeat with the cross-request restricted-profile cache
+    // disabled: every iteration re-profiles the candidate views' restricted
+    // columns (the pre-PR 4 warm path). The delta against `warm_repeat` is
+    // the cache's contribution.
+    let uncached = MatchService::with_config(ServiceConfig {
+        context: config,
+        restricted_profile_entries: 0,
+        ..ServiceConfig::default()
+    });
+    uncached.register_target(&dataset.target);
+    uncached.submit(&dataset.source).expect("well-formed dataset");
+    group.bench_function("warm_repeat_no_restricted_cache", |b| {
+        b.iter(|| uncached.submit(&dataset.source).expect("well-formed dataset"))
+    });
+
     // Alternate one target table between two variants so every iteration
     // really changes its fingerprint (a same-fingerprint replace is a no-op
     // rebuild) while the other table stays warm.
@@ -173,11 +329,102 @@ fn bench_service_warm_vs_cold(c: &mut Criterion) {
     group.finish();
 }
 
+/// Median wall-clock seconds of `runs` executions of `f` (after one warm-up).
+fn median_secs<O>(runs: usize, mut f: impl FnMut() -> O) -> f64 {
+    let _ = std::hint::black_box(f());
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            let _ = std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+/// Re-measure the PR 4 comparisons with plain wall clocks and write the
+/// machine-readable summary `BENCH_PR4.json` at the repository root. Runs in
+/// `--test` smoke mode too (the measurements are deliberately small), so CI
+/// always produces the artifact — but honors the CLI substring filter like
+/// any other benchmark, so iterating on one group does not re-measure (or
+/// rewrite) the report.
+fn bench_pr4_report(c: &mut Criterion) {
+    if !c.filter_matches("pr4_report") {
+        return;
+    }
+    const RUNS: usize = 5;
+    let mut kernels = String::new();
+    for items in [200usize, 400] {
+        let legacy_input = kernel_bench_input(items, true);
+        let interned_input = kernel_bench_input(items, false);
+        let legacy_kernel = median_secs(RUNS, || run_rescore_kernel(&legacy_input));
+        let interned_kernel = median_secs(RUNS, || run_rescore_kernel(&interned_input));
+        let legacy_full = median_secs(RUNS, || run_kernel_input(&legacy_input));
+        let interned_full = median_secs(RUNS, || run_kernel_input(&interned_input));
+        kernels.push_str(&format!(
+            "    \"kernel_{items}\": {{\"legacy_ms\": {:.3}, \"interned_ms\": {:.3}, \
+             \"speedup\": {:.2}}},\n    \"score_candidates_{items}\": {{\"legacy_ms\": {:.3}, \
+             \"interned_ms\": {:.3}, \"speedup\": {:.2}}},\n",
+            legacy_kernel * 1e3,
+            interned_kernel * 1e3,
+            legacy_kernel / interned_kernel,
+            legacy_full * 1e3,
+            interned_full * 1e3,
+            legacy_full / interned_full,
+        ));
+    }
+    let kernels = kernels.trim_end_matches(",\n").to_string();
+
+    let dataset = generate_retail(&RetailConfig {
+        source_items: 100,
+        target_rows: 600,
+        ..RetailConfig::default()
+    });
+    let config =
+        ContextMatchConfig::default().with_inference(ViewInferenceStrategy::Naive).with_tau(0.4);
+    let cold = median_secs(RUNS, || {
+        let service = MatchService::new(config);
+        service.register_target(&dataset.target);
+        service.submit(&dataset.source).expect("well-formed dataset")
+    });
+    let warm_service = MatchService::new(config);
+    warm_service.register_target(&dataset.target);
+    warm_service.submit(&dataset.source).expect("well-formed dataset");
+    let warm = median_secs(RUNS, || warm_service.submit(&dataset.source).expect("dataset"));
+    let uncached_service = MatchService::with_config(ServiceConfig {
+        context: config,
+        restricted_profile_entries: 0,
+        ..ServiceConfig::default()
+    });
+    uncached_service.register_target(&dataset.target);
+    uncached_service.submit(&dataset.source).expect("well-formed dataset");
+    let warm_uncached =
+        median_secs(RUNS, || uncached_service.submit(&dataset.source).expect("dataset"));
+
+    let json = format!(
+        "{{\n  \"pr\": 4,\n  \"description\": \"Interned flat-profile scoring kernels and \
+         cross-request warm-profile reuse: legacy vs interned ScoreMatch kernels on the retail \
+         scenario, and the match service's warm repeat with and without the restricted-profile \
+         cache (medians of {RUNS} runs)\",\n  \"interned_kernels\": {{\n{kernels}\n  }},\n  \
+         \"service_warm_vs_cold\": {{\n    \"cold_register_and_match_ms\": {:.3},\n    \
+         \"warm_repeat_ms\": {:.3},\n    \"warm_repeat_no_restricted_cache_ms\": {:.3}\n  }}\n}}\n",
+        cold * 1e3,
+        warm * 1e3,
+        warm_uncached * 1e3,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    std::fs::write(path, &json).expect("BENCH_PR4.json is writable");
+    println!("pr4_report: wrote {path}");
+}
+
 criterion_group!(
     benches,
     bench_scaling,
     bench_zero_copy_scoring,
+    bench_interned_kernels,
     bench_sharded_standard_match,
-    bench_service_warm_vs_cold
+    bench_service_warm_vs_cold,
+    bench_pr4_report
 );
 criterion_main!(benches);

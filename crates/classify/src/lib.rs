@@ -41,4 +41,4 @@ pub use eval::{evaluate, train_and_evaluate};
 pub use majority::MajorityClassifier;
 pub use naive_bayes::NaiveBayesClassifier;
 pub use numeric::GaussianClassifier;
-pub use tokenize::{qgrams, words, TokenizerKind};
+pub use tokenize::{for_each_qgram, qgrams, words, TokenizerKind};

@@ -71,6 +71,41 @@ pub fn qgrams(text: &str, q: usize) -> Vec<String> {
     padded.windows(q).map(|w| w.iter().collect()).collect()
 }
 
+/// Visit the character q-grams of `text` — the same grams, in the same
+/// order, as [`qgrams`] — without allocating a `String` per gram: each gram
+/// is presented in a reused scratch buffer. This is the allocation-free
+/// path the interned profile builder in `cxm-matching` walks; [`qgrams`]
+/// remains the convenient collected form.
+pub fn for_each_qgram(text: &str, q: usize, mut visit: impl FnMut(&str)) {
+    let q = q.max(1);
+    let norm = normalize(text);
+    if norm.is_empty() {
+        return;
+    }
+    // Slide a q-char window over `#`-padding + norm + padding without
+    // materializing the padded string: the window and the rendered gram are
+    // the only buffers, both reused across grams (q is tiny, so the O(q)
+    // shift beats a deque). The padded stream always spans at least q chars
+    // (norm is non-empty and carries q-1 padding per side), so the window
+    // fills and every text emits at least one gram — exactly like `qgrams`.
+    let pad = q - 1;
+    let mut window: Vec<char> = Vec::with_capacity(q);
+    let mut scratch = String::with_capacity(4 * q);
+    let stream =
+        std::iter::repeat_n('#', pad).chain(norm.chars()).chain(std::iter::repeat_n('#', pad));
+    for c in stream {
+        if window.len() == q {
+            window.remove(0);
+        }
+        window.push(c);
+        if window.len() == q {
+            scratch.clear();
+            scratch.extend(window.iter());
+            visit(&scratch);
+        }
+    }
+}
+
 /// Lower-cased word tokens of the text (alphanumeric runs).
 pub fn words(text: &str) -> Vec<String> {
     normalize(text).split(' ').filter(|w| !w.is_empty()).map(|w| w.to_string()).collect()
@@ -99,6 +134,17 @@ mod tests {
         let grams = qgrams("cd", 3);
         // "##cd##" → ##c, #cd, cd#, d##
         assert_eq!(grams, vec!["##c", "#cd", "cd#", "d##"]);
+    }
+
+    #[test]
+    fn for_each_qgram_matches_collected_qgrams() {
+        for text in ["cd", "Lance Armstrong's War!", "a", "", "***", "héllo wörld", "x&y"] {
+            for q in [0usize, 1, 2, 3, 5, 40] {
+                let mut visited = Vec::new();
+                for_each_qgram(text, q, |g| visited.push(g.to_string()));
+                assert_eq!(visited, qgrams(text, q), "text {text:?}, q {q}");
+            }
+        }
     }
 
     #[test]

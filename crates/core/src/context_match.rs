@@ -56,7 +56,11 @@ use crate::select::select_contextual_matches;
 ///   skip all target-side re-profiling.
 /// * `shared_selections` — optional cross-run selection cache plus the
 ///   source-table fingerprints that guard it; validation happens inside the
-///   cache's critical sections (see [`SharedSelections`]).
+///   cache's critical sections (see [`SharedSelections`]). Through the same
+///   handle a service also threads its cross-request
+///   [`crate::score::RestrictedProfileCache`], so the view-restricted
+///   columns derived during candidate scoring are profiled once per source
+///   content instead of once per run.
 #[derive(Clone, Copy)]
 pub struct PreparedTargets<'a> {
     /// The target database instance.

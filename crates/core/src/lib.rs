@@ -54,7 +54,7 @@ pub use labeler::{LabelPredictor, SrcLabeler, TgtLabeler};
 pub use naive_infer::naive_infer;
 pub use score::{
     score_candidates, score_candidates_materializing, score_candidates_prepared,
-    score_candidates_with_targets, SharedSelections,
+    score_candidates_with_targets, RestrictedKey, RestrictedProfileCache, SharedSelections,
 };
 pub use select::select_contextual_matches;
 pub use strawman::strawman_config;

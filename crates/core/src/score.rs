@@ -24,9 +24,12 @@
 //!    output is byte-identical to the sequential evaluation (determinism is
 //!    asserted by the integration tests).
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use cxm_matching::{ColumnData, Match, MatchList, MatchingOutcome, StandardMatcher};
+use cxm_matching::{
+    ColumnArtifacts, ColumnData, Match, MatchList, MatchingOutcome, StandardMatcher,
+};
 use cxm_relational::{Database, Result, RowSelection, SelectionCache, Table, TableSlice, ViewDef};
 use rayon::prelude::*;
 
@@ -104,6 +107,139 @@ pub struct SharedSelections<'a> {
     pub cache: &'a Mutex<SelectionCache>,
     /// Content fingerprint per source table name ([`Table::fingerprint`]).
     pub source_fingerprints: &'a std::collections::BTreeMap<String, u64>,
+    /// Optional cross-run cache of view-restricted column profiles (see
+    /// [`RestrictedProfileCache`]). When present, every restricted column
+    /// built by [`score_candidates_prepared`] first consults the cache and
+    /// publishes its freshly built artifacts afterwards, so a warm repeat
+    /// of the same views over the same source content builds **zero**
+    /// q-gram profiles.
+    pub restricted_profiles: Option<&'a Mutex<RestrictedProfileCache>>,
+}
+
+/// Identity of one view-restricted column's derived artifacts: the **content
+/// fingerprint of the base table** the view selects from, the view's
+/// selection condition, the attribute, and the identity token of the
+/// [`cxm_matching::GramInterner`] the artifacts were built against. Two keys
+/// are equal exactly when the restricted value bag is guaranteed equal *and*
+/// the interned ids live in the same id space, so cached artifacts can never
+/// leak across different contents or interners — a changed base table
+/// changes its fingerprint and simply misses.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RestrictedKey {
+    /// [`Table::fingerprint`] of the view's base table.
+    pub base_fingerprint: u64,
+    /// The view's selection condition (structural equality/hashing).
+    pub condition: cxm_relational::Condition,
+    /// The restricted attribute's name.
+    pub attribute: String,
+    /// [`cxm_matching::GramInterner::token`] of the column's interner.
+    pub interner: u64,
+}
+
+impl RestrictedKey {
+    /// Build the key for one `(base table, view condition, attribute)` under
+    /// the given interner identity.
+    pub fn new(
+        base_fingerprint: u64,
+        condition: &cxm_relational::Condition,
+        attribute: &str,
+        interner: u64,
+    ) -> Self {
+        RestrictedKey {
+            base_fingerprint,
+            condition: condition.clone(),
+            attribute: attribute.to_string(),
+            interner,
+        }
+    }
+}
+
+/// A bounded, fingerprint-keyed cache of view-restricted column artifacts —
+/// the warm-path answer to the one rebuild the target catalog could not
+/// absorb: `ScoreMatch` re-derives each candidate view's restricted columns
+/// per request, and before this cache it re-profiled them per request too.
+///
+/// Entries are keyed by [`RestrictedKey`] (base-table content fingerprint +
+/// condition signature + attribute), so no explicit invalidation is needed:
+/// content changes re-key, and stale entries age out through the
+/// oldest-first bound. A long-lived match service carries one instance
+/// across catalog snapshots and threads it into
+/// [`score_candidates_prepared`] via [`SharedSelections`].
+#[derive(Debug, Clone, Default)]
+pub struct RestrictedProfileCache {
+    /// Maximum number of cached columns (0 = caching disabled).
+    capacity: usize,
+    entries: HashMap<RestrictedKey, ColumnArtifacts>,
+    order: VecDeque<RestrictedKey>,
+    hits: usize,
+    misses: usize,
+}
+
+impl RestrictedProfileCache {
+    /// A cache retaining at most `capacity` restricted columns (oldest
+    /// inserted evicted first); `0` disables caching entirely.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RestrictedProfileCache { capacity, ..RestrictedProfileCache::default() }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached restricted columns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lookups that found nothing so far.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// The artifacts cached for `key`, recording a hit or miss.
+    pub fn get(&mut self, key: &RestrictedKey) -> Option<ColumnArtifacts> {
+        match self.entries.get(key) {
+            Some(artifacts) => {
+                self.hits += 1;
+                Some(artifacts.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Cache `artifacts` under `key`, evicting oldest entries beyond the
+    /// capacity. Re-inserting an existing key replaces its artifacts in
+    /// place (its age is unchanged).
+    pub fn insert(&mut self, key: RestrictedKey, artifacts: ColumnArtifacts) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.insert(key.clone(), artifacts).is_none() {
+            self.order.push_back(key);
+        }
+        while self.entries.len() > self.capacity {
+            match self.order.pop_front() {
+                Some(evicted) => {
+                    self.entries.remove(&evicted);
+                }
+                None => break,
+            }
+        }
+    }
 }
 
 /// [`score_candidates_with_targets`] with an optional *shared* selection
@@ -208,33 +344,87 @@ pub fn score_candidates_prepared<'a>(
     // state; per-view results are collected independently and appended in
     // view order below, which keeps the output deterministic regardless of
     // scheduling.
+    let profile_cache = shared_selections.and_then(|shared| shared.restricted_profiles);
+    let source_fingerprints = shared_selections.map(|shared| shared.source_fingerprints);
     let per_view: Vec<Vec<Match>> = work
         .par_iter()
         .map(|(view, base, selection)| {
             let slice = TableSlice::new(base, selection);
+            // Cross-request identity of this view's restricted columns: the
+            // base table's content fingerprint plus the condition signature
+            // (None outside the warm service path — then nothing is cached).
+            let cache_ctx = profile_cache
+                .zip(source_fingerprints.and_then(|fps| fps.get(&view.base_table).copied()));
             // Prototype matches frequently share a source attribute (one match
             // per target attribute); build each view-restricted column — and
-            // thereby its memoized matcher profiles — once per attribute.
-            let mut restricted_cols: std::collections::BTreeMap<&str, ColumnData> =
+            // thereby its memoized matcher profiles — once per attribute. The
+            // bool tracks columns the cache has not seen, so their freshly
+            // built artifacts are published after the scoring pass.
+            let mut restricted_cols: std::collections::BTreeMap<&str, (ColumnData, bool)> =
                 std::collections::BTreeMap::new();
-            from_this_table
+            let scored: Vec<Match> = from_this_table
                 .iter()
                 .zip(&target_cols)
                 .map(|(m, target_col)| {
                     // The view projects all base attributes (select-only), so
                     // the matched attribute is always present.
-                    let restricted =
+                    let (restricted, _) =
                         restricted_cols.entry(m.source.attribute.as_str()).or_insert_with(|| {
                             let column = slice
                                 .column(&m.source.attribute)
                                 .expect("prototype matches come from the view's base table");
-                            ColumnData::from_slice(&column, view.name.clone())
+                            // The restricted column adopts its target
+                            // counterpart's interner so the interned kernels
+                            // apply whatever interner the caller scoped.
+                            let column = ColumnData::from_slice(&column, view.name.clone())
+                                .with_interner(Arc::clone(target_col.interner()));
+                            let mut fresh_for_cache = false;
+                            if let Some((cache, base_fp)) = cache_ctx {
+                                let key = RestrictedKey::new(
+                                    base_fp,
+                                    &view.condition,
+                                    &m.source.attribute,
+                                    column.interner().token(),
+                                );
+                                let cached = cache
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                    .get(&key);
+                                match cached {
+                                    Some(artifacts) => column.seed_artifacts(&artifacts),
+                                    None => fresh_for_cache = true,
+                                }
+                            }
+                            (column, fresh_for_cache)
                         });
                     let (score, confidence) =
                         matcher.rescore(outcome, restricted, &m.source, target_col);
                     m.with_context(view.name.clone(), view.condition.clone(), score, confidence)
                 })
-                .collect()
+                .collect();
+            // Publish the artifacts of columns the cache missed, in one lock.
+            if let Some((cache, base_fp)) = cache_ctx {
+                let fresh: Vec<(&str, &ColumnData)> = restricted_cols
+                    .iter()
+                    .filter(|(_, (_, fresh))| *fresh)
+                    .map(|(attr, (column, _))| (*attr, column))
+                    .collect();
+                if !fresh.is_empty() {
+                    let mut cache = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    for (attr, column) in fresh {
+                        cache.insert(
+                            RestrictedKey::new(
+                                base_fp,
+                                &view.condition,
+                                attr,
+                                column.interner().token(),
+                            ),
+                            column.harvest_artifacts(),
+                        );
+                    }
+                }
+            }
+            scored
         })
         .collect();
 
@@ -547,6 +737,101 @@ mod tests {
         assert_eq!(fast.len(), reference.len());
         for (a, b) in fast.iter().zip(reference.iter()) {
             assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn restricted_profile_cache_round_trips_and_bounds() {
+        let mut cache = RestrictedProfileCache::with_capacity(2);
+        assert!(cache.is_empty());
+        let key = |i: u64| RestrictedKey::new(i, &Condition::eq("type", 1), "descr", 7);
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.insert(key(1), cxm_matching::ColumnArtifacts::default());
+        cache.insert(key(2), cxm_matching::ColumnArtifacts::default());
+        assert!(cache.get(&key(1)).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Third insert evicts the oldest (key 1).
+        cache.insert(key(3), cxm_matching::ColumnArtifacts::default());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.get(&key(3)).is_some());
+        // Different conditions / attributes / interners key separately.
+        assert_ne!(key(1), RestrictedKey::new(1, &Condition::eq("type", 2), "descr", 7));
+        assert_ne!(key(1), RestrictedKey::new(1, &Condition::eq("type", 1), "name", 7));
+        assert_ne!(key(1), RestrictedKey::new(1, &Condition::eq("type", 1), "descr", 8));
+        // Zero capacity disables caching.
+        let mut off = RestrictedProfileCache::with_capacity(0);
+        off.insert(key(1), cxm_matching::ColumnArtifacts::default());
+        assert!(off.is_empty());
+        assert_eq!(off.capacity(), 0);
+    }
+
+    #[test]
+    fn shared_restricted_cache_warms_across_calls() {
+        let source = source_db();
+        let target = target_db();
+        let matcher = StandardMatcher::new(MatchingConfig::with_tau(0.2));
+        let table = source.table("inv").unwrap();
+        let outcome = matcher.match_table(table, &target);
+        let views = vec![
+            ViewDef::named_by_condition("inv", Condition::eq("type", 1)),
+            ViewDef::named_by_condition("inv", Condition::eq("type", 2)),
+        ];
+        let selections = Mutex::new(SelectionCache::new());
+        let fingerprints = source.table_fingerprints();
+        let profiles = Mutex::new(RestrictedProfileCache::with_capacity(64));
+        let shared = SharedSelections {
+            cache: &selections,
+            source_fingerprints: &fingerprints,
+            restricted_profiles: Some(&profiles),
+        };
+        let run = || {
+            score_candidates_prepared(
+                &source,
+                &target,
+                &[],
+                &matcher,
+                &outcome,
+                table,
+                &views,
+                &outcome.accepted,
+                Some(shared),
+            )
+            .unwrap()
+        };
+        let baseline = score_candidates(
+            &source,
+            &target,
+            &matcher,
+            &outcome,
+            table,
+            &views,
+            &outcome.accepted,
+        )
+        .unwrap();
+
+        let first = run();
+        let (hits_after_first, misses_after_first) = {
+            let cache = profiles.lock().unwrap();
+            assert!(!cache.is_empty(), "first call must populate the cache");
+            (cache.hits(), cache.misses())
+        };
+        assert_eq!(hits_after_first, 0, "cold cache cannot hit");
+        assert!(misses_after_first > 0);
+
+        let second = run();
+        {
+            let cache = profiles.lock().unwrap();
+            assert_eq!(cache.misses(), misses_after_first, "warm repeat must not miss");
+            assert!(cache.hits() > 0, "warm repeat must be served from the cache");
+        }
+        // Byte-identical to the uncached path, warm or cold.
+        for candidates in [&first, &second] {
+            assert_eq!(candidates.len(), baseline.len());
+            for (a, b) in candidates.iter().zip(baseline.iter()) {
+                assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            }
         }
     }
 

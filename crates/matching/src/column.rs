@@ -5,6 +5,8 @@ use std::sync::{Arc, OnceLock};
 
 use cxm_relational::{AttrRef, ColumnSlice, DataType, Database, Table, Value};
 
+use crate::intern::{GramInterner, InternedProfile, InternedValueSet};
+
 /// Process-wide instrumentation counting the expensive, memoized profile
 /// builds. The sharded `StandardMatch` pipeline promises that a column shared
 /// across shards is profiled exactly once per run; the integration tests hold
@@ -53,6 +55,10 @@ pub struct ColumnData<'a> {
     pub data_type: DataType,
     /// Non-NULL sample values (owned or borrowed from a base table).
     values: ColumnValues<'a>,
+    /// The interner the column's flat artifacts are built against. Defaults
+    /// to [`GramInterner::global`]; interned kernels apply only to column
+    /// pairs sharing an interner (`Arc::ptr_eq`).
+    interner: Arc<GramInterner>,
     /// Lazily memoized derived artifacts (cheap to clone: `Arc`s inside).
     caches: ColumnCaches,
 }
@@ -60,13 +66,68 @@ pub struct ColumnData<'a> {
 /// Thread-safe, lazily filled caches of matcher-facing derived data.
 #[derive(Debug, Clone, Default)]
 struct ColumnCaches {
-    /// Normalized 3-gram frequency profile (the `QGramMatcher` default).
+    /// Interned sparse-vector 3-gram profile (the hot-path kernel input).
+    qgram3_ids: OnceLock<Arc<InternedProfile>>,
+    /// Interned distinct-value id set (the hot-path kernel input).
+    value_ids: OnceLock<Arc<InternedValueSet>>,
+    /// Normalized 3-gram frequency profile (the legacy `QGramMatcher`
+    /// kernel; only built when a legacy matcher or explicit caller asks).
     qgram3: OnceLock<Arc<BTreeMap<String, f64>>>,
-    /// Trimmed, lowercased distinct value set (`ValueOverlapMatcher`).
+    /// Trimmed, lowercased distinct value set (legacy `ValueOverlapMatcher`).
     value_set: OnceLock<Arc<BTreeSet<String>>>,
     /// `(mean, population std dev, min, max)` over the numeric values
     /// (`NumericMatcher`); `None` when the column has no numeric values.
     numeric_summary: OnceLock<Option<(f64, f64, f64, f64)>>,
+    /// How many values parse as numbers (drives `looks_numeric`, which the
+    /// matchers consult once per pair — memoized so the parse pass runs
+    /// once per column, not once per pair).
+    numeric_count: OnceLock<usize>,
+    /// Lowercased attribute name plus its identifier token set (the
+    /// `NameMatcher` inputs, built once per column instead of once per pair).
+    name_key: OnceLock<Arc<NameKey>>,
+}
+
+/// The `NameMatcher`-facing derived data of a column's attribute name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameKey {
+    /// ASCII-lowercased attribute name.
+    pub lowered: String,
+    /// Lowercased identifier tokens (camelCase / snake_case word splits).
+    pub tokens: BTreeSet<String>,
+}
+
+/// The memoized derived artifacts of one column, detached from its values —
+/// what a cross-request restricted-profile cache stores and re-seeds. Every
+/// field is `None` until (unless) the corresponding artifact was actually
+/// built; seeding a column with a partial set simply leaves the missing
+/// artifacts lazy.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnArtifacts {
+    /// Interned 3-gram profile.
+    pub qgram3_ids: Option<Arc<InternedProfile>>,
+    /// Interned distinct-value set.
+    pub value_ids: Option<Arc<InternedValueSet>>,
+    /// Legacy normalized 3-gram profile.
+    pub qgram3: Option<Arc<BTreeMap<String, f64>>>,
+    /// Legacy distinct value set.
+    pub value_set: Option<Arc<BTreeSet<String>>>,
+    /// Numeric summary (outer `None` = never built; inner `None` = built,
+    /// column has no numeric values).
+    pub numeric_summary: Option<Option<(f64, f64, f64, f64)>>,
+    /// Number of values that parse as numbers (drives `looks_numeric`).
+    pub numeric_count: Option<usize>,
+}
+
+impl ColumnArtifacts {
+    /// True when no artifact has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.qgram3_ids.is_none()
+            && self.value_ids.is_none()
+            && self.qgram3.is_none()
+            && self.value_set.is_none()
+            && self.numeric_summary.is_none()
+            && self.numeric_count.is_none()
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -86,8 +147,27 @@ impl<'a> ColumnData<'a> {
             attr,
             data_type,
             values: ColumnValues::Owned(values),
+            interner: GramInterner::global(),
             caches: ColumnCaches::default(),
         }
+    }
+
+    /// Rebind the column to another [`GramInterner`]. Must be called before
+    /// any interned artifact is built (the memoized artifacts are not
+    /// re-interned); intended for catalog-scoped interners and for tests
+    /// that want a private id space.
+    pub fn with_interner(mut self, interner: Arc<GramInterner>) -> Self {
+        debug_assert!(
+            self.caches.qgram3_ids.get().is_none() && self.caches.value_ids.get().is_none(),
+            "with_interner must precede interned artifact builds"
+        );
+        self.interner = interner;
+        self
+    }
+
+    /// The interner the column's flat artifacts are built against.
+    pub fn interner(&self) -> &Arc<GramInterner> {
+        &self.interner
     }
 
     /// Extract a column from a table instance into `'static`, `Arc`-shared
@@ -103,14 +183,14 @@ impl<'a> ColumnData<'a> {
         table: &Table,
         attribute: &str,
     ) -> cxm_relational::Result<ColumnData<'static>> {
-        let col = table.schema().require_index(attribute)?;
         let data_type = table.schema().type_of(attribute).unwrap_or(DataType::Unknown);
         let values: Vec<Value> =
-            table.rows().iter().map(|r| r.at(col)).filter(|v| !v.is_null()).cloned().collect();
+            table.column_iter(attribute)?.filter(|v| !v.is_null()).cloned().collect();
         Ok(ColumnData {
             attr: AttrRef::new(table.name(), attribute),
             data_type,
             values: ColumnValues::Shared(Arc::new(values)),
+            interner: GramInterner::global(),
             caches: ColumnCaches::default(),
         })
     }
@@ -133,14 +213,13 @@ impl<'a> ColumnData<'a> {
     /// Extract a column from a table instance, borrowing the values in place
     /// (NULLs skipped). No value is cloned.
     pub fn from_table(table: &'a Table, attribute: &str) -> cxm_relational::Result<ColumnData<'a>> {
-        let col = table.schema().require_index(attribute)?;
         let data_type = table.schema().type_of(attribute).unwrap_or(DataType::Unknown);
-        let values: Vec<&Value> =
-            table.rows().iter().map(|r| r.at(col)).filter(|v| !v.is_null()).collect();
+        let values: Vec<&Value> = table.column_iter(attribute)?.filter(|v| !v.is_null()).collect();
         Ok(ColumnData {
             attr: AttrRef::new(table.name(), attribute),
             data_type,
             values: ColumnValues::Borrowed(values),
+            interner: GramInterner::global(),
             caches: ColumnCaches::default(),
         })
     }
@@ -154,6 +233,7 @@ impl<'a> ColumnData<'a> {
             attr: AttrRef::new(table_name, slice.name()),
             data_type: slice.data_type(),
             values: ColumnValues::Borrowed(slice.non_null_values().collect()),
+            interner: GramInterner::global(),
             caches: ColumnCaches::default(),
         }
     }
@@ -220,8 +300,81 @@ impl<'a> ColumnData<'a> {
         self.iter().filter_map(|v| v.as_f64()).collect()
     }
 
+    /// The column's interned 3-gram count profile — the flat sparse vector
+    /// the hot-path cosine kernel merge-joins — built on first use against
+    /// [`ColumnData::interner`] and memoized for the column's lifetime.
+    pub fn qgram3_ids(&self) -> Arc<InternedProfile> {
+        Arc::clone(self.caches.qgram3_ids.get_or_init(|| {
+            telemetry::record_qgram_profile_build();
+            Arc::new(self.interner.qgram_profile(self.iter().map(|v| v.as_text_cow()), 3))
+        }))
+    }
+
+    /// The column's interned distinct-value id set (trimmed, ASCII
+    /// lowercased, like [`ColumnData::value_set`]), built on first use and
+    /// memoized for the column's lifetime.
+    pub fn value_ids(&self) -> Arc<InternedValueSet> {
+        Arc::clone(self.caches.value_ids.get_or_init(|| {
+            Arc::new(self.interner.value_set(self.iter().map(normalized_value_text)))
+        }))
+    }
+
+    /// The attribute name's lowered form and identifier token set (the
+    /// `NameMatcher` inputs), built once per column and memoized.
+    pub fn name_key(&self) -> Arc<NameKey> {
+        Arc::clone(self.caches.name_key.get_or_init(|| {
+            let lowered = self.attr.attribute.to_ascii_lowercase();
+            let tokens = crate::name::identifier_tokens(&lowered).into_iter().collect();
+            Arc::new(NameKey { lowered, tokens })
+        }))
+    }
+
+    /// Capture whichever memoized artifacts this column has built so far.
+    /// The artifacts are owned (`'static`), so they may outlive a borrowed
+    /// column — which is what lets a service cache view-restricted profiles
+    /// across requests.
+    pub fn harvest_artifacts(&self) -> ColumnArtifacts {
+        ColumnArtifacts {
+            qgram3_ids: self.caches.qgram3_ids.get().cloned(),
+            value_ids: self.caches.value_ids.get().cloned(),
+            qgram3: self.caches.qgram3.get().cloned(),
+            value_set: self.caches.value_set.get().cloned(),
+            numeric_summary: self.caches.numeric_summary.get().copied(),
+            numeric_count: self.caches.numeric_count.get().copied(),
+        }
+    }
+
+    /// Pre-fill this column's memoized artifacts from a previously harvested
+    /// set. Artifacts already built (or absent from `artifacts`) are left
+    /// untouched; the caller is responsible for only seeding artifacts
+    /// derived from an **identical value bag** (and, for the interned ones,
+    /// the same interner), otherwise scores would silently diverge.
+    pub fn seed_artifacts(&self, artifacts: &ColumnArtifacts) {
+        if let Some(p) = &artifacts.qgram3_ids {
+            let _ = self.caches.qgram3_ids.set(Arc::clone(p));
+        }
+        if let Some(v) = &artifacts.value_ids {
+            let _ = self.caches.value_ids.set(Arc::clone(v));
+        }
+        if let Some(p) = &artifacts.qgram3 {
+            let _ = self.caches.qgram3.set(Arc::clone(p));
+        }
+        if let Some(v) = &artifacts.value_set {
+            let _ = self.caches.value_set.set(Arc::clone(v));
+        }
+        if let Some(n) = artifacts.numeric_summary {
+            let _ = self.caches.numeric_summary.set(n);
+        }
+        if let Some(n) = artifacts.numeric_count {
+            let _ = self.caches.numeric_count.set(n);
+        }
+    }
+
     /// The column's normalized 3-gram frequency profile, built on first use
-    /// and memoized for the column's lifetime.
+    /// and memoized for the column's lifetime. This is the **legacy** kernel
+    /// input — the scoring hot path runs on [`ColumnData::qgram3_ids`]; the
+    /// map profile is only built for legacy matchers, explicit callers and
+    /// equivalence tests.
     pub fn qgram3_profile(&self) -> Arc<BTreeMap<String, f64>> {
         Arc::clone(self.caches.qgram3.get_or_init(|| {
             telemetry::record_qgram_profile_build();
@@ -253,7 +406,9 @@ impl<'a> ColumnData<'a> {
     }
 
     /// True when the column is numeric either by declared type or because a
-    /// clear majority (> 80 %) of its values parse as numbers.
+    /// clear majority (> 80 %) of its values parse as numbers. The parse
+    /// count is memoized: the matchers ask this once per scored pair, the
+    /// values are parsed once per column.
     pub fn looks_numeric(&self) -> bool {
         if self.data_type.is_numeric() {
             return true;
@@ -261,7 +416,27 @@ impl<'a> ColumnData<'a> {
         if self.is_empty() {
             return false;
         }
-        self.numbers().len() as f64 >= 0.8 * self.len() as f64
+        let numeric = *self.caches.numeric_count.get_or_init(|| self.numbers().len());
+        numeric as f64 >= 0.8 * self.len() as f64
+    }
+}
+
+/// Trim and ASCII-lowercase one value's text — the `ValueOverlapMatcher`
+/// normalization — borrowing whenever the value already is normalized text
+/// (the common case in scraped sample data). Semantically identical to
+/// `v.as_text().trim().to_ascii_lowercase()`.
+fn normalized_value_text(v: &Value) -> std::borrow::Cow<'_, str> {
+    use std::borrow::Cow;
+    match v.as_text_cow() {
+        Cow::Borrowed(s) => {
+            let trimmed = s.trim();
+            if trimmed.bytes().any(|b| b.is_ascii_uppercase()) {
+                Cow::Owned(trimmed.to_ascii_lowercase())
+            } else {
+                Cow::Borrowed(trimmed)
+            }
+        }
+        Cow::Owned(s) => Cow::Owned(s.trim().to_ascii_lowercase()),
     }
 }
 
@@ -465,6 +640,44 @@ mod tests {
         let col = ColumnData::shared_from_table(&t, "x").unwrap();
         assert_eq!(col.len(), 1);
         assert_eq!(col.texts(), ColumnData::from_table(&t, "x").unwrap().texts());
+    }
+
+    #[test]
+    fn interned_profile_is_memoized_and_counted() {
+        let t = table();
+        let col = ColumnData::from_table(&t, "name").unwrap();
+        let before = telemetry::qgram_profile_builds();
+        let first = col.qgram3_ids();
+        let second = col.qgram3_ids();
+        assert!(Arc::ptr_eq(&first, &second), "interned profile must be memoized");
+        assert_eq!(telemetry::qgram_profile_builds() - before, 1, "exactly one counted build");
+        assert!(!first.is_empty());
+        // The value id set is memoized too, and matches the legacy set's size.
+        assert!(Arc::ptr_eq(&col.value_ids(), &col.value_ids()));
+        assert_eq!(col.value_ids().len(), col.value_set().len());
+    }
+
+    #[test]
+    fn artifacts_harvest_and_seed_across_columns() {
+        let t = table();
+        let built = ColumnData::from_table(&t, "name").unwrap();
+        assert!(built.harvest_artifacts().is_empty(), "nothing harvested before builds");
+        let profile = built.qgram3_ids();
+        let values = built.value_ids();
+        let numeric = built.numeric_summary();
+        let artifacts = built.harvest_artifacts();
+        assert!(!artifacts.is_empty());
+        assert!(artifacts.qgram3.is_none(), "legacy profile was never built");
+
+        // Seeding a fresh column over the same value bag: no rebuilds, the
+        // exact same Arcs are served.
+        let seeded = ColumnData::from_table(&t, "name").unwrap();
+        seeded.seed_artifacts(&artifacts);
+        let before = telemetry::qgram_profile_builds();
+        assert!(Arc::ptr_eq(&seeded.qgram3_ids(), &profile));
+        assert!(Arc::ptr_eq(&seeded.value_ids(), &values));
+        assert_eq!(seeded.numeric_summary(), numeric);
+        assert_eq!(telemetry::qgram_profile_builds(), before, "seeded column must not rebuild");
     }
 
     #[test]

@@ -10,27 +10,58 @@
 //! * [`ValueOverlapMatcher`] — Jaccard similarity of the *distinct value sets*,
 //!   which captures columns that literally share values (e.g. `format` on both
 //!   sides holding "hardcover"/"paperback").
+//!
+//! Both matchers score through the **interned flat kernels** of
+//! [`crate::intern`] whenever the two columns share a
+//! [`GramInterner`](crate::intern::GramInterner) (which every column does by
+//! default): sorted `u32` id vectors,
+//! merge-join inner loops, no string comparison on the hot path. The legacy
+//! `BTreeMap`/`BTreeSet` kernels are retained behind the
+//! [`QGramMatcher::legacy`] / [`ValueOverlapMatcher::legacy`] constructors
+//! for equivalence tests and benchmarking, and
+//! [`crate::intern::telemetry`] counts which generation served each score.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::column::ColumnData;
+use crate::intern::telemetry as kernel_telemetry;
 use crate::matcher::Matcher;
+
+fn same_interner(a: &ColumnData, b: &ColumnData) -> bool {
+    Arc::ptr_eq(a.interner(), b.interner())
+}
 
 /// Cosine-similarity matcher over q-gram frequency profiles.
 #[derive(Debug, Clone)]
 pub struct QGramMatcher {
     q: usize,
+    use_legacy_kernel: bool,
 }
 
 impl QGramMatcher {
     /// Create a matcher using 3-grams (the paper's tokenization).
     pub fn new() -> Self {
-        QGramMatcher { q: 3 }
+        QGramMatcher { q: 3, use_legacy_kernel: false }
     }
 
     /// Create a matcher using q-grams of the given width.
     pub fn with_q(q: usize) -> Self {
-        QGramMatcher { q: q.max(1) }
+        QGramMatcher { q: q.max(1), use_legacy_kernel: false }
+    }
+
+    /// The reference 3-gram matcher scoring through the legacy
+    /// `BTreeMap<String, f64>` kernel (per-gram string comparisons). Kept
+    /// for the kernel-equivalence property tests and the
+    /// `interned_kernels` bench; agrees with the interned kernel to within
+    /// 1e-12 (see [`crate::intern`] for why the rounding differs).
+    pub fn legacy() -> Self {
+        QGramMatcher { q: 3, use_legacy_kernel: true }
+    }
+
+    /// Whether this matcher is pinned to the legacy kernel.
+    pub fn is_legacy(&self) -> bool {
+        self.use_legacy_kernel
     }
 
     /// Build the normalized q-gram frequency profile of a column. For the
@@ -70,6 +101,11 @@ impl Matcher for QGramMatcher {
     }
 
     fn score(&self, source: &ColumnData, target: &ColumnData) -> f64 {
+        if self.q == 3 && !self.use_legacy_kernel && same_interner(source, target) {
+            kernel_telemetry::record_interned_score();
+            return source.qgram3_ids().cosine(&target.qgram3_ids());
+        }
+        kernel_telemetry::record_legacy_score();
         Self::cosine(&self.profile(source), &self.profile(target))
     }
 
@@ -84,12 +120,27 @@ impl Matcher for QGramMatcher {
 
 /// Jaccard similarity of distinct (case-normalized) value sets.
 #[derive(Debug, Clone, Default)]
-pub struct ValueOverlapMatcher;
+pub struct ValueOverlapMatcher {
+    use_legacy_kernel: bool,
+}
 
 impl ValueOverlapMatcher {
     /// Create a value-overlap matcher.
     pub fn new() -> Self {
-        ValueOverlapMatcher
+        ValueOverlapMatcher { use_legacy_kernel: false }
+    }
+
+    /// The reference matcher scoring through the legacy
+    /// `BTreeSet<String>` kernel. Bit-identical to the interned kernel
+    /// (both divide the same two intersection/union counts); kept for the
+    /// equivalence property tests and the `interned_kernels` bench.
+    pub fn legacy() -> Self {
+        ValueOverlapMatcher { use_legacy_kernel: true }
+    }
+
+    /// Whether this matcher is pinned to the legacy kernel.
+    pub fn is_legacy(&self) -> bool {
+        self.use_legacy_kernel
     }
 }
 
@@ -99,6 +150,11 @@ impl Matcher for ValueOverlapMatcher {
     }
 
     fn score(&self, source: &ColumnData, target: &ColumnData) -> f64 {
+        if !self.use_legacy_kernel && same_interner(source, target) {
+            kernel_telemetry::record_interned_score();
+            return source.value_ids().jaccard(&target.value_ids());
+        }
+        kernel_telemetry::record_legacy_score();
         let a = source.value_set();
         let b = target.value_set();
         if a.is_empty() || b.is_empty() {
@@ -202,6 +258,39 @@ mod tests {
         let empty = col("z", vec![]);
         assert_eq!(m.score(&a, &empty), 0.0);
         assert!(!m.applicable(&a, &empty));
+    }
+
+    #[test]
+    fn interned_and_legacy_kernels_agree() {
+        let fast = QGramMatcher::new();
+        let slow = QGramMatcher::legacy();
+        assert!(!fast.is_legacy() && slow.is_legacy());
+        let a = col("name", vec!["leaves of grass", "heart of darkness", "wasteland"]);
+        let b = col("title", vec!["the historian", "middlemarch", "heart of darkness"]);
+        assert!((fast.score(&a, &b) - slow.score(&a, &b)).abs() < 1e-12);
+        // Jaccard is bit-identical between kernels.
+        let fo = ValueOverlapMatcher::new();
+        let so = ValueOverlapMatcher::legacy();
+        assert!(!fo.is_legacy() && so.is_legacy());
+        assert_eq!(fo.score(&a, &b).to_bits(), so.score(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn mismatched_interners_fall_back_to_the_legacy_kernel() {
+        use crate::intern::{telemetry, GramInterner};
+        let private = std::sync::Arc::new(GramInterner::new());
+        let a = col("x", vec!["hardcover", "paperback"]);
+        let b = col("y", vec!["hardcover", "paperback"]).with_interner(private);
+        let m = QGramMatcher::new();
+        let legacy_before = telemetry::legacy_kernel_scores();
+        let score = m.score(&a, &b);
+        assert!((score - 1.0).abs() < 1e-9, "fallback must still score correctly");
+        assert!(telemetry::legacy_kernel_scores() > legacy_before);
+        // Same interner on both sides takes the interned kernel.
+        let c = col("z", vec!["hardcover", "paperback"]);
+        let interned_before = telemetry::interned_kernel_scores();
+        assert!((m.score(&a, &c) - 1.0).abs() < 1e-9);
+        assert!(telemetry::interned_kernel_scores() > interned_before);
     }
 
     #[test]

@@ -1,0 +1,511 @@
+//! Interned, flat-profile scoring kernels.
+//!
+//! The instance matchers originally scored every pair through
+//! `BTreeMap<String, f64>` q-gram profiles and `BTreeSet<String>` value sets:
+//! per-gram `String` comparisons inside tree walks, in the single hottest
+//! loop of the system (`ScoreMatch` rescoring and `StandardMatch`). This
+//! module replaces those derived artifacts with **flat, interned, cache
+//! friendly** representations:
+//!
+//! * [`GramInterner`] — maps gram / normalized-value strings to dense `u32`
+//!   ids. One interner is shared (behind an `Arc`) by every column that will
+//!   ever be scored against another: ids are only comparable within one
+//!   interner. Reads go through a **frozen snapshot** (one brief lock to
+//!   clone the `Arc`, then every lookup is lock-free on the immutable map);
+//!   growth appends under a mutex and publishes a new snapshot. After
+//!   warm-up the gram vocabulary stops growing and builds never touch the
+//!   growth lock.
+//! * [`InternedProfile`] — a q-gram frequency profile as a sorted
+//!   `Vec<(u32, f64)>` sparse vector of **raw counts** plus its L2 norm.
+//!   [`InternedProfile::cosine`] is a linear merge-join over the two id
+//!   vectors — no string comparison, no tree walk, no hashing in the hot
+//!   loop.
+//! * [`InternedValueSet`] — a distinct-value set as a sorted `Vec<u32>`;
+//!   [`InternedValueSet::jaccard`] is the same merge-join shape.
+//!
+//! ## Numerical contract
+//!
+//! Counts are small exact integers, so every partial sum inside the cosine
+//! dot product and the squared norm is an integer far below 2⁵³: the
+//! additions are **exact** and therefore order-independent. The kernel's
+//! result does not depend on which ids the interner happened to assign, so
+//! scores are deterministic across runs, threads and interners. The legacy
+//! kernels normalize each profile before the dot product and accumulate in
+//! gram order, which rounds differently in the last ulps; the property tests
+//! in `tests/tests/property_based.rs` pin the two kernels to within 1e-12
+//! (Jaccard is bit-identical: both kernels divide the same two integers).
+//!
+//! The legacy `BTreeMap`/`BTreeSet` path is retained — construct matchers
+//! with [`crate::instance::QGramMatcher::legacy`] /
+//! [`crate::instance::ValueOverlapMatcher::legacy`] (or a
+//! [`crate::MatcherEnsemble::standard_legacy`] ensemble) — and the
+//! [`telemetry`] counters make visible which kernel generation actually
+//! served each score.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
+
+/// Process-wide instrumentation distinguishing the kernel generations: every
+/// q-gram cosine / value-overlap Jaccard evaluation records whether it ran on
+/// the interned merge-join kernels or fell back to the legacy
+/// `BTreeMap`/`BTreeSet` path (mismatched interners, non-default gram width,
+/// or an explicitly legacy matcher).
+pub mod telemetry {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static INTERNED_KERNEL_SCORES: AtomicUsize = AtomicUsize::new(0);
+    static LEGACY_KERNEL_SCORES: AtomicUsize = AtomicUsize::new(0);
+
+    /// Scores served by the interned merge-join kernels so far.
+    pub fn interned_kernel_scores() -> usize {
+        INTERNED_KERNEL_SCORES.load(Ordering::Relaxed)
+    }
+
+    /// Scores served by the legacy `BTreeMap`/`BTreeSet` kernels so far.
+    pub fn legacy_kernel_scores() -> usize {
+        LEGACY_KERNEL_SCORES.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_interned_score() {
+        INTERNED_KERNEL_SCORES.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_legacy_score() {
+        LEGACY_KERNEL_SCORES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The immutable lookup state a reader works against: gram → id and id →
+/// gram, `Arc`-shared so publishing a new generation is one pointer swap.
+#[derive(Debug, Default)]
+struct Frozen {
+    by_text: HashMap<Arc<str>, u32>,
+    by_id: Vec<Arc<str>>,
+}
+
+/// A string interner scoped to one matching universe (typically a target
+/// catalog plus every source scored against it; [`GramInterner::global`] is
+/// the process-wide default every [`crate::ColumnData`] starts with).
+///
+/// Ids are dense, assigned in first-intern order, and stable for the
+/// interner's lifetime. Ids from *different* interners are not comparable —
+/// the matchers check interner identity (`Arc::ptr_eq`) before using the
+/// interned kernels and fall back to the legacy string kernels otherwise.
+///
+/// Concurrency: readers clone the current frozen snapshot (one brief
+/// read-lock) and then perform every lookup lock-free on the immutable map;
+/// writers take the growth mutex, extend a copy, and publish it. Growth is
+/// rare by construction — the 3-gram vocabulary over normalized text is
+/// small and saturates quickly — so steady-state profile builds are
+/// lookup-only.
+#[derive(Debug)]
+pub struct GramInterner {
+    /// Process-unique identity of this interner (see [`GramInterner::token`]).
+    token: u64,
+    frozen: RwLock<Arc<Frozen>>,
+    growth: Mutex<()>,
+}
+
+impl Default for GramInterner {
+    fn default() -> Self {
+        GramInterner::new()
+    }
+}
+
+impl GramInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        static NEXT_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        GramInterner {
+            token: NEXT_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            frozen: RwLock::default(),
+            growth: Mutex::default(),
+        }
+    }
+
+    /// A process-unique identity token for this interner instance. Ids are
+    /// only comparable within one interner, so caches keying interned
+    /// artifacts (e.g. the restricted-profile cache) fold this token into
+    /// their keys — artifacts built against one interner can then never be
+    /// served to columns bound to another.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// The process-wide default interner. Every column that does not opt
+    /// into a private interner shares this one, which is what makes the
+    /// interned kernels applicable to any (source, target) pair by default.
+    pub fn global() -> Arc<GramInterner> {
+        static GLOBAL: OnceLock<Arc<GramInterner>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(GramInterner::new())))
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.snapshot().by_id.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn snapshot(&self) -> Arc<Frozen> {
+        Arc::clone(&self.frozen.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// The id of `text`, if it has been interned.
+    pub fn lookup(&self, text: &str) -> Option<u32> {
+        self.snapshot().by_text.get(text).copied()
+    }
+
+    /// Intern one string, assigning a fresh id on first sight.
+    pub fn intern(&self, text: &str) -> u32 {
+        if let Some(id) = self.lookup(text) {
+            return id;
+        }
+        self.grow(std::iter::once(text.to_string()).collect::<Vec<_>>())[0]
+    }
+
+    /// The string behind an id (`None` for ids this interner never issued).
+    /// Ids round-trip: `resolve(intern(s)) == Some(s)`.
+    pub fn resolve(&self, id: u32) -> Option<Arc<str>> {
+        self.snapshot().by_id.get(id as usize).cloned()
+    }
+
+    /// Turn a batch of per-occurrence known ids plus a miss map (string →
+    /// count) into the final id-sorted sparse count vector: run-length
+    /// encode the sorted hit ids (no hashing anywhere on the hit path) and
+    /// merge in the freshly grown miss ids.
+    fn finish_counts(
+        &self,
+        mut known_ids: Vec<u32>,
+        unknown: HashMap<String, f64>,
+    ) -> Vec<(u32, f64)> {
+        known_ids.sort_unstable();
+        let mut entries: Vec<(u32, f64)> = Vec::new();
+        for id in known_ids {
+            match entries.last_mut() {
+                Some((last, count)) if *last == id => *count += 1.0,
+                _ => entries.push((id, 1.0)),
+            }
+        }
+        if !unknown.is_empty() {
+            let mut pending: Vec<(String, f64)> = unknown.into_iter().collect();
+            // Sorted so id assignment within one batch is deterministic.
+            pending.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            let ids = self.grow(pending.iter().map(|(s, _)| s.clone()).collect());
+            for ((_, count), id) in pending.into_iter().zip(ids) {
+                entries.push((id, count));
+            }
+            entries.sort_unstable_by_key(|&(id, _)| id);
+            // A raced id (another thread interned our "miss" first) can
+            // coincide with a hit id; merge defensively.
+            entries.dedup_by(|next, prev| {
+                if prev.0 == next.0 {
+                    prev.1 += next.1;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        entries
+    }
+
+    /// Assign ids to `texts` (in order), reusing existing ids for strings a
+    /// concurrent writer interned since our snapshot, and publish the new
+    /// frozen generation.
+    fn grow(&self, texts: Vec<String>) -> Vec<u32> {
+        let _guard = self.growth.lock().unwrap_or_else(PoisonError::into_inner);
+        // Re-read under the growth lock: writers are serialized, so this is
+        // the latest generation and re-checks races lost before the lock.
+        let current = self.snapshot();
+        let mut by_text = current.by_text.clone();
+        let mut by_id = current.by_id.clone();
+        let ids = texts
+            .into_iter()
+            .map(|text| match by_text.get(text.as_str()) {
+                Some(&id) => id,
+                None => {
+                    let id = u32::try_from(by_id.len()).expect("interner exceeded u32 id space");
+                    let shared: Arc<str> = text.into();
+                    by_text.insert(Arc::clone(&shared), id);
+                    by_id.push(shared);
+                    id
+                }
+            })
+            .collect();
+        *self.frozen.write().unwrap_or_else(PoisonError::into_inner) =
+            Arc::new(Frozen { by_text, by_id });
+        ids
+    }
+
+    /// Build the interned q-gram count profile of a bag of texts — the flat
+    /// counterpart of [`crate::column::build_qgram_profile`] (which
+    /// normalizes eagerly; this kernel keeps raw counts and the norm so the
+    /// dot product stays exact-integer arithmetic).
+    ///
+    /// Grams are visited in a reused scratch buffer
+    /// ([`cxm_classify::for_each_qgram`]) and looked up in the frozen
+    /// snapshot by `&str`: a warm vocabulary builds the whole profile
+    /// without a single per-gram allocation.
+    pub fn qgram_profile<T: AsRef<str>>(
+        &self,
+        texts: impl Iterator<Item = T>,
+        q: usize,
+    ) -> InternedProfile {
+        let snap = self.snapshot();
+        let mut known_ids: Vec<u32> = Vec::new();
+        let mut unknown: HashMap<String, f64> = HashMap::new();
+        for text in texts {
+            cxm_classify::for_each_qgram(text.as_ref(), q, |gram| match snap.by_text.get(gram) {
+                Some(&id) => known_ids.push(id),
+                None => match unknown.get_mut(gram) {
+                    Some(count) => *count += 1.0,
+                    None => {
+                        unknown.insert(gram.to_string(), 1.0);
+                    }
+                },
+            });
+        }
+        InternedProfile::from_counts(self.finish_counts(known_ids, unknown))
+    }
+
+    /// Build the interned distinct-value set of a bag of already-normalized
+    /// texts (the flat counterpart of [`crate::ColumnData::value_set`]).
+    pub fn value_set<T: AsRef<str>>(&self, texts: impl Iterator<Item = T>) -> InternedValueSet {
+        let snap = self.snapshot();
+        let mut known_ids: Vec<u32> = Vec::new();
+        let mut unknown: HashMap<String, f64> = HashMap::new();
+        for text in texts {
+            let text = text.as_ref();
+            match snap.by_text.get(text) {
+                Some(&id) => known_ids.push(id),
+                None => match unknown.get_mut(text) {
+                    Some(count) => *count += 1.0,
+                    None => {
+                        unknown.insert(text.to_string(), 1.0);
+                    }
+                },
+            }
+        }
+        let mut ids: Vec<u32> =
+            self.finish_counts(known_ids, unknown).into_iter().map(|(id, _)| id).collect();
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        ids.shrink_to_fit();
+        InternedValueSet { ids }
+    }
+}
+
+/// A q-gram frequency profile in interned sparse-vector form: `(gram id, raw
+/// count)` sorted by id, plus the L2 norm of the count vector. Counts are
+/// exact small integers, which makes [`InternedProfile::cosine`]
+/// order-independent and deterministic (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InternedProfile {
+    entries: Vec<(u32, f64)>,
+    norm: f64,
+}
+
+impl InternedProfile {
+    /// Assemble a profile from id-sorted `(id, count)` entries.
+    pub fn from_counts(entries: Vec<(u32, f64)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries must be id-sorted");
+        let norm = entries.iter().map(|&(_, c)| c * c).sum::<f64>().sqrt();
+        InternedProfile { entries, norm }
+    }
+
+    /// The sorted `(gram id, raw count)` entries.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// L2 norm of the raw count vector.
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// Number of distinct grams.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the profile has no grams.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cosine similarity of two profiles — a single linear merge-join over
+    /// the sorted id vectors. Both profiles must come from the same
+    /// interner; the matchers guarantee that by checking interner identity.
+    pub fn cosine(&self, other: &InternedProfile) -> f64 {
+        if self.entries.is_empty() || other.entries.is_empty() {
+            return 0.0;
+        }
+        let mut dot = 0.0;
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.entries, &other.entries);
+        while i < a.len() && j < b.len() {
+            let (ia, ca) = a[i];
+            let (ib, cb) = b[j];
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += ca * cb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if dot == 0.0 {
+            return 0.0;
+        }
+        (dot / (self.norm * other.norm)).clamp(0.0, 1.0)
+    }
+}
+
+/// A distinct-value set in interned form: sorted unique `u32` ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternedValueSet {
+    ids: Vec<u32>,
+}
+
+impl InternedValueSet {
+    /// The sorted distinct value ids.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Jaccard similarity of two sets — intersection by merge-join, union by
+    /// inclusion–exclusion. Divides the same two integers as the legacy
+    /// `BTreeSet` kernel, so the result is bit-identical to it.
+    pub fn jaccard(&self, other: &InternedValueSet) -> f64 {
+        if self.ids.is_empty() || other.ids.is_empty() {
+            return 0.0;
+        }
+        let mut inter = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = self.ids.len() + other.ids.len() - inter;
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_round_tripping_ids() {
+        let interner = GramInterner::new();
+        assert!(interner.is_empty());
+        let a = interner.intern("har");
+        let b = interner.intern("ard");
+        assert_ne!(a, b);
+        assert_eq!(interner.intern("har"), a, "re-interning is stable");
+        assert_eq!(interner.lookup("ard"), Some(b));
+        assert_eq!(interner.lookup("xyz"), None);
+        assert_eq!(interner.resolve(a).as_deref(), Some("har"));
+        assert_eq!(interner.resolve(999), None);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn qgram_profile_counts_and_normalizes() {
+        let interner = GramInterner::new();
+        // "ab" with q=1 → grams a, b (padding is empty for q=1).
+        let p = interner.qgram_profile(["ab".to_string(), "a".to_string()].into_iter(), 1);
+        // counts: a → 2, b → 1; norm = sqrt(4 + 1).
+        assert_eq!(p.len(), 2);
+        assert!((p.norm() - 5.0f64.sqrt()).abs() < 1e-12);
+        let a_id = interner.lookup("a").unwrap();
+        let entry = p.entries().iter().find(|&&(id, _)| id == a_id).unwrap();
+        assert_eq!(entry.1, 2.0);
+    }
+
+    #[test]
+    fn cosine_matches_hand_computation() {
+        let interner = GramInterner::new();
+        let p1 = InternedProfile::from_counts(vec![(0, 1.0), (1, 2.0)]);
+        let p2 = InternedProfile::from_counts(vec![(1, 1.0), (2, 3.0)]);
+        // dot = 2, norms = sqrt(5), sqrt(10).
+        let expected = 2.0 / (5.0f64.sqrt() * 10.0f64.sqrt());
+        assert!((p1.cosine(&p2) - expected).abs() < 1e-15);
+        assert_eq!(p1.cosine(&InternedProfile::from_counts(vec![])), 0.0);
+        assert!((p1.cosine(&p1) - 1.0).abs() < 1e-12, "self-cosine is 1");
+        let _ = interner;
+    }
+
+    #[test]
+    fn cosine_is_order_independent_exact() {
+        // Same multiset of shared grams under two different id assignments
+        // must give bit-identical cosines (the determinism contract).
+        let a1 = InternedProfile::from_counts(vec![(0, 3.0), (1, 5.0), (2, 7.0)]);
+        let b1 = InternedProfile::from_counts(vec![(0, 2.0), (1, 11.0), (2, 1.0)]);
+        let a2 = InternedProfile::from_counts(vec![(4, 7.0), (9, 3.0), (12, 5.0)]);
+        let b2 = InternedProfile::from_counts(vec![(4, 1.0), (9, 2.0), (12, 11.0)]);
+        assert_eq!(a1.cosine(&b1).to_bits(), a2.cosine(&b2).to_bits());
+    }
+
+    #[test]
+    fn value_set_jaccard() {
+        let interner = GramInterner::new();
+        let a = interner.value_set(["x".to_string(), "y".to_string(), "x".to_string()].into_iter());
+        let b = interner.value_set(["y".to_string(), "z".to_string()].into_iter());
+        assert_eq!(a.len(), 2);
+        assert!((a.jaccard(&b) - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(a.jaccard(&interner.value_set(std::iter::empty::<&str>())), 0.0);
+        assert_eq!(a.jaccard(&a), 1.0);
+        assert_eq!(a.ids().len(), 2);
+    }
+
+    #[test]
+    fn growth_publishes_new_snapshots_under_concurrency() {
+        let interner = Arc::new(GramInterner::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let interner = Arc::clone(&interner);
+            handles.push(std::thread::spawn(move || {
+                let mut ids = Vec::new();
+                for i in 0..50 {
+                    // Half shared strings, half thread-unique.
+                    let s = if i % 2 == 0 { format!("shared-{i}") } else { format!("t{t}-{i}") };
+                    ids.push((s.clone(), interner.intern(&s)));
+                }
+                ids
+            }));
+        }
+        let all: Vec<(String, u32)> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        for (s, id) in &all {
+            assert_eq!(interner.lookup(s), Some(*id), "{s} must keep its first id");
+            assert_eq!(interner.resolve(*id).as_deref(), Some(s.as_str()));
+        }
+    }
+
+    #[test]
+    fn global_interner_is_shared() {
+        assert!(Arc::ptr_eq(&GramInterner::global(), &GramInterner::global()));
+    }
+}

@@ -28,15 +28,17 @@ pub mod column;
 pub mod combine;
 pub mod confidence;
 pub mod instance;
+pub mod intern;
 pub mod match_types;
 pub mod matcher;
 pub mod name;
 pub mod numeric;
 pub mod standard;
 
-pub use column::ColumnData;
+pub use column::{ColumnArtifacts, ColumnData};
 pub use combine::MatcherEnsemble;
 pub use confidence::ScoreDistribution;
+pub use intern::{GramInterner, InternedProfile, InternedValueSet};
 pub use match_types::{Match, MatchList};
 pub use matcher::Matcher;
 pub use standard::{MatchingConfig, MatchingOutcome, StandardMatcher};

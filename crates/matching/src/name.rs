@@ -79,17 +79,27 @@ pub fn identifier_tokens(name: &str) -> Vec<String> {
 
 /// Jaccard similarity of the identifier token sets.
 pub fn token_similarity(a: &str, b: &str) -> f64 {
-    use std::collections::BTreeSet;
-    let ta: BTreeSet<String> = identifier_tokens(a).into_iter().collect();
-    let tb: BTreeSet<String> = identifier_tokens(b).into_iter().collect();
-    if ta.is_empty() && tb.is_empty() {
+    let ta: std::collections::BTreeSet<String> = identifier_tokens(a).into_iter().collect();
+    let tb: std::collections::BTreeSet<String> = identifier_tokens(b).into_iter().collect();
+    token_set_similarity(&ta, &tb)
+}
+
+/// Jaccard similarity of two already-tokenized identifier token sets (1.0
+/// when both are empty, 0.0 when exactly one is). The single set-level
+/// implementation behind both [`token_similarity`] and the matcher's
+/// memoized [`crate::column::NameKey`] path, so the two cannot drift.
+pub fn token_set_similarity(
+    a: &std::collections::BTreeSet<String>,
+    b: &std::collections::BTreeSet<String>,
+) -> f64 {
+    if a.is_empty() && b.is_empty() {
         return 1.0;
     }
-    if ta.is_empty() || tb.is_empty() {
+    if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let inter = ta.intersection(&tb).count() as f64;
-    let union = ta.union(&tb).count() as f64;
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
     inter / union
 }
 
@@ -99,9 +109,13 @@ impl Matcher for NameMatcher {
     }
 
     fn score(&self, source: &ColumnData, target: &ColumnData) -> f64 {
-        let a = source.attr.attribute.to_ascii_lowercase();
-        let b = target.attr.attribute.to_ascii_lowercase();
-        levenshtein_similarity(&a, &b).max(token_similarity(&a, &b))
+        // The lowered name and its token set are memoized per column
+        // ([`ColumnData::name_key`]), so a column scored against many
+        // counterparts lowercases and tokenizes once, not once per pair.
+        let a = source.name_key();
+        let b = target.name_key();
+        levenshtein_similarity(&a.lowered, &b.lowered)
+            .max(token_set_similarity(&a.tokens, &b.tokens))
     }
 }
 
@@ -149,6 +163,29 @@ mod tests {
         assert_eq!(identifier_tokens("item_type"), vec!["item", "type"]);
         assert_eq!(identifier_tokens("StockStatus2"), vec!["stock", "status2"]);
         assert_eq!(identifier_tokens(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn memoized_name_key_matches_string_helpers() {
+        // The matcher scores through the per-column memoized NameKey; the
+        // result must be bit-identical to the direct helper computation on
+        // the lowercased names (the pre-memoization arithmetic).
+        let m = NameMatcher::new();
+        for (x, y) in [
+            ("ItemPrice", "price"),
+            ("item_type", "ItemType"),
+            ("isbn", "label"),
+            ("", "x"),
+            ("", ""),
+        ] {
+            let (a, b) = (x.to_ascii_lowercase(), y.to_ascii_lowercase());
+            let expected = levenshtein_similarity(&a, &b).max(token_similarity(&a, &b));
+            assert_eq!(m.score(&col(x), &col(y)).to_bits(), expected.to_bits(), "{x} vs {y}");
+        }
+        // The key itself is memoized: one Arc, shared across calls.
+        let c = col("StockStatus2");
+        assert!(std::sync::Arc::ptr_eq(&c.name_key(), &c.name_key()));
+        assert_eq!(c.name_key().lowered, "stockstatus2");
     }
 
     #[test]

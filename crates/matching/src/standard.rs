@@ -141,6 +141,18 @@ impl StandardMatcher {
         StandardMatcher { ensemble, config }
     }
 
+    /// A matcher with the standard weights but the instance matchers pinned
+    /// to the legacy `BTreeMap`/`BTreeSet` kernels
+    /// ([`MatcherEnsemble::standard_legacy`]). Kept as the reference
+    /// implementation for kernel-equivalence tests and the
+    /// `interned_kernels` bench; production paths use
+    /// [`StandardMatcher::new`], whose instance matchers score through the
+    /// interned merge-join kernels of [`cxm_matching::intern`](crate::intern).
+    #[doc(hidden)]
+    pub fn with_legacy_kernels(config: MatchingConfig) -> Self {
+        StandardMatcher { ensemble: MatcherEnsemble::standard_legacy(), config }
+    }
+
     /// The active configuration.
     pub fn config(&self) -> MatchingConfig {
         self.config

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 use crate::schema::Schema;
@@ -11,10 +12,17 @@ use crate::table::Table;
 ///
 /// This is what the matching algorithms receive as "sample data associated with
 /// the schema". Iteration order is deterministic (sorted by table name).
+///
+/// Tables are stored behind `Arc`s: cloning a database — the operation a
+/// snapshot-swapping catalog performs on every update — shares the row
+/// storage of every table instead of deep-cloning O(total rows) of tuples,
+/// and replacing one table swaps exactly one `Arc`. Tables are immutable
+/// once inside a database (every mutator replaces whole `Arc`s), so sharing
+/// is never observable.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Database {
     name: String,
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
 }
 
 impl Database {
@@ -33,7 +41,7 @@ impl Database {
         if self.tables.contains_key(table.name()) {
             return Err(Error::DuplicateTable(table.name().to_string()));
         }
-        self.tables.insert(table.name().to_string(), table);
+        self.tables.insert(table.name().to_string(), Arc::new(table));
         Ok(())
     }
 
@@ -46,16 +54,42 @@ impl Database {
     /// Replace a table instance (or insert it if missing). Used by the data
     /// generators when rewriting a table with extra attributes.
     pub fn replace_table(&mut self, table: Table) {
+        self.replace_shared_table(Arc::new(table));
+    }
+
+    /// [`Database::replace_table`] with an already-shared instance: the
+    /// database stores the `Arc` as-is, so a caller holding a warm table
+    /// (e.g. the previous catalog snapshot) shares its row storage instead
+    /// of copying it.
+    pub fn replace_shared_table(&mut self, table: Arc<Table>) {
         self.tables.insert(table.name().to_string(), table);
     }
 
-    /// Remove a table instance by name, returning it if present.
+    /// Remove a table instance by name, returning it if present. When the
+    /// instance is still shared with another holder, the returned copy is
+    /// cloned out; a uniquely held instance is moved without copying.
+    /// Callers that do not need the owned instance should prefer
+    /// [`Database::remove_shared_table`], which never copies rows.
     pub fn remove_table(&mut self, name: &str) -> Option<Table> {
+        self.remove_shared_table(name).map(|t| Arc::try_unwrap(t).unwrap_or_else(|t| (*t).clone()))
+    }
+
+    /// Remove a table instance by name, returning its shared handle. Never
+    /// clones row storage, whatever the sharing situation — the right call
+    /// when the removed instance is dropped or only inspected.
+    pub fn remove_shared_table(&mut self, name: &str) -> Option<Arc<Table>> {
         self.tables.remove(name)
     }
 
     /// Look up a table instance by name.
     pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name).map(Arc::as_ref)
+    }
+
+    /// Look up the shared handle of a table instance by name. `Arc::ptr_eq`
+    /// on two databases' handles tells whether they share row storage,
+    /// which is how catalog updates account shared vs copied tables.
+    pub fn shared_table(&self, name: &str) -> Option<&Arc<Table>> {
         self.tables.get(name)
     }
 
@@ -66,7 +100,7 @@ impl Database {
 
     /// Iterate over table instances in deterministic (name) order.
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
-        self.tables.values()
+        self.tables.values().map(Arc::as_ref)
     }
 
     /// Names of all tables in deterministic order.
@@ -186,6 +220,27 @@ mod tests {
         assert!(db.remove_table("book").is_some());
         assert!(db.remove_table("book").is_none());
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn clones_share_table_storage_until_replaced() {
+        use std::sync::Arc;
+        let db = Database::new("RT").with_table(book_table()).with_table(music_table());
+        let mut copy = db.clone();
+        assert!(Arc::ptr_eq(db.shared_table("book").unwrap(), copy.shared_table("book").unwrap()));
+        // Replacing one table swaps exactly that Arc; the other stays shared.
+        copy.replace_table(book_table());
+        assert!(!Arc::ptr_eq(db.shared_table("book").unwrap(), copy.shared_table("book").unwrap()));
+        assert!(Arc::ptr_eq(
+            db.shared_table("music").unwrap(),
+            copy.shared_table("music").unwrap()
+        ));
+        // replace_shared_table stores the caller's Arc as-is.
+        let warm = Arc::clone(db.shared_table("book").unwrap());
+        copy.replace_shared_table(Arc::clone(&warm));
+        assert!(Arc::ptr_eq(copy.shared_table("book").unwrap(), &warm));
+        // remove_table clones out only when still shared elsewhere.
+        assert_eq!(copy.remove_table("book").unwrap(), book_table());
     }
 
     #[test]

@@ -120,24 +120,46 @@ pub fn hash_value(h: &mut Fnv64, value: &Value) {
 }
 
 /// Fingerprint of a table instance: seeded FNV-1a over the table name, the
-/// attribute list (names and declared types), and every tuple's values in
-/// row order. See the module docs for guarantees.
+/// attribute list (names and declared types), and every attribute's value
+/// bag in row order (column-major, via the zero-copy
+/// [`Table::column_iter`]). Column-major hashing makes the per-column
+/// sub-stream the same one [`column_fingerprint`] hashes, and it clones no
+/// values. See the module docs for guarantees.
 pub(crate) fn table_fingerprint(table: &Table, seed: u64) -> u64 {
     let mut h = Fnv64::with_seed(seed);
     let schema = table.schema();
     h.write_str(schema.name());
     h.write_u64(schema.arity() as u64);
+    h.write_u64(table.len() as u64);
     for attr in schema.attributes() {
         h.write_str(&attr.name);
         h.write_u8(type_tag(attr.data_type));
-    }
-    h.write_u64(table.len() as u64);
-    for row in table.rows() {
-        for value in row.values() {
+        let column =
+            table.column_iter(&attr.name).expect("attribute comes from the table's own schema");
+        for value in column {
             hash_value(&mut h, value);
         }
     }
     h.finish()
+}
+
+/// Fingerprint of one column of a table instance: seeded FNV-1a over the
+/// attribute's name, declared type, row count, and its value bag in row
+/// order — the per-column building block warm caches use to invalidate
+/// derived artifacts (memoized profiles, interned id vectors) only when
+/// *this* column's content changes. Exposed as
+/// [`Table::column_fingerprint`].
+pub(crate) fn column_fingerprint(table: &Table, name: &str, seed: u64) -> crate::Result<u64> {
+    let column = table.column_iter(name)?;
+    let mut h = Fnv64::with_seed(seed ^ 0x636f_6c75_6d6e_f001);
+    let data_type = table.schema().type_of(name).unwrap_or(crate::types::DataType::Unknown);
+    h.write_str(name);
+    h.write_u8(type_tag(data_type));
+    h.write_u64(table.len() as u64);
+    for value in column {
+        hash_value(&mut h, value);
+    }
+    Ok(h.finish())
 }
 
 fn type_tag(t: crate::types::DataType) -> u8 {
@@ -225,6 +247,19 @@ mod tests {
         let mut d = Fnv64::new();
         hash_value(&mut d, &Value::Float(-f64::NAN));
         assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn column_fingerprints_isolate_columns() {
+        let a = table("inv", "audio cd");
+        let b = table("inv", "vinyl");
+        // The edited column changes; the untouched column does not.
+        assert_ne!(a.column_fingerprint("descr").unwrap(), b.column_fingerprint("descr").unwrap());
+        assert_eq!(a.column_fingerprint("id").unwrap(), b.column_fingerprint("id").unwrap());
+        // Distinct columns of one table have distinct fingerprints, and a
+        // missing attribute errors instead of fingerprinting garbage.
+        assert_ne!(a.column_fingerprint("id").unwrap(), a.column_fingerprint("descr").unwrap());
+        assert!(a.column_fingerprint("missing").is_err());
     }
 
     #[test]

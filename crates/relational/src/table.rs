@@ -101,15 +101,21 @@ impl Table {
 
     /// The bag of values of one attribute — `v(R.a)` in the paper.
     pub fn column(&self, name: &str) -> Result<Vec<Value>> {
+        Ok(self.column_iter(name)?.cloned().collect())
+    }
+
+    /// Borrowing iterator over the bag of values of one attribute, in row
+    /// order. The zero-copy counterpart of [`Table::column`]: no `Value` is
+    /// cloned, which is what column extraction and fingerprinting want.
+    pub fn column_iter(&self, name: &str) -> Result<impl Iterator<Item = &Value> + Clone + '_> {
         let col = self.schema.require_index(name)?;
-        Ok(self.rows.iter().map(|r| r.at(col).clone()).collect())
+        Ok(self.rows.iter().map(move |r| r.at(col)))
     }
 
     /// Like [`Table::column`] but skipping NULLs, which instance matchers and
     /// classifiers generally ignore.
     pub fn column_non_null(&self, name: &str) -> Result<Vec<Value>> {
-        let col = self.schema.require_index(name)?;
-        Ok(self.rows.iter().map(|r| r.at(col)).filter(|v| !v.is_null()).cloned().collect())
+        Ok(self.column_iter(name)?.filter(|v| !v.is_null()).cloned().collect())
     }
 
     /// Distinct values of an attribute with their multiplicities, in value order.
@@ -166,6 +172,19 @@ impl Table {
     /// that maintain several independent fingerprint keyspaces.
     pub fn fingerprint_seeded(&self, seed: u64) -> u64 {
         crate::fingerprint::table_fingerprint(self, seed)
+    }
+
+    /// A deterministic content fingerprint of **one column** of this
+    /// instance: the attribute's name, declared type, and its value bag in
+    /// row order (see [`crate::fingerprint`]). Lets warm caches key
+    /// per-column artifacts so edits to *other* columns do not invalidate
+    /// them. Errors when the attribute does not exist.
+    pub fn column_fingerprint(&self, name: &str) -> Result<u64> {
+        crate::fingerprint::column_fingerprint(
+            self,
+            name,
+            crate::fingerprint::TABLE_FINGERPRINT_SEED,
+        )
     }
 
     /// Return a copy of this instance under a different table name.

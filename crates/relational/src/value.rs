@@ -58,6 +58,22 @@ impl Value {
     /// empty string, which is what instance-based matchers expect when they
     /// tokenize sample data.
     pub fn as_text(&self) -> String {
+        self.as_text_cow().into_owned()
+    }
+
+    /// [`Value::as_text`] without the copy for values that already are
+    /// text: `Str` borrows, every other variant renders into an owned
+    /// string. The matchers' profile builders walk millions of values, so
+    /// the borrow matters.
+    pub fn as_text_cow(&self) -> std::borrow::Cow<'_, str> {
+        use std::borrow::Cow;
+        match self {
+            Value::Str(s) => Cow::Borrowed(s.as_str()),
+            other => Cow::Owned(other.render_text()),
+        }
+    }
+
+    fn render_text(&self) -> String {
         match self {
             Value::Null => String::new(),
             Value::Int(i) => i.to_string(),

@@ -12,7 +12,8 @@ use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-use cxm_matching::ColumnData;
+use cxm_core::RestrictedProfileCache;
+use cxm_matching::{ColumnData, GramInterner};
 use cxm_relational::{Database, Error, Result, SelectionCache, Table};
 
 /// An immutable view of the registered target tables plus the warm artifacts
@@ -35,6 +36,15 @@ pub struct CatalogSnapshot {
     /// snapshot's cache forward (minus invalidated tables). Requests
     /// fingerprint-validate their source tables against it before selecting.
     selections: Mutex<SelectionCache>,
+    /// Cross-request cache of view-restricted column artifacts, carried
+    /// forward across snapshots. Keyed by source-table content fingerprints
+    /// ([`cxm_core::RestrictedKey`]), so target updates never require
+    /// invalidation and stale source entries age out via the bound.
+    restricted_profiles: Mutex<RestrictedProfileCache>,
+    /// The interner every column of this snapshot (and every restricted or
+    /// source column scored against it) builds its flat id artifacts
+    /// against; constant for the catalog's lifetime.
+    interner: Arc<GramInterner>,
 }
 
 /// What a catalog update did, table by table — the observable half of
@@ -53,17 +63,66 @@ pub struct CatalogUpdate {
     pub rebuilt: usize,
     /// Tables present in the previous snapshot but not in this one.
     pub dropped: usize,
+    /// Tables whose **row storage** (`Arc<Table>`) is shared with the
+    /// previous snapshot — the update copied zero tuples for them.
+    pub shared: usize,
+    /// Tables whose row storage had to be copied (new or changed content).
+    pub copied: usize,
 }
 
 impl CatalogSnapshot {
     /// Build a snapshot of `database`, reusing the warm artifacts of `prev`
-    /// for every table whose content fingerprint is unchanged.
+    /// for every table whose content fingerprint is unchanged — including
+    /// the **row storage** itself: an unchanged table's `Arc<Table>` is
+    /// swapped in from the previous snapshot, so the update copies tuples
+    /// only for new or changed tables (`CatalogUpdate::shared` vs
+    /// `CatalogUpdate::copied`).
     fn build(
         version: u64,
-        database: Database,
+        mut database: Database,
         prev: Option<&CatalogSnapshot>,
+        interner: &Arc<GramInterner>,
+        restricted_capacity: usize,
     ) -> (Self, CatalogUpdate) {
         let fingerprints = database.table_fingerprints();
+        // Share unchanged row storage with the previous snapshot. Derived
+        // databases (replace/drop of one table) already share via the
+        // Arc-backed `Database` clone; a wholesale `register_database` gets
+        // its unchanged tables deduplicated here by fingerprint.
+        let mut shared = 0usize;
+        let mut copied = 0usize;
+        if let Some(p) = prev {
+            let names: Vec<String> = database.table_names().iter().map(|n| n.to_string()).collect();
+            for name in names {
+                let prev_arc = match p.database.shared_table(&name) {
+                    Some(arc) => arc,
+                    None => continue,
+                };
+                let unchanged = p.fingerprints.get(&name) == fingerprints.get(&name);
+                let current = database.shared_table(&name).expect("name comes from the database");
+                if Arc::ptr_eq(current, prev_arc) {
+                    continue;
+                }
+                if unchanged {
+                    database.replace_shared_table(Arc::clone(prev_arc));
+                }
+            }
+            for name in database.table_names() {
+                let is_shared = p
+                    .database
+                    .shared_table(name)
+                    .zip(database.shared_table(name))
+                    .is_some_and(|(a, b)| Arc::ptr_eq(a, b));
+                if is_shared {
+                    shared += 1;
+                } else {
+                    copied += 1;
+                }
+            }
+        } else {
+            copied = database.len();
+        }
+
         let mut columns = Vec::new();
         let mut table_ranges = BTreeMap::new();
         let mut reused = 0usize;
@@ -82,7 +141,8 @@ impl CatalogSnapshot {
                     for attr in table.schema().attributes() {
                         columns.push(
                             ColumnData::shared_from_table(table, &attr.name)
-                                .expect("attribute comes from the table's own schema"),
+                                .expect("attribute comes from the table's own schema")
+                                .with_interner(Arc::clone(interner)),
                         );
                     }
                     rebuilt += 1;
@@ -114,8 +174,22 @@ impl CatalogSnapshot {
             }
         }
 
-        let update =
-            CatalogUpdate { version, tables: table_ranges.len(), reused, rebuilt, dropped };
+        // Carry the restricted-profile cache forward as-is: its keys embed
+        // source-table content fingerprints, so no target update can make an
+        // entry stale, and the capacity bound ages out dead content.
+        let restricted_profiles = prev
+            .map(|p| p.restricted_profiles.lock().unwrap_or_else(PoisonError::into_inner).clone())
+            .unwrap_or_else(|| RestrictedProfileCache::with_capacity(restricted_capacity));
+
+        let update = CatalogUpdate {
+            version,
+            tables: table_ranges.len(),
+            reused,
+            rebuilt,
+            dropped,
+            shared,
+            copied,
+        };
         let snapshot = CatalogSnapshot {
             version,
             database,
@@ -123,6 +197,8 @@ impl CatalogSnapshot {
             columns,
             table_ranges,
             selections: Mutex::new(selections),
+            restricted_profiles: Mutex::new(restricted_profiles),
+            interner: Arc::clone(interner),
         };
         (snapshot, update)
     }
@@ -174,6 +250,20 @@ impl CatalogSnapshot {
         &self.selections
     }
 
+    /// The cross-request view-restricted profile cache (see
+    /// [`RestrictedProfileCache`]).
+    pub fn restricted_profiles(&self) -> &Mutex<RestrictedProfileCache> {
+        &self.restricted_profiles
+    }
+
+    /// The interner this snapshot's columns build their flat id artifacts
+    /// against. Source and restricted columns scored against the snapshot
+    /// must share it for the interned kernels to apply (the service and the
+    /// scoring path arrange that automatically).
+    pub fn interner(&self) -> &Arc<GramInterner> {
+        &self.interner
+    }
+
     /// True when no target tables are registered.
     pub fn is_empty(&self) -> bool {
         self.table_ranges.is_empty()
@@ -192,11 +282,18 @@ impl CatalogSnapshot {
 pub struct TargetCatalog {
     current: RwLock<Arc<CatalogSnapshot>>,
     update_lock: Mutex<()>,
+    interner: Arc<GramInterner>,
+    restricted_capacity: usize,
 }
+
+/// Default bound on cached view-restricted columns (see
+/// [`RestrictedProfileCache`]).
+pub const DEFAULT_RESTRICTED_PROFILE_CAPACITY: usize = 4096;
 
 impl TargetCatalog {
     /// An empty catalog (snapshot version 0, no tables) with an unbounded
-    /// shared selection cache.
+    /// shared selection cache, a default-bounded restricted-profile cache,
+    /// and the process-global interner.
     pub fn new() -> Self {
         TargetCatalog::with_selection_capacity(None)
     }
@@ -206,13 +303,48 @@ impl TargetCatalog {
     /// The bound carries forward into every future snapshot, since each
     /// snapshot's cache is cloned from its predecessor.
     pub fn with_selection_capacity(capacity: Option<usize>) -> Self {
-        let (snapshot, _) = CatalogSnapshot::build(0, Database::new("target-catalog"), None);
+        TargetCatalog::with_warm_config(
+            capacity,
+            DEFAULT_RESTRICTED_PROFILE_CAPACITY,
+            GramInterner::global(),
+        )
+    }
+
+    /// An empty catalog with explicit warm-artifact policy: the selection
+    /// cache bound, the restricted-profile cache bound (`0` disables
+    /// restricted-column caching), and the catalog-scoped [`GramInterner`]
+    /// every snapshot's columns intern against. Pass a private interner for
+    /// an isolated id space (tests, multi-tenant processes); the default
+    /// ([`GramInterner::global`]) lets ad-hoc columns outside the catalog
+    /// share ids with it.
+    pub fn with_warm_config(
+        selection_capacity: Option<usize>,
+        restricted_capacity: usize,
+        interner: Arc<GramInterner>,
+    ) -> Self {
+        let (snapshot, _) = CatalogSnapshot::build(
+            0,
+            Database::new("target-catalog"),
+            None,
+            &interner,
+            restricted_capacity,
+        );
         snapshot
             .selections
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .set_table_capacity(capacity);
-        TargetCatalog { current: RwLock::new(Arc::new(snapshot)), update_lock: Mutex::new(()) }
+            .set_table_capacity(selection_capacity);
+        TargetCatalog {
+            current: RwLock::new(Arc::new(snapshot)),
+            update_lock: Mutex::new(()),
+            interner,
+            restricted_capacity,
+        }
+    }
+
+    /// The catalog-scoped interner (shared by every snapshot).
+    pub fn interner(&self) -> &Arc<GramInterner> {
+        &self.interner
     }
 
     /// The current snapshot. The returned `Arc` stays valid (and immutable)
@@ -261,7 +393,9 @@ impl TargetCatalog {
     pub fn drop_table(&self, name: &str) -> Option<CatalogUpdate> {
         self.update(|prev| {
             let mut db = prev.database.clone();
-            if db.remove_table(name).is_none() {
+            // remove_shared_table: the dropped instance is discarded, so
+            // never pay remove_table's clone-out of still-shared rows.
+            if db.remove_shared_table(name).is_none() {
                 return Err(Error::UnknownTable(name.to_string()));
             }
             Ok(db)
@@ -272,12 +406,13 @@ impl TargetCatalog {
     /// Serialize writers, derive the next database from the current
     /// snapshot, build the new snapshot (reusing unchanged tables), and swap.
     ///
-    /// The derived `Database` is an owned copy, so an update currently costs
-    /// O(total target rows) in tuple clones even when only one table
-    /// changed; the *expensive* artifacts (column batches, memoized
-    /// profiles, selections) are reused per fingerprint. Sharing unchanged
-    /// row storage across snapshots needs `Arc`-backed `Table` rows — a
-    /// ROADMAP follow-up.
+    /// `Database` stores its tables behind `Arc`s, so deriving the next
+    /// instance shares the row storage of every unchanged table — a
+    /// single-table replace copies one table's tuples, not the whole target
+    /// ([`CatalogUpdate::shared`] / [`CatalogUpdate::copied`] report the
+    /// split) — and the expensive artifacts (column batches, memoized
+    /// profiles, selections, restricted-column profiles) are reused per
+    /// fingerprint on top.
     fn update<F>(&self, next_database: F) -> Result<CatalogUpdate>
     where
         F: FnOnce(&CatalogSnapshot) -> Result<Database>,
@@ -285,7 +420,13 @@ impl TargetCatalog {
         let _writers = self.update_lock.lock().unwrap_or_else(PoisonError::into_inner);
         let prev = self.snapshot();
         let database = next_database(&prev)?;
-        let (snapshot, update) = CatalogSnapshot::build(prev.version() + 1, database, Some(&prev));
+        let (snapshot, update) = CatalogSnapshot::build(
+            prev.version() + 1,
+            database,
+            Some(&prev),
+            &self.interner,
+            self.restricted_capacity,
+        );
         *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
         Ok(update)
     }
@@ -326,7 +467,15 @@ mod tests {
         let update = catalog.register_database(&target());
         assert_eq!(
             update,
-            CatalogUpdate { version: 1, tables: 2, reused: 0, rebuilt: 2, dropped: 0 }
+            CatalogUpdate {
+                version: 1,
+                tables: 2,
+                reused: 0,
+                rebuilt: 2,
+                dropped: 0,
+                shared: 0,
+                copied: 2
+            }
         );
         let snap = catalog.snapshot();
         let names: Vec<String> = snap.columns().iter().map(|c| c.attr.to_string()).collect();
@@ -347,11 +496,21 @@ mod tests {
         // Warm one column's profile in the live snapshot.
         let warm_profile = first.columns()[0].qgram3_profile();
 
-        // Re-registering identical content reuses every table.
+        // Re-registering identical content reuses every table — including
+        // the row storage, deduplicated by fingerprint against the previous
+        // snapshot even though the caller passed an independent instance.
         let update = catalog.register_database(&target());
         assert_eq!(
             update,
-            CatalogUpdate { version: 2, tables: 2, reused: 2, rebuilt: 0, dropped: 0 }
+            CatalogUpdate {
+                version: 2,
+                tables: 2,
+                reused: 2,
+                rebuilt: 0,
+                dropped: 0,
+                shared: 2,
+                copied: 0
+            }
         );
         let second = catalog.snapshot();
         assert!(
@@ -364,12 +523,50 @@ mod tests {
             catalog.replace_table(table("music", &[("blue train", "blue note cd")])).unwrap();
         assert_eq!(
             update,
-            CatalogUpdate { version: 3, tables: 2, reused: 1, rebuilt: 1, dropped: 0 }
+            CatalogUpdate {
+                version: 3,
+                tables: 2,
+                reused: 1,
+                rebuilt: 1,
+                dropped: 0,
+                shared: 1,
+                copied: 1
+            }
         );
         let third = catalog.snapshot();
         assert!(Arc::ptr_eq(&warm_profile, &third.columns()[0].qgram3_profile()));
         assert_ne!(third.fingerprint_of("music"), first.fingerprint_of("music"));
         assert_eq!(third.fingerprint_of("book"), first.fingerprint_of("book"));
+    }
+
+    #[test]
+    fn unchanged_row_storage_is_shared_across_snapshots() {
+        let catalog = TargetCatalog::new();
+        catalog.register_database(&target());
+        let first = catalog.snapshot();
+        // A single-table replace shares the untouched table's Arc.
+        catalog.replace_table(table("music", &[("blue train", "blue note cd")])).unwrap();
+        let second = catalog.snapshot();
+        assert!(Arc::ptr_eq(
+            first.database().shared_table("book").unwrap(),
+            second.database().shared_table("book").unwrap(),
+        ));
+        assert!(!Arc::ptr_eq(
+            first.database().shared_table("music").unwrap(),
+            second.database().shared_table("music").unwrap(),
+        ));
+        // Even a wholesale re-register of equal content dedups to the warm
+        // Arcs by fingerprint.
+        let update = catalog.register_database(&second.database().clone());
+        assert_eq!((update.shared, update.copied), (2, 0));
+        let third = catalog.snapshot();
+        assert!(Arc::ptr_eq(
+            second.database().shared_table("music").unwrap(),
+            third.database().shared_table("music").unwrap(),
+        ));
+        // The restricted-profile cache and interner carry across snapshots.
+        assert!(Arc::ptr_eq(first.interner(), third.interner()));
+        assert_eq!(third.restricted_profiles().lock().unwrap().capacity(), 4096);
     }
 
     #[test]

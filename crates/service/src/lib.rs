@@ -25,8 +25,18 @@
 //!   snapshot over the existing work-stealing pool (parallel source-table
 //!   shards, parallel view scoring); [`MatchService::submit_batch`] runs a
 //!   sequence of sources. Every response carries [`RequestTelemetry`]:
-//!   q-gram profile builds, selection-cache hits/misses, classifier work
-//!   units, and which warm artifacts were reused.
+//!   q-gram profile builds, selection-cache hits/misses, restricted-profile
+//!   cache hits/misses, classifier work units, and which warm artifacts
+//!   were reused.
+//!
+//! Snapshots also carry a bounded, fingerprint-keyed
+//! [`cxm_core::RestrictedProfileCache`] forward across updates: the
+//! view-restricted columns `ScoreMatch` derives per candidate view are
+//! profiled once and reused by every later request over the same source
+//! content — a warm repeat performs **zero** q-gram profile builds even
+//! when candidate views are in play. All scoring runs on the interned flat
+//! kernels of [`cxm_matching::intern`] (the catalog scopes a shared
+//! [`cxm_matching::GramInterner`] for every column it hands out).
 //!
 //! The warm path is **byte-identical** to a cold one-shot
 //! `ContextualMatcher::run` against the same instances — warm artifacts hold
@@ -37,5 +47,7 @@
 mod catalog;
 mod service;
 
-pub use catalog::{CatalogSnapshot, CatalogUpdate, TargetCatalog};
+pub use catalog::{
+    CatalogSnapshot, CatalogUpdate, TargetCatalog, DEFAULT_RESTRICTED_PROFILE_CAPACITY,
+};
 pub use service::{MatchResponse, MatchService, RequestTelemetry, ServiceConfig};

@@ -9,10 +9,10 @@ use cxm_core::{
     PreparedTargets, SharedSelections,
 };
 use cxm_matching::column::telemetry as profile_telemetry;
-use cxm_matching::ColumnData;
+use cxm_matching::{ColumnData, GramInterner};
 use cxm_relational::{Database, Fnv64, Result, Table};
 
-use crate::catalog::{CatalogUpdate, TargetCatalog};
+use crate::catalog::{CatalogUpdate, TargetCatalog, DEFAULT_RESTRICTED_PROFILE_CAPACITY};
 
 /// Configuration of a [`MatchService`].
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +27,11 @@ pub struct ServiceConfig {
     /// evicted first); `0` means unbounded. Bounds the cache's memory under
     /// many distinct source schemas.
     pub selection_cache_tables: usize,
+    /// How many view-restricted columns the cross-request
+    /// [`cxm_core::RestrictedProfileCache`] retains (oldest inserted evicted
+    /// first); `0` disables restricted-column caching — every request then
+    /// re-profiles its candidate views' columns, as before PR 4.
+    pub restricted_profile_entries: usize,
 }
 
 impl Default for ServiceConfig {
@@ -35,6 +40,7 @@ impl Default for ServiceConfig {
             context: ContextMatchConfig::default(),
             source_cache_capacity: 16,
             selection_cache_tables: 64,
+            restricted_profile_entries: DEFAULT_RESTRICTED_PROFILE_CAPACITY,
         }
     }
 }
@@ -59,6 +65,12 @@ pub struct RequestTelemetry {
     pub selection_cache_hits: usize,
     /// Selection-cache misses during the request (atom scans performed).
     pub selection_cache_misses: usize,
+    /// View-restricted columns served from the cross-request
+    /// restricted-profile cache (profile builds avoided).
+    pub restricted_profile_hits: usize,
+    /// View-restricted columns the cache had not seen (profiles built and
+    /// published for later requests).
+    pub restricted_profile_misses: usize,
     /// Classifier scoring/training work units spent on view inference.
     pub classifier_work_units: usize,
     /// Whether the source database's column batch was served from the warm
@@ -71,11 +83,14 @@ impl fmt::Display for RequestTelemetry {
         write!(
             f,
             "catalog v{}, {} profile builds, selections {} hit / {} miss, \
-             {} classifier work units, source cache {}",
+             restricted profiles {} hit / {} miss, {} classifier work units, \
+             source cache {}",
             self.catalog_version,
             self.qgram_profile_builds,
             self.selection_cache_hits,
             self.selection_cache_misses,
+            self.restricted_profile_hits,
+            self.restricted_profile_misses,
             self.classifier_work_units,
             if self.source_cache_hit { "hit" } else { "miss" },
         )
@@ -146,7 +161,11 @@ impl MatchService {
             (config.selection_cache_tables > 0).then_some(config.selection_cache_tables);
         MatchService {
             matcher: ContextualMatcher::new(config.context),
-            catalog: TargetCatalog::with_selection_capacity(selection_capacity),
+            catalog: TargetCatalog::with_warm_config(
+                selection_capacity,
+                config.restricted_profile_entries,
+                GramInterner::global(),
+            ),
             sources: Mutex::new(SourceCache::new(config.source_cache_capacity)),
         }
     }
@@ -221,11 +240,21 @@ impl MatchService {
         // critical sections — see `SharedSelections`).
         let table_fingerprints = source.table_fingerprints();
         let source_key = combined_fingerprint(&table_fingerprints);
-        let (source_columns, source_cache_hit) = self.source_columns(source, source_key);
+        let (source_columns, source_cache_hit) =
+            self.source_columns(source, source_key, snapshot.interner());
 
         let (hits_before, misses_before) = {
             let cache = snapshot.selections().lock().unwrap_or_else(PoisonError::into_inner);
             (cache.hits(), cache.misses())
+        };
+        // With a capacity-0 (disabled) cache, don't thread it into scoring
+        // at all: every lookup would be a guaranteed miss paying two mutex
+        // round-trips per restricted column.
+        let (profile_hits_before, profile_misses_before, restricted_profiles) = {
+            let cache =
+                snapshot.restricted_profiles().lock().unwrap_or_else(PoisonError::into_inner);
+            let enabled = (cache.capacity() > 0).then(|| snapshot.restricted_profiles());
+            (cache.hits(), cache.misses(), enabled)
         };
         let builds_before = profile_telemetry::qgram_profile_builds();
         let work_before = cxm_classify::telemetry::work_units();
@@ -239,6 +268,7 @@ impl MatchService {
                 shared_selections: Some(SharedSelections {
                     cache: snapshot.selections(),
                     source_fingerprints: &table_fingerprints,
+                    restricted_profiles,
                 }),
             },
         )?;
@@ -247,11 +277,18 @@ impl MatchService {
             let cache = snapshot.selections().lock().unwrap_or_else(PoisonError::into_inner);
             (cache.hits(), cache.misses())
         };
+        let (profile_hits_after, profile_misses_after) = {
+            let cache =
+                snapshot.restricted_profiles().lock().unwrap_or_else(PoisonError::into_inner);
+            (cache.hits(), cache.misses())
+        };
         let telemetry = RequestTelemetry {
             catalog_version: snapshot.version(),
             qgram_profile_builds: profile_telemetry::qgram_profile_builds() - builds_before,
             selection_cache_hits: hits_after - hits_before,
             selection_cache_misses: misses_after - misses_before,
+            restricted_profile_hits: profile_hits_after - profile_hits_before,
+            restricted_profile_misses: profile_misses_after - profile_misses_before,
             classifier_work_units: cxm_classify::telemetry::work_units() - work_before,
             source_cache_hit,
         };
@@ -264,6 +301,7 @@ impl MatchService {
         &self,
         source: &Database,
         key: u64,
+        interner: &Arc<GramInterner>,
     ) -> (Arc<PreparedSourceColumns<'static>>, bool) {
         if let Some(columns) = self.sources.lock().unwrap_or_else(PoisonError::into_inner).get(key)
         {
@@ -273,7 +311,7 @@ impl MatchService {
         // holding the lock for that would serialize admission of concurrent
         // requests. A racing builder is benign — batches are content-equal —
         // but the first inserted Arc stays canonical.
-        let columns = Arc::new(build_source_columns(source));
+        let columns = Arc::new(build_source_columns(source, interner));
         let mut cache = self.sources.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(existing) = cache.get(key) {
             return (existing, true);
@@ -285,7 +323,12 @@ impl MatchService {
 
 /// Pre-extract every table's columns in [`ColumnData::all_from_table`]
 /// layout, in `Arc`-shared storage so cache hits share values and profiles.
-fn build_source_columns(source: &Database) -> PreparedSourceColumns<'static> {
+/// Columns intern against the catalog's interner so the flat kernels apply
+/// to every (source, target) pair.
+fn build_source_columns(
+    source: &Database,
+    interner: &Arc<GramInterner>,
+) -> PreparedSourceColumns<'static> {
     source
         .tables()
         .map(|table| {
@@ -296,6 +339,7 @@ fn build_source_columns(source: &Database) -> PreparedSourceColumns<'static> {
                 .map(|a| {
                     ColumnData::shared_from_table(table, &a.name)
                         .expect("attribute comes from the table's own schema")
+                        .with_interner(Arc::clone(interner))
                 })
                 .collect();
             (table.name().to_string(), columns)
@@ -492,11 +536,14 @@ mod tests {
             qgram_profile_builds: 0,
             selection_cache_hits: 5,
             selection_cache_misses: 1,
+            restricted_profile_hits: 7,
+            restricted_profile_misses: 2,
             classifier_work_units: 42,
             source_cache_hit: true,
         };
         let s = t.to_string();
         assert!(s.contains("catalog v3"));
+        assert!(s.contains("restricted profiles 7 hit / 2 miss"));
         assert!(s.contains("source cache hit"));
     }
 }

@@ -191,6 +191,102 @@ proptest! {
     }
 }
 
+mod interned_kernels {
+    use std::sync::Arc;
+
+    use proptest::prelude::*;
+
+    use cxm_matching::instance::{QGramMatcher, ValueOverlapMatcher};
+    use cxm_matching::{ColumnData, GramInterner, Matcher};
+    use cxm_relational::{AttrRef, DataType};
+
+    /// Alphabet the generated values draw from: small, with a space and a
+    /// digit, so profiles overlap often (the interesting regime for the
+    /// merge-join kernels) and normalization is exercised.
+    const ALPHABET: &[char] = &['a', 'b', 'c', ' ', 'x', '7'];
+
+    /// Render index vectors (what the vendored proptest shim can generate)
+    /// into value strings over [`ALPHABET`].
+    fn texts(raw: Vec<Vec<usize>>) -> Vec<String> {
+        raw.into_iter()
+            .map(|word| word.into_iter().map(|i| ALPHABET[i % ALPHABET.len()]).collect())
+            .collect()
+    }
+
+    /// Strategy for a column's raw values: up to 40 strings of up to 12
+    /// alphabet characters.
+    fn column_values() -> impl Strategy<Value = Vec<Vec<usize>>> {
+        prop::collection::vec(prop::collection::vec(0usize..6, 0..12), 0..40)
+    }
+
+    fn column(
+        name: &str,
+        values: Vec<String>,
+        interner: &Arc<GramInterner>,
+    ) -> ColumnData<'static> {
+        ColumnData::owned(
+            AttrRef::new("t", name),
+            DataType::Text,
+            values.into_iter().map(cxm_relational::Value::str).collect(),
+        )
+        .with_interner(Arc::clone(interner))
+    }
+
+    proptest! {
+        /// The interned merge-join cosine agrees with the legacy
+        /// `BTreeMap<String, f64>` kernel to within 1e-12 on arbitrary
+        /// columns (the two kernels round differently: legacy normalizes
+        /// each profile before the dot product, the interned kernel keeps
+        /// exact integer counts and divides by the norms once).
+        #[test]
+        fn interned_cosine_matches_legacy(a in column_values(), b in column_values()) {
+            let interner = Arc::new(GramInterner::new());
+            let ca = column("a", texts(a), &interner);
+            let cb = column("b", texts(b), &interner);
+            let fast = QGramMatcher::new().score(&ca, &cb);
+            let slow = QGramMatcher::legacy().score(&ca, &cb);
+            prop_assert!((fast - slow).abs() <= 1e-12, "interned {fast} vs legacy {slow}");
+            prop_assert!((0.0..=1.0).contains(&fast));
+            // Symmetry holds bit-exactly for the interned kernel.
+            prop_assert_eq!(
+                QGramMatcher::new().score(&cb, &ca).to_bits(),
+                fast.to_bits()
+            );
+        }
+
+        /// The interned merge-join Jaccard is **bit-identical** to the
+        /// legacy `BTreeSet<String>` kernel: both divide the same two
+        /// intersection/union counts.
+        #[test]
+        fn interned_jaccard_matches_legacy(a in column_values(), b in column_values()) {
+            let interner = Arc::new(GramInterner::new());
+            let ca = column("a", texts(a), &interner);
+            let cb = column("b", texts(b), &interner);
+            let fast = ValueOverlapMatcher::new().score(&ca, &cb);
+            let slow = ValueOverlapMatcher::legacy().score(&ca, &cb);
+            prop_assert_eq!(fast.to_bits(), slow.to_bits(), "interned {} vs legacy {}", fast, slow);
+        }
+
+        /// Interner ids round-trip (`resolve(intern(s)) == s`), are stable
+        /// on re-intern, and are injective over distinct strings.
+        #[test]
+        fn interner_ids_round_trip(raw in prop::collection::vec(prop::collection::vec(0usize..6, 0..8), 1..60)) {
+            let strings = texts(raw);
+            let interner = GramInterner::new();
+            let ids: Vec<u32> = strings.iter().map(|s| interner.intern(s)).collect();
+            for (s, &id) in strings.iter().zip(&ids) {
+                prop_assert_eq!(interner.resolve(id).as_deref(), Some(s.as_str()));
+                prop_assert_eq!(interner.intern(s), id, "re-interning must be stable");
+                prop_assert_eq!(interner.lookup(s), Some(id));
+            }
+            let distinct: std::collections::BTreeSet<&String> = strings.iter().collect();
+            let distinct_ids: std::collections::BTreeSet<u32> = ids.iter().copied().collect();
+            prop_assert_eq!(distinct.len(), distinct_ids.len(), "ids are injective");
+            prop_assert_eq!(interner.len(), distinct.len());
+        }
+    }
+}
+
 mod par_shim {
     use proptest::prelude::*;
     use rayon::prelude::*;

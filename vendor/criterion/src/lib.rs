@@ -182,7 +182,11 @@ impl Criterion {
         self
     }
 
-    fn filter_matches(&self, full_name: &str) -> bool {
+    /// Whether a benchmark id passes the CLI substring filter (always true
+    /// when no filter was given). Public so bench code with side effects
+    /// outside the group runner (e.g. report writers) can honor the filter
+    /// the same way the groups do.
+    pub fn filter_matches(&self, full_name: &str) -> bool {
         match &self.filter {
             Some(f) => full_name.contains(f.as_str()),
             None => true,
