@@ -15,10 +15,13 @@
 //! cross-request restricted-profile cache — vs partial rebuild after a
 //! single-table replace).
 //!
-//! The final `pr4_report` "benchmark" re-measures the PR 4 comparisons with
-//! plain wall clocks and writes a machine-readable summary to
-//! `BENCH_PR4.json` at the repository root (it runs in `--test` smoke mode
-//! too, so CI can archive the file as an artifact).
+//! The final `pr4_report` / `pr5_report` "benchmarks" re-measure the PR 4
+//! and PR 5 comparisons with plain wall clocks and write machine-readable
+//! summaries to `BENCH_PR4.json` / `BENCH_PR5.json` at the repository root
+//! (they run in `--test` smoke mode too, so CI can archive the files as
+//! artifacts). PR 5's report covers the column-granular warm keys and the
+//! whole-match result cache: single-column replace vs full-table replace vs
+//! full re-register vs warm repeat vs result-cache hit.
 
 use std::time::Instant;
 
@@ -31,7 +34,69 @@ use cxm_core::{
 };
 use cxm_datagen::{generate_multi_table_retail, generate_retail, RetailConfig};
 use cxm_matching::StandardMatcher;
+use cxm_relational::{DataType, Database, Table, Tuple, Value};
 use cxm_service::{MatchService, ServiceConfig};
+
+/// A copy of `table` with every value of one column textually perturbed —
+/// the "small, continuous drift" unit the column-granular warm keys target.
+fn with_column_edited(table: &Table, column: &str) -> Table {
+    let index = table.schema().index_of(column).expect("column exists");
+    let rows = table
+        .rows()
+        .iter()
+        .map(|row| {
+            Tuple::new(
+                (0..table.schema().arity())
+                    .map(|i| {
+                        if i == index {
+                            Value::str(format!("{}~", row.at(i).as_text()))
+                        } else {
+                            row.at(i).clone()
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    Table::with_rows(table.schema().clone(), rows).expect("schema unchanged")
+}
+
+/// The name of some text column of `table` (the edit target).
+fn some_text_column(table: &Table) -> String {
+    table
+        .schema()
+        .attributes()
+        .iter()
+        .find(|a| a.data_type == DataType::Text)
+        .map(|a| a.name.clone())
+        .expect("retail tables have text columns")
+}
+
+/// A copy of `table` with EVERY column perturbed (all columns re-key).
+fn with_all_columns_edited(table: &Table) -> Table {
+    let rows = table
+        .rows()
+        .iter()
+        .map(|row| {
+            Tuple::new(
+                (0..table.schema().arity())
+                    .map(|i| Value::str(format!("{}~", row.at(i).as_text())))
+                    .collect(),
+            )
+        })
+        .collect();
+    // All-text variant of the schema so the perturbed values stay valid.
+    let schema = cxm_relational::TableSchema::new(
+        table.name(),
+        table
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| cxm_relational::Attribute::text(&a.name))
+            .collect::<Vec<_>>(),
+    );
+    Table::with_rows(schema, rows).expect("arity unchanged")
+}
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig16_17_scaling");
@@ -287,7 +352,12 @@ fn bench_service_warm_vs_cold(c: &mut Criterion) {
         })
     });
 
-    let warm = MatchService::new(config);
+    // Warm-path repeats disable whole-match result memoization: a default
+    // service would serve them from the result cache (measured separately
+    // below) and the matcher would never run.
+    let rerun_config =
+        ServiceConfig { context: config, match_result_entries: 0, ..ServiceConfig::default() };
+    let warm = MatchService::with_config(rerun_config);
     warm.register_target(&dataset.target);
     warm.submit(&dataset.source).expect("well-formed dataset");
     group.bench_function("warm_repeat", |b| {
@@ -298,21 +368,30 @@ fn bench_service_warm_vs_cold(c: &mut Criterion) {
     // disabled: every iteration re-profiles the candidate views' restricted
     // columns (the pre-PR 4 warm path). The delta against `warm_repeat` is
     // the cache's contribution.
-    let uncached = MatchService::with_config(ServiceConfig {
-        context: config,
-        restricted_profile_entries: 0,
-        ..ServiceConfig::default()
-    });
+    let uncached =
+        MatchService::with_config(ServiceConfig { restricted_profile_entries: 0, ..rerun_config });
     uncached.register_target(&dataset.target);
     uncached.submit(&dataset.source).expect("well-formed dataset");
     group.bench_function("warm_repeat_no_restricted_cache", |b| {
         b.iter(|| uncached.submit(&dataset.source).expect("well-formed dataset"))
     });
 
+    // A repeat under the default configuration: pure result-cache hit.
+    let memoized = MatchService::new(config);
+    memoized.register_target(&dataset.target);
+    memoized.submit(&dataset.source).expect("well-formed dataset");
+    group.bench_function("result_cache_hit", |b| {
+        b.iter(|| {
+            let response = memoized.submit(&dataset.source).expect("well-formed dataset");
+            assert!(response.telemetry.result_cache_hit);
+            response
+        })
+    });
+
     // Alternate one target table between two variants so every iteration
     // really changes its fingerprint (a same-fingerprint replace is a no-op
     // rebuild) while the other table stays warm.
-    let partial = MatchService::new(config);
+    let partial = MatchService::with_config(rerun_config);
     partial.register_target(&dataset.target);
     partial.submit(&dataset.source).expect("well-formed dataset");
     let original = dataset.target.tables().next().expect("retail target has tables").clone();
@@ -324,6 +403,23 @@ fn bench_service_warm_vs_cold(c: &mut Criterion) {
             let table = if flip { variant.clone() } else { original.clone() };
             partial.replace_table(table).expect("table is registered");
             partial.submit(&dataset.source).expect("well-formed dataset")
+        })
+    });
+
+    // PR 5: alternate ONE COLUMN of that table between two variants — the
+    // column-granular keys rebuild exactly one column's artifacts per
+    // iteration while every sibling stays warm.
+    let column_service = MatchService::with_config(rerun_config);
+    column_service.register_target(&dataset.target);
+    column_service.submit(&dataset.source).expect("well-formed dataset");
+    let edited = with_column_edited(&original, &some_text_column(&original));
+    let mut flip = false;
+    group.bench_function("replace_one_column_then_match", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let table = if flip { edited.clone() } else { original.clone() };
+            column_service.replace_table(table).expect("table is registered");
+            column_service.submit(&dataset.source).expect("well-formed dataset")
         })
     });
     group.finish();
@@ -388,13 +484,19 @@ fn bench_pr4_report(c: &mut Criterion) {
         service.register_target(&dataset.target);
         service.submit(&dataset.source).expect("well-formed dataset")
     });
-    let warm_service = MatchService::new(config);
+    // Result memoization off: the PR 4 numbers measure real warm re-runs.
+    let warm_service = MatchService::with_config(ServiceConfig {
+        context: config,
+        match_result_entries: 0,
+        ..ServiceConfig::default()
+    });
     warm_service.register_target(&dataset.target);
     warm_service.submit(&dataset.source).expect("well-formed dataset");
     let warm = median_secs(RUNS, || warm_service.submit(&dataset.source).expect("dataset"));
     let uncached_service = MatchService::with_config(ServiceConfig {
         context: config,
         restricted_profile_entries: 0,
+        match_result_entries: 0,
         ..ServiceConfig::default()
     });
     uncached_service.register_target(&dataset.target);
@@ -418,6 +520,125 @@ fn bench_pr4_report(c: &mut Criterion) {
     println!("pr4_report: wrote {path}");
 }
 
+/// Measure the PR 5 reuse ladder with plain wall clocks and write the
+/// machine-readable summary `BENCH_PR5.json` at the repository root: a cold
+/// register+match, a full re-register (every column of every table changed),
+/// a full single-table replace (every column of one table changed), a
+/// single-**column** replace (exactly one column changed — the
+/// column-granular warm keys' target case), a warm repeat (result
+/// memoization off), and a whole-match result-cache hit. Runs in `--test`
+/// smoke mode too, so CI always produces the artifact, and honors the CLI
+/// substring filter like any other benchmark.
+fn bench_pr5_report(c: &mut Criterion) {
+    if !c.filter_matches("pr5_report") {
+        return;
+    }
+    const RUNS: usize = 5;
+    let dataset = generate_retail(&RetailConfig {
+        source_items: 100,
+        target_rows: 600,
+        ..RetailConfig::default()
+    });
+    let config =
+        ContextMatchConfig::default().with_inference(ViewInferenceStrategy::Naive).with_tau(0.4);
+    let rerun_config =
+        ServiceConfig { context: config, match_result_entries: 0, ..ServiceConfig::default() };
+
+    let cold = median_secs(RUNS, || {
+        let service = MatchService::new(config);
+        service.register_target(&dataset.target);
+        service.submit(&dataset.source).expect("well-formed dataset")
+    });
+
+    // Full re-register: alternate the whole target between the original and
+    // an everything-changed variant, so every table (and column) re-keys.
+    let all_changed = {
+        let mut db = Database::new(dataset.target.name());
+        for table in dataset.target.tables() {
+            db.replace_table(with_all_columns_edited(table));
+        }
+        db
+    };
+    let reregister_service = MatchService::with_config(rerun_config);
+    reregister_service.register_target(&dataset.target);
+    reregister_service.submit(&dataset.source).expect("well-formed dataset");
+    let mut flip = false;
+    let full_reregister = median_secs(RUNS, || {
+        flip = !flip;
+        reregister_service.register_target(if flip { &all_changed } else { &dataset.target });
+        reregister_service.submit(&dataset.source).expect("well-formed dataset")
+    });
+
+    // Full single-table replace: every column of one table changes.
+    let original = dataset.target.tables().next().expect("retail target has tables").clone();
+    let table_service = MatchService::with_config(rerun_config);
+    table_service.register_target(&dataset.target);
+    table_service.submit(&dataset.source).expect("well-formed dataset");
+    let table_variant = with_all_columns_edited(&original);
+    let mut flip = false;
+    let table_replace = median_secs(RUNS, || {
+        flip = !flip;
+        table_service
+            .replace_table(if flip { table_variant.clone() } else { original.clone() })
+            .expect("table is registered");
+        table_service.submit(&dataset.source).expect("well-formed dataset")
+    });
+
+    // Single-column replace: exactly one column of that table changes — the
+    // drift case the column-granular keys make cheap.
+    let column_service = MatchService::with_config(rerun_config);
+    column_service.register_target(&dataset.target);
+    column_service.submit(&dataset.source).expect("well-formed dataset");
+    let column_variant = with_column_edited(&original, &some_text_column(&original));
+    let mut flip = false;
+    let column_replace = median_secs(RUNS, || {
+        flip = !flip;
+        let update = column_service
+            .replace_table(if flip { column_variant.clone() } else { original.clone() })
+            .expect("table is registered");
+        assert_eq!(update.columns_rebuilt, 1, "exactly one column re-keys per flip");
+        column_service.submit(&dataset.source).expect("well-formed dataset")
+    });
+
+    // Warm repeat (no content change, result memoization off) and the
+    // result-cache hit (default configuration).
+    let warm_service = MatchService::with_config(rerun_config);
+    warm_service.register_target(&dataset.target);
+    warm_service.submit(&dataset.source).expect("well-formed dataset");
+    let warm = median_secs(RUNS, || warm_service.submit(&dataset.source).expect("dataset"));
+
+    let memoized = MatchService::new(config);
+    memoized.register_target(&dataset.target);
+    memoized.submit(&dataset.source).expect("well-formed dataset");
+    let hit = median_secs(RUNS, || {
+        let response = memoized.submit(&dataset.source).expect("dataset");
+        assert!(response.telemetry.result_cache_hit);
+        response
+    });
+
+    let json = format!(
+        "{{\n  \"pr\": 5,\n  \"description\": \"Column-granular warm-artifact keys and the \
+         whole-match result cache on the retail service scenario (100x600 rows, Naive \
+         inference, medians of {RUNS} runs): the reuse ladder from a cold register+match \
+         down to a pure result-cache hit\",\n  \"service_reuse_ladder\": {{\n    \
+         \"cold_register_and_match_ms\": {:.3},\n    \
+         \"full_reregister_then_match_ms\": {:.3},\n    \
+         \"replace_one_table_then_match_ms\": {:.3},\n    \
+         \"replace_one_column_then_match_ms\": {:.3},\n    \
+         \"warm_repeat_ms\": {:.3},\n    \
+         \"result_cache_hit_ms\": {:.4}\n  }}\n}}\n",
+        cold * 1e3,
+        full_reregister * 1e3,
+        table_replace * 1e3,
+        column_replace * 1e3,
+        warm * 1e3,
+        hit * 1e3,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
+    std::fs::write(path, &json).expect("BENCH_PR5.json is writable");
+    println!("pr5_report: wrote {path}");
+}
+
 criterion_group!(
     benches,
     bench_scaling,
@@ -425,6 +646,7 @@ criterion_group!(
     bench_interned_kernels,
     bench_sharded_standard_match,
     bench_service_warm_vs_cold,
-    bench_pr4_report
+    bench_pr4_report,
+    bench_pr5_report
 );
 criterion_main!(benches);

@@ -156,6 +156,41 @@ impl ContextMatchConfig {
         self.seed = seed;
         self
     }
+
+    /// A deterministic signature of **every** knob of this configuration —
+    /// the configuration third of a [`crate::MatchResultKey`]. Two
+    /// configurations with equal signatures run identically on identical
+    /// inputs, so a memoized result can be served across requests exactly
+    /// when their signatures (and content keys) agree. Floats are folded in
+    /// by bit pattern; enums by their declared position.
+    pub fn signature(&self) -> u64 {
+        let mut h = cxm_relational::Fnv64::with_seed(0x6378_6d5f_6366_6731);
+        h.write_u64(self.matching.tau.to_bits());
+        h.write_u64(self.matching.min_sample as u64);
+        h.write_u64(self.omega.to_bits());
+        h.write_u8(u8::from(self.early_disjuncts));
+        h.write_u8(match self.inference {
+            ViewInferenceStrategy::Naive => 0,
+            ViewInferenceStrategy::SrcClass => 1,
+            ViewInferenceStrategy::TgtClass => 2,
+        });
+        h.write_u8(match self.selection {
+            SelectionStrategy::MultiTable => 0,
+            SelectionStrategy::QualTable => 1,
+        });
+        h.write_u64(self.min_match_improvement.to_bits());
+        h.write_u64(self.significance_threshold.to_bits());
+        h.write_u64(self.categorical.value_fraction.to_bits());
+        h.write_u64(self.categorical.tuple_fraction.to_bits());
+        h.write_u64(self.categorical.small_sample_size as u64);
+        h.write_u64(self.categorical.small_sample_values as u64);
+        h.write_u64(self.categorical.small_sample_tuples as u64);
+        h.write_u64(self.categorical.max_distinct as u64);
+        h.write_u64(self.split_ratio.0.to_bits());
+        h.write_u64(self.seed);
+        h.write_u64(self.max_candidate_views as u64);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +223,26 @@ mod tests {
         assert_eq!(c.selection, SelectionStrategy::MultiTable);
         assert!(!c.early_disjuncts);
         assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn signatures_discriminate_every_knob() {
+        let base = ContextMatchConfig::default();
+        assert_eq!(base.signature(), ContextMatchConfig::default().signature());
+        let variants = [
+            base.with_tau(0.7),
+            base.with_omega(9.0),
+            base.with_early_disjuncts(false),
+            base.with_inference(ViewInferenceStrategy::SrcClass),
+            base.with_selection(SelectionStrategy::MultiTable),
+            base.with_seed(18),
+            ContextMatchConfig { max_candidate_views: 7, ..base },
+            ContextMatchConfig { significance_threshold: 0.9, ..base },
+        ];
+        let mut signatures: Vec<u64> = variants.iter().map(|c| c.signature()).collect();
+        signatures.push(base.signature());
+        let distinct: std::collections::BTreeSet<u64> = signatures.iter().copied().collect();
+        assert_eq!(distinct.len(), signatures.len(), "every knob must change the signature");
     }
 
     #[test]

@@ -78,7 +78,11 @@ pub struct PreparedTargets<'a> {
 pub type PreparedSourceColumns<'a> = BTreeMap<String, Vec<ColumnData<'a>>>;
 
 /// The result of a `ContextMatch` run.
-#[derive(Debug, Default)]
+///
+/// `Clone` is deliberate: a clone preserves every score and confidence bit
+/// for bit, which is what lets [`crate::MatchResultCache`] serve memoized
+/// results that are byte-identical to the run that produced them.
+#[derive(Debug, Default, Clone)]
 pub struct ContextMatchResult {
     /// The matches selected for presentation (`M` in the paper) — contextual
     /// matches where a view qualified, standard matches as fallback.

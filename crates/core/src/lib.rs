@@ -32,6 +32,7 @@
 //! * The strawman configuration ([`strawman`]) = `NaiveInfer` + `MultiTable`,
 //!   used as a baseline in the experiments.
 
+pub mod bounded;
 pub mod candidate_views;
 pub mod clustered;
 pub mod config;
@@ -39,10 +40,12 @@ pub mod conjunctive;
 pub mod context_match;
 pub mod labeler;
 pub mod naive_infer;
+pub mod result_cache;
 pub mod score;
 pub mod select;
 pub mod strawman;
 
+pub use bounded::BoundedCache;
 pub use candidate_views::infer_candidate_views;
 pub use clustered::{clustered_view_gen, FamilyQuality, ScoredFamily};
 pub use config::{ContextMatchConfig, SelectionStrategy, ViewInferenceStrategy};
@@ -52,9 +55,11 @@ pub use context_match::{
 };
 pub use labeler::{LabelPredictor, SrcLabeler, TgtLabeler};
 pub use naive_infer::naive_infer;
+pub use result_cache::{MatchResultCache, MatchResultKey};
 pub use score::{
-    score_candidates, score_candidates_materializing, score_candidates_prepared,
-    score_candidates_with_targets, RestrictedKey, RestrictedProfileCache, SharedSelections,
+    condition_fingerprint, score_candidates, score_candidates_materializing,
+    score_candidates_prepared, score_candidates_with_targets, RestrictedKey,
+    RestrictedProfileCache, SharedSelections,
 };
 pub use select::select_contextual_matches;
 pub use strawman::strawman_config;

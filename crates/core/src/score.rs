@@ -24,7 +24,6 @@
 //!    output is byte-identical to the sequential evaluation (determinism is
 //!    asserted by the integration tests).
 
-use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use cxm_matching::{
@@ -114,44 +113,80 @@ pub struct SharedSelections<'a> {
     /// of the same views over the same source content builds **zero**
     /// q-gram profiles.
     pub restricted_profiles: Option<&'a Mutex<RestrictedProfileCache>>,
+    /// Version of the catalog snapshot whose warm caches these are (`0`
+    /// outside a snapshot-versioned catalog, e.g. ad-hoc shared caches in
+    /// tests). The version is threaded into every restricted-profile
+    /// publication so the cache can report which generations its entries
+    /// came from ([`RestrictedProfileCache::version_span`]); the keys
+    /// themselves stay content-fingerprinted, so entries remain valid — and
+    /// shareable — across versions.
+    pub catalog_version: u64,
 }
 
-/// Identity of one view-restricted column's derived artifacts: the **content
-/// fingerprint of the base table** the view selects from, the view's
-/// selection condition, the attribute, and the identity token of the
-/// [`cxm_matching::GramInterner`] the artifacts were built against. Two keys
-/// are equal exactly when the restricted value bag is guaranteed equal *and*
-/// the interned ids live in the same id space, so cached artifacts can never
-/// leak across different contents or interners — a changed base table
-/// changes its fingerprint and simply misses.
+/// Identity of one view-restricted column's derived artifacts, at **column
+/// granularity**: the content fingerprint of the restricted attribute's base
+/// column, the view's selection condition, the combined content fingerprint
+/// of the columns that condition reads, and the identity token of the
+/// [`cxm_matching::GramInterner`] the artifacts were built against.
+///
+/// Two keys are equal exactly when the restricted value bag is guaranteed
+/// equal — the restricted bag is a function of (attribute column values in
+/// row order, condition, condition-column values in row order), each pinned
+/// by a field — *and* the interned ids live in the same id space. Cached
+/// artifacts can therefore never leak across different contents or
+/// interners: changed content re-keys and simply misses. Unlike the previous
+/// table-fingerprint key, editing an *unrelated* column of the base table
+/// no longer invalidates anything.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RestrictedKey {
-    /// [`Table::fingerprint`] of the view's base table.
-    pub base_fingerprint: u64,
+    /// [`Table::column_fingerprint`] of the restricted (scored) attribute in
+    /// the view's base table.
+    pub column_fingerprint: u64,
     /// The view's selection condition (structural equality/hashing).
     pub condition: cxm_relational::Condition,
-    /// The restricted attribute's name.
-    pub attribute: String,
+    /// [`condition_fingerprint`] over the base table: the combined content
+    /// fingerprint of every column the condition reads.
+    pub condition_fingerprint: u64,
     /// [`cxm_matching::GramInterner::token`] of the column's interner.
     pub interner: u64,
 }
 
 impl RestrictedKey {
-    /// Build the key for one `(base table, view condition, attribute)` under
-    /// the given interner identity.
+    /// Build the key for one restricted column under the given interner
+    /// identity.
     pub fn new(
-        base_fingerprint: u64,
+        column_fingerprint: u64,
         condition: &cxm_relational::Condition,
-        attribute: &str,
+        condition_fingerprint: u64,
         interner: u64,
     ) -> Self {
         RestrictedKey {
-            base_fingerprint,
+            column_fingerprint,
             condition: condition.clone(),
-            attribute: attribute.to_string(),
+            condition_fingerprint,
             interner,
         }
     }
+}
+
+/// The combined content fingerprint of the columns `condition` reads from
+/// `base` — the condition half of a [`RestrictedKey`]. Attribute names are
+/// folded in alongside their [`Table::column_fingerprint`]s (a condition
+/// mentioning an attribute the table does not have contributes a marker
+/// byte), so conditions over different column sets never alias. A condition
+/// reading no columns at all (`Condition::True`) hashes to a constant: its
+/// selection is the full table, which the attribute-column fingerprint
+/// already pins.
+pub fn condition_fingerprint(base: &Table, condition: &cxm_relational::Condition) -> u64 {
+    let mut h = cxm_relational::Fnv64::with_seed(0x636f_6e64_5f66_7031);
+    for attribute in condition.attributes() {
+        h.write_str(&attribute);
+        match base.column_fingerprint(&attribute) {
+            Ok(fingerprint) => h.write_u64(fingerprint),
+            Err(_) => h.write_u8(0),
+        }
+    }
+    h.finish()
 }
 
 /// A bounded, fingerprint-keyed cache of view-restricted column artifacts —
@@ -167,24 +202,27 @@ impl RestrictedKey {
 /// [`score_candidates_prepared`] via [`SharedSelections`].
 #[derive(Debug, Clone, Default)]
 pub struct RestrictedProfileCache {
-    /// Maximum number of cached columns (0 = caching disabled).
-    capacity: usize,
-    entries: HashMap<RestrictedKey, ColumnArtifacts>,
-    order: VecDeque<RestrictedKey>,
-    hits: usize,
-    misses: usize,
+    entries: crate::bounded::BoundedCache<RestrictedKey, RestrictedEntry>,
+}
+
+/// One cached restricted column: its artifacts plus the catalog version that
+/// published it (diagnostic only — validity comes from the content key).
+#[derive(Debug, Clone)]
+struct RestrictedEntry {
+    artifacts: ColumnArtifacts,
+    version: u64,
 }
 
 impl RestrictedProfileCache {
     /// A cache retaining at most `capacity` restricted columns (oldest
     /// inserted evicted first); `0` disables caching entirely.
     pub fn with_capacity(capacity: usize) -> Self {
-        RestrictedProfileCache { capacity, ..RestrictedProfileCache::default() }
+        RestrictedProfileCache { entries: crate::bounded::BoundedCache::with_capacity(capacity) }
     }
 
     /// The configured entry bound.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.entries.capacity()
     }
 
     /// Number of cached restricted columns.
@@ -199,46 +237,43 @@ impl RestrictedProfileCache {
 
     /// Lookups served from the cache so far.
     pub fn hits(&self) -> usize {
-        self.hits
+        self.entries.hits()
     }
 
     /// Lookups that found nothing so far.
     pub fn misses(&self) -> usize {
-        self.misses
+        self.entries.misses()
+    }
+
+    /// Entries evicted by the capacity bound so far. A steadily climbing
+    /// eviction count under a steady workload means the bound is too small
+    /// for the live view/column population — the warm path silently degrades
+    /// to rebuilding, which is why the service surfaces this per request.
+    pub fn evictions(&self) -> usize {
+        self.entries.evictions()
+    }
+
+    /// The `(oldest, newest)` catalog versions among live entries (`None`
+    /// when empty) — a diagnostic for how many catalog generations the
+    /// content-keyed entries have outlived.
+    pub fn version_span(&self) -> Option<(u64, u64)> {
+        let mut versions = self.entries.values().map(|e| e.version);
+        let first = versions.next()?;
+        let (min, max) = versions.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v)));
+        Some((min, max))
     }
 
     /// The artifacts cached for `key`, recording a hit or miss.
     pub fn get(&mut self, key: &RestrictedKey) -> Option<ColumnArtifacts> {
-        match self.entries.get(key) {
-            Some(artifacts) => {
-                self.hits += 1;
-                Some(artifacts.clone())
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+        self.entries.get(key).map(|entry| entry.artifacts.clone())
     }
 
-    /// Cache `artifacts` under `key`, evicting oldest entries beyond the
-    /// capacity. Re-inserting an existing key replaces its artifacts in
-    /// place (its age is unchanged).
-    pub fn insert(&mut self, key: RestrictedKey, artifacts: ColumnArtifacts) {
-        if self.capacity == 0 {
-            return;
-        }
-        if self.entries.insert(key.clone(), artifacts).is_none() {
-            self.order.push_back(key);
-        }
-        while self.entries.len() > self.capacity {
-            match self.order.pop_front() {
-                Some(evicted) => {
-                    self.entries.remove(&evicted);
-                }
-                None => break,
-            }
-        }
+    /// Cache `artifacts` under `key`, tagged with the catalog `version` that
+    /// published them, evicting oldest entries beyond the capacity.
+    /// Re-inserting an existing key replaces its artifacts in place (its age
+    /// is unchanged).
+    pub fn insert(&mut self, key: RestrictedKey, artifacts: ColumnArtifacts, version: u64) {
+        self.entries.insert(key, RestrictedEntry { artifacts, version });
     }
 }
 
@@ -345,16 +380,19 @@ pub fn score_candidates_prepared<'a>(
     // view order below, which keeps the output deterministic regardless of
     // scheduling.
     let profile_cache = shared_selections.and_then(|shared| shared.restricted_profiles);
-    let source_fingerprints = shared_selections.map(|shared| shared.source_fingerprints);
+    let catalog_version = shared_selections.map(|shared| shared.catalog_version).unwrap_or(0);
     let per_view: Vec<Vec<Match>> = work
         .par_iter()
         .map(|(view, base, selection)| {
             let slice = TableSlice::new(base, selection);
             // Cross-request identity of this view's restricted columns: the
-            // base table's content fingerprint plus the condition signature
-            // (None outside the warm service path — then nothing is cached).
-            let cache_ctx = profile_cache
-                .zip(source_fingerprints.and_then(|fps| fps.get(&view.base_table).copied()));
+            // condition signature over the base table's *column* content
+            // fingerprints (None outside the warm service path — then
+            // nothing is cached). The per-column fingerprints are cached on
+            // the table instance, so after the service's admission scan this
+            // is a lookup, not a rescan.
+            let cache_ctx =
+                profile_cache.map(|cache| (cache, condition_fingerprint(base, &view.condition)));
             // Prototype matches frequently share a source attribute (one match
             // per target attribute); build each view-restricted column — and
             // thereby its memoized matcher profiles — once per attribute. The
@@ -379,11 +417,13 @@ pub fn score_candidates_prepared<'a>(
                             let column = ColumnData::from_slice(&column, view.name.clone())
                                 .with_interner(Arc::clone(target_col.interner()));
                             let mut fresh_for_cache = false;
-                            if let Some((cache, base_fp)) = cache_ctx {
+                            if let Some((cache, condition_fp)) = cache_ctx {
                                 let key = RestrictedKey::new(
-                                    base_fp,
+                                    base.column_fingerprint(&m.source.attribute).expect(
+                                        "prototype matches come from the view's base table",
+                                    ),
                                     &view.condition,
-                                    &m.source.attribute,
+                                    condition_fp,
                                     column.interner().token(),
                                 );
                                 let cached = cache
@@ -403,7 +443,7 @@ pub fn score_candidates_prepared<'a>(
                 })
                 .collect();
             // Publish the artifacts of columns the cache missed, in one lock.
-            if let Some((cache, base_fp)) = cache_ctx {
+            if let Some((cache, condition_fp)) = cache_ctx {
                 let fresh: Vec<(&str, &ColumnData)> = restricted_cols
                     .iter()
                     .filter(|(_, (_, fresh))| *fresh)
@@ -414,12 +454,14 @@ pub fn score_candidates_prepared<'a>(
                     for (attr, column) in fresh {
                         cache.insert(
                             RestrictedKey::new(
-                                base_fp,
+                                base.column_fingerprint(attr)
+                                    .expect("prototype matches come from the view's base table"),
                                 &view.condition,
-                                attr,
+                                condition_fp,
                                 column.interner().token(),
                             ),
                             column.harvest_artifacts(),
+                            catalog_version,
                         );
                     }
                 }
@@ -744,27 +786,75 @@ mod tests {
     fn restricted_profile_cache_round_trips_and_bounds() {
         let mut cache = RestrictedProfileCache::with_capacity(2);
         assert!(cache.is_empty());
-        let key = |i: u64| RestrictedKey::new(i, &Condition::eq("type", 1), "descr", 7);
+        assert_eq!(cache.version_span(), None);
+        let key = |i: u64| RestrictedKey::new(i, &Condition::eq("type", 1), 0xc0de, 7);
         assert!(cache.get(&key(1)).is_none());
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
-        cache.insert(key(1), cxm_matching::ColumnArtifacts::default());
-        cache.insert(key(2), cxm_matching::ColumnArtifacts::default());
+        cache.insert(key(1), cxm_matching::ColumnArtifacts::default(), 3);
+        cache.insert(key(2), cxm_matching::ColumnArtifacts::default(), 5);
         assert!(cache.get(&key(1)).is_some());
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
-        // Third insert evicts the oldest (key 1).
-        cache.insert(key(3), cxm_matching::ColumnArtifacts::default());
+        assert_eq!(cache.version_span(), Some((3, 5)));
+        // Third insert evicts the oldest (key 1) and counts the eviction.
+        assert_eq!(cache.evictions(), 0);
+        cache.insert(key(3), cxm_matching::ColumnArtifacts::default(), 5);
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
         assert!(cache.get(&key(1)).is_none());
         assert!(cache.get(&key(3)).is_some());
-        // Different conditions / attributes / interners key separately.
-        assert_ne!(key(1), RestrictedKey::new(1, &Condition::eq("type", 2), "descr", 7));
-        assert_ne!(key(1), RestrictedKey::new(1, &Condition::eq("type", 1), "name", 7));
-        assert_ne!(key(1), RestrictedKey::new(1, &Condition::eq("type", 1), "descr", 8));
+        assert_eq!(cache.version_span(), Some((5, 5)));
+        // Different conditions / condition contents / interners key separately.
+        assert_ne!(key(1), RestrictedKey::new(1, &Condition::eq("type", 2), 0xc0de, 7));
+        assert_ne!(key(1), RestrictedKey::new(1, &Condition::eq("type", 1), 0xbeef, 7));
+        assert_ne!(key(1), RestrictedKey::new(1, &Condition::eq("type", 1), 0xc0de, 8));
         // Zero capacity disables caching.
         let mut off = RestrictedProfileCache::with_capacity(0);
-        off.insert(key(1), cxm_matching::ColumnArtifacts::default());
+        off.insert(key(1), cxm_matching::ColumnArtifacts::default(), 0);
         assert!(off.is_empty());
         assert_eq!(off.capacity(), 0);
+    }
+
+    #[test]
+    fn condition_fingerprints_track_condition_columns_only() {
+        let source = source_db();
+        let inv = source.table("inv").unwrap();
+        let on_type = condition_fingerprint(inv, &Condition::eq("type", 1));
+        // The same condition over the same content fingerprints equally, and
+        // the *value* inside the condition does not matter (it is keyed
+        // separately, structurally).
+        assert_eq!(on_type, condition_fingerprint(inv, &Condition::eq("type", 2)));
+        // Conditions over different columns fingerprint differently.
+        assert_ne!(on_type, condition_fingerprint(inv, &Condition::eq("descr", "x")));
+        // True reads no columns: constant fingerprint, different from any
+        // column-reading condition with overwhelming probability.
+        assert_eq!(
+            condition_fingerprint(inv, &Condition::True),
+            condition_fingerprint(inv, &Condition::True)
+        );
+        // Editing a column the condition does NOT read leaves its
+        // fingerprint unchanged; editing one it does read changes it.
+        let mut edited = source_db();
+        let rows: Vec<_> = inv
+            .rows()
+            .iter()
+            .map(|r| {
+                cxm_relational::Tuple::new(vec![
+                    r.at(0).clone(),
+                    r.at(1).clone(),
+                    r.at(2).clone(),
+                    cxm_relational::Value::str("edited"),
+                ])
+            })
+            .collect();
+        edited.replace_table(Table::with_rows(inv.schema().clone(), rows).unwrap());
+        let edited_inv = edited.table("inv").unwrap();
+        assert_eq!(on_type, condition_fingerprint(edited_inv, &Condition::eq("type", 1)));
+        assert_ne!(
+            condition_fingerprint(inv, &Condition::eq("descr", "x")),
+            condition_fingerprint(edited_inv, &Condition::eq("descr", "x")),
+        );
+        // A condition over a missing column still fingerprints (marker byte).
+        let _ = condition_fingerprint(inv, &Condition::eq("missing", 1));
     }
 
     #[test]
@@ -785,6 +875,7 @@ mod tests {
             cache: &selections,
             source_fingerprints: &fingerprints,
             restricted_profiles: Some(&profiles),
+            catalog_version: 0,
         };
         let run = || {
             score_candidates_prepared(

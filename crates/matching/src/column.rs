@@ -59,6 +59,13 @@ pub struct ColumnData<'a> {
     /// to [`GramInterner::global`]; interned kernels apply only to column
     /// pairs sharing an interner (`Arc::ptr_eq`).
     interner: Arc<GramInterner>,
+    /// Content fingerprint of the base column this instance was extracted
+    /// from ([`cxm_relational::Table::column_fingerprint`]), when the caller
+    /// provided one. This is the column-granular warm key: a catalog carries
+    /// a column's memoized artifacts forward exactly when the fingerprint of
+    /// the same-named column in the next instance is equal. `None` for
+    /// ad-hoc columns (hand-built, view-restricted), which are never keyed.
+    fingerprint: Option<u64>,
     /// Lazily memoized derived artifacts (cheap to clone: `Arc`s inside).
     caches: ColumnCaches,
 }
@@ -116,6 +123,11 @@ pub struct ColumnArtifacts {
     pub numeric_summary: Option<Option<(f64, f64, f64, f64)>>,
     /// Number of values that parse as numbers (drives `looks_numeric`).
     pub numeric_count: Option<usize>,
+    /// The attribute name's `NameMatcher` inputs (lowered form + identifier
+    /// token set). Only interchangeable between columns of the same
+    /// attribute name — which holds for every fingerprint-keyed reuse, since
+    /// the column fingerprint covers the attribute name.
+    pub name_key: Option<Arc<NameKey>>,
 }
 
 impl ColumnArtifacts {
@@ -127,6 +139,7 @@ impl ColumnArtifacts {
             && self.value_set.is_none()
             && self.numeric_summary.is_none()
             && self.numeric_count.is_none()
+            && self.name_key.is_none()
     }
 }
 
@@ -148,6 +161,7 @@ impl<'a> ColumnData<'a> {
             data_type,
             values: ColumnValues::Owned(values),
             interner: GramInterner::global(),
+            fingerprint: None,
             caches: ColumnCaches::default(),
         }
     }
@@ -168,6 +182,22 @@ impl<'a> ColumnData<'a> {
     /// The interner the column's flat artifacts are built against.
     pub fn interner(&self) -> &Arc<GramInterner> {
         &self.interner
+    }
+
+    /// Tag the column with the content fingerprint of the base column it was
+    /// extracted from ([`cxm_relational::Table::column_fingerprint`]). The
+    /// caller asserts the fingerprint covers exactly this column's value bag;
+    /// warm caches then treat two equal fingerprints as "identical content,
+    /// artifacts interchangeable".
+    pub fn with_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.fingerprint = Some(fingerprint);
+        self
+    }
+
+    /// The content fingerprint this column was tagged with, if any — the
+    /// column-granular warm key (`None` for ad-hoc columns).
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
     }
 
     /// Extract a column from a table instance into `'static`, `Arc`-shared
@@ -191,6 +221,7 @@ impl<'a> ColumnData<'a> {
             data_type,
             values: ColumnValues::Shared(Arc::new(values)),
             interner: GramInterner::global(),
+            fingerprint: None,
             caches: ColumnCaches::default(),
         })
     }
@@ -220,6 +251,7 @@ impl<'a> ColumnData<'a> {
             data_type,
             values: ColumnValues::Borrowed(values),
             interner: GramInterner::global(),
+            fingerprint: None,
             caches: ColumnCaches::default(),
         })
     }
@@ -234,6 +266,7 @@ impl<'a> ColumnData<'a> {
             data_type: slice.data_type(),
             values: ColumnValues::Borrowed(slice.non_null_values().collect()),
             interner: GramInterner::global(),
+            fingerprint: None,
             caches: ColumnCaches::default(),
         }
     }
@@ -341,6 +374,7 @@ impl<'a> ColumnData<'a> {
             value_set: self.caches.value_set.get().cloned(),
             numeric_summary: self.caches.numeric_summary.get().copied(),
             numeric_count: self.caches.numeric_count.get().copied(),
+            name_key: self.caches.name_key.get().cloned(),
         }
     }
 
@@ -367,6 +401,9 @@ impl<'a> ColumnData<'a> {
         }
         if let Some(n) = artifacts.numeric_count {
             let _ = self.caches.numeric_count.set(n);
+        }
+        if let Some(k) = &artifacts.name_key {
+            let _ = self.caches.name_key.set(Arc::clone(k));
         }
     }
 

@@ -77,10 +77,192 @@ pub mod telemetry {
 
 /// The immutable lookup state a reader works against: gram → id and id →
 /// gram, `Arc`-shared so publishing a new generation is one pointer swap.
-#[derive(Debug, Default)]
+///
+/// Both sides are **persistent** structures, so publishing generation *n+1*
+/// costs O(batch), not O(vocabulary): the id → gram side is a chunked
+/// append-only store ([`ChunkedIds`]) whose full chunks are `Arc`-shared
+/// between generations, and the gram → id side is a path-copying hash trie
+/// ([`PersistentMap`]) whose untouched subtrees are shared wholesale.
+#[derive(Debug, Default, Clone)]
 struct Frozen {
-    by_text: HashMap<Arc<str>, u32>,
-    by_id: Vec<Arc<str>>,
+    by_text: PersistentMap,
+    by_id: ChunkedIds,
+}
+
+/// Log₂ of the chunk size of the append-only id store.
+const CHUNK_BITS: usize = 10;
+/// Strings per chunk (1024): small enough that cloning the trailing partial
+/// chunk is cheap, large enough that the chunk directory stays tiny.
+const CHUNK: usize = 1 << CHUNK_BITS;
+
+/// Append-only id → string store in fixed-size chunks. Every **full** chunk
+/// is frozen behind an `Arc` and shared by all later generations; growth
+/// clones only the chunk directory (one pointer per chunk) and the trailing
+/// partial chunk, so cloning costs O(batch + vocabulary / CHUNK) instead of
+/// O(vocabulary).
+#[derive(Debug, Default, Clone)]
+struct ChunkedIds {
+    /// Completed, immutable chunks of exactly [`CHUNK`] strings each.
+    full: Vec<Arc<[Arc<str>]>>,
+    /// The growing tail (fewer than [`CHUNK`] strings).
+    tail: Vec<Arc<str>>,
+}
+
+impl ChunkedIds {
+    fn len(&self) -> usize {
+        (self.full.len() << CHUNK_BITS) + self.tail.len()
+    }
+
+    fn get(&self, id: usize) -> Option<&Arc<str>> {
+        let (chunk, offset) = (id >> CHUNK_BITS, id & (CHUNK - 1));
+        match chunk.cmp(&self.full.len()) {
+            std::cmp::Ordering::Less => self.full[chunk].get(offset),
+            std::cmp::Ordering::Equal => self.tail.get(offset),
+            std::cmp::Ordering::Greater => None,
+        }
+    }
+
+    fn push(&mut self, text: Arc<str>) {
+        self.tail.push(text);
+        if self.tail.len() == CHUNK {
+            self.full.push(std::mem::take(&mut self.tail).into());
+        }
+    }
+}
+
+/// Bits of hash consumed per trie level (32-way branching).
+const TRIE_BITS: u32 = 5;
+const TRIE_MASK: u64 = (1 << TRIE_BITS) - 1;
+/// Deepest shift a split can reach: two distinct 64-bit hashes always differ
+/// in some 5-bit window at or before this shift, so traversal never shifts a
+/// `u64` by its full width.
+const TRIE_MAX_SHIFT: u32 = 60;
+
+/// One node of the persistent gram → id trie.
+#[derive(Debug)]
+enum MapNode {
+    /// Interior node: a bitmap-compressed array of up to 32 children,
+    /// indexed by the next [`TRIE_BITS`] bits of the key hash.
+    Branch { bitmap: u32, children: Vec<Arc<MapNode>> },
+    /// Terminal node: the entries whose key hash equals `hash` (normally
+    /// exactly one; more only on a full 64-bit hash collision).
+    Leaf { hash: u64, entries: Vec<(Arc<str>, u32)> },
+}
+
+/// A persistent (immutable, path-copying) hash trie from interned string to
+/// id. `clone` is O(1) (one root `Arc`); `insert` copies only the O(log n)
+/// nodes on the key's path and shares every other subtree with the previous
+/// generation — which is what makes publishing a grown interner snapshot
+/// O(batch). Lookups walk at most 13 levels (64 hash bits / 5 per level).
+#[derive(Debug, Default, Clone)]
+struct PersistentMap {
+    root: Option<Arc<MapNode>>,
+    len: usize,
+}
+
+/// Hash of a trie key — the workspace's deterministic FNV-1a
+/// ([`cxm_relational::Fnv64`]), fixed (not `RandomState`) so trie shapes are
+/// reproducible within a process; nothing is persisted across processes.
+fn trie_hash(key: &str) -> u64 {
+    let mut h = cxm_relational::Fnv64::new();
+    h.write_bytes(key.as_bytes());
+    h.finish()
+}
+
+impl PersistentMap {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, key: &str) -> Option<u32> {
+        let hash = trie_hash(key);
+        let mut node = self.root.as_deref()?;
+        let mut shift = 0u32;
+        loop {
+            match node {
+                MapNode::Leaf { hash: leaf_hash, entries } => {
+                    if *leaf_hash != hash {
+                        return None;
+                    }
+                    return entries.iter().find(|(k, _)| &**k == key).map(|&(_, id)| id);
+                }
+                MapNode::Branch { bitmap, children } => {
+                    let bit = 1u32 << ((hash >> shift) & TRIE_MASK);
+                    if bitmap & bit == 0 {
+                        return None;
+                    }
+                    node = &children[(bitmap & (bit - 1)).count_ones() as usize];
+                    shift += TRIE_BITS;
+                }
+            }
+        }
+    }
+
+    /// Insert a key that is **not present** (the interner always checks
+    /// first), path-copying the nodes along its hash.
+    fn insert(&mut self, key: Arc<str>, id: u32) {
+        let hash = trie_hash(&key);
+        self.root = Some(match self.root.take() {
+            None => Arc::new(MapNode::Leaf { hash, entries: vec![(key, id)] }),
+            Some(root) => insert_node(&root, 0, hash, key, id),
+        });
+        self.len += 1;
+    }
+}
+
+fn insert_node(node: &Arc<MapNode>, shift: u32, hash: u64, key: Arc<str>, id: u32) -> Arc<MapNode> {
+    match &**node {
+        MapNode::Leaf { hash: leaf_hash, entries } => {
+            if *leaf_hash == hash {
+                // Full 64-bit collision: extend the collision bucket.
+                let mut entries = entries.clone();
+                entries.push((key, id));
+                return Arc::new(MapNode::Leaf { hash, entries });
+            }
+            // Split: push the existing leaf down until the two hashes
+            // diverge in a 5-bit window (guaranteed by `shift ≤ 60`).
+            split_leaves(Arc::clone(node), *leaf_hash, hash, shift, key, id)
+        }
+        MapNode::Branch { bitmap, children } => {
+            let index = ((hash >> shift) & TRIE_MASK) as u32;
+            let bit = 1u32 << index;
+            let pos = (bitmap & (bit - 1)).count_ones() as usize;
+            let mut children = children.clone();
+            if bitmap & bit != 0 {
+                children[pos] = insert_node(&children[pos], shift + TRIE_BITS, hash, key, id);
+                Arc::new(MapNode::Branch { bitmap: *bitmap, children })
+            } else {
+                children.insert(pos, Arc::new(MapNode::Leaf { hash, entries: vec![(key, id)] }));
+                Arc::new(MapNode::Branch { bitmap: bitmap | bit, children })
+            }
+        }
+    }
+}
+
+/// Build the minimal branch chain separating an existing leaf (hash
+/// `old_hash`) from a new entry (hash `new_hash`), both arriving at `shift`.
+fn split_leaves(
+    old: Arc<MapNode>,
+    old_hash: u64,
+    new_hash: u64,
+    shift: u32,
+    key: Arc<str>,
+    id: u32,
+) -> Arc<MapNode> {
+    debug_assert!(shift <= TRIE_MAX_SHIFT, "distinct hashes split before the bits run out");
+    let old_index = ((old_hash >> shift) & TRIE_MASK) as u32;
+    let new_index = ((new_hash >> shift) & TRIE_MASK) as u32;
+    if old_index == new_index {
+        let child = split_leaves(old, old_hash, new_hash, shift + TRIE_BITS, key, id);
+        return Arc::new(MapNode::Branch { bitmap: 1 << old_index, children: vec![child] });
+    }
+    let new_leaf = Arc::new(MapNode::Leaf { hash: new_hash, entries: vec![(key, id)] });
+    let (bitmap, children) = if old_index < new_index {
+        ((1u32 << old_index) | (1u32 << new_index), vec![old, new_leaf])
+    } else {
+        ((1u32 << old_index) | (1u32 << new_index), vec![new_leaf, old])
+    };
+    Arc::new(MapNode::Branch { bitmap, children })
 }
 
 /// A string interner scoped to one matching universe (typically a target
@@ -93,11 +275,14 @@ struct Frozen {
 /// interned kernels and fall back to the legacy string kernels otherwise.
 ///
 /// Concurrency: readers clone the current frozen snapshot (one brief
-/// read-lock) and then perform every lookup lock-free on the immutable map;
-/// writers take the growth mutex, extend a copy, and publish it. Growth is
-/// rare by construction — the 3-gram vocabulary over normalized text is
-/// small and saturates quickly — so steady-state profile builds are
-/// lookup-only.
+/// read-lock) and then perform every lookup lock-free on the immutable
+/// structures; writers take the growth mutex, derive the next generation and
+/// publish it. Growth is rare by construction — the 3-gram vocabulary over
+/// normalized text is small and saturates quickly — and **cheap even when it
+/// is not**: the frozen state is persistent (chunked append-only id store +
+/// path-copying hash trie), so each publication costs O(batch), not
+/// O(vocabulary). A long-lived process fed unbounded novel values pays
+/// linear total growth cost.
 #[derive(Debug)]
 pub struct GramInterner {
     /// Process-unique identity of this interner (see [`GramInterner::token`]).
@@ -156,7 +341,7 @@ impl GramInterner {
 
     /// The id of `text`, if it has been interned.
     pub fn lookup(&self, text: &str) -> Option<u32> {
-        self.snapshot().by_text.get(text).copied()
+        self.snapshot().by_text.get(text)
     }
 
     /// Intern one string, assigning a fresh id on first sight.
@@ -216,28 +401,37 @@ impl GramInterner {
     /// Assign ids to `texts` (in order), reusing existing ids for strings a
     /// concurrent writer interned since our snapshot, and publish the new
     /// frozen generation.
+    ///
+    /// Publication is **O(batch)**, not O(vocabulary): both sides of the
+    /// frozen state are persistent structures ([`ChunkedIds`] /
+    /// [`PersistentMap`]), so deriving the next generation copies only the
+    /// chunk directory, the partial tail chunk, and the trie paths of the
+    /// freshly interned strings — every untouched chunk and subtree is
+    /// `Arc`-shared with the previous generation. A process fed a long
+    /// stream of novel values therefore pays linear total growth cost
+    /// instead of the quadratic clone-the-world behaviour this replaced.
     fn grow(&self, texts: Vec<String>) -> Vec<u32> {
         let _guard = self.growth.lock().unwrap_or_else(PoisonError::into_inner);
         // Re-read under the growth lock: writers are serialized, so this is
         // the latest generation and re-checks races lost before the lock.
         let current = self.snapshot();
-        let mut by_text = current.by_text.clone();
-        let mut by_id = current.by_id.clone();
+        let mut next = (*current).clone();
         let ids = texts
             .into_iter()
-            .map(|text| match by_text.get(text.as_str()) {
-                Some(&id) => id,
+            .map(|text| match next.by_text.get(text.as_str()) {
+                Some(id) => id,
                 None => {
-                    let id = u32::try_from(by_id.len()).expect("interner exceeded u32 id space");
+                    let id =
+                        u32::try_from(next.by_id.len()).expect("interner exceeded u32 id space");
                     let shared: Arc<str> = text.into();
-                    by_text.insert(Arc::clone(&shared), id);
-                    by_id.push(shared);
+                    next.by_text.insert(Arc::clone(&shared), id);
+                    next.by_id.push(shared);
                     id
                 }
             })
             .collect();
-        *self.frozen.write().unwrap_or_else(PoisonError::into_inner) =
-            Arc::new(Frozen { by_text, by_id });
+        debug_assert_eq!(next.by_text.len(), next.by_id.len());
+        *self.frozen.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
         ids
     }
 
@@ -260,7 +454,7 @@ impl GramInterner {
         let mut unknown: HashMap<String, f64> = HashMap::new();
         for text in texts {
             cxm_classify::for_each_qgram(text.as_ref(), q, |gram| match snap.by_text.get(gram) {
-                Some(&id) => known_ids.push(id),
+                Some(id) => known_ids.push(id),
                 None => match unknown.get_mut(gram) {
                     Some(count) => *count += 1.0,
                     None => {
@@ -281,7 +475,7 @@ impl GramInterner {
         for text in texts {
             let text = text.as_ref();
             match snap.by_text.get(text) {
-                Some(&id) => known_ids.push(id),
+                Some(id) => known_ids.push(id),
                 None => match unknown.get_mut(text) {
                     Some(count) => *count += 1.0,
                     None => {
@@ -507,5 +701,79 @@ mod tests {
     #[test]
     fn global_interner_is_shared() {
         assert!(Arc::ptr_eq(&GramInterner::global(), &GramInterner::global()));
+    }
+
+    #[test]
+    fn snapshots_stay_stable_across_growth_batches() {
+        // Intern enough strings, in many batches, to roll over several id
+        // chunks; every previously issued id must keep resolving to its
+        // string (and every string to its id) in every later generation.
+        let interner = GramInterner::new();
+        let total = 2 * CHUNK + CHUNK / 2;
+        let mut issued: Vec<(String, u32)> = Vec::new();
+        for batch_start in (0..total).step_by(97) {
+            let batch: Vec<String> =
+                (batch_start..(batch_start + 97).min(total)).map(|i| format!("s{i:05}")).collect();
+            for s in &batch {
+                issued.push((s.clone(), interner.intern(s)));
+            }
+            // A snapshot taken now serves every id issued so far.
+            for (s, id) in &issued {
+                assert_eq!(interner.lookup(s), Some(*id), "{s} id stable across growth");
+                assert_eq!(interner.resolve(*id).as_deref(), Some(s.as_str()));
+            }
+        }
+        assert_eq!(interner.len(), total);
+        // Ids are dense in first-intern order.
+        for (i, (_, id)) in issued.iter().enumerate() {
+            assert_eq!(*id, i as u32);
+        }
+    }
+
+    #[test]
+    fn growth_publishes_persistently_shared_snapshots() {
+        // The O(batch) publication contract, pinned structurally: a full id
+        // chunk frozen in one generation is the *same allocation* in every
+        // later generation, and a small batch over a large vocabulary leaves
+        // almost the entire trie shared (here: the resolved string Arcs are
+        // identical allocations before and after unrelated growth).
+        let interner = GramInterner::new();
+        for i in 0..CHUNK {
+            interner.intern(&format!("warm{i:05}"));
+        }
+        let before = interner.snapshot();
+        assert_eq!(before.by_id.full.len(), 1, "exactly one full chunk");
+        let warm_chunk = Arc::clone(&before.by_id.full[0]);
+        let warm_string = before.by_id.get(7).cloned().unwrap();
+
+        interner.intern("fresh-value");
+        let after = interner.snapshot();
+        assert!(
+            Arc::ptr_eq(&warm_chunk, &after.by_id.full[0]),
+            "full chunks must be shared, not cloned, across growth"
+        );
+        assert!(Arc::ptr_eq(&warm_string, after.by_id.get(7).unwrap()));
+        assert_eq!(after.by_text.get("fresh-value"), Some(CHUNK as u32));
+        assert_eq!(before.by_text.get("fresh-value"), None, "old snapshots are immutable");
+    }
+
+    #[test]
+    fn persistent_map_survives_hash_collisions() {
+        // Drive the trie through every shape: root leaf, splits at varying
+        // depths, and (via the same-hash branch) collision buckets.
+        let mut map = PersistentMap::default();
+        for i in 0..500u32 {
+            map.insert(format!("k{i}").into(), i);
+        }
+        assert_eq!(map.len(), 500);
+        for i in 0..500u32 {
+            assert_eq!(map.get(&format!("k{i}")), Some(i));
+        }
+        assert_eq!(map.get("absent"), None);
+        // Clones are O(1) and independent of later inserts.
+        let frozen = map.clone();
+        map.insert("late".into(), 999);
+        assert_eq!(frozen.get("late"), None);
+        assert_eq!(map.get("late"), Some(999));
     }
 }

@@ -119,47 +119,101 @@ pub fn hash_value(h: &mut Fnv64, value: &Value) {
     }
 }
 
-/// Fingerprint of a table instance: seeded FNV-1a over the table name, the
-/// attribute list (names and declared types), and every attribute's value
-/// bag in row order (column-major, via the zero-copy
-/// [`Table::column_iter`]). Column-major hashing makes the per-column
-/// sub-stream the same one [`column_fingerprint`] hashes, and it clones no
-/// values. See the module docs for guarantees.
-pub(crate) fn table_fingerprint(table: &Table, seed: u64) -> u64 {
-    let mut h = Fnv64::with_seed(seed);
+/// The cached fingerprint family of one table instance: every column's
+/// content fingerprint in schema order plus the table-level combination.
+/// Computed once per instance (see [`Table::column_fingerprints`]) and
+/// invalidated by mutation.
+#[derive(Debug, Clone)]
+pub(crate) struct TableFingerprints {
+    /// Per-column fingerprints, in schema (attribute) order.
+    pub(crate) columns: Vec<u64>,
+    /// The table-level fingerprint: the [`combine_column_fingerprints`]
+    /// combinator over `columns`.
+    pub(crate) table: u64,
+}
+
+/// Fingerprints of a table instance — the per-column fingerprints in schema
+/// order plus the table-level fingerprint **derived from them**: the table
+/// fingerprint is exactly [`combine_column_fingerprints`] over the column
+/// fingerprints (same seed), so per-column and per-table warm keys can never
+/// disagree about what "unchanged" means. Values are visited column-major via
+/// the zero-copy [`Table::column_iter`]; nothing is cloned.
+pub(crate) fn table_fingerprints(table: &Table, seed: u64) -> TableFingerprints {
     let schema = table.schema();
-    h.write_str(schema.name());
-    h.write_u64(schema.arity() as u64);
-    h.write_u64(table.len() as u64);
-    for attr in schema.attributes() {
-        h.write_str(&attr.name);
-        h.write_u8(type_tag(attr.data_type));
-        let column =
-            table.column_iter(&attr.name).expect("attribute comes from the table's own schema");
-        for value in column {
-            hash_value(&mut h, value);
-        }
+    let columns: Vec<u64> = schema
+        .attributes()
+        .iter()
+        .map(|attr| {
+            let column =
+                table.column_iter(&attr.name).expect("attribute comes from the table's own schema");
+            column_fingerprint_over(&attr.name, attr.data_type, table.len(), column, seed)
+        })
+        .collect();
+    let table = combine_column_fingerprints_seeded(schema.name(), table.len(), &columns, seed);
+    TableFingerprints { columns, table }
+}
+
+/// Combine per-column fingerprints (schema order) into the table-level
+/// fingerprint under the default seed: seeded FNV-1a over the table name,
+/// the arity, the row count and the column fingerprints in order. This is
+/// the **public combinator contract** behind [`Table::fingerprint`]:
+///
+/// ```
+/// use cxm_relational::{tuple, Attribute, Table, TableSchema};
+/// let t = Table::with_rows(
+///     TableSchema::new("t", vec![Attribute::int("id"), Attribute::text("x")]),
+///     vec![tuple![1, "a"], tuple![2, "b"]],
+/// )
+/// .unwrap();
+/// let combined = cxm_relational::fingerprint::combine_column_fingerprints(
+///     t.name(),
+///     t.len(),
+///     t.column_fingerprints(),
+/// );
+/// assert_eq!(combined, t.fingerprint());
+/// ```
+pub fn combine_column_fingerprints(name: &str, rows: usize, columns: &[u64]) -> u64 {
+    combine_column_fingerprints_seeded(name, rows, columns, TABLE_FINGERPRINT_SEED)
+}
+
+/// [`combine_column_fingerprints`] under a caller-chosen domain seed.
+pub(crate) fn combine_column_fingerprints_seeded(
+    name: &str,
+    rows: usize,
+    columns: &[u64],
+    seed: u64,
+) -> u64 {
+    let mut h = Fnv64::with_seed(seed);
+    h.write_str(name);
+    h.write_u64(columns.len() as u64);
+    h.write_u64(rows as u64);
+    for &fp in columns {
+        h.write_u64(fp);
     }
     h.finish()
 }
 
-/// Fingerprint of one column of a table instance: seeded FNV-1a over the
-/// attribute's name, declared type, row count, and its value bag in row
-/// order — the per-column building block warm caches use to invalidate
-/// derived artifacts (memoized profiles, interned id vectors) only when
-/// *this* column's content changes. Exposed as
-/// [`Table::column_fingerprint`].
-pub(crate) fn column_fingerprint(table: &Table, name: &str, seed: u64) -> crate::Result<u64> {
-    let column = table.column_iter(name)?;
+/// Fingerprint of one column's content: seeded FNV-1a over the attribute's
+/// name, declared type, row count, and its value bag in row order — the
+/// per-column building block warm caches use to invalidate derived artifacts
+/// (memoized profiles, interned id vectors) only when *this* column's content
+/// changes. Exposed as [`Table::column_fingerprint`] /
+/// [`Table::column_fingerprints`].
+fn column_fingerprint_over<'a>(
+    name: &str,
+    data_type: crate::types::DataType,
+    rows: usize,
+    column: impl Iterator<Item = &'a Value>,
+    seed: u64,
+) -> u64 {
     let mut h = Fnv64::with_seed(seed ^ 0x636f_6c75_6d6e_f001);
-    let data_type = table.schema().type_of(name).unwrap_or(crate::types::DataType::Unknown);
     h.write_str(name);
     h.write_u8(type_tag(data_type));
-    h.write_u64(table.len() as u64);
+    h.write_u64(rows as u64);
     for value in column {
         hash_value(&mut h, value);
     }
-    Ok(h.finish())
+    h.finish()
 }
 
 fn type_tag(t: crate::types::DataType) -> u8 {

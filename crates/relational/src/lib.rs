@@ -71,7 +71,7 @@ pub use condition::Condition;
 pub use constraint::{ConstraintSet, ContextualForeignKey, ForeignKey, Key};
 pub use database::Database;
 pub use error::{Error, Result};
-pub use fingerprint::{Fnv64, TABLE_FINGERPRINT_SEED};
+pub use fingerprint::{combine_column_fingerprints, Fnv64, TABLE_FINGERPRINT_SEED};
 pub use sample::{split_rows, split_selection, SplitRatio};
 pub use schema::{Schema, TableSchema};
 pub use selection::{ColumnSlice, RowSelection, SelectionCache, TableSlice};

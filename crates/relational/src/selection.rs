@@ -36,15 +36,17 @@
 //! 2. A `TableSlice` yields rows in base-table order, so materializing a
 //!    slice produces byte-identical results to the legacy
 //!    `Table::filter_rows` path.
-//! 3. `SelectionCache` entries are keyed by *table name* + atom, with the
-//!    base row count recorded per table: a same-named table with a different
-//!    row count invalidates that table's bucket. Callers reusing one cache
-//!    across different table *instances* of the same name and length (e.g. a
-//!    long-lived match service) must call
-//!    [`SelectionCache::validate_fingerprint`] with the table's content
-//!    fingerprint before selecting, which drops the bucket exactly when the
-//!    content changed. Within one matching run the substrate's tables are
-//!    immutable, so the name + row-count guard holds by construction.
+//! 3. `SelectionCache` entries are keyed by *table name* + atom and
+//!    **content-validated on every lookup**: each bucket records the
+//!    [`Table::fingerprint`] of the instance its atoms were scanned from
+//!    (memoized on the instance, so the check is one comparison), and an
+//!    instance with different content clears the bucket before selecting. A
+//!    bucket can therefore never serve another instance's row indices, and
+//!    its fingerprint is trustworthy provenance for
+//!    [`SelectionCache::revalidate_columns`]'s column-scoped retention.
+//!    [`SelectionCache::validate_fingerprint`] remains as an explicit
+//!    claim/invalidate hook for callers that reconcile buckets without
+//!    selecting.
 //! 4. Selection semantics mirror [`Condition::eval`] exactly: unknown
 //!    attributes select nothing, `True` selects everything, `And`/`Or`
 //!    intersect/unite member selections.
@@ -685,17 +687,22 @@ pub struct SelectionCache {
     misses: usize,
 }
 
-/// Per-table cache bucket. The base row count guards against two tables of
-/// the same name (e.g. a rebuilt or differently sized instance) sharing
-/// entries: a row-count mismatch discards the stale bucket. The optional
-/// content fingerprint extends that guard across *instances* of equal size —
-/// see [`SelectionCache::validate_fingerprint`].
+/// Per-table cache bucket. The content fingerprint is the guard **and** the
+/// provenance record: every [`SelectionCache::atom`] lookup compares the
+/// instance's memoized [`Table::fingerprint`] against it and clears the
+/// bucket on mismatch, so cached selections are only ever served for the
+/// exact content they were scanned from, and
+/// [`SelectionCache::revalidate_columns`] can trust the stamp when retaining
+/// atoms across a partial content change.
 #[derive(Debug, Default, Clone)]
 struct TableAtoms {
     /// Row count of the instance the cached atoms were scanned from. `None`
     /// right after a fingerprint (re)validation: the next [`SelectionCache::atom`]
-    /// call records the instance's count without treating it as a mismatch.
+    /// call records the instance's count.
     base_rows: Option<usize>,
+    /// [`Table::fingerprint`] of the instance the atoms were scanned from
+    /// (or that a caller pre-claimed via
+    /// [`SelectionCache::validate_fingerprint`]).
     fingerprint: Option<u64>,
     by_atom: HashMap<Condition, Arc<RowSelection>>,
 }
@@ -752,10 +759,11 @@ impl SelectionCache {
     /// otherwise drops the stale selections, records the new fingerprint and
     /// returns `false`.
     ///
-    /// This is the invalidation hook for callers that reuse one cache across
-    /// table instances — e.g. a match service serving many requests whose
-    /// source tables share names. The name + row-count guard cannot tell two
-    /// equally sized instances apart; the fingerprint can.
+    /// Every [`SelectionCache::select`] validates inherently (see the module
+    /// invariants), so this explicit hook is for callers that want to claim
+    /// or invalidate a bucket *without* selecting — e.g. a match service
+    /// reconciling its source tables inside one critical section up front,
+    /// so later per-atom validations are guaranteed hits.
     pub fn validate_fingerprint(&mut self, table: &str, fingerprint: u64) -> bool {
         let bucket = self.bucket(table);
         if bucket.fingerprint == Some(fingerprint) {
@@ -765,6 +773,68 @@ impl SelectionCache {
         bucket.base_rows = None;
         bucket.fingerprint = Some(fingerprint);
         false
+    }
+
+    /// Reconcile the bucket of `table` with a **partially changed** instance
+    /// whose previous content fingerprinted as `old_fingerprint` and whose
+    /// new content fingerprints as `new_fingerprint`: drop only the cached
+    /// atoms whose condition reads one of the `changed` columns, keep every
+    /// other selection warm, and record the new fingerprint and row count.
+    /// Returns the number of atoms dropped.
+    ///
+    /// Soundness: an atom's selection depends only on the value bag of the
+    /// columns its condition reads (in row order) and on the base row count.
+    /// A column whose [`Table::column_fingerprint`] is unchanged has an
+    /// identical bag — per-column fingerprints cover the row count — so
+    /// every surviving selection is exactly what a fresh scan of the new
+    /// instance would produce. Two guards protect that argument:
+    ///
+    /// * **Provenance.** Atoms are retained only when the bucket's recorded
+    ///   fingerprint is exactly `old_fingerprint` — i.e. its selections are
+    ///   known to have been scanned from the *previous* instance of this
+    ///   table (every select stamps the bucket with the scanned instance's
+    ///   fingerprint; see the module invariants). A bucket carrying some
+    ///   other fingerprint (or none) may hold atoms from an unrelated
+    ///   same-named table (e.g. a request source sharing the cache); those
+    ///   are cleared wholesale, never stamped valid for content they were
+    ///   not derived from.
+    /// * **Row count.** When the row count changed, every column
+    ///   fingerprint changed with it — but the constant atom
+    ///   (`Condition::True`) reads no column at all, so a row-count change
+    ///   clears the bucket wholesale too.
+    ///
+    /// This is the column-granular refinement of
+    /// [`SelectionCache::invalidate_table`]: a catalog replacing one column
+    /// of a wide table keeps its siblings' selections instead of rescanning
+    /// them on the next request.
+    pub fn revalidate_columns(
+        &mut self,
+        table: &str,
+        old_fingerprint: u64,
+        new_fingerprint: u64,
+        rows: usize,
+        changed: &std::collections::BTreeSet<String>,
+    ) -> usize {
+        let Some(bucket) = self.tables.get_mut(table) else { return 0 };
+        if bucket.fingerprint == Some(new_fingerprint) {
+            return 0;
+        }
+        let before = bucket.by_atom.len();
+        match bucket.base_rows {
+            Some(r) if r == rows && bucket.fingerprint == Some(old_fingerprint) => {
+                bucket.by_atom.retain(|atom, _| atom.attributes().is_disjoint(changed));
+            }
+            _ => bucket.by_atom.clear(),
+        }
+        if bucket.by_atom.is_empty() {
+            // Nothing survived: drop the bucket outright (same observable
+            // state as `invalidate_table`) instead of keeping an empty one.
+            self.invalidate_table(table);
+            return before;
+        }
+        bucket.base_rows = Some(rows);
+        bucket.fingerprint = Some(new_fingerprint);
+        before - bucket.by_atom.len()
     }
 
     /// Drop the cached selections of one table (e.g. when a catalog replaces
@@ -802,23 +872,27 @@ impl SelectionCache {
     }
 
     /// The selection of a single atom (`Eq` / `In` / `True`) over `table`,
-    /// cached per `(table, atom)`. Lookup hits are allocation-free.
+    /// cached per `(table, atom)`. Lookup hits are allocation-free (the
+    /// instance's content fingerprint is memoized on the [`Table`], so the
+    /// validation read below costs one comparison after the first select).
+    ///
+    /// Every lookup is **content-validated**: the bucket records the
+    /// [`Table::fingerprint`] of the instance its atoms were scanned from,
+    /// and an instance with any other content clears the bucket before
+    /// selecting. Two consequences: a same-named table of different content
+    /// (same-sized or not) can never be served another instance's row
+    /// indices, and every populated bucket carries trustworthy provenance —
+    /// which is what lets [`SelectionCache::revalidate_columns`] retain
+    /// selections across catalog updates at column granularity.
     fn atom(&mut self, table: &Table, atom: &Condition) -> Arc<RowSelection> {
+        let fingerprint = table.fingerprint();
         let cached = {
             let bucket = self.bucket(table.name());
-            match bucket.base_rows {
-                // Same-named table with a different instance underneath:
-                // every cached selection is invalid for it, and any recorded
-                // fingerprint belonged to the old instance.
-                Some(rows) if rows != table.len() => {
-                    bucket.by_atom.clear();
-                    bucket.base_rows = Some(table.len());
-                    bucket.fingerprint = None;
-                }
-                Some(_) => {}
-                // Freshly (re)validated bucket: adopt this instance's rows.
-                None => bucket.base_rows = Some(table.len()),
+            if bucket.fingerprint != Some(fingerprint) {
+                bucket.by_atom.clear();
+                bucket.fingerprint = Some(fingerprint);
             }
+            bucket.base_rows = Some(table.len());
             bucket.by_atom.get(atom).cloned()
         };
         if let Some(cached) = cached {
@@ -1164,6 +1238,104 @@ mod tests {
         let b = cache.select(&t2, &Condition::eq("type", 1));
         assert_eq!(b.len(), 3);
         assert_ne!(&*a.indices(), &*b.indices(), "reversed rows select different indices");
+    }
+
+    #[test]
+    fn revalidate_columns_keeps_unaffected_atoms() {
+        use std::collections::BTreeSet;
+        let t1 = inv_table();
+        let mut cache = SelectionCache::new();
+        // No explicit validation: selecting stamps the bucket with t1's
+        // fingerprint automatically, which is the provenance revalidation
+        // trusts below.
+        let on_type = cache.select(&t1, &Condition::eq("type", 1));
+        let on_descr = cache.select(&t1, &Condition::eq("descr", "paperback"));
+        let all = cache.select(&t1, &Condition::True);
+        assert_eq!(cache.cached_atoms(), 3);
+
+        // A new same-sized instance whose only changed column is `descr`:
+        // the `type` and `True` atoms survive, the `descr` atom is dropped.
+        let rows: Vec<Tuple> = t1
+            .rows()
+            .iter()
+            .map(|r| Tuple::new(vec![r.at(0).clone(), r.at(1).clone(), Value::str("rebound")]))
+            .collect();
+        let t2 = Table::with_rows(t1.schema().clone(), rows).unwrap();
+        let changed: BTreeSet<String> = ["descr".to_string()].into();
+        let dropped =
+            cache.revalidate_columns("inv", t1.fingerprint(), t2.fingerprint(), t2.len(), &changed);
+        assert_eq!(dropped, 1, "only the descr atom may be dropped");
+        assert_eq!(cache.cached_atoms(), 2);
+
+        // Surviving atoms are served as hits against the new instance and
+        // are the very Arcs cached from the old one.
+        let before = cache.hits();
+        assert!(Arc::ptr_eq(&on_type, &cache.select(&t2, &Condition::eq("type", 1))));
+        assert!(Arc::ptr_eq(&all, &cache.select(&t2, &Condition::True)));
+        assert_eq!(cache.hits(), before + 2);
+        // The dropped atom is rescanned against the new content.
+        let rescanned = cache.select(&t2, &Condition::eq("descr", "paperback"));
+        assert!(!Arc::ptr_eq(&on_descr, &rescanned));
+        assert!(rescanned.is_empty(), "new content has no paperback rows");
+
+        // Revalidating the same fingerprint is a no-op.
+        assert_eq!(
+            cache.revalidate_columns("inv", t1.fingerprint(), t2.fingerprint(), t2.len(), &changed),
+            0
+        );
+        assert_eq!(cache.cached_atoms(), 3);
+
+        // A row-count change clears the whole bucket, `True` included.
+        let t3 = t2.head(t2.len() - 1);
+        let all_cols: BTreeSet<String> =
+            t3.schema().attribute_names().iter().map(|s| s.to_string()).collect();
+        cache.revalidate_columns("inv", t2.fingerprint(), t3.fingerprint(), t3.len(), &all_cols);
+        assert_eq!(cache.cached_atoms(), 0);
+        assert_eq!(cache.select(&t3, &Condition::True).len(), t3.len());
+    }
+
+    #[test]
+    fn revalidate_columns_refuses_foreign_provenance() {
+        use std::collections::BTreeSet;
+        // A bucket holding atoms from a same-named, same-sized table of
+        // DIFFERENT content (e.g. a request source sharing a target's name)
+        // must be cleared wholesale, never stamped valid for the target.
+        let source_like = inv_table();
+        let rows: Vec<Tuple> =
+            source_like.rows().iter().map(|r| r.project(&[0, 1, 2])).rev().collect();
+        let old_target = Table::with_rows(source_like.schema().clone(), rows).unwrap();
+        assert_eq!(source_like.len(), old_target.len());
+        assert_ne!(source_like.fingerprint(), old_target.fingerprint());
+
+        for validated in [false, true] {
+            let mut cache = SelectionCache::new();
+            if validated {
+                // Explicitly pre-claimed for the SOURCE content; the other
+                // arm relies on select's automatic stamping — both record
+                // the source's fingerprint, not the old target's.
+                cache.validate_fingerprint("inv", source_like.fingerprint());
+            }
+            let foreign = cache.select(&source_like, &Condition::eq("type", 1));
+            // The catalog revalidates from old-target to new-target; the
+            // changed set does not mention `type`, but the bucket's atoms
+            // are not the old target's, so nothing may survive.
+            let changed: BTreeSet<String> = ["descr".to_string()].into();
+            let new_target = old_target.head(old_target.len()); // same content, fresh instance
+            cache.revalidate_columns(
+                "inv",
+                old_target.fingerprint(),
+                new_target.fingerprint(),
+                new_target.len(),
+                &changed,
+            );
+            assert_eq!(cache.cached_atoms(), 0, "foreign atoms cleared (validated={validated})");
+            let rescanned = cache.select(&new_target, &Condition::eq("type", 1));
+            assert!(
+                !Arc::ptr_eq(&foreign, &rescanned),
+                "selection must be rescanned from the new target (validated={validated})"
+            );
+            assert_ne!(&*foreign.indices(), &*rescanned.indices());
+        }
     }
 
     #[test]

@@ -2,9 +2,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::attribute::Attribute;
 use crate::error::{Error, Result};
+use crate::fingerprint::TableFingerprints;
 use crate::schema::TableSchema;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -14,16 +16,35 @@ use crate::value::Value;
 /// This is the "sample input" the paper's algorithms see. The bag of values of
 /// one attribute, `v(R.a)` in the paper ("select a from R"), is exposed by
 /// [`Table::column`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Content fingerprints ([`Table::fingerprint`],
+/// [`Table::column_fingerprints`]) are computed lazily on first use and
+/// cached on the instance; mutation ([`Table::insert`]) invalidates the
+/// cache. Equality and ordering ignore the cache — two instances with equal
+/// schema and rows are equal whether or not either has been fingerprinted.
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
     rows: Vec<Tuple>,
+    /// Lazily computed content fingerprints under the default seed (the
+    /// table-level fingerprint plus every column's), invalidated on
+    /// mutation. Clones carry the computed family (it is content-derived,
+    /// and clones share content).
+    fingerprints: OnceLock<TableFingerprints>,
 }
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+
+impl Eq for Table {}
 
 impl Table {
     /// Create an empty instance of the given schema.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table { schema, rows: Vec::new(), fingerprints: OnceLock::new() }
     }
 
     /// Create an instance and bulk-load rows, validating arity.
@@ -39,7 +60,7 @@ impl Table {
     /// to agree on arity (used by the zero-copy slice materializer).
     pub(crate) fn from_parts(schema: TableSchema, rows: Vec<Tuple>) -> Self {
         debug_assert!(rows.iter().all(|r| r.arity() == schema.arity()));
-        Table { schema, rows }
+        Table { schema, rows, fingerprints: OnceLock::new() }
     }
 
     /// The table's schema.
@@ -82,6 +103,8 @@ impl Table {
             });
         }
         self.rows.push(row);
+        // Content changed: any cached fingerprints are stale.
+        self.fingerprints = OnceLock::new();
         Ok(())
     }
 
@@ -139,10 +162,10 @@ impl Table {
     where
         F: Fn(&Tuple) -> bool,
     {
-        Table {
-            schema: self.schema.clone(),
-            rows: self.rows.iter().filter(|r| predicate(r)).cloned().collect(),
-        }
+        Table::from_parts(
+            self.schema.clone(),
+            self.rows.iter().filter(|r| predicate(r)).cloned().collect(),
+        )
     }
 
     /// Project the instance onto the named attributes (in the given order).
@@ -151,27 +174,51 @@ impl Table {
         let positions: Vec<usize> =
             names.iter().map(|n| self.schema.require_index(n)).collect::<Result<_>>()?;
         let rows = self.rows.iter().map(|r| r.project(&positions)).collect();
-        Ok(Table { schema, rows })
+        Ok(Table::from_parts(schema, rows))
     }
 
-    /// A deterministic content fingerprint of this instance: a seeded
-    /// FNV-1a hash over the table name, the attribute list (names and
-    /// declared types) and every tuple's values in row order.
+    /// The cached fingerprint family under the default seed, computed on
+    /// first use.
+    fn fingerprints(&self) -> &TableFingerprints {
+        self.fingerprints.get_or_init(|| {
+            crate::fingerprint::table_fingerprints(self, crate::fingerprint::TABLE_FINGERPRINT_SEED)
+        })
+    }
+
+    /// A deterministic content fingerprint of this instance, **derived from
+    /// the per-column fingerprints**: exactly
+    /// [`crate::fingerprint::combine_column_fingerprints`] over
+    /// [`Table::column_fingerprints`] (table name, arity, row count, then
+    /// every column fingerprint in schema order).
     ///
     /// Equal instances always fingerprint equally; any schema or data change
     /// changes the fingerprint with overwhelming probability. Long-lived
     /// services key warm artifacts (memoized column profiles, cached
-    /// selection vectors) by this value to invalidate exactly the tables
-    /// whose content changed. See [`crate::fingerprint`] for guarantees and
-    /// non-goals (the hash is not cryptographic).
+    /// selection vectors) by this value — and by the per-column values — to
+    /// invalidate exactly the content that changed. The family is computed
+    /// once per instance and cached (mutation invalidates). See
+    /// [`crate::fingerprint`] for guarantees and non-goals (the hash is not
+    /// cryptographic).
     pub fn fingerprint(&self) -> u64 {
-        self.fingerprint_seeded(crate::fingerprint::TABLE_FINGERPRINT_SEED)
+        self.fingerprints().table
     }
 
     /// [`Table::fingerprint`] under a caller-chosen domain seed, for callers
-    /// that maintain several independent fingerprint keyspaces.
+    /// that maintain several independent fingerprint keyspaces. Only the
+    /// default seed's family is cached; other seeds recompute.
     pub fn fingerprint_seeded(&self, seed: u64) -> u64 {
-        crate::fingerprint::table_fingerprint(self, seed)
+        if seed == crate::fingerprint::TABLE_FINGERPRINT_SEED {
+            return self.fingerprint();
+        }
+        crate::fingerprint::table_fingerprints(self, seed).table
+    }
+
+    /// Every column's content fingerprint, in schema (attribute) order —
+    /// the per-column building blocks [`Table::fingerprint`] combines.
+    /// Computed together with the table fingerprint and cached, so reading
+    /// them after a [`Table::fingerprint`] call is free.
+    pub fn column_fingerprints(&self) -> &[u64] {
+        &self.fingerprints().columns
     }
 
     /// A deterministic content fingerprint of **one column** of this
@@ -180,22 +227,19 @@ impl Table {
     /// per-column artifacts so edits to *other* columns do not invalidate
     /// them. Errors when the attribute does not exist.
     pub fn column_fingerprint(&self, name: &str) -> Result<u64> {
-        crate::fingerprint::column_fingerprint(
-            self,
-            name,
-            crate::fingerprint::TABLE_FINGERPRINT_SEED,
-        )
+        let index = self.schema.require_index(name)?;
+        Ok(self.fingerprints().columns[index])
     }
 
     /// Return a copy of this instance under a different table name.
     pub fn renamed(&self, name: impl Into<String>) -> Table {
-        Table { schema: self.schema.with_name(name), rows: self.rows.clone() }
+        Table::from_parts(self.schema.with_name(name), self.rows.clone())
     }
 
     /// Return a copy restricted to the first `n` rows (used by the sample-size
     /// experiments, Figure 18).
     pub fn head(&self, n: usize) -> Table {
-        Table { schema: self.schema.clone(), rows: self.rows.iter().take(n).cloned().collect() }
+        Table::from_parts(self.schema.clone(), self.rows.iter().take(n).cloned().collect())
     }
 
     /// Add a new attribute filled by `fill(row_index, tuple)`, returning the new
@@ -217,7 +261,7 @@ impl Table {
                 nr
             })
             .collect();
-        Ok(Table { schema, rows })
+        Ok(Table::from_parts(schema, rows))
     }
 }
 

@@ -8,11 +8,11 @@
 //! behind an `Arc`, so concurrent in-flight requests keep the consistent view
 //! they started with.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-use cxm_core::RestrictedProfileCache;
+use cxm_core::{MatchResultCache, RestrictedProfileCache};
 use cxm_matching::{ColumnData, GramInterner};
 use cxm_relational::{Database, Error, Result, SelectionCache, Table};
 
@@ -37,18 +37,27 @@ pub struct CatalogSnapshot {
     /// fingerprint-validate their source tables against it before selecting.
     selections: Mutex<SelectionCache>,
     /// Cross-request cache of view-restricted column artifacts, carried
-    /// forward across snapshots. Keyed by source-table content fingerprints
-    /// ([`cxm_core::RestrictedKey`]), so target updates never require
-    /// invalidation and stale source entries age out via the bound.
+    /// forward across snapshots. Keyed by source-**column** content
+    /// fingerprints and condition signatures ([`cxm_core::RestrictedKey`]),
+    /// so target updates never require invalidation and stale source entries
+    /// age out via the bound.
     restricted_profiles: Mutex<RestrictedProfileCache>,
+    /// Whole-match result memoization, carried forward across snapshots.
+    /// Keys embed the snapshot version ([`cxm_core::MatchResultKey`]), so a
+    /// catalog update invalidates by re-keying — entries of superseded
+    /// versions stop being addressable and age out via the bound.
+    match_results: Mutex<MatchResultCache>,
     /// The interner every column of this snapshot (and every restricted or
     /// source column scored against it) builds its flat id artifacts
     /// against; constant for the catalog's lifetime.
     interner: Arc<GramInterner>,
 }
 
-/// What a catalog update did, table by table — the observable half of
-/// fingerprint-keyed invalidation.
+/// What a catalog update did, table by table **and column by column** — the
+/// observable half of fingerprint-keyed invalidation. The column-level
+/// counts are the incremental-delta refinement: a table counted in
+/// [`CatalogUpdate::rebuilt`] may still carry most of its columns forward,
+/// because columns are keyed by their own content fingerprints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CatalogUpdate {
     /// The version of the snapshot the update produced.
@@ -56,10 +65,11 @@ pub struct CatalogUpdate {
     /// Number of tables in the new snapshot.
     pub tables: usize,
     /// Tables whose fingerprint was unchanged: their column batches (and
-    /// memoized profiles) were reused from the previous snapshot.
+    /// memoized profiles) were reused from the previous snapshot wholesale.
     pub reused: usize,
-    /// Tables that are new or whose fingerprint changed: their columns were
-    /// rebuilt and their cached selections invalidated.
+    /// Tables that are new or whose fingerprint changed. Their *unchanged*
+    /// columns are still carried forward individually — see
+    /// [`CatalogUpdate::columns_rebuilt`] for what was actually rebuilt.
     pub rebuilt: usize,
     /// Tables present in the previous snapshot but not in this one.
     pub dropped: usize,
@@ -68,21 +78,36 @@ pub struct CatalogUpdate {
     pub shared: usize,
     /// Tables whose row storage had to be copied (new or changed content).
     pub copied: usize,
+    /// Columns (across all tables) carried forward from the previous
+    /// snapshot — values, memoized profiles and all — because their
+    /// per-column content fingerprint was unchanged. Includes the columns of
+    /// wholesale-reused tables.
+    pub columns_reused: usize,
+    /// Columns that are new or whose content changed: freshly extracted,
+    /// profiles rebuilt lazily on next use. Replacing one column of a
+    /// 50-column table makes this exactly 1.
+    pub columns_rebuilt: usize,
 }
 
 impl CatalogSnapshot {
     /// Build a snapshot of `database`, reusing the warm artifacts of `prev`
-    /// for every table whose content fingerprint is unchanged — including
-    /// the **row storage** itself: an unchanged table's `Arc<Table>` is
-    /// swapped in from the previous snapshot, so the update copies tuples
-    /// only for new or changed tables (`CatalogUpdate::shared` vs
-    /// `CatalogUpdate::copied`).
+    /// at **column granularity**: an unchanged table is carried forward
+    /// wholesale (including its row storage: its `Arc<Table>` is swapped in
+    /// from the previous snapshot, so the update copies tuples only for new
+    /// or changed tables — `CatalogUpdate::shared` vs
+    /// `CatalogUpdate::copied`), and a *changed* table still carries forward
+    /// every column whose own content fingerprint is unchanged. Replacing
+    /// one column of a wide table extracts — and later re-profiles — exactly
+    /// that column ([`CatalogUpdate::columns_rebuilt`]), and only selections
+    /// whose condition reads a changed column are dropped from the shared
+    /// selection cache ([`SelectionCache::revalidate_columns`]).
     fn build(
         version: u64,
         mut database: Database,
         prev: Option<&CatalogSnapshot>,
         interner: &Arc<GramInterner>,
         restricted_capacity: usize,
+        result_capacity: usize,
     ) -> (Self, CatalogUpdate) {
         let fingerprints = database.table_fingerprints();
         // Share unchanged row storage with the previous snapshot. Derived
@@ -127,6 +152,8 @@ impl CatalogSnapshot {
         let mut table_ranges = BTreeMap::new();
         let mut reused = 0usize;
         let mut rebuilt = 0usize;
+        let mut columns_reused = 0usize;
+        let mut columns_rebuilt = 0usize;
         for table in database.tables() {
             let start = columns.len();
             let fingerprint = fingerprints[table.name()];
@@ -136,14 +163,38 @@ impl CatalogSnapshot {
                     // and its memoized profiles — zero rebuilds downstream.
                     columns.extend(warm.iter().cloned());
                     reused += 1;
+                    columns_reused += warm.len();
                 }
                 None => {
-                    for attr in table.schema().attributes() {
-                        columns.push(
-                            ColumnData::shared_from_table(table, &attr.name)
-                                .expect("attribute comes from the table's own schema")
-                                .with_interner(Arc::clone(interner)),
-                        );
+                    // Changed (or new) table: carry forward each column
+                    // whose own content fingerprint is unchanged — a clone
+                    // shares the previous column's Arc'd values *and* its
+                    // memoized profiles — and extract only the rest.
+                    let warm_cols = prev.and_then(|p| p.table_columns(table.name()));
+                    let column_fingerprints = table.column_fingerprints().to_vec();
+                    for (attr, &column_fp) in
+                        table.schema().attributes().iter().zip(&column_fingerprints)
+                    {
+                        let carried = warm_cols.and_then(|cols| {
+                            cols.iter().find(|c| {
+                                c.fingerprint() == Some(column_fp) && c.attr.attribute == attr.name
+                            })
+                        });
+                        match carried {
+                            Some(warm) => {
+                                columns.push(warm.clone());
+                                columns_reused += 1;
+                            }
+                            None => {
+                                columns.push(
+                                    ColumnData::shared_from_table(table, &attr.name)
+                                        .expect("attribute comes from the table's own schema")
+                                        .with_interner(Arc::clone(interner))
+                                        .with_fingerprint(column_fp),
+                                );
+                                columns_rebuilt += 1;
+                            }
+                        }
                     }
                     rebuilt += 1;
                 }
@@ -152,9 +203,10 @@ impl CatalogSnapshot {
         }
 
         // Carry the previous selection cache forward (cheap: Arc-shared
-        // selection vectors), dropping exactly the buckets of target tables
-        // that changed or disappeared. Source-table buckets — the cache's
-        // main traffic — survive catalog updates untouched.
+        // selection vectors). Dropped tables lose their bucket; *changed*
+        // tables keep every selection whose condition reads only unchanged
+        // columns (column-scoped revalidation). Source-table buckets — the
+        // cache's main traffic — survive catalog updates untouched.
         let mut selections = prev
             .map(|p| p.selections.lock().unwrap_or_else(PoisonError::into_inner).clone())
             .unwrap_or_default();
@@ -163,8 +215,10 @@ impl CatalogSnapshot {
             for (name, old_fp) in &p.fingerprints {
                 match fingerprints.get(name) {
                     Some(new_fp) if new_fp == old_fp => {}
-                    Some(_) => {
-                        selections.invalidate_table(name);
+                    Some(&new_fp) => {
+                        let table = database.table(name).expect("name comes from the database");
+                        let changed = changed_column_names(p.table_columns(name), table);
+                        selections.revalidate_columns(name, *old_fp, new_fp, table.len(), &changed);
                     }
                     None => {
                         selections.invalidate_table(name);
@@ -175,11 +229,19 @@ impl CatalogSnapshot {
         }
 
         // Carry the restricted-profile cache forward as-is: its keys embed
-        // source-table content fingerprints, so no target update can make an
+        // source-column content fingerprints, so no target update can make an
         // entry stale, and the capacity bound ages out dead content.
         let restricted_profiles = prev
             .map(|p| p.restricted_profiles.lock().unwrap_or_else(PoisonError::into_inner).clone())
             .unwrap_or_else(|| RestrictedProfileCache::with_capacity(restricted_capacity));
+
+        // Carry the whole-match result cache forward as-is: its keys embed
+        // the snapshot version, so this very update re-keys every entry into
+        // unreachability (no stale serve is possible) and the bound ages
+        // them out.
+        let match_results = prev
+            .map(|p| p.match_results.lock().unwrap_or_else(PoisonError::into_inner).clone())
+            .unwrap_or_else(|| MatchResultCache::with_capacity(result_capacity));
 
         let update = CatalogUpdate {
             version,
@@ -189,6 +251,8 @@ impl CatalogSnapshot {
             dropped,
             shared,
             copied,
+            columns_reused,
+            columns_rebuilt,
         };
         let snapshot = CatalogSnapshot {
             version,
@@ -198,9 +262,16 @@ impl CatalogSnapshot {
             table_ranges,
             selections: Mutex::new(selections),
             restricted_profiles: Mutex::new(restricted_profiles),
+            match_results: Mutex::new(match_results),
             interner: Arc::clone(interner),
         };
         (snapshot, update)
+    }
+
+    /// The result-cache handle (see the field docs; shared across requests,
+    /// carried across snapshots).
+    pub fn match_results(&self) -> &Mutex<MatchResultCache> {
+        &self.match_results
     }
 
     fn columns_if_unchanged(
@@ -270,6 +341,37 @@ impl CatalogSnapshot {
     }
 }
 
+/// The attribute names of `table` whose content differs from the same-named
+/// column of the previous snapshot's batch (`prev_columns`), plus every
+/// attribute only one side has — the set of columns whose dependent
+/// selections must be dropped. Attributes present in both with equal
+/// per-column fingerprints are unchanged by construction.
+fn changed_column_names(
+    prev_columns: Option<&[ColumnData<'static>]>,
+    table: &Table,
+) -> BTreeSet<String> {
+    let old: BTreeMap<&str, Option<u64>> = prev_columns
+        .unwrap_or(&[])
+        .iter()
+        .map(|c| (c.attr.attribute.as_str(), c.fingerprint()))
+        .collect();
+    let mut changed = BTreeSet::new();
+    for (attr, &fp) in table.schema().attributes().iter().zip(table.column_fingerprints()) {
+        match old.get(attr.name.as_str()) {
+            Some(Some(old_fp)) if *old_fp == fp => {}
+            _ => {
+                changed.insert(attr.name.clone());
+            }
+        }
+    }
+    for (name, _) in old {
+        if table.schema().index_of(name).is_none() {
+            changed.insert(name.to_string());
+        }
+    }
+    changed
+}
+
 /// The snapshot-swapped catalog of target tables a [`crate::MatchService`]
 /// matches into.
 ///
@@ -284,16 +386,22 @@ pub struct TargetCatalog {
     update_lock: Mutex<()>,
     interner: Arc<GramInterner>,
     restricted_capacity: usize,
+    result_capacity: usize,
 }
 
 /// Default bound on cached view-restricted columns (see
 /// [`RestrictedProfileCache`]).
 pub const DEFAULT_RESTRICTED_PROFILE_CAPACITY: usize = 4096;
 
+/// Default bound on memoized whole-match results (see [`MatchResultCache`]).
+/// Results are comparatively heavy (full match lists plus view definitions),
+/// so the default is small; every entry saved is an entire match run.
+pub const DEFAULT_MATCH_RESULT_CAPACITY: usize = 64;
+
 impl TargetCatalog {
     /// An empty catalog (snapshot version 0, no tables) with an unbounded
-    /// shared selection cache, a default-bounded restricted-profile cache,
-    /// and the process-global interner.
+    /// shared selection cache, default-bounded restricted-profile and
+    /// match-result caches, and the process-global interner.
     pub fn new() -> Self {
         TargetCatalog::with_selection_capacity(None)
     }
@@ -306,20 +414,23 @@ impl TargetCatalog {
         TargetCatalog::with_warm_config(
             capacity,
             DEFAULT_RESTRICTED_PROFILE_CAPACITY,
+            DEFAULT_MATCH_RESULT_CAPACITY,
             GramInterner::global(),
         )
     }
 
     /// An empty catalog with explicit warm-artifact policy: the selection
     /// cache bound, the restricted-profile cache bound (`0` disables
-    /// restricted-column caching), and the catalog-scoped [`GramInterner`]
-    /// every snapshot's columns intern against. Pass a private interner for
-    /// an isolated id space (tests, multi-tenant processes); the default
-    /// ([`GramInterner::global`]) lets ad-hoc columns outside the catalog
-    /// share ids with it.
+    /// restricted-column caching), the match-result cache bound (`0`
+    /// disables whole-result memoization), and the catalog-scoped
+    /// [`GramInterner`] every snapshot's columns intern against. Pass a
+    /// private interner for an isolated id space (tests, multi-tenant
+    /// processes); the default ([`GramInterner::global`]) lets ad-hoc
+    /// columns outside the catalog share ids with it.
     pub fn with_warm_config(
         selection_capacity: Option<usize>,
         restricted_capacity: usize,
+        result_capacity: usize,
         interner: Arc<GramInterner>,
     ) -> Self {
         let (snapshot, _) = CatalogSnapshot::build(
@@ -328,6 +439,7 @@ impl TargetCatalog {
             None,
             &interner,
             restricted_capacity,
+            result_capacity,
         );
         snapshot
             .selections
@@ -339,6 +451,7 @@ impl TargetCatalog {
             update_lock: Mutex::new(()),
             interner,
             restricted_capacity,
+            result_capacity,
         }
     }
 
@@ -426,6 +539,7 @@ impl TargetCatalog {
             Some(&prev),
             &self.interner,
             self.restricted_capacity,
+            self.result_capacity,
         );
         *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
         Ok(update)
@@ -474,7 +588,9 @@ mod tests {
                 rebuilt: 2,
                 dropped: 0,
                 shared: 0,
-                copied: 2
+                copied: 2,
+                columns_reused: 0,
+                columns_rebuilt: 4,
             }
         );
         let snap = catalog.snapshot();
@@ -509,7 +625,9 @@ mod tests {
                 rebuilt: 0,
                 dropped: 0,
                 shared: 2,
-                copied: 0
+                copied: 0,
+                columns_reused: 4,
+                columns_rebuilt: 0,
             }
         );
         let second = catalog.snapshot();
@@ -530,7 +648,9 @@ mod tests {
                 rebuilt: 1,
                 dropped: 0,
                 shared: 1,
-                copied: 1
+                copied: 1,
+                columns_reused: 2,
+                columns_rebuilt: 2,
             }
         );
         let third = catalog.snapshot();
@@ -567,6 +687,66 @@ mod tests {
         // The restricted-profile cache and interner carry across snapshots.
         assert!(Arc::ptr_eq(first.interner(), third.interner()));
         assert_eq!(third.restricted_profiles().lock().unwrap().capacity(), 4096);
+    }
+
+    #[test]
+    fn single_column_replace_rebuilds_exactly_that_column() {
+        use cxm_relational::Condition;
+        let catalog = TargetCatalog::new();
+        catalog.register_database(&target());
+        let first = catalog.snapshot();
+        // Warm both of book's column profiles and a selection on `format`
+        // plus one on `title`.
+        let title_profile = first.table_columns("book").unwrap()[0].qgram3_ids();
+        let format_profile = first.table_columns("book").unwrap()[1].qgram3_ids();
+        {
+            // No explicit validation needed: selecting stamps the bucket
+            // with the scanned instance's fingerprint, which is the
+            // provenance the update's column-scoped retention trusts.
+            let mut cache = first.selections().lock().unwrap();
+            let book = first.database().table("book").unwrap();
+            cache.select(book, &Condition::eq("title", "middlemarch"));
+            cache.select(book, &Condition::eq("format", "paperback"));
+        }
+
+        // Replace book changing ONLY the format column's values.
+        let replacement =
+            table("book", &[("war and peace", "hardcover"), ("middlemarch", "trade paperback")]);
+        let update = catalog.replace_table(replacement).unwrap();
+        assert_eq!((update.reused, update.rebuilt), (1, 1), "book is table-level rebuilt");
+        assert_eq!(
+            (update.columns_reused, update.columns_rebuilt),
+            (3, 1),
+            "music's 2 columns + book.title carried; only book.format rebuilt"
+        );
+
+        let second = catalog.snapshot();
+        // The untouched column keeps its memoized profile Arc; the changed
+        // column does not.
+        assert!(Arc::ptr_eq(
+            &title_profile,
+            &second.table_columns("book").unwrap()[0].qgram3_ids()
+        ));
+        assert!(!Arc::ptr_eq(
+            &format_profile,
+            &second.table_columns("book").unwrap()[1].qgram3_ids()
+        ));
+        // Column fingerprints moved with the content.
+        let new_book = second.database().table("book").unwrap();
+        assert_eq!(
+            second.table_columns("book").unwrap()[0].fingerprint(),
+            Some(new_book.column_fingerprint("title").unwrap())
+        );
+        // Selections: the title atom survived (warm hit), the format atom
+        // was dropped with the changed column.
+        {
+            let mut cache = second.selections().lock().unwrap();
+            let (hits, misses) = (cache.hits(), cache.misses());
+            cache.select(new_book, &Condition::eq("title", "middlemarch"));
+            assert_eq!((cache.hits(), cache.misses()), (hits + 1, misses), "title atom warm");
+            cache.select(new_book, &Condition::eq("format", "paperback"));
+            assert_eq!(cache.misses(), misses + 1, "format atom rescanned");
+        }
     }
 
     #[test]

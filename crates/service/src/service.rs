@@ -1,18 +1,20 @@
 //! Request execution over the warm catalog.
 
-use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use cxm_core::{
-    ContextMatchConfig, ContextMatchResult, ContextualMatcher, PreparedSourceColumns,
-    PreparedTargets, SharedSelections,
+    ContextMatchConfig, ContextMatchResult, ContextualMatcher, MatchResultKey,
+    PreparedSourceColumns, PreparedTargets, SharedSelections,
 };
 use cxm_matching::column::telemetry as profile_telemetry;
 use cxm_matching::{ColumnData, GramInterner};
 use cxm_relational::{Database, Fnv64, Result, Table};
 
-use crate::catalog::{CatalogUpdate, TargetCatalog, DEFAULT_RESTRICTED_PROFILE_CAPACITY};
+use crate::catalog::{
+    CatalogUpdate, TargetCatalog, DEFAULT_MATCH_RESULT_CAPACITY,
+    DEFAULT_RESTRICTED_PROFILE_CAPACITY,
+};
 
 /// Configuration of a [`MatchService`].
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +34,12 @@ pub struct ServiceConfig {
     /// first); `0` disables restricted-column caching — every request then
     /// re-profiles its candidate views' columns, as before PR 4.
     pub restricted_profile_entries: usize,
+    /// How many whole-match results the [`cxm_core::MatchResultCache`]
+    /// retains (oldest inserted evicted first); `0` disables result
+    /// memoization — every request then runs the matcher, warm artifacts or
+    /// not. A hit serves a repeat submission of an unchanged source against
+    /// an unchanged catalog without any matching work at all.
+    pub match_result_entries: usize,
 }
 
 impl Default for ServiceConfig {
@@ -41,6 +49,7 @@ impl Default for ServiceConfig {
             source_cache_capacity: 16,
             selection_cache_tables: 64,
             restricted_profile_entries: DEFAULT_RESTRICTED_PROFILE_CAPACITY,
+            match_result_entries: DEFAULT_MATCH_RESULT_CAPACITY,
         }
     }
 }
@@ -57,6 +66,10 @@ impl Default for ServiceConfig {
 pub struct RequestTelemetry {
     /// Version of the catalog snapshot the request ran against.
     pub catalog_version: u64,
+    /// Whether the entire response was served from the whole-match result
+    /// cache. A hit does no matching work at all: every other counter in
+    /// this struct is then zero by construction.
+    pub result_cache_hit: bool,
     /// Q-gram profiles built during the request. On a warm catalog this
     /// counts **no** target-side builds; with a source-cache hit and no
     /// candidate views it is exactly zero.
@@ -71,28 +84,43 @@ pub struct RequestTelemetry {
     /// View-restricted columns the cache had not seen (profiles built and
     /// published for later requests).
     pub restricted_profile_misses: usize,
+    /// Entries the bounded restricted-profile cache evicted during the
+    /// request. Sustained nonzero evictions under a steady workload mean
+    /// the bound is too small for the live view/column population and the
+    /// warm path is silently degrading to rebuilds.
+    pub restricted_profile_evictions: usize,
     /// Classifier scoring/training work units spent on view inference.
     pub classifier_work_units: usize,
     /// Whether the source database's column batch was served from the warm
     /// source cache.
     pub source_cache_hit: bool,
+    /// Entries the bounded source column-batch cache evicted during the
+    /// request (the same regression signal as
+    /// [`RequestTelemetry::restricted_profile_evictions`], for the source
+    /// side).
+    pub source_cache_evictions: usize,
 }
 
 impl fmt::Display for RequestTelemetry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.result_cache_hit {
+            return write!(f, "catalog v{}, served from the result cache", self.catalog_version);
+        }
         write!(
             f,
             "catalog v{}, {} profile builds, selections {} hit / {} miss, \
-             restricted profiles {} hit / {} miss, {} classifier work units, \
-             source cache {}",
+             restricted profiles {} hit / {} miss / {} evicted, {} classifier work units, \
+             source cache {} ({} evicted)",
             self.catalog_version,
             self.qgram_profile_builds,
             self.selection_cache_hits,
             self.selection_cache_misses,
             self.restricted_profile_hits,
             self.restricted_profile_misses,
+            self.restricted_profile_evictions,
             self.classifier_work_units,
             if self.source_cache_hit { "hit" } else { "miss" },
+            self.source_cache_evictions,
         )
     }
 }
@@ -102,8 +130,10 @@ impl fmt::Display for RequestTelemetry {
 pub struct MatchResponse {
     /// The contextual matching result — byte-identical to what a cold
     /// [`ContextualMatcher::run`] returns for the same source and target
-    /// instances.
-    pub result: ContextMatchResult,
+    /// instances. `Arc`-shared with the whole-match result cache, so
+    /// memoizing (and serving) a result is a pointer copy, never a deep
+    /// clone; field access works through the `Arc` as usual.
+    pub result: Arc<ContextMatchResult>,
     /// What the request cost and which warm artifacts it reused.
     pub telemetry: RequestTelemetry,
 }
@@ -141,6 +171,10 @@ pub struct MatchService {
     matcher: ContextualMatcher,
     catalog: TargetCatalog,
     sources: Mutex<SourceCache>,
+    /// [`ContextMatchConfig::signature`] of the configuration every request
+    /// runs with — the configuration third of each result-cache key,
+    /// computed once at construction.
+    config_signature: u64,
 }
 
 impl MatchService {
@@ -164,9 +198,11 @@ impl MatchService {
             catalog: TargetCatalog::with_warm_config(
                 selection_capacity,
                 config.restricted_profile_entries,
+                config.match_result_entries,
                 GramInterner::global(),
             ),
             sources: Mutex::new(SourceCache::new(config.source_cache_capacity)),
+            config_signature: config.context.signature(),
         }
     }
 
@@ -234,12 +270,47 @@ impl MatchService {
         source: &Database,
         snapshot: &crate::CatalogSnapshot,
     ) -> Result<MatchResponse> {
-        // One scan of the source data: per-table fingerprints drive both the
-        // source-column cache key and the shared selection cache validation
-        // (the latter performed by the run itself, inside the cache's
-        // critical sections — see `SharedSelections`).
+        // One scan of the source data: per-table fingerprints drive the
+        // result-cache key, the source-column cache key and the shared
+        // selection cache validation (the latter performed by the run
+        // itself, inside the cache's critical sections — see
+        // `SharedSelections`). The scan also fills each source table's
+        // per-column fingerprint cache, which the restricted-profile keys
+        // read for free during scoring.
         let table_fingerprints = source.table_fingerprints();
         let source_key = combined_fingerprint(&table_fingerprints);
+
+        // Whole-match result memoization: a repeat submission of unchanged
+        // source content against an unchanged snapshot under this service's
+        // configuration is one lookup — no column prep, no selection scans,
+        // no classifier work. Cached results are byte-identical to the run
+        // that produced them.
+        let result_key = MatchResultKey {
+            source_fingerprint: source_key,
+            catalog_version: snapshot.version(),
+            config_signature: self.config_signature,
+        };
+        let cached = {
+            let mut cache = snapshot.match_results().lock().unwrap_or_else(PoisonError::into_inner);
+            if cache.capacity() > 0 {
+                cache.get(&result_key)
+            } else {
+                None
+            }
+        };
+        if let Some(result) = cached {
+            return Ok(MatchResponse {
+                result,
+                telemetry: RequestTelemetry {
+                    catalog_version: snapshot.version(),
+                    result_cache_hit: true,
+                    ..RequestTelemetry::default()
+                },
+            });
+        }
+
+        let source_evictions_before =
+            self.sources.lock().unwrap_or_else(PoisonError::into_inner).evictions();
         let (source_columns, source_cache_hit) =
             self.source_columns(source, source_key, snapshot.interner());
 
@@ -250,11 +321,16 @@ impl MatchService {
         // With a capacity-0 (disabled) cache, don't thread it into scoring
         // at all: every lookup would be a guaranteed miss paying two mutex
         // round-trips per restricted column.
-        let (profile_hits_before, profile_misses_before, restricted_profiles) = {
+        let (
+            profile_hits_before,
+            profile_misses_before,
+            profile_evictions_before,
+            restricted_profiles,
+        ) = {
             let cache =
                 snapshot.restricted_profiles().lock().unwrap_or_else(PoisonError::into_inner);
             let enabled = (cache.capacity() > 0).then(|| snapshot.restricted_profiles());
-            (cache.hits(), cache.misses(), enabled)
+            (cache.hits(), cache.misses(), cache.evictions(), enabled)
         };
         let builds_before = profile_telemetry::qgram_profile_builds();
         let work_before = cxm_classify::telemetry::work_units();
@@ -269,6 +345,7 @@ impl MatchService {
                     cache: snapshot.selections(),
                     source_fingerprints: &table_fingerprints,
                     restricted_profiles,
+                    catalog_version: snapshot.version(),
                 }),
             },
         )?;
@@ -277,21 +354,37 @@ impl MatchService {
             let cache = snapshot.selections().lock().unwrap_or_else(PoisonError::into_inner);
             (cache.hits(), cache.misses())
         };
-        let (profile_hits_after, profile_misses_after) = {
+        let (profile_hits_after, profile_misses_after, profile_evictions_after) = {
             let cache =
                 snapshot.restricted_profiles().lock().unwrap_or_else(PoisonError::into_inner);
-            (cache.hits(), cache.misses())
+            (cache.hits(), cache.misses(), cache.evictions())
         };
+        let source_evictions_after =
+            self.sources.lock().unwrap_or_else(PoisonError::into_inner).evictions();
         let telemetry = RequestTelemetry {
             catalog_version: snapshot.version(),
+            result_cache_hit: false,
             qgram_profile_builds: profile_telemetry::qgram_profile_builds() - builds_before,
             selection_cache_hits: hits_after - hits_before,
             selection_cache_misses: misses_after - misses_before,
             restricted_profile_hits: profile_hits_after - profile_hits_before,
             restricted_profile_misses: profile_misses_after - profile_misses_before,
+            restricted_profile_evictions: profile_evictions_after - profile_evictions_before,
             classifier_work_units: cxm_classify::telemetry::work_units() - work_before,
             source_cache_hit,
+            source_cache_evictions: source_evictions_after - source_evictions_before,
         };
+
+        // Publish for repeat submissions: the cache and the response share
+        // one `Arc`, so memoization costs a pointer copy and later hits
+        // return exactly this response's result, bit for bit.
+        let result = Arc::new(result);
+        {
+            let mut cache = snapshot.match_results().lock().unwrap_or_else(PoisonError::into_inner);
+            if cache.capacity() > 0 {
+                cache.insert(result_key, Arc::clone(&result));
+            }
+        }
         Ok(MatchResponse { result, telemetry })
     }
 
@@ -358,38 +451,30 @@ fn combined_fingerprint(tables: &std::collections::BTreeMap<String, u64>) -> u64
     h.finish()
 }
 
-/// Oldest-first bounded cache of prepared source-column batches.
+/// Oldest-first bounded cache of prepared source-column batches (a thin
+/// wrapper over [`cxm_core::BoundedCache`]).
 #[derive(Debug)]
 struct SourceCache {
-    capacity: usize,
-    entries: HashMap<u64, Arc<PreparedSourceColumns<'static>>>,
-    order: VecDeque<u64>,
+    entries: cxm_core::BoundedCache<u64, Arc<PreparedSourceColumns<'static>>>,
 }
 
 impl SourceCache {
     fn new(capacity: usize) -> Self {
-        SourceCache { capacity, entries: HashMap::new(), order: VecDeque::new() }
+        SourceCache { entries: cxm_core::BoundedCache::with_capacity(capacity) }
     }
 
-    fn get(&self, key: u64) -> Option<Arc<PreparedSourceColumns<'static>>> {
-        self.entries.get(&key).cloned()
+    fn get(&mut self, key: u64) -> Option<Arc<PreparedSourceColumns<'static>>> {
+        self.entries.get(&key).map(Arc::clone)
+    }
+
+    /// Warm batches pushed out by the capacity bound so far (surfaced per
+    /// request as [`RequestTelemetry::source_cache_evictions`]).
+    fn evictions(&self) -> usize {
+        self.entries.evictions()
     }
 
     fn insert(&mut self, key: u64, columns: Arc<PreparedSourceColumns<'static>>) {
-        if self.capacity == 0 {
-            return;
-        }
-        while self.entries.len() >= self.capacity {
-            match self.order.pop_front() {
-                Some(evicted) => {
-                    self.entries.remove(&evicted);
-                }
-                None => break,
-            }
-        }
-        if self.entries.insert(key, columns).is_none() {
-            self.order.push_back(key);
-        }
+        self.entries.insert(key, columns);
     }
 }
 
@@ -412,7 +497,13 @@ mod tests {
     fn warm_submit_equals_cold_run() {
         let (source, target) = retail();
         let config = ContextMatchConfig::default().with_tau(0.4);
-        let service = MatchService::new(config);
+        // Result memoization off: this test pins the *warm-artifact* path
+        // (the result-cache path is pinned separately below).
+        let service = MatchService::with_config(ServiceConfig {
+            context: config,
+            match_result_entries: 0,
+            ..ServiceConfig::default()
+        });
         service.register_target(&target);
 
         let cold = ContextualMatcher::new(config).run(&source, &target).unwrap();
@@ -425,7 +516,37 @@ mod tests {
         }
         assert!(!first.telemetry.source_cache_hit);
         assert!(second.telemetry.source_cache_hit);
+        assert!(!second.telemetry.result_cache_hit, "result cache is disabled");
         assert_eq!(first.telemetry.catalog_version, 1);
+    }
+
+    #[test]
+    fn repeat_submissions_hit_the_result_cache() {
+        let (source, target) = retail();
+        let config = ContextMatchConfig::default().with_tau(0.4);
+        let service = MatchService::new(config);
+        service.register_target(&target);
+
+        let first = service.submit(&source).unwrap();
+        assert!(!first.telemetry.result_cache_hit);
+        let second = service.submit(&source).unwrap();
+        assert!(second.telemetry.result_cache_hit, "unchanged source + catalog must hit");
+        // A hit does no work at all and returns the memoized result intact.
+        assert_eq!(second.telemetry.qgram_profile_builds, 0);
+        assert_eq!(second.telemetry.classifier_work_units, 0);
+        assert_eq!(second.telemetry.selection_cache_misses, 0);
+        assert_eq!(second.result.selected, first.result.selected);
+        assert_eq!(second.result.standard, first.result.standard);
+        assert_eq!(second.result.candidates, first.result.candidates);
+
+        // Any catalog update re-keys: the next submission really runs.
+        let replacement = target.tables().next().unwrap().clone();
+        service.replace_table(replacement.head(replacement.len() - 1)).unwrap();
+        let after = service.submit(&source).unwrap();
+        assert!(!after.telemetry.result_cache_hit, "a new snapshot version cannot hit");
+        assert_eq!(after.telemetry.catalog_version, 2);
+        // …and the new (version 2) result is memoized in turn.
+        assert!(service.submit(&source).unwrap().telemetry.result_cache_hit);
     }
 
     #[test]
@@ -476,7 +597,7 @@ mod tests {
         assert_eq!(responses[0].result.selected, responses[1].result.selected);
         assert_eq!(responses[0].telemetry.catalog_version, 1);
         assert_eq!(responses[1].telemetry.catalog_version, 1);
-        assert!(responses[1].telemetry.source_cache_hit);
+        assert!(responses[1].telemetry.result_cache_hit, "identical repeat in one batch");
     }
 
     #[test]
@@ -491,8 +612,10 @@ mod tests {
 
     #[test]
     fn source_cache_is_bounded_and_evicts_oldest() {
+        // Result memoization off so every submit exercises the source cache.
         let service = MatchService::with_config(ServiceConfig {
             source_cache_capacity: 2,
+            match_result_entries: 0,
             ..ServiceConfig::default()
         });
         let db = |name: &str, seed: i64| {
@@ -510,8 +633,11 @@ mod tests {
         assert!(!service.submit(&a).unwrap().telemetry.source_cache_hit);
         assert!(!service.submit(&b).unwrap().telemetry.source_cache_hit);
         assert!(service.submit(&a).unwrap().telemetry.source_cache_hit);
-        // Third distinct source evicts the oldest entry (a).
-        assert!(!service.submit(&c).unwrap().telemetry.source_cache_hit);
+        // Third distinct source evicts the oldest entry (a) — and the
+        // eviction is attributed to the request that caused it.
+        let third = service.submit(&c).unwrap();
+        assert!(!third.telemetry.source_cache_hit);
+        assert_eq!(third.telemetry.source_cache_evictions, 1);
         assert!(!service.submit(&a).unwrap().telemetry.source_cache_hit);
     }
 
@@ -521,6 +647,7 @@ mod tests {
         let service = MatchService::with_config(ServiceConfig {
             context: ContextMatchConfig::default().with_tau(0.4),
             source_cache_capacity: 0,
+            match_result_entries: 0,
             ..ServiceConfig::default()
         });
         service.register_target(&target);
@@ -533,17 +660,22 @@ mod tests {
     fn telemetry_display_is_humane() {
         let t = RequestTelemetry {
             catalog_version: 3,
+            result_cache_hit: false,
             qgram_profile_builds: 0,
             selection_cache_hits: 5,
             selection_cache_misses: 1,
             restricted_profile_hits: 7,
             restricted_profile_misses: 2,
+            restricted_profile_evictions: 1,
             classifier_work_units: 42,
             source_cache_hit: true,
+            source_cache_evictions: 0,
         };
         let s = t.to_string();
         assert!(s.contains("catalog v3"));
-        assert!(s.contains("restricted profiles 7 hit / 2 miss"));
-        assert!(s.contains("source cache hit"));
+        assert!(s.contains("restricted profiles 7 hit / 2 miss / 1 evicted"));
+        assert!(s.contains("source cache hit (0 evicted)"));
+        let hit = RequestTelemetry { result_cache_hit: true, ..t };
+        assert!(hit.to_string().contains("served from the result cache"));
     }
 }

@@ -2,11 +2,13 @@
 //!
 //! An enterprise deployment matches a stream of source schemas against one
 //! slowly-changing shared target. This example registers the retail target
-//! in a [`cxm_service::MatchService`], submits the retail source twice (cold
-//! then warm), submits the unrelated grades source, then replaces a single
-//! target table and submits again — printing per-request telemetry so the
-//! warm-artifact reuse and the fingerprint-keyed selective invalidation are
-//! visible.
+//! in a [`cxm_service::MatchService`], submits the retail source three times
+//! (cold, then a whole-match result-cache hit, then warm with memoization
+//! aside), submits the unrelated grades source, replaces a single target
+//! table, and finally edits a **single column** of one table — printing
+//! per-request telemetry and the per-column `CatalogUpdate` delta counts so
+//! the column-granular reuse and the fingerprint-keyed selective
+//! invalidation are visible.
 //!
 //! Run with:
 //! ```text
@@ -15,7 +17,8 @@
 
 use cxm_core::{ContextMatchConfig, ViewInferenceStrategy};
 use cxm_datagen::{generate_grades, generate_retail, GradesConfig, RetailConfig};
-use cxm_service::{MatchResponse, MatchService};
+use cxm_relational::{Table, Tuple, Value};
+use cxm_service::{CatalogUpdate, MatchResponse, MatchService};
 
 fn report(label: &str, response: &MatchResponse) {
     println!(
@@ -24,6 +27,41 @@ fn report(label: &str, response: &MatchResponse) {
         response.result.contextual_selected().len(),
     );
     println!("    telemetry: {}", response.telemetry);
+}
+
+fn report_update(label: &str, update: &CatalogUpdate) {
+    println!(
+        "{label} (v{}): tables {} reused / {} rebuilt, columns {} reused / {} rebuilt.",
+        update.version,
+        update.reused,
+        update.rebuilt,
+        update.columns_reused,
+        update.columns_rebuilt,
+    );
+}
+
+/// A copy of `table` with one column's values textually perturbed — the
+/// single-column drift the column-granular warm keys absorb.
+fn edit_one_column(table: &Table, column: &str) -> Table {
+    let index = table.schema().index_of(column).expect("column exists");
+    let rows = table
+        .rows()
+        .iter()
+        .map(|row| {
+            Tuple::new(
+                (0..table.schema().arity())
+                    .map(|i| {
+                        if i == index {
+                            Value::str(format!("{} (rev)", row.at(i).as_text()))
+                        } else {
+                            row.at(i).clone()
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    Table::with_rows(table.schema().clone(), rows).expect("schema unchanged")
 }
 
 fn main() {
@@ -58,14 +96,10 @@ fn main() {
     let cold = service.submit(&retail.source).expect("well-formed retail scenario");
     report("retail (cold)", &cold);
 
-    let warm = service.submit(&retail.source).expect("well-formed retail scenario");
-    report("retail (warm)", &warm);
-    println!(
-        "    → warm repeat rebuilt {} of {} profiles and re-scanned {} selection atoms",
-        warm.telemetry.qgram_profile_builds,
-        cold.telemetry.qgram_profile_builds,
-        warm.telemetry.selection_cache_misses,
-    );
+    // An identical repeat is a whole-match result-cache hit: no profile
+    // builds, no selection scans, no classifier work — one lookup.
+    let memoized = service.submit(&retail.source).expect("well-formed retail scenario");
+    report("retail (repeat)", &memoized);
 
     let foreign = service.submit(&grades.source).expect("well-formed grades scenario");
     report("grades", &foreign);
@@ -74,11 +108,45 @@ fn main() {
     let mut replacement = retail.target.tables().next().expect("retail target has tables").clone();
     let renamed = replacement.name().to_string();
     replacement = replacement.head(replacement.len().saturating_sub(1));
-    let update = service.replace_table(replacement).expect("table is registered");
-    println!(
-        "\nReplaced target table `{renamed}` (v{}): {} reused, {} rebuilt.",
-        update.version, update.reused, update.rebuilt,
-    );
+    let update = service.replace_table(replacement.clone()).expect("table is registered");
+    report_update(&format!("\nReplaced target table `{renamed}`"), &update);
     let after = service.submit(&retail.source).expect("well-formed retail scenario");
     report("retail (after replace)", &after);
+
+    // Edit a SINGLE COLUMN of that table: the catalog rebuilds exactly that
+    // column — every sibling column keeps its values, memoized profiles and
+    // cached selections — and the next request re-profiles exactly one
+    // column.
+    let column = replacement
+        .schema()
+        .attributes()
+        .iter()
+        .find(|a| a.data_type == cxm_relational::DataType::Text)
+        .map(|a| a.name.clone())
+        .expect("retail tables have text columns");
+    let edited = edit_one_column(&replacement, &column);
+    let update = service.replace_table(edited).expect("table is registered");
+    report_update(&format!("\nEdited single column `{renamed}.{column}`"), &update);
+    let after_column = service.submit(&retail.source).expect("well-formed retail scenario");
+    report("retail (after column edit)", &after_column);
+    println!(
+        "    → the single-column edit re-profiled {} column(s); a full table rebuild would \
+         have re-profiled {}",
+        after_column.telemetry.qgram_profile_builds,
+        replacement.schema().arity(),
+    );
+
+    // Restricted-column profiles are content-keyed, so the entries built at
+    // catalog v1 are still serving requests at v3 — the version span makes
+    // that longevity visible.
+    let snapshot = service.catalog().snapshot();
+    let cache = snapshot.restricted_profiles().lock().expect("no poisoned requests");
+    if let Some((oldest, newest)) = cache.version_span() {
+        println!(
+            "    → {} restricted-column entries published at catalog v{oldest}–v{newest} \
+             still live at v{}",
+            cache.len(),
+            snapshot.version(),
+        );
+    }
 }

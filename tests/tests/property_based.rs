@@ -287,6 +287,182 @@ mod interned_kernels {
     }
 }
 
+mod warm_keys {
+    use proptest::prelude::*;
+
+    use cxm_relational::{
+        combine_column_fingerprints, Attribute, Table, TableSchema, Tuple, Value,
+    };
+
+    /// Alphabet the generated values draw from (see `interned_kernels`).
+    const ALPHABET: &[char] = &['a', 'b', 'c', ' ', 'x', '7'];
+
+    fn word(raw: &[usize]) -> String {
+        raw.iter().map(|&i| ALPHABET[i % ALPHABET.len()]).collect()
+    }
+
+    /// A three-text-column table whose cell values are derived from `rows`
+    /// (one generated word per row; the three columns see rotated variants,
+    /// so columns differ but remain deterministic in the input).
+    fn three_column_table(rows: &[Vec<usize>]) -> Table {
+        let schema = TableSchema::new(
+            "t",
+            vec![Attribute::text("a"), Attribute::text("b"), Attribute::text("c")],
+        );
+        let tuples = rows
+            .iter()
+            .enumerate()
+            .map(|(i, raw)| {
+                let w = word(raw);
+                Tuple::new(vec![
+                    Value::str(w.clone()),
+                    Value::str(format!("{w}-{i}")),
+                    Value::str(format!("{}#{w}", i % 3)),
+                ])
+            })
+            .collect();
+        Table::with_rows(schema, tuples).expect("arity matches")
+    }
+
+    proptest! {
+        /// `Table::fingerprint` is exactly the public combinator over the
+        /// per-column fingerprints — the contract that lets table-level and
+        /// column-level warm keys coexist without ever disagreeing.
+        #[test]
+        fn table_fingerprint_is_the_column_combinator(
+            rows in prop::collection::vec(prop::collection::vec(0usize..6, 0..8), 1..24),
+        ) {
+            let table = three_column_table(&rows);
+            prop_assert_eq!(table.column_fingerprints().len(), 3);
+            prop_assert_eq!(
+                combine_column_fingerprints(
+                    table.name(),
+                    table.len(),
+                    table.column_fingerprints(),
+                ),
+                table.fingerprint()
+            );
+            // The cached family is stable across reads and across clones.
+            prop_assert_eq!(table.fingerprint(), table.clone().fingerprint());
+        }
+
+        /// Editing one column's values changes that column's fingerprint and
+        /// no sibling's — the invariant column-granular invalidation rests
+        /// on. (The table fingerprint changes too, being the combinator.)
+        #[test]
+        fn editing_one_column_changes_only_its_fingerprint(
+            rows in prop::collection::vec(prop::collection::vec(0usize..6, 0..8), 1..24),
+            column in 0usize..3,
+            row in any::<u64>(),
+        ) {
+            let table = three_column_table(&rows);
+            let row = (row % table.len() as u64) as usize;
+            // Append a sentinel to one cell of the chosen column: the edited
+            // bag strictly differs.
+            let tuples: Vec<Tuple> = table
+                .rows()
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    Tuple::new(
+                        (0..3)
+                            .map(|c| {
+                                if i == row && c == column {
+                                    Value::str(format!("{}!", r.at(c).as_text()))
+                                } else {
+                                    r.at(c).clone()
+                                }
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let edited = Table::with_rows(table.schema().clone(), tuples).expect("arity matches");
+
+            let before = table.column_fingerprints();
+            let after = edited.column_fingerprints();
+            for c in 0..3 {
+                let name = ["a", "b", "c"][c];
+                if c == column {
+                    prop_assert_ne!(before[c], after[c], "edited column {} must re-key", name);
+                } else {
+                    prop_assert_eq!(before[c], after[c], "sibling column {} must not re-key", name);
+                }
+                // The slice and the by-name accessor agree.
+                prop_assert_eq!(after[c], edited.column_fingerprint(name).unwrap());
+            }
+            prop_assert_ne!(table.fingerprint(), edited.fingerprint());
+        }
+    }
+}
+
+mod result_cache {
+    use proptest::prelude::*;
+
+    use cxm_core::{ContextMatchConfig, ContextualMatcher};
+    use cxm_relational::{Attribute, Database, Table, TableSchema, Tuple, Value};
+    use cxm_service::MatchService;
+
+    const ALPHABET: &[char] = &['a', 'b', 'c', ' ', 'x', '7'];
+
+    fn db(name: &str, table: &str, attr: &str, raw: &[Vec<usize>]) -> Database {
+        let rows = raw
+            .iter()
+            .map(|w| {
+                Tuple::new(vec![Value::str(
+                    w.iter().map(|&i| ALPHABET[i % ALPHABET.len()]).collect::<String>(),
+                )])
+            })
+            .collect();
+        Database::new(name).with_table(
+            Table::with_rows(TableSchema::new(table, vec![Attribute::text(attr)]), rows)
+                .expect("arity matches"),
+        )
+    }
+
+    proptest! {
+        /// A result-cache hit is **bit-identical** to a fresh run: the
+        /// second submission of an unchanged source is served from the
+        /// cache, and every score and confidence matches a from-scratch
+        /// `ContextualMatcher::run` down to the Debug representation (which
+        /// round-trips `f64` bits).
+        #[test]
+        fn result_cache_hits_are_bit_identical_to_fresh_runs(
+            source_rows in prop::collection::vec(prop::collection::vec(0usize..6, 0..6), 1..8),
+            target_rows in prop::collection::vec(prop::collection::vec(0usize..6, 0..6), 1..8),
+        ) {
+            let source = db("RS", "inv", "name", &source_rows);
+            let target = db("RT", "book", "title", &target_rows);
+            let config = ContextMatchConfig::default().with_tau(0.1);
+
+            let service = MatchService::new(config);
+            service.register_target(&target);
+            let first = service.submit(&source).unwrap();
+            prop_assert!(!first.telemetry.result_cache_hit);
+            let second = service.submit(&source).unwrap();
+            prop_assert!(second.telemetry.result_cache_hit);
+            prop_assert_eq!(second.telemetry.classifier_work_units, 0);
+
+            let fresh = ContextualMatcher::new(config).run(&source, &target).unwrap();
+            for (label, result) in [("first", &first.result), ("hit", &second.result)] {
+                prop_assert_eq!(&result.selected, &fresh.selected, "{} selected", label);
+                prop_assert_eq!(&result.standard, &fresh.standard, "{} standard", label);
+                prop_assert_eq!(&result.candidates, &fresh.candidates, "{} candidates", label);
+                prop_assert_eq!(
+                    format!("{:?}", result.selected),
+                    format!("{:?}", fresh.selected),
+                    "{} selected bits", label
+                );
+                prop_assert_eq!(
+                    format!("{:?}", result.candidates),
+                    format!("{:?}", fresh.candidates),
+                    "{} candidate bits", label
+                );
+            }
+        }
+    }
+}
+
 mod par_shim {
     use proptest::prelude::*;
     use rayon::prelude::*;

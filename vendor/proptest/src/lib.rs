@@ -192,7 +192,7 @@ pub mod prop {
 
 /// Everything the tests import.
 pub mod prelude {
-    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, Strategy};
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
 }
 
 /// Run the enclosed body for each generated case (no shrinking).
@@ -223,6 +223,12 @@ macro_rules! prop_assert {
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion macro (plain `assert_ne!` semantics under this shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
 }
 
 #[cfg(test)]
