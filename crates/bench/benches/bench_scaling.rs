@@ -15,14 +15,23 @@
 //! cross-request restricted-profile cache — vs partial rebuild after a
 //! single-table replace).
 //!
-//! The final `pr4_report` / `pr5_report` "benchmarks" re-measure the PR 4
-//! and PR 5 comparisons with plain wall clocks and write machine-readable
-//! summaries to `BENCH_PR4.json` / `BENCH_PR5.json` at the repository root
-//! (they run in `--test` smoke mode too, so CI can archive the files as
-//! artifacts). PR 5's report covers the column-granular warm keys and the
-//! whole-match result cache: single-column replace vs full-table replace vs
-//! full re-register vs warm repeat vs result-cache hit.
+//! The `wide_catalog` group compares brute-force `match_columns` against the
+//! inverted-gram-index-pruned `match_columns_indexed` (plus the index's own
+//! build cost) on the catalog-scale `wide_catalog` datagen scenario.
+//!
+//! The final `pr4_report` / `pr5_report` / `pr6_report` "benchmarks"
+//! re-measure the PR 4–6 comparisons with plain wall clocks and write
+//! machine-readable summaries to `BENCH_PR4.json` / `BENCH_PR5.json` /
+//! `BENCH_PR6.json` at the repository root (they run in `--test` smoke mode
+//! too, so CI can archive the files as artifacts). PR 5's report covers the
+//! column-granular warm keys and the whole-match result cache: single-column
+//! replace vs full-table replace vs full re-register vs warm repeat vs
+//! result-cache hit. PR 6's covers the inverted gram index: brute-force vs
+//! index-pruned matching at catalog scale with pruning statistics, and the
+//! service-level cold/warm/replace-one-column crossover with incremental
+//! posting-list reuse.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -32,8 +41,12 @@ use cxm_core::{
     score_candidates, score_candidates_materializing, ContextMatchConfig, ContextualMatcher,
     ViewInferenceStrategy,
 };
-use cxm_datagen::{generate_multi_table_retail, generate_retail, RetailConfig};
-use cxm_matching::StandardMatcher;
+use cxm_datagen::{
+    generate_multi_table_retail, generate_retail, generate_wide_catalog, RetailConfig,
+    WideCatalogConfig, WideCatalogDataset,
+};
+use cxm_matching::index::telemetry as index_telemetry;
+use cxm_matching::{ColumnData, GramIndex, GramInterner, KernelCounters, StandardMatcher};
 use cxm_relational::{DataType, Database, Table, Tuple, Value};
 use cxm_service::{MatchService, ServiceConfig};
 
@@ -425,6 +438,77 @@ fn bench_service_warm_vs_cold(c: &mut Criterion) {
     group.finish();
 }
 
+/// The wide-catalog matching unit of work: the probe source's columns and
+/// the full warm target batch, interned against one shared interner (as the
+/// service arranges), with every profile memoized outside the measured loop.
+struct WideBenchInput {
+    dataset: WideCatalogDataset,
+    matcher: StandardMatcher,
+    source_cols: Vec<ColumnData<'static>>,
+    target_cols: Vec<ColumnData<'static>>,
+}
+
+fn wide_bench_input(config: &WideCatalogConfig) -> WideBenchInput {
+    let dataset = generate_wide_catalog(config);
+    let interner = Arc::new(GramInterner::new());
+    let columns_of = |db: &Database| -> Vec<ColumnData<'static>> {
+        db.tables()
+            .flat_map(|t| {
+                t.schema()
+                    .attributes()
+                    .iter()
+                    .map(|a| {
+                        let fp = t.column_fingerprint(&a.name).expect("attribute exists");
+                        ColumnData::shared_from_table(t, &a.name)
+                            .expect("attribute comes from the table's own schema")
+                            .with_interner(Arc::clone(&interner))
+                            .with_fingerprint(fp)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    let source_cols = columns_of(&dataset.source);
+    let target_cols = columns_of(&dataset.target);
+    for col in source_cols.iter().chain(&target_cols) {
+        let _ = col.qgram3_ids();
+        let _ = col.value_ids();
+    }
+    let matcher = StandardMatcher::new(ContextMatchConfig::default().matching);
+    WideBenchInput { dataset, matcher, source_cols, target_cols }
+}
+
+/// Brute-force vs index-pruned candidate generation on the wide catalog:
+/// the same warm column batch, matched with `match_columns` (every pair pays
+/// two merge-joins) and with `match_columns_indexed` (the inverted gram
+/// index proves most pairs share nothing before any kernel runs). The
+/// `index_build_warm` series prices the artifact itself — posting-list
+/// assembly over memoized profiles.
+fn bench_wide_catalog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wide_catalog");
+    group.sample_size(10);
+    for tables in [50usize, 100] {
+        let input = wide_bench_input(&WideCatalogConfig { tables, ..WideCatalogConfig::default() });
+        let index = GramIndex::build(&input.target_cols);
+        group.bench_with_input(BenchmarkId::new("brute_force", tables), &tables, |b, _| {
+            b.iter(|| input.matcher.match_columns(&input.source_cols, &input.target_cols))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", tables), &tables, |b, _| {
+            b.iter(|| {
+                input.matcher.match_columns_indexed(
+                    &input.source_cols,
+                    &input.target_cols,
+                    Some(&index),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("index_build_warm", tables), &tables, |b, _| {
+            b.iter(|| GramIndex::build(&input.target_cols))
+        });
+    }
+    group.finish();
+}
+
 /// Median wall-clock seconds of `runs` executions of `f` (after one warm-up).
 fn median_secs<O>(runs: usize, mut f: impl FnMut() -> O) -> f64 {
     let _ = std::hint::black_box(f());
@@ -639,6 +723,134 @@ fn bench_pr5_report(c: &mut Criterion) {
     println!("pr5_report: wrote {path}");
 }
 
+/// Measure the PR 6 inverted-gram-index comparisons with plain wall clocks
+/// and write the machine-readable summary `BENCH_PR6.json` at the repository
+/// root. Covers (a) brute-force vs index-pruned matching on the
+/// default wide catalog (≥ 1000 target columns) plus the index's own build
+/// cost and pruning statistics, and (b) the service-level crossover: a cold
+/// register+submit (which pays the lazy index build), a warm repeat, and a
+/// single-column replace whose next request derives the index incrementally
+/// — every unchanged column's posting lists carried `Arc`-shared. Runs in
+/// `--test` smoke mode too, so CI always produces the artifact, and honors
+/// the CLI substring filter like any other benchmark.
+fn bench_pr6_report(c: &mut Criterion) {
+    if !c.filter_matches("pr6_report") {
+        return;
+    }
+    const RUNS: usize = 5;
+    let config = WideCatalogConfig::default();
+    let input = wide_bench_input(&config);
+    let total_columns = input.target_cols.len();
+    assert!(total_columns >= 1000, "the report must cover a catalog-scale target");
+
+    // Matching-level comparison on the same warm batch.
+    let brute =
+        median_secs(RUNS, || input.matcher.match_columns(&input.source_cols, &input.target_cols));
+    let index = GramIndex::build(&input.target_cols);
+    let indexed = median_secs(RUNS, || {
+        input.matcher.match_columns_indexed(&input.source_cols, &input.target_cols, Some(&index))
+    });
+    let build = median_secs(RUNS, || GramIndex::build(&input.target_cols));
+
+    // Pruning statistics of one indexed run.
+    let kernels = KernelCounters::snapshot();
+    let scanned_before = index_telemetry::candidate_pairs_scanned();
+    let surviving_before = index_telemetry::candidate_pairs_surviving();
+    let _ =
+        input.matcher.match_columns_indexed(&input.source_cols, &input.target_cols, Some(&index));
+    let scanned = index_telemetry::candidate_pairs_scanned() - scanned_before;
+    let surviving = index_telemetry::candidate_pairs_surviving() - surviving_before;
+    let pruned_scores = kernels.delta().pruned;
+    let pruning_rate = if scanned > 0 { 1.0 - surviving as f64 / scanned as f64 } else { 0.0 };
+
+    // Service-level crossover: cold register+submit pays the lazy build.
+    let context =
+        ContextMatchConfig::default().with_inference(ViewInferenceStrategy::Naive).with_tau(0.4);
+    let rerun_config =
+        ServiceConfig { context, match_result_entries: 0, ..ServiceConfig::default() };
+    let cold = median_secs(RUNS, || {
+        let service = MatchService::with_config(rerun_config);
+        service.register_target(&input.dataset.target);
+        let response = service.submit(&input.dataset.source).expect("well-formed dataset");
+        assert!(response.telemetry.index_built, "a cold submit must pay the index build");
+        response
+    });
+
+    let warm_service = MatchService::with_config(rerun_config);
+    warm_service.register_target(&input.dataset.target);
+    warm_service.submit(&input.dataset.source).expect("well-formed dataset");
+    let warm = median_secs(RUNS, || {
+        let response = warm_service.submit(&input.dataset.source).expect("dataset");
+        assert!(!response.telemetry.index_built, "warm repeats reuse the index");
+        response
+    });
+
+    // Single-column replace: the next request derives the index
+    // incrementally, carrying every unchanged column's posting lists.
+    let column_service = MatchService::with_config(rerun_config);
+    column_service.register_target(&input.dataset.target);
+    column_service.submit(&input.dataset.source).expect("well-formed dataset");
+    let original = input.dataset.target.tables().next().expect("wide target has tables").clone();
+    let edited = with_column_edited(&original, &some_text_column(&original));
+    let mut flip = false;
+    let mut postings = (0usize, 0usize);
+    let column_replace = median_secs(RUNS, || {
+        flip = !flip;
+        let update = column_service
+            .replace_table(if flip { edited.clone() } else { original.clone() })
+            .expect("table is registered");
+        assert_eq!(
+            (update.postings_reused, update.postings_rebuilt),
+            (total_columns - 1, 1),
+            "every unchanged column's postings must be predicted as carried"
+        );
+        let response = column_service.submit(&input.dataset.source).expect("dataset");
+        assert!(response.telemetry.index_built, "a new snapshot re-derives the index");
+        postings =
+            (response.telemetry.index_postings_reused, response.telemetry.index_postings_rebuilt);
+        response
+    });
+
+    let json = format!(
+        "{{\n  \"pr\": 6,\n  \"description\": \"Inverted gram index with admissible \
+         cosine upper-bound pruning on the wide-catalog scenario ({} tables x {} columns = \
+         {total_columns} target columns, {} rows each, medians of {RUNS} runs): brute-force vs \
+         index-pruned matching over one warm batch, the index build cost, and the service-level \
+         cold/warm/replace-one-column crossover\",\n  \"wide_catalog_matching\": {{\n    \
+         \"target_columns\": {total_columns},\n    \
+         \"brute_force_ms\": {:.3},\n    \
+         \"indexed_ms\": {:.3},\n    \
+         \"speedup\": {:.2},\n    \
+         \"index_build_warm_ms\": {:.3},\n    \
+         \"candidate_pairs_scanned\": {scanned},\n    \
+         \"candidate_pairs_surviving\": {surviving},\n    \
+         \"pruning_rate\": {:.4},\n    \
+         \"kernel_scores_pruned\": {pruned_scores}\n  }},\n  \
+         \"service_crossover\": {{\n    \
+         \"cold_register_and_submit_ms\": {:.3},\n    \
+         \"warm_repeat_ms\": {:.3},\n    \
+         \"replace_one_column_then_match_ms\": {:.3},\n    \
+         \"incremental_index_postings_reused\": {},\n    \
+         \"incremental_index_postings_rebuilt\": {}\n  }}\n}}\n",
+        config.tables,
+        config.columns_per_table,
+        config.rows_per_table,
+        brute * 1e3,
+        indexed * 1e3,
+        brute / indexed,
+        build * 1e3,
+        pruning_rate,
+        cold * 1e3,
+        warm * 1e3,
+        column_replace * 1e3,
+        postings.0,
+        postings.1,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
+    std::fs::write(path, &json).expect("BENCH_PR6.json is writable");
+    println!("pr6_report: wrote {path}");
+}
+
 criterion_group!(
     benches,
     bench_scaling,
@@ -646,7 +858,9 @@ criterion_group!(
     bench_interned_kernels,
     bench_sharded_standard_match,
     bench_service_warm_vs_cold,
+    bench_wide_catalog,
     bench_pr4_report,
-    bench_pr5_report
+    bench_pr5_report,
+    bench_pr6_report
 );
 criterion_main!(benches);

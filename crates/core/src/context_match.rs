@@ -36,7 +36,7 @@
 
 use std::collections::BTreeMap;
 
-use cxm_matching::{ColumnData, MatchList, StandardMatcher};
+use cxm_matching::{ColumnData, GramIndex, MatchList, StandardMatcher};
 use cxm_relational::{Database, Result, Table, ViewDef, ViewFamily};
 use rayon::prelude::*;
 
@@ -69,6 +69,11 @@ pub struct PreparedTargets<'a> {
     pub columns: &'a [ColumnData<'a>],
     /// Optional shared (cross-run) selection cache with its fingerprints.
     pub shared_selections: Option<SharedSelections<'a>>,
+    /// Optional inverted gram index over `columns`
+    /// ([`cxm_matching::GramIndex`]). When it describes the batch, prototype
+    /// matching and candidate re-scoring prune proven-zero kernel
+    /// evaluations; output stays byte-identical either way.
+    pub index: Option<&'a GramIndex>,
 }
 
 /// Pre-extracted source columns, keyed by source table name with each
@@ -155,7 +160,12 @@ impl ContextualMatcher {
         self.run_prepared(
             source,
             None,
-            PreparedTargets { database: target, columns: &target_cols, shared_selections: None },
+            PreparedTargets {
+                database: target,
+                columns: &target_cols,
+                shared_selections: None,
+                index: None,
+            },
         )
     }
 
@@ -208,6 +218,7 @@ impl ContextualMatcher {
                         database: target,
                         columns: &target_cols,
                         shared_selections: None,
+                        index: None,
                     },
                 )
             })
@@ -248,7 +259,7 @@ impl ContextualMatcher {
         // source columns (a warm service artifact) carry the same values as
         // a fresh extraction, so both branches score identically.
         let outcome = match source_cols {
-            Some(cols) => self.standard.match_columns(cols, targets.columns),
+            Some(cols) => self.standard.match_columns_indexed(cols, targets.columns, targets.index),
             None => self.standard.match_table_with_targets(table, targets.columns),
         };
         let prototype = outcome.accepted.clone();
@@ -268,6 +279,7 @@ impl ContextualMatcher {
             &views,
             &prototype,
             targets.shared_selections,
+            targets.index,
         )?;
 
         Ok(TableShard { prototype, candidates, views, families })

@@ -26,8 +26,9 @@
 
 use std::sync::{Arc, Mutex};
 
+use cxm_matching::index::{telemetry as index_telemetry, CandidateScan};
 use cxm_matching::{
-    ColumnArtifacts, ColumnData, Match, MatchList, MatchingOutcome, StandardMatcher,
+    ColumnArtifacts, ColumnData, GramIndex, Match, MatchList, MatchingOutcome, StandardMatcher,
 };
 use cxm_relational::{Database, Result, RowSelection, SelectionCache, Table, TableSlice, ViewDef};
 use rayon::prelude::*;
@@ -86,6 +87,7 @@ pub fn score_candidates_with_targets<'a>(
         source_table,
         views,
         prototype,
+        None,
         None,
     )
 }
@@ -294,7 +296,11 @@ pub fn score_candidates_prepared<'a>(
     views: &[ViewDef],
     prototype: &MatchList,
     shared_selections: Option<SharedSelections<'_>>,
+    index: Option<&GramIndex>,
 ) -> Result<MatchList> {
+    // Trust the inverted index only when it demonstrably describes the
+    // hoisted target batch; anything else scores exactly, unhinted.
+    let index = index.filter(|idx| idx.matches_batch(target_batch));
     let mut candidates = MatchList::new();
     let from_this_table: Vec<&Match> =
         prototype.iter().filter(|m| m.base_table == source_table.name()).collect();
@@ -397,16 +403,21 @@ pub fn score_candidates_prepared<'a>(
             // per target attribute); build each view-restricted column — and
             // thereby its memoized matcher profiles — once per attribute. The
             // bool tracks columns the cache has not seen, so their freshly
-            // built artifacts are published after the scoring pass.
-            let mut restricted_cols: std::collections::BTreeMap<&str, (ColumnData, bool)> =
-                std::collections::BTreeMap::new();
+            // built artifacts are published after the scoring pass; the
+            // `Option<CandidateScan>` holds the column's lazily-computed TAAT
+            // scan over the inverted index (computed at the first pair whose
+            // exact path would profile the column anyway — see `hintable`).
+            let mut restricted_cols: std::collections::BTreeMap<
+                &str,
+                (ColumnData, bool, Option<CandidateScan>),
+            > = std::collections::BTreeMap::new();
             let scored: Vec<Match> = from_this_table
                 .iter()
                 .zip(&target_cols)
                 .map(|(m, target_col)| {
                     // The view projects all base attributes (select-only), so
                     // the matched attribute is always present.
-                    let (restricted, _) =
+                    let (restricted, _, scan) =
                         restricted_cols.entry(m.source.attribute.as_str()).or_insert_with(|| {
                             let column = slice
                                 .column(&m.source.attribute)
@@ -435,10 +446,21 @@ pub fn score_candidates_prepared<'a>(
                                     None => fresh_for_cache = true,
                                 }
                             }
-                            (column, fresh_for_cache)
+                            (column, fresh_for_cache, None)
                         });
+                    let hint = index.and_then(|idx| {
+                        if !hintable(restricted, target_col, idx) {
+                            return None;
+                        }
+                        if scan.is_none() {
+                            let fresh = idx.scan(&restricted.qgram3_ids(), &restricted.value_ids());
+                            index_telemetry::record_scan(fresh.len(), fresh.surviving());
+                            *scan = Some(fresh);
+                        }
+                        idx.slot_of(&m.target).map(|slot| scan.as_ref().unwrap().hint(slot))
+                    });
                     let (score, confidence) =
-                        matcher.rescore(outcome, restricted, &m.source, target_col);
+                        matcher.rescore_hinted(outcome, restricted, &m.source, target_col, hint);
                     m.with_context(view.name.clone(), view.condition.clone(), score, confidence)
                 })
                 .collect();
@@ -446,8 +468,8 @@ pub fn score_candidates_prepared<'a>(
             if let Some((cache, condition_fp)) = cache_ctx {
                 let fresh: Vec<(&str, &ColumnData)> = restricted_cols
                     .iter()
-                    .filter(|(_, (_, fresh))| *fresh)
-                    .map(|(attr, (column, _))| (*attr, column))
+                    .filter(|(_, (_, fresh, _))| *fresh)
+                    .map(|(attr, (column, _, _))| (*attr, column))
                     .collect();
                 if !fresh.is_empty() {
                     let mut cache = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -474,6 +496,20 @@ pub fn score_candidates_prepared<'a>(
         candidates.extend(view_matches);
     }
     Ok(candidates)
+}
+
+/// Whether an index scan of `restricted` may be forced for this pair without
+/// perturbing the exact path's profile-build accounting: a scan builds the
+/// restricted column's interned artifacts, which the exact path does exactly
+/// when some q-gram-applicable pair exists — this pair being applicable is
+/// the sufficient (and cheapest) witness. Both columns must live in the
+/// index's interner id space for the hint to mean anything.
+fn hintable(restricted: &ColumnData, target: &ColumnData, index: &GramIndex) -> bool {
+    !restricted.is_empty()
+        && !target.is_empty()
+        && (!restricted.looks_numeric() || !target.looks_numeric())
+        && restricted.interner().token() == index.interner_token()
+        && target.interner().token() == index.interner_token()
 }
 
 /// The legacy, materializing implementation of [`score_candidates`]: evaluates
@@ -888,6 +924,7 @@ mod tests {
                 &views,
                 &outcome.accepted,
                 Some(shared),
+                None,
             )
             .unwrap()
         };

@@ -31,6 +31,7 @@ pub mod records;
 pub mod retail;
 pub mod truth;
 pub mod vocab;
+pub mod wide_catalog;
 
 pub use augment::{add_correlated_attributes, scale_schema};
 pub use grades::{generate_grades, GradesConfig, GradesDataset};
@@ -39,3 +40,4 @@ pub use retail::{
     generate_multi_table_retail, generate_retail, RetailConfig, RetailDataset, TargetFlavor,
 };
 pub use truth::GroundTruth;
+pub use wide_catalog::{generate_wide_catalog, WideCatalogConfig, WideCatalogDataset};

@@ -1,0 +1,225 @@
+//! The wide-catalog scenario: a service-shaped target with hundreds of
+//! tables and thousands of columns, against a small source probe.
+//!
+//! This is the workload the inverted gram index exists for. Columns draw
+//! their values from a small number of **families** with pairwise-disjoint
+//! alphabets, so two columns of different families share no 3-grams and no
+//! distinct values at all — exactly the structure of a real wide catalog,
+//! where most (source column, target column) pairs have nothing in common
+//! and brute-force scoring spends almost all of its kernel time proving
+//! zeros one merge-join at a time. A probe source with one column per family
+//! makes the expected pruning rate `(families - 1) / families` of the pair
+//! grid, while every surviving pair still gets its exact score.
+//!
+//! Every generator is deterministic given its seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cxm_relational::{Attribute, Database, Table, TableSchema, Tuple, Value};
+
+/// Configuration of a wide-catalog dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideCatalogConfig {
+    /// Seed controlling every random draw.
+    pub seed: u64,
+    /// Number of target tables.
+    pub tables: usize,
+    /// Text columns per target table (total target columns =
+    /// `tables * columns_per_table`).
+    pub columns_per_table: usize,
+    /// Rows per target table (and in the source probe).
+    pub rows_per_table: usize,
+    /// Number of disjoint-alphabet value families. Each table draws all of
+    /// its columns from one family (round-robin by table index); the source
+    /// probe has one column per family.
+    pub families: usize,
+}
+
+impl Default for WideCatalogConfig {
+    fn default() -> Self {
+        WideCatalogConfig {
+            seed: 23,
+            tables: 150,
+            columns_per_table: 8,
+            rows_per_table: 40,
+            families: 15,
+        }
+    }
+}
+
+/// A generated wide-catalog dataset.
+#[derive(Debug)]
+pub struct WideCatalogDataset {
+    /// The probe source: one `probe` table with one text column per family.
+    pub source: Database,
+    /// The wide target: `tables` tables named `wide_<i>`, each with
+    /// `columns_per_table` text columns of family `i % families`.
+    pub target: Database,
+    /// The configuration used.
+    pub config: WideCatalogConfig,
+}
+
+/// The value families' pairwise-disjoint alphabets: one letter block per
+/// family (Latin, Greek, Cyrillic, Armenian, Hebrew, Georgian, Arabic, Thai,
+/// Devanagari, Bengali, Tamil, Telugu, Kannada, Malayalam, Hiragana,
+/// Katakana — lowercase where the script is cased, so every letter survives
+/// case folding unchanged). Wide enterprise catalogs are multilingual, and
+/// letters are what survives value normalization (punctuation collapses to
+/// spaces, uppercase folds onto lowercase). Block size matters: the 3-gram
+/// space of a family is |alphabet|³, so each block is large enough that
+/// column gram profiles keep growing with data instead of saturating after a
+/// handful of rows — which is what makes brute-force scoring pay a full
+/// merge-join per disjoint pair. At most this many families are
+/// distinguishable; requests for more wrap around.
+const ALPHABETS: &[&str] = &[
+    "abcdefghijklmnopqrstuvwxyz",
+    "αβγδεζηθικλμνξοπρστυφχψω",
+    "абвгдежзиклмнопрстуфхцчшщыэюя",
+    "աբգդեզէըթժիլխծկհձղճմյնշոչպջռսվտրցփքֆ",
+    "אבגדהוזחטיכלמנסעפצקרשת",
+    "აბგდევზთიკლმნოპჟრსტუფქღყშჩცძწჭხჯჰ",
+    "ابتثجحخدذرزسشصضطظعغفقكلمنهوي",
+    "กขคฆงจฉชซฌญฎฏฐฑฒณดตถทธนบปผฝพฟภมยรลวศษสหฬอฮ",
+    "कखगघङचछजझञटठडढणतथदधनपफबभमयरलवशषसह",
+    "কখগঘঙচছজঝঞটঠডঢণতথদধনপফবভমযরলশষসহ",
+    "கஙசஞடணதநபமயரலவழளறனஷஸஹ",
+    "కఖగఘఙచఛజఝఞటఠడఢణతథదధనపఫబభమయరలవశషసహ",
+    "ಕಖಗಘಙಚಛಜಝಞಟಠಡಢಣತಥದಧನಪಫಬಭಮಯರಲವಶಷಸಹ",
+    "കഖഗഘങചഛജഝഞടഠഡഢണതഥദധനപഫബഭമയരലവശഷസഹ",
+    "あいうえおかきくけこさしすせそたちつてとなにぬねのはひふへほまみむめもやゆよらりるれわ",
+    "アイウエオカキクケコサシスセソタチツテトナニヌネノハヒフヘホマミムメモヤユヨラリルレワ",
+];
+
+/// A family's word list: deterministic 8–14 letter words over its alphabet.
+/// The list is deliberately large (512 words) and the words deliberately
+/// long, so column gram profiles grow with data instead of saturating.
+fn family_words(family: usize, seed: u64) -> Vec<String> {
+    let alphabet: Vec<char> = ALPHABETS[family % ALPHABETS.len()].chars().collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ (0x51DE_CA7A ^ family as u64).rotate_left(17));
+    (0..512)
+        .map(|_| {
+            let len = rng.gen_range(8..15);
+            (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+        })
+        .collect()
+}
+
+/// A value: 4–8 family words joined by single spaces.
+fn family_value(rng: &mut StdRng, words: &[String]) -> String {
+    let n = rng.gen_range(4..9);
+    (0..n).map(|_| words[rng.gen_range(0..words.len())].as_str()).collect::<Vec<_>>().join(" ")
+}
+
+/// Generate a wide-catalog dataset.
+pub fn generate_wide_catalog(config: &WideCatalogConfig) -> WideCatalogDataset {
+    let families = config.families.max(1);
+    let vocabularies: Vec<Vec<String>> =
+        (0..families).map(|f| family_words(f, config.seed)).collect();
+
+    let mut target = Database::new("RT_wide");
+    for i in 0..config.tables {
+        let words = &vocabularies[i % families];
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1 + i as u64));
+        let schema = TableSchema::new(
+            format!("wide_{i}"),
+            (0..config.columns_per_table).map(|c| Attribute::text(format!("c{c}"))).collect(),
+        );
+        let rows = (0..config.rows_per_table)
+            .map(|_| {
+                Tuple::new(
+                    (0..config.columns_per_table)
+                        .map(|_| Value::Str(family_value(&mut rng, words)))
+                        .collect(),
+                )
+            })
+            .collect();
+        target = target
+            .with_table(Table::with_rows(schema, rows).expect("generated arity matches schema"));
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xB0B));
+    let schema = TableSchema::new(
+        "probe",
+        (0..families).map(|f| Attribute::text(format!("probe_f{f}"))).collect(),
+    );
+    let rows = (0..config.rows_per_table)
+        .map(|_| {
+            Tuple::new(
+                (0..families)
+                    .map(|f| Value::Str(family_value(&mut rng, &vocabularies[f])))
+                    .collect(),
+            )
+        })
+        .collect();
+    let source = Database::new("RS_probe")
+        .with_table(Table::with_rows(schema, rows).expect("generated arity matches schema"));
+
+    WideCatalogDataset { source, target, config: *config }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn small() -> WideCatalogConfig {
+        WideCatalogConfig {
+            tables: 12,
+            columns_per_table: 3,
+            rows_per_table: 10,
+            families: 4,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn dataset_has_requested_shape() {
+        let config = small();
+        let ds = generate_wide_catalog(&config);
+        assert_eq!(ds.target.len(), 12);
+        for t in ds.target.tables() {
+            assert_eq!(t.schema().arity(), 3);
+            assert_eq!(t.len(), 10);
+        }
+        let probe = ds.source.table("probe").unwrap();
+        assert_eq!(probe.schema().arity(), 4);
+        assert_eq!(probe.len(), 10);
+    }
+
+    #[test]
+    fn default_shape_is_catalog_scale() {
+        let config = WideCatalogConfig::default();
+        assert!(config.tables * config.columns_per_table >= 1000, "the scenario must be wide");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_wide_catalog(&small());
+        let b = generate_wide_catalog(&small());
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.target, b.target);
+    }
+
+    #[test]
+    fn families_use_disjoint_alphabets() {
+        let ds = generate_wide_catalog(&small());
+        // Letters of family 0 (table wide_0) vs family 1 (table wide_1)
+        // never overlap, so no 3-gram and no value can be shared.
+        let letters = |table: &str| -> BTreeSet<char> {
+            ds.target
+                .table(table)
+                .unwrap()
+                .rows()
+                .iter()
+                .flat_map(|r| r.at(0).as_text().chars().collect::<Vec<_>>())
+                .filter(|c| *c != ' ')
+                .collect()
+        };
+        let (f0, f1) = (letters("wide_0"), letters("wide_1"));
+        assert!(!f0.is_empty() && !f1.is_empty());
+        assert!(f0.is_disjoint(&f1), "families must share no characters");
+        // Same-family tables do share an alphabet (wide_0 and wide_4).
+        assert!(!f0.is_disjoint(&letters("wide_4")));
+    }
+}

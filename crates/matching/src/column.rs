@@ -99,6 +99,9 @@ struct ColumnCaches {
 pub struct NameKey {
     /// ASCII-lowercased attribute name.
     pub lowered: String,
+    /// `lowered` pre-split into chars: the Levenshtein DP operates on char
+    /// sequences, and splitting per scored pair would dominate the matcher.
+    pub chars: Vec<char>,
     /// Lowercased identifier tokens (camelCase / snake_case word splits).
     pub tokens: BTreeSet<String>,
 }
@@ -357,8 +360,9 @@ impl<'a> ColumnData<'a> {
     pub fn name_key(&self) -> Arc<NameKey> {
         Arc::clone(self.caches.name_key.get_or_init(|| {
             let lowered = self.attr.attribute.to_ascii_lowercase();
+            let chars = lowered.chars().collect();
             let tokens = crate::name::identifier_tokens(&lowered).into_iter().collect();
-            Arc::new(NameKey { lowered, tokens })
+            Arc::new(NameKey { lowered, chars, tokens })
         }))
     }
 

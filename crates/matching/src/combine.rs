@@ -8,7 +8,7 @@
 
 use crate::column::ColumnData;
 use crate::instance::{QGramMatcher, ValueOverlapMatcher};
-use crate::matcher::Matcher;
+use crate::matcher::{Matcher, PairHint};
 use crate::name::NameMatcher;
 use crate::numeric::NumericMatcher;
 
@@ -92,16 +92,49 @@ impl MatcherEnsemble {
     /// Raw scores of every matcher for a pair; inapplicable matchers report
     /// `None`.
     pub fn raw_scores(&self, source: &ColumnData, target: &ColumnData) -> Vec<Option<f64>> {
-        self.matchers
-            .iter()
-            .map(|(m, _)| {
-                if m.applicable(source, target) {
-                    Some(m.score(source, target).clamp(0.0, 1.0))
-                } else {
-                    None
-                }
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.matchers.len());
+        self.raw_scores_into(source, target, None, &mut out);
+        out
+    }
+
+    /// [`MatcherEnsemble::raw_scores`] with index-provided exact scan
+    /// quantities for the pair (see [`PairHint`]). Applicability is decided
+    /// exactly as in the unhinted path; kernel evaluations are only replaced
+    /// by their bit-identical hint-served values, so the returned vector is
+    /// bit-identical to `raw_scores` on the same pair.
+    pub fn raw_scores_hinted(
+        &self,
+        source: &ColumnData,
+        target: &ColumnData,
+        hint: PairHint,
+    ) -> Vec<Option<f64>> {
+        let mut out = Vec::with_capacity(self.matchers.len());
+        self.raw_scores_into(source, target, Some(hint), &mut out);
+        out
+    }
+
+    /// Append one pair's raw scores (ensemble order, `None` for inapplicable
+    /// matchers) to `out` — the single implementation behind
+    /// [`MatcherEnsemble::raw_scores`] / [`MatcherEnsemble::raw_scores_hinted`]
+    /// and the allocation-free flat score matrix of the pair-grid hot loop.
+    pub fn raw_scores_into(
+        &self,
+        source: &ColumnData,
+        target: &ColumnData,
+        hint: Option<PairHint>,
+        out: &mut Vec<Option<f64>>,
+    ) {
+        for (m, _) in &self.matchers {
+            out.push(if m.applicable(source, target) {
+                let score = match hint {
+                    Some(hint) => m.score_with_hint(source, target, hint),
+                    None => m.score(source, target),
+                };
+                Some(score.clamp(0.0, 1.0))
+            } else {
+                None
+            });
+        }
     }
 
     /// Weighted combination of per-matcher confidences. `confidences[i]` is the
@@ -129,11 +162,15 @@ impl MatcherEnsemble {
     /// Unweighted mean of the applicable raw scores (the paper's "average
     /// matcher score s_i" for a match).
     pub fn average_raw(&self, raw: &[Option<f64>]) -> f64 {
-        let vals: Vec<f64> = raw.iter().flatten().copied().collect();
-        if vals.is_empty() {
+        let (mut sum, mut count) = (0.0f64, 0usize);
+        for v in raw.iter().flatten() {
+            sum += v;
+            count += 1;
+        }
+        if count == 0 {
             0.0
         } else {
-            vals.iter().sum::<f64>() / vals.len() as f64
+            sum / count as f64
         }
     }
 }

@@ -1,0 +1,649 @@
+//! An incrementally-maintained **inverted gram index** over a target column
+//! batch, with admissible zero-overlap pruning for the interned instance
+//! kernels.
+//!
+//! The standard matcher scores every source×target column pair, so a wide
+//! catalog pays O(S·T) merge-joins even though most pairs share no gram at
+//! all (a merge-join over disjoint sorted vectors still walks both vectors).
+//! This module inverts the target side once: for every interned 3-gram id,
+//! the **posting list** of target columns containing it (with raw counts),
+//! and for every interned distinct-value id, the posting list of target
+//! columns holding that value. One term-at-a-time (TAAT) pass over a source
+//! column's profile then touches only the postings of grams the source
+//! actually has — cost proportional to the number of (source gram, target
+//! column) coincidences, not to S·T — and yields, per target column, the
+//! **exact** q-gram dot product and distinct-value intersection size.
+//!
+//! ## Admissibility (why pruning cannot change any output bit)
+//!
+//! *Cosine.* [`crate::InternedProfile::cosine`] computes
+//! `dot(a, b) / (‖a‖·‖b‖)` where every profile entry is a small exact
+//! integer count: each product and partial sum is an integer far below 2⁵³,
+//! so floating-point addition is **exact and order-independent**. The TAAT
+//! accumulation in [`GramIndex::scan`] adds exactly the same set of
+//! `count·count` products (grouped by gram instead of by pair), hence
+//! reproduces the merge-join dot product *bit for bit*. The derived
+//! `dot / (‖a‖·‖b‖)` is therefore not an estimate but the **exact cosine**
+//! — trivially an admissible upper bound at any threshold τ. Because the
+//! dot is bit-exact, the hint can go beyond pruning: at `dot == 0` the
+//! scored pair skips the kernel and substitutes the literal `0.0` of the
+//! kernel's early-out (see [`crate::InternedProfile::cosine`]); at
+//! `dot > 0` the hinted matcher divides the scan's dot by the same two
+//! memoized norms the kernel would use — the identical quotient of
+//! identical operands — so *every* covered pair is served from the scan,
+//! and no rounding question ever arises.
+//!
+//! *Jaccard.* The value-id posting pass counts the exact intersection size.
+//! [`crate::InternedValueSet::jaccard`] returns `inter / union`; at
+//! `inter == 0` that is `0.0 / union == +0.0`, bit-identical to the pruned
+//! substitute. Empty columns are never indexed and never pruned (the
+//! matchers' applicability gates already skip them).
+//!
+//! *Ensemble.* The ensemble combines per-matcher raw scores into
+//! distributions, confidences and weighted means. Pruning replaces
+//! individual raw scores with the bit-identical values the exact kernels
+//! would have produced and leaves every applicability decision untouched, so
+//! the raw score vectors — and everything derived from them downstream
+//! (distribution fits, confidences, combined scores, accepted sets, selected
+//! contextual matches) — are byte-identical to the unpruned run. The
+//! property tests in `tests/tests/property_based.rs` pin both halves: bound
+//! admissibility and whole-output equivalence.
+//!
+//! ## Incremental maintenance
+//!
+//! Posting lists are `Arc`-shared between index generations.
+//! [`GramIndex::update_from`] compares per-slot column fingerprints (the
+//! same column-granular warm key the target catalog uses) and rebuilds only
+//! the posting lists that mention a changed column — every untouched list is
+//! carried forward as the same allocation, which
+//! [`GramIndex::postings_reused`] / [`GramIndex::postings_rebuilt`] make
+//! observable. A batch whose attribute sequence changed (table added,
+//! dropped or reordered) falls back to a full rebuild: slot ids are
+//! positional, and remapping every posting would cost as much as rebuilding.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use cxm_relational::AttrRef;
+
+/// Process-global counters of index-driven candidate generation, following
+/// the snapshot/delta pattern of [`crate::intern::telemetry`]: monotonic,
+/// never reset; per-run figures are differences of two reads (see
+/// [`crate::intern::telemetry::KernelCounters`] for the kernel-side handle).
+pub mod telemetry {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static PAIRS_SCANNED: AtomicUsize = AtomicUsize::new(0);
+    static PAIRS_SURVIVING: AtomicUsize = AtomicUsize::new(0);
+
+    /// Candidate pairs covered by TAAT scans since process start.
+    pub fn candidate_pairs_scanned() -> usize {
+        PAIRS_SCANNED.load(Ordering::Relaxed)
+    }
+
+    /// Scanned pairs that shared at least one gram or value and therefore
+    /// required exact re-scoring.
+    pub fn candidate_pairs_surviving() -> usize {
+        PAIRS_SURVIVING.load(Ordering::Relaxed)
+    }
+
+    /// Record one scan's coverage. Public so the scoring layers that apply a
+    /// [`super::CandidateScan`] across a pair grid (in this crate and in
+    /// `cxm-core`) can attribute the counts; not meant for other callers.
+    pub fn record_scan(scanned: usize, surviving: usize) {
+        PAIRS_SCANNED.fetch_add(scanned, Ordering::Relaxed);
+        PAIRS_SURVIVING.fetch_add(surviving, Ordering::Relaxed);
+    }
+}
+
+use crate::column::ColumnData;
+use crate::intern::{InternedProfile, InternedValueSet};
+use crate::matcher::PairHint;
+
+/// One indexed target column: its identity plus the interned artifacts whose
+/// entries were posted. Slots are positional — slot `i` describes the `i`-th
+/// column of the batch the index was built from.
+#[derive(Debug, Clone)]
+struct Slot {
+    attr: AttrRef,
+    fingerprint: Option<u64>,
+    /// `None` for empty columns, which are never profiled (forcing a profile
+    /// the matchers would never build would skew the build accounting the
+    /// equivalence tests pin) and never pruned.
+    profile: Option<Arc<InternedProfile>>,
+    values: Option<Arc<InternedValueSet>>,
+}
+
+/// The inverted index of one target column batch: gram id → id-sorted posting
+/// list of `(slot, raw count)`, value id → id-sorted posting list of slots.
+///
+/// Consumers validate the index against the batch they score
+/// ([`GramIndex::matches_batch`]) and against the source column's interner
+/// ([`GramIndex::interner_token`]) before trusting any hint; on mismatch they
+/// simply score unhinted, which is always correct.
+#[derive(Debug)]
+pub struct GramIndex {
+    /// [`crate::GramInterner::token`] of the interner every indexed column is
+    /// bound to; hints only apply to source columns sharing it.
+    interner_token: u64,
+    slots: Vec<Slot>,
+    slot_by_attr: HashMap<AttrRef, usize>,
+    /// 3-gram id → `(slot, raw count)` entries, ascending by slot.
+    gram_postings: HashMap<u32, Arc<Vec<(u32, f64)>>>,
+    /// Distinct-value id → slots containing the value, ascending.
+    value_postings: HashMap<u32, Arc<Vec<u32>>>,
+    /// Posting lists carried from the previous generation as the same
+    /// allocation (0 for a cold build).
+    postings_reused: usize,
+    /// Posting lists (re)built by this generation.
+    postings_rebuilt: usize,
+}
+
+impl GramIndex {
+    /// Build the index of a column batch from scratch. Forces the interned
+    /// q-gram profile and value set of every **non-empty** column (memoized
+    /// on the columns, so a warm batch posts without rebuilding anything).
+    pub fn build(columns: &[ColumnData]) -> GramIndex {
+        let token = columns.first().map(|c| c.interner().token()).unwrap_or(0);
+        debug_assert!(
+            columns.iter().all(|c| c.interner().token() == token),
+            "an index spans exactly one interner id space"
+        );
+        let mut gram: HashMap<u32, Vec<(u32, f64)>> = HashMap::new();
+        let mut value: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut slots = Vec::with_capacity(columns.len());
+        for (i, column) in columns.iter().enumerate() {
+            let slot = i as u32;
+            let (profile, values) = if column.is_empty() {
+                (None, None)
+            } else {
+                let profile = column.qgram3_ids();
+                let values = column.value_ids();
+                for &(g, count) in profile.entries() {
+                    gram.entry(g).or_default().push((slot, count));
+                }
+                for &id in values.ids() {
+                    value.entry(id).or_default().push(slot);
+                }
+                (Some(profile), Some(values))
+            };
+            slots.push(Slot {
+                attr: column.attr.clone(),
+                fingerprint: column.fingerprint(),
+                profile,
+                values,
+            });
+        }
+        let rebuilt = gram.len() + value.len();
+        GramIndex {
+            interner_token: token,
+            slot_by_attr: slots.iter().enumerate().map(|(i, s)| (s.attr.clone(), i)).collect(),
+            slots,
+            gram_postings: gram.into_iter().map(|(k, v)| (k, Arc::new(v))).collect(),
+            value_postings: value.into_iter().map(|(k, v)| (k, Arc::new(v))).collect(),
+            postings_reused: 0,
+            postings_rebuilt: rebuilt,
+        }
+    }
+
+    /// Derive the index of the next batch generation from `prev`, rebuilding
+    /// only the posting lists that mention a column whose fingerprint
+    /// changed; every other list is carried forward `Arc`-shared. Falls back
+    /// to [`GramIndex::build`] when the attribute sequence or interner
+    /// changed (slot ids are positional). Columns without fingerprints are
+    /// conservatively treated as changed.
+    pub fn update_from(prev: &GramIndex, columns: &[ColumnData]) -> GramIndex {
+        if !prev.same_shape(columns) {
+            return GramIndex::build(columns);
+        }
+        let changed: HashSet<usize> = columns
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                let carried = prev.slots[*i].fingerprint.is_some()
+                    && prev.slots[*i].fingerprint == c.fingerprint();
+                !carried
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let total = prev.gram_postings.len() + prev.value_postings.len();
+        if changed.is_empty() {
+            return GramIndex {
+                interner_token: prev.interner_token,
+                slots: prev.slots.clone(),
+                slot_by_attr: prev.slot_by_attr.clone(),
+                gram_postings: prev.gram_postings.clone(),
+                value_postings: prev.value_postings.clone(),
+                postings_reused: total,
+                postings_rebuilt: 0,
+            };
+        }
+
+        // New slots: changed columns re-post their (possibly new) artifacts.
+        let mut slots = prev.slots.clone();
+        let mut touched_grams: HashSet<u32> = HashSet::new();
+        let mut touched_values: HashSet<u32> = HashSet::new();
+        for &i in &changed {
+            if let Some(profile) = &prev.slots[i].profile {
+                touched_grams.extend(profile.entries().iter().map(|&(g, _)| g));
+            }
+            if let Some(values) = &prev.slots[i].values {
+                touched_values.extend(values.ids().iter().copied());
+            }
+            let column = &columns[i];
+            let (profile, values) = if column.is_empty() {
+                (None, None)
+            } else {
+                let profile = column.qgram3_ids();
+                let values = column.value_ids();
+                touched_grams.extend(profile.entries().iter().map(|&(g, _)| g));
+                touched_values.extend(values.ids().iter().copied());
+                (Some(profile), Some(values))
+            };
+            slots[i] = Slot {
+                attr: column.attr.clone(),
+                fingerprint: column.fingerprint(),
+                profile,
+                values,
+            };
+        }
+
+        // Copy-on-write: clone the Arc maps, then rebuild only touched lists
+        // (old changed-slot entries dropped, new ones merged in slot order).
+        let mut gram_postings = prev.gram_postings.clone();
+        for &g in &touched_grams {
+            let mut list: Vec<(u32, f64)> = gram_postings
+                .remove(&g)
+                .map(|old| {
+                    old.iter().filter(|(s, _)| !changed.contains(&(*s as usize))).copied().collect()
+                })
+                .unwrap_or_default();
+            for &i in &changed {
+                if let Some(profile) = &slots[i].profile {
+                    if let Ok(pos) = profile.entries().binary_search_by_key(&g, |&(id, _)| id) {
+                        list.push((i as u32, profile.entries()[pos].1));
+                    }
+                }
+            }
+            if !list.is_empty() {
+                list.sort_unstable_by_key(|&(s, _)| s);
+                gram_postings.insert(g, Arc::new(list));
+            }
+        }
+        let mut value_postings = prev.value_postings.clone();
+        for &id in &touched_values {
+            let mut list: Vec<u32> = value_postings
+                .remove(&id)
+                .map(|old| {
+                    old.iter().filter(|&&s| !changed.contains(&(s as usize))).copied().collect()
+                })
+                .unwrap_or_default();
+            for &i in &changed {
+                if let Some(values) = &slots[i].values {
+                    if values.ids().binary_search(&id).is_ok() {
+                        list.push(i as u32);
+                    }
+                }
+            }
+            if !list.is_empty() {
+                list.sort_unstable();
+                value_postings.insert(id, Arc::new(list));
+            }
+        }
+
+        let rebuilt = touched_grams.iter().filter(|g| gram_postings.contains_key(g)).count()
+            + touched_values.iter().filter(|v| value_postings.contains_key(v)).count();
+        let reused = (gram_postings.len() + value_postings.len()) - rebuilt;
+        GramIndex {
+            interner_token: prev.interner_token,
+            slot_by_attr: prev.slot_by_attr.clone(),
+            slots,
+            gram_postings,
+            value_postings,
+            postings_reused: reused,
+            postings_rebuilt: rebuilt,
+        }
+    }
+
+    /// Identity token of the interner the indexed artifacts live in.
+    pub fn interner_token(&self) -> u64 {
+        self.interner_token
+    }
+
+    /// Number of indexed columns (slots).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no column is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total live posting lists (gram + value).
+    pub fn posting_lists(&self) -> usize {
+        self.gram_postings.len() + self.value_postings.len()
+    }
+
+    /// Posting lists carried `Arc`-shared from the previous generation.
+    pub fn postings_reused(&self) -> usize {
+        self.postings_reused
+    }
+
+    /// Posting lists (re)built by this generation.
+    pub fn postings_rebuilt(&self) -> usize {
+        self.postings_rebuilt
+    }
+
+    /// The slot of a target attribute, if indexed.
+    pub fn slot_of(&self, attr: &AttrRef) -> Option<usize> {
+        self.slot_by_attr.get(attr).copied()
+    }
+
+    /// One gram's posting list (test hook for the `Arc`-sharing contract).
+    pub fn gram_posting(&self, gram: u32) -> Option<&Arc<Vec<(u32, f64)>>> {
+        self.gram_postings.get(&gram)
+    }
+
+    /// True when this index's slot layout matches `columns` positionally —
+    /// same length, same attribute sequence, same interner. This is the
+    /// precondition for an incremental [`GramIndex::update_from`] (slot ids
+    /// are positional); on a mismatch the update falls back to a full
+    /// rebuild.
+    pub fn same_shape(&self, columns: &[ColumnData]) -> bool {
+        columns.first().map(|c| c.interner().token()).unwrap_or(0) == self.interner_token
+            && self.slots.len() == columns.len()
+            && self.slots.iter().zip(columns).all(|(s, c)| s.attr == c.attr)
+    }
+
+    /// Number of `columns` whose posting contributions an incremental
+    /// [`GramIndex::update_from`] would carry forward unchanged (same slot,
+    /// same per-column content fingerprint). Callers must have checked
+    /// [`GramIndex::same_shape`] first; this is the column-granular reuse
+    /// prediction a catalog update can surface *before* any request has
+    /// forced the next generation's (lazy) build.
+    pub fn columns_carried(&self, columns: &[ColumnData]) -> usize {
+        debug_assert!(self.same_shape(columns));
+        self.slots
+            .iter()
+            .zip(columns)
+            .filter(|(s, c)| s.fingerprint.is_some() && s.fingerprint == c.fingerprint())
+            .count()
+    }
+
+    /// True when slot `i` of this index describes `columns[i]` for every `i`
+    /// — same attribute, same content fingerprint, same interner. Callers
+    /// must still pass the batch the index was actually built over (the
+    /// check pins shape and identity, not value bags; fingerprint-less
+    /// ad-hoc columns compare equal on `None`).
+    pub fn matches_batch(&self, columns: &[ColumnData]) -> bool {
+        self.slots.len() == columns.len()
+            && self.slots.iter().zip(columns).all(|(s, c)| {
+                s.attr == c.attr
+                    && s.fingerprint == c.fingerprint()
+                    && c.interner().token() == self.interner_token
+            })
+    }
+
+    /// One TAAT pass of a source column's artifacts over the postings: per
+    /// slot, the **exact** q-gram dot product and distinct-value intersection
+    /// size (see the module docs for why the dot is bit-exact). Cost is the
+    /// number of posting coincidences, independent of how many indexed
+    /// columns share nothing with the source.
+    pub fn scan(&self, profile: &InternedProfile, values: &InternedValueSet) -> CandidateScan {
+        let mut qgram_dots = vec![0.0; self.slots.len()];
+        for &(g, count) in profile.entries() {
+            if let Some(list) = self.gram_postings.get(&g) {
+                for &(slot, target_count) in list.iter() {
+                    qgram_dots[slot as usize] += count * target_count;
+                }
+            }
+        }
+        let mut value_overlaps = vec![0usize; self.slots.len()];
+        for id in values.ids() {
+            if let Some(list) = self.value_postings.get(id) {
+                for &slot in list.iter() {
+                    value_overlaps[slot as usize] += 1;
+                }
+            }
+        }
+        CandidateScan { qgram_dots, value_overlaps }
+    }
+
+    /// The cosine upper bound of `profile` against every slot — since the
+    /// TAAT dot is exact, this *is* the exact cosine (and hence admissible at
+    /// any threshold); slots without a profile bound at 0. Exposed for the
+    /// admissibility property tests.
+    pub fn cosine_upper_bounds(&self, profile: &InternedProfile) -> Vec<f64> {
+        let scan = self.scan(profile, &EMPTY_VALUES);
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| match &slot.profile {
+                Some(target) if !target.is_empty() && !profile.is_empty() => {
+                    let dot = scan.qgram_dots[i];
+                    if dot == 0.0 {
+                        0.0
+                    } else {
+                        (dot / (profile.norm() * target.norm())).clamp(0.0, 1.0)
+                    }
+                }
+                _ => 0.0,
+            })
+            .collect()
+    }
+}
+
+static EMPTY_VALUES: InternedValueSet = InternedValueSet::empty();
+
+/// The per-slot result of one [`GramIndex::scan`]: exact dot products and
+/// intersection sizes, queried per pair as a [`PairHint`].
+#[derive(Debug, Clone)]
+pub struct CandidateScan {
+    qgram_dots: Vec<f64>,
+    value_overlaps: Vec<usize>,
+}
+
+impl CandidateScan {
+    /// The hint for one slot: the pair's exact TAAT dot product (zero means
+    /// prunable) and whether the value sets are proven disjoint.
+    pub fn hint(&self, slot: usize) -> PairHint {
+        PairHint {
+            qgram_dot: Some(self.qgram_dots[slot]),
+            overlap_zero: self.value_overlaps[slot] == 0,
+        }
+    }
+
+    /// Slots sharing at least one gram or one value with the scanned source
+    /// column — the candidates an exact re-score cannot skip.
+    pub fn surviving(&self) -> usize {
+        self.qgram_dots
+            .iter()
+            .zip(&self.value_overlaps)
+            .filter(|&(&dot, &inter)| dot != 0.0 || inter != 0)
+            .count()
+    }
+
+    /// Number of scanned slots.
+    pub fn len(&self) -> usize {
+        self.qgram_dots.len()
+    }
+
+    /// True when the scan covered no slots.
+    pub fn is_empty(&self) -> bool {
+        self.qgram_dots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_relational::{tuple, Attribute, Table, TableSchema};
+
+    fn batch(tables: &[(&str, &[&str])]) -> (Vec<Table>, Vec<ColumnData<'static>>) {
+        let tables: Vec<Table> = tables
+            .iter()
+            .map(|(name, values)| {
+                Table::with_rows(
+                    TableSchema::new(*name, vec![Attribute::text("v")]),
+                    values.iter().map(|v| tuple![*v]).collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let columns = tables
+            .iter()
+            .map(|t| {
+                let fp = t.column_fingerprint("v").unwrap();
+                ColumnData::shared_from_table(t, "v").unwrap().with_fingerprint(fp)
+            })
+            .collect();
+        (tables, columns)
+    }
+
+    #[test]
+    fn scan_reproduces_exact_cosine_dots() {
+        let (_tables, columns) = batch(&[
+            ("a", &["hardcover", "paperback"]),
+            ("b", &["hardcover first edition"]),
+            ("c", &["0195128881", "0486611817"]),
+        ]);
+        let index = GramIndex::build(&columns);
+        assert_eq!(index.len(), 3);
+        let source = ColumnData::owned(
+            AttrRef::new("s", "x"),
+            cxm_relational::DataType::Text,
+            vec![cxm_relational::Value::str("hardcover reprint")],
+        );
+        let profile = source.qgram3_ids();
+        let bounds = index.cosine_upper_bounds(&profile);
+        for (i, column) in columns.iter().enumerate() {
+            let exact = profile.cosine(&column.qgram3_ids());
+            assert_eq!(bounds[i].to_bits(), exact.to_bits(), "slot {i} bound must BE the cosine");
+        }
+        let scan = index.scan(&profile, &source.value_ids());
+        // "hardcover reprint" shares grams with slots 0 and 1, nothing with
+        // the ISBN column.
+        assert!(!scan.hint(0).qgram_zero());
+        assert!(!scan.hint(1).qgram_zero());
+        assert!(scan.hint(2).qgram_zero());
+        assert_eq!(scan.surviving(), 2);
+        assert_eq!(scan.len(), 3);
+        assert!(!scan.is_empty());
+    }
+
+    #[test]
+    fn value_postings_prove_disjoint_sets() {
+        let (_tables, columns) =
+            batch(&[("a", &["hardcover", "paperback"]), ("b", &["audio cd", "paperback"])]);
+        let index = GramIndex::build(&columns);
+        let source = ColumnData::owned(
+            AttrRef::new("s", "x"),
+            cxm_relational::DataType::Text,
+            vec![cxm_relational::Value::str("Paperback")],
+        );
+        let scan = index.scan(&source.qgram3_ids(), &source.value_ids());
+        // Case-normalized "paperback" is in both columns' value sets.
+        assert!(!scan.hint(0).overlap_zero);
+        assert!(!scan.hint(1).overlap_zero);
+        let other = ColumnData::owned(
+            AttrRef::new("s", "y"),
+            cxm_relational::DataType::Text,
+            vec![cxm_relational::Value::str("vinyl")],
+        );
+        let scan = index.scan(&other.qgram3_ids(), &other.value_ids());
+        assert!(scan.hint(0).overlap_zero && scan.hint(1).overlap_zero);
+    }
+
+    #[test]
+    fn update_shares_untouched_posting_lists() {
+        let (_tables, columns) = batch(&[
+            ("a", &["hardcover", "paperback"]),
+            ("b", &["audio cd"]),
+            ("c", &["columbia records"]),
+        ]);
+        let index = GramIndex::build(&columns);
+        assert_eq!(index.postings_reused(), 0);
+        assert_eq!(index.postings_rebuilt(), index.posting_lists());
+
+        // Replace only column b's content.
+        let (_t2, mut next) = batch(&[
+            ("a", &["hardcover", "paperback"]),
+            ("b", &["remastered audio cd"]),
+            ("c", &["columbia records"]),
+        ]);
+        // Carry a and c (same fingerprints by content), b differs.
+        let updated = GramIndex::update_from(&index, &next);
+        assert!(updated.postings_reused() > 0, "untouched lists must carry");
+        assert!(updated.postings_rebuilt() > 0, "b's lists must rebuild");
+        // A gram unique to column a keeps its exact allocation.
+        let interner = columns[0].interner();
+        let pap = interner.lookup("pap").expect("'pap' was interned by column a");
+        let (before, after) =
+            (index.gram_posting(pap).unwrap(), updated.gram_posting(pap).unwrap());
+        assert!(Arc::ptr_eq(before, after), "posting list of an untouched gram is shared");
+        // Scans over the updated index see the new content.
+        let probe = ColumnData::owned(
+            AttrRef::new("s", "x"),
+            cxm_relational::DataType::Text,
+            vec![cxm_relational::Value::str("remastered")],
+        );
+        let scan = updated.scan(&probe.qgram3_ids(), &probe.value_ids());
+        assert!(!scan.hint(1).qgram_zero());
+        assert!(scan.hint(2).qgram_zero());
+
+        // An unchanged batch carries everything.
+        let again = GramIndex::update_from(&updated, &next);
+        assert_eq!(again.postings_rebuilt(), 0);
+        assert_eq!(again.postings_reused(), updated.posting_lists());
+
+        // Shape changes (a dropped column) fall back to a full rebuild.
+        next.pop();
+        let rebuilt = GramIndex::update_from(&updated, &next);
+        assert_eq!(rebuilt.len(), 2);
+        assert_eq!(rebuilt.postings_reused(), 0);
+    }
+
+    #[test]
+    fn matches_batch_guards_shape_fingerprints_and_interner() {
+        let (_tables, columns) = batch(&[("a", &["hardcover"]), ("b", &["audio cd"])]);
+        let index = GramIndex::build(&columns);
+        assert!(index.matches_batch(&columns));
+        assert!(!index.matches_batch(&columns[..1]));
+        let (_t2, edited) = batch(&[("a", &["hardcover"]), ("b", &["vinyl"])]);
+        assert!(!index.matches_batch(&edited), "changed fingerprint must fail the guard");
+        assert_eq!(index.slot_of(&AttrRef::new("b", "v")), Some(1));
+        assert_eq!(index.slot_of(&AttrRef::new("zz", "v")), None);
+        assert_eq!(index.interner_token(), columns[0].interner().token());
+        assert!(!index.is_empty());
+    }
+
+    #[test]
+    fn empty_columns_are_slotted_but_never_posted() {
+        let empty =
+            ColumnData::owned(AttrRef::new("e", "v"), cxm_relational::DataType::Text, vec![]);
+        let full = ColumnData::owned(
+            AttrRef::new("f", "v"),
+            cxm_relational::DataType::Text,
+            vec![cxm_relational::Value::str("hardcover")],
+        );
+        let before = crate::column::telemetry::qgram_profile_builds();
+        let index = GramIndex::build(&[empty, full]);
+        assert_eq!(index.len(), 2);
+        assert_eq!(
+            crate::column::telemetry::qgram_profile_builds() - before,
+            1,
+            "only the non-empty column is profiled"
+        );
+        let probe = ColumnData::owned(
+            AttrRef::new("s", "x"),
+            cxm_relational::DataType::Text,
+            vec![cxm_relational::Value::str("hardcover")],
+        );
+        let scan = index.scan(&probe.qgram3_ids(), &probe.value_ids());
+        assert!(scan.hint(0).qgram_zero() && scan.hint(0).overlap_zero);
+        assert!(!scan.hint(1).qgram_zero());
+        let bounds = index.cosine_upper_bounds(&probe.qgram3_ids());
+        assert_eq!(bounds[0], 0.0);
+    }
+}

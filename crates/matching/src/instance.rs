@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use crate::column::ColumnData;
 use crate::intern::telemetry as kernel_telemetry;
-use crate::matcher::Matcher;
+use crate::matcher::{Matcher, PairHint};
 
 fn same_interner(a: &ColumnData, b: &ColumnData) -> bool {
     Arc::ptr_eq(a.interner(), b.interner())
@@ -109,6 +109,27 @@ impl Matcher for QGramMatcher {
         Self::cosine(&self.profile(source), &self.profile(target))
     }
 
+    fn score_with_hint(&self, source: &ColumnData, target: &ColumnData, hint: PairHint) -> f64 {
+        // Serve the score from the scan's exact TAAT dot — but only when the
+        // exact path would have taken the interned kernel; on any other path
+        // the hint's id space does not apply. The dot is bit-equal to the
+        // merge-join's (exact integer products and sums, so the grouping
+        // order is immaterial); dividing by the same memoized norms
+        // reproduces the kernel's result bit for bit, and a zero dot skips
+        // even the division, matching the kernel's early-out literal `0.0`.
+        if let Some(dot) = hint.qgram_dot {
+            if self.q == 3 && !self.use_legacy_kernel && same_interner(source, target) {
+                kernel_telemetry::record_pruned_score();
+                if dot == 0.0 {
+                    return 0.0;
+                }
+                let (a, b) = (source.qgram3_ids(), target.qgram3_ids());
+                return (dot / (a.norm() * b.norm())).clamp(0.0, 1.0);
+            }
+        }
+        self.score(source, target)
+    }
+
     fn applicable(&self, source: &ColumnData, target: &ColumnData) -> bool {
         // Purely numeric columns are better served by the numeric matcher;
         // comparing digit 3-grams of unrelated numbers produces noise.
@@ -163,6 +184,16 @@ impl Matcher for ValueOverlapMatcher {
         let inter = a.intersection(&b).count() as f64;
         let union = a.union(&b).count() as f64;
         inter / union
+    }
+
+    fn score_with_hint(&self, source: &ColumnData, target: &ColumnData, hint: PairHint) -> f64 {
+        // Disjoint interned sets make the exact kernel return 0/union == +0.0;
+        // substitute the same bit pattern without walking the id vectors.
+        if hint.overlap_zero && !self.use_legacy_kernel && same_interner(source, target) {
+            kernel_telemetry::record_pruned_score();
+            return 0.0;
+        }
+        self.score(source, target)
     }
 
     fn applicable(&self, source: &ColumnData, target: &ColumnData) -> bool {
@@ -291,6 +322,34 @@ mod tests {
         let interned_before = telemetry::interned_kernel_scores();
         assert!((m.score(&a, &c) - 1.0).abs() < 1e-9);
         assert!(telemetry::interned_kernel_scores() > interned_before);
+    }
+
+    #[test]
+    fn hinted_scores_are_bit_identical_to_exact_zeros() {
+        use crate::intern::telemetry;
+        let qgram = QGramMatcher::new();
+        let overlap = ValueOverlapMatcher::new();
+        let a = col("x", vec!["hardcover", "paperback"]);
+        let b = col("y", vec!["0316011770", "0486400611"]);
+        // The pair shares no gram and no value: exact kernels return 0.0.
+        assert_eq!(qgram.score(&a, &b).to_bits(), 0.0f64.to_bits());
+        assert_eq!(overlap.score(&a, &b).to_bits(), 0.0f64.to_bits());
+        let hint = PairHint { qgram_dot: Some(0.0), overlap_zero: true };
+        let pruned_before = telemetry::pruned_kernel_scores();
+        assert_eq!(qgram.score_with_hint(&a, &b, hint).to_bits(), 0.0f64.to_bits());
+        assert_eq!(overlap.score_with_hint(&a, &b, hint).to_bits(), 0.0f64.to_bits());
+        assert_eq!(telemetry::pruned_kernel_scores() - pruned_before, 2);
+        // A hint that proves nothing falls through to the exact kernels.
+        let c = col("z", vec!["hardcover first edition"]);
+        assert_eq!(
+            qgram.score_with_hint(&a, &c, PairHint::default()).to_bits(),
+            qgram.score(&a, &c).to_bits()
+        );
+        // Legacy matchers never consult hints (different kernel, different
+        // rounding — the proof does not transfer).
+        let legacy = QGramMatcher::legacy();
+        let exact = legacy.score(&a, &b);
+        assert_eq!(legacy.score_with_hint(&a, &b, hint).to_bits(), exact.to_bits());
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod telemetry {
 
     static INTERNED_KERNEL_SCORES: AtomicUsize = AtomicUsize::new(0);
     static LEGACY_KERNEL_SCORES: AtomicUsize = AtomicUsize::new(0);
+    static PRUNED_KERNEL_SCORES: AtomicUsize = AtomicUsize::new(0);
 
     /// Scores served by the interned merge-join kernels so far.
     pub fn interned_kernel_scores() -> usize {
@@ -66,12 +67,61 @@ pub mod telemetry {
         LEGACY_KERNEL_SCORES.load(Ordering::Relaxed)
     }
 
+    /// Scores answered from an inverted-index pruning hint (the merge-join
+    /// was skipped because the gram index proved the pair shares nothing).
+    pub fn pruned_kernel_scores() -> usize {
+        PRUNED_KERNEL_SCORES.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn record_interned_score() {
         INTERNED_KERNEL_SCORES.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_legacy_score() {
         LEGACY_KERNEL_SCORES.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_pruned_score() {
+        PRUNED_KERNEL_SCORES.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the process-global kernel counters, for scoped
+    /// before/after accounting. The counters themselves are monotonic for
+    /// the life of the process (many subsystems diff them concurrently);
+    /// benchmarks and tests that need *per-run* numbers take a snapshot
+    /// before the run and read [`KernelCounters::delta`] after, instead of
+    /// resetting state other measurements may be mid-flight over.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct KernelCounters {
+        /// Interned merge-join scores at snapshot time.
+        pub interned: usize,
+        /// Legacy `BTreeMap`/`BTreeSet` scores at snapshot time.
+        pub legacy: usize,
+        /// Index-pruned (merge-join skipped) scores at snapshot time.
+        pub pruned: usize,
+    }
+
+    impl KernelCounters {
+        /// The current values of all three kernel counters.
+        pub fn snapshot() -> Self {
+            KernelCounters {
+                interned: interned_kernel_scores(),
+                legacy: legacy_kernel_scores(),
+                pruned: pruned_kernel_scores(),
+            }
+        }
+
+        /// Counter growth since this snapshot was taken. Meaningful only
+        /// while no other thread is scoring (the same sequential-attribution
+        /// contract as the service's per-request telemetry).
+        pub fn delta(&self) -> Self {
+            let now = KernelCounters::snapshot();
+            KernelCounters {
+                interned: now.interned - self.interned,
+                legacy: now.legacy - self.legacy,
+                pruned: now.pruned - self.pruned,
+            }
+        }
     }
 }
 
@@ -567,6 +617,12 @@ pub struct InternedValueSet {
 }
 
 impl InternedValueSet {
+    /// The empty set, usable in `const`/`static` position (no interner
+    /// involved — an empty set is valid against any id space).
+    pub const fn empty() -> InternedValueSet {
+        InternedValueSet { ids: Vec::new() }
+    }
+
     /// The sorted distinct value ids.
     pub fn ids(&self) -> &[u32] {
         &self.ids

@@ -27,6 +27,7 @@
 pub mod column;
 pub mod combine;
 pub mod confidence;
+pub mod index;
 pub mod instance;
 pub mod intern;
 pub mod match_types;
@@ -38,7 +39,9 @@ pub mod standard;
 pub use column::{ColumnArtifacts, ColumnData};
 pub use combine::MatcherEnsemble;
 pub use confidence::ScoreDistribution;
+pub use index::{CandidateScan, GramIndex};
+pub use intern::telemetry::KernelCounters;
 pub use intern::{GramInterner, InternedProfile, InternedValueSet};
 pub use match_types::{Match, MatchList};
-pub use matcher::Matcher;
+pub use matcher::{Matcher, PairHint};
 pub use standard::{MatchingConfig, MatchingOutcome, StandardMatcher};

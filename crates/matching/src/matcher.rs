@@ -2,6 +2,40 @@
 
 use crate::column::ColumnData;
 
+/// What an index scan has already computed about a column pair (see
+/// [`crate::index::GramIndex`]): the exact interned-kernel quantities a TAAT
+/// pass produces as a by-product, letting [`Matcher::score_with_hint`] serve
+/// a score without re-running the merge-join — and skip it entirely where
+/// the quantity is zero — without changing a single output bit. The default
+/// hint proves nothing and leaves every matcher on its exact path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PairHint {
+    /// The **exact** dot product of the pair's interned 3-gram profiles, as
+    /// accumulated term-at-a-time by the scan (bit-equal to the merge-join's
+    /// dot: every product and partial sum is an exact integer, so the
+    /// grouping order is immaterial). `None` when the scan did not cover the
+    /// pair; `Some(0.0)` proves the cosine kernel would return exactly
+    /// `0.0`; a nonzero dot lets the kernel's `dot / (‖a‖·‖b‖)` be
+    /// reproduced without walking the profiles.
+    pub qgram_dot: Option<f64>,
+    /// The interned distinct-value sets are disjoint, so the Jaccard kernel
+    /// would return exactly `+0.0`.
+    pub overlap_zero: bool,
+}
+
+impl PairHint {
+    /// True when the hint proves nothing — every matcher runs exactly.
+    pub fn prunes_nothing(&self) -> bool {
+        self.qgram_dot.is_none() && !self.overlap_zero
+    }
+
+    /// True when the scan proved the 3-gram profiles disjoint (dot exactly
+    /// zero), i.e. the pair is prunable rather than merely servable.
+    pub fn qgram_zero(&self) -> bool {
+        self.qgram_dot == Some(0.0)
+    }
+}
+
 /// A single matching algorithm ("matcher" in the paper's terminology, §2.3)
 /// that scores the similarity of a source column against a target column.
 ///
@@ -14,6 +48,18 @@ pub trait Matcher: Send + Sync {
 
     /// Raw similarity of the two columns in `[0, 1]`.
     fn score(&self, source: &ColumnData, target: &ColumnData) -> f64;
+
+    /// [`Matcher::score`] with index-provided exact kernel quantities. A
+    /// matcher whose kernel the hint covers may serve the score from the
+    /// hint without touching the columns; the default ignores the hint and
+    /// scores exactly.
+    /// Implementations must be **bit-identical** to [`Matcher::score`] — the
+    /// hint is a shortcut, never an approximation — and must not consult the
+    /// hint for applicability decisions.
+    fn score_with_hint(&self, source: &ColumnData, target: &ColumnData, hint: PairHint) -> f64 {
+        let _ = hint;
+        self.score(source, target)
+    }
 
     /// Whether this matcher can produce a meaningful score for the pair.
     /// Inapplicable matchers are skipped rather than contributing zeros, so a
@@ -50,5 +96,11 @@ mod tests {
         assert_eq!(m.name(), "const");
         assert_eq!(m.score(&col("a"), &col("b")), 0.7);
         assert!(m.applicable(&col("a"), &col("b")));
+        // The default hinted path ignores even a fully-pruning hint.
+        let hint = PairHint { qgram_dot: Some(0.0), overlap_zero: true };
+        assert!(hint.qgram_zero());
+        assert!(!hint.prunes_nothing());
+        assert_eq!(m.score_with_hint(&col("a"), &col("b"), hint), 0.7);
+        assert!(PairHint::default().prunes_nothing());
     }
 }

@@ -24,12 +24,19 @@ impl NameMatcher {
 pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    levenshtein_similarity_chars(&a, &b)
+}
+
+/// [`levenshtein_similarity`] over pre-split char sequences — the fast path
+/// behind the matcher's memoized [`crate::column::NameKey`], which stores
+/// each column name's chars once instead of re-splitting per scored pair.
+/// Same arithmetic as the string form.
+pub fn levenshtein_similarity_chars(a: &[char], b: &[char]) -> f64 {
     let max_len = a.len().max(b.len());
     if max_len == 0 {
         return 1.0;
     }
-    let dist = levenshtein(&a, &b);
-    1.0 - dist as f64 / max_len as f64
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
 }
 
 fn levenshtein(a: &[char], b: &[char]) -> usize {
@@ -39,17 +46,32 @@ fn levenshtein(a: &[char], b: &[char]) -> usize {
     if b.is_empty() {
         return a.len();
     }
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut curr = vec![0usize; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
-        curr[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
-            let cost = if ca == cb { 0 } else { 1 };
-            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
-        }
-        std::mem::swap(&mut prev, &mut curr);
+    // Single-row DP over a thread-local scratch row: the matcher runs once
+    // per (source, target) pair of the full pair grid, where per-call
+    // allocations dominate the tiny DP for realistic attribute names.
+    thread_local! {
+        static ROW: std::cell::RefCell<Vec<usize>> =
+            const { std::cell::RefCell::new(Vec::new()) };
     }
-    prev[b.len()]
+    ROW.with(|row| {
+        let mut row = row.borrow_mut();
+        row.clear();
+        row.extend(0..=b.len());
+        for (i, &ca) in a.iter().enumerate() {
+            // `diag` carries the previous row's value at `j` (the deletion /
+            // substitution diagonal); `row[j + 1]` still holds the previous
+            // row's value until overwritten.
+            let mut diag = row[0];
+            row[0] = i + 1;
+            for (j, &cb) in b.iter().enumerate() {
+                let cost = if ca == cb { 0 } else { 1 };
+                let next = (row[j + 1] + 1).min(row[j] + 1).min(diag + cost);
+                diag = row[j + 1];
+                row[j + 1] = next;
+            }
+        }
+        row[b.len()]
+    })
 }
 
 /// Split an identifier into lower-cased word tokens on case changes, digits
@@ -114,7 +136,7 @@ impl Matcher for NameMatcher {
         // counterparts lowercases and tokenizes once, not once per pair.
         let a = source.name_key();
         let b = target.name_key();
-        levenshtein_similarity(&a.lowered, &b.lowered)
+        levenshtein_similarity_chars(&a.chars, &b.chars)
             .max(token_set_similarity(&a.tokens, &b.tokens))
     }
 }

@@ -32,7 +32,9 @@ use rayon::prelude::*;
 use crate::column::ColumnData;
 use crate::combine::MatcherEnsemble;
 use crate::confidence::ScoreDistribution;
+use crate::index::{telemetry as index_telemetry, GramIndex};
 use crate::match_types::{Match, MatchList};
+use crate::matcher::PairHint;
 
 /// Configuration of the standard matcher.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -232,34 +234,112 @@ impl StandardMatcher {
         source_cols: &[ColumnData],
         target_cols: &[ColumnData],
     ) -> MatchingOutcome {
+        self.match_columns_with(source_cols, target_cols, None)
+    }
+
+    /// [`StandardMatcher::match_columns`] consulting an inverted gram index
+    /// over the target batch: one TAAT scan per source column replaces the
+    /// O(T) merge-joins — every pair's cosine is served straight from the
+    /// scan's exact dot product, pairs proven zero skip their instance
+    /// kernels entirely (see [`crate::index`] for the admissibility
+    /// argument). Output is **byte-identical** to the unindexed path. An
+    /// index that does not describe `target_cols`
+    /// ([`GramIndex::matches_batch`]) is ignored.
+    pub fn match_columns_indexed(
+        &self,
+        source_cols: &[ColumnData],
+        target_cols: &[ColumnData],
+        index: Option<&GramIndex>,
+    ) -> MatchingOutcome {
+        let index = index.filter(|idx| idx.matches_batch(target_cols));
+        self.match_columns_with(source_cols, target_cols, index)
+    }
+
+    /// A TAAT scan forces the source column's interned artifacts, so only
+    /// scan when the exact path would build them anyway: the source shares
+    /// the index's interner and at least one pair is q-gram applicable
+    /// (mirrors [`crate::instance::QGramMatcher::applicable`]).
+    fn scannable(s: &ColumnData, target_cols: &[ColumnData], index: &GramIndex) -> bool {
+        s.interner().token() == index.interner_token()
+            && !s.is_empty()
+            && target_cols
+                .iter()
+                .any(|t| !t.is_empty() && (!s.looks_numeric() || !t.looks_numeric()))
+    }
+
+    fn match_columns_with(
+        &self,
+        source_cols: &[ColumnData],
+        target_cols: &[ColumnData],
+        index: Option<&GramIndex>,
+    ) -> MatchingOutcome {
         let mut outcome = MatchingOutcome::default();
         if target_cols.is_empty() {
             return outcome;
         }
         for s in source_cols {
-            // Raw score matrix for this source attribute: per matcher, per target.
-            let raw: Vec<Vec<Option<f64>>> =
-                target_cols.iter().map(|t| self.ensemble.raw_scores(s, t)).collect();
+            let scan = index.and_then(|idx| {
+                Self::scannable(s, target_cols, idx).then(|| {
+                    let scan = idx.scan(&s.qgram3_ids(), &s.value_ids());
+                    index_telemetry::record_scan(scan.len(), scan.surviving());
+                    scan
+                })
+            });
+            // Raw score matrix for this source attribute: target-major flat
+            // layout (pair `(t_idx, m_idx)` at `t_idx * m_len + m_idx`) so the
+            // pair grid costs one allocation per source column, not one per
+            // pair.
+            let m_len = self.ensemble.len();
+            let mut raw: Vec<Option<f64>> = Vec::with_capacity(m_len * target_cols.len());
+            for (t_idx, t) in target_cols.iter().enumerate() {
+                let hint = scan.as_ref().map(|scan| scan.hint(t_idx));
+                self.ensemble.raw_scores_into(s, t, hint, &mut raw);
+            }
 
             // Fit the per-matcher distribution over all target attributes.
-            let mut dists: Vec<ScoreDistribution> = Vec::with_capacity(self.ensemble.len());
-            for m_idx in 0..self.ensemble.len() {
-                let scores: Vec<f64> = raw.iter().filter_map(|row| row[m_idx]).collect();
+            let mut dists: Vec<ScoreDistribution> = Vec::with_capacity(m_len);
+            let mut scores: Vec<f64> = Vec::with_capacity(target_cols.len());
+            for m_idx in 0..m_len {
+                scores.clear();
+                scores.extend(raw.iter().skip(m_idx).step_by(m_len).filter_map(|r| *r));
                 dists.push(ScoreDistribution::from_scores(&scores));
             }
             for (m_idx, dist) in dists.iter().enumerate() {
                 outcome.distributions.insert((s.attr.clone(), self.ensemble.names()[m_idx]), *dist);
             }
 
-            // Convert to confidences and combine.
+            // Convert to confidences and combine. Φ is the costliest
+            // arithmetic of the conversion, and raw scores repeat massively
+            // across the pair grid (every disjoint or index-pruned pair
+            // scores exactly 0.0; name scores take one value per distinct
+            // attribute name), so each matcher gets a small score → Φ memo.
+            // A hit returns the identical `f64`, so output is unchanged bit
+            // for bit; the cap keeps the linear probe cheaper than Φ even
+            // when a matcher's scores never repeat.
+            const CONF_CACHE_CAP: usize = 32;
+            let mut conf_cache: Vec<Vec<(u64, f64)>> = vec![Vec::new(); m_len];
+            let mut confs: Vec<Option<f64>> = Vec::with_capacity(m_len);
             for (t_idx, t) in target_cols.iter().enumerate() {
-                let confs: Vec<Option<f64>> = raw[t_idx]
-                    .iter()
-                    .enumerate()
-                    .map(|(m_idx, r)| r.map(|score| dists[m_idx].confidence(score)))
-                    .collect();
+                let row = &raw[t_idx * m_len..(t_idx + 1) * m_len];
+                confs.clear();
+                confs.extend(row.iter().enumerate().map(|(m_idx, r)| {
+                    r.map(|score| {
+                        let bits = score.to_bits();
+                        let cache = &mut conf_cache[m_idx];
+                        match cache.iter().find(|(b, _)| *b == bits) {
+                            Some(&(_, conf)) => conf,
+                            None => {
+                                let conf = dists[m_idx].confidence(score);
+                                if cache.len() < CONF_CACHE_CAP {
+                                    cache.push((bits, conf));
+                                }
+                                conf
+                            }
+                        }
+                    })
+                }));
                 let confidence = self.ensemble.combine(&confs);
-                let score = self.ensemble.average_raw(&raw[t_idx]);
+                let score = self.ensemble.average_raw(row);
                 let m = Match::standard(s.attr.clone(), t.attr.clone(), score, confidence);
                 if confidence >= self.config.tau && s.len() >= self.config.min_sample {
                     outcome.accepted.push(m.clone());
@@ -284,10 +364,28 @@ impl StandardMatcher {
         base_attr: &AttrRef,
         target: &ColumnData,
     ) -> (f64, f64) {
+        self.rescore_hinted(outcome, restricted, base_attr, target, None)
+    }
+
+    /// [`StandardMatcher::rescore`] with an optional index-provided hint
+    /// (exact scan quantities) for the (restricted, target) pair; `None` (or
+    /// a hint proving nothing) scores exactly. Bit-identical to `rescore` by
+    /// the argument in [`crate::index`].
+    pub fn rescore_hinted(
+        &self,
+        outcome: &MatchingOutcome,
+        restricted: &ColumnData,
+        base_attr: &AttrRef,
+        target: &ColumnData,
+        hint: Option<PairHint>,
+    ) -> (f64, f64) {
         if restricted.is_empty() {
             return (0.0, 0.0);
         }
-        let raw = self.ensemble.raw_scores(restricted, target);
+        let raw = match hint {
+            Some(hint) => self.ensemble.raw_scores_hinted(restricted, target, hint),
+            None => self.ensemble.raw_scores(restricted, target),
+        };
         let confs: Vec<Option<f64>> = raw
             .iter()
             .enumerate()
@@ -524,6 +622,54 @@ mod tests {
         let mut first = matcher.match_databases(&source, &target);
         let second = matcher.match_databases(&source, &target);
         first.merge(second);
+    }
+
+    #[test]
+    fn indexed_match_columns_is_byte_identical_to_unindexed() {
+        let matcher = StandardMatcher::with_defaults();
+        let source = multi_source_db();
+        let target = target_db();
+        let source_cols: Vec<ColumnData> = source
+            .tables()
+            .flat_map(|t| {
+                t.schema()
+                    .attributes()
+                    .iter()
+                    .map(|a| ColumnData::shared_from_table(t, &a.name).unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let target_cols: Vec<ColumnData> = target
+            .tables()
+            .flat_map(|t| {
+                t.schema()
+                    .attributes()
+                    .iter()
+                    .map(|a| {
+                        let fp = t.column_fingerprint(&a.name).unwrap();
+                        ColumnData::shared_from_table(t, &a.name).unwrap().with_fingerprint(fp)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let index = crate::index::GramIndex::build(&target_cols);
+        let plain = matcher.match_columns(&source_cols, &target_cols);
+        let pruned_before = crate::intern::telemetry::pruned_kernel_scores();
+        let indexed = matcher.match_columns_indexed(&source_cols, &target_cols, Some(&index));
+        assert!(
+            crate::intern::telemetry::pruned_kernel_scores() > pruned_before,
+            "the mixed isbn/title catalog must let the index prune something"
+        );
+        assert_eq!(format!("{:?}", plain.accepted), format!("{:?}", indexed.accepted));
+        assert_eq!(format!("{:?}", plain.all_pairs), format!("{:?}", indexed.all_pairs));
+        for (key, dist) in &plain.distributions {
+            assert_eq!(indexed.distributions.get(key), Some(dist), "distribution for {key:?}");
+        }
+        assert_eq!(plain.distributions.len(), indexed.distributions.len());
+        // A stale index (built over a different batch) is ignored, not trusted.
+        let ignored = matcher.match_columns_indexed(&source_cols, &target_cols[..3], Some(&index));
+        let exact = matcher.match_columns(&source_cols, &target_cols[..3]);
+        assert_eq!(format!("{:?}", ignored.all_pairs), format!("{:?}", exact.all_pairs));
     }
 
     #[test]

@@ -10,10 +10,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 use cxm_core::{MatchResultCache, RestrictedProfileCache};
-use cxm_matching::{ColumnData, GramInterner};
+use cxm_matching::{ColumnData, GramIndex, GramInterner};
 use cxm_relational::{Database, Error, Result, SelectionCache, Table};
 
 /// An immutable view of the registered target tables plus the warm artifacts
@@ -51,6 +51,17 @@ pub struct CatalogSnapshot {
     /// source column scored against it) builds its flat id artifacts
     /// against; constant for the catalog's lifetime.
     interner: Arc<GramInterner>,
+    /// The inverted gram index over `columns` — the candidate-pruning warm
+    /// artifact. Built **lazily** by the first request that scores against
+    /// the snapshot (never at update time, so catalog updates stay cheap and
+    /// the build cost is attributed to the request that forced it), derived
+    /// incrementally from `prev_gram_index` when a prior generation exists.
+    gram_index: OnceLock<Arc<GramIndex>>,
+    /// The latest predecessor index actually built — this snapshot's
+    /// incremental base. Carried even across snapshots that never built
+    /// their own, so a run of request-less catalog updates still yields an
+    /// incremental (fingerprint-keyed) build, not a cold one.
+    prev_gram_index: Option<Arc<GramIndex>>,
 }
 
 /// What a catalog update did, table by table **and column by column** — the
@@ -87,6 +98,18 @@ pub struct CatalogUpdate {
     /// profiles rebuilt lazily on next use. Replacing one column of a
     /// 50-column table makes this exactly 1.
     pub columns_rebuilt: usize,
+    /// Columns whose **inverted gram index** posting contributions the next
+    /// (lazy, incremental) index build will carry forward `Arc`-shared:
+    /// indexed columns whose per-column fingerprint matches the latest
+    /// *built* index generation. Zero when no request has built an index yet
+    /// (nothing to carry) or when the batch shape changed (positional slots
+    /// force a full rebuild).
+    pub postings_reused: usize,
+    /// Columns whose posting contributions the next index build must redo —
+    /// the complement of [`CatalogUpdate::postings_reused`] whenever a prior
+    /// index generation exists; `0` when none does (a cold build rebuilds
+    /// nothing, it builds).
+    pub postings_rebuilt: usize,
 }
 
 impl CatalogSnapshot {
@@ -243,6 +266,20 @@ impl CatalogSnapshot {
             .map(|p| p.match_results.lock().unwrap_or_else(PoisonError::into_inner).clone())
             .unwrap_or_else(|| MatchResultCache::with_capacity(result_capacity));
 
+        // The gram index builds lazily (first request), so at update time we
+        // can only *predict* its reuse: against the latest built generation,
+        // count the columns whose fingerprints carry forward.
+        let prev_gram_index =
+            prev.and_then(|p| p.gram_index.get().cloned().or_else(|| p.prev_gram_index.clone()));
+        let (postings_reused, postings_rebuilt) = match &prev_gram_index {
+            Some(index) if index.same_shape(&columns) => {
+                let carried = index.columns_carried(&columns);
+                (carried, columns.len() - carried)
+            }
+            Some(_) => (0, columns.len()),
+            None => (0, 0),
+        };
+
         let update = CatalogUpdate {
             version,
             tables: table_ranges.len(),
@@ -253,6 +290,8 @@ impl CatalogSnapshot {
             copied,
             columns_reused,
             columns_rebuilt,
+            postings_reused,
+            postings_rebuilt,
         };
         let snapshot = CatalogSnapshot {
             version,
@@ -264,6 +303,8 @@ impl CatalogSnapshot {
             restricted_profiles: Mutex::new(restricted_profiles),
             match_results: Mutex::new(match_results),
             interner: Arc::clone(interner),
+            gram_index: OnceLock::new(),
+            prev_gram_index,
         };
         (snapshot, update)
     }
@@ -333,6 +374,30 @@ impl CatalogSnapshot {
     /// scoring path arrange that automatically).
     pub fn interner(&self) -> &Arc<GramInterner> {
         &self.interner
+    }
+
+    /// The inverted gram index over [`CatalogSnapshot::columns`], built on
+    /// first use and memoized for the snapshot's lifetime. When a previous
+    /// generation was built, the index derives incrementally from it —
+    /// unchanged columns' posting lists carry forward `Arc`-shared
+    /// ([`GramIndex::update_from`]). The build forces the interned artifacts
+    /// of every non-empty indexed column (memoized on the columns, so a warm
+    /// batch posts without re-profiling anything); the cost is attributed to
+    /// the request that forced it, and every later request against this
+    /// snapshot gets the `Arc` back for free.
+    pub fn gram_index(&self) -> Arc<GramIndex> {
+        Arc::clone(self.gram_index.get_or_init(|| {
+            Arc::new(match &self.prev_gram_index {
+                Some(prev) => GramIndex::update_from(prev, &self.columns),
+                None => GramIndex::build(&self.columns),
+            })
+        }))
+    }
+
+    /// The gram index if some request already forced its build; `None` while
+    /// the snapshot has never been scored against.
+    pub fn gram_index_if_built(&self) -> Option<Arc<GramIndex>> {
+        self.gram_index.get().cloned()
     }
 
     /// True when no target tables are registered.
@@ -591,6 +656,8 @@ mod tests {
                 copied: 2,
                 columns_reused: 0,
                 columns_rebuilt: 4,
+                postings_reused: 0,
+                postings_rebuilt: 0,
             }
         );
         let snap = catalog.snapshot();
@@ -628,6 +695,8 @@ mod tests {
                 copied: 0,
                 columns_reused: 4,
                 columns_rebuilt: 0,
+                postings_reused: 0,
+                postings_rebuilt: 0,
             }
         );
         let second = catalog.snapshot();
@@ -651,6 +720,8 @@ mod tests {
                 copied: 1,
                 columns_reused: 2,
                 columns_rebuilt: 2,
+                postings_reused: 0,
+                postings_rebuilt: 0,
             }
         );
         let third = catalog.snapshot();
@@ -747,6 +818,43 @@ mod tests {
             cache.select(new_book, &Condition::eq("format", "paperback"));
             assert_eq!(cache.misses(), misses + 1, "format atom rescanned");
         }
+    }
+
+    #[test]
+    fn gram_index_builds_lazily_and_carries_postings() {
+        let catalog = TargetCatalog::new();
+        let update = catalog.register_database(&target());
+        assert_eq!(
+            (update.postings_reused, update.postings_rebuilt),
+            (0, 0),
+            "no index generation exists before the first request"
+        );
+        let first = catalog.snapshot();
+        assert!(first.gram_index_if_built().is_none(), "the index is lazy");
+        let index = first.gram_index();
+        assert_eq!(index.len(), 4);
+        assert!(Arc::ptr_eq(&index, &first.gram_index()), "memoized per snapshot");
+        assert_eq!(index.postings_reused(), 0, "cold build carries nothing");
+
+        // With a built generation behind it, the update predicts
+        // column-granular posting reuse: book's 2 columns carry, music's 2
+        // (the replaced table) must re-post.
+        let update =
+            catalog.replace_table(table("music", &[("blue train", "blue note cd")])).unwrap();
+        assert_eq!((update.postings_reused, update.postings_rebuilt), (2, 2));
+
+        // The next snapshot's build is incremental: posting lists private to
+        // the untouched columns keep their very allocation.
+        let second = catalog.snapshot();
+        let next = second.gram_index();
+        assert!(next.postings_reused() > 0, "book's untouched posting lists carried");
+        let gram = first.interner().lookup("war").expect("posted by book.title");
+        assert!(Arc::ptr_eq(index.gram_posting(gram).unwrap(), next.gram_posting(gram).unwrap(),));
+
+        // Dropping a table changes the batch shape: the prediction can only
+        // promise a full re-post.
+        let update = catalog.drop_table("music").unwrap();
+        assert_eq!((update.postings_reused, update.postings_rebuilt), (0, 2));
     }
 
     #[test]

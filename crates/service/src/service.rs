@@ -8,7 +8,8 @@ use cxm_core::{
     PreparedSourceColumns, PreparedTargets, SharedSelections,
 };
 use cxm_matching::column::telemetry as profile_telemetry;
-use cxm_matching::{ColumnData, GramInterner};
+use cxm_matching::index::telemetry as index_telemetry;
+use cxm_matching::{ColumnData, GramInterner, KernelCounters};
 use cxm_relational::{Database, Fnv64, Result, Table};
 
 use crate::catalog::{
@@ -99,6 +100,28 @@ pub struct RequestTelemetry {
     /// [`RequestTelemetry::restricted_profile_evictions`], for the source
     /// side).
     pub source_cache_evictions: usize,
+    /// Whether this request forced the snapshot's inverted gram index to
+    /// build (cold or incremental). At most one request per snapshot pays
+    /// this; every later request reuses the artifact for free.
+    pub index_built: bool,
+    /// Posting lists the forced index build carried forward `Arc`-shared
+    /// from the previous generation (`0` unless
+    /// [`RequestTelemetry::index_built`]).
+    pub index_postings_reused: usize,
+    /// Posting lists the forced index build had to (re)build (`0` unless
+    /// [`RequestTelemetry::index_built`]).
+    pub index_postings_rebuilt: usize,
+    /// Candidate (source column, target column) pairs examined by inverted-
+    /// index scans during the request.
+    pub candidates_scanned: usize,
+    /// Scanned pairs sharing at least one gram or one distinct value — the
+    /// pairs the exact kernels cannot skip. The difference from
+    /// [`RequestTelemetry::candidates_scanned`] is the pruned-pair count;
+    /// their ratio is the pruning rate.
+    pub candidates_surviving: usize,
+    /// Interned kernel evaluations short-circuited by an index-proven zero
+    /// (the merge-join / set intersection never ran).
+    pub kernel_scores_pruned: usize,
 }
 
 impl fmt::Display for RequestTelemetry {
@@ -110,7 +133,7 @@ impl fmt::Display for RequestTelemetry {
             f,
             "catalog v{}, {} profile builds, selections {} hit / {} miss, \
              restricted profiles {} hit / {} miss / {} evicted, {} classifier work units, \
-             source cache {} ({} evicted)",
+             source cache {} ({} evicted), ",
             self.catalog_version,
             self.qgram_profile_builds,
             self.selection_cache_hits,
@@ -121,6 +144,20 @@ impl fmt::Display for RequestTelemetry {
             self.classifier_work_units,
             if self.source_cache_hit { "hit" } else { "miss" },
             self.source_cache_evictions,
+        )?;
+        if self.index_built {
+            write!(
+                f,
+                "index built ({} postings reused / {} rebuilt)",
+                self.index_postings_reused, self.index_postings_rebuilt
+            )?;
+        } else {
+            write!(f, "index warm")?;
+        }
+        write!(
+            f,
+            ", candidates {} scanned / {} surviving, {} kernel scores pruned",
+            self.candidates_scanned, self.candidates_surviving, self.kernel_scores_pruned
         )
     }
 }
@@ -334,6 +371,17 @@ impl MatchService {
         };
         let builds_before = profile_telemetry::qgram_profile_builds();
         let work_before = cxm_classify::telemetry::work_units();
+        let kernels_before = KernelCounters::snapshot();
+        let scanned_before = index_telemetry::candidate_pairs_scanned();
+        let surviving_before = index_telemetry::candidate_pairs_surviving();
+
+        // Force the snapshot's (lazy) gram index inside the request, after
+        // the before-counters: the first request against a snapshot pays the
+        // build — and its forced profile builds are attributed here, exactly
+        // like the ones the matchers would have forced anyway — while every
+        // later request gets the memoized Arc back.
+        let index_prebuilt = snapshot.gram_index_if_built().is_some();
+        let gram_index = snapshot.gram_index();
 
         let result = self.matcher.run_prepared(
             source,
@@ -341,6 +389,7 @@ impl MatchService {
             PreparedTargets {
                 database: snapshot.database(),
                 columns: snapshot.columns(),
+                index: Some(&gram_index),
                 shared_selections: Some(SharedSelections {
                     cache: snapshot.selections(),
                     source_fingerprints: &table_fingerprints,
@@ -373,6 +422,12 @@ impl MatchService {
             classifier_work_units: cxm_classify::telemetry::work_units() - work_before,
             source_cache_hit,
             source_cache_evictions: source_evictions_after - source_evictions_before,
+            index_built: !index_prebuilt,
+            index_postings_reused: if index_prebuilt { 0 } else { gram_index.postings_reused() },
+            index_postings_rebuilt: if index_prebuilt { 0 } else { gram_index.postings_rebuilt() },
+            candidates_scanned: index_telemetry::candidate_pairs_scanned() - scanned_before,
+            candidates_surviving: index_telemetry::candidate_pairs_surviving() - surviving_before,
+            kernel_scores_pruned: kernels_before.delta().pruned,
         };
 
         // Publish for repeat submissions: the cache and the response share
@@ -657,6 +712,34 @@ mod tests {
     }
 
     #[test]
+    fn index_build_is_attributed_to_the_first_request() {
+        let (source, target) = retail();
+        let service = MatchService::with_config(ServiceConfig {
+            context: ContextMatchConfig::default().with_tau(0.4),
+            match_result_entries: 0,
+            ..ServiceConfig::default()
+        });
+        service.register_target(&target);
+
+        let first = service.submit(&source).unwrap();
+        assert!(first.telemetry.index_built, "first request pays the build");
+        assert_eq!(first.telemetry.index_postings_reused, 0, "cold build carries nothing");
+        assert!(first.telemetry.index_postings_rebuilt > 0);
+        assert!(first.telemetry.candidates_scanned > 0, "text sources scan the index");
+        let second = service.submit(&source).unwrap();
+        assert!(!second.telemetry.index_built, "the artifact is memoized per snapshot");
+        assert_eq!(second.telemetry.index_postings_rebuilt, 0);
+
+        // A table replace re-keys the snapshot; the next request derives the
+        // index incrementally, carrying untouched posting lists forward.
+        let replacement = target.tables().next().unwrap().clone();
+        service.replace_table(replacement.head(replacement.len() - 1)).unwrap();
+        let after = service.submit(&source).unwrap();
+        assert!(after.telemetry.index_built);
+        assert!(after.telemetry.index_postings_reused > 0, "incremental build shares lists");
+    }
+
+    #[test]
     fn telemetry_display_is_humane() {
         let t = RequestTelemetry {
             catalog_version: 3,
@@ -670,11 +753,22 @@ mod tests {
             classifier_work_units: 42,
             source_cache_hit: true,
             source_cache_evictions: 0,
+            index_built: true,
+            index_postings_reused: 9,
+            index_postings_rebuilt: 4,
+            candidates_scanned: 12,
+            candidates_surviving: 3,
+            kernel_scores_pruned: 18,
         };
         let s = t.to_string();
         assert!(s.contains("catalog v3"));
         assert!(s.contains("restricted profiles 7 hit / 2 miss / 1 evicted"));
         assert!(s.contains("source cache hit (0 evicted)"));
+        assert!(s.contains("index built (9 postings reused / 4 rebuilt)"));
+        assert!(s.contains("candidates 12 scanned / 3 surviving"));
+        assert!(s.contains("18 kernel scores pruned"));
+        let warm = RequestTelemetry { index_built: false, ..t };
+        assert!(warm.to_string().contains("index warm"));
         let hit = RequestTelemetry { result_cache_hit: true, ..t };
         assert!(hit.to_string().contains("served from the result cache"));
     }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerate the machine-readable per-PR bench reports at the repo root.
+#
+# Runs the report pseudo-benches of crates/bench/benches/bench_scaling.rs:
+#
+#   pr4_report  -> BENCH_PR4.json  (interned kernel + warm-service ladder)
+#   pr5_report  -> BENCH_PR5.json  (catalog-delta reuse ladder)
+#   pr6_report  -> BENCH_PR6.json  (wide-catalog brute vs indexed matching,
+#                                   service cold/warm/replace-one-column
+#                                   crossover, index reuse counters)
+#
+# Each report takes medians over several in-process runs; run on an
+# otherwise idle machine for stable numbers. Pass report names to run a
+# subset, e.g.:  scripts/bench_pr.sh pr6_report
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+reports=("$@")
+if [ ${#reports[@]} -eq 0 ]; then
+    reports=(pr4_report pr5_report pr6_report)
+fi
+
+for report in "${reports[@]}"; do
+    echo "== ${report} =="
+    cargo bench -p cxm-bench --bench bench_scaling -- "${report}"
+done
+
+echo "== reports =="
+ls -l BENCH_PR*.json

@@ -463,6 +463,147 @@ mod result_cache {
     }
 }
 
+mod index_pruning {
+    use std::sync::Arc;
+
+    use proptest::prelude::*;
+
+    use cxm_matching::instance::{QGramMatcher, ValueOverlapMatcher};
+    use cxm_matching::{ColumnData, GramIndex, GramInterner, Matcher, StandardMatcher};
+    use cxm_relational::{AttrRef, DataType};
+
+    /// Alphabet the generated values draw from (see `interned_kernels`):
+    /// small enough that profiles overlap often, so both the surviving and
+    /// the pruned regime are exercised.
+    const ALPHABET: &[char] = &['a', 'b', 'c', ' ', 'x', '7'];
+
+    fn texts(raw: Vec<Vec<usize>>) -> Vec<String> {
+        raw.into_iter()
+            .map(|word| word.into_iter().map(|i| ALPHABET[i % ALPHABET.len()]).collect())
+            .collect()
+    }
+
+    fn column(
+        table: &str,
+        name: &str,
+        values: Vec<String>,
+        interner: &Arc<GramInterner>,
+    ) -> ColumnData<'static> {
+        ColumnData::owned(
+            AttrRef::new(table, name),
+            DataType::Text,
+            values.into_iter().map(cxm_relational::Value::str).collect(),
+        )
+        .with_interner(Arc::clone(interner))
+    }
+
+    /// Strategy for one column's raw values.
+    fn column_values() -> impl Strategy<Value = Vec<Vec<usize>>> {
+        prop::collection::vec(prop::collection::vec(0usize..6, 0..10), 0..25)
+    }
+
+    /// Strategy for a batch of 1–5 columns.
+    fn batch_values() -> impl Strategy<Value = Vec<Vec<Vec<usize>>>> {
+        prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0usize..6, 0..10), 0..20),
+            1..6,
+        )
+    }
+
+    proptest! {
+        /// Admissibility of the index's pruning information on arbitrary
+        /// columns: the cosine upper bound dominates the exact kernel score
+        /// of every (source, slot) pair, a zero bound pins the exact score
+        /// to literal `0.0`, and a zero value intersection pins the exact
+        /// Jaccard to `+0.0` — the bit-identity contract the hinted scoring
+        /// path rests on.
+        #[test]
+        fn index_bounds_are_admissible(
+            source_raw in column_values(),
+            targets_raw in batch_values(),
+        ) {
+            let interner = Arc::new(GramInterner::new());
+            let source = column("s", "probe", texts(source_raw), &interner);
+            let targets: Vec<ColumnData> = targets_raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, vals)| column("t", &format!("c{i}"), texts(vals), &interner))
+                .collect();
+            let index = GramIndex::build(&targets);
+            let bounds = index.cosine_upper_bounds(&source.qgram3_ids());
+            let scan = index.scan(&source.qgram3_ids(), &source.value_ids());
+            for (i, target) in targets.iter().enumerate() {
+                let exact = QGramMatcher::new().score(&source, target);
+                prop_assert!(
+                    exact <= bounds[i] + 1e-12,
+                    "slot {}: exact {} exceeds bound {}", i, exact, bounds[i]
+                );
+                if bounds[i] == 0.0 {
+                    prop_assert_eq!(exact.to_bits(), 0.0f64.to_bits(), "zero bound, slot {}", i);
+                }
+                let hint = scan.hint(i);
+                if hint.qgram_zero() {
+                    prop_assert_eq!(exact.to_bits(), 0.0f64.to_bits(), "pruned cosine, slot {}", i);
+                }
+                // The hint-served cosine (zero-skip or dot/(‖a‖·‖b‖) from
+                // the scan's exact dot) is bit-identical to the kernel's.
+                let served = QGramMatcher::new().score_with_hint(&source, target, hint);
+                prop_assert_eq!(served.to_bits(), exact.to_bits(), "served cosine, slot {}", i);
+                if hint.overlap_zero {
+                    let jaccard = ValueOverlapMatcher::new().score(&source, target);
+                    prop_assert_eq!(
+                        jaccard.to_bits(), 0.0f64.to_bits(),
+                        "pruned overlap, slot {}", i
+                    );
+                }
+            }
+        }
+
+        /// Pruned and unpruned matching are **byte-identical** on arbitrary
+        /// column batches: same accepted matches, same raw pair scores, same
+        /// per-attribute score distributions, down to the Debug rendering
+        /// (which round-trips `f64` bits).
+        #[test]
+        fn indexed_matching_is_byte_identical(
+            sources_raw in batch_values(),
+            targets_raw in batch_values(),
+        ) {
+            let interner = Arc::new(GramInterner::new());
+            let sources: Vec<ColumnData> = sources_raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, vals)| column("s", &format!("a{i}"), texts(vals), &interner))
+                .collect();
+            let targets: Vec<ColumnData> = targets_raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, vals)| column("t", &format!("c{i}"), texts(vals), &interner))
+                .collect();
+            let index = GramIndex::build(&targets);
+            let matcher = StandardMatcher::with_defaults();
+            let plain = matcher.match_columns(&sources, &targets);
+            let indexed = matcher.match_columns_indexed(&sources, &targets, Some(&index));
+            prop_assert_eq!(
+                format!("{:?}", plain.accepted),
+                format!("{:?}", indexed.accepted)
+            );
+            prop_assert_eq!(
+                format!("{:?}", plain.all_pairs),
+                format!("{:?}", indexed.all_pairs)
+            );
+            for source in &sources {
+                for matcher_name in ["name", "qgram", "overlap", "numeric"] {
+                    prop_assert_eq!(
+                        plain.distribution(&source.attr, matcher_name),
+                        indexed.distribution(&source.attr, matcher_name),
+                        "distribution for {:?}/{}", source.attr, matcher_name
+                    );
+                }
+            }
+        }
+    }
+}
+
 mod par_shim {
     use proptest::prelude::*;
     use rayon::prelude::*;
