@@ -181,9 +181,9 @@ mod tests {
 
     #[test]
     fn similar_strings_share_many_grams() {
-        let a: std::collections::HashSet<_> = qgrams("hardcover", 3).into_iter().collect();
-        let b: std::collections::HashSet<_> = qgrams("hardcovers", 3).into_iter().collect();
-        let c: std::collections::HashSet<_> = qgrams("audio cd", 3).into_iter().collect();
+        let a: std::collections::BTreeSet<_> = qgrams("hardcover", 3).into_iter().collect();
+        let b: std::collections::BTreeSet<_> = qgrams("hardcovers", 3).into_iter().collect();
+        let c: std::collections::BTreeSet<_> = qgrams("audio cd", 3).into_iter().collect();
         let ab = a.intersection(&b).count();
         let ac = a.intersection(&c).count();
         assert!(ab > ac, "near-duplicates should overlap more than unrelated strings");

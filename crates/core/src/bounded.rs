@@ -23,7 +23,9 @@ use std::hash::Hash;
 #[derive(Debug, Clone)]
 pub struct BoundedCache<K, V> {
     capacity: usize,
+    // cxm-lint: allow(C001, reason = "this IS the bound: insert() evicts oldest-first past `capacity`")
     entries: HashMap<K, V>,
+    // cxm-lint: allow(C001, reason = "one entry per `entries` key, popped in lock-step by eviction")
     order: VecDeque<K>,
     hits: usize,
     misses: usize,
@@ -122,8 +124,10 @@ impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
         }
     }
 
-    /// Iterate over the cached values (arbitrary order).
+    /// Iterate over the cached values (arbitrary order — callers must not
+    /// let the visit order reach any deterministic output).
     pub fn values(&self) -> impl Iterator<Item = &V> {
+        // cxm-lint: allow(D001, reason = "order-independent use only: telemetry counting and set-shaped reductions")
         self.entries.values()
     }
 }

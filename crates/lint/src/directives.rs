@@ -1,0 +1,195 @@
+//! The in-source escape hatch: `// cxm-lint: allow(ID, reason = "…")`.
+//!
+//! A directive must be the start of its comment (leading doc-comment
+//! markers and whitespace ignored), may list several rule IDs, and **must**
+//! carry a non-empty reason — a bare allow is itself a finding (`A001`), as
+//! is an allow that suppresses nothing (`A002`): suppressions are meant to
+//! document a justified exception, not to accumulate.
+//!
+//! Placement: a trailing directive covers findings on its own line; a
+//! standalone comment line covers the next line that has code.
+
+use crate::report::Finding;
+use crate::rules::rule_ids;
+use crate::scan::Scanned;
+
+/// One parsed allow directive.
+#[derive(Debug)]
+pub struct Allow {
+    /// Line the directive comment sits on.
+    pub line: u32,
+    /// The code line this directive covers.
+    pub target_line: Option<u32>,
+    /// Rule IDs listed, e.g. `["D001"]`.
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Which of `rules` actually suppressed a finding (same indices).
+    pub used: Vec<bool>,
+}
+
+/// Extract every directive from a file's comments. Malformed directives
+/// (missing reason, unknown rule ID, bad syntax) become findings
+/// immediately.
+pub fn parse_allows(scanned: &Scanned, path: &str) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for comment in &scanned.comments {
+        let text = comment.text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = text.strip_prefix("cxm-lint:") else { continue };
+        let bad = |message: String| Finding {
+            rule: "A001",
+            path: path.to_string(),
+            line: comment.line,
+            message,
+        };
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            findings.push(bad(format!("unknown cxm-lint directive: `{text}`")));
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(body) = rest.strip_prefix('(').and_then(|r| r.strip_suffix(')')) else {
+            findings.push(bad("malformed allow: expected `allow(ID, reason = \"…\")`".into()));
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut reason: Option<String> = None;
+        // The reason string may itself contain commas; split on commas only
+        // outside quotes.
+        for part in split_top_level(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some(value) = part.strip_prefix("reason") {
+                let value = value.trim().strip_prefix('=').map(str::trim);
+                match value.and_then(unquote) {
+                    Some(r) if !r.trim().is_empty() => reason = Some(r.trim().to_string()),
+                    _ => {
+                        findings.push(bad("allow reason must be a non-empty quoted string".into()));
+                        reason = None;
+                        rules.clear();
+                        break;
+                    }
+                }
+            } else if rule_ids().contains(&part) {
+                rules.push(part.to_string());
+            } else {
+                findings.push(bad(format!("unknown rule ID in allow: `{part}`")));
+                rules.clear();
+                break;
+            }
+        }
+        if rules.is_empty() {
+            // Either malformed (already reported) or listed no rule at all.
+            if findings.last().map(|f| f.line) != Some(comment.line) {
+                findings.push(bad("allow lists no rule ID".into()));
+            }
+            continue;
+        }
+        let Some(reason) = reason else {
+            findings.push(bad(format!(
+                "bare allow({}) without a reason — every suppression must say why",
+                rules.join(", ")
+            )));
+            continue;
+        };
+        let target_line = if scanned.line_has_code(comment.line) {
+            Some(comment.line)
+        } else {
+            scanned.next_code_line(comment.line)
+        };
+        let used = vec![false; rules.len()];
+        allows.push(Allow { line: comment.line, target_line, rules, reason, used });
+    }
+    (allows, findings)
+}
+
+/// After the rules ran: every listed rule that never fired is a stale
+/// suppression (`A002`).
+pub fn unused_allow_findings(allows: &[Allow], path: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for allow in allows {
+        for (rule, used) in allow.rules.iter().zip(&allow.used) {
+            if !used {
+                findings.push(Finding {
+                    rule: "A002",
+                    path: path.to_string(),
+                    line: allow.line,
+                    message: format!(
+                        "allow({rule}) suppresses nothing on its target line — remove it"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+                escaped = false;
+            }
+            _ => escaped = false,
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn unquote(s: &str) -> Option<String> {
+    let s = s.trim();
+    s.strip_prefix('"').and_then(|s| s.strip_suffix('"')).map(|s| s.replace("\\\"", "\""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    #[test]
+    fn parses_trailing_and_standalone_allows() {
+        let src = "let a = 1; // cxm-lint: allow(D001, reason = \"keyed, not ordered\")\n\
+                   // cxm-lint: allow(P001, D002, reason = \"test-only; x, y\")\n\
+                   let b = 2;\n";
+        let scanned = scan(src);
+        let (allows, findings) = parse_allows(&scanned, "f.rs");
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0].target_line, Some(1));
+        assert_eq!(allows[0].rules, vec!["D001"]);
+        assert_eq!(allows[1].target_line, Some(3));
+        assert_eq!(allows[1].rules, vec!["P001", "D002"]);
+        assert_eq!(allows[1].reason, "test-only; x, y");
+    }
+
+    #[test]
+    fn bare_allow_and_unknown_rule_are_findings() {
+        let src = "// cxm-lint: allow(D001)\n// cxm-lint: allow(Z999, reason = \"no\")\n\
+                   // cxm-lint: allow(D001, reason = \"\")\nlet a = 1;\n";
+        let (allows, findings) = parse_allows(&scan(src), "f.rs");
+        assert!(allows.is_empty());
+        assert_eq!(findings.len(), 3);
+        assert!(findings.iter().all(|f| f.rule == "A001"));
+        assert!(findings[0].message.contains("without a reason"));
+    }
+
+    #[test]
+    fn prose_mentions_are_not_directives() {
+        let src = "//! The escape hatch is `cxm-lint: allow(D001, reason = \"…\")`.\nlet a = 1;\n";
+        let (allows, findings) = parse_allows(&scan(src), "f.rs");
+        assert!(allows.is_empty());
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! `cxm-lint` — the workspace invariant checker.
+//!
+//! Every optimization in this repository stands on two invariants the Rust
+//! compiler cannot see (ROADMAP "Invariants"): **determinism** — warm,
+//! sharded, interned and indexed paths must stay byte-identical to their
+//! serial references — and **warm soundness** — every cache-reuse decision
+//! must reduce to fingerprint equality. The equivalence tests catch
+//! violations *after* they ship a wrong score; this tool catches the hazard
+//! classes at the source level:
+//!
+//! * `D001` — iteration over `HashMap`/`HashSet` in deterministic-output
+//!   crates (keyed lookup is fine; iteration order is not reproducible);
+//! * `D002` — `Instant::now`/`SystemTime` outside harness/bench/telemetry;
+//! * `D003` — float accumulation fed directly by a hash-collection
+//!   iterator (FP addition is not associative);
+//! * `P001` — `.unwrap()`/`.expect(…)` on lock guards in `cxm-service`;
+//! * `P002` — `#[ignore]` without a reason;
+//! * `C001` — growable collection fields in `*Cache*` types without a
+//!   bound annotation.
+//!
+//! The escape hatch is an allow directive at the start of a comment —
+//! trailing on the offending line or standalone on the line above:
+//!
+//! ```text
+//! let v: Vec<_> = m.values().collect(); // cxm-lint: allow(D001, reason = "sorted below")
+//! ```
+//!
+//! A bare allow without a reason is itself an error (`A001`), and an allow
+//! that suppresses nothing is too (`A002`), so suppressions stay few,
+//! current, and justified. The committed `LINT_BASELINE.json` pins per-rule
+//! suppression counts; `cxm-lint --check-baseline` fails when a change adds
+//! one silently.
+//!
+//! The implementation is a hand-rolled token-level scanner (see
+//! [`scan`]) — no `syn`, no crates.io. `docs/INVARIANTS.md` catalogues each
+//! rule, the invariant it protects, worked examples, and the scanner's
+//! known limits.
+
+pub mod directives;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use report::{parse_baseline, Finding, Report, Suppression};
+pub use rules::RULES;
+
+/// Lint one file's source text. `crate_name` is the workspace member
+/// directory under `crates/` (or `"tests"`); `rel_path` appears in
+/// diagnostics and selects telemetry-module exemptions.
+pub fn lint_source(
+    crate_name: &str,
+    rel_path: &str,
+    source: &str,
+) -> (Vec<Finding>, Vec<Suppression>) {
+    let scanned = scan::scan(source);
+    let (mut allows, mut findings) = directives::parse_allows(&scanned, rel_path);
+    let raw = rules::check(crate_name, rel_path, &scanned);
+    let mut suppressions = Vec::new();
+    'raw: for r in raw {
+        for allow in allows.iter_mut() {
+            if allow.target_line == Some(r.line) {
+                if let Some(idx) = allow.rules.iter().position(|id| id == r.rule) {
+                    allow.used[idx] = true;
+                    suppressions.push(Suppression {
+                        rule: r.rule,
+                        path: rel_path.to_string(),
+                        line: r.line,
+                        reason: allow.reason.clone(),
+                    });
+                    continue 'raw;
+                }
+            }
+        }
+        findings.push(Finding {
+            rule: r.rule,
+            path: rel_path.to_string(),
+            line: r.line,
+            message: r.message,
+        });
+    }
+    findings.extend(directives::unused_allow_findings(&allows, rel_path));
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    (findings, suppressions)
+}
+
+/// Lint the whole workspace rooted at `root`: every `crates/*/src/**/*.rs`
+/// plus the integration-test crate `tests/`. Walk order (and therefore
+/// report order) is path-sorted and deterministic.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} has no crates/ directory — not a workspace root", root.display()),
+        ));
+    }
+    let mut files: Vec<(String, PathBuf)> = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
+        collect_rs(&dir.join("src"), &mut files, &name)?;
+    }
+    collect_rs(&root.join("tests"), &mut files, "tests")?;
+
+    let mut report = Report::default();
+    for (crate_name, path) in &files {
+        let source = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let (findings, suppressions) = lint_source(crate_name, &rel, &source);
+        report.findings.extend(findings);
+        report.suppressions.extend(suppressions);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, files: &mut Vec<(String, PathBuf)>, crate_name: &str) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, files, crate_name)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push((crate_name.to_string(), path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allows_suppress_and_unused_allows_report() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   // cxm-lint: allow(D001, reason = \"order-independent count\")\n\
+                   fn f(s: S) { let n = s.m.values().count(); }\n\
+                   // cxm-lint: allow(P002, reason = \"stale\")\n\
+                   fn g() {}\n";
+        let (findings, suppressions) = lint_source("core", "crates/core/src/x.rs", src);
+        assert_eq!(suppressions.len(), 1, "{suppressions:?}");
+        assert_eq!(suppressions[0].rule, "D001");
+        assert_eq!(suppressions[0].reason, "order-independent count");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "A002");
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: S) { for x in s.m {} } // cxm-lint: allow(D001, reason = \"sink is a set\")\n";
+        let (findings, suppressions) = lint_source("core", "x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressions.len(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! The `cxm-lint` binary — the CI invariant gate.
+//!
+//! ```text
+//! cxm-lint [--root DIR] [--json] [--write-baseline FILE] [--check-baseline FILE]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (or baseline drift), `2` usage/IO
+//! error. `--json` writes the full machine-readable report to stdout;
+//! `--check-baseline` additionally diffs the per-rule suppression counts
+//! against the committed baseline so new escape hatches cannot ship
+//! silently (`--write-baseline` regenerates it after a reviewed change).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut check_baseline: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => json = true,
+            "--write-baseline" => match args.next() {
+                Some(f) => write_baseline = Some(PathBuf::from(f)),
+                None => return usage("--write-baseline needs a file"),
+            },
+            "--check-baseline" => match args.next() {
+                Some(f) => check_baseline = Some(PathBuf::from(f)),
+                None => return usage("--check-baseline needs a file"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "cxm-lint — workspace invariant checker\n\n\
+                     USAGE: cxm-lint [--root DIR] [--json] [--write-baseline FILE] \
+                     [--check-baseline FILE]\n\nRULES:"
+                );
+                for (id, summary) in cxm_lint::RULES {
+                    println!("  {id}  {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let report = match cxm_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("cxm-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.human());
+    }
+
+    if let Some(path) = write_baseline {
+        if let Err(err) = std::fs::write(&path, report.baseline_json()) {
+            eprintln!("cxm-lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("cxm-lint: baseline written to {}", path.display());
+    }
+
+    let mut failed = !report.is_clean();
+    if let Some(path) = check_baseline {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match cxm_lint::parse_baseline(&text) {
+                Ok(baseline) => {
+                    let live = report.suppression_counts();
+                    let mut rules: Vec<&str> = baseline.keys().map(String::as_str).collect();
+                    rules.extend(live.keys());
+                    rules.sort_unstable();
+                    rules.dedup();
+                    for rule in rules {
+                        let pinned = baseline.get(rule).copied().unwrap_or(0);
+                        let now = live.get(rule).copied().unwrap_or(0);
+                        if now > pinned {
+                            eprintln!(
+                                "cxm-lint: {rule} suppressions grew {pinned} -> {now}; justify \
+                                 the new allow, then regenerate with --write-baseline"
+                            );
+                            failed = true;
+                        } else if now < pinned {
+                            eprintln!(
+                                "cxm-lint: {rule} suppressions shrank {pinned} -> {now}; \
+                                 baseline is stale, regenerate with --write-baseline"
+                            );
+                            failed = true;
+                        }
+                    }
+                }
+                Err(err) => {
+                    eprintln!("cxm-lint: bad baseline {}: {err}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(err) => {
+                eprintln!("cxm-lint: cannot read {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cxm-lint: {msg} (see --help)");
+    ExitCode::from(2)
+}

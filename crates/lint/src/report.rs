@@ -1,0 +1,211 @@
+//! Findings, suppressions, and the machine-readable report.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule ID (`D001`, `P001`, … or the directive meta-rules `A001`/`A002`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the triggering token.
+    pub line: u32,
+    pub message: String,
+}
+
+/// One rule violation silenced by an in-source
+/// `// cxm-lint: allow(ID, reason = "…")` directive. Suppressions are part
+/// of the report: the baseline check diffs their per-rule counts so new
+/// escape hatches cannot ship silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// The outcome of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub suppressions: Vec<Suppression>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Violations per rule ID (only rules that fired).
+    pub fn finding_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for f in &self.findings {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Used suppressions per rule ID — the quantity the committed baseline
+    /// (`LINT_BASELINE.json`) pins.
+    pub fn suppression_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for s in &self.suppressions {
+            *counts.entry(s.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Human-readable diagnostics, one finding per line, `path:line: [ID]`.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        let _ = writeln!(
+            out,
+            "{} file(s) scanned, {} finding(s), {} suppression(s) in use",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressions.len()
+        );
+        out
+    }
+
+    /// The full machine-readable report. Flat, stable formatting: one
+    /// finding/suppression per line, counts one rule per line, so shell
+    /// tooling can grep it even without a JSON parser.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let comma = if i + 1 < self.findings.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}",
+                f.rule,
+                escape(&f.path),
+                f.line,
+                escape(&f.message),
+                comma
+            );
+        }
+        out.push_str("  ],\n  \"suppressions\": [\n");
+        for (i, s) in self.suppressions.iter().enumerate() {
+            let comma = if i + 1 < self.suppressions.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}{}",
+                s.rule,
+                escape(&s.path),
+                s.line,
+                escape(&s.reason),
+                comma
+            );
+        }
+        out.push_str("  ],\n  \"finding_counts\": {\n");
+        write_counts(&mut out, &self.finding_counts());
+        out.push_str("  },\n  \"suppression_counts\": {\n");
+        write_counts(&mut out, &self.suppression_counts());
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Just the per-rule suppression counts — the baseline file format.
+    pub fn baseline_json(&self) -> String {
+        let mut out = String::from("{\n");
+        write_counts(&mut out, &self.suppression_counts());
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn write_counts(out: &mut String, counts: &BTreeMap<&'static str, usize>) {
+    let len = counts.len();
+    for (i, (rule, count)) in counts.iter().enumerate() {
+        let comma = if i + 1 < len { "," } else { "" };
+        let _ = writeln!(out, "    \"{rule}\": {count}{comma}");
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a flat `{"RULE": count, …}` baseline file (the exact shape
+/// [`Report::baseline_json`] writes). Tolerates whitespace; anything else
+/// is an error — the file is machine-written.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut counts = BTreeMap::new();
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| "baseline is not a JSON object".to_string())?;
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (key, value) =
+            part.split_once(':').ok_or_else(|| format!("malformed baseline entry: {part:?}"))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("malformed baseline count for {key}: {value:?}"))?;
+        counts.insert(key, value);
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_round_trips_baseline_counts() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "D001",
+                path: "crates/x/src/lib.rs".into(),
+                line: 3,
+                message: "iteration over `map`".into(),
+            }],
+            suppressions: vec![
+                Suppression {
+                    rule: "C001",
+                    path: "a.rs".into(),
+                    line: 1,
+                    reason: "bounded \"by\" capacity".into(),
+                },
+                Suppression { rule: "C001", path: "a.rs".into(), line: 2, reason: "r".into() },
+            ],
+            files_scanned: 2,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"D001\": 1"));
+        assert!(json.contains("\\\"by\\\""));
+        let baseline = parse_baseline(&report.baseline_json()).unwrap();
+        assert_eq!(baseline.get("C001"), Some(&2));
+        assert_eq!(baseline.len(), 1);
+    }
+}

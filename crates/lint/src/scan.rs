@@ -1,0 +1,288 @@
+//! Lexical scanning: turn Rust source into a token stream the rules can
+//! pattern-match, with string literals and comments stripped, plus the
+//! comment text itself (for `cxm-lint: allow(...)` directives).
+//!
+//! This is deliberately **not** a parser. The rules this workspace enforces
+//! (hash-order iteration, wall-clock reads, lock-guard unwraps, unannotated
+//! cache fields) are all recognizable from short token sequences, and a
+//! token-level scanner has no dependencies — the build environment has no
+//! crates.io access, so `syn` is not an option. The trade-off is documented
+//! per rule in `docs/INVARIANTS.md`: matching is per-file and name-based,
+//! and the escape hatch exists precisely because a scanner cannot prove
+//! intent.
+
+/// One lexical token of the comment- and string-stripped source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier, keyword, or numeric literal text.
+    Ident(String),
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct(char),
+    /// A string literal (content dropped — rules never read string bodies).
+    Str,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, text: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(t) if t == text)
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(t) => Some(t.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// One comment's text (without the `//` / `/*` markers; block comments yield
+/// one entry per line) and the line it sits on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The scan of one source file.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Scanned {
+    /// True when `line` carries at least one code token (used to decide
+    /// whether a standalone allow-comment targets the next code line).
+    pub fn line_has_code(&self, line: u32) -> bool {
+        // Tokens are in line order; a binary search would work but files are
+        // small and this is called a handful of times per file.
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// The first line after `line` that carries a code token, if any.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l > line)
+    }
+}
+
+/// Scan `source`, producing code tokens and comments.
+pub fn scan(source: &str) -> Scanned {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Scanned::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    let push_comment = |out: &mut Scanned, text: &str, line: u32| {
+        out.comments.push(Comment { text: text.to_string(), line });
+    };
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                // Line comment (incl. doc comments).
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                push_comment(&mut out, &bytes[start..j].iter().collect::<String>(), line);
+                i = j;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                let mut text = String::new();
+                while j < n && depth > 0 {
+                    if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if bytes[j] == '\n' {
+                            push_comment(&mut out, &text, line);
+                            text.clear();
+                            line += 1;
+                        } else {
+                            text.push(bytes[j]);
+                        }
+                        j += 1;
+                    }
+                }
+                push_comment(&mut out, &text, line);
+                i = j;
+            }
+            '"' => {
+                // Ordinary (escaped) string literal.
+                let mut j = i + 1;
+                while j < n {
+                    match bytes[j] {
+                        '\\' => j += 2,
+                        '"' => break,
+                        '\n' => {
+                            line += 1;
+                            j += 1;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                out.tokens.push(Token { tok: Tok::Str, line });
+                i = (j + 1).min(n);
+            }
+            '\'' => {
+                // Char literal vs lifetime. `'\...'` and `'x'` are chars;
+                // anything else (`'a`, `'static`) is a lifetime — skip just
+                // the quote and let the identifier tokenize normally.
+                if i + 1 < n && bytes[i + 1] == '\\' {
+                    let mut j = i + 2;
+                    while j < n && bytes[j] != '\'' {
+                        j += 1;
+                    }
+                    out.tokens.push(Token { tok: Tok::Str, line });
+                    i = (j + 1).min(n);
+                } else if i + 2 < n && bytes[i + 2] == '\'' {
+                    out.tokens.push(Token { tok: Tok::Str, line });
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                // Raw / byte string prefixes: r".."  r#".."#  br".."  b"..".
+                if j < n
+                    && (bytes[j] == '"' || bytes[j] == '#')
+                    && matches!(text.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr")
+                {
+                    let mut hashes = 0usize;
+                    let mut k = j;
+                    while k < n && bytes[k] == '#' {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if k < n && bytes[k] == '"' {
+                        if text.contains('r') || hashes > 0 {
+                            // Raw string: ends at `"` followed by `hashes` #s.
+                            let mut m = k + 1;
+                            'raw: while m < n {
+                                if bytes[m] == '\n' {
+                                    line += 1;
+                                } else if bytes[m] == '"' {
+                                    let mut h = 0usize;
+                                    while m + 1 + h < n && bytes[m + 1 + h] == '#' && h < hashes {
+                                        h += 1;
+                                    }
+                                    if h == hashes {
+                                        m += 1 + hashes;
+                                        break 'raw;
+                                    }
+                                }
+                                m += 1;
+                            }
+                            out.tokens.push(Token { tok: Tok::Str, line });
+                            i = m;
+                            continue;
+                        }
+                        // b"..." — ordinary escaping; fall through by leaving
+                        // the quote for the next loop iteration.
+                        out.tokens.push(Token { tok: Tok::Ident(text), line });
+                        i = j;
+                        continue;
+                    }
+                }
+                out.tokens.push(Token { tok: Tok::Ident(text), line });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n
+                    && (bytes[j].is_alphanumeric()
+                        || bytes[j] == '_'
+                        || (bytes[j] == '.' && j + 1 < n && bytes[j + 1].is_ascii_digit()))
+                {
+                    j += 1;
+                }
+                out.tokens.push(Token { tok: Tok::Ident(bytes[i..j].iter().collect()), line });
+                i = j;
+            }
+            other => {
+                out.tokens.push(Token { tok: Tok::Punct(other), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(s: &str) -> Vec<String> {
+        scan(s).tokens.iter().filter_map(|t| t.ident().map(str::to_string)).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r##"
+            // HashMap in a comment
+            let x = "HashMap in a string"; /* and /* nested */ here */
+            let y = r#"raw HashMap"#;
+            let c = 'h';
+            let l: &'static str = "s";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"static".to_string()));
+        let s = scan(src);
+        assert!(s.comments.iter().any(|c| c.text.contains("HashMap in a comment")));
+        assert!(s.comments.iter().any(|c| c.text.contains("nested")));
+    }
+
+    #[test]
+    fn tokens_carry_lines_and_code_detection_works() {
+        let src = "let a = 1;\n// only a comment\nlet b = 2;\n";
+        let s = scan(src);
+        assert!(s.line_has_code(1));
+        assert!(!s.line_has_code(2));
+        assert!(s.line_has_code(3));
+        assert_eq!(s.next_code_line(2), Some(3));
+        let first = &s.tokens[0];
+        assert!(first.is_ident("let") && first.line == 1);
+    }
+
+    #[test]
+    fn char_literals_do_not_swallow_code() {
+        let src = "let c = 'x'; let d = '\\n'; let e = vec!['a', 'b'];";
+        let s = scan(src);
+        let opens = s.tokens.iter().filter(|t| t.is_punct('[')).count();
+        let closes = s.tokens.iter().filter(|t| t.is_punct(']')).count();
+        assert_eq!(opens, closes);
+        assert!(s.tokens.iter().any(|t| t.is_ident("vec")));
+    }
+}

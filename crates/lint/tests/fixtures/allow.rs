@@ -1,0 +1,12 @@
+//! Directive meta-rule fixture: unknown IDs and unused allows.
+//! Linted as crate `core`; never compiled (cargo ignores tests/ subdirs).
+
+// cxm-lint: allow(D999, reason = "no such rule id")
+fn unknown_rule_id() {}
+
+// cxm-lint: allow(D001, reason = "nothing on the next line violates D001")
+fn unused_allow() {}
+
+fn clean() -> u32 {
+    41 + 1
+}

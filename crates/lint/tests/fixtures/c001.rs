@@ -1,0 +1,23 @@
+//! C001 fixture: growable collection fields in `*Cache*` types.
+//! Linted as crate `relational`; never compiled (cargo ignores tests/ subdirs).
+use std::collections::HashMap;
+
+struct ResultCache {
+    entries: HashMap<u64, f64>,
+    hits: usize,
+}
+
+struct AnnotatedCache {
+    // cxm-lint: allow(C001, reason = "bounded: insert() evicts oldest past `capacity`")
+    entries: HashMap<u64, f64>,
+    capacity: usize,
+}
+
+struct WrappedIsFine {
+    memo: std::sync::OnceLock<std::sync::Arc<Vec<u64>>>,
+}
+
+struct BareAllowCache {
+    // cxm-lint: allow(C001)
+    entries: HashMap<u64, f64>,
+}

@@ -1,0 +1,29 @@
+//! D001 fixture: hash-order iteration in a deterministic-output crate.
+//! Linted as crate `core`; never compiled (cargo ignores tests/ subdirs).
+use std::collections::HashMap;
+
+fn order_leaks(scores: &HashMap<String, f64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for key in scores {
+        out.push(key.0.clone());
+    }
+    out
+}
+
+fn key_list(scores: &HashMap<String, f64>) -> Vec<String> {
+    scores.keys().cloned().collect()
+}
+
+fn keyed_lookup_is_fine(scores: &HashMap<String, f64>) -> Option<f64> {
+    scores.get("isbn").copied()
+}
+
+fn suppressed(scores: &HashMap<String, f64>) -> usize {
+    // cxm-lint: allow(D001, reason = "feeds a count; any visit order gives the same total")
+    scores.values().count()
+}
+
+fn bare_allow_is_rejected(scores: &HashMap<String, f64>) -> usize {
+    // cxm-lint: allow(D001)
+    scores.values().count()
+}

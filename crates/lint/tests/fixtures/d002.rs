@@ -1,0 +1,24 @@
+//! D002 fixture: wall-clock reads outside harness/bench/telemetry.
+//! Linted as crate `core`; never compiled (cargo ignores tests/ subdirs).
+
+fn stamps_behaviour() -> std::time::Duration {
+    let started = std::time::Instant::now();
+    started.elapsed()
+}
+
+fn epoch_read() -> u64 {
+    let now = std::time::SystemTime::now();
+    now.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+fn suppressed() -> std::time::Duration {
+    // cxm-lint: allow(D002, reason = "coarse log stamp; never reaches a score or cache key")
+    let started = std::time::Instant::now();
+    started.elapsed()
+}
+
+fn bare_allow_is_rejected() -> std::time::Duration {
+    // cxm-lint: allow(D002)
+    let started = std::time::Instant::now();
+    started.elapsed()
+}

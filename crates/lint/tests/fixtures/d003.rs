@@ -1,0 +1,22 @@
+//! D003 fixture: float accumulation fed by a hash-collection iterator.
+//! Linted as crate `datagen` (NOT a deterministic-output crate) to pin that
+//! D003 fires everywhere; never compiled (cargo ignores tests/ subdirs).
+use std::collections::HashMap;
+
+fn order_dependent_sum(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}
+
+fn order_dependent_fold(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().fold(0.0, |acc, w| acc + w)
+}
+
+fn suppressed(weights: &HashMap<u32, f64>) -> f64 {
+    // cxm-lint: allow(D003, reason = "values are small integers stored as f64; addition is exact")
+    weights.values().sum::<f64>()
+}
+
+fn bare_allow_is_rejected(weights: &HashMap<u32, f64>) -> f64 {
+    // cxm-lint: allow(D003)
+    weights.values().sum::<f64>()
+}

@@ -1,0 +1,24 @@
+//! P001 fixture: panicking lock acquisition in the service crate.
+//! Linted as crate `service`; never compiled (cargo ignores tests/ subdirs).
+use std::sync::{Mutex, RwLock};
+
+fn panics_on_poison(counter: &Mutex<u32>) -> u32 {
+    *counter.lock().unwrap()
+}
+
+fn multiline_chain(snapshot: &RwLock<Vec<u32>>) -> usize {
+    snapshot
+        .read()
+        .expect("snapshot lock")
+        .len()
+}
+
+fn suppressed(counter: &Mutex<u32>) -> u32 {
+    // cxm-lint: allow(P001, reason = "demo of the escape hatch; production code uses lock_or_recover")
+    *counter.lock().unwrap()
+}
+
+fn bare_allow_is_rejected(counter: &Mutex<u32>) -> u32 {
+    // cxm-lint: allow(P001)
+    *counter.lock().unwrap()
+}

@@ -1,0 +1,34 @@
+//! The live gate, as a test: the workspace this crate ships in must lint
+//! clean, and the suppressions in use must match the committed baseline
+//! (`LINT_BASELINE.json`) exactly — the same check CI runs via
+//! `cxm-lint --check-baseline`, so `cargo test` catches drift locally.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+#[test]
+fn live_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    let report = cxm_lint::lint_workspace(root).expect("lint the live workspace");
+    assert!(report.files_scanned > 50, "walked the real tree, not a stub");
+    assert!(report.is_clean(), "live workspace has findings:\n{}", report.human());
+
+    let baseline_path = root.join("LINT_BASELINE.json");
+    let text = std::fs::read_to_string(&baseline_path).expect("committed LINT_BASELINE.json");
+    let baseline = cxm_lint::parse_baseline(&text).expect("parse baseline");
+    let live: BTreeMap<String, usize> =
+        report.suppression_counts().into_iter().map(|(rule, n)| (rule.to_string(), n)).collect();
+    assert_eq!(
+        live, baseline,
+        "suppression counts drifted from LINT_BASELINE.json — regenerate with \
+         `cargo run -p cxm-lint -- --write-baseline LINT_BASELINE.json` after review"
+    );
+    // Every suppression in the live tree carries a non-empty reason by
+    // construction (bare allows are A001 findings); spot-check the invariant.
+    for s in &report.suppressions {
+        assert!(!s.reason.trim().is_empty(), "{s:?}");
+    }
+}

@@ -61,7 +61,7 @@
 //! dropped or reordered) falls back to a full rebuild: slot ids are
 //! positional, and remapping every posting would cost as much as rebuilding.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use cxm_relational::AttrRef;
@@ -149,8 +149,11 @@ impl GramIndex {
             columns.iter().all(|c| c.interner().token() == token),
             "an index spans exactly one interner id space"
         );
-        let mut gram: HashMap<u32, Vec<(u32, f64)>> = HashMap::new();
-        let mut value: HashMap<u32, Vec<u32>> = HashMap::new();
+        // Ordered maps: `into_iter` below feeds the posting tables, and the
+        // reused/rebuilt accounting compares generations — keep the build
+        // order independent of hasher state (D001).
+        let mut gram: BTreeMap<u32, Vec<(u32, f64)>> = BTreeMap::new();
+        let mut value: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
         let mut slots = Vec::with_capacity(columns.len());
         for (i, column) in columns.iter().enumerate() {
             let slot = i as u32;
@@ -196,7 +199,7 @@ impl GramIndex {
         if !prev.same_shape(columns) {
             return GramIndex::build(columns);
         }
-        let changed: HashSet<usize> = columns
+        let changed: BTreeSet<usize> = columns
             .iter()
             .enumerate()
             .filter(|(i, c)| {
@@ -221,8 +224,8 @@ impl GramIndex {
 
         // New slots: changed columns re-post their (possibly new) artifacts.
         let mut slots = prev.slots.clone();
-        let mut touched_grams: HashSet<u32> = HashSet::new();
-        let mut touched_values: HashSet<u32> = HashSet::new();
+        let mut touched_grams: BTreeSet<u32> = BTreeSet::new();
+        let mut touched_values: BTreeSet<u32> = BTreeSet::new();
         for &i in &changed {
             if let Some(profile) = &prev.slots[i].profile {
                 touched_grams.extend(profile.entries().iter().map(|&(g, _)| g));

@@ -42,7 +42,7 @@
 //! [`telemetry`] counters make visible which kernel generation actually
 //! served each score.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 /// Process-wide instrumentation distinguishing the kernel generations: every
@@ -415,7 +415,7 @@ impl GramInterner {
     fn finish_counts(
         &self,
         mut known_ids: Vec<u32>,
-        unknown: HashMap<String, f64>,
+        unknown: BTreeMap<String, f64>,
     ) -> Vec<(u32, f64)> {
         known_ids.sort_unstable();
         let mut entries: Vec<(u32, f64)> = Vec::new();
@@ -426,9 +426,9 @@ impl GramInterner {
             }
         }
         if !unknown.is_empty() {
-            let mut pending: Vec<(String, f64)> = unknown.into_iter().collect();
-            // Sorted so id assignment within one batch is deterministic.
-            pending.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            // The miss map is a BTreeMap, so this batch is already sorted —
+            // id assignment within one batch is deterministic (D001).
+            let pending: Vec<(String, f64)> = unknown.into_iter().collect();
             let ids = self.grow(pending.iter().map(|(s, _)| s.clone()).collect());
             for ((_, count), id) in pending.into_iter().zip(ids) {
                 entries.push((id, count));
@@ -501,7 +501,7 @@ impl GramInterner {
     ) -> InternedProfile {
         let snap = self.snapshot();
         let mut known_ids: Vec<u32> = Vec::new();
-        let mut unknown: HashMap<String, f64> = HashMap::new();
+        let mut unknown: BTreeMap<String, f64> = BTreeMap::new();
         for text in texts {
             cxm_classify::for_each_qgram(text.as_ref(), q, |gram| match snap.by_text.get(gram) {
                 Some(id) => known_ids.push(id),
@@ -521,7 +521,7 @@ impl GramInterner {
     pub fn value_set<T: AsRef<str>>(&self, texts: impl Iterator<Item = T>) -> InternedValueSet {
         let snap = self.snapshot();
         let mut known_ids: Vec<u32> = Vec::new();
-        let mut unknown: HashMap<String, f64> = HashMap::new();
+        let mut unknown: BTreeMap<String, f64> = BTreeMap::new();
         for text in texts {
             let text = text.as_ref();
             match snap.by_text.get(text) {

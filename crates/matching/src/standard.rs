@@ -24,7 +24,7 @@
 //! (retained as [`StandardMatcher::match_databases_serial`] for equivalence
 //! tests and benches).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cxm_relational::{AttrRef, Database, Table};
 use rayon::prelude::*;
@@ -69,8 +69,10 @@ pub struct MatchingOutcome {
     pub accepted: MatchList,
     /// Every scored (source, target) pair regardless of threshold.
     pub all_pairs: MatchList,
-    /// Per (source attribute, matcher name) raw-score distribution.
-    distributions: HashMap<(AttrRef, &'static str), ScoreDistribution>,
+    /// Per (source attribute, matcher name) raw-score distribution. Ordered
+    /// so that merging shards and any future serialization of the calibration
+    /// data are independent of hasher state (D001).
+    distributions: BTreeMap<(AttrRef, &'static str), ScoreDistribution>,
 }
 
 impl MatchingOutcome {

@@ -52,7 +52,7 @@
 //!    intersect/unite member selections.
 
 use std::borrow::Cow;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use crate::condition::Condition;
@@ -676,8 +676,12 @@ impl<'a> ColumnSlice<'a> {
 /// [`SelectionCache::validate_fingerprint`].
 #[derive(Debug, Default, Clone)]
 pub struct SelectionCache {
-    tables: HashMap<String, TableAtoms>,
+    /// Per-table buckets; ordered so telemetry walks (`cached_atoms`,
+    /// `cached_tables`) are deterministic.
+    // cxm-lint: allow(C001, reason = "bounded by `capacity` via evict_over_capacity; unbounded only when the holder opts out")
+    tables: BTreeMap<String, TableAtoms>,
     /// Bucket creation order, for capacity eviction.
+    // cxm-lint: allow(C001, reason = "one entry per `tables` bucket, evicted in lock-step with it")
     order: std::collections::VecDeque<String>,
     /// Maximum number of table buckets retained (`None` = unbounded). A
     /// long-lived holder serving many distinct table sets bounds the cache
@@ -748,9 +752,7 @@ impl SelectionCache {
 
     /// Names of the tables with a cache bucket, sorted.
     pub fn cached_tables(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.tables.keys().cloned().collect();
-        names.sort();
-        names
+        self.tables.keys().cloned().collect()
     }
 
     /// Reconcile the bucket of `table` with the content fingerprint of the

@@ -10,7 +10,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
-use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use crate::lock::{MutexExt, RwLockExt};
 
 use cxm_core::{MatchResultCache, RestrictedProfileCache};
 use cxm_matching::{ColumnData, GramIndex, GramInterner};
@@ -230,9 +232,8 @@ impl CatalogSnapshot {
         // tables keep every selection whose condition reads only unchanged
         // columns (column-scoped revalidation). Source-table buckets — the
         // cache's main traffic — survive catalog updates untouched.
-        let mut selections = prev
-            .map(|p| p.selections.lock().unwrap_or_else(PoisonError::into_inner).clone())
-            .unwrap_or_default();
+        let mut selections =
+            prev.map(|p| p.selections.lock_or_recover().clone()).unwrap_or_default();
         let mut dropped = 0usize;
         if let Some(p) = prev {
             for (name, old_fp) in &p.fingerprints {
@@ -255,7 +256,7 @@ impl CatalogSnapshot {
         // source-column content fingerprints, so no target update can make an
         // entry stale, and the capacity bound ages out dead content.
         let restricted_profiles = prev
-            .map(|p| p.restricted_profiles.lock().unwrap_or_else(PoisonError::into_inner).clone())
+            .map(|p| p.restricted_profiles.lock_or_recover().clone())
             .unwrap_or_else(|| RestrictedProfileCache::with_capacity(restricted_capacity));
 
         // Carry the whole-match result cache forward as-is: its keys embed
@@ -263,7 +264,7 @@ impl CatalogSnapshot {
         // unreachability (no stale serve is possible) and the bound ages
         // them out.
         let match_results = prev
-            .map(|p| p.match_results.lock().unwrap_or_else(PoisonError::into_inner).clone())
+            .map(|p| p.match_results.lock_or_recover().clone())
             .unwrap_or_else(|| MatchResultCache::with_capacity(result_capacity));
 
         // The gram index builds lazily (first request), so at update time we
@@ -506,11 +507,7 @@ impl TargetCatalog {
             restricted_capacity,
             result_capacity,
         );
-        snapshot
-            .selections
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .set_table_capacity(selection_capacity);
+        snapshot.selections.lock_or_recover().set_table_capacity(selection_capacity);
         TargetCatalog {
             current: RwLock::new(Arc::new(snapshot)),
             update_lock: Mutex::new(()),
@@ -528,7 +525,7 @@ impl TargetCatalog {
     /// The current snapshot. The returned `Arc` stays valid (and immutable)
     /// across later catalog updates.
     pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
-        Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
+        Arc::clone(&self.current.read_or_recover())
     }
 
     /// The current snapshot version.
@@ -595,7 +592,7 @@ impl TargetCatalog {
     where
         F: FnOnce(&CatalogSnapshot) -> Result<Database>,
     {
-        let _writers = self.update_lock.lock().unwrap_or_else(PoisonError::into_inner);
+        let _writers = self.update_lock.lock_or_recover();
         let prev = self.snapshot();
         let database = next_database(&prev)?;
         let (snapshot, update) = CatalogSnapshot::build(
@@ -606,7 +603,7 @@ impl TargetCatalog {
             self.restricted_capacity,
             self.result_capacity,
         );
-        *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
+        *self.current.write_or_recover() = Arc::new(snapshot);
         Ok(update)
     }
 }
@@ -757,7 +754,7 @@ mod tests {
         ));
         // The restricted-profile cache and interner carry across snapshots.
         assert!(Arc::ptr_eq(first.interner(), third.interner()));
-        assert_eq!(third.restricted_profiles().lock().unwrap().capacity(), 4096);
+        assert_eq!(third.restricted_profiles().lock_or_recover().capacity(), 4096);
     }
 
     #[test]
@@ -774,7 +771,7 @@ mod tests {
             // No explicit validation needed: selecting stamps the bucket
             // with the scanned instance's fingerprint, which is the
             // provenance the update's column-scoped retention trusts.
-            let mut cache = first.selections().lock().unwrap();
+            let mut cache = first.selections().lock_or_recover();
             let book = first.database().table("book").unwrap();
             cache.select(book, &Condition::eq("title", "middlemarch"));
             cache.select(book, &Condition::eq("format", "paperback"));
@@ -811,7 +808,7 @@ mod tests {
         // Selections: the title atom survived (warm hit), the format atom
         // was dropped with the changed column.
         {
-            let mut cache = second.selections().lock().unwrap();
+            let mut cache = second.selections().lock_or_recover();
             let (hits, misses) = (cache.hits(), cache.misses());
             cache.select(new_book, &Condition::eq("title", "middlemarch"));
             assert_eq!((cache.hits(), cache.misses()), (hits + 1, misses), "title atom warm");
@@ -894,7 +891,7 @@ mod tests {
         // Seed a selection for both a target table and an unrelated source
         // table in the shared cache.
         {
-            let mut cache = snap.selections().lock().unwrap();
+            let mut cache = snap.selections().lock_or_recover();
             let book = snap.database().table("book").unwrap();
             cache.select(book, &Condition::eq("format", "paperback"));
             let src = table("src", &[("x", "y")]);
@@ -903,7 +900,7 @@ mod tests {
         }
         catalog.replace_table(table("book", &[("new book", "paperback")])).unwrap();
         let next = catalog.snapshot();
-        let cache = next.selections().lock().unwrap();
+        let cache = next.selections().lock_or_recover();
         // The changed table's bucket is gone; the source bucket survived.
         assert_eq!(cache.cached_tables(), vec!["src".to_string()]);
     }

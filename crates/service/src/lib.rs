@@ -45,9 +45,11 @@
 //! this equivalence and the zero-target-rebuild guarantee.
 
 mod catalog;
+mod lock;
 mod service;
 
 pub use catalog::{
     CatalogSnapshot, CatalogUpdate, TargetCatalog, DEFAULT_RESTRICTED_PROFILE_CAPACITY,
 };
+pub use lock::{MutexExt, RwLockExt};
 pub use service::{MatchResponse, MatchService, RequestTelemetry, ServiceConfig};

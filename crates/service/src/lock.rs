@@ -1,0 +1,84 @@
+//! Poison-recovering lock acquisition.
+//!
+//! Every shared structure in this crate (snapshot caches, the source
+//! column-batch cache, the catalog's update lock) holds **fingerprint-keyed,
+//! idempotently rebuildable** state: a writer that panicked mid-update can
+//! leave a cache *stale* but never *wrong*, because every read is validated
+//! against content fingerprints before it is served. Propagating the poison
+//! as a panic would instead take the whole service down on the next request
+//! — turning one failed request into an outage.
+//!
+//! These extension traits make that recovery decision explicit and searchable
+//! (`cxm-lint` rule P001 rejects bare `.lock().unwrap()` on guards in this
+//! crate): acquiring through `lock_or_recover` / `read_or_recover` /
+//! `write_or_recover` documents that the caller has a story for observing
+//! post-panic state.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Poison-recovering [`Mutex`] acquisition.
+pub trait MutexExt<T> {
+    /// Lock, recovering the guard from a poisoned mutex instead of
+    /// panicking. Callers must tolerate state written by a panicked
+    /// critical section — in this crate that means fingerprint-validated,
+    /// rebuildable cache state only.
+    fn lock_or_recover(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> MutexExt<T> for Mutex<T> {
+    fn lock_or_recover(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Poison-recovering [`RwLock`] acquisition.
+pub trait RwLockExt<T> {
+    /// Read-lock, recovering from poison instead of panicking.
+    fn read_or_recover(&self) -> RwLockReadGuard<'_, T>;
+    /// Write-lock, recovering from poison instead of panicking.
+    fn write_or_recover(&self) -> RwLockWriteGuard<'_, T>;
+}
+
+impl<T> RwLockExt<T> for RwLock<T> {
+    fn read_or_recover(&self) -> RwLockReadGuard<'_, T> {
+        self.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_or_recover(&self) -> RwLockWriteGuard<'_, T> {
+        self.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_poisoned_mutex() {
+        let shared = Arc::new(Mutex::new(1));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock_or_recover();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(shared.is_poisoned());
+        assert_eq!(*shared.lock_or_recover(), 1);
+    }
+
+    #[test]
+    fn recovers_poisoned_rwlock() {
+        let shared = Arc::new(RwLock::new(7));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.write_or_recover();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(shared.is_poisoned());
+        assert_eq!(*shared.read_or_recover(), 7);
+        *shared.write_or_recover() = 8;
+        assert_eq!(*shared.read_or_recover(), 8);
+    }
+}

@@ -1,7 +1,9 @@
 //! Request execution over the warm catalog.
 
 use std::fmt;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
+
+use crate::lock::MutexExt;
 
 use cxm_core::{
     ContextMatchConfig, ContextMatchResult, ContextualMatcher, MatchResultKey,
@@ -328,7 +330,7 @@ impl MatchService {
             config_signature: self.config_signature,
         };
         let cached = {
-            let mut cache = snapshot.match_results().lock().unwrap_or_else(PoisonError::into_inner);
+            let mut cache = snapshot.match_results().lock_or_recover();
             if cache.capacity() > 0 {
                 cache.get(&result_key)
             } else {
@@ -346,13 +348,12 @@ impl MatchService {
             });
         }
 
-        let source_evictions_before =
-            self.sources.lock().unwrap_or_else(PoisonError::into_inner).evictions();
+        let source_evictions_before = self.sources.lock_or_recover().evictions();
         let (source_columns, source_cache_hit) =
             self.source_columns(source, source_key, snapshot.interner());
 
         let (hits_before, misses_before) = {
-            let cache = snapshot.selections().lock().unwrap_or_else(PoisonError::into_inner);
+            let cache = snapshot.selections().lock_or_recover();
             (cache.hits(), cache.misses())
         };
         // With a capacity-0 (disabled) cache, don't thread it into scoring
@@ -364,8 +365,7 @@ impl MatchService {
             profile_evictions_before,
             restricted_profiles,
         ) = {
-            let cache =
-                snapshot.restricted_profiles().lock().unwrap_or_else(PoisonError::into_inner);
+            let cache = snapshot.restricted_profiles().lock_or_recover();
             let enabled = (cache.capacity() > 0).then(|| snapshot.restricted_profiles());
             (cache.hits(), cache.misses(), cache.evictions(), enabled)
         };
@@ -400,16 +400,14 @@ impl MatchService {
         )?;
 
         let (hits_after, misses_after) = {
-            let cache = snapshot.selections().lock().unwrap_or_else(PoisonError::into_inner);
+            let cache = snapshot.selections().lock_or_recover();
             (cache.hits(), cache.misses())
         };
         let (profile_hits_after, profile_misses_after, profile_evictions_after) = {
-            let cache =
-                snapshot.restricted_profiles().lock().unwrap_or_else(PoisonError::into_inner);
+            let cache = snapshot.restricted_profiles().lock_or_recover();
             (cache.hits(), cache.misses(), cache.evictions())
         };
-        let source_evictions_after =
-            self.sources.lock().unwrap_or_else(PoisonError::into_inner).evictions();
+        let source_evictions_after = self.sources.lock_or_recover().evictions();
         let telemetry = RequestTelemetry {
             catalog_version: snapshot.version(),
             result_cache_hit: false,
@@ -435,7 +433,7 @@ impl MatchService {
         // return exactly this response's result, bit for bit.
         let result = Arc::new(result);
         {
-            let mut cache = snapshot.match_results().lock().unwrap_or_else(PoisonError::into_inner);
+            let mut cache = snapshot.match_results().lock_or_recover();
             if cache.capacity() > 0 {
                 cache.insert(result_key, Arc::clone(&result));
             }
@@ -451,8 +449,7 @@ impl MatchService {
         key: u64,
         interner: &Arc<GramInterner>,
     ) -> (Arc<PreparedSourceColumns<'static>>, bool) {
-        if let Some(columns) = self.sources.lock().unwrap_or_else(PoisonError::into_inner).get(key)
-        {
+        if let Some(columns) = self.sources.lock_or_recover().get(key) {
             return (columns, true);
         }
         // Build outside the lock: extraction clones every source value, and
@@ -460,7 +457,7 @@ impl MatchService {
         // requests. A racing builder is benign — batches are content-equal —
         // but the first inserted Arc stays canonical.
         let columns = Arc::new(build_source_columns(source, interner));
-        let mut cache = self.sources.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut cache = self.sources.lock_or_recover();
         if let Some(existing) = cache.get(key) {
             return (existing, true);
         }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Regenerate the machine-readable per-PR bench reports at the repo root.
+# Regenerate the machine-readable per-PR bench reports at the repo root —
+# or, with --check, run the invariant gate instead of any benches.
 #
-# Runs the report pseudo-benches of crates/bench/benches/bench_scaling.rs:
+# Benches: runs the report pseudo-benches of
+# crates/bench/benches/bench_scaling.rs:
 #
 #   pr4_report  -> BENCH_PR4.json  (interned kernel + warm-service ladder)
 #   pr5_report  -> BENCH_PR5.json  (catalog-delta reuse ladder)
@@ -12,9 +14,21 @@
 # Each report takes medians over several in-process runs; run on an
 # otherwise idle machine for stable numbers. Pass report names to run a
 # subset, e.g.:  scripts/bench_pr.sh pr6_report
+#
+# Gate mode:  scripts/bench_pr.sh --check
+#   Runs `cxm-lint` over the workspace, prints the JSON report, and diffs
+#   the per-rule suppression counts against the committed LINT_BASELINE.json
+#   (both growth and shrink fail) — exactly what the CI lint job runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--check" ]; then
+    echo "== cxm-lint --check-baseline LINT_BASELINE.json =="
+    cargo run --release -q -p cxm-lint -- --json --check-baseline LINT_BASELINE.json
+    echo "== clean: no findings, suppressions match the baseline =="
+    exit 0
+fi
 
 reports=("$@")
 if [ ${#reports[@]} -eq 0 ]; then

@@ -1,0 +1,69 @@
+//! Iteration-order independence of `ContextMatchResult`.
+//!
+//! Rust's `HashMap`/`HashSet` use a per-instance random hasher seed, so any
+//! hash-order iteration that reaches an output produces a *differently
+//! ordered* result on every construction — within one process, across two
+//! back-to-back runs. These tests pin the property the `cxm-lint` D001 rule
+//! enforces statically: every collection whose visit order can reach a
+//! score, a match list, or a view definition is ordered (`BTreeMap`) or
+//! explicitly sorted, so repeated runs are **byte-identical**, not merely
+//! set-equal.
+
+use cxm_core::{ContextMatchConfig, ContextualMatcher, ViewInferenceStrategy};
+use cxm_datagen::{generate_multi_table_retail, RetailConfig};
+use cxm_matching::{MatchingConfig, StandardMatcher};
+
+fn scenario() -> (cxm_relational::Database, cxm_relational::Database) {
+    let base = RetailConfig { source_items: 100, target_rows: 40, ..RetailConfig::default() };
+    generate_multi_table_retail(&base, 3)
+}
+
+/// Render every ordered surface of a result, in order. Two runs must agree
+/// on this string byte for byte — `Debug` includes the f64 confidences with
+/// full precision, so reordered float accumulation shows up too.
+fn render(result: &cxm_core::ContextMatchResult) -> String {
+    format!(
+        "selected={:?}\nstandard={:?}\ncandidates={:?}\nviews={:?}\nfamilies={:?}",
+        result.selected,
+        result.standard,
+        result.candidates,
+        result.candidate_views,
+        result.families,
+    )
+}
+
+#[test]
+fn context_match_result_is_iteration_order_independent() {
+    let (source, target) = scenario();
+    let config =
+        ContextMatchConfig::default().with_inference(ViewInferenceStrategy::SrcClass).with_tau(0.4);
+    let matcher = ContextualMatcher::new(config);
+    let reference = render(&matcher.run(&source, &target).unwrap());
+    for round in 0..3 {
+        // A fresh matcher per round: every internal HashMap is rebuilt with
+        // a fresh random hasher state, so any order leak diverges here.
+        let matcher = ContextualMatcher::new(
+            ContextMatchConfig::default()
+                .with_inference(ViewInferenceStrategy::SrcClass)
+                .with_tau(0.4),
+        );
+        let again = render(&matcher.run(&source, &target).unwrap());
+        assert_eq!(reference, again, "round {round} diverged from the reference run");
+    }
+}
+
+#[test]
+fn standard_match_outcome_is_iteration_order_independent() {
+    let (source, target) = scenario();
+    let reference = {
+        let matcher = StandardMatcher::new(MatchingConfig::with_tau(0.4));
+        let outcome = matcher.match_databases(&source, &target);
+        format!("{:?}\n{:?}", outcome.accepted, outcome.all_pairs)
+    };
+    for round in 0..3 {
+        let matcher = StandardMatcher::new(MatchingConfig::with_tau(0.4));
+        let outcome = matcher.match_databases(&source, &target);
+        let again = format!("{:?}\n{:?}", outcome.accepted, outcome.all_pairs);
+        assert_eq!(reference, again, "round {round} diverged from the reference run");
+    }
+}
