@@ -12,6 +12,9 @@
 //! * [`service`] — the long-lived match service: a fingerprinted,
 //!   snapshot-swapped target catalog with warm-artifact reuse
 //!   (`MatchService`, `TargetCatalog`).
+//! * [`server`] — the multi-tenant network front-end: framed JSON-over-TCP
+//!   serving with admission control, per-request deadline budgets, and
+//!   per-tenant warm-state quotas over isolated `MatchService`s.
 //! * [`mapping`] — the §4 schema-mapping extensions (Clio-style queries).
 //! * [`datagen`] — deterministic synthetic datasets for the paper's figures.
 
@@ -21,5 +24,6 @@ pub use cxm_datagen as datagen;
 pub use cxm_mapping as mapping;
 pub use cxm_matching as matching;
 pub use cxm_relational as relational;
+pub use cxm_server as server;
 pub use cxm_service as service;
 pub use cxm_stats as stats;

@@ -13,7 +13,8 @@
 //! * `D002` — `Instant::now`/`SystemTime` outside harness/bench/telemetry;
 //! * `D003` — float accumulation fed directly by a hash-collection
 //!   iterator (FP addition is not associative);
-//! * `P001` — `.unwrap()`/`.expect(…)` on lock guards in `cxm-service`;
+//! * `P001` — `.unwrap()`/`.expect(…)` on lock guards in `cxm-service` and
+//!   `cxm-server`;
 //! * `P002` — `#[ignore]` without a reason;
 //! * `C001` — growable collection fields in `*Cache*` types without a
 //!   bound annotation.

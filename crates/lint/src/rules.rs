@@ -11,7 +11,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("D001", "no iteration over HashMap/HashSet in deterministic-output crates"),
     ("D002", "no Instant::now/SystemTime outside harness/bench/telemetry"),
     ("D003", "no float sum/fold fed directly by a hash-collection iterator"),
-    ("P001", "no unwrap()/expect() on lock guards in cxm-service"),
+    ("P001", "no unwrap()/expect() on lock guards in cxm-service/cxm-server"),
     ("P002", "every #[ignore] must carry a reason string"),
     ("C001", "growable collection fields in *Cache types must be annotated"),
     ("A001", "malformed cxm-lint directive (bare allow, unknown ID, bad syntax)"),
@@ -25,7 +25,8 @@ pub fn rule_ids() -> Vec<&'static str> {
 
 /// Crates whose output must be byte-identical across runs, schedules, and
 /// warm/cold paths (ROADMAP "Invariants"): D001/D003 fire here.
-const DETERMINISTIC_CRATES: &[&str] = &["relational", "matching", "classify", "core", "service"];
+const DETERMINISTIC_CRATES: &[&str] =
+    &["relational", "matching", "classify", "core", "service", "server"];
 
 /// Crates that measure wall-clock time as their purpose: D002 exempt.
 const TIMING_CRATES: &[&str] = &["harness", "bench"];
@@ -77,7 +78,7 @@ pub fn check(crate_name: &str, rel_path: &str, scanned: &Scanned) -> Vec<RawFind
     if !TIMING_CRATES.contains(&crate_name) && !rel_path.contains("telemetry") {
         findings.extend(wall_clock(toks));
     }
-    if crate_name == "service" {
+    if matches!(crate_name, "service" | "server") {
         findings.extend(lock_unwrap(toks));
     }
     findings.extend(ignore_without_reason(toks));
@@ -305,8 +306,8 @@ fn wall_clock(toks: &[Token]) -> Vec<RawFinding> {
 }
 
 /// P001: `.lock()/.read()/.write()` followed by `.unwrap()/.expect(` — a
-/// poisoned lock panics the request path. `cxm-service` handles poisoning
-/// deliberately via its `lock_or_recover` helpers.
+/// poisoned lock panics the request path. `cxm-service` and `cxm-server`
+/// handle poisoning deliberately via the `lock_or_recover` helpers.
 fn lock_unwrap(toks: &[Token]) -> Vec<RawFinding> {
     let mut findings = Vec::new();
     for i in 0..toks.len() {
@@ -540,11 +541,13 @@ mod tests {
     }
 
     #[test]
-    fn p001_catches_multiline_chains_in_service_only() {
+    fn p001_catches_multiline_chains_in_serving_crates_only() {
         let src = "fn f() { let g = self.current\n.read()\n.unwrap(); }";
         let hits = run("service", src);
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert_eq!((hits[0].rule, hits[0].line), ("P001", 3));
+        let hits = run("server", src);
+        assert_eq!(hits.len(), 1, "the front-end request path is covered too: {hits:?}");
         assert!(run("core", src).is_empty());
     }
 

@@ -1,0 +1,150 @@
+//! Bounded admission queue with explicit-reject backpressure.
+//!
+//! The serving layer's load-shedding decision lives here: a `submit` either
+//! gets a queue slot *now* or is rejected *now* with an `overloaded` frame —
+//! producers never block, so a slow pipeline can delay responses but can
+//! never wedge connection handlers, and the client always learns its
+//! request's fate. Consumers (the worker pool) block until work arrives or
+//! the queue is closed and drained, which is exactly the graceful-shutdown
+//! contract: close admits nothing new but every admitted job still runs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+use cxm_service::MutexExt;
+
+/// Why [`AdmissionQueue::try_push`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue is at capacity — shed load, tell the client to retry.
+    Full,
+    /// The queue is closed (server draining) — no new work is admitted.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue: non-blocking bounded producers, blocking consumers.
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` (min 1) pending jobs.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        AdmissionQueue {
+            inner: Mutex::new(Inner { jobs: VecDeque::with_capacity(capacity), closed: false }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting (racy by nature; telemetry only).
+    pub fn depth(&self) -> usize {
+        self.inner.lock_or_recover().jobs.len()
+    }
+
+    /// Admit a job without blocking. On refusal the job comes back to the
+    /// caller along with the reason, so the handler can still answer the
+    /// client — a rejected request is *replied to*, never dropped.
+    pub fn try_push(&self, job: T) -> Result<(), (T, AdmitError)> {
+        let mut inner = self.inner.lock_or_recover();
+        if inner.closed {
+            return Err((job, AdmitError::Closed));
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err((job, AdmitError::Full));
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Take the oldest job, blocking while the queue is open and empty.
+    /// Returns `None` once the queue is closed **and** drained — the worker
+    /// pool's exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock_or_recover();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Close the queue: every later [`AdmissionQueue::try_push`] is refused
+    /// with [`AdmitError::Closed`], already-admitted jobs still drain, and
+    /// blocked consumers wake up. Idempotent.
+    pub fn close(&self) {
+        self.inner.lock_or_recover().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_rejects_when_full_and_recovers_after_pop() {
+        let q = AdmissionQueue::with_capacity(1);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Err((2, AdmitError::Full)));
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_admitted_jobs_then_signals_exit() {
+        let q = AdmissionQueue::with_capacity(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err(("c", AdmitError::Closed)));
+        assert_eq!(q.pop(), Some("a"), "admitted work still drains");
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None, "drained + closed = exit signal");
+        q.close();
+        assert_eq!(q.pop(), None, "close is idempotent");
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_on_close() {
+        let q = Arc::new(AdmissionQueue::with_capacity(2));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(job) = q.pop() {
+                    got.push(job);
+                }
+                got
+            })
+        };
+        q.try_push(10).unwrap();
+        q.try_push(20).unwrap();
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec![10, 20]);
+    }
+}

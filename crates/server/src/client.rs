@@ -1,0 +1,153 @@
+//! A small blocking client for the framed protocol — used by the examples,
+//! the integration tests, and the serving benchmarks. One [`Client`] wraps
+//! one connection; requests are strictly sequential (send a frame, read the
+//! reply), which is all the protocol needs since every request gets exactly
+//! one response frame.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use cxm_relational::{Database, Table};
+
+use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME_BYTES};
+use crate::json::{parse, Json};
+use crate::protocol::{encode_database, encode_table, TenantPolicy, TenantQuotas};
+
+/// A blocking protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Send one request frame and read its response frame.
+    pub fn request(&mut self, frame: &Json) -> io::Result<Json> {
+        write_frame(&mut self.writer, &frame.to_bytes())?;
+        self.writer.flush()?;
+        let payload = read_frame(&mut self.reader, self.max_frame_bytes)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        parse(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// Register (or re-register) a tenant with its full target table set and
+    /// optional policy/quota knobs.
+    pub fn register(
+        &mut self,
+        tenant: &str,
+        target: &Database,
+        policy: &TenantPolicy,
+        quotas: &TenantQuotas,
+    ) -> io::Result<Json> {
+        let tables =
+            encode_database(target).get("tables").cloned().unwrap_or(Json::Array(Vec::new()));
+        let mut members = vec![
+            ("op".into(), Json::str("register")),
+            ("tenant".into(), Json::str(tenant)),
+            ("tables".into(), tables),
+        ];
+        let policy_members = encode_policy(policy, quotas);
+        if !policy_members.is_empty() {
+            members.push(("policy".into(), Json::Object(policy_members)));
+        }
+        self.request(&Json::Object(members))
+    }
+
+    /// Replace one registered target table.
+    pub fn replace_table(&mut self, tenant: &str, table: &Table) -> io::Result<Json> {
+        self.request(&Json::Object(vec![
+            ("op".into(), Json::str("replace")),
+            ("tenant".into(), Json::str(tenant)),
+            ("table".into(), encode_table(table)),
+        ]))
+    }
+
+    /// Drop one registered target table.
+    pub fn drop_table(&mut self, tenant: &str, table: &str) -> io::Result<Json> {
+        self.request(&Json::Object(vec![
+            ("op".into(), Json::str("drop")),
+            ("tenant".into(), Json::str(tenant)),
+            ("table".into(), Json::str(table)),
+        ]))
+    }
+
+    /// Submit a source database for matching, optionally under a deadline
+    /// budget in milliseconds.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        source: &Database,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<Json> {
+        let mut members = vec![
+            ("op".into(), Json::str("submit")),
+            ("tenant".into(), Json::str(tenant)),
+            ("source".into(), encode_database(source)),
+        ];
+        if let Some(ms) = deadline_ms {
+            members.push(("deadline_ms".into(), Json::Int(ms as i64)));
+        }
+        self.request(&Json::Object(members))
+    }
+
+    /// Fetch the server stats snapshot, optionally restricted to one tenant.
+    pub fn stats(&mut self, tenant: Option<&str>) -> io::Result<Json> {
+        let mut members = vec![("op".into(), Json::str("stats"))];
+        if let Some(tenant) = tenant {
+            members.push(("tenant".into(), Json::str(tenant)));
+        }
+        self.request(&Json::Object(members))
+    }
+
+    /// Ask the server to drain gracefully. The acknowledgement arrives
+    /// before the drain completes.
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.request(&Json::Object(vec![("op".into(), Json::str("shutdown"))]))
+    }
+}
+
+fn encode_policy(policy: &TenantPolicy, quotas: &TenantQuotas) -> Vec<(String, Json)> {
+    let mut members = Vec::new();
+    if let Some(t) = policy.score_threshold {
+        members.push(("score_threshold".into(), Json::Float(t)));
+    }
+    if let Some(k) = policy.top_k {
+        members.push(("top_k".into(), Json::Int(k as i64)));
+    }
+    for (key, value) in [
+        ("source_cache_capacity", quotas.source_cache_capacity),
+        ("selection_cache_tables", quotas.selection_cache_tables),
+        ("restricted_profile_entries", quotas.restricted_profile_entries),
+        ("match_result_entries", quotas.match_result_entries),
+    ] {
+        if let Some(v) = value {
+            members.push((key.into(), Json::Int(v as i64)));
+        }
+    }
+    members
+}
+
+/// True when a response frame is `{ok: true, …}`.
+pub fn is_ok(frame: &Json) -> bool {
+    frame.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+/// The `error.code` of a `{ok: false}` frame, if any.
+pub fn error_code(frame: &Json) -> Option<&str> {
+    frame.get("error")?.get("code")?.as_str()
+}

@@ -1,0 +1,95 @@
+//! Length-prefixed frame codec: `u32` big-endian payload length, then the
+//! payload bytes (a JSON document). One frame per request, one per response.
+//!
+//! The length prefix is what makes the protocol trivially delimitable over a
+//! blocking stream — no in-band scanning, no chunked parser state — and the
+//! explicit `max_frame_bytes` bound is the first line of admission control:
+//! a hostile or corrupt length is rejected *before* any allocation.
+
+use std::io::{self, Read, Write};
+
+/// Default bound on a single frame's payload (32 MiB) — far above any sane
+/// catalog registration, far below an `u32::MAX` allocation.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 32 * 1024 * 1024;
+
+/// Write one frame: 4-byte big-endian length, then the payload, then flush.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload.
+///
+/// Returns `Ok(None)` on a *clean* EOF (the peer closed between frames —
+/// the normal end of a connection); a close mid-frame is an
+/// [`io::ErrorKind::UnexpectedEof`] error. A length above `max_bytes` is an
+/// [`io::ErrorKind::InvalidData`] error, detected before allocating.
+pub fn read_frame<R: Read>(r: &mut R, max_bytes: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_bytes}-byte bound"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"a\":1}").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"second").unwrap();
+        let mut r = Cursor::new(wire);
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), b"{\"a\":1}");
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), b"second");
+        assert!(read_frame(&mut r, 64).unwrap().is_none(), "clean EOF between frames");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_reading() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(1_000_000u32).to_be_bytes());
+        let err = read_frame(&mut Cursor::new(wire), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frames_are_errors_not_eof() {
+        // Header cut short.
+        let err = read_frame(&mut Cursor::new(vec![0u8, 0]), 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Payload cut short.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(8u32).to_be_bytes());
+        wire.extend_from_slice(b"abc");
+        let err = read_frame(&mut Cursor::new(wire), 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

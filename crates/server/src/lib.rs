@@ -1,0 +1,46 @@
+//! `cxm-server`: a multi-tenant network front-end over [`cxm_service`].
+//!
+//! The serving layer the rest of the workspace deliberately lacks: a
+//! threaded TCP server speaking a length-prefixed JSON frame protocol
+//! (`docs/SERVING.md`), multiplexing many isolated per-tenant
+//! [`cxm_service::MatchService`]s over **one shared gram interner**. No
+//! async runtime — `std::net` plus a sized worker pool over a bounded
+//! admission queue.
+//!
+//! Three serving disciplines are layered on the deterministic match
+//! pipeline, none of which may change what a match computes:
+//!
+//! * **Admission control** ([`admission`]) — a bounded queue that rejects
+//!   with an explicit `overloaded` frame (plus a `retry_after_ms` hint)
+//!   instead of queueing without bound; a rejected request is always
+//!   answered, never hung up on.
+//! * **Deadline budgets** ([`telemetry::Deadline`]) — per-request budgets
+//!   checked at every pipeline boundary, so an expired request is dropped
+//!   with `deadline_exceeded` before it does classifier work.
+//! * **Per-tenant warm-state quotas** ([`tenant::QuotaCeilings`]) — each
+//!   tenant's cache capacities are clamped server-side, so one tenant
+//!   cannot crowd the others out of warm memory.
+//!
+//! Tenant **policy** (score threshold, top-k) is applied *post-match* at
+//! encode time: the cached result stays byte-identical across policies,
+//! which is what keeps the concurrent server byte-equivalent to a serial
+//! in-process service — the invariant the `server_equivalence` integration
+//! test pins.
+
+pub mod admission;
+pub mod client;
+pub mod frame;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod telemetry;
+pub mod tenant;
+
+pub use admission::{AdmissionQueue, AdmitError};
+pub use client::Client;
+pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME_BYTES};
+pub use json::Json;
+pub use protocol::{encode_result, ErrorCode, Request, TenantPolicy, TenantQuotas};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use telemetry::{Deadline, ServerStats, TenantStats};
+pub use tenant::{QuotaCeilings, Tenant, TenantRegistry};

@@ -1,0 +1,451 @@
+//! The threaded server: accept loop, per-connection handlers, and the
+//! worker pool draining the admission queue.
+//!
+//! Concurrency model (no async runtime — the workspace vendors none):
+//!
+//! * one **accept thread** turns connections into detached handler threads;
+//! * each **handler** owns its connection, reads frames, answers cheap ops
+//!   (`register`/`replace`/`drop`/`stats`/`shutdown`) inline, and funnels
+//!   `submit`s through the bounded [`AdmissionQueue`] — blocking on the
+//!   response channel, never inside the queue, so a full queue is an
+//!   instant explicit reject, not a stall;
+//! * a sized **worker pool** pops submissions and runs the match pipeline,
+//!   checking the request's [`Deadline`] at dequeue, after source decoding,
+//!   and after matching. A request that expires before the match phase does
+//!   zero classifier work.
+//!
+//! Shutdown is a graceful drain: the `shutdown` op (or
+//! [`ServerHandle::shutdown`]) closes admission, already-queued submissions
+//! still complete and get their replies, new ones get `shutting_down`, and
+//! [`ServerHandle::join`] returns when the accept thread and every worker
+//! have exited.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cxm_core::ContextMatchConfig;
+
+use crate::admission::{AdmissionQueue, AdmitError};
+use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME_BYTES};
+use crate::json::{parse, Json};
+use crate::protocol::{
+    decode_database, encode_result, encode_server_stats, encode_tenant_stats, encode_update,
+    error_frame, ok_frame, ErrorCode, Request,
+};
+use crate::telemetry::{bump, Deadline, ServerCounters, ServerStats, TenantStats};
+use crate::tenant::{QuotaCeilings, Tenant, TenantRegistry};
+
+/// Construction parameters of a server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free loopback port.
+    pub addr: String,
+    /// Worker threads draining the admission queue (min 1).
+    pub workers: usize,
+    /// Admission-queue bound: submissions beyond this many pending are
+    /// rejected with `overloaded` (min 1).
+    pub queue_capacity: usize,
+    /// Per-frame payload bound.
+    pub max_frame_bytes: usize,
+    /// The `ContextMatch` configuration every tenant's service runs.
+    pub context: ContextMatchConfig,
+    /// Ceilings on per-tenant warm-state quotas.
+    pub quota_ceilings: QuotaCeilings,
+    /// Deadline budget applied to submissions that carry none
+    /// (`None` = unbounded).
+    pub default_deadline_ms: Option<u64>,
+    /// The `retry_after_ms` hint sent with `overloaded` rejects.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            context: ContextMatchConfig::default(),
+            quota_ceilings: QuotaCeilings::default(),
+            default_deadline_ms: None,
+            retry_after_ms: 25,
+        }
+    }
+}
+
+/// One queued submission: everything the worker needs, plus the rendezvous
+/// channel its handler blocks on.
+struct SubmitJob {
+    tenant: Arc<Tenant>,
+    source: Json,
+    deadline: Deadline,
+    reply: SyncSender<Json>,
+}
+
+/// State shared by the accept thread, handlers, and workers.
+struct Shared {
+    registry: TenantRegistry,
+    queue: AdmissionQueue<SubmitJob>,
+    counters: ServerCounters,
+    draining: AtomicBool,
+    local_addr: SocketAddr,
+    workers: usize,
+    max_frame_bytes: usize,
+    default_deadline_ms: Option<u64>,
+    retry_after_ms: u64,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        let mut stats = self.counters.snapshot();
+        stats.workers = self.workers;
+        stats.queue_depth = self.queue.depth();
+        stats.queue_capacity = self.queue.capacity();
+        stats.tenants = self.registry.len();
+        stats.draining = self.draining.load(Ordering::Relaxed);
+        stats
+    }
+
+    /// Begin the graceful drain. Idempotent: closes admission, wakes the
+    /// accept thread with a throwaway self-connection, lets queued work
+    /// finish.
+    fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // The accept thread blocks in `accept()`; a loopback connection is
+        // the portable way to wake it so it can observe `draining`.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A running server: the bound address, the accept thread, and the worker
+/// pool. Dropping the handle begins a drain (without waiting); call
+/// [`ServerHandle::join`] after a shutdown to wait for it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Bind and start serving. Returns once the listener is live — requests can
+/// be sent the moment this returns.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        registry: TenantRegistry::new(config.context, config.quota_ceilings),
+        queue: AdmissionQueue::with_capacity(config.queue_capacity),
+        counters: ServerCounters::default(),
+        draining: AtomicBool::new(false),
+        local_addr,
+        workers: config.workers.max(1),
+        max_frame_bytes: config.max_frame_bytes,
+        default_deadline_ms: config.default_deadline_ms,
+        retry_after_ms: config.retry_after_ms,
+    });
+
+    let workers = (0..shared.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("cxm-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("cxm-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared))?
+    };
+
+    Ok(ServerHandle { shared, accept: Some(accept), workers })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Server-level stats snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Per-tenant stats snapshots, in tenant-name order.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.shared.registry.stats(None)
+    }
+
+    /// Begin the graceful drain (same effect as a `shutdown` frame).
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Wait for the drain to complete: the accept thread and every worker
+    /// exit once admission is closed and the queue is empty. Call
+    /// [`ServerHandle::shutdown`] (or send a `shutdown` frame) first —
+    /// joining a server nobody shut down blocks until somebody does.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.begin_drain();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    // The wake-up self-connection (or a late client) during
+                    // drain: close it and stop accepting.
+                    drop(stream);
+                    return;
+                }
+                bump(&shared.counters.connections);
+                let shared = Arc::clone(shared);
+                // Handlers are detached: they exit when their peer closes
+                // (or on a write error), and submissions they hold are
+                // answered by the drain contract, so join() need not track
+                // them.
+                let _ = std::thread::Builder::new()
+                    .name("cxm-conn".to_string())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept error (EMFILE, aborted handshake):
+                // yield briefly and keep serving.
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader, shared.max_frame_bytes) {
+            Ok(Some(payload)) => payload,
+            // Clean EOF or a broken connection: either way the peer is
+            // done; there is nobody left to answer.
+            Ok(None) | Err(_) => return,
+        };
+        let response = respond(&payload, shared);
+        let sent = write_frame(&mut writer, &response.to_bytes()).and_then(|()| writer.flush());
+        if sent.is_err() {
+            return;
+        }
+    }
+}
+
+/// Produce the response frame for one request payload. For `shutdown` the
+/// drain only closes *admission*, so the caller still delivers this reply —
+/// in-flight responses are never cut off.
+fn respond(payload: &[u8], shared: &Arc<Shared>) -> Json {
+    let frame = match parse(payload) {
+        Ok(frame) => frame,
+        Err(e) => return error_frame(ErrorCode::BadRequest, &format!("invalid JSON: {e}"), None),
+    };
+    let request = match Request::from_json(&frame) {
+        Ok(request) => request,
+        Err(message) => return error_frame(ErrorCode::BadRequest, &message, None),
+    };
+    bump(&shared.counters.requests);
+    let draining = shared.draining.load(Ordering::SeqCst);
+    match request {
+        Request::Register { tenant, tables, policy, quotas } => {
+            if draining {
+                return error_frame(ErrorCode::ShuttingDown, "server is draining", None);
+            }
+            let tenant = shared.registry.register(&tenant, policy, &quotas);
+            let mut target = cxm_relational::Database::new("target");
+            for table in tables {
+                target.replace_table(table);
+            }
+            let update = tenant.service.register_target(&target);
+            let mut members = vec![("tenant".into(), Json::str(tenant.name.clone()))];
+            members.extend(encode_update(&update));
+            ok_frame("register", members)
+        }
+        Request::Replace { tenant, table } => {
+            let Some(tenant) = shared.registry.get(&tenant) else {
+                return error_frame(ErrorCode::UnknownTenant, &tenant, None);
+            };
+            match tenant.service.replace_table(table) {
+                Ok(update) => {
+                    let mut members = vec![("tenant".into(), Json::str(tenant.name.clone()))];
+                    members.extend(encode_update(&update));
+                    ok_frame("replace", members)
+                }
+                Err(e) => error_frame(ErrorCode::UnknownTable, &e.to_string(), None),
+            }
+        }
+        Request::Drop { tenant, table } => {
+            let Some(tenant) = shared.registry.get(&tenant) else {
+                return error_frame(ErrorCode::UnknownTenant, &tenant, None);
+            };
+            match tenant.service.drop_table(&table) {
+                Some(update) => {
+                    let mut members = vec![("tenant".into(), Json::str(tenant.name.clone()))];
+                    members.extend(encode_update(&update));
+                    ok_frame("drop", members)
+                }
+                None => error_frame(ErrorCode::UnknownTable, &table, None),
+            }
+        }
+        Request::Stats { tenant } => {
+            let tenants = shared.registry.stats(tenant.as_deref());
+            if tenant.is_some() && tenants.is_empty() {
+                return error_frame(ErrorCode::UnknownTenant, "no such tenant", None);
+            }
+            ok_frame(
+                "stats",
+                vec![
+                    ("server".into(), encode_server_stats(&shared.stats())),
+                    (
+                        "tenants".into(),
+                        Json::Array(tenants.iter().map(encode_tenant_stats).collect()),
+                    ),
+                ],
+            )
+        }
+        Request::Shutdown => {
+            shared.begin_drain();
+            ok_frame("shutdown", vec![("draining".into(), Json::Bool(true))])
+        }
+        Request::Submit { tenant, source, deadline_ms } => {
+            submit(shared, &tenant, source, deadline_ms, draining)
+        }
+    }
+}
+
+fn submit(
+    shared: &Arc<Shared>,
+    tenant: &str,
+    source: Json,
+    deadline_ms: Option<u64>,
+    draining: bool,
+) -> Json {
+    let Some(tenant) = shared.registry.get(tenant) else {
+        return error_frame(ErrorCode::UnknownTenant, tenant, None);
+    };
+    bump(&tenant.counters.submits);
+    if draining {
+        return error_frame(ErrorCode::ShuttingDown, "server is draining", None);
+    }
+    // The budget starts at admission, so queueing time counts against it —
+    // that is what makes a deadline a *latency* promise, not a compute one.
+    let deadline = Deadline::after_ms(deadline_ms.or(shared.default_deadline_ms));
+    let (reply, response) = sync_channel(1);
+    let job = SubmitJob { tenant: Arc::clone(&tenant), source, deadline, reply };
+    match shared.queue.try_push(job) {
+        Ok(()) => {
+            bump(&shared.counters.submits);
+            match response.recv() {
+                Ok(frame) => frame,
+                Err(_) => error_frame(ErrorCode::Internal, "worker dropped the request", None),
+            }
+        }
+        Err((_job, AdmitError::Full)) => {
+            bump(&shared.counters.admission_rejects);
+            bump(&tenant.counters.admission_rejects);
+            error_frame(
+                ErrorCode::Overloaded,
+                "admission queue is full",
+                Some(shared.retry_after_ms),
+            )
+        }
+        Err((_job, AdmitError::Closed)) => {
+            error_frame(ErrorCode::ShuttingDown, "server is draining", None)
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let SubmitJob { tenant, source, deadline, reply } = job;
+        let frame =
+            catch_unwind(AssertUnwindSafe(|| process_submit(shared, &tenant, &source, deadline)))
+                .unwrap_or_else(|_| {
+                    error_frame(ErrorCode::Internal, "request panicked in the pipeline", None)
+                });
+        // A vanished handler (client hung up mid-wait) is not an error.
+        let _ = reply.send(frame);
+    }
+}
+
+/// The worker-side pipeline: deadline gate → decode → deadline gate →
+/// match → deadline gate → encode.
+fn process_submit(
+    shared: &Arc<Shared>,
+    tenant: &Arc<Tenant>,
+    source: &Json,
+    deadline: Deadline,
+) -> Json {
+    let expired = |stage: &str| {
+        bump(&shared.counters.deadline_expiries);
+        bump(&tenant.counters.deadline_expiries);
+        error_frame(ErrorCode::DeadlineExceeded, &format!("deadline expired {stage}"), None)
+    };
+    if deadline.expired() {
+        // Checked before any decoding or matching: an expired request does
+        // zero classifier work — the acceptance criterion the deadline
+        // tests pin.
+        return expired("while queued");
+    }
+    let db = match decode_database(source) {
+        Ok(db) => db,
+        Err(message) => return error_frame(ErrorCode::BadRequest, &message, None),
+    };
+    if deadline.expired() {
+        return expired("after source decoding");
+    }
+    let response = match tenant.service.submit(&db) {
+        Ok(response) => response,
+        Err(e) => return error_frame(ErrorCode::BadRequest, &e.to_string(), None),
+    };
+    if deadline.expired() {
+        return expired("during matching");
+    }
+    if response.telemetry.result_cache_hit {
+        bump(&tenant.counters.result_cache_hits);
+    }
+    bump(&shared.counters.completed);
+    let policy = tenant.policy();
+    ok_frame(
+        "submit",
+        vec![
+            ("tenant".into(), Json::str(tenant.name.clone())),
+            ("catalog_version".into(), Json::Int(response.telemetry.catalog_version as i64)),
+            ("result_cache_hit".into(), Json::Bool(response.telemetry.result_cache_hit)),
+            ("result".into(), encode_result(&response.result, &policy)),
+        ],
+    )
+}

@@ -1,0 +1,242 @@
+//! Server timing and counters. **Every wall-clock read of `cxm-server`
+//! lives in this module** — deadlines are inherently about real time, and
+//! keeping `Instant` confined here keeps the rest of the crate inside the
+//! workspace's D002 invariant (wall-clock reads only in harness/bench code
+//! and telemetry modules). Nothing here feeds match *results*: deadlines
+//! decide whether a request runs at all, never what it computes.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use cxm_service::WarmStats;
+
+/// A per-request time budget, captured when the request is admitted.
+///
+/// `cxm-server` checks it at every pipeline boundary — at dequeue, after
+/// source decoding, and after the match — so an expired request is abandoned
+/// at the next boundary instead of holding a worker. A request whose budget
+/// expires before the match phase performs **zero** classifier work.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `budget_ms` from now; `None` means unbounded.
+    pub fn after_ms(budget_ms: Option<u64>) -> Deadline {
+        Deadline { at: budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms)) }
+    }
+
+    /// No deadline: never expires.
+    pub fn unbounded() -> Deadline {
+        Deadline { at: None }
+    }
+
+    /// Whether the budget is spent. A zero-millisecond budget is expired
+    /// from the first check on — deterministically, which is what the
+    /// deadline-expiry tests lean on.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+}
+
+/// Process-lifetime counters of the serving layer, updated with relaxed
+/// atomics from connection handlers and workers.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections accepted.
+    pub connections: AtomicUsize,
+    /// Frames parsed into requests (all ops).
+    pub requests: AtomicUsize,
+    /// `submit` requests admitted into the queue.
+    pub submits: AtomicUsize,
+    /// `submit` requests answered with a result.
+    pub completed: AtomicUsize,
+    /// `submit` requests rejected by admission control (queue full).
+    pub admission_rejects: AtomicUsize,
+    /// `submit` requests answered `deadline_exceeded`.
+    pub deadline_expiries: AtomicUsize,
+}
+
+/// Relaxed increment — the counters are monotonic tallies, never
+/// synchronization.
+pub fn bump(counter: &AtomicUsize) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn read(counter: &AtomicUsize) -> usize {
+    counter.load(Ordering::Relaxed)
+}
+
+/// Per-tenant counters, held by the tenant registry entry.
+#[derive(Debug, Default)]
+pub struct TenantCounters {
+    /// `submit` requests for this tenant (admitted or rejected).
+    pub submits: AtomicUsize,
+    /// Responses served from the tenant's whole-match result cache.
+    pub result_cache_hits: AtomicUsize,
+    /// Submissions answered `deadline_exceeded`.
+    pub deadline_expiries: AtomicUsize,
+    /// Submissions rejected by admission control.
+    pub admission_rejects: AtomicUsize,
+}
+
+/// A point-in-time snapshot of the server-level serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Submissions currently queued.
+    pub queue_depth: usize,
+    /// Admission-queue bound.
+    pub queue_capacity: usize,
+    /// Connections accepted so far.
+    pub connections: usize,
+    /// Requests of any op parsed so far.
+    pub requests: usize,
+    /// Submissions admitted so far.
+    pub submits: usize,
+    /// Submissions completed with a result so far.
+    pub completed: usize,
+    /// Submissions rejected by admission control so far.
+    pub admission_rejects: usize,
+    /// Submissions expired by their deadline so far.
+    pub deadline_expiries: usize,
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Whether a graceful shutdown is in progress.
+    pub draining: bool,
+}
+
+impl ServerCounters {
+    /// Snapshot the counters into a [`ServerStats`] (the caller fills in the
+    /// queue/worker/tenant fields it owns).
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: read(&self.connections),
+            requests: read(&self.requests),
+            submits: read(&self.submits),
+            completed: read(&self.completed),
+            admission_rejects: read(&self.admission_rejects),
+            deadline_expiries: read(&self.deadline_expiries),
+            ..ServerStats::default()
+        }
+    }
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} workers, queue {}/{}, {} connections, {} requests \
+             ({} submits, {} completed), {} admission rejects, \
+             {} deadline expiries, {} tenants",
+            self.workers,
+            self.queue_depth,
+            self.queue_capacity,
+            self.connections,
+            self.requests,
+            self.submits,
+            self.completed,
+            self.admission_rejects,
+            self.deadline_expiries,
+            self.tenants,
+        )?;
+        if self.draining {
+            write!(f, ", draining")?;
+        }
+        Ok(())
+    }
+}
+
+/// A point-in-time snapshot of one tenant's serving counters plus the
+/// absolute warm-artifact totals of its `MatchService`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub tenant: String,
+    /// Submissions addressed to this tenant so far.
+    pub submits: usize,
+    /// Responses served from the tenant's whole-match result cache.
+    pub result_cache_hits: usize,
+    /// Submissions expired by their deadline.
+    pub deadline_expiries: usize,
+    /// Submissions rejected by admission control.
+    pub admission_rejects: usize,
+    /// Warm-artifact store totals ([`cxm_service::MatchService::warm_stats`]).
+    pub warm: WarmStats,
+}
+
+impl TenantStats {
+    /// Warm artifacts this tenant's bounded caches evicted — the tenant's
+    /// quota pressure (see [`WarmStats::quota_evictions`]).
+    pub fn quota_evictions(&self) -> usize {
+        self.warm.quota_evictions()
+    }
+}
+
+impl fmt::Display for TenantStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tenant {}: {} submits ({} result-cache hits), {} deadline expiries, \
+             {} admission rejects, {} quota evictions; {}",
+            self.tenant,
+            self.submits,
+            self.result_cache_hits,
+            self.deadline_expiries,
+            self.admission_rejects,
+            self.quota_evictions(),
+            self.warm,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_budget_expires_immediately_and_unbounded_never() {
+        assert!(Deadline::after_ms(Some(0)).expired());
+        assert!(!Deadline::unbounded().expired());
+        assert!(!Deadline::after_ms(Some(60_000)).expired());
+        assert!(!Deadline::after_ms(None).expired());
+    }
+
+    #[test]
+    fn stats_display_reports_every_signal() {
+        let s = ServerStats {
+            workers: 4,
+            queue_depth: 2,
+            queue_capacity: 8,
+            connections: 3,
+            requests: 10,
+            submits: 7,
+            completed: 5,
+            admission_rejects: 1,
+            deadline_expiries: 2,
+            tenants: 2,
+            draining: true,
+        };
+        let text = s.to_string();
+        assert!(text.contains("queue 2/8"), "{text}");
+        assert!(text.contains("1 admission rejects"), "{text}");
+        assert!(text.contains("2 deadline expiries"), "{text}");
+        assert!(text.contains("draining"), "{text}");
+
+        let t = TenantStats {
+            tenant: "acme".into(),
+            submits: 9,
+            result_cache_hits: 4,
+            deadline_expiries: 1,
+            admission_rejects: 2,
+            warm: WarmStats { source_evictions: 1, result_evictions: 2, ..WarmStats::default() },
+        };
+        let text = t.to_string();
+        assert!(text.contains("tenant acme"), "{text}");
+        assert!(text.contains("9 submits (4 result-cache hits)"), "{text}");
+        assert!(text.contains("3 quota evictions"), "{text}");
+    }
+}

@@ -52,4 +52,4 @@ pub use catalog::{
     CatalogSnapshot, CatalogUpdate, TargetCatalog, DEFAULT_RESTRICTED_PROFILE_CAPACITY,
 };
 pub use lock::{MutexExt, RwLockExt};
-pub use service::{MatchResponse, MatchService, RequestTelemetry, ServiceConfig};
+pub use service::{MatchResponse, MatchService, RequestTelemetry, ServiceConfig, WarmStats};

@@ -164,6 +164,90 @@ impl fmt::Display for RequestTelemetry {
     }
 }
 
+/// A point-in-time snapshot of every warm-artifact store a [`MatchService`]
+/// holds, taken by [`MatchService::warm_stats`]. Unlike [`RequestTelemetry`]
+/// (per-request deltas of process-global counters, attributable only while
+/// requests do not overlap), these are *absolute* totals read from the
+/// service's own caches, so they stay meaningful under concurrent load —
+/// which is what multi-tenant hosts report per tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Current catalog snapshot version.
+    pub catalog_version: u64,
+    /// Registered target tables in the current snapshot.
+    pub catalog_tables: usize,
+    /// Warm source column batches currently held / the configured bound.
+    pub source_len: usize,
+    /// Configured bound on warm source column batches (`0` = disabled).
+    pub source_capacity: usize,
+    /// Source batches pushed out by the bound over the service's lifetime.
+    pub source_evictions: usize,
+    /// Lifetime selection-cache hits (atom scans avoided).
+    pub selection_hits: usize,
+    /// Lifetime selection-cache misses (atom scans performed).
+    pub selection_misses: usize,
+    /// Selection atoms currently cached.
+    pub selection_atoms: usize,
+    /// View-restricted column profiles currently held.
+    pub restricted_len: usize,
+    /// Configured bound on restricted profiles (`0` = disabled).
+    pub restricted_capacity: usize,
+    /// Lifetime restricted-profile cache hits.
+    pub restricted_hits: usize,
+    /// Lifetime restricted-profile cache misses.
+    pub restricted_misses: usize,
+    /// Restricted profiles pushed out by the bound over the lifetime.
+    pub restricted_evictions: usize,
+    /// Whole-match results currently memoized.
+    pub result_len: usize,
+    /// Configured bound on memoized results (`0` = disabled).
+    pub result_capacity: usize,
+    /// Lifetime whole-match result cache hits.
+    pub result_hits: usize,
+    /// Lifetime whole-match result cache misses.
+    pub result_misses: usize,
+    /// Memoized results pushed out by the bound over the lifetime.
+    pub result_evictions: usize,
+}
+
+impl WarmStats {
+    /// Total warm artifacts evicted by capacity bounds across all stores —
+    /// the per-tenant "quota pressure" signal a multi-tenant host reports.
+    pub fn quota_evictions(&self) -> usize {
+        self.source_evictions + self.restricted_evictions + self.result_evictions
+    }
+}
+
+impl fmt::Display for WarmStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "catalog v{} ({} tables), sources {}/{} ({} evicted), \
+             selections {} hit / {} miss ({} atoms), \
+             restricted {}/{} ({} hit / {} miss / {} evicted), \
+             results {}/{} ({} hit / {} miss / {} evicted)",
+            self.catalog_version,
+            self.catalog_tables,
+            self.source_len,
+            self.source_capacity,
+            self.source_evictions,
+            self.selection_hits,
+            self.selection_misses,
+            self.selection_atoms,
+            self.restricted_len,
+            self.restricted_capacity,
+            self.restricted_hits,
+            self.restricted_misses,
+            self.restricted_evictions,
+            self.result_len,
+            self.result_capacity,
+            self.result_hits,
+            self.result_misses,
+            self.result_evictions,
+        )
+    }
+}
+
 /// The outcome of one [`MatchService::submit`] request.
 #[derive(Debug)]
 pub struct MatchResponse {
@@ -230,6 +314,19 @@ impl MatchService {
 
     /// A service with explicit configuration.
     pub fn with_config(config: ServiceConfig) -> Self {
+        MatchService::with_config_and_interner(config, GramInterner::global())
+    }
+
+    /// A service with explicit configuration whose catalog interns against
+    /// the given [`GramInterner`] instead of the process-global one.
+    ///
+    /// Multi-tenant hosts (e.g. `cxm-server`) pass one shared interner to
+    /// every tenant's service: grams are content-addressed, so tenants share
+    /// one id space — and the flat interned kernels apply across any column
+    /// pair — without sharing any catalog state. Interned scoring is
+    /// id-assignment-independent, so results stay byte-identical to a
+    /// service using a private (or the global) interner.
+    pub fn with_config_and_interner(config: ServiceConfig, interner: Arc<GramInterner>) -> Self {
         let selection_capacity =
             (config.selection_cache_tables > 0).then_some(config.selection_cache_tables);
         MatchService {
@@ -238,7 +335,7 @@ impl MatchService {
                 selection_capacity,
                 config.restricted_profile_entries,
                 config.match_result_entries,
-                GramInterner::global(),
+                interner,
             ),
             sources: Mutex::new(SourceCache::new(config.source_cache_capacity)),
             config_signature: config.context.signature(),
@@ -441,6 +538,39 @@ impl MatchService {
         Ok(MatchResponse { result, telemetry })
     }
 
+    /// A point-in-time snapshot of this service's warm-artifact stores (see
+    /// [`WarmStats`]). Absolute totals, safe to read under concurrent load.
+    pub fn warm_stats(&self) -> WarmStats {
+        let snapshot = self.catalog.snapshot();
+        let sources = self.sources.lock_or_recover();
+        let (selection_hits, selection_misses, selection_atoms) = {
+            let cache = snapshot.selections().lock_or_recover();
+            (cache.hits(), cache.misses(), cache.cached_atoms())
+        };
+        let restricted = snapshot.restricted_profiles().lock_or_recover();
+        let results = snapshot.match_results().lock_or_recover();
+        WarmStats {
+            catalog_version: snapshot.version(),
+            catalog_tables: snapshot.database().len(),
+            source_len: sources.len(),
+            source_capacity: sources.capacity(),
+            source_evictions: sources.evictions(),
+            selection_hits,
+            selection_misses,
+            selection_atoms,
+            restricted_len: restricted.len(),
+            restricted_capacity: restricted.capacity(),
+            restricted_hits: restricted.hits(),
+            restricted_misses: restricted.misses(),
+            restricted_evictions: restricted.evictions(),
+            result_len: results.len(),
+            result_capacity: results.capacity(),
+            result_hits: results.hits(),
+            result_misses: results.misses(),
+            result_evictions: results.evictions(),
+        }
+    }
+
     /// The source database's prepared column batch, served from the warm
     /// cache when its content fingerprint is known.
     fn source_columns(
@@ -517,6 +647,14 @@ impl SourceCache {
 
     fn get(&mut self, key: u64) -> Option<Arc<PreparedSourceColumns<'static>>> {
         self.entries.get(&key).map(Arc::clone)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.entries.capacity()
     }
 
     /// Warm batches pushed out by the capacity bound so far (surfaced per

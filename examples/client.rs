@@ -1,0 +1,116 @@
+//! The serving protocol from the client's side: deadlines, policy changes,
+//! and the stats op.
+//!
+//! Connects to `CXM_SERVER_ADDR` if set (e.g. a server started by
+//! `cargo run --example serve` in another terminal — add a long sleep — or
+//! any other front-end); otherwise starts its own loopback server so the
+//! example is self-contained. Then walks the client-visible contracts:
+//!
+//! * a `deadline_ms: 0` submission answers `deadline_exceeded` without
+//!   doing any matching work;
+//! * the same submission without a deadline succeeds, and its repeat is a
+//!   whole-match result-cache hit;
+//! * re-registering with a `top_k` policy shrinks `selected` while
+//!   `standard` is untouched — the policy is a post-match projection
+//!   applied at encode time, never baked into cached results.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example client
+//! ```
+
+use cxm_datagen::{generate_retail, RetailConfig};
+use cxm_server::client::{error_code, is_ok};
+use cxm_server::{serve, Client, Json, ServerConfig, TenantPolicy, TenantQuotas};
+
+fn list_len(reply: &Json, member: &str) -> usize {
+    reply
+        .get("result")
+        .and_then(|r| r.get(member))
+        .and_then(Json::as_array)
+        .map_or(0, |matches| matches.len())
+}
+
+fn main() {
+    // Self-contained by default; point CXM_SERVER_ADDR at a live server to
+    // exercise a remote one instead.
+    let (handle, addr) = match std::env::var("CXM_SERVER_ADDR") {
+        Ok(addr) => (None, addr),
+        Err(_) => {
+            let handle = serve(ServerConfig::default()).expect("bind a loopback port");
+            let addr = handle.local_addr().to_string();
+            (Some(handle), addr)
+        }
+    };
+    println!("Connecting to {addr}.");
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let retail = generate_retail(&RetailConfig {
+        source_items: 80,
+        target_rows: 40,
+        ..RetailConfig::default()
+    });
+    let ack = client
+        .register("demo", &retail.target, &TenantPolicy::default(), &TenantQuotas::default())
+        .expect("register");
+    assert!(is_ok(&ack), "{ack:?}");
+
+    // A spent budget is an explicit, cheap refusal.
+    let reply = client.submit("demo", &retail.source, Some(0)).expect("submit");
+    println!(
+        "deadline_ms = 0   → error `{}` (no matching work was done)",
+        error_code(&reply).unwrap_or("?"),
+    );
+
+    let reply = client.submit("demo", &retail.source, Some(30_000)).expect("submit");
+    assert!(is_ok(&reply), "{reply:?}");
+    println!(
+        "no real deadline  → ok, {} selected / {} standard, result_cache_hit = {}",
+        list_len(&reply, "selected"),
+        list_len(&reply, "standard"),
+        reply.get("result_cache_hit") == Some(&Json::Bool(true)),
+    );
+
+    let reply = client.submit("demo", &retail.source, None).expect("submit");
+    println!(
+        "identical repeat  → ok, result_cache_hit = {}",
+        reply.get("result_cache_hit") == Some(&Json::Bool(true)),
+    );
+
+    // Policy is a post-match projection applied at encode time: after
+    // re-registering with top-3, only `selected` shrinks — `standard` (and
+    // everything the result cache stores) is byte-for-byte what it was.
+    // (Re-registering bumps the catalog version, so the first submission
+    // re-keys the cache; it recomputes from fully warm artifacts.)
+    let ack = client
+        .register(
+            "demo",
+            &retail.target,
+            &TenantPolicy { top_k: Some(3), ..TenantPolicy::default() },
+            &TenantQuotas::default(),
+        )
+        .expect("re-register");
+    assert!(is_ok(&ack), "{ack:?}");
+    let reply = client.submit("demo", &retail.source, None).expect("submit");
+    println!(
+        "after top_k = 3   → ok, {} selected / {} standard, result_cache_hit = {}",
+        list_len(&reply, "selected"),
+        list_len(&reply, "standard"),
+        reply.get("result_cache_hit") == Some(&Json::Bool(true)),
+    );
+
+    let stats = client.stats(Some("demo")).expect("stats");
+    if let Some(tenant) = stats.get("tenants").and_then(Json::as_array).and_then(|t| t.first()) {
+        println!(
+            "\ntenant stats      → {}",
+            tenant.get("display").and_then(Json::as_str).unwrap_or("?"),
+        );
+    }
+
+    if let Some(handle) = handle {
+        let ack = client.shutdown().expect("shutdown");
+        assert!(is_ok(&ack), "{ack:?}");
+        handle.join();
+        println!("Local server drained and joined cleanly.");
+    }
+}

@@ -3,13 +3,16 @@
 # or, with --check, run the invariant gate instead of any benches.
 #
 # Benches: runs the report pseudo-benches of
-# crates/bench/benches/bench_scaling.rs:
+# crates/bench/benches/bench_scaling.rs and bench_server.rs:
 #
 #   pr4_report  -> BENCH_PR4.json  (interned kernel + warm-service ladder)
 #   pr5_report  -> BENCH_PR5.json  (catalog-delta reuse ladder)
 #   pr6_report  -> BENCH_PR6.json  (wide-catalog brute vs indexed matching,
 #                                   service cold/warm/replace-one-column
 #                                   crossover, index reuse counters)
+#   pr8_report  -> BENCH_PR8.json  (serving layer: warm wire latency
+#                                   percentiles vs in-process warm repeat,
+#                                   single- vs multi-client throughput)
 #
 # Each report takes medians over several in-process runs; run on an
 # otherwise idle machine for stable numbers. Pass report names to run a
@@ -32,12 +35,16 @@ fi
 
 reports=("$@")
 if [ ${#reports[@]} -eq 0 ]; then
-    reports=(pr4_report pr5_report pr6_report)
+    reports=(pr4_report pr5_report pr6_report pr8_report)
 fi
 
 for report in "${reports[@]}"; do
+    case "${report}" in
+        pr8_report) bench_target=bench_server ;;
+        *) bench_target=bench_scaling ;;
+    esac
     echo "== ${report} =="
-    cargo bench -p cxm-bench --bench bench_scaling -- "${report}"
+    cargo bench -p cxm-bench --bench "${bench_target}" -- "${report}"
 done
 
 echo "== reports =="

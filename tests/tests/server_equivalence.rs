@@ -1,0 +1,136 @@
+//! The concurrent server must be **byte-identical** to a serial in-process
+//! `MatchService`: N client threads × M tenants hammering the wire protocol
+//! get exactly the bytes a single-threaded reference produces through the
+//! same canonical encoder. This is the serving layer's determinism
+//! contract — admission order, worker interleaving, and the shared gram
+//! interner must all be invisible in the results.
+
+use std::collections::BTreeMap;
+use std::thread;
+
+use cxm_core::{ContextMatchConfig, ViewInferenceStrategy};
+use cxm_datagen::{generate_retail, RetailConfig};
+use cxm_server::client::is_ok;
+use cxm_server::{serve, Client, Json, ServerConfig, TenantPolicy, TenantQuotas};
+use cxm_service::{MatchService, ServiceConfig};
+
+const CLIENT_THREADS: usize = 6;
+
+#[test]
+fn concurrent_submissions_are_byte_identical_to_a_serial_service() {
+    let context =
+        ContextMatchConfig::default().with_inference(ViewInferenceStrategy::SrcClass).with_tau(0.4);
+    let retail_a = generate_retail(&RetailConfig {
+        source_items: 60,
+        target_rows: 25,
+        ..RetailConfig::default()
+    });
+    let retail_b = generate_retail(&RetailConfig {
+        seed: 29,
+        source_items: 45,
+        target_rows: 25,
+        ..RetailConfig::default()
+    });
+    let sources = [&retail_a.source, &retail_b.source];
+    // Two tenants over different catalogs; beta additionally projects its
+    // responses through a post-match policy, which must not perturb bytes
+    // anywhere else.
+    let tenants = [
+        ("alpha", &retail_a.target, TenantPolicy::default()),
+        ("beta", &retail_b.target, TenantPolicy { score_threshold: Some(0.05), top_k: Some(3) }),
+    ];
+
+    // Serial in-process references, rendered through the same canonical
+    // encoder the server uses.
+    let mut expected: BTreeMap<(&str, usize), String> = BTreeMap::new();
+    for (tenant, target, policy) in &tenants {
+        let service =
+            MatchService::with_config(ServiceConfig { context, ..ServiceConfig::default() });
+        service.register_target(target);
+        for (s, source) in sources.iter().enumerate() {
+            let response = service.submit(source).expect("reference submit");
+            expected.insert(
+                (*tenant, s),
+                cxm_server::encode_result(&response.result, policy).to_text(),
+            );
+        }
+    }
+
+    let handle =
+        serve(ServerConfig { workers: 4, queue_capacity: 64, context, ..ServerConfig::default() })
+            .expect("bind");
+    let addr = handle.local_addr();
+
+    // Register both tenants and warm each (tenant, source) pair once, so the
+    // concurrent phase below exercises the warm result-cache path under
+    // contention — where nondeterminism would hide if there were any.
+    let mut setup = Client::connect(addr).expect("connect");
+    for (tenant, target, policy) in &tenants {
+        let ack =
+            setup.register(tenant, target, policy, &TenantQuotas::default()).expect("register");
+        assert!(is_ok(&ack), "{ack:?}");
+    }
+    for (tenant, _, _) in &tenants {
+        for (s, source) in sources.iter().enumerate() {
+            let reply = setup.submit(tenant, source, None).expect("warm-up submit");
+            assert!(is_ok(&reply), "{reply:?}");
+            let bytes = reply.get("result").expect("result member").to_text();
+            assert_eq!(&bytes, &expected[&(*tenant, s)], "warm-up {tenant}/{s}");
+        }
+    }
+
+    let workers: Vec<_> = (0..CLIENT_THREADS)
+        .map(|t| {
+            let expected = expected.clone();
+            let sources: Vec<_> = sources.iter().map(|s| (*s).clone()).collect();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Every thread hits every (tenant, source) pair, rotated so
+                // threads collide on different pairs at different times.
+                for round in 0..4 {
+                    let s = (t + round) % sources.len();
+                    for tenant in ["alpha", "beta"] {
+                        let reply = client.submit(tenant, &sources[s], None).expect("submit");
+                        assert!(is_ok(&reply), "{reply:?}");
+                        assert_eq!(
+                            reply.get("result_cache_hit"),
+                            Some(&Json::Bool(true)),
+                            "post-warm-up submissions are result-cache hits"
+                        );
+                        let bytes = reply.get("result").expect("result member").to_text();
+                        assert_eq!(&bytes, &expected[&(tenant, s)], "thread {t} {tenant}/{s}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+
+    // Every submission was admitted and completed; the warm phase was
+    // entirely result-cache hits.
+    let total = 2 * sources.len() + CLIENT_THREADS * 4 * 2;
+    let stats = handle.stats();
+    assert_eq!(stats.submits, total, "{stats}");
+    assert_eq!(stats.completed, total, "{stats}");
+    assert_eq!(stats.admission_rejects, 0, "{stats}");
+    assert_eq!(stats.deadline_expiries, 0, "{stats}");
+    assert_eq!(stats.tenants, 2, "{stats}");
+    for tenant in handle.tenant_stats() {
+        assert_eq!(tenant.submits, total / 2, "{tenant}");
+        assert_eq!(tenant.result_cache_hits, CLIENT_THREADS * 4, "{tenant}");
+        assert_eq!(tenant.warm.result_len, sources.len(), "{tenant}");
+    }
+
+    // The stats op reports the same numbers over the wire.
+    let stats_frame = setup.stats(Some("alpha")).expect("stats");
+    assert!(is_ok(&stats_frame), "{stats_frame:?}");
+    let tenants_member = stats_frame.get("tenants").and_then(Json::as_array).expect("tenants");
+    assert_eq!(tenants_member.len(), 1);
+    assert_eq!(tenants_member[0].get("submits").and_then(Json::as_i64), Some((total / 2) as i64));
+
+    let ack = setup.shutdown().expect("shutdown");
+    assert!(is_ok(&ack), "{ack:?}");
+    handle.join();
+}
