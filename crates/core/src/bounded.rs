@@ -130,6 +130,14 @@ impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
         // cxm-lint: allow(D001, reason = "order-independent use only: telemetry counting and set-shaped reductions")
         self.entries.values()
     }
+
+    /// Iterate over `(key, value)` pairs in **insertion order** (oldest
+    /// first) — the deterministic walk persistence uses to export a cache so
+    /// a restored cache replays inserts in the original order and keeps the
+    /// same eviction age ranking.
+    pub fn iter_ordered(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.order.iter().filter_map(|key| self.entries.get(key).map(|value| (key, value)))
+    }
 }
 
 #[cfg(test)]

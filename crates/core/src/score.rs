@@ -277,6 +277,18 @@ impl RestrictedProfileCache {
     pub fn insert(&mut self, key: RestrictedKey, artifacts: ColumnArtifacts, version: u64) {
         self.entries.insert(key, RestrictedEntry { artifacts, version });
     }
+
+    /// Export every live entry as `(key, artifacts, version)` in insertion
+    /// order (oldest first) — replaying these through
+    /// [`RestrictedProfileCache::insert`] on a fresh cache reproduces the
+    /// same contents with the same eviction ages. Used by warm-state
+    /// persistence.
+    pub fn export(&self) -> Vec<(RestrictedKey, ColumnArtifacts, u64)> {
+        self.entries
+            .iter_ordered()
+            .map(|(key, entry)| (key.clone(), entry.artifacts.clone(), entry.version))
+            .collect()
+    }
 }
 
 /// [`score_candidates_with_targets`] with an optional *shared* selection

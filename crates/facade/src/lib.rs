@@ -15,6 +15,9 @@
 //! * [`server`] — the multi-tenant network front-end: framed JSON-over-TCP
 //!   serving with admission control, per-request deadline budgets, and
 //!   per-tenant warm-state quotas over isolated `MatchService`s.
+//! * [`persist`] — crash-safe warm-state snapshots: a versioned, checksummed
+//!   container written atomically and loaded validation-first, so a corrupt
+//!   or stale snapshot degrades to a cold rebuild instead of a wrong answer.
 //! * [`mapping`] — the §4 schema-mapping extensions (Clio-style queries).
 //! * [`datagen`] — deterministic synthetic datasets for the paper's figures.
 
@@ -23,6 +26,7 @@ pub use cxm_core as core;
 pub use cxm_datagen as datagen;
 pub use cxm_mapping as mapping;
 pub use cxm_matching as matching;
+pub use cxm_persist as persist;
 pub use cxm_relational as relational;
 pub use cxm_server as server;
 pub use cxm_service as service;

@@ -26,7 +26,7 @@ pub fn rule_ids() -> Vec<&'static str> {
 /// Crates whose output must be byte-identical across runs, schedules, and
 /// warm/cold paths (ROADMAP "Invariants"): D001/D003 fire here.
 const DETERMINISTIC_CRATES: &[&str] =
-    &["relational", "matching", "classify", "core", "service", "server"];
+    &["relational", "matching", "classify", "core", "service", "server", "persist"];
 
 /// Crates that measure wall-clock time as their purpose: D002 exempt.
 const TIMING_CRATES: &[&str] = &["harness", "bench"];

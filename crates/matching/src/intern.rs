@@ -485,6 +485,29 @@ impl GramInterner {
         ids
     }
 
+    /// Every interned string in **dense id order** (the string behind id 0
+    /// first). Re-interning this dump, in order, into a *fresh* interner via
+    /// [`GramInterner::preload`] reproduces the exact same id assignment —
+    /// the property warm-state persistence relies on to make persisted
+    /// interned artifacts meaningful after a restart.
+    pub fn dump(&self) -> Vec<String> {
+        let snap = self.snapshot();
+        (0..snap.by_id.len())
+            .map(|id| snap.by_id.get(id).map(|s| s.to_string()).unwrap_or_default())
+            .collect()
+    }
+
+    /// Intern a batch of strings in order, returning their ids. On a fresh
+    /// interner fed a [`GramInterner::dump`], the returned ids are exactly
+    /// `0..texts.len()` — dense first-intern order is reproduced. Publication
+    /// cost is O(batch) (one growth-lock acquisition for the whole batch).
+    pub fn preload(&self, texts: Vec<String>) -> Vec<u32> {
+        if texts.is_empty() {
+            return Vec::new();
+        }
+        self.grow(texts)
+    }
+
     /// Build the interned q-gram count profile of a bag of texts — the flat
     /// counterpart of [`crate::column::build_qgram_profile`] (which
     /// normalizes eagerly; this kernel keeps raw counts and the norm so the
@@ -621,6 +644,19 @@ impl InternedValueSet {
     /// involved — an empty set is valid against any id space).
     pub const fn empty() -> InternedValueSet {
         InternedValueSet { ids: Vec::new() }
+    }
+
+    /// Assemble a set from ids that must already be strictly increasing
+    /// (sorted, no duplicates) — `None` otherwise. This is the decode-side
+    /// constructor used by warm-state persistence; rejecting unsorted input
+    /// here keeps the merge-join kernels' precondition intact no matter what
+    /// bytes a snapshot file held.
+    pub fn from_sorted_ids(ids: Vec<u32>) -> Option<InternedValueSet> {
+        if ids.windows(2).all(|w| w[0] < w[1]) {
+            Some(InternedValueSet { ids })
+        } else {
+            None
+        }
     }
 
     /// The sorted distinct value ids.

@@ -1,0 +1,600 @@
+//! The versioned binary container: framed, checksummed sections with a
+//! trailing manifest.
+//!
+//! ```text
+//! file   := magic("CXMPSNAP") version(u32) section* manifest trailer
+//! section:= tag(u8) label_len(u16) label payload_len(u64) payload check(u64)
+//! manifest := a section with tag 0xFF whose payload lists, for every
+//!            preceding section: tag, label, offset, payload_len, check
+//! trailer:= magic("CXMPMEND") manifest_offset(u64) trailer_check(u64)
+//! ```
+//!
+//! All integers are little-endian. Checksums are the workspace's seeded
+//! FNV-1a ([`cxm_relational::Fnv64`]) over the section's tag, label and
+//! payload, with the format version folded into the seed — so a snapshot of
+//! a different format version fails every checksum, not just the header
+//! check.
+//!
+//! The **manifest is written last** and the trailer points at it: a write
+//! that dies anywhere before the final byte leaves a file without a valid
+//! trailer+manifest, which [`parse_file`] rejects wholesale. Once the
+//! manifest is trusted, each section is located by its manifest *offset* (not
+//! by sequential parsing), so a bit flip inside one section — even in its
+//! length prefix — degrades that section alone and leaves its neighbours
+//! loadable.
+
+use cxm_relational::Fnv64;
+
+/// Leading file magic.
+pub const MAGIC: &[u8; 8] = b"CXMPSNAP";
+/// Trailer magic, preceding the manifest offset at the very end of the file.
+pub const TRAILER_MAGIC: &[u8; 8] = b"CXMPMEND";
+/// Current snapshot format version. Bump on any incompatible layout change;
+/// loaders reject other versions wholesale (a version mismatch is a full
+/// cold rebuild, never a partial read).
+pub const FORMAT_VERSION: u32 = 1;
+/// Checksum seed ("cxmpsist" as bytes, arbitrary but fixed).
+const CHECKSUM_SEED: u64 = 0x6378_6d70_7369_7374;
+
+/// Section tags. `0xFF` is reserved for the manifest.
+pub mod tags {
+    /// Interner dump: every interned string in dense id order.
+    pub const INTERNER: u8 = 1;
+    /// Full target database of one tenant.
+    pub const CATALOG: u8 = 2;
+    /// Per-table and per-column fingerprints recorded at save time.
+    pub const FINGERPRINTS: u8 = 3;
+    /// Harvested per-column warm artifacts.
+    pub const PROFILES: u8 = 4;
+    /// Restricted-profile cache contents.
+    pub const RESTRICTED: u8 = 5;
+    /// Tenant registration metadata (policy + quota requests).
+    pub const TENANT: u8 = 6;
+    /// The manifest itself.
+    pub const MANIFEST: u8 = 0xFF;
+}
+
+/// Human-readable name of a section tag (degradation reporting).
+pub fn tag_name(tag: u8) -> &'static str {
+    match tag {
+        tags::INTERNER => "interner",
+        tags::CATALOG => "catalog",
+        tags::FINGERPRINTS => "fingerprints",
+        tags::PROFILES => "profiles",
+        tags::RESTRICTED => "restricted",
+        tags::TENANT => "tenant",
+        tags::MANIFEST => "manifest",
+        _ => "unknown",
+    }
+}
+
+/// Whole-file rejection: nothing in the snapshot can be trusted, the loader
+/// falls back to a full cold rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    BadVersion(u32),
+    /// The file ends before a complete trailer (kill mid-write, truncation).
+    Truncated,
+    /// The trailer or manifest failed its checksum or did not parse.
+    BadManifest,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a cxm snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => {
+                write!(f, "unsupported snapshot format version {v} (expected {FORMAT_VERSION})")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot is truncated (incomplete write)"),
+            SnapshotError::BadManifest => write!(f, "snapshot manifest is missing or corrupt"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Per-payload decode failure: the section's bytes were framed and
+/// checksummed correctly but its content did not parse. Degrades the section
+/// (defense in depth — reachable only through checksum collision or an
+/// encoder bug, but the loader must still never panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot payload decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One manifest row: where a section lives and what its bytes must hash to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Section tag (see [`tags`]).
+    pub tag: u8,
+    /// Tenant label (empty for service-level sections).
+    pub label: String,
+    /// Byte offset of the section start (its tag byte) from the file start.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Seeded-FNV checksum over tag + label + payload.
+    pub checksum: u64,
+}
+
+fn section_checksum(tag: u8, label: &str, payload: &[u8]) -> u64 {
+    let mut h = Fnv64::with_seed(CHECKSUM_SEED ^ u64::from(FORMAT_VERSION));
+    h.write_u8(tag);
+    h.write_str(label);
+    h.write_bytes(payload);
+    h.finish()
+}
+
+fn trailer_checksum(manifest_offset: u64) -> u64 {
+    let mut h = Fnv64::with_seed(CHECKSUM_SEED);
+    h.write_bytes(TRAILER_MAGIC);
+    h.write_u64(manifest_offset);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian primitive writers (free functions over a byte buffer).
+// ---------------------------------------------------------------------------
+
+/// Append a `u8`.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Append a little-endian `u16`.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `i64`.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its IEEE-754 bit pattern (bit-exact round trip,
+/// including NaN payloads and signed zeros).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Append a length-prefixed UTF-8 string (`u64` length + bytes).
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-checked reader.
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over a payload. Every read either succeeds or
+/// returns [`DecodeError`]; nothing panics, no length is trusted before it
+/// is checked against the remaining bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError("unexpected end of payload"));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a `u64` that counts *elements at least `min_element_bytes` wide*
+    /// still to come — rejected (not allocated) when the count could not
+    /// possibly fit in the remaining bytes. This is what keeps an
+    /// adversarial length prefix from forcing a huge allocation.
+    pub fn count(&mut self, min_element_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| DecodeError("count overflows usize"))?;
+        let need = n.checked_mul(min_element_bytes.max(1));
+        match need {
+            Some(bytes) if bytes <= self.remaining() => Ok(n),
+            _ => Err(DecodeError("count exceeds remaining payload")),
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError("string is not UTF-8"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File building.
+// ---------------------------------------------------------------------------
+
+/// Assembles a snapshot file: header, then sections in call order, then the
+/// manifest and trailer (appended by [`FileBuilder::finish`], so they are
+/// physically the last bytes of the file — the crash-safety anchor).
+#[derive(Debug)]
+pub struct FileBuilder {
+    buf: Vec<u8>,
+    manifest: Vec<ManifestEntry>,
+}
+
+impl Default for FileBuilder {
+    fn default() -> Self {
+        FileBuilder::new()
+    }
+}
+
+impl FileBuilder {
+    /// A builder with the header written.
+    pub fn new() -> Self {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        put_u32(&mut buf, FORMAT_VERSION);
+        FileBuilder { buf, manifest: Vec::new() }
+    }
+
+    /// Append one section and record it in the pending manifest.
+    pub fn section(&mut self, tag: u8, label: &str, payload: &[u8]) {
+        let checksum = section_checksum(tag, label, payload);
+        let offset = self.buf.len() as u64;
+        write_section(&mut self.buf, tag, label, payload);
+        self.manifest.push(ManifestEntry {
+            tag,
+            label: label.to_string(),
+            offset,
+            len: payload.len() as u64,
+            checksum,
+        });
+    }
+
+    /// Append the manifest and trailer; returns the file bytes plus the
+    /// manifest rows (section layout — the fault-injection tests use the
+    /// offsets to truncate at every section boundary).
+    pub fn finish(mut self) -> (Vec<u8>, Vec<ManifestEntry>) {
+        let mut payload = Vec::new();
+        put_u32(&mut payload, self.manifest.len() as u32);
+        for entry in &self.manifest {
+            put_u8(&mut payload, entry.tag);
+            put_u16(&mut payload, entry.label.len() as u16);
+            payload.extend_from_slice(entry.label.as_bytes());
+            put_u64(&mut payload, entry.offset);
+            put_u64(&mut payload, entry.len);
+            put_u64(&mut payload, entry.checksum);
+        }
+        let manifest_offset = self.buf.len() as u64;
+        write_section(&mut self.buf, tags::MANIFEST, "", &payload);
+        self.buf.extend_from_slice(TRAILER_MAGIC);
+        put_u64(&mut self.buf, manifest_offset);
+        put_u64(&mut self.buf, trailer_checksum(manifest_offset));
+        (self.buf, self.manifest)
+    }
+}
+
+fn write_section(buf: &mut Vec<u8>, tag: u8, label: &str, payload: &[u8]) {
+    put_u8(buf, tag);
+    put_u16(buf, label.len() as u16);
+    buf.extend_from_slice(label.as_bytes());
+    put_u64(buf, payload.len() as u64);
+    buf.extend_from_slice(payload);
+    put_u64(buf, section_checksum(tag, label, payload));
+}
+
+// ---------------------------------------------------------------------------
+// File parsing.
+// ---------------------------------------------------------------------------
+
+/// One section as located through the manifest. `payload` is `None` when the
+/// section's bytes failed validation (checksum mismatch, framing mismatch
+/// against the manifest, out-of-bounds offset) — the section is *degraded*,
+/// its neighbours are unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawSection {
+    /// Section tag.
+    pub tag: u8,
+    /// Tenant label (empty for service-level sections).
+    pub label: String,
+    /// The validated payload, or `None` for a degraded section.
+    pub payload: Option<Vec<u8>>,
+}
+
+/// Validate the container and return every manifested section (in manifest
+/// order), each independently marked valid or degraded.
+///
+/// Whole-file rejection ([`SnapshotError`]) happens only when the *trust
+/// anchor* is unusable: bad magic, wrong format version, or a missing /
+/// truncated / corrupt trailer+manifest — exactly the states a kill
+/// mid-write can leave behind. Everything else degrades per section.
+pub fn parse_file(bytes: &[u8]) -> Result<Vec<RawSection>, SnapshotError> {
+    let header = MAGIC.len() + 4;
+    let trailer = TRAILER_MAGIC.len() + 16;
+    if bytes.len() < header {
+        return Err(if bytes.get(..bytes.len().min(8)) == Some(&MAGIC[..bytes.len().min(8)]) {
+            SnapshotError::Truncated
+        } else {
+            SnapshotError::BadMagic
+        });
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    if bytes.len() < header + trailer {
+        return Err(SnapshotError::Truncated);
+    }
+    let tail = &bytes[bytes.len() - trailer..];
+    if &tail[..8] != TRAILER_MAGIC {
+        // The trailer is the last thing written: its absence means the write
+        // never completed.
+        return Err(SnapshotError::Truncated);
+    }
+    let manifest_offset = u64::from_le_bytes([
+        tail[8], tail[9], tail[10], tail[11], tail[12], tail[13], tail[14], tail[15],
+    ]);
+    let stored_check = u64::from_le_bytes([
+        tail[16], tail[17], tail[18], tail[19], tail[20], tail[21], tail[22], tail[23],
+    ]);
+    if stored_check != trailer_checksum(manifest_offset) {
+        return Err(SnapshotError::BadManifest);
+    }
+    let manifest_offset =
+        usize::try_from(manifest_offset).map_err(|_| SnapshotError::BadManifest)?;
+    if manifest_offset < header || manifest_offset >= bytes.len() - trailer {
+        return Err(SnapshotError::BadManifest);
+    }
+
+    // Parse + verify the manifest section itself; any failure rejects the
+    // whole file (without it no section can be located or trusted).
+    let manifest_payload = read_section_at(bytes, manifest_offset, bytes.len() - trailer)
+        .ok_or(SnapshotError::BadManifest)?;
+    if manifest_payload.0 != tags::MANIFEST {
+        return Err(SnapshotError::BadManifest);
+    }
+    let mut cur = Cursor::new(manifest_payload.2);
+    let count = cur.u32().map_err(|_| SnapshotError::BadManifest)?;
+    let mut entries = Vec::new();
+    for _ in 0..count {
+        let entry = (|| -> Result<ManifestEntry, DecodeError> {
+            let tag = cur.u8()?;
+            let label_len = cur.u16()? as usize;
+            let label = String::from_utf8(cur.take(label_len)?.to_vec())
+                .map_err(|_| DecodeError("label is not UTF-8"))?;
+            let offset = cur.u64()?;
+            let len = cur.u64()?;
+            let checksum = cur.u64()?;
+            Ok(ManifestEntry { tag, label, offset, len, checksum })
+        })()
+        .map_err(|_| SnapshotError::BadManifest)?;
+        entries.push(entry);
+    }
+
+    // Locate every manifested section by its recorded offset and validate it
+    // independently.
+    let body_end = manifest_offset;
+    let sections = entries
+        .into_iter()
+        .map(|entry| {
+            let payload = usize::try_from(entry.offset).ok().and_then(|offset| {
+                let (tag, label, payload) = read_section_at(bytes, offset, body_end)?;
+                let ok = tag == entry.tag
+                    && label == entry.label
+                    && payload.len() as u64 == entry.len
+                    && section_checksum(tag, label, payload) == entry.checksum;
+                ok.then(|| payload.to_vec())
+            });
+            RawSection { tag: entry.tag, label: entry.label, payload }
+        })
+        .collect();
+    Ok(sections)
+}
+
+/// Read the section framed at `offset`, staying inside `bytes[..end]`.
+/// Returns `(tag, label, payload)` or `None` on any framing violation; also
+/// verifies the section's own inline checksum.
+fn read_section_at(bytes: &[u8], offset: usize, end: usize) -> Option<(u8, &str, &[u8])> {
+    if offset >= end || end > bytes.len() {
+        return None;
+    }
+    let region = &bytes[offset..end];
+    if region.len() < 3 {
+        return None;
+    }
+    let tag = region[0];
+    let label_len = u16::from_le_bytes([region[1], region[2]]) as usize;
+    let mut pos = 3usize;
+    if region.len() < pos + label_len + 8 {
+        return None;
+    }
+    let label = std::str::from_utf8(&region[pos..pos + label_len]).ok()?;
+    pos += label_len;
+    let payload_len = u64::from_le_bytes(region[pos..pos + 8].try_into().ok()?);
+    pos += 8;
+    let payload_len = usize::try_from(payload_len).ok()?;
+    if region.len() < pos + payload_len + 8 {
+        return None;
+    }
+    let payload = &region[pos..pos + payload_len];
+    pos += payload_len;
+    let stored = u64::from_le_bytes(region[pos..pos + 8].try_into().ok()?);
+    if stored != section_checksum(tag, label, payload) {
+        return None;
+    }
+    Some((tag, label, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_section_file() -> (Vec<u8>, Vec<ManifestEntry>) {
+        let mut b = FileBuilder::new();
+        b.section(tags::INTERNER, "", b"alpha");
+        b.section(tags::CATALOG, "acme", b"beta-payload");
+        b.finish()
+    }
+
+    #[test]
+    fn sections_round_trip_through_the_container() {
+        let (bytes, layout) = two_section_file();
+        assert_eq!(layout.len(), 2);
+        let sections = parse_file(&bytes).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].tag, tags::INTERNER);
+        assert_eq!(sections[0].payload.as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(sections[1].label, "acme");
+        assert_eq!(sections[1].payload.as_deref(), Some(&b"beta-payload"[..]));
+    }
+
+    #[test]
+    fn any_truncation_is_rejected_wholesale() {
+        let (bytes, _) = two_section_file();
+        for cut in 0..bytes.len() {
+            let err = parse_file(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated | SnapshotError::BadMagic | SnapshotError::BadManifest
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_body_bit_flip_degrades_only_its_section() {
+        let (bytes, layout) = two_section_file();
+        // Flip a byte inside the first section's payload.
+        let mut corrupt = bytes.clone();
+        let target = layout[0].offset as usize + 3 + 8 + 1; // tag + label_len + payload_len, into payload
+        corrupt[target] ^= 0x40;
+        let sections = parse_file(&corrupt).unwrap();
+        assert!(sections[0].payload.is_none(), "flipped section degrades");
+        assert!(sections[1].payload.is_some(), "neighbour survives");
+    }
+
+    #[test]
+    fn a_length_prefix_flip_degrades_only_its_section() {
+        let (bytes, layout) = two_section_file();
+        let mut corrupt = bytes.clone();
+        let len_pos = layout[0].offset as usize + 3; // payload_len of section 0 (empty label)
+        corrupt[len_pos] ^= 0xFF;
+        let sections = parse_file(&corrupt).unwrap();
+        assert!(sections[0].payload.is_none());
+        assert!(sections[1].payload.is_some(), "manifest offsets, not sequential parsing");
+    }
+
+    #[test]
+    fn manifest_or_trailer_corruption_rejects_the_file() {
+        let (bytes, _) = two_section_file();
+        // Flip inside the trailer's manifest offset.
+        let mut corrupt = bytes.clone();
+        let n = corrupt.len();
+        corrupt[n - 12] ^= 0x01;
+        assert_eq!(parse_file(&corrupt), Err(SnapshotError::BadManifest));
+        // Flip inside the manifest payload.
+        let mut corrupt = bytes.clone();
+        corrupt[n - 40] ^= 0x01;
+        assert!(parse_file(&corrupt).is_err());
+        // Wrong version.
+        let mut wrong = bytes.clone();
+        wrong[8] = 99;
+        assert_eq!(parse_file(&wrong), Err(SnapshotError::BadVersion(99)));
+        // Wrong magic.
+        let mut wrong = bytes;
+        wrong[0] = b'X';
+        assert_eq!(parse_file(&wrong), Err(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn cursor_reads_are_bounds_checked() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "hé");
+        put_f64(&mut buf, -0.0);
+        put_i64(&mut buf, -7);
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(cur.str().unwrap(), "hé");
+        assert_eq!(cur.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(cur.i64().unwrap(), -7);
+        assert!(cur.is_exhausted());
+        assert!(cur.u8().is_err(), "reads past the end fail, never panic");
+
+        // A huge count prefix is rejected before any allocation.
+        let mut huge = Vec::new();
+        put_u64(&mut huge, u64::MAX);
+        assert!(Cursor::new(&huge).count(1).is_err());
+        assert!(Cursor::new(&huge).str().is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Snapshot storage: crash-safe on-disk writes and a fault-injecting
+//! in-memory double for the recovery tests.
+//!
+//! [`DiskStore`] implements the classic atomic-publish sequence — write the
+//! whole file to a sibling temp path, `fsync` it, `rename` it over the
+//! destination, then `fsync` the parent directory so the rename itself is
+//! durable. A crash at any point leaves either the old complete file or the
+//! new complete file at the destination path; the only way a reader can see
+//! torn bytes is a filesystem that reorders data behind `fsync`, which is
+//! exactly what the format's checksums catch.
+//!
+//! [`FaultFs`] is the same interface over an in-memory map, with an
+//! injectable [`FaultPlan`] that simulates the crash windows a real disk
+//! store has: a kill before the rename (destination untouched) and a torn
+//! write (destination holds a prefix). Tests drive every window and assert
+//! the loader degrades instead of trusting the wreckage.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+/// Where snapshot bytes live. `read` returns `Ok(None)` when no snapshot has
+/// ever been published at `path` — a cold start, not an error.
+pub trait SnapshotStore {
+    /// Publish `bytes` at `path` all-or-nothing: after a crash at any point
+    /// during this call, a subsequent [`SnapshotStore::read`] of `path`
+    /// must return either the previous complete contents or `bytes`.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Read the current published contents of `path`, `None` if absent.
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// The real thing: temp file + fsync + atomic rename + directory fsync.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiskStore;
+
+impl DiskStore {
+    /// Sibling temp path the pending snapshot is staged at. Deterministic on
+    /// purpose: a leftover from a killed writer is simply overwritten by the
+    /// next save (callers serialise saves; the server holds a persist lock).
+    fn staging_path(path: &Path) -> PathBuf {
+        let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+        name.push(".tmp");
+        path.with_file_name(name)
+    }
+}
+
+impl SnapshotStore for DiskStore {
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let staging = Self::staging_path(path);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        {
+            let mut file = std::fs::File::create(&staging)?;
+            file.write_all(bytes)?;
+            // First barrier: the staged bytes are on the platter before the
+            // rename can make them visible.
+            file.sync_all()?;
+        }
+        std::fs::rename(&staging, path)?;
+        // Second barrier: the rename (a directory mutation) is durable, so a
+        // crash after this call cannot resurrect the old file.
+        #[cfg(unix)]
+        if let Some(parent) = path.parent() {
+            let parent = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+            std::fs::File::open(parent)?.sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(err) => Err(err),
+        }
+    }
+}
+
+/// What the next [`FaultFs::write_atomic`] call does instead of succeeding.
+/// Plans are one-shot: the write that trips one resets the plan to `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPlan {
+    /// No fault: the write publishes normally.
+    #[default]
+    None,
+    /// The process dies after staging `after_bytes` of the temp file but
+    /// before the rename: the destination keeps its previous contents.
+    KillBeforeRename {
+        /// How much of the temp file made it to the (invisible) staging area.
+        after_bytes: usize,
+    },
+    /// The rename lands but the data pages behind it were never flushed: the
+    /// destination holds only the first `keep_bytes` of the new contents.
+    TornWrite {
+        /// Length of the prefix that survives at the destination.
+        keep_bytes: usize,
+    },
+}
+
+/// In-memory [`SnapshotStore`] with injectable crash windows.
+#[derive(Debug, Default)]
+pub struct FaultFs {
+    files: Mutex<BTreeMap<PathBuf, Vec<u8>>>,
+    plan: Mutex<FaultPlan>,
+    staged: Mutex<BTreeMap<PathBuf, Vec<u8>>>,
+}
+
+impl FaultFs {
+    /// An empty store with no fault planned.
+    pub fn new() -> Self {
+        FaultFs::default()
+    }
+
+    /// Arm the next write with `plan`.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.plan.lock().unwrap_or_else(PoisonError::into_inner) = plan;
+    }
+
+    /// Current published contents of `path`, if any.
+    pub fn contents(&self, path: &Path) -> Option<Vec<u8>> {
+        self.files.lock().unwrap_or_else(PoisonError::into_inner).get(path).cloned()
+    }
+
+    /// What a killed writer left in the staging area for `path` (diagnostic;
+    /// a restart never reads this — only the published destination).
+    pub fn staged(&self, path: &Path) -> Option<Vec<u8>> {
+        self.staged.lock().unwrap_or_else(PoisonError::into_inner).get(path).cloned()
+    }
+
+    /// Publish `bytes` directly, bypassing any plan — how tests install a
+    /// snapshot to then corrupt.
+    pub fn install(&self, path: &Path, bytes: Vec<u8>) {
+        self.files.lock().unwrap_or_else(PoisonError::into_inner).insert(path.to_path_buf(), bytes);
+    }
+
+    /// Mutate the published contents of `path` in place (bit flips,
+    /// truncations). Returns false when nothing is published there.
+    pub fn mutate(&self, path: &Path, edit: impl FnOnce(&mut Vec<u8>)) -> bool {
+        let mut files = self.files.lock().unwrap_or_else(PoisonError::into_inner);
+        match files.get_mut(path) {
+            Some(bytes) => {
+                edit(bytes);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn take_plan(&self) -> FaultPlan {
+        std::mem::take(&mut *self.plan.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl SnapshotStore for FaultFs {
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.take_plan() {
+            FaultPlan::None => {
+                self.install(path, bytes.to_vec());
+                Ok(())
+            }
+            FaultPlan::KillBeforeRename { after_bytes } => {
+                let staged = bytes[..after_bytes.min(bytes.len())].to_vec();
+                self.staged
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(path.to_path_buf(), staged);
+                Err(io::Error::other("injected: killed before rename"))
+            }
+            FaultPlan::TornWrite { keep_bytes } => {
+                self.install(path, bytes[..keep_bytes.min(bytes.len())].to_vec());
+                Err(io::Error::other("injected: torn write"))
+            }
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.contents(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_store_round_trips_and_replaces_atomically() {
+        let dir = std::env::temp_dir().join("cxm-persist-disk-store-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("warm.cxmsnap");
+        let store = DiskStore;
+        assert_eq!(store.read(&path).unwrap(), None, "cold start reads None");
+        store.write_atomic(&path, b"first").unwrap();
+        assert_eq!(store.read(&path).unwrap().as_deref(), Some(&b"first"[..]));
+        store.write_atomic(&path, b"second").unwrap();
+        assert_eq!(store.read(&path).unwrap().as_deref(), Some(&b"second"[..]));
+        assert!(!DiskStore::staging_path(&path).exists(), "staging file is consumed by the rename");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_before_rename_leaves_previous_snapshot_published() {
+        let store = FaultFs::new();
+        let path = Path::new("warm.cxmsnap");
+        store.write_atomic(path, b"old snapshot").unwrap();
+        store.set_plan(FaultPlan::KillBeforeRename { after_bytes: 4 });
+        let err = store.write_atomic(path, b"new snapshot").unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        assert_eq!(store.read(path).unwrap().as_deref(), Some(&b"old snapshot"[..]));
+        assert_eq!(store.staged(path).as_deref(), Some(&b"new "[..]));
+        // The plan is one-shot: the next write publishes normally.
+        store.write_atomic(path, b"new snapshot").unwrap();
+        assert_eq!(store.read(path).unwrap().as_deref(), Some(&b"new snapshot"[..]));
+    }
+
+    #[test]
+    fn torn_write_publishes_a_prefix() {
+        let store = FaultFs::new();
+        let path = Path::new("warm.cxmsnap");
+        store.set_plan(FaultPlan::TornWrite { keep_bytes: 3 });
+        store.write_atomic(path, b"abcdef").unwrap_err();
+        assert_eq!(store.read(path).unwrap().as_deref(), Some(&b"abc"[..]));
+    }
+}

@@ -1,0 +1,38 @@
+//! Crash-safe warm-state persistence for the contextual match service.
+//!
+//! The paper's pipeline is expensive to warm up — profiling every target
+//! column, growing the gram interner, building view-restricted profiles —
+//! yet all of that state is *derived*: losing it can never change an answer,
+//! only the cost of producing one. This crate persists exactly that derived
+//! state across process restarts under two invariants:
+//!
+//! 1. **Crash-safe writes.** A snapshot is written to a temp file, fsynced,
+//!    and atomically renamed over the destination; the on-disk manifest is
+//!    the *last* bytes to land ([`mod@format`]). A reader therefore sees either
+//!    the previous complete snapshot or the new complete snapshot — and a
+//!    torn write (power loss between fsync barriers on a weaker filesystem)
+//!    is detected, never trusted.
+//! 2. **Validation-first loads.** Every section carries a length prefix and
+//!    a seeded-FNV checksum, the manifest cross-references them all, and the
+//!    *content* revalidates against freshly computed fingerprints at restore
+//!    time. Any mismatch, truncation or bit flip degrades the affected
+//!    section to a cold rebuild. A corrupt snapshot can cost time; it can
+//!    never serve wrong or stale answers. This is the same warm-soundness
+//!    invariant the in-process caches obey (reuse ⇔ fingerprint equality),
+//!    extended across the process boundary.
+//!
+//! The crate is deliberately service-agnostic: it defines the byte format,
+//! the [`Snapshot`] data model, and the [`fs::SnapshotStore`] write layer
+//! (including the [`fs::FaultFs`] fault-injection store the recovery tests
+//! drive). `cxm-service` and `cxm-server` own the export/restore wiring.
+
+pub mod format;
+pub mod fs;
+pub mod snapshot;
+
+pub use format::{DecodeError, ManifestEntry, SnapshotError, FORMAT_VERSION};
+pub use fs::{DiskStore, FaultFs, FaultPlan, SnapshotStore};
+pub use snapshot::{
+    decode, encode, encode_with_layout, ArtifactsRecord, ColumnProfileRecord, LoadReport,
+    RestrictedRecord, Snapshot, TableFingerprints, TenantEntry, TenantMeta, WarmState,
+};

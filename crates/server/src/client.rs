@@ -3,9 +3,20 @@
 //! one connection; requests are strictly sequential (send a frame, read the
 //! reply), which is all the protocol needs since every request gets exactly
 //! one response frame.
+//!
+//! [`RetryingClient`] layers bounded retry with exponential backoff and
+//! deterministic jitter on top: explicit `overloaded` rejects (honoring the
+//! server's `retry_after_ms` hint), `shutting_down` rejects, and transport
+//! failures (reset, refused, mid-frame EOF) all reconnect-and-retry up to
+//! the policy's bound. Every request in this protocol is idempotent —
+//! matching is pure, registration converges — which is what makes blanket
+//! retry safe. Time never enters the decision logic: sleeping goes through
+//! an injected [`Sleeper`], and jitter comes from a seeded LCG, so tests
+//! drive the whole retry schedule deterministically with no wall-clock.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use cxm_relational::{Database, Table};
 
@@ -114,6 +125,12 @@ impl Client {
         self.request(&Json::Object(members))
     }
 
+    /// Ask the server to snapshot every tenant's warm state to its persist
+    /// path. Fails with `bad_request` when the server has no persist path.
+    pub fn persist(&mut self) -> io::Result<Json> {
+        self.request(&Json::Object(vec![("op".into(), Json::str("persist"))]))
+    }
+
     /// Ask the server to drain gracefully. The acknowledgement arrives
     /// before the drain completes.
     pub fn shutdown(&mut self) -> io::Result<Json> {
@@ -150,4 +167,272 @@ pub fn is_ok(frame: &Json) -> bool {
 /// The `error.code` of a `{ok: false}` frame, if any.
 pub fn error_code(frame: &Json) -> Option<&str> {
     frame.get("error")?.get("code")?.as_str()
+}
+
+/// The `error.retry_after_ms` hint of a `{ok: false}` frame, if any.
+pub fn retry_after_ms(frame: &Json) -> Option<u64> {
+    match frame.get("error")?.get("retry_after_ms")? {
+        Json::Int(ms) if *ms >= 0 => Some(*ms as u64),
+        _ => None,
+    }
+}
+
+/// How a [`RetryingClient`] waits between attempts. Injected so tests can
+/// record the schedule instead of actually sleeping.
+pub trait Sleeper {
+    /// Block the caller for `d`.
+    fn sleep(&mut self, d: Duration);
+}
+
+/// The production sleeper: `std::thread::sleep`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep(&mut self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// Bounds and pacing for [`RetryingClient`]. Backoff for attempt `n` is
+/// `base_backoff_ms · 2ⁿ` capped at `max_backoff_ms`, plus up to 50%
+/// seeded-LCG jitter; an `overloaded` reject's `retry_after_ms` hint acts
+/// as a floor on the wait, never shortened by jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt; 4 means at most 5 attempts total.
+    pub max_retries: u32,
+    /// First backoff step in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Ceiling on any single backoff wait (before the server's
+    /// `retry_after_ms` floor is applied).
+    pub max_backoff_ms: u64,
+    /// Seed for the jitter LCG — same seed, same schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff_ms: 10,
+            max_backoff_ms: 1_000,
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry number `attempt` (0-based), advancing the
+    /// jitter state. Pure arithmetic — no clock reads.
+    fn backoff(&self, attempt: u32, jitter_state: &mut u64) -> Duration {
+        let exp = self.base_backoff_ms.saturating_mul(1u64 << attempt.min(20));
+        let capped = exp.min(self.max_backoff_ms);
+        *jitter_state =
+            jitter_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let jitter = if capped == 0 { 0 } else { (*jitter_state >> 33) % (capped / 2 + 1) };
+        Duration::from_millis(capped.saturating_add(jitter))
+    }
+}
+
+/// Why a [`RetryingClient`] decided to retry — recorded in telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RetryCause {
+    /// Server answered `overloaded` (admission queue full).
+    Overloaded,
+    /// Server answered `shutting_down` (drain in progress; a restart may
+    /// bring it back).
+    ShuttingDown,
+    /// The transport failed: reset, refused, aborted, broken pipe, or the
+    /// connection closed mid-exchange.
+    Transport,
+}
+
+/// A [`Client`] wrapper that retries transient failures with bounded
+/// exponential backoff. Connects lazily and reconnects after transport
+/// errors, so it also rides out a server restart (connection refused while
+/// the new process comes up is just another transient).
+///
+/// Non-transient protocol errors (`bad_request`, `unknown_tenant`,
+/// `deadline_exceeded`, …) are returned to the caller unchanged on the
+/// first attempt — retrying cannot fix them.
+#[derive(Debug)]
+pub struct RetryingClient<S: Sleeper = ThreadSleeper> {
+    addr: String,
+    client: Option<Client>,
+    policy: RetryPolicy,
+    sleeper: S,
+    jitter_state: u64,
+    ever_connected: bool,
+    retries: u64,
+    reconnects: u64,
+}
+
+impl RetryingClient<ThreadSleeper> {
+    /// A retrying client over real sleeps. Does not connect yet — the
+    /// first request does, under the retry policy.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> RetryingClient<ThreadSleeper> {
+        RetryingClient::with_sleeper(addr, policy, ThreadSleeper)
+    }
+}
+
+impl<S: Sleeper> RetryingClient<S> {
+    /// A retrying client with an injected sleeper (tests record the
+    /// schedule instead of blocking).
+    pub fn with_sleeper(addr: impl Into<String>, policy: RetryPolicy, sleeper: S) -> Self {
+        RetryingClient {
+            addr: addr.into(),
+            client: None,
+            jitter_state: policy.jitter_seed,
+            policy,
+            sleeper,
+            ever_connected: false,
+            retries: 0,
+            reconnects: 0,
+        }
+    }
+
+    /// Total retries performed (sleep-then-reattempt cycles).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Successful connections made after the first one.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// True when `kind` indicates the connection (not the request) failed,
+    /// so reconnect-and-retry can help.
+    fn transport_error(kind: io::ErrorKind) -> bool {
+        matches!(
+            kind,
+            io::ErrorKind::ConnectionRefused
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::NotConnected
+        )
+    }
+
+    /// One attempt: connect if needed, send, read. A failed attempt drops
+    /// the connection so the next one starts clean.
+    fn attempt(&mut self, frame: &Json) -> io::Result<Json> {
+        if self.client.is_none() {
+            let client = Client::connect(self.addr.as_str())?;
+            if self.ever_connected {
+                self.reconnects += 1;
+            }
+            self.ever_connected = true;
+            self.client = Some(client);
+        }
+        let client = self.client.as_mut().expect("connection established above");
+        let outcome = client.request(frame);
+        if outcome.is_err() {
+            self.client = None;
+        }
+        outcome
+    }
+
+    /// Send one request, retrying transient failures under the policy.
+    /// Returns the final response frame (which may still be an error frame
+    /// if retries ran out or the error is not transient), or the final
+    /// transport error once `max_retries` reconnect attempts are spent.
+    pub fn request(&mut self, frame: &Json) -> io::Result<Json> {
+        let mut attempt = 0u32;
+        loop {
+            match self.attempt(frame) {
+                Ok(response) => {
+                    if is_ok(&response) {
+                        return Ok(response);
+                    }
+                    let cause = match error_code(&response) {
+                        Some("overloaded") => RetryCause::Overloaded,
+                        Some("shutting_down") => RetryCause::ShuttingDown,
+                        _ => return Ok(response),
+                    };
+                    if attempt >= self.policy.max_retries {
+                        return Ok(response);
+                    }
+                    let hint = retry_after_ms(&response);
+                    self.wait(attempt, cause, hint);
+                }
+                Err(e) => {
+                    if !Self::transport_error(e.kind()) || attempt >= self.policy.max_retries {
+                        return Err(e);
+                    }
+                    self.wait(attempt, RetryCause::Transport, None);
+                }
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Sleep before retry number `attempt`, honoring the server's
+    /// `retry_after_ms` hint as a floor on the backoff wait.
+    fn wait(&mut self, attempt: u32, cause: RetryCause, hint_ms: Option<u64>) {
+        let mut wait = self.policy.backoff(attempt, &mut self.jitter_state);
+        if cause == RetryCause::Overloaded {
+            if let Some(hint) = hint_ms {
+                wait = wait.max(Duration::from_millis(hint));
+            }
+        }
+        self.retries += 1;
+        self.sleeper.sleep(wait);
+    }
+
+    /// [`Client::register`] with retries.
+    pub fn register(
+        &mut self,
+        tenant: &str,
+        target: &Database,
+        policy: &TenantPolicy,
+        quotas: &TenantQuotas,
+    ) -> io::Result<Json> {
+        let tables =
+            encode_database(target).get("tables").cloned().unwrap_or(Json::Array(Vec::new()));
+        let mut members = vec![
+            ("op".into(), Json::str("register")),
+            ("tenant".into(), Json::str(tenant)),
+            ("tables".into(), tables),
+        ];
+        let policy_members = encode_policy(policy, quotas);
+        if !policy_members.is_empty() {
+            members.push(("policy".into(), Json::Object(policy_members)));
+        }
+        self.request(&Json::Object(members))
+    }
+
+    /// [`Client::submit`] with retries.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        source: &Database,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<Json> {
+        let mut members = vec![
+            ("op".into(), Json::str("submit")),
+            ("tenant".into(), Json::str(tenant)),
+            ("source".into(), encode_database(source)),
+        ];
+        if let Some(ms) = deadline_ms {
+            members.push(("deadline_ms".into(), Json::Int(ms as i64)));
+        }
+        self.request(&Json::Object(members))
+    }
+
+    /// [`Client::stats`] with retries.
+    pub fn stats(&mut self, tenant: Option<&str>) -> io::Result<Json> {
+        let mut members = vec![("op".into(), Json::str("stats"))];
+        if let Some(tenant) = tenant {
+            members.push(("tenant".into(), Json::str(tenant)));
+        }
+        self.request(&Json::Object(members))
+    }
+
+    /// [`Client::persist`] with retries.
+    pub fn persist(&mut self) -> io::Result<Json> {
+        self.request(&Json::Object(vec![("op".into(), Json::str("persist"))]))
+    }
 }

@@ -31,15 +31,19 @@ pub fn read_frame<R: Read>(r: &mut R, max_bytes: usize) -> io::Result<Option<Vec
     let mut len_buf = [0u8; 4];
     let mut filled = 0usize;
     while filled < len_buf.len() {
-        match r.read(&mut len_buf[filled..])? {
-            0 if filled == 0 => return Ok(None),
-            0 => {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "connection closed inside a frame header",
                 ))
             }
-            n => filled += n,
+            Ok(n) => filled += n,
+            // `read_exact` retries Interrupted; the header loop must too, or
+            // a signal landing between frames tears down a healthy connection.
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
     }
     let len = u32::from_be_bytes(len_buf) as usize;
@@ -91,5 +95,67 @@ mod tests {
         wire.extend_from_slice(b"abc");
         let err = read_frame(&mut Cursor::new(wire), 64).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    /// A stream that serves one byte per `read` call and injects an
+    /// `Interrupted` error before each — the worst-behaved short-read peer
+    /// a real socket can legally be.
+    struct Dribble {
+        bytes: Vec<u8>,
+        pos: usize,
+        interrupt_next: bool,
+    }
+
+    impl Dribble {
+        fn new(bytes: Vec<u8>) -> Dribble {
+            Dribble { bytes, pos: 0, interrupt_next: true }
+        }
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+            }
+            self.interrupt_next = true;
+            if self.pos >= self.bytes.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn one_byte_reads_with_interrupts_still_deliver_whole_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"op\":\"stats\"}").unwrap();
+        write_frame(&mut wire, b"x").unwrap();
+        let mut r = Dribble::new(wire);
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), b"{\"op\":\"stats\"}");
+        assert_eq!(read_frame(&mut r, 64).unwrap().unwrap(), b"x");
+        assert!(read_frame(&mut r, 64).unwrap().is_none(), "clean EOF after the last frame");
+    }
+
+    #[test]
+    fn dribbled_truncation_at_every_byte_boundary_is_an_error_never_a_frame() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        // Cut the wire at every interior byte: each prefix must end in a
+        // clean mid-frame error, never a short or phantom frame.
+        for cut in 1..wire.len() {
+            let err = read_frame(&mut Dribble::new(wire[..cut].to_vec()), 64).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at byte {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_even_when_dribbled() {
+        let mut wire = (u32::MAX).to_be_bytes().to_vec();
+        wire.extend_from_slice(b"garbage that must never be allocated for");
+        let err = read_frame(&mut Dribble::new(wire), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

@@ -31,15 +31,17 @@ pub mod admission;
 pub mod client;
 pub mod frame;
 pub mod json;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod telemetry;
 pub mod tenant;
 
 pub use admission::{AdmissionQueue, AdmitError};
-pub use client::Client;
+pub use client::{Client, RetryPolicy, RetryingClient, Sleeper, ThreadSleeper};
 pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME_BYTES};
 pub use json::Json;
+pub use persist::{restore_registry, save_registry, SaveOutcome};
 pub use protocol::{encode_result, ErrorCode, Request, TenantPolicy, TenantQuotas};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use telemetry::{Deadline, ServerStats, TenantStats};

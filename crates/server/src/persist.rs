@@ -1,0 +1,131 @@
+//! Server-side snapshot plumbing: save the whole tenant registry on drain
+//! (or on a `persist` op), restore it on start.
+//!
+//! One snapshot file holds every tenant — warm state *and* registration
+//! metadata (policy + the pre-clamp quota request) — plus the single shared
+//! interner dump. Restore rebuilds the registry the same way a client would
+//! have: each tenant's quota request is re-clamped against the *current*
+//! ceilings, so an operator who tightened quotas across the restart wins,
+//! and the warm state flows through [`MatchService::restore_from_parts`]'s
+//! validation gates. A tenant whose metadata section degraded is simply not
+//! restored — its next `register` frame recreates it cold, which is always
+//! safe because warm state is derived state.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use cxm_matching::GramInterner;
+use cxm_persist::{decode, encode, DiskStore, Snapshot, SnapshotStore, TenantEntry, TenantMeta};
+use cxm_service::MatchService;
+
+use crate::protocol::{TenantPolicy, TenantQuotas};
+use crate::tenant::{QuotaCeilings, TenantRegistry};
+use cxm_core::ContextMatchConfig;
+
+/// What a registry save wrote.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaveOutcome {
+    /// Tenants captured in the snapshot.
+    pub tenants: usize,
+    /// Snapshot size on the wire, in bytes.
+    pub bytes: usize,
+}
+
+/// Crash-safely publish the whole registry's warm state at `path`.
+pub fn save_registry(registry: &TenantRegistry, path: &Path) -> io::Result<SaveOutcome> {
+    save_registry_to(&DiskStore, registry, path)
+}
+
+/// [`save_registry`] through an explicit store (fault-injection hook).
+pub fn save_registry_to(
+    store: &impl SnapshotStore,
+    registry: &TenantRegistry,
+    path: &Path,
+) -> io::Result<SaveOutcome> {
+    let tenants = registry.tenants();
+    let entries: Vec<TenantEntry> = tenants
+        .iter()
+        .map(|tenant| {
+            let policy = tenant.policy();
+            let quotas = tenant.quotas();
+            TenantEntry {
+                label: tenant.name.clone(),
+                meta: Some(TenantMeta {
+                    score_threshold: policy.score_threshold,
+                    top_k: policy.top_k,
+                    quotas: [
+                        quotas.source_cache_capacity,
+                        quotas.selection_cache_tables,
+                        quotas.restricted_profile_entries,
+                        quotas.match_result_entries,
+                    ],
+                }),
+                // Exporting forces each catalog's interned artifacts, so the
+                // dump below (taken after) covers every referenced id.
+                warm: tenant.service.export_warm_state(),
+            }
+        })
+        .collect();
+    let snapshot = Snapshot { interner: Some(registry.interner().dump()), tenants: entries };
+    let bytes = encode(&snapshot);
+    store.write_atomic(path, &bytes)?;
+    Ok(SaveOutcome { tenants: tenants.len(), bytes: bytes.len() })
+}
+
+/// Build a registry from the snapshot at `path`, degrading anything that
+/// fails validation. A missing file — or a wholesale-rejected one — is a
+/// plain cold registry; per-tenant restore outcomes surface through each
+/// tenant's [`cxm_service::WarmStats`].
+pub fn restore_registry(
+    context: ContextMatchConfig,
+    ceilings: QuotaCeilings,
+    path: &Path,
+) -> io::Result<TenantRegistry> {
+    restore_registry_from(&DiskStore, context, ceilings, path)
+}
+
+/// [`restore_registry`] through an explicit store (fault-injection hook).
+pub fn restore_registry_from(
+    store: &impl SnapshotStore,
+    context: ContextMatchConfig,
+    ceilings: QuotaCeilings,
+    path: &Path,
+) -> io::Result<TenantRegistry> {
+    let Some(bytes) = store.read(path)? else { return Ok(TenantRegistry::new(context, ceilings)) };
+    let (mut snapshot, report) = match decode(&bytes) {
+        Ok(decoded) => decoded,
+        Err(_) => return Ok(TenantRegistry::new(context, ceilings)),
+    };
+    let interner = Arc::new(GramInterner::new());
+    let interned = match snapshot.interner.take() {
+        Some(dump) => interner.preload(dump).len(),
+        None => 0,
+    };
+    let registry = TenantRegistry::with_interner(context, ceilings, interner);
+    for entry in &snapshot.tenants {
+        // No metadata (absent or degraded) means no way to know the tenant's
+        // quotas/policy: skip it — the client's next register recreates it
+        // cold, with warm state rebuilt on demand.
+        let Some(meta) = &entry.meta else { continue };
+        let policy = TenantPolicy { score_threshold: meta.score_threshold, top_k: meta.top_k };
+        let quotas = TenantQuotas {
+            source_cache_capacity: meta.quotas[0],
+            selection_cache_tables: meta.quotas[1],
+            restricted_profile_entries: meta.quotas[2],
+            match_result_entries: meta.quotas[3],
+        };
+        let config = ceilings.clamp(&quotas, context);
+        let suffix = format!(":{}", entry.label);
+        let degraded = report.degraded.iter().filter(|name| name.ends_with(&suffix)).count();
+        let service = MatchService::restore_from_parts(
+            config,
+            Arc::clone(registry.interner()),
+            interned,
+            &entry.warm,
+            degraded,
+        );
+        registry.install_restored(&entry.label, policy, quotas, service);
+    }
+    Ok(registry)
+}

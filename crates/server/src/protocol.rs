@@ -140,6 +140,8 @@ pub enum Request {
         /// Restrict to one tenant.
         tenant: Option<String>,
     },
+    /// Snapshot every tenant's warm state to the server's persist path.
+    Persist,
     /// Graceful drain: stop admitting, finish queued work, exit workers.
     Shutdown,
 }
@@ -193,6 +195,7 @@ impl Request {
                     ),
                 },
             }),
+            "persist" => Ok(Request::Persist),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op `{other}`")),
         }
@@ -468,6 +471,11 @@ pub fn encode_tenant_stats(stats: &TenantStats) -> Json {
         ("result_cache_capacity".into(), Json::Int(warm.result_capacity as i64)),
         ("source_cache_len".into(), Json::Int(warm.source_len as i64)),
         ("source_cache_capacity".into(), Json::Int(warm.source_capacity as i64)),
+        ("restored_columns".into(), Json::Int(warm.restored_columns as i64)),
+        ("rebuilt_columns".into(), Json::Int(warm.rebuilt_columns as i64)),
+        ("restored_restricted".into(), Json::Int(warm.restored_restricted as i64)),
+        ("dropped_restricted".into(), Json::Int(warm.dropped_restricted as i64)),
+        ("degraded_sections".into(), Json::Int(warm.degraded_sections as i64)),
         ("display".into(), Json::str(stats.to_string())),
     ])
 }

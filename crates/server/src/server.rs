@@ -23,12 +23,14 @@
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use cxm_core::ContextMatchConfig;
+use cxm_service::MutexExt;
 
 use crate::admission::{AdmissionQueue, AdmitError};
 use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME_BYTES};
@@ -61,6 +63,12 @@ pub struct ServerConfig {
     pub default_deadline_ms: Option<u64>,
     /// The `retry_after_ms` hint sent with `overloaded` rejects.
     pub retry_after_ms: u64,
+    /// Warm-state snapshot file. When set, [`serve`] restores every tenant
+    /// from it on start (validation-first — anything stale or corrupt
+    /// degrades to a cold rebuild), [`ServerHandle::join`] snapshots on
+    /// drain, and the `persist` op snapshots on demand. `None` disables
+    /// persistence entirely.
+    pub persist_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +82,7 @@ impl Default for ServerConfig {
             quota_ceilings: QuotaCeilings::default(),
             default_deadline_ms: None,
             retry_after_ms: 25,
+            persist_path: None,
         }
     }
 }
@@ -98,9 +107,22 @@ struct Shared {
     max_frame_bytes: usize,
     default_deadline_ms: Option<u64>,
     retry_after_ms: u64,
+    persist_path: Option<PathBuf>,
+    /// Serializes snapshot writes: concurrent `persist` ops (or a `persist`
+    /// racing the drain snapshot) must not interleave their temp files.
+    persist_lock: Mutex<()>,
 }
 
 impl Shared {
+    /// Snapshot every tenant's warm state to the configured path.
+    fn persist(&self) -> io::Result<crate::persist::SaveOutcome> {
+        let Some(path) = &self.persist_path else {
+            return Err(io::Error::new(io::ErrorKind::Unsupported, "no persist path configured"));
+        };
+        let _guard = self.persist_lock.lock_or_recover();
+        crate::persist::save_registry(&self.registry, path)
+    }
+
     fn stats(&self) -> ServerStats {
         let mut stats = self.counters.snapshot();
         stats.workers = self.workers;
@@ -139,8 +161,17 @@ pub struct ServerHandle {
 pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
+    // Restore-on-start: tenants come back warm before the first connection
+    // is accepted, so a restarted server's first submit already reuses every
+    // artifact that survived validation.
+    let registry = match &config.persist_path {
+        Some(path) => {
+            crate::persist::restore_registry(config.context, config.quota_ceilings, path)?
+        }
+        None => TenantRegistry::new(config.context, config.quota_ceilings),
+    };
     let shared = Arc::new(Shared {
-        registry: TenantRegistry::new(config.context, config.quota_ceilings),
+        registry,
         queue: AdmissionQueue::with_capacity(config.queue_capacity),
         counters: ServerCounters::default(),
         draining: AtomicBool::new(false),
@@ -149,6 +180,8 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         max_frame_bytes: config.max_frame_bytes,
         default_deadline_ms: config.default_deadline_ms,
         retry_after_ms: config.retry_after_ms,
+        persist_path: config.persist_path,
+        persist_lock: Mutex::new(()),
     });
 
     let workers = (0..shared.workers)
@@ -191,16 +224,32 @@ impl ServerHandle {
         self.shared.begin_drain();
     }
 
+    /// Snapshot every tenant's warm state to the configured persist path
+    /// (same effect as a `persist` frame). Errors with
+    /// [`io::ErrorKind::Unsupported`] when no path is configured.
+    pub fn persist(&self) -> io::Result<crate::persist::SaveOutcome> {
+        self.shared.persist()
+    }
+
     /// Wait for the drain to complete: the accept thread and every worker
     /// exit once admission is closed and the queue is empty. Call
     /// [`ServerHandle::shutdown`] (or send a `shutdown` frame) first —
     /// joining a server nobody shut down blocks until somebody does.
+    ///
+    /// With a persist path configured, the drained state is snapshotted
+    /// after the last worker exits — snapshot-on-drain is what makes a
+    /// rolling restart start warm. Best-effort: a failed write leaves the
+    /// previous snapshot in place (the write is atomic), never blocks the
+    /// shutdown.
     pub fn join(mut self) {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if self.shared.persist_path.is_some() {
+            let _ = self.shared.persist();
         }
     }
 }
@@ -336,6 +385,19 @@ fn respond(payload: &[u8], shared: &Arc<Shared>) -> Json {
                 ],
             )
         }
+        Request::Persist => match shared.persist() {
+            Ok(outcome) => ok_frame(
+                "persist",
+                vec![
+                    ("tenants".into(), Json::Int(outcome.tenants as i64)),
+                    ("bytes".into(), Json::Int(outcome.bytes as i64)),
+                ],
+            ),
+            Err(e) if e.kind() == io::ErrorKind::Unsupported => {
+                error_frame(ErrorCode::BadRequest, "no persist path configured", None)
+            }
+            Err(e) => error_frame(ErrorCode::Internal, &format!("persist failed: {e}"), None),
+        },
         Request::Shutdown => {
             shared.begin_drain();
             ok_frame("shutdown", vec![("draining".into(), Json::Bool(true))])

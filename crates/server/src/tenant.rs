@@ -83,6 +83,10 @@ pub struct Tenant {
     pub service: MatchService,
     /// Post-match response policy (mutable via re-registration).
     policy: Mutex<TenantPolicy>,
+    /// The quota *request* the tenant registered with (pre-clamp). Persisted
+    /// with the warm state so a restored server re-derives the same clamped
+    /// [`ServiceConfig`] — even if the ceilings changed across the restart.
+    quotas: TenantQuotas,
     /// Serving counters.
     pub counters: TenantCounters,
 }
@@ -91,6 +95,11 @@ impl Tenant {
     /// The current policy (a copy; policies are tiny).
     pub fn policy(&self) -> TenantPolicy {
         *self.policy.lock_or_recover()
+    }
+
+    /// The quota request the tenant was created with (pre-clamp).
+    pub fn quotas(&self) -> TenantQuotas {
+        self.quotas
     }
 
     /// Swap the post-match policy. Takes effect for the next response
@@ -127,12 +136,28 @@ impl TenantRegistry {
     /// An empty registry. Every tenant created through it runs `context`
     /// under `ceilings`, interning against one fresh shared interner.
     pub fn new(context: ContextMatchConfig, ceilings: QuotaCeilings) -> Self {
-        TenantRegistry {
-            tenants: RwLock::new(BTreeMap::new()),
-            interner: Arc::new(GramInterner::new()),
-            context,
-            ceilings,
-        }
+        TenantRegistry::with_interner(context, ceilings, Arc::new(GramInterner::new()))
+    }
+
+    /// An empty registry over an explicit interner — how a snapshot restore
+    /// hands every tenant the interner already preloaded with the snapshot's
+    /// dump.
+    pub fn with_interner(
+        context: ContextMatchConfig,
+        ceilings: QuotaCeilings,
+        interner: Arc<GramInterner>,
+    ) -> Self {
+        TenantRegistry { tenants: RwLock::new(BTreeMap::new()), interner, context, ceilings }
+    }
+
+    /// The server-wide quota ceilings tenants are clamped to.
+    pub fn ceilings(&self) -> QuotaCeilings {
+        self.ceilings
+    }
+
+    /// The `ContextMatch` configuration every tenant's service runs.
+    pub fn context(&self) -> ContextMatchConfig {
+        self.context
     }
 
     /// The interner shared by every tenant's catalog.
@@ -166,10 +191,46 @@ impl TenantRegistry {
             name: name.to_string(),
             service: MatchService::with_config_and_interner(config, Arc::clone(&self.interner)),
             policy: Mutex::new(policy),
+            quotas: *quotas,
             counters: TenantCounters::default(),
         });
         tenants.insert(name.to_string(), Arc::clone(&tenant));
         tenant
+    }
+
+    /// Install a tenant around an already-restored service (snapshot restore
+    /// path; the service must intern against this registry's interner).
+    /// First registration wins, exactly like [`TenantRegistry::register`] —
+    /// a name already present keeps its existing tenant.
+    pub fn install_restored(
+        &self,
+        name: &str,
+        policy: TenantPolicy,
+        quotas: TenantQuotas,
+        service: MatchService,
+    ) -> Arc<Tenant> {
+        debug_assert!(
+            Arc::ptr_eq(service.catalog().interner(), &self.interner),
+            "restored service must share the registry interner"
+        );
+        let mut tenants = self.tenants.write_or_recover();
+        if let Some(tenant) = tenants.get(name) {
+            return Arc::clone(tenant);
+        }
+        let tenant = Arc::new(Tenant {
+            name: name.to_string(),
+            service,
+            policy: Mutex::new(policy),
+            quotas,
+            counters: TenantCounters::default(),
+        });
+        tenants.insert(name.to_string(), Arc::clone(&tenant));
+        tenant
+    }
+
+    /// Every live tenant, in name order.
+    pub fn tenants(&self) -> Vec<Arc<Tenant>> {
+        self.tenants.read_or_recover().values().cloned().collect()
     }
 
     /// Number of registered tenants.

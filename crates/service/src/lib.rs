@@ -46,10 +46,12 @@
 
 mod catalog;
 mod lock;
+mod persist;
 mod service;
 
 pub use catalog::{
     CatalogSnapshot, CatalogUpdate, TargetCatalog, DEFAULT_RESTRICTED_PROFILE_CAPACITY,
 };
 pub use lock::{MutexExt, RwLockExt};
+pub use persist::RestoreSummary;
 pub use service::{MatchResponse, MatchService, RequestTelemetry, ServiceConfig, WarmStats};

@@ -1,0 +1,432 @@
+//! Warm-state export and validation-first restore for [`MatchService`].
+//!
+//! Export walks the current catalog snapshot, **forces** the expensive
+//! interned artifacts (3-gram profiles, value-id sets, numeric summaries) so
+//! the snapshot is complete even for columns no request has touched yet,
+//! and records each column's content fingerprint next to its artifacts.
+//! The interner is dumped *after* the harvest, so every interned id the
+//! artifacts reference is covered by the dump.
+//!
+//! Restore is the mirror image with a gate at every step:
+//!
+//! * the decoded catalog registers only if **every** table and column
+//!   fingerprint freshly computed from the decoded rows equals the stored
+//!   one — otherwise the whole catalog restore is dropped (the caller
+//!   re-registers cold);
+//! * each profile record seeds its column only when the column's fresh
+//!   fingerprint equals the stored one **and** the artifacts pass structural
+//!   validation against the restored interner's id space;
+//! * restricted-profile entries re-key under the restored interner's token
+//!   (process-unique tokens never travel) and drop on any validation
+//!   failure.
+//!
+//! Nothing restored is ever *trusted*: a reused artifact is only reachable
+//! through the same fingerprint-equality checks the in-process warm path
+//! uses, so a stale or corrupt snapshot can cost rebuild time, never wrong
+//! answers. The outcome is tallied in a [`RestoreSummary`], surfaced through
+//! [`crate::WarmStats`].
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use cxm_core::RestrictedKey;
+use cxm_matching::GramInterner;
+use cxm_persist::{
+    decode, encode, ArtifactsRecord, ColumnProfileRecord, DiskStore, RestrictedRecord, Snapshot,
+    SnapshotStore, TableFingerprints, TenantEntry, WarmState,
+};
+use cxm_relational::Database;
+
+use crate::lock::MutexExt;
+use crate::service::{MatchService, ServiceConfig};
+
+/// What a restore managed to reuse and what it had to give up — the
+/// snapshot-boundary counterpart of per-request cache telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreSummary {
+    /// Target columns whose persisted artifacts passed every validation gate
+    /// and were seeded — these columns will never be re-profiled.
+    pub restored_columns: usize,
+    /// Persisted column records that failed a gate (fingerprint mismatch,
+    /// structural corruption, missing column) — rebuilt lazily, cold.
+    pub rebuilt_columns: usize,
+    /// Restricted-profile cache entries restored.
+    pub restored_restricted: usize,
+    /// Restricted-profile records dropped by validation or a disabled cache.
+    pub dropped_restricted: usize,
+    /// Snapshot sections degraded on load (checksum/framing/parse failures
+    /// plus content-level cross-validation failures).
+    pub degraded_sections: usize,
+}
+
+impl fmt::Display for RestoreSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} columns restored / {} rebuilt, restricted {} restored / {} dropped, \
+             {} sections degraded",
+            self.restored_columns,
+            self.rebuilt_columns,
+            self.restored_restricted,
+            self.dropped_restricted,
+            self.degraded_sections,
+        )
+    }
+}
+
+impl MatchService {
+    /// Export this service's warm state (catalog, fingerprints, forced
+    /// per-column artifacts, restricted-profile cache) as one tenant's slice
+    /// of a snapshot. Multi-tenant hosts call this per tenant and add the
+    /// shared interner dump themselves.
+    pub fn export_warm_state(&self) -> WarmState {
+        export_warm_state(self)
+    }
+
+    /// Export a complete single-service [`Snapshot`]: one anonymous tenant
+    /// plus the interner dump (taken after the artifact harvest, so every
+    /// referenced id is covered).
+    pub fn export_snapshot(&self) -> Snapshot {
+        let warm = export_warm_state(self);
+        Snapshot {
+            interner: Some(self.catalog().interner().dump()),
+            tenants: vec![TenantEntry { label: String::new(), meta: None, warm }],
+        }
+    }
+
+    /// Crash-safely publish this service's warm state at `path` (temp file +
+    /// fsync + atomic rename; see [`cxm_persist::DiskStore`]).
+    pub fn save_warm_state(&self, path: &Path) -> io::Result<()> {
+        self.save_warm_state_to(&DiskStore, path)
+    }
+
+    /// [`MatchService::save_warm_state`] through an explicit store — how the
+    /// fault-injection tests interpose [`cxm_persist::FaultFs`].
+    pub fn save_warm_state_to(&self, store: &impl SnapshotStore, path: &Path) -> io::Result<()> {
+        store.write_atomic(path, &encode(&self.export_snapshot()))
+    }
+
+    /// Build a service from the snapshot at `path`, degrading anything that
+    /// fails validation to a cold rebuild. A missing file is a plain cold
+    /// start; an unreadable one is an I/O error (the caller decides whether
+    /// that is fatal); a *corrupt* one is never an error — it restores
+    /// whatever validates and reports the rest via
+    /// [`MatchService::restore_summary`].
+    pub fn with_warm_state(config: ServiceConfig, path: &Path) -> io::Result<MatchService> {
+        MatchService::with_warm_state_from(config, &DiskStore, path)
+    }
+
+    /// [`MatchService::with_warm_state`] through an explicit store.
+    pub fn with_warm_state_from(
+        config: ServiceConfig,
+        store: &impl SnapshotStore,
+        path: &Path,
+    ) -> io::Result<MatchService> {
+        match store.read(path)? {
+            None => Ok(MatchService::with_config(config)),
+            Some(bytes) => Ok(MatchService::from_snapshot_bytes(config, &bytes)),
+        }
+    }
+
+    /// Build a service from already-read snapshot bytes. Wholesale rejection
+    /// (bad magic/version, truncated trailer, unusable manifest) yields a
+    /// cold service with one degraded "file" section on the books.
+    pub fn from_snapshot_bytes(config: ServiceConfig, bytes: &[u8]) -> MatchService {
+        let (mut snapshot, report) = match decode(bytes) {
+            Ok(decoded) => decoded,
+            Err(_) => {
+                let mut service = MatchService::with_config(config);
+                service.restore = RestoreSummary { degraded_sections: 1, ..Default::default() };
+                return service;
+            }
+        };
+        let interner = Arc::new(GramInterner::new());
+        let interned = match snapshot.interner.take() {
+            Some(dump) => interner.preload(dump).len(),
+            None => 0,
+        };
+        let warm = snapshot
+            .tenants
+            .iter()
+            .find(|t| t.label.is_empty())
+            .map(|t| t.warm.clone())
+            .unwrap_or_default();
+        MatchService::restore_from_parts(config, interner, interned, &warm, report.degraded.len())
+    }
+
+    /// Build a service from one decoded tenant slice. `interner` must
+    /// already hold the snapshot's preloaded dump (its first `interned_ids`
+    /// ids), shared across every tenant restored from the same file;
+    /// `degraded_sections` carries the load-time degradations attributable
+    /// to this tenant. This is the entry point multi-tenant hosts use.
+    pub fn restore_from_parts(
+        config: ServiceConfig,
+        interner: Arc<GramInterner>,
+        interned_ids: usize,
+        warm: &WarmState,
+        degraded_sections: usize,
+    ) -> MatchService {
+        let mut summary = RestoreSummary { degraded_sections, ..Default::default() };
+        let mut service = MatchService::with_config_and_interner(config, interner);
+
+        // Gate 1: the decoded catalog registers only when every freshly
+        // computed fingerprint equals the stored one — both sections intact
+        // and mutually consistent, or neither is used.
+        let catalog = match (&warm.catalog, &warm.fingerprints) {
+            (Some(db), Some(stored)) if fingerprints_match(db, stored) => Some(db),
+            (None, _) | (_, None) => None,
+            _ => {
+                // Decoded cleanly but failed cross-validation: a content-level
+                // degradation the section checksums cannot see.
+                summary.degraded_sections += 1;
+                None
+            }
+        };
+        let Some(db) = catalog else {
+            summary.rebuilt_columns += warm.profiles.as_ref().map_or(0, Vec::len);
+            summary.dropped_restricted += warm.restricted.as_ref().map_or(0, Vec::len);
+            service.restore = summary;
+            return service;
+        };
+        service.register_target(db);
+        let snapshot = service.catalog().snapshot();
+
+        // Gate 2: artifacts seed a column only under fingerprint equality
+        // plus structural validation against the restored id space.
+        if let Some(profiles) = &warm.profiles {
+            for record in profiles {
+                let column = snapshot
+                    .table_columns(&record.table)
+                    .and_then(|cols| cols.iter().find(|c| c.attr.attribute == record.attribute))
+                    .filter(|c| c.fingerprint() == Some(record.fingerprint));
+                match column.and_then(|c| Some((c, record.artifacts.seed(interned_ids)?))) {
+                    Some((column, artifacts)) => {
+                        column.seed_artifacts(&artifacts);
+                        summary.restored_columns += 1;
+                    }
+                    None => summary.rebuilt_columns += 1,
+                }
+            }
+        }
+
+        // Gate 3: restricted entries re-key under the restored interner's
+        // token; their fingerprint halves are validated lazily by the cache
+        // lookups themselves (a stale key simply never hits).
+        if let Some(records) = &warm.restricted {
+            let token = snapshot.interner().token();
+            let mut cache = snapshot.restricted_profiles().lock_or_recover();
+            for record in records {
+                if cache.capacity() == 0 {
+                    summary.dropped_restricted += 1;
+                    continue;
+                }
+                match record.artifacts.seed(interned_ids) {
+                    Some(artifacts) => {
+                        cache.insert(
+                            RestrictedKey {
+                                column_fingerprint: record.column_fingerprint,
+                                condition: record.condition.clone(),
+                                condition_fingerprint: record.condition_fingerprint,
+                                interner: token,
+                            },
+                            artifacts,
+                            record.version,
+                        );
+                        summary.restored_restricted += 1;
+                    }
+                    None => summary.dropped_restricted += 1,
+                }
+            }
+        }
+
+        service.restore = summary;
+        service
+    }
+
+    /// What the restore that built this service reused vs. rebuilt (all
+    /// zeros for a cold-constructed service).
+    pub fn restore_summary(&self) -> RestoreSummary {
+        self.restore
+    }
+}
+
+fn export_warm_state(service: &MatchService) -> WarmState {
+    let snapshot = service.catalog().snapshot();
+    if snapshot.is_empty() {
+        return WarmState::default();
+    }
+    let mut fingerprints = Vec::new();
+    let mut profiles = Vec::new();
+    for table in snapshot.database().tables() {
+        let attrs = table.schema().attributes();
+        fingerprints.push(TableFingerprints {
+            table: table.name().to_string(),
+            table_fingerprint: table.fingerprint(),
+            columns: attrs
+                .iter()
+                .zip(table.column_fingerprints())
+                .map(|(attr, fp)| (attr.name.clone(), *fp))
+                .collect(),
+        });
+        let Some(columns) = snapshot.table_columns(table.name()) else { continue };
+        for column in columns {
+            // Force the expensive interned artifacts so a restored service
+            // starts fully warm even for columns no request touched yet.
+            let _ = column.qgram3_ids();
+            let _ = column.value_ids();
+            let _ = column.numeric_summary();
+            let Some(fingerprint) = column.fingerprint() else { continue };
+            profiles.push(ColumnProfileRecord {
+                table: table.name().to_string(),
+                attribute: column.attr.attribute.clone(),
+                fingerprint,
+                artifacts: ArtifactsRecord::harvest(&column.harvest_artifacts()),
+            });
+        }
+    }
+    let token = snapshot.interner().token();
+    let restricted = snapshot
+        .restricted_profiles()
+        .lock_or_recover()
+        .export()
+        .into_iter()
+        .filter(|(key, _, _)| key.interner == token)
+        .map(|(key, artifacts, version)| RestrictedRecord {
+            column_fingerprint: key.column_fingerprint,
+            condition: key.condition,
+            condition_fingerprint: key.condition_fingerprint,
+            version,
+            artifacts: ArtifactsRecord::harvest(&artifacts),
+        })
+        .collect();
+    WarmState {
+        catalog: Some(snapshot.database().clone()),
+        fingerprints: Some(fingerprints),
+        profiles: Some(profiles),
+        restricted: Some(restricted),
+    }
+}
+
+/// Every stored fingerprint must equal one freshly computed from the decoded
+/// rows — table count, table content, column names (in schema order) and
+/// column content all cross-checked.
+fn fingerprints_match(db: &Database, stored: &[TableFingerprints]) -> bool {
+    if stored.len() != db.len() {
+        return false;
+    }
+    stored.iter().all(|tf| match db.table(&tf.table) {
+        None => false,
+        Some(table) => {
+            let attrs = table.schema().attributes();
+            table.fingerprint() == tf.table_fingerprint
+                && attrs.len() == tf.columns.len()
+                && attrs
+                    .iter()
+                    .zip(table.column_fingerprints())
+                    .zip(&tf.columns)
+                    .all(|((attr, fp), (name, stored_fp))| attr.name == *name && fp == stored_fp)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxm_core::ContextMatchConfig;
+    use cxm_datagen::{generate_retail, RetailConfig};
+    use cxm_persist::FaultFs;
+
+    fn fixture() -> (Database, Database) {
+        let ds = generate_retail(&RetailConfig {
+            source_items: 40,
+            target_rows: 16,
+            ..RetailConfig::default()
+        });
+        (ds.source, ds.target)
+    }
+
+    fn config() -> ServiceConfig {
+        ServiceConfig {
+            context: ContextMatchConfig::default().with_tau(0.4),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn export_restore_round_trip_restores_every_column() {
+        let (source, target) = fixture();
+        let service = MatchService::with_config(config());
+        service.register_target(&target);
+        let warm = service.submit(&source).unwrap();
+
+        let bytes = encode(&service.export_snapshot());
+        let restored = MatchService::from_snapshot_bytes(config(), &bytes);
+        let summary = restored.restore_summary();
+        assert_eq!(summary.degraded_sections, 0);
+        assert_eq!(summary.rebuilt_columns, 0);
+        assert!(summary.restored_columns > 0);
+        assert_eq!(summary.dropped_restricted, 0);
+
+        // Byte-identical answers, zero target-side re-profiling.
+        let again = restored.submit(&source).unwrap();
+        assert_eq!(again.result.selected, warm.result.selected);
+        assert_eq!(again.result.standard, warm.result.standard);
+        assert_eq!(again.result.candidates, warm.result.candidates);
+        assert_eq!(
+            again.telemetry.restricted_profile_misses, 0,
+            "restricted cache restored: {:?}",
+            again.telemetry
+        );
+    }
+
+    #[test]
+    fn missing_snapshot_is_a_cold_start() {
+        let store = FaultFs::new();
+        let service =
+            MatchService::with_warm_state_from(config(), &store, Path::new("absent")).unwrap();
+        assert_eq!(service.restore_summary(), RestoreSummary::default());
+    }
+
+    #[test]
+    fn garbage_bytes_degrade_to_cold() {
+        let service = MatchService::from_snapshot_bytes(config(), b"not a snapshot at all");
+        assert_eq!(service.restore_summary().degraded_sections, 1);
+        assert_eq!(service.restore_summary().restored_columns, 0);
+    }
+
+    #[test]
+    fn stale_catalog_fingerprints_drop_the_catalog_restore() {
+        let (_, target) = fixture();
+        let service = MatchService::with_config(config());
+        service.register_target(&target);
+        let mut snapshot = service.export_snapshot();
+        // Tamper with one stored column fingerprint: the decoded catalog no
+        // longer cross-validates, so nothing of it may be trusted.
+        let fps = snapshot.tenants[0].warm.fingerprints.as_mut().unwrap();
+        fps[0].columns[0].1 ^= 1;
+        let restored = MatchService::from_snapshot_bytes(config(), &encode(&snapshot));
+        let summary = restored.restore_summary();
+        assert!(restored.catalog().snapshot().is_empty(), "catalog must not register");
+        assert_eq!(summary.restored_columns, 0);
+        assert!(summary.degraded_sections >= 1, "content degradation is reported");
+        assert!(summary.rebuilt_columns > 0, "stored profiles counted as rebuilt");
+    }
+
+    #[test]
+    fn stale_profile_fingerprint_rebuilds_only_that_column() {
+        let (_, target) = fixture();
+        let service = MatchService::with_config(config());
+        service.register_target(&target);
+        let mut snapshot = service.export_snapshot();
+        let profiles = snapshot.tenants[0].warm.profiles.as_mut().unwrap();
+        let total = profiles.len();
+        profiles[0].fingerprint ^= 1;
+        let restored = MatchService::from_snapshot_bytes(config(), &encode(&snapshot));
+        let summary = restored.restore_summary();
+        assert_eq!(summary.rebuilt_columns, 1);
+        assert_eq!(summary.restored_columns, total - 1);
+        assert!(!restored.catalog().snapshot().is_empty(), "catalog itself still restores");
+    }
+}

@@ -208,6 +208,20 @@ pub struct WarmStats {
     pub result_misses: usize,
     /// Memoized results pushed out by the bound over the lifetime.
     pub result_evictions: usize,
+    /// Target columns restored warm from a persisted snapshot (zero for a
+    /// cold-constructed service). See [`crate::RestoreSummary`].
+    pub restored_columns: usize,
+    /// Persisted column records a restore had to discard (fingerprint
+    /// mismatch, corruption) — those columns rebuild lazily, cold.
+    pub rebuilt_columns: usize,
+    /// Restricted-profile cache entries restored from a snapshot.
+    pub restored_restricted: usize,
+    /// Restricted-profile records a restore discarded.
+    pub dropped_restricted: usize,
+    /// Snapshot sections degraded during the restore that built this
+    /// service (load-time checksum/framing failures plus content-level
+    /// cross-validation failures).
+    pub degraded_sections: usize,
 }
 
 impl WarmStats {
@@ -244,7 +258,25 @@ impl fmt::Display for WarmStats {
             self.result_hits,
             self.result_misses,
             self.result_evictions,
-        )
+        )?;
+        if self.restored_columns
+            + self.rebuilt_columns
+            + self.restored_restricted
+            + self.dropped_restricted
+            + self.degraded_sections
+            > 0
+        {
+            write!(
+                f,
+                ", restore {} cols / {} rebuilt, restricted {} / {} dropped, {} degraded",
+                self.restored_columns,
+                self.rebuilt_columns,
+                self.restored_restricted,
+                self.dropped_restricted,
+                self.degraded_sections,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -298,6 +330,10 @@ pub struct MatchService {
     /// runs with — the configuration third of each result-cache key,
     /// computed once at construction.
     config_signature: u64,
+    /// What the snapshot restore that built this service reused vs. rebuilt
+    /// (all zeros for a cold construction). Written once, before the service
+    /// is shared — plain data, no lock needed.
+    pub(crate) restore: crate::persist::RestoreSummary,
 }
 
 impl MatchService {
@@ -339,6 +375,7 @@ impl MatchService {
             ),
             sources: Mutex::new(SourceCache::new(config.source_cache_capacity)),
             config_signature: config.context.signature(),
+            restore: crate::persist::RestoreSummary::default(),
         }
     }
 
@@ -568,6 +605,11 @@ impl MatchService {
             result_hits: results.hits(),
             result_misses: results.misses(),
             result_evictions: results.evictions(),
+            restored_columns: self.restore.restored_columns,
+            rebuilt_columns: self.restore.rebuilt_columns,
+            restored_restricted: self.restore.restored_restricted,
+            dropped_restricted: self.restore.dropped_restricted,
+            degraded_sections: self.restore.degraded_sections,
         }
     }
 

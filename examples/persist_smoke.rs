@@ -1,0 +1,139 @@
+//! Kill-and-restart smoke test for warm-state persistence.
+//!
+//! The parent process spawns a real server in a child process, warms a
+//! tenant over the wire, snapshots via the `persist` op, then **SIGKILLs**
+//! the child — no drain, no destructors. A second child restarts from the
+//! snapshot file and must answer the same submission **byte-identically**,
+//! with its warm state *restored* (not rebuilt) and zero degraded
+//! sections. Exits non-zero on any divergence, so CI can run it as-is.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example persist_smoke
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use cxm::core::ContextMatchConfig;
+use cxm::datagen::{generate_retail, RetailConfig};
+use cxm::server::client::is_ok;
+use cxm::server::{
+    serve, Json, RetryPolicy, RetryingClient, ServerConfig, TenantPolicy, TenantQuotas,
+};
+
+fn work_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("cxm-persist-smoke-{}", std::process::id()))
+}
+
+/// Child mode: serve with a persist path, publish the bound address, park
+/// until killed.
+fn run_server(snap: PathBuf, addr_file: PathBuf) -> ! {
+    let handle = serve(ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        context: ContextMatchConfig::default().with_tau(0.4),
+        persist_path: Some(snap),
+        ..ServerConfig::default()
+    })
+    .expect("bind a loopback port");
+    let staged = addr_file.with_extension("tmp");
+    let mut f = std::fs::File::create(&staged).expect("stage addr file");
+    writeln!(f, "{}", handle.local_addr()).expect("write addr");
+    drop(f);
+    std::fs::rename(&staged, &addr_file).expect("publish addr file");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn spawn_server(snap: &PathBuf, addr_file: &PathBuf) -> (Child, String) {
+    let _ = std::fs::remove_file(addr_file);
+    let mut child = Command::new(std::env::current_exe().expect("current exe"))
+        .arg("server")
+        .arg(snap)
+        .arg(addr_file)
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn child server");
+    for _ in 0..600 {
+        if let Ok(addr) = std::fs::read_to_string(addr_file) {
+            return (child, addr.trim().to_string());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    panic!("child server never published its address");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("server") {
+        run_server(PathBuf::from(&args[2]), PathBuf::from(&args[3]));
+    }
+
+    let dir = work_dir();
+    std::fs::create_dir_all(&dir).expect("create work dir");
+    let snap = dir.join("warm.snap");
+    let addr_file = dir.join("addr.txt");
+    let _ = std::fs::remove_file(&snap);
+
+    let retail = generate_retail(&RetailConfig {
+        source_items: 60,
+        target_rows: 25,
+        ..RetailConfig::default()
+    });
+
+    // Life 1: warm the tenant over the wire, snapshot, then SIGKILL.
+    let (mut first, addr) = spawn_server(&snap, &addr_file);
+    let mut client = RetryingClient::new(addr, RetryPolicy::default());
+    let ack = client
+        .register("shop", &retail.target, &TenantPolicy::default(), &TenantQuotas::default())
+        .expect("register");
+    assert!(is_ok(&ack), "register failed: {ack:?}");
+    let warm = client.submit("shop", &retail.source, None).expect("warm submit");
+    assert!(is_ok(&warm), "submit failed: {warm:?}");
+    let expected = warm.get("result").expect("result member").to_text();
+    let persisted = client.persist().expect("persist op");
+    assert!(is_ok(&persisted), "persist failed: {persisted:?}");
+    println!(
+        "life 1: warmed tenant, snapshot = {} bytes",
+        persisted.get("bytes").and_then(Json::as_u64).unwrap_or(0)
+    );
+    first.kill().expect("SIGKILL the server");
+    let _ = first.wait();
+    println!("life 1: killed without drain");
+
+    // Life 2: restart from the snapshot; no registration at all.
+    let (mut second, addr) = spawn_server(&snap, &addr_file);
+    let mut client = RetryingClient::new(addr, RetryPolicy::default());
+    let reply = client.submit("shop", &retail.source, None).expect("post-restart submit");
+    assert!(is_ok(&reply), "post-restart submit failed: {reply:?}");
+    let got = reply.get("result").expect("result member").to_text();
+    assert_eq!(got, expected, "restarted server must answer byte-identically");
+
+    let stats = client.stats(Some("shop")).expect("stats");
+    let tenant = stats
+        .get("tenants")
+        .and_then(Json::as_array)
+        .and_then(|t| t.first())
+        .expect("tenant stats");
+    let restored = tenant.get("restored_columns").and_then(Json::as_u64).unwrap_or(0);
+    let rebuilt = tenant.get("rebuilt_columns").and_then(Json::as_u64).unwrap_or(u64::MAX);
+    let degraded = tenant.get("degraded_sections").and_then(Json::as_u64).unwrap_or(u64::MAX);
+    assert!(restored > 0, "warm state must be restored, not rebuilt: {tenant:?}");
+    assert_eq!(rebuilt, 0, "no column may need a rebuild after a clean snapshot: {tenant:?}");
+    assert_eq!(degraded, 0, "no section may degrade after a clean snapshot: {tenant:?}");
+    println!(
+        "life 2: byte-identical answer, {restored} columns restored, {rebuilt} rebuilt, \
+         {degraded} degraded"
+    );
+
+    second.kill().expect("stop second server");
+    let _ = second.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("persist smoke: OK");
+}

@@ -13,15 +13,21 @@
 #   pr8_report  -> BENCH_PR8.json  (serving layer: warm wire latency
 #                                   percentiles vs in-process warm repeat,
 #                                   single- vs multi-client throughput)
+#   pr9_report  -> BENCH_PR9.json  (persistence: cold vs snapshot-restored
+#                                   start with profile-build counts, snapshot
+#                                   write cost and size vs catalog scale)
 #
 # Each report takes medians over several in-process runs; run on an
 # otherwise idle machine for stable numbers. Pass report names to run a
 # subset, e.g.:  scripts/bench_pr.sh pr6_report
 #
 # Gate mode:  scripts/bench_pr.sh --check
-#   Runs `cxm-lint` over the workspace, prints the JSON report, and diffs
-#   the per-rule suppression counts against the committed LINT_BASELINE.json
-#   (both growth and shrink fail) — exactly what the CI lint job runs.
+#   Runs `cxm-lint` over the workspace and diffs the per-rule suppression
+#   counts against the committed LINT_BASELINE.json (both growth and shrink
+#   fail) — exactly what the CI lint job runs — then runs the
+#   kill-and-restart persistence smoke: a child server is warmed over the
+#   wire, snapshotted, SIGKILLed, restarted from the snapshot, and must
+#   answer byte-identically with restored (not rebuilt) warm state.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,17 +36,20 @@ if [ "${1:-}" = "--check" ]; then
     echo "== cxm-lint --check-baseline LINT_BASELINE.json =="
     cargo run --release -q -p cxm-lint -- --json --check-baseline LINT_BASELINE.json
     echo "== clean: no findings, suppressions match the baseline =="
+    echo "== persist kill-and-restart smoke =="
+    cargo run --release -q --example persist_smoke
     exit 0
 fi
 
 reports=("$@")
 if [ ${#reports[@]} -eq 0 ]; then
-    reports=(pr4_report pr5_report pr6_report pr8_report)
+    reports=(pr4_report pr5_report pr6_report pr8_report pr9_report)
 fi
 
 for report in "${reports[@]}"; do
     case "${report}" in
         pr8_report) bench_target=bench_server ;;
+        pr9_report) bench_target=bench_persist ;;
         *) bench_target=bench_scaling ;;
     esac
     echo "== ${report} =="

@@ -1,0 +1,223 @@
+//! Pins the client retry/backoff contract against a deliberately flaky
+//! scripted server: `overloaded` rejects are retried honoring the server's
+//! `retry_after_ms` hint, `shutting_down` rejects are retried a bounded
+//! number of times, and a connection dropped mid-exchange triggers a
+//! reconnect — all with an injected sleeper, so no test ever sleeps for
+//! real and the backoff schedule is asserted exactly.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cxm_server::json::parse;
+use cxm_server::{read_frame, write_frame, Json, RetryPolicy, RetryingClient, Sleeper};
+
+/// Records every requested sleep instead of blocking.
+#[derive(Clone, Default)]
+struct RecordingSleeper {
+    slept: Arc<Mutex<Vec<Duration>>>,
+}
+
+impl Sleeper for RecordingSleeper {
+    fn sleep(&mut self, d: Duration) {
+        self.slept.lock().unwrap().push(d);
+    }
+}
+
+impl RecordingSleeper {
+    fn slept(&self) -> Vec<Duration> {
+        self.slept.lock().unwrap().clone()
+    }
+}
+
+/// One scripted action per incoming request frame.
+#[derive(Clone, Copy)]
+enum Script {
+    /// Reply `{ok:false, error:{code:"overloaded", retry_after_ms}}`.
+    Overloaded { retry_after_ms: u64 },
+    /// Reply `{ok:false, error:{code:"shutting_down"}}`.
+    ShuttingDown,
+    /// Reply `{ok:true, op:"stats"}`.
+    Ok,
+    /// Reply `{ok:false, error:{code:"unknown_tenant"}}` — not transient.
+    UnknownTenant,
+    /// Drop the connection without replying; the next request must arrive
+    /// on a fresh connection.
+    Hangup,
+}
+
+/// A single-threaded server that plays `script` one action per request,
+/// accepting a new connection whenever the previous one ends.
+fn spawn_scripted(script: Vec<Script>) -> (SocketAddr, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind scripted server");
+    let addr = listener.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || {
+        let mut steps = script.into_iter();
+        'accepting: loop {
+            let Ok((stream, _)) = listener.accept() else { return };
+            stream.set_nodelay(true).expect("nodelay");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            let mut writer = stream;
+            loop {
+                let Ok(Some(payload)) = read_frame(&mut reader, 1 << 20) else {
+                    // Client gave up or finished; wait for a reconnect if
+                    // the script still has steps, else exit.
+                    if steps.as_slice().is_empty() {
+                        return;
+                    }
+                    continue 'accepting;
+                };
+                parse(&payload).expect("scripted server got valid JSON");
+                let Some(step) = steps.next() else { return };
+                let reply = match step {
+                    Script::Overloaded { retry_after_ms } => Json::Object(vec![
+                        ("ok".into(), Json::Bool(false)),
+                        ("op".into(), Json::str("stats")),
+                        (
+                            "error".into(),
+                            Json::Object(vec![
+                                ("code".into(), Json::str("overloaded")),
+                                ("retry_after_ms".into(), Json::Int(retry_after_ms as i64)),
+                            ]),
+                        ),
+                    ]),
+                    Script::ShuttingDown => Json::Object(vec![
+                        ("ok".into(), Json::Bool(false)),
+                        ("op".into(), Json::str("stats")),
+                        (
+                            "error".into(),
+                            Json::Object(vec![("code".into(), Json::str("shutting_down"))]),
+                        ),
+                    ]),
+                    Script::Ok => Json::Object(vec![
+                        ("ok".into(), Json::Bool(true)),
+                        ("op".into(), Json::str("stats")),
+                    ]),
+                    Script::UnknownTenant => Json::Object(vec![
+                        ("ok".into(), Json::Bool(false)),
+                        ("op".into(), Json::str("stats")),
+                        (
+                            "error".into(),
+                            Json::Object(vec![("code".into(), Json::str("unknown_tenant"))]),
+                        ),
+                    ]),
+                    Script::Hangup => continue 'accepting,
+                };
+                write_frame(&mut writer, &reply.to_bytes()).expect("scripted reply");
+            }
+        }
+    });
+    (addr, handle)
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy { max_retries: 4, base_backoff_ms: 10, max_backoff_ms: 1_000, jitter_seed: 42 }
+}
+
+#[test]
+fn overloaded_rejects_are_retried_honoring_the_retry_after_hint() {
+    let (addr, server) = spawn_scripted(vec![
+        Script::Overloaded { retry_after_ms: 77 },
+        Script::Overloaded { retry_after_ms: 123 },
+        Script::Ok,
+    ]);
+    let sleeper = RecordingSleeper::default();
+    let mut client = RetryingClient::with_sleeper(addr.to_string(), policy(), sleeper.clone());
+    let response = client.stats(None).expect("request succeeds after retries");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(client.retries(), 2, "two overloaded rejects, two retries");
+    assert_eq!(client.reconnects(), 0, "the connection never dropped");
+    let slept = sleeper.slept();
+    assert_eq!(slept.len(), 2);
+    assert!(
+        slept[0] >= Duration::from_millis(77),
+        "first wait {:?} must honor the 77 ms hint",
+        slept[0]
+    );
+    assert!(
+        slept[1] >= Duration::from_millis(123),
+        "second wait {:?} must honor the 123 ms hint",
+        slept[1]
+    );
+    drop(client);
+    server.join().expect("scripted server exits");
+}
+
+#[test]
+fn shutting_down_rejects_get_bounded_retries_then_the_final_frame() {
+    let retries = 3;
+    let (addr, server) = spawn_scripted(vec![Script::ShuttingDown; retries as usize + 1]);
+    let sleeper = RecordingSleeper::default();
+    let p = RetryPolicy { max_retries: retries, ..policy() };
+    let mut client = RetryingClient::with_sleeper(addr.to_string(), p, sleeper.clone());
+    let response = client.stats(None).expect("final reject frame is returned, not an error");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        response.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+        Some("shutting_down"),
+    );
+    assert_eq!(client.retries(), u64::from(retries), "retries stop at the policy bound");
+    let slept = sleeper.slept();
+    assert_eq!(slept.len(), retries as usize);
+    // Exponential shape with ≤50% jitter: attempt n waits in
+    // [base·2ⁿ, 1.5·base·2ⁿ].
+    for (n, d) in slept.iter().enumerate() {
+        let base = Duration::from_millis(10 * (1 << n));
+        assert!(*d >= base && *d <= base * 3 / 2, "wait {n} = {d:?} outside [{base:?}, 1.5x]");
+    }
+    drop(client);
+    server.join().expect("scripted server exits");
+}
+
+#[test]
+fn a_dropped_connection_reconnects_and_replays_the_request() {
+    let (addr, server) = spawn_scripted(vec![Script::Hangup, Script::Ok]);
+    let sleeper = RecordingSleeper::default();
+    let mut client = RetryingClient::with_sleeper(addr.to_string(), policy(), sleeper.clone());
+    let response = client.stats(None).expect("request succeeds after reconnect");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(client.retries(), 1, "one transport failure, one retry");
+    assert_eq!(client.reconnects(), 1, "the retry went out on a fresh connection");
+    assert_eq!(sleeper.slept().len(), 1);
+    drop(client);
+    server.join().expect("scripted server exits");
+}
+
+#[test]
+fn non_transient_errors_are_returned_without_any_retry() {
+    // An unregistered tenant is a caller bug; retrying cannot fix it.
+    let (addr, server) = spawn_scripted(vec![Script::UnknownTenant]);
+    let sleeper = RecordingSleeper::default();
+    let mut client = RetryingClient::with_sleeper(addr.to_string(), policy(), sleeper.clone());
+    let response = client.stats(None).expect("error frame is a response, not an io error");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        response.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+        Some("unknown_tenant"),
+    );
+    assert_eq!(client.retries(), 0, "non-transient errors must not be retried");
+    assert!(sleeper.slept().is_empty(), "no sleeps for a pass-through error");
+    drop(client);
+    server.join().expect("scripted server exits");
+}
+
+#[test]
+fn deterministic_jitter_reproduces_the_same_schedule_for_the_same_seed() {
+    let schedule = |seed: u64| {
+        let (addr, server) = spawn_scripted(vec![Script::ShuttingDown; 4]);
+        let sleeper = RecordingSleeper::default();
+        let p = RetryPolicy { max_retries: 3, jitter_seed: seed, ..policy() };
+        let mut client = RetryingClient::with_sleeper(addr.to_string(), p, sleeper.clone());
+        client.stats(None).expect("final frame");
+        drop(client);
+        server.join().expect("server exits");
+        sleeper.slept()
+    };
+    let a = schedule(7);
+    let b = schedule(7);
+    let c = schedule(8);
+    assert_eq!(a, b, "same seed, same backoff schedule");
+    assert_ne!(a, c, "different seed perturbs the jitter");
+}
