@@ -1,0 +1,220 @@
+//! Connection-scaling benchmarks for the readiness-driven reactor: the
+//! `connection_scaling` group measures a warm wire `submit` with zero and
+//! with 1 000 idle peer connections attached (the reactor's claim is that
+//! idle connections are free: descriptors and buffers, not threads or
+//! latency), and the `pr10_report` pseudo-bench re-measures the serving
+//! numbers with plain wall clocks and writes `BENCH_PR10.json` at the
+//! repository root: warm rps and p50/p99 latency at 1 / 256 / 1024 open
+//! connections with resident-thread and RSS readings at each rung, plus
+//! single- vs multi-client warm throughput with the machine's core count
+//! (concurrency can only pay on ≥ 2 cores). Runs in `--test` smoke mode
+//! too, so CI always produces the artifact, and honors the CLI substring
+//! filter like any other benchmark.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cxm_core::{ContextMatchConfig, ViewInferenceStrategy};
+use cxm_datagen::{generate_retail, RetailConfig};
+use cxm_server::client::is_ok;
+use cxm_server::{serve, Client, Json, ServerConfig, ServerHandle, TenantPolicy, TenantQuotas};
+
+fn bench_config() -> ContextMatchConfig {
+    ContextMatchConfig::default().with_inference(ViewInferenceStrategy::Naive).with_tau(0.4)
+}
+
+fn bench_dataset() -> cxm_datagen::RetailDataset {
+    generate_retail(&RetailConfig {
+        source_items: 100,
+        target_rows: 600,
+        ..RetailConfig::default()
+    })
+}
+
+/// Start a server with room for the idle fleets, register the bench
+/// tenant, and warm its result cache.
+fn warm_server(workers: usize) -> (ServerHandle, Client) {
+    let dataset = bench_dataset();
+    let handle = serve(ServerConfig {
+        workers,
+        queue_capacity: 256,
+        max_connections: 4096,
+        context: bench_config(),
+        ..ServerConfig::default()
+    })
+    .expect("bind a loopback port");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let ack = client
+        .register("bench", &dataset.target, &TenantPolicy::default(), &TenantQuotas::default())
+        .expect("register");
+    assert!(is_ok(&ack), "{ack:?}");
+    let reply = client.submit("bench", &dataset.source, None).expect("warm-up");
+    assert!(is_ok(&reply), "{reply:?}");
+    (handle, client)
+}
+
+fn assert_warm_hit(reply: &Json) {
+    assert!(is_ok(reply), "{reply:?}");
+    assert_eq!(reply.get("result_cache_hit"), Some(&Json::Bool(true)), "warm phase must hit");
+}
+
+/// Open `count` extra connections, each proving liveness with one `stats`
+/// round trip before going idle.
+fn idle_fleet(handle: &ServerHandle, count: usize) -> Vec<Client> {
+    (0..count)
+        .map(|i| {
+            let mut client =
+                Client::connect(handle.local_addr()).unwrap_or_else(|e| panic!("connect {i}: {e}"));
+            let reply = client.stats(None).unwrap_or_else(|e| panic!("stats {i}: {e}"));
+            assert!(is_ok(&reply), "idle connection {i}: {reply:?}");
+            client
+        })
+        .collect()
+}
+
+/// A numeric field of `/proc/self/status` (`Threads`, `VmRSS` in kB), or
+/// `None` off Linux — the report then records the reading as 0.
+fn proc_status(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status.lines().find_map(|line| {
+        let rest = line.strip_prefix(field)?.strip_prefix(':')?;
+        rest.trim().trim_end_matches("kB").trim().parse().ok()
+    })
+}
+
+fn bench_connection_scaling(c: &mut Criterion) {
+    let dataset = bench_dataset();
+    let mut group = c.benchmark_group("connection_scaling");
+    for idle in [0usize, 1_000] {
+        let (handle, mut client) = warm_server(2);
+        let fleet = idle_fleet(&handle, idle);
+        group.bench_function(format!("wire_warm_submit_{idle}_idle_conns"), |b| {
+            b.iter(|| {
+                let reply = client.submit("bench", &dataset.source, None).expect("submit");
+                assert_warm_hit(&reply);
+                reply
+            })
+        });
+        drop(fleet);
+        client.shutdown().expect("shutdown");
+        handle.join();
+    }
+    group.finish();
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let index = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[index]
+}
+
+/// Measure the PR 10 connection-scaling numbers with plain wall clocks and
+/// write the machine-readable summary `BENCH_PR10.json` at the repo root.
+fn bench_pr10_report(c: &mut Criterion) {
+    if !c.filter_matches("pr10_report") {
+        return;
+    }
+    const WARM_SAMPLES: usize = 200;
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 100;
+    const RUNGS: [usize; 3] = [1, 256, 1024];
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = cores.clamp(2, 8);
+    let dataset = bench_dataset();
+    let threads_baseline = proc_status("Threads").unwrap_or(0);
+
+    let (handle, mut client) = warm_server(workers);
+
+    // Warm rps / p50 / p99 from one active client at each open-connection
+    // rung, with thread and RSS readings taken while the fleet is attached.
+    // The fleet grows cumulatively (1 → 256 → 1024 open connections); the
+    // active client is connection #1.
+    let mut fleet: Vec<Client> = Vec::new();
+    let mut rungs_json = Vec::new();
+    for target_open in RUNGS {
+        let extra = target_open.saturating_sub(1 + fleet.len());
+        fleet.extend(idle_fleet(&handle, extra));
+        let mut warm: Vec<f64> = (0..WARM_SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                let reply = client.submit("bench", &dataset.source, None).expect("submit");
+                assert_warm_hit(&reply);
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        let elapsed: f64 = warm.iter().sum();
+        warm.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let threads = proc_status("Threads").unwrap_or(0);
+        let rss_mb = proc_status("VmRSS").unwrap_or(0) as f64 / 1024.0;
+        rungs_json.push(format!(
+            "    {{ \"connections\": {target_open}, \"warm_rps\": {:.1}, \
+             \"warm_p50_ms\": {:.4}, \"warm_p99_ms\": {:.4}, \
+             \"threads\": {threads}, \"rss_mb\": {rss_mb:.1} }}",
+            WARM_SAMPLES as f64 / elapsed,
+            percentile(&warm, 0.5) * 1e3,
+            percentile(&warm, 0.99) * 1e3,
+        ));
+    }
+    let open_at_peak = handle.stats().open_connections;
+    drop(fleet);
+
+    // Single- vs multi-client warm throughput: the readiness path must not
+    // serialize independent clients worse than one connection does. Only
+    // ≥ 2 cores can turn concurrency into throughput; the report records
+    // the machine's core count next to the ratio.
+    let start = Instant::now();
+    for _ in 0..CLIENTS * PER_CLIENT {
+        let reply = client.submit("bench", &dataset.source, None).expect("submit");
+        assert_warm_hit(&reply);
+    }
+    let single_rps = (CLIENTS * PER_CLIENT) as f64 / start.elapsed().as_secs_f64();
+
+    let addr = handle.local_addr();
+    let start = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let source = dataset.source.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..PER_CLIENT {
+                    let reply = client.submit("bench", &source, None).expect("submit");
+                    assert_warm_hit(&reply);
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("client thread");
+    }
+    let multi_rps = (CLIENTS * PER_CLIENT) as f64 / start.elapsed().as_secs_f64();
+
+    let stats = handle.stats();
+    assert_eq!(stats.admission_rejects, 0, "the bench load must not saturate admission: {stats}");
+    assert_eq!(stats.connection_limit_rejects, 0, "{stats}");
+    assert!(stats.peak_connections >= RUNGS[RUNGS.len() - 1], "{stats}");
+    client.shutdown().expect("shutdown");
+    handle.join();
+
+    let json = format!(
+        "{{\n  \"pr\": 10,\n  \"description\": \"Readiness-driven reactor on the retail \
+         scenario (100x600 rows, Naive inference): warm wire submissions (result-cache \
+         hits through framed JSON-over-TCP on loopback, {WARM_SAMPLES} samples) with \
+         growing idle-connection fleets attached, resident threads and RSS at each rung \
+         ({open_at_peak} connections open at the last), and single- vs {CLIENTS}-client \
+         warm throughput\",\n  \
+         \"cores\": {cores},\n  \"workers\": {workers},\n  \
+         \"threads_baseline\": {threads_baseline},\n  \
+         \"connection_scaling\": [\n{}\n  ],\n  \"serving\": {{\n    \
+         \"single_client_warm_rps\": {single_rps:.1},\n    \
+         \"multi_client_warm_rps\": {multi_rps:.1},\n    \
+         \"multi_client_speedup\": {:.3}\n  }}\n}}\n",
+        rungs_json.join(",\n"),
+        multi_rps / single_rps,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json");
+    std::fs::write(path, &json).expect("BENCH_PR10.json is writable");
+    println!("pr10_report: wrote {path}");
+}
+
+criterion_group!(benches, bench_connection_scaling, bench_pr10_report);
+criterion_main!(benches);

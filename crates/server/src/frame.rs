@@ -5,6 +5,12 @@
 //! blocking stream — no in-band scanning, no chunked parser state — and the
 //! explicit `max_frame_bytes` bound is the first line of admission control:
 //! a hostile or corrupt length is rejected *before* any allocation.
+//!
+//! Two consumption styles share the format: [`read_frame`]/[`write_frame`]
+//! for blocking streams (the client), and [`FrameDecoder`] — an incremental
+//! push parser — for the reactor's non-blocking connections, where bytes
+//! arrive in arbitrary fragments and a frame may take many readiness events
+//! to complete.
 
 use std::io::{self, Read, Write};
 
@@ -19,6 +25,18 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.write_all(&len.to_be_bytes())?;
     w.write_all(payload)?;
     w.flush()
+}
+
+/// Frame a payload into owned wire bytes: 4-byte big-endian length, then
+/// the payload. The buffered-write counterpart of [`write_frame`] — the
+/// reactor appends these to a connection's write buffer and flushes as the
+/// socket allows.
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("frame exceeds u32 length");
+    let mut wire = Vec::with_capacity(4 + payload.len());
+    wire.extend_from_slice(&len.to_be_bytes());
+    wire.extend_from_slice(payload);
+    wire
 }
 
 /// Read one frame's payload.
@@ -56,6 +74,74 @@ pub fn read_frame<R: Read>(r: &mut R, max_bytes: usize) -> io::Result<Option<Vec
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// An incremental frame parser for non-blocking reads: bytes go in via
+/// [`FrameDecoder::extend`] whenever the socket is readable, complete
+/// payloads come out of [`FrameDecoder::next_frame`]. The state machine is
+/// exactly the blocking [`read_frame`]'s, cut at every byte boundary:
+/// the 4-byte header is validated against `max_bytes` the moment it is
+/// complete — **before** the payload is allocated — so a hostile length
+/// costs 4 buffered bytes, never an allocation.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames; compacted lazily
+    /// so back-to-back small frames don't memmove per frame.
+    consumed: usize,
+    max_bytes: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_bytes` per frame payload.
+    pub fn new(max_bytes: usize) -> FrameDecoder {
+        FrameDecoder { buf: Vec::new(), consumed: 0, max_bytes }
+    }
+
+    /// Buffer freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.consumed > 0 && (self.consumed >= 4096 || self.consumed == self.buf.len()) {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when buffered bytes form the *start* of a frame that has not
+    /// completed yet — the signal the idle-timeout sweep uses to tell a
+    /// byte-dribbling (slow-loris) peer from a quiescent keep-alive one.
+    pub fn has_partial(&self) -> bool {
+        self.buf.len() > self.consumed
+    }
+
+    /// Pop the next complete frame payload, if one is buffered. An
+    /// over-`max_bytes` header is an [`io::ErrorKind::InvalidData`] error,
+    /// and the connection owning this decoder must be closed: the stream
+    /// position is inside a frame we refuse to buffer, so no later bytes
+    /// can be trusted.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let pending = &self.buf[self.consumed..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if len > self.max_bytes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds the {}-byte bound", self.max_bytes),
+            ));
+        }
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = pending[4..4 + len].to_vec();
+        self.consumed += 4 + len;
+        if self.consumed == self.buf.len() {
+            self.buf.clear();
+            self.consumed = 0;
+        }
+        Ok(Some(payload))
+    }
 }
 
 #[cfg(test)]
@@ -157,5 +243,64 @@ mod tests {
         wire.extend_from_slice(b"garbage that must never be allocated for");
         let err = read_frame(&mut Dribble::new(wire), 1024).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn decoder_assembles_frames_from_one_byte_fragments() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"op\":\"stats\"}").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"second").unwrap();
+        let mut decoder = FrameDecoder::new(64);
+        let mut frames = Vec::new();
+        for byte in &wire {
+            decoder.extend(&[*byte]);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames, vec![b"{\"op\":\"stats\"}".to_vec(), Vec::new(), b"second".to_vec()]);
+        assert!(!decoder.has_partial(), "everything consumed");
+    }
+
+    #[test]
+    fn decoder_reports_partial_frames_and_pops_pipelined_ones() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first").unwrap();
+        write_frame(&mut wire, b"second").unwrap();
+        let mut decoder = FrameDecoder::new(64);
+        // Both frames plus the header of a third arrive in one readiness
+        // event — the pipelined case the reactor must drain frame by frame.
+        decoder.extend(&wire);
+        decoder.extend(&3u32.to_be_bytes());
+        decoder.extend(b"ab");
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), b"first");
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), b"second");
+        assert_eq!(decoder.next_frame().unwrap(), None, "third frame incomplete");
+        assert!(decoder.has_partial(), "a dribbled prefix counts as partial");
+        decoder.extend(b"c");
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), b"abc");
+        assert!(!decoder.has_partial());
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_headers_before_buffering_payloads() {
+        let mut decoder = FrameDecoder::new(1024);
+        decoder.extend(&(u32::MAX).to_be_bytes());
+        let err = decoder.next_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_bytes_across_many_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[7u8; 100]).unwrap();
+        let mut decoder = FrameDecoder::new(1024);
+        for _ in 0..200 {
+            decoder.extend(&wire);
+            assert_eq!(decoder.next_frame().unwrap().unwrap(), vec![7u8; 100]);
+        }
+        assert!(!decoder.has_partial());
+        assert!(decoder.buf.capacity() < 64 * 1024, "buffer stays small under reuse");
     }
 }

@@ -1,11 +1,12 @@
 //! `cxm-server`: a multi-tenant network front-end over [`cxm_service`].
 //!
-//! The serving layer the rest of the workspace deliberately lacks: a
-//! threaded TCP server speaking a length-prefixed JSON frame protocol
-//! (`docs/SERVING.md`), multiplexing many isolated per-tenant
-//! [`cxm_service::MatchService`]s over **one shared gram interner**. No
-//! async runtime — `std::net` plus a sized worker pool over a bounded
-//! admission queue.
+//! The serving layer the rest of the workspace deliberately lacks: a TCP
+//! server speaking a length-prefixed JSON frame protocol (`docs/SERVING.md`),
+//! multiplexing many isolated per-tenant [`cxm_service::MatchService`]s over
+//! **one shared gram interner**. No async runtime — a readiness-driven
+//! connection reactor ([`reactor`], one thread over an epoll shim) plus a
+//! sized worker pool over a bounded admission queue, so resident threads
+//! are `workers + 1` regardless of connection count.
 //!
 //! Three serving disciplines are layered on the deterministic match
 //! pipeline, none of which may change what a match computes:
@@ -20,6 +21,10 @@
 //! * **Per-tenant warm-state quotas** ([`tenant::QuotaCeilings`]) — each
 //!   tenant's cache capacities are clamped server-side, so one tenant
 //!   cannot crowd the others out of warm memory.
+//! * **Connection governance** ([`reactor`]) — a global connection limit,
+//!   per-tenant in-flight request caps, and a progress-based idle timeout
+//!   that reclaims slow-loris dribblers; every refusal is an explicit error
+//!   frame or a close, never silence.
 //!
 //! Tenant **policy** (score threshold, top-k) is applied *post-match* at
 //! encode time: the cached result stays byte-identical across policies,
@@ -33,13 +38,14 @@ pub mod frame;
 pub mod json;
 pub mod persist;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod telemetry;
 pub mod tenant;
 
 pub use admission::{AdmissionQueue, AdmitError};
 pub use client::{Client, RetryPolicy, RetryingClient, Sleeper, ThreadSleeper};
-pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME_BYTES};
+pub use frame::{frame_bytes, read_frame, write_frame, FrameDecoder, DEFAULT_MAX_FRAME_BYTES};
 pub use json::Json;
 pub use persist::{restore_registry, save_registry, SaveOutcome};
 pub use protocol::{encode_result, ErrorCode, Request, TenantPolicy, TenantQuotas};

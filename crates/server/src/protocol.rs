@@ -444,11 +444,16 @@ pub fn encode_server_stats(stats: &ServerStats) -> Json {
         ("queue_depth".into(), Json::Int(stats.queue_depth as i64)),
         ("queue_capacity".into(), Json::Int(stats.queue_capacity as i64)),
         ("connections".into(), Json::Int(stats.connections as i64)),
+        ("open_connections".into(), Json::Int(stats.open_connections as i64)),
+        ("peak_connections".into(), Json::Int(stats.peak_connections as i64)),
+        ("connection_limit_rejects".into(), Json::Int(stats.connection_limit_rejects as i64)),
+        ("idle_timeout_closes".into(), Json::Int(stats.idle_timeout_closes as i64)),
         ("requests".into(), Json::Int(stats.requests as i64)),
         ("submits".into(), Json::Int(stats.submits as i64)),
         ("completed".into(), Json::Int(stats.completed as i64)),
         ("admission_rejects".into(), Json::Int(stats.admission_rejects as i64)),
         ("deadline_expiries".into(), Json::Int(stats.deadline_expiries as i64)),
+        ("service_time_ms".into(), Json::Int(stats.service_time_ms as i64)),
         ("tenants".into(), Json::Int(stats.tenants as i64)),
         ("draining".into(), Json::Bool(stats.draining)),
         ("display".into(), Json::str(stats.to_string())),
@@ -464,6 +469,9 @@ pub fn encode_tenant_stats(stats: &TenantStats) -> Json {
         ("result_cache_hits".into(), Json::Int(stats.result_cache_hits as i64)),
         ("deadline_expiries".into(), Json::Int(stats.deadline_expiries as i64)),
         ("admission_rejects".into(), Json::Int(stats.admission_rejects as i64)),
+        ("inflight_rejects".into(), Json::Int(stats.inflight_rejects as i64)),
+        ("inflight".into(), Json::Int(stats.inflight as i64)),
+        ("inflight_peak".into(), Json::Int(stats.inflight_peak as i64)),
         ("quota_evictions".into(), Json::Int(stats.quota_evictions() as i64)),
         ("catalog_version".into(), Json::Int(warm.catalog_version as i64)),
         ("catalog_tables".into(), Json::Int(warm.catalog_tables as i64)),

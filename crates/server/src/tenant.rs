@@ -117,6 +117,9 @@ impl Tenant {
             result_cache_hits: self.counters.result_cache_hits.load(Ordering::Relaxed),
             deadline_expiries: self.counters.deadline_expiries.load(Ordering::Relaxed),
             admission_rejects: self.counters.admission_rejects.load(Ordering::Relaxed),
+            inflight_rejects: self.counters.inflight_rejects.load(Ordering::Relaxed),
+            inflight: self.counters.inflight.load(Ordering::Relaxed),
+            inflight_peak: self.counters.inflight_peak.load(Ordering::Relaxed),
             warm: self.service.warm_stats(),
         }
     }

@@ -16,6 +16,10 @@
 #   pr9_report  -> BENCH_PR9.json  (persistence: cold vs snapshot-restored
 #                                   start with profile-build counts, snapshot
 #                                   write cost and size vs catalog scale)
+#   pr10_report -> BENCH_PR10.json (reactor connection scaling: warm rps and
+#                                   latency percentiles at 1/256/1024 open
+#                                   connections with thread and RSS readings,
+#                                   single- vs multi-client throughput)
 #
 # Each report takes medians over several in-process runs; run on an
 # otherwise idle machine for stable numbers. Pass report names to run a
@@ -43,13 +47,14 @@ fi
 
 reports=("$@")
 if [ ${#reports[@]} -eq 0 ]; then
-    reports=(pr4_report pr5_report pr6_report pr8_report pr9_report)
+    reports=(pr4_report pr5_report pr6_report pr8_report pr9_report pr10_report)
 fi
 
 for report in "${reports[@]}"; do
     case "${report}" in
         pr8_report) bench_target=bench_server ;;
         pr9_report) bench_target=bench_persist ;;
+        pr10_report) bench_target=bench_connections ;;
         *) bench_target=bench_scaling ;;
     esac
     echo "== ${report} =="

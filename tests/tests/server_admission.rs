@@ -105,11 +105,15 @@ fn overload_rejects_explicitly() {
                 continue;
             }
             assert_eq!(error_code(reply), Some("overloaded"), "{reply:?}");
-            assert_eq!(
-                reply.get("error").and_then(|e| e.get("retry_after_ms")),
-                Some(&Json::Int(7)),
-                "rejects carry the retry hint: {reply:?}"
-            );
+            // The hint scales with observed queue depth × service time but
+            // is floored at the configured value — so it is present on
+            // every reject and never below the floor.
+            match reply.get("error").and_then(|e| e.get("retry_after_ms")) {
+                Some(&Json::Int(hint)) => {
+                    assert!(hint >= 7, "hint {hint} below the configured floor: {reply:?}")
+                }
+                other => panic!("rejects carry the retry hint, got {other:?}: {reply:?}"),
+            }
             total_rejects += 1;
         }
         if total_rejects > 0 {

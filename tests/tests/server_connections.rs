@@ -1,0 +1,314 @@
+//! Connection-governance contracts of the readiness-driven reactor:
+//!
+//! * **High-connection soak** — ≥1k mostly-idle connections on loopback are
+//!   all served while resident threads stay `workers + O(1)`, independent
+//!   of connection count (the tentpole claim: connections cost descriptors
+//!   and buffers, not stacks).
+//! * **Slow-loris isolation** — a byte-dribbling client must not delay a
+//!   concurrent fast client past its deadline: dribblers park a connection,
+//!   never a worker.
+//! * **Idle timeout** — quiet connections (and dribbled partial frames,
+//!   which do not count as progress) are reclaimed and counted.
+//! * **Per-tenant in-flight cap** — one tenant's pile-up is rejected with
+//!   an explicit `overloaded` frame carrying a retry hint, and the tenant's
+//!   high-water mark is reported in `stats`.
+//!
+//! Timing discipline: this file reads no clocks (the workspace's D002
+//! invariant). Latency assertions ride on server-side deadline semantics —
+//! "the fast client's reply is not `deadline_exceeded`" — and thread counts
+//! come from `/proc/self/status`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use cxm_datagen::{generate_retail, RetailConfig};
+use cxm_relational::{tuple, Attribute, Database, Table, TableSchema};
+use cxm_server::client::{error_code, is_ok, retry_after_ms};
+use cxm_server::protocol::encode_database;
+use cxm_server::{
+    read_frame, serve, write_frame, Client, Json, ServerConfig, TenantPolicy, TenantQuotas,
+};
+
+#[test]
+fn reactor_connection_governance() {
+    high_connection_soak();
+    slow_loris_does_not_delay_fast_clients();
+    idle_timeout_reclaims_quiet_connections();
+    per_tenant_inflight_cap_rejects_explicitly();
+}
+
+/// Resident threads of this process, from `/proc/self/status`. Linux-only;
+/// elsewhere the soak still runs, minus the thread-count assertion.
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status.lines().find_map(|l| l.strip_prefix("Threads:")).and_then(|v| v.trim().parse().ok())
+}
+
+fn small_target() -> Database {
+    Database::new("RT").with_table(
+        Table::with_rows(
+            TableSchema::new("book", vec![Attribute::text("title"), Attribute::text("binding")]),
+            vec![tuple!["war and peace", "clothbound"], tuple!["middlemarch", "paperback"]],
+        )
+        .unwrap(),
+    )
+}
+
+fn small_source(tag: usize) -> Database {
+    Database::new("RS").with_table(
+        Table::with_rows(
+            TableSchema::new("inv", vec![Attribute::text("name"), Attribute::text("descr")]),
+            vec![
+                tuple![format!("leaves of grass {tag}"), format!("first edition {tag}")],
+                tuple![format!("moby dick {tag}"), format!("paperback {tag}")],
+            ],
+        )
+        .unwrap(),
+    )
+}
+
+/// ≥1k concurrent connections, all answering, with threads bounded by
+/// `workers + O(1)`.
+fn high_connection_soak() {
+    const CONNECTIONS: usize = 1_000;
+    const WORKERS: usize = 2;
+    let before = thread_count();
+    let handle = serve(ServerConfig {
+        workers: WORKERS,
+        max_connections: CONNECTIONS + 64,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    let mut setup = Client::connect(addr).expect("connect");
+    let ack = setup
+        .register("t", &small_target(), &TenantPolicy::default(), &TenantQuotas::default())
+        .expect("register");
+    assert!(is_ok(&ack), "{ack:?}");
+
+    // Open the fleet; every connection proves liveness with one request.
+    let mut fleet: Vec<Client> = (0..CONNECTIONS)
+        .map(|i| {
+            let mut client = Client::connect(addr).unwrap_or_else(|e| panic!("connect {i}: {e}"));
+            let reply = client.stats(None).unwrap_or_else(|e| panic!("stats {i}: {e}"));
+            assert!(is_ok(&reply), "connection {i}: {reply:?}");
+            client
+        })
+        .collect();
+
+    // The tentpole claim: the fleet added zero threads. Resident threads
+    // are the workers plus the reactor (plus whatever the harness already
+    // ran), never O(connections).
+    if let (Some(before), Some(now)) = (before, thread_count()) {
+        let added = now.saturating_sub(before);
+        assert!(
+            added <= WORKERS + 2,
+            "{CONNECTIONS} connections grew threads by {added} (want <= workers + O(1))"
+        );
+    }
+
+    // The match pipeline still works with a thousand idle peers attached.
+    let reply = setup.submit("t", &small_source(1), None).expect("submit");
+    assert!(is_ok(&reply), "{reply:?}");
+
+    // Every idle connection still answers.
+    for (i, client) in fleet.iter_mut().enumerate() {
+        let reply = client.stats(None).unwrap_or_else(|e| panic!("re-stats {i}: {e}"));
+        assert!(is_ok(&reply), "connection {i} second round: {reply:?}");
+    }
+
+    let stats = handle.stats();
+    assert!(stats.peak_connections >= CONNECTIONS, "{stats}");
+    assert!(stats.open_connections >= CONNECTIONS, "{stats}");
+    assert_eq!(stats.connection_limit_rejects, 0, "{stats}");
+
+    drop(fleet);
+    let ack = setup.shutdown().expect("shutdown");
+    assert!(is_ok(&ack), "{ack:?}");
+    handle.join();
+}
+
+/// One byte-dribbling client, one fast client, one worker. The dribbler
+/// must cost nothing but its own connection: the fast client's generous
+/// deadline must not expire.
+fn slow_loris_does_not_delay_fast_clients() {
+    let handle = serve(ServerConfig { workers: 1, ..ServerConfig::default() }).expect("bind");
+    let addr = handle.local_addr();
+    let mut fast = Client::connect(addr).expect("connect");
+    let ack = fast
+        .register("t", &small_target(), &TenantPolicy::default(), &TenantQuotas::default())
+        .expect("register");
+    assert!(is_ok(&ack), "{ack:?}");
+
+    // The dribbler: a valid submit frame fed one byte at a time with long
+    // pauses, never completing while the fast client works.
+    let loris_frame = {
+        let mut members = vec![
+            ("op".to_string(), Json::str("submit")),
+            ("tenant".to_string(), Json::str("t")),
+            ("source".to_string(), encode_database(&small_source(99))),
+        ];
+        members.push(("deadline_ms".to_string(), Json::Int(60_000)));
+        Json::Object(members).to_bytes()
+    };
+    let loris = TcpStream::connect(addr).expect("connect");
+    let dribble = {
+        let mut stream = loris.try_clone().expect("clone");
+        let header = (loris_frame.len() as u32).to_be_bytes();
+        thread::spawn(move || {
+            // Header, then a few payload bytes, 25 ms apart — a frame that
+            // would take minutes to complete at this rate.
+            for chunk in [&header[..2], &header[2..], &loris_frame[..1], &loris_frame[1..2]] {
+                if stream.write_all(chunk).is_err() {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(25));
+            }
+        })
+    };
+
+    // Ten fast submissions under a 10-second deadline each, racing the
+    // dribble. A reactor that let the dribbler capture the worker (or the
+    // accept path) would blow these deadlines; explicit `deadline_exceeded`
+    // is exactly the failure this asserts against.
+    for i in 0..10 {
+        let reply = fast.submit("t", &small_source(i), Some(10_000)).expect("fast reply");
+        assert!(
+            is_ok(&reply),
+            "fast client delayed or failed while a slow-loris peer dribbled: {reply:?}"
+        );
+    }
+    dribble.join().expect("dribbler thread");
+    drop(loris);
+
+    let ack = fast.shutdown().expect("shutdown");
+    assert!(is_ok(&ack), "{ack:?}");
+    handle.join();
+}
+
+/// With `idle_timeout_ms` set, quiet connections and mid-frame dribblers
+/// are closed and counted; the close is an EOF, never a hang.
+fn idle_timeout_reclaims_quiet_connections() {
+    let handle =
+        serve(ServerConfig { workers: 1, idle_timeout_ms: Some(80), ..ServerConfig::default() })
+            .expect("bind");
+    let addr = handle.local_addr();
+
+    // A connection that completes one request and then goes quiet.
+    let mut quiet = TcpStream::connect(addr).expect("connect");
+    write_frame(&mut quiet, br#"{"op":"stats"}"#).expect("write");
+    let reply = read_frame(&mut quiet, 1 << 20).expect("read").expect("frame");
+    assert!(!reply.is_empty());
+    // A connection stuck mid-frame (partial header is not progress).
+    let mut stuck = TcpStream::connect(addr).expect("connect");
+    stuck.write_all(&[0, 0]).expect("partial header");
+
+    // Both must observe a server-side close. The read itself is the wait:
+    // a 5 s read timeout bounds the test, the sweep fires within ~100 ms.
+    for (name, stream) in [("quiet", &mut quiet), ("stuck", &mut stuck)] {
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut buf = [0u8; 16];
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("{name} connection got {n} bytes instead of a close"),
+        }
+    }
+
+    // A fresh connection confirms the server is healthy and counted both.
+    let mut probe = Client::connect(addr).expect("connect");
+    let stats = handle.stats();
+    assert!(stats.idle_timeout_closes >= 2, "{stats}");
+    let ack = probe.shutdown().expect("shutdown");
+    assert!(is_ok(&ack), "{ack:?}");
+    handle.join();
+}
+
+/// A tenant at its in-flight cap is rejected `overloaded` (with a retry
+/// hint) while the queue still has room, and the tenant's stats record the
+/// cap pressure: `inflight_rejects` and the `inflight_peak` high-water mark.
+fn per_tenant_inflight_cap_rejects_explicitly() {
+    let retail = generate_retail(&RetailConfig {
+        source_items: 120,
+        target_rows: 40,
+        ..RetailConfig::default()
+    });
+    let handle = serve(ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+        max_inflight_per_tenant: Some(1),
+        retry_after_ms: 7,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.local_addr();
+    let mut setup = Client::connect(addr).expect("connect");
+    let ack = setup
+        .register("t", &retail.target, &TenantPolicy::default(), &TenantQuotas::default())
+        .expect("register");
+    assert!(is_ok(&ack), "{ack:?}");
+
+    // Pipeline submissions from separate raw connections without reading,
+    // so the second arrives while the first (a slow cold match) is still in
+    // flight. Single-threaded admission makes the outcome deterministic:
+    // the first is admitted, the second trips the cap.
+    let frame = |tag: u64| {
+        let source = generate_retail(&RetailConfig {
+            seed: 500 + tag,
+            source_items: 90,
+            target_rows: 40,
+            ..RetailConfig::default()
+        })
+        .source;
+        Json::Object(vec![
+            ("op".to_string(), Json::str("submit")),
+            ("tenant".to_string(), Json::str("t")),
+            ("source".to_string(), encode_database(&source)),
+        ])
+        .to_bytes()
+    };
+    let mut first = TcpStream::connect(addr).expect("connect");
+    let mut second = TcpStream::connect(addr).expect("connect");
+    write_frame(&mut first, &frame(1)).expect("write");
+    // The reactor admits strictly in arrival order; the second submission
+    // lands while the first is cold-matching on the only worker.
+    let second_reply = {
+        write_frame(&mut second, &frame(2)).expect("write");
+        let payload = read_frame(&mut second, 1 << 24).expect("read").expect("frame");
+        cxm_server::json::parse(&payload).expect("json")
+    };
+    assert_eq!(error_code(&second_reply), Some("overloaded"), "{second_reply:?}");
+    assert!(
+        second_reply
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("in-flight")),
+        "the reject names the cap: {second_reply:?}"
+    );
+    assert!(retry_after_ms(&second_reply).is_some_and(|ms| ms >= 7), "{second_reply:?}");
+
+    // The first submission completes untouched by its neighbor's reject.
+    let payload = read_frame(&mut first, 1 << 24).expect("read").expect("frame");
+    let first_reply = cxm_server::json::parse(&payload).expect("json");
+    assert!(is_ok(&first_reply), "{first_reply:?}");
+
+    let tenant = &handle.tenant_stats()[0];
+    assert!(tenant.inflight_rejects >= 1, "{tenant}");
+    assert_eq!(tenant.inflight_peak, 1, "{tenant}");
+    assert_eq!(tenant.inflight, 0, "everything answered: {tenant}");
+
+    // The wire-level stats op reports the same counters.
+    let stats_frame = setup.stats(Some("t")).expect("stats");
+    let tenants = stats_frame.get("tenants").and_then(Json::as_array).expect("tenants");
+    assert!(
+        tenants[0].get("inflight_rejects").and_then(Json::as_i64).is_some_and(|n| n >= 1),
+        "{stats_frame:?}"
+    );
+
+    let ack = setup.shutdown().expect("shutdown");
+    assert!(is_ok(&ack), "{ack:?}");
+    handle.join();
+}
